@@ -1,0 +1,424 @@
+//! **GC** — greedy graph coloring by iterative maximal independent sets
+//! (paper Scenario 4.1; algorithm from Gebremedhin–Manne and the
+//! "Optimizing Graph Algorithms on Pregel-like Systems" paper).
+//!
+//! The algorithm repeatedly finds a maximal independent set (MIS) of the
+//! uncolored vertices with Luby-style randomized rounds, assigns each
+//! MIS a fresh color, and removes it, until every vertex is colored.
+//! A master computation drives the phases through a `"phase"` aggregator
+//! (whose value — e.g. `"CONFLICT-RESOLUTION"` — is exactly what shows
+//! up in the paper's Figure 6 mock).
+//!
+//! [`GraphColoring::buggy`] reproduces the scenario's bug: during
+//! conflict resolution it compares coarsened priorities with `>=` and no
+//! id tie-break, so two adjacent vertices whose priorities collide both
+//! enter the MIS and end up with the same color.
+
+use graft_pregel::{
+    AggOp, AggValue, AggregatorRegistry, Computation, ContextOf, MasterComputation,
+    MasterContext, VertexHandleOf,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::util::vertex_rand;
+
+/// Where a vertex stands in the current MIS construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum GCState {
+    /// Not yet decided for the current MIS.
+    Undecided,
+    /// Joined the current MIS.
+    InSet,
+    /// Excluded from the current MIS (has an InSet neighbor).
+    OutOfSet,
+    /// Colored and removed from the residual graph.
+    Colored,
+}
+
+/// Vertex value of the coloring algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GCValue {
+    /// The assigned color, once colored.
+    pub color: Option<u64>,
+    /// MIS state.
+    pub state: GCState,
+    /// The priority drawn in the current selection phase.
+    pub priority: u64,
+}
+
+impl Default for GCValue {
+    fn default() -> Self {
+        Self { color: None, state: GCState::Undecided, priority: 0 }
+    }
+}
+
+/// Messages exchanged by the coloring algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum GCMessage {
+    /// "My priority this round is `priority`" (with the sender id as the
+    /// tie-breaker).
+    Priority {
+        /// The drawn priority.
+        priority: u64,
+        /// The sending vertex (total-order tie-break).
+        sender: u64,
+    },
+    /// "I joined the MIS."
+    InSet,
+}
+
+/// Phase names, stored in the `"phase"` aggregator.
+pub mod phases {
+    /// Before the master's first run.
+    pub const INIT: &str = "INIT";
+    /// Undecided vertices draw and broadcast priorities.
+    pub const SELECTION: &str = "SELECTION";
+    /// Local priority maxima join the MIS.
+    pub const CONFLICT_RESOLUTION: &str = "CONFLICT-RESOLUTION";
+    /// Neighbors of new MIS members drop out; undecided count taken.
+    pub const NOTIFY: &str = "NOTIFY";
+    /// The finished MIS takes the current color; the rest resets.
+    pub const COLOR_ASSIGNMENT: &str = "COLOR-ASSIGNMENT";
+}
+
+/// Aggregator names used by GC.
+pub mod aggregators {
+    /// Current phase (Text, persistent, master-driven).
+    pub const PHASE: &str = "phase";
+    /// Number of still-undecided vertices (Long, per superstep).
+    pub const UNDECIDED: &str = "undecided";
+    /// Number of not-yet-colored vertices (Long, per superstep).
+    pub const UNCOLORED: &str = "uncolored";
+    /// The color the current MIS will receive (Long, persistent).
+    pub const COLOR: &str = "color";
+}
+
+/// The graph-coloring vertex program. Requires [`GraphColoringMaster`].
+pub struct GraphColoring {
+    seed: u64,
+    buggy: bool,
+}
+
+impl GraphColoring {
+    /// The correct implementation.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, buggy: false }
+    }
+
+    /// The Scenario 4.1 variant: coarsened priorities compared with `>=`
+    /// and no tie-break, so adjacent vertices can both enter the MIS.
+    pub fn buggy(seed: u64) -> Self {
+        Self { seed, buggy: true }
+    }
+
+    fn priority(&self, vertex: u64, superstep: u64) -> u64 {
+        let raw = vertex_rand(self.seed, vertex, superstep);
+        if self.buggy {
+            // The "optimized" priority keeps only 3 bits; collisions among
+            // neighbors abound.
+            raw & 0x7
+        } else {
+            raw
+        }
+    }
+
+    fn wins_conflict(&self, mine: (u64, u64), theirs: &[(u64, u64)]) -> bool {
+        if self.buggy {
+            // BUG: ties are kept (>=) and the id tie-break is ignored, so
+            // two adjacent vertices with equal priorities both "win".
+            theirs.iter().all(|&(priority, _)| mine.0 >= priority)
+        } else {
+            theirs.iter().all(|&other| mine > other)
+        }
+    }
+}
+
+impl Computation for GraphColoring {
+    type Id = u64;
+    type VValue = GCValue;
+    type EValue = ();
+    type Message = GCMessage;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[GCMessage],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        let phase = ctx
+            .get_aggregated(aggregators::PHASE)
+            .and_then(|v| v.as_text().map(str::to_string))
+            .unwrap_or_else(|| phases::INIT.to_string());
+
+        if vertex.value().state == GCState::Colored {
+            // Done for good; only reactivated by stray neighbor messages.
+            vertex.vote_to_halt();
+            return;
+        }
+
+        match phase.as_str() {
+            phases::SELECTION
+                if vertex.value().state == GCState::Undecided => {
+                    let priority = self.priority(vertex.id(), ctx.superstep());
+                    vertex.value_mut().priority = priority;
+                    let id = vertex.id();
+                    ctx.send_message_to_all_edges(
+                        vertex,
+                        GCMessage::Priority { priority, sender: id },
+                    );
+                }
+            phases::CONFLICT_RESOLUTION
+                if vertex.value().state == GCState::Undecided => {
+                    let neighbor_priorities: Vec<(u64, u64)> = messages
+                        .iter()
+                        .filter_map(|m| match m {
+                            GCMessage::Priority { priority, sender } => {
+                                Some((*priority, *sender))
+                            }
+                            GCMessage::InSet => None,
+                        })
+                        .collect();
+                    let mine = (vertex.value().priority, vertex.id());
+                    graft::trace_point!(
+                        "conflict resolution",
+                        "mine" => mine,
+                        "neighbors" => neighbor_priorities
+                    );
+                    if self.wins_conflict(mine, &neighbor_priorities) {
+                        graft::trace_point!("won conflict: joining MIS", "buggy_tie_break" => self.buggy);
+                        vertex.value_mut().state = GCState::InSet;
+                        ctx.send_message_to_all_edges(vertex, GCMessage::InSet);
+                    } else {
+                        graft::trace_point!("lost conflict: staying undecided");
+                    }
+                }
+            phases::NOTIFY => {
+                if vertex.value().state == GCState::Undecided
+                    && messages.iter().any(|m| matches!(m, GCMessage::InSet))
+                {
+                    vertex.value_mut().state = GCState::OutOfSet;
+                }
+                if vertex.value().state == GCState::Undecided {
+                    ctx.aggregate(aggregators::UNDECIDED, AggValue::Long(1));
+                }
+            }
+            phases::COLOR_ASSIGNMENT => {
+                let color = ctx
+                    .get_aggregated(aggregators::COLOR)
+                    .and_then(AggValue::as_long)
+                    .expect("master maintains the color aggregator") as u64;
+                match vertex.value().state {
+                    GCState::InSet => {
+                        vertex.value_mut().color = Some(color);
+                        vertex.value_mut().state = GCState::Colored;
+                        vertex.vote_to_halt();
+                    }
+                    GCState::OutOfSet | GCState::Undecided => {
+                        vertex.value_mut().state = GCState::Undecided;
+                        ctx.aggregate(aggregators::UNCOLORED, AggValue::Long(1));
+                    }
+                    GCState::Colored => unreachable!("handled above"),
+                }
+            }
+            _ => {
+                // INIT superstep: nothing to do until the master sets the
+                // first phase.
+            }
+        }
+    }
+
+    fn register_aggregators(&self, registry: &mut AggregatorRegistry) {
+        registry.register_persistent(
+            aggregators::PHASE,
+            AggOp::Overwrite,
+            AggValue::Text(phases::INIT.into()),
+        );
+        registry.register(aggregators::UNDECIDED, AggOp::Sum, AggValue::Long(0));
+        registry.register(aggregators::UNCOLORED, AggOp::Sum, AggValue::Long(0));
+        registry.register_persistent(aggregators::COLOR, AggOp::Overwrite, AggValue::Long(0));
+    }
+
+    fn name(&self) -> String {
+        if self.buggy { "BuggyGraphColoring".into() } else { "GraphColoring".into() }
+    }
+}
+
+/// Master driving the GC phase machine.
+///
+/// Reads the phase it set for the previous superstep and the counts the
+/// vertices aggregated, then decides the next phase:
+/// `SELECTION → CONFLICT-RESOLUTION → NOTIFY → (SELECTION | COLOR-ASSIGNMENT)`,
+/// and after color assignment either starts the next MIS with a fresh
+/// color or halts.
+pub struct GraphColoringMaster;
+
+impl MasterComputation<GraphColoring> for GraphColoringMaster {
+    fn compute(&self, master: &mut MasterContext<'_>) {
+        let phase = master
+            .get_aggregated(aggregators::PHASE)
+            .and_then(|v| v.as_text().map(str::to_string))
+            .expect("phase aggregator is registered");
+        let next = match phase.as_str() {
+            phases::INIT => phases::SELECTION,
+            phases::SELECTION => phases::CONFLICT_RESOLUTION,
+            phases::CONFLICT_RESOLUTION => phases::NOTIFY,
+            phases::NOTIFY => {
+                let undecided = master
+                    .get_aggregated(aggregators::UNDECIDED)
+                    .and_then(AggValue::as_long)
+                    .unwrap_or(0);
+                if undecided > 0 {
+                    phases::SELECTION
+                } else {
+                    phases::COLOR_ASSIGNMENT
+                }
+            }
+            phases::COLOR_ASSIGNMENT => {
+                let uncolored = master
+                    .get_aggregated(aggregators::UNCOLORED)
+                    .and_then(AggValue::as_long)
+                    .unwrap_or(0);
+                if uncolored == 0 {
+                    master.halt_computation();
+                    return;
+                }
+                let color = master
+                    .get_aggregated(aggregators::COLOR)
+                    .and_then(AggValue::as_long)
+                    .unwrap_or(0);
+                master.set_aggregated(aggregators::COLOR, AggValue::Long(color + 1));
+                phases::SELECTION
+            }
+            other => panic!("unknown GC phase {other:?}"),
+        };
+        master.set_aggregated(aggregators::PHASE, AggValue::Text(next.into()));
+    }
+
+    fn name(&self) -> String {
+        "GraphColoringMaster".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::validate_coloring;
+    use graft_pregel::{Engine, Graph, HaltReason};
+
+    fn run_gc(
+        graph: Graph<u64, GCValue, ()>,
+        computation: GraphColoring,
+    ) -> Graph<u64, GCValue, ()> {
+        let outcome = Engine::new(computation)
+            .with_master(GraphColoringMaster)
+            .num_workers(3)
+            .max_supersteps(10_000)
+            .run(graph)
+            .unwrap();
+        // The job ends either when the master sees zero uncolored
+        // vertices or when the final color assignment halts every vertex
+        // first — both are success; only the superstep limit is failure.
+        assert_ne!(outcome.halt_reason, HaltReason::MaxSuperstepsReached);
+        outcome.graph
+    }
+
+    fn unit_graph(
+        edges: &[(u64, u64)],
+        n: u64,
+    ) -> Graph<u64, GCValue, ()> {
+        let mut builder = Graph::builder();
+        for v in 0..n {
+            builder.add_vertex(v, GCValue::default()).unwrap();
+        }
+        for &(a, b) in edges {
+            builder.add_undirected_edge(a, b, ()).unwrap();
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn colors_a_triangle_with_three_colors() {
+        let graph = unit_graph(&[(0, 1), (1, 2), (2, 0)], 3);
+        let result = run_gc(graph, GraphColoring::new(7));
+        let colors = validate_coloring(&result).unwrap();
+        assert_eq!(colors, 3, "a triangle needs exactly 3 colors");
+    }
+
+    #[test]
+    fn colors_a_path_with_few_colors() {
+        let graph = unit_graph(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], 6);
+        let result = run_gc(graph, GraphColoring::new(3));
+        let colors = validate_coloring(&result).unwrap();
+        assert!(colors <= 3, "MIS coloring of a path uses at most 3 colors, used {colors}");
+    }
+
+    #[test]
+    fn colors_bipartite_graphs_validly_across_seeds() {
+        // 3-regular bipartite-ish graph: left i -- right (i+k) mod m.
+        let m = 8u64;
+        let mut edges = Vec::new();
+        for i in 0..m {
+            for k in 0..3 {
+                edges.push((i, m + (i + k) % m));
+            }
+        }
+        for seed in [1, 2, 3, 4, 5] {
+            let graph = unit_graph(&edges, 2 * m);
+            let result = run_gc(graph, GraphColoring::new(seed));
+            validate_coloring(&result).unwrap();
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_get_the_first_color() {
+        let graph = unit_graph(&[], 4);
+        let result = run_gc(graph, GraphColoring::new(11));
+        for (_, value) in result.sorted_values() {
+            assert_eq!(value.color, Some(0));
+        }
+    }
+
+    #[test]
+    fn buggy_variant_violates_coloring_on_dense_graphs() {
+        // With 3-bit priorities and >= comparison, collisions are common;
+        // across seeds the buggy version must produce at least one
+        // adjacent same-color pair on a clique-ish graph.
+        let mut edges = Vec::new();
+        let n = 16u64;
+        for a in 0..n {
+            for b in a + 1..n {
+                if (a + b) % 3 != 0 {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let mut violated = false;
+        for seed in 0..10 {
+            let graph = unit_graph(&edges, n);
+            let result = run_gc(graph, GraphColoring::buggy(seed));
+            if validate_coloring(&result).is_err() {
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "the buggy tie-break never produced a conflict");
+    }
+
+    #[test]
+    fn correct_variant_never_violates_on_the_same_graphs() {
+        let mut edges = Vec::new();
+        let n = 16u64;
+        for a in 0..n {
+            for b in a + 1..n {
+                if (a + b) % 3 != 0 {
+                    edges.push((a, b));
+                }
+            }
+        }
+        for seed in 0..10 {
+            let graph = unit_graph(&edges, n);
+            let result = run_gc(graph, GraphColoring::new(seed));
+            validate_coloring(&result).unwrap();
+        }
+    }
+}

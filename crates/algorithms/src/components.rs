@@ -1,0 +1,116 @@
+//! Connected components by min-label propagation — the algorithm behind
+//! the paper's Figure 5 screenshot ("a connected components algorithm,
+//! where the values are vertex IDs").
+
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+
+/// Min-label propagation: every vertex converges to the smallest vertex
+/// id in its (weakly) connected component. Works on undirected graphs
+/// (symmetric directed edges).
+pub struct ConnectedComponents;
+
+impl ConnectedComponents {
+    /// Creates the computation.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Default for ConnectedComponents {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Computation for ConnectedComponents {
+    type Id = u64;
+    type VValue = u64;
+    type EValue = ();
+    type Message = u64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[u64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        if ctx.superstep() == 0 {
+            let id = vertex.id();
+            vertex.set_value(id);
+            ctx.send_message_to_all_edges(vertex, id);
+            vertex.vote_to_halt();
+            return;
+        }
+        let best = messages.iter().copied().min().expect("woken by a message");
+        if best < *vertex.value() {
+            vertex.set_value(best);
+            ctx.send_message_to_all_edges(vertex, best);
+        }
+        vertex.vote_to_halt();
+    }
+
+    fn use_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        *a.min(b)
+    }
+
+    fn name(&self) -> String {
+        "ConnectedComponents".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::union_find_components;
+    use graft_pregel::{Engine, Graph};
+
+    fn graph(edges: &[(u64, u64)], n: u64) -> Graph<u64, u64, ()> {
+        let mut builder = Graph::builder();
+        for v in 0..n {
+            builder.add_vertex(v, u64::MAX).unwrap();
+        }
+        for &(a, b) in edges {
+            builder.add_undirected_edge(a, b, ()).unwrap();
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn labels_two_components() {
+        let g = graph(&[(0, 1), (1, 2), (3, 4)], 5);
+        let outcome = Engine::new(ConnectedComponents).num_workers(2).run(g).unwrap();
+        let values = outcome.graph.sorted_values();
+        assert_eq!(values, vec![(0, 0), (1, 0), (2, 0), (3, 3), (4, 3)]);
+    }
+
+    #[test]
+    fn matches_union_find_on_pseudorandom_graphs() {
+        for seed in 0..5u64 {
+            let n = 60u64;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in a + 1..n {
+                    if crate::util::vertex_rand(seed, a * n + b, 1).is_multiple_of(50) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let outcome =
+                Engine::new(ConnectedComponents).num_workers(4).run(graph(&edges, n)).unwrap();
+            let expected = union_find_components(n, &edges);
+            let actual: Vec<u64> =
+                outcome.graph.sorted_values().into_iter().map(|(_, v)| v).collect();
+            assert_eq!(actual, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_label_themselves() {
+        let outcome = Engine::new(ConnectedComponents).run(graph(&[], 3)).unwrap();
+        assert_eq!(outcome.graph.sorted_values(), vec![(0, 0), (1, 1), (2, 2)]);
+    }
+}

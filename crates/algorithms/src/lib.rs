@@ -1,0 +1,34 @@
+//! # graft-algorithms
+//!
+//! Vertex-centric algorithm implementations used by the Graft paper's
+//! demo scenarios (Section 4), plus the standard Pregel algorithms its
+//! figures reference:
+//!
+//! * [`coloring`] — **GC**, greedy graph coloring by iterative maximal
+//!   independent sets (Gebremedhin–Manne style), master-coordinated
+//!   phases; with [`coloring::GraphColoring::buggy`], which reproduces the
+//!   paper's Scenario 4.1 bug (adjacent vertices entering the same MIS).
+//! * [`random_walk`] — **RW**, random-walk simulation (from the GPS
+//!   paper); with [`random_walk::RandomWalk::with_short_counters`], which reproduces the
+//!   Scenario 4.2 bug (16-bit walker counters overflowing into negative
+//!   message values).
+//! * [`matching`] — **MWM**, the Preis ½-approximation of maximum-weight
+//!   matching; loops forever on graphs with asymmetric "undirected" edge
+//!   weights, Scenario 4.3's input error.
+//! * [`components`] — connected components by min-label propagation (the
+//!   algorithm behind the paper's Figure 5 screenshot).
+//! * [`pagerank`] — PageRank with a sum combiner.
+//! * [`sssp`] — single-source shortest paths with a min combiner.
+//!
+//! [`mod@reference`] holds sequential implementations (union-find, Dijkstra,
+//! power iteration, coloring validation, matching validation) used to
+//! verify the vertex-centric versions.
+
+pub mod coloring;
+pub mod components;
+pub mod matching;
+pub mod pagerank;
+pub mod random_walk;
+pub mod reference;
+pub mod sssp;
+pub mod util;

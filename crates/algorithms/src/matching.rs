@@ -1,0 +1,279 @@
+//! **MWM** — the Preis ½-approximation of maximum-weight matching
+//! (paper Scenario 4.3).
+//!
+//! Each round, every live vertex points at its maximum-weight live
+//! neighbor and proposes; when two vertices propose to each other the
+//! edge joins the matching and both endpoints (with all incident edges)
+//! leave the graph. Rounds repeat until no vertices remain.
+//!
+//! On a well-formed undirected graph (symmetric weights) at least one
+//! mutual proposal happens every round, so the algorithm terminates. If
+//! the input erroneously has *asymmetric* weights on the symmetric
+//! directed edges — Scenario 4.3's input corruption — remaining vertices
+//! can point at each other in long cycles forever and the job never
+//! converges, which is how the paper demonstrates using Graft to find
+//! input-graph errors.
+
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+use serde::{Deserialize, Serialize};
+
+/// Vertex value of the matching algorithm.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct MWMValue {
+    /// The partner this vertex matched with, once matched.
+    pub matched_with: Option<u64>,
+    /// The neighbor proposed to in the current round.
+    pub proposed_to: Option<u64>,
+}
+
+/// Messages of the matching algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MWMMessage {
+    /// "I propose to you" (sender id).
+    Propose(u64),
+    /// "I am matched; drop your edges to me" (sender id).
+    Matched(u64),
+}
+
+/// The round phases, derived from `superstep % 3`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MWMPhase {
+    /// Vertices point at their best neighbor and propose.
+    Propose,
+    /// Mutual proposals become matches; matches are announced.
+    Match,
+    /// Edges to matched vertices are removed; matched vertices retire.
+    Cleanup,
+}
+
+impl MWMPhase {
+    /// The phase of a superstep.
+    pub fn of(superstep: u64) -> Self {
+        match superstep % 3 {
+            0 => MWMPhase::Propose,
+            1 => MWMPhase::Match,
+            _ => MWMPhase::Cleanup,
+        }
+    }
+}
+
+/// The Preis maximum-weight-matching computation.
+pub struct MaxWeightMatching;
+
+impl MaxWeightMatching {
+    /// Creates the computation.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Default for MaxWeightMatching {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Computation for MaxWeightMatching {
+    type Id = u64;
+    type VValue = MWMValue;
+    type EValue = f64;
+    type Message = MWMMessage;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[MWMMessage],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        if vertex.value().matched_with.is_some() {
+            // Already retired; ignore any stragglers.
+            vertex.vote_to_halt();
+            return;
+        }
+
+        match MWMPhase::of(ctx.superstep()) {
+            MWMPhase::Propose => {
+                // Point at the maximum-weight neighbor, ties broken by the
+                // larger id (a consistent total order, so well-formed
+                // inputs always produce at least one mutual pair).
+                let best = vertex
+                    .edges()
+                    .iter()
+                    .max_by(|a, b| {
+                        a.value
+                            .partial_cmp(&b.value)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.target.cmp(&b.target))
+                    })
+                    .map(|e| e.target);
+                match best {
+                    Some(target) => {
+                        vertex.value_mut().proposed_to = Some(target);
+                        let id = vertex.id();
+                        ctx.send_message(target, MWMMessage::Propose(id));
+                    }
+                    None => {
+                        // No live neighbors left: permanently unmatched.
+                        vertex.vote_to_halt();
+                    }
+                }
+            }
+            MWMPhase::Match => {
+                let proposed = vertex.value().proposed_to;
+                let mutual = messages.iter().any(|m| match m {
+                    MWMMessage::Propose(from) => Some(*from) == proposed,
+                    MWMMessage::Matched(_) => false,
+                });
+                if mutual {
+                    let partner = proposed.expect("mutual implies a proposal was made");
+                    vertex.value_mut().matched_with = Some(partner);
+                    let id = vertex.id();
+                    ctx.send_message_to_all_edges(vertex, MWMMessage::Matched(id));
+                    // Stay active one more superstep so cleanup retires us
+                    // after neighbors have been told.
+                }
+            }
+            MWMPhase::Cleanup => {
+                for message in messages {
+                    if let MWMMessage::Matched(from) = message {
+                        while vertex.remove_edge(*from) {}
+                    }
+                }
+                if vertex.value().matched_with.is_some() {
+                    vertex.vote_to_halt();
+                } else {
+                    vertex.value_mut().proposed_to = None;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "MaxWeightMatching".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::validate_matching;
+    use graft_pregel::{Engine, Graph, HaltReason};
+
+    fn weighted_graph(edges: &[(u64, u64, f64)], n: u64) -> Graph<u64, MWMValue, f64> {
+        let mut builder = Graph::builder();
+        for v in 0..n {
+            builder.add_vertex(v, MWMValue::default()).unwrap();
+        }
+        for &(a, b, w) in edges {
+            builder.add_undirected_edge(a, b, w).unwrap();
+        }
+        builder.build().unwrap()
+    }
+
+    fn run_mwm(graph: Graph<u64, MWMValue, f64>) -> graft_pregel::JobOutcome<MaxWeightMatching> {
+        Engine::new(MaxWeightMatching::new())
+            .num_workers(3)
+            .max_supersteps(1000)
+            .run(graph)
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_a_single_edge() {
+        let outcome = run_mwm(weighted_graph(&[(0, 1, 5.0)], 2));
+        assert_eq!(outcome.halt_reason, HaltReason::AllVerticesHalted);
+        let values = outcome.graph.sorted_values();
+        assert_eq!(values[0].1.matched_with, Some(1));
+        assert_eq!(values[1].1.matched_with, Some(0));
+    }
+
+    #[test]
+    fn picks_the_heavier_edge_on_a_path() {
+        // 0 -1.0- 1 -9.0- 2 -1.0- 3 : the optimal (and greedy) matching
+        // takes (1,2), leaving 0 and 3 unmatched... but then (0) and (3)
+        // have no live partners. Greedy weight = 9; both side edges die.
+        let outcome = run_mwm(weighted_graph(&[(0, 1, 1.0), (1, 2, 9.0), (2, 3, 1.0)], 4));
+        let matched = validate_matching(&outcome.graph).unwrap();
+        assert_eq!(matched, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn produces_a_valid_matching_on_random_graphs() {
+        for seed in 0..5u64 {
+            let mut edges = Vec::new();
+            let n = 20u64;
+            for a in 0..n {
+                for b in a + 1..n {
+                    let h = crate::util::vertex_rand(seed, a * 1000 + b, 0);
+                    if h.is_multiple_of(5) {
+                        edges.push((a, b, (h % 1000) as f64 / 10.0 + 0.1));
+                    }
+                }
+            }
+            let outcome = run_mwm(weighted_graph(&edges, n));
+            assert_eq!(outcome.halt_reason, HaltReason::AllVerticesHalted, "seed {seed}");
+            let matched = validate_matching(&outcome.graph).unwrap();
+            // Half-approximation sanity: matched weight >= 1/2 greedy
+            // (the Preis algorithm *is* a greedy variant, so compare to
+            // the sequential greedy matching weight).
+            let weight: f64 = matched
+                .iter()
+                .map(|&(a, b)| {
+                    edges
+                        .iter()
+                        .find(|&&(x, y, _)| (x, y) == (a, b) || (y, x) == (a, b))
+                        .map(|&(_, _, w)| w)
+                        .unwrap_or(0.0)
+                })
+                .sum();
+            let greedy = crate::reference::greedy_matching_weight(&edges);
+            assert!(
+                weight >= greedy / 2.0 - 1e-9,
+                "seed {seed}: weight {weight} < half of greedy {greedy}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_weights_prevent_convergence() {
+        // A 4-cycle where each vertex prefers its clockwise neighbor:
+        // the "undirected" weights are asymmetric, so proposals chase
+        // each other around the cycle forever.
+        let mut builder = Graph::<u64, MWMValue, f64>::builder();
+        for v in 0..4 {
+            builder.add_vertex(v, MWMValue::default()).unwrap();
+        }
+        for v in 0..4u64 {
+            let next = (v + 1) % 4;
+            // v -> next is heavy, next -> v is light: everyone proposes
+            // clockwise, nobody agrees.
+            builder.add_edge(v, next, 10.0).unwrap();
+            builder.add_edge(next, v, 1.0).unwrap();
+        }
+        let graph = builder.build().unwrap();
+        assert_eq!(graph.asymmetric_edges().len(), 0, "edges exist in both directions");
+        let outcome = Engine::new(MaxWeightMatching::new())
+            .max_supersteps(300)
+            .run(graph)
+            .unwrap();
+        assert_eq!(
+            outcome.halt_reason,
+            HaltReason::MaxSuperstepsReached,
+            "asymmetric weights must loop forever"
+        );
+        for (_, value) in outcome.graph.sorted_values() {
+            assert_eq!(value.matched_with, None);
+        }
+    }
+
+    #[test]
+    fn symmetric_version_of_the_same_cycle_converges() {
+        let outcome = run_mwm(weighted_graph(
+            &[(0, 1, 10.0), (1, 2, 1.0), (2, 3, 10.0), (3, 0, 1.0)],
+            4,
+        ));
+        assert_eq!(outcome.halt_reason, HaltReason::AllVerticesHalted);
+        let matched = validate_matching(&outcome.graph).unwrap();
+        assert_eq!(matched, vec![(0, 1), (2, 3)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! PageRank with a sum combiner — a standard Pregel workload, used here
+//! as an engine-correctness yardstick and in examples.
+
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+
+/// Fixed-iteration PageRank with damping 0.85.
+///
+/// Dangling vertices (no out-edges) leak their rank mass, as in the
+/// original Pregel formulation; the reference implementation in
+/// [`crate::reference::pagerank_reference`] models the same behaviour so
+/// the two agree to floating-point precision.
+pub struct PageRank {
+    iterations: u64,
+    damping: f64,
+}
+
+impl PageRank {
+    /// Creates a PageRank run with the given iteration count.
+    pub fn new(iterations: u64) -> Self {
+        Self { iterations, damping: 0.85 }
+    }
+
+    /// Overrides the damping factor (default 0.85).
+    pub fn damping(mut self, damping: f64) -> Self {
+        self.damping = damping;
+        self
+    }
+}
+
+impl Computation for PageRank {
+    type Id = u64;
+    type VValue = f64;
+    type EValue = ();
+    type Message = f64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[f64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        let n = ctx.num_vertices() as f64;
+        if ctx.superstep() == 0 {
+            vertex.set_value(1.0 / n);
+        } else {
+            let received: f64 = messages.iter().sum();
+            vertex.set_value((1.0 - self.damping) / n + self.damping * received);
+        }
+        if ctx.superstep() < self.iterations {
+            let degree = vertex.num_edges();
+            if degree > 0 {
+                let share = *vertex.value() / degree as f64;
+                ctx.send_message_to_all_edges(vertex, share);
+            }
+        } else {
+            vertex.vote_to_halt();
+        }
+    }
+
+    fn use_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn name(&self) -> String {
+        "PageRank".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::pagerank_reference;
+    use graft_pregel::{Engine, Graph};
+
+    fn directed(edges: &[(u64, u64)], n: u64) -> Graph<u64, f64, ()> {
+        let mut builder = Graph::builder();
+        for v in 0..n {
+            builder.add_vertex(v, 0.0).unwrap();
+        }
+        for &(a, b) in edges {
+            builder.add_edge(a, b, ()).unwrap();
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_the_reference_power_iteration() {
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 1), (3, 2), (3, 0)];
+        let graph = directed(&edges, 4);
+        let outcome = Engine::new(PageRank::new(30)).num_workers(3).run(graph).unwrap();
+        let expected = pagerank_reference(4, &edges, 30, 0.85);
+        for (vertex, value) in outcome.graph.sorted_values() {
+            assert!(
+                (value - expected[vertex as usize]).abs() < 1e-12,
+                "vertex {vertex}: engine {value} vs reference {}",
+                expected[vertex as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_cycle_gives_uniform_ranks() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        let outcome = Engine::new(PageRank::new(20)).run(directed(&edges, 4)).unwrap();
+        for (_, value) in outcome.graph.sorted_values() {
+            assert!((value - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hub_collects_more_rank() {
+        // Everyone points at vertex 0; vertex 0 points at vertex 1.
+        let edges = [(1, 0), (2, 0), (3, 0), (0, 1)];
+        let outcome = Engine::new(PageRank::new(25)).run(directed(&edges, 4)).unwrap();
+        let values = outcome.graph.sorted_values();
+        assert!(values[0].1 > values[2].1 * 2.0, "hub should dominate: {values:?}");
+    }
+}

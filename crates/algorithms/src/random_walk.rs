@@ -1,0 +1,214 @@
+//! **RW** — random-walk simulation (paper Scenario 4.2; algorithm from
+//! the GPS paper).
+//!
+//! Every vertex starts with a number of walkers. Each superstep, each
+//! vertex keeps one counter per neighbor, randomly increments one
+//! counter per walker it holds, then sends the counters as messages; a
+//! vertex's walker count for the next superstep is the sum of its
+//! incoming counters.
+//!
+//! [`RandomWalk::with_short_counters`] reproduces the scenario's bug: to
+//! "optimize memory and network I/O" the counters are 16-bit, so when
+//! more than 32767 walkers move along one edge the counter wraps and the
+//! vertex sends a *negative* number of walkers — exactly what a Graft
+//! message constraint `walkers >= 0` catches.
+
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+use serde::{Deserialize, Serialize};
+
+use crate::util::VertexRng;
+
+/// Vertex value: the walkers currently at this vertex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RWValue {
+    /// Walker count (may go negative under the 16-bit bug).
+    pub walkers: i64,
+}
+
+/// The random-walk simulation.
+pub struct RandomWalk {
+    seed: u64,
+    steps: u64,
+    initial_walkers: i64,
+    short_counters: bool,
+}
+
+impl RandomWalk {
+    /// The correct implementation: 64-bit counters, the paper's default
+    /// of 100 initial walkers per vertex.
+    pub fn new(seed: u64, steps: u64) -> Self {
+        Self { seed, steps, initial_walkers: 100, short_counters: false }
+    }
+
+    /// Overrides the number of walkers each vertex starts with.
+    pub fn initial_walkers(mut self, walkers: i64) -> Self {
+        self.initial_walkers = walkers;
+        self
+    }
+
+    /// The Scenario 4.2 variant: per-neighbor counters are 16-bit and
+    /// wrap silently, like Java `short` arithmetic.
+    pub fn with_short_counters(mut self) -> Self {
+        self.short_counters = true;
+        self
+    }
+
+    /// Whether this instance carries the 16-bit counter bug.
+    pub fn is_buggy(&self) -> bool {
+        self.short_counters
+    }
+}
+
+impl Computation for RandomWalk {
+    type Id = u64;
+    type VValue = RWValue;
+    type EValue = ();
+    type Message = i64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[i64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        let walkers = if ctx.superstep() == 0 {
+            self.initial_walkers
+        } else {
+            messages.iter().sum()
+        };
+        vertex.value_mut().walkers = walkers;
+
+        if ctx.superstep() >= self.steps || vertex.num_edges() == 0 {
+            vertex.vote_to_halt();
+            return;
+        }
+
+        // One counter per neighbor; each walker increments one of them.
+        let degree = vertex.num_edges() as u64;
+        let mut rng = VertexRng::new(self.seed, vertex.id(), ctx.superstep());
+        if self.short_counters {
+            // BUG: Java-style `short` counters wrap silently past 32767.
+            let mut counters: Vec<i16> = vec![0; degree as usize];
+            for _ in 0..walkers.max(0) {
+                let pick = rng.next_below(degree) as usize;
+                counters[pick] = counters[pick].wrapping_add(1);
+            }
+            for (edge, &count) in vertex.edges().iter().zip(&counters) {
+                let target = edge.target;
+                ctx.send_message(target, count as i64);
+            }
+        } else {
+            let mut counters: Vec<i64> = vec![0; degree as usize];
+            for _ in 0..walkers.max(0) {
+                let pick = rng.next_below(degree) as usize;
+                counters[pick] += 1;
+            }
+            for (edge, &count) in vertex.edges().iter().zip(&counters) {
+                let target = edge.target;
+                ctx.send_message(target, count);
+            }
+        }
+    }
+
+    fn use_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        a + b
+    }
+
+    fn name(&self) -> String {
+        if self.short_counters { "RandomWalkShort".into() } else { "RandomWalk".into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_pregel::{Engine, Graph};
+
+    fn walk_graph(edges: &[(u64, u64)], n: u64) -> Graph<u64, RWValue, ()> {
+        let mut builder = Graph::builder();
+        for v in 0..n {
+            builder.add_vertex(v, RWValue::default()).unwrap();
+        }
+        for &(a, b) in edges {
+            builder.add_undirected_edge(a, b, ()).unwrap();
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn walker_mass_is_conserved() {
+        let graph = walk_graph(&[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], 4);
+        let outcome = Engine::new(RandomWalk::new(9, 10)).num_workers(2).run(graph).unwrap();
+        let total: i64 = outcome.graph.sorted_values().iter().map(|(_, v)| v.walkers).sum();
+        assert_eq!(total, 400, "4 vertices x 100 walkers must be conserved");
+        for (_, value) in outcome.graph.sorted_values() {
+            assert!(value.walkers >= 0);
+        }
+    }
+
+    #[test]
+    fn runs_exactly_steps_supersteps_of_movement() {
+        let graph = walk_graph(&[(0, 1)], 2);
+        let outcome = Engine::new(RandomWalk::new(1, 5)).run(graph).unwrap();
+        // steps supersteps send messages; superstep `steps` consumes the
+        // final batch and halts; plus one superstep observing silence.
+        assert_eq!(outcome.stats.superstep_count(), 6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let graph = walk_graph(&[(0, 1), (1, 2), (2, 0), (1, 3)], 4);
+            Engine::new(RandomWalk::new(seed, 8))
+                .num_workers(3)
+                .run(graph)
+                .unwrap()
+                .graph
+                .sorted_values()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should move walkers differently");
+    }
+
+    #[test]
+    fn short_counters_overflow_on_heavy_edges() {
+        // Two vertices joined by one edge, 40000 walkers each: every
+        // superstep all walkers cross the single edge, counter 40000 >
+        // 32767 wraps negative.
+        let graph = walk_graph(&[(0, 1)], 2);
+        let outcome = Engine::new(
+            RandomWalk::new(1, 1).initial_walkers(40_000).with_short_counters(),
+        )
+        .run(graph)
+        .unwrap();
+        let values = outcome.graph.sorted_values();
+        assert!(
+            values.iter().any(|(_, v)| v.walkers < 0),
+            "short counters must have overflowed: {values:?}"
+        );
+    }
+
+    #[test]
+    fn correct_counters_do_not_overflow_on_the_same_input() {
+        let graph = walk_graph(&[(0, 1)], 2);
+        let outcome = Engine::new(RandomWalk::new(1, 1).initial_walkers(40_000))
+            .run(graph)
+            .unwrap();
+        for (_, value) in outcome.graph.sorted_values() {
+            assert_eq!(value.walkers, 40_000);
+        }
+    }
+
+    #[test]
+    fn walkers_stuck_on_isolated_vertices() {
+        let graph = walk_graph(&[], 3);
+        let outcome = Engine::new(RandomWalk::new(2, 4)).run(graph).unwrap();
+        for (_, value) in outcome.graph.sorted_values() {
+            assert_eq!(value.walkers, 100);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Sequential reference implementations and validators used to check the
+//! vertex-centric algorithms.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use graft_pregel::Graph;
+
+use crate::coloring::GCValue;
+use crate::matching::MWMValue;
+
+/// Union-find connected components: returns, for each vertex `0..n`, the
+/// minimum vertex id of its component (matching the min-label algorithm).
+pub fn union_find_components(n: u64, edges: &[(u64, u64)]) -> Vec<u64> {
+    let n = n as usize;
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+        if ra != rb {
+            // Union by min id keeps the min-label invariant trivially.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi] = lo;
+        }
+    }
+    (0..n).map(|v| find(&mut parent, v) as u64).collect()
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: u64,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we need min-dist first.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm over directed weighted edges; unreachable
+/// vertices get `f64::INFINITY`.
+pub fn dijkstra(n: u64, edges: &[(u64, u64, f64)], source: u64) -> Vec<f64> {
+    let n = n as usize;
+    let mut adjacency: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
+    for &(a, b, w) in edges {
+        adjacency[a as usize].push((b, w));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { dist: 0.0, vertex: source });
+    while let Some(HeapEntry { dist: d, vertex }) = heap.pop() {
+        if d > dist[vertex as usize] {
+            continue;
+        }
+        for &(next, weight) in &adjacency[vertex as usize] {
+            let candidate = d + weight;
+            if candidate < dist[next as usize] {
+                dist[next as usize] = candidate;
+                heap.push(HeapEntry { dist: candidate, vertex: next });
+            }
+        }
+    }
+    dist
+}
+
+/// Power-iteration PageRank matching the Pregel formulation: each
+/// iteration, every vertex distributes `damping * rank / out_degree`
+/// along its out-edges and resets to `(1 - damping) / n` plus what it
+/// receives; dangling vertices leak their rank.
+pub fn pagerank_reference(
+    n: u64,
+    edges: &[(u64, u64)],
+    iterations: u64,
+    damping: f64,
+) -> Vec<f64> {
+    let n_us = n as usize;
+    let mut out_degree = vec![0usize; n_us];
+    for &(a, _) in edges {
+        out_degree[a as usize] += 1;
+    }
+    let mut rank = vec![1.0 / n as f64; n_us];
+    for _ in 0..iterations {
+        let mut next = vec![(1.0 - damping) / n as f64; n_us];
+        for &(a, b) in edges {
+            next[b as usize] += damping * rank[a as usize] / out_degree[a as usize] as f64;
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Validates a coloring result: every vertex colored, and no two
+/// adjacent vertices share a color. Returns the number of distinct
+/// colors used.
+pub fn validate_coloring(graph: &Graph<u64, GCValue, ()>) -> Result<u64, String> {
+    let mut colors = std::collections::BTreeSet::new();
+    for (vertex, value, edges) in graph.iter() {
+        let Some(color) = value.color else {
+            return Err(format!("vertex {vertex} is uncolored"));
+        };
+        colors.insert(color);
+        for edge in edges {
+            if let Some(neighbor) = graph.value(edge.target) {
+                if neighbor.color == Some(color) {
+                    return Err(format!(
+                        "adjacent vertices {vertex} and {} share color {color}",
+                        edge.target
+                    ));
+                }
+            }
+        }
+    }
+    Ok(colors.len() as u64)
+}
+
+/// Validates a matching result: partner pointers must be symmetric and
+/// unique. Returns the matched pairs `(a, b)` with `a < b`, sorted.
+pub fn validate_matching(graph: &Graph<u64, MWMValue, f64>) -> Result<Vec<(u64, u64)>, String> {
+    let mut pairs = std::collections::BTreeSet::new();
+    for (vertex, value, _) in graph.iter() {
+        if let Some(partner) = value.matched_with {
+            let back = graph
+                .value(partner)
+                .ok_or_else(|| format!("vertex {vertex} matched with missing {partner}"))?;
+            if back.matched_with != Some(vertex) {
+                return Err(format!(
+                    "vertex {vertex} matched with {partner}, but {partner} matched with {:?}",
+                    back.matched_with
+                ));
+            }
+            pairs.insert((vertex.min(partner), vertex.max(partner)));
+        }
+    }
+    Ok(pairs.into_iter().collect())
+}
+
+/// Weight of the sequential greedy matching (repeatedly take the
+/// heaviest remaining edge) — the classic ½-approximation baseline.
+pub fn greedy_matching_weight(edges: &[(u64, u64, f64)]) -> f64 {
+    let mut sorted: Vec<&(u64, u64, f64)> = edges.iter().collect();
+    sorted.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(Ordering::Equal));
+    let mut used = std::collections::BTreeSet::new();
+    let mut weight = 0.0;
+    for &&(a, b, w) in &sorted {
+        if !used.contains(&a) && !used.contains(&b) {
+            used.insert(a);
+            used.insert(b);
+            weight += w;
+        }
+    }
+    weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_min_labels() {
+        let labels = union_find_components(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn dijkstra_basics() {
+        let dist = dijkstra(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)], 0);
+        assert_eq!(dist, vec![0.0, 1.0, 2.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn pagerank_reference_sums_below_one_with_dangling() {
+        // Vertex 2 dangles; total rank leaks but stays positive.
+        let rank = pagerank_reference(3, &[(0, 1), (1, 2)], 10, 0.85);
+        let total: f64 = rank.iter().sum();
+        assert!(total > 0.0 && total <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn greedy_weight() {
+        let w = greedy_matching_weight(&[(0, 1, 5.0), (1, 2, 4.0), (2, 3, 3.0)]);
+        assert_eq!(w, 8.0);
+    }
+}

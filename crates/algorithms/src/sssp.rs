@@ -1,0 +1,123 @@
+//! Single-source shortest paths with a min combiner — the classic
+//! message-driven Pregel example.
+
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+
+/// Message-driven SSSP over non-negative `f64` edge weights. Unreached
+/// vertices finish with `f64::INFINITY`.
+pub struct ShortestPaths {
+    source: u64,
+}
+
+impl ShortestPaths {
+    /// Creates an SSSP run from `source`.
+    pub fn new(source: u64) -> Self {
+        Self { source }
+    }
+}
+
+impl Computation for ShortestPaths {
+    type Id = u64;
+    type VValue = f64;
+    type EValue = f64;
+    type Message = f64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[f64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        if ctx.superstep() == 0 {
+            vertex.set_value(f64::INFINITY);
+        }
+        let candidate = if ctx.superstep() == 0 && vertex.id() == self.source {
+            0.0
+        } else {
+            messages.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        if candidate < *vertex.value() {
+            vertex.set_value(candidate);
+            for edge in vertex.edges() {
+                ctx.send_message(edge.target, candidate + edge.value);
+            }
+        }
+        vertex.vote_to_halt();
+    }
+
+    fn use_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        a.min(*b)
+    }
+
+    fn name(&self) -> String {
+        "ShortestPaths".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::dijkstra;
+    use graft_pregel::{Engine, Graph};
+
+    fn weighted(edges: &[(u64, u64, f64)], n: u64) -> Graph<u64, f64, f64> {
+        let mut builder = Graph::builder();
+        for v in 0..n {
+            builder.add_vertex(v, f64::INFINITY).unwrap();
+        }
+        for &(a, b, w) in edges {
+            builder.add_edge(a, b, w).unwrap();
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn simple_path_distances() {
+        let edges = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 10.0)];
+        let outcome = Engine::new(ShortestPaths::new(0)).run(weighted(&edges, 3)).unwrap();
+        assert_eq!(
+            outcome.graph.sorted_values(),
+            vec![(0, 0.0), (1, 1.0), (2, 3.0)]
+        );
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let edges = [(0, 1, 1.0)];
+        let outcome = Engine::new(ShortestPaths::new(0)).run(weighted(&edges, 3)).unwrap();
+        let values = outcome.graph.sorted_values();
+        assert_eq!(values[2].1, f64::INFINITY);
+    }
+
+    #[test]
+    fn agrees_with_dijkstra_on_pseudorandom_graphs() {
+        for seed in 0..5u64 {
+            let n = 40u64;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b && crate::util::vertex_rand(seed, a * n + b, 2).is_multiple_of(8) {
+                        let w = (crate::util::vertex_rand(seed, a * n + b, 3) % 100) as f64 + 1.0;
+                        edges.push((a, b, w));
+                    }
+                }
+            }
+            let outcome = Engine::new(ShortestPaths::new(0))
+                .num_workers(4)
+                .run(weighted(&edges, n))
+                .unwrap();
+            let expected = dijkstra(n, &edges, 0);
+            for (vertex, value) in outcome.graph.sorted_values() {
+                let want = expected[vertex as usize];
+                assert!(
+                    (value == want) || (value - want).abs() < 1e-9,
+                    "seed {seed} vertex {vertex}: engine {value} vs dijkstra {want}"
+                );
+            }
+        }
+    }
+}

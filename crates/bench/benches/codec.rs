@@ -1,0 +1,84 @@
+//! Ablation: JSON-lines vs GraftBin binary trace encoding — size and
+//! encode/decode throughput on representative vertex-trace records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graft::trace::{decode_records, encode_record, VertexTrace};
+use graft::{CaptureReason, TraceCodec};
+use graft_pregel::{AggValue, GlobalData};
+
+fn sample_trace(degree: usize) -> VertexTrace<u64, i64, (), i64> {
+    VertexTrace {
+        superstep: 41,
+        vertex: 672,
+        value_before: -123456,
+        value_after: 654321,
+        edges: (0..degree as u64).map(|t| (t * 7 + 1, ())).collect(),
+        incoming: (0..degree as i64).map(|i| i * 31 - 5).collect(),
+        outgoing: (0..degree as u64).map(|t| (t * 7 + 1, t as i64 * 13)).collect(),
+        aggregators: vec![
+            ("phase".into(), AggValue::Text("CONFLICT-RESOLUTION".into())),
+            ("undecided".into(), AggValue::Long(4821)),
+        ],
+        global: GlobalData { superstep: 41, num_vertices: 1_000_000_000, num_edges: 3_000_000_000 },
+        halted_after: false,
+        reasons: vec![CaptureReason::SpecifiedId],
+        violations: vec![],
+        exception: None,
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_codec");
+    for degree in [4usize, 32, 256] {
+        let trace = sample_trace(degree);
+        for codec in [TraceCodec::JsonLines, TraceCodec::Binary] {
+            let label = match codec {
+                TraceCodec::JsonLines => "json",
+                TraceCodec::Binary => "binary",
+            };
+            let mut encoded = Vec::new();
+            encode_record(codec, &trace, &mut encoded).unwrap();
+            group.throughput(Throughput::Bytes(encoded.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_{label}"), degree),
+                &trace,
+                |b, trace| {
+                    let mut buf = Vec::with_capacity(encoded.len() * 2);
+                    b.iter(|| {
+                        buf.clear();
+                        encode_record(codec, trace, &mut buf).unwrap();
+                        buf.len()
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("decode_{label}"), degree),
+                &encoded,
+                |b, bytes| {
+                    b.iter(|| {
+                        let records: Vec<VertexTrace<u64, i64, (), i64>> =
+                            decode_records(codec, bytes).unwrap();
+                        records.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Report the size ratio once, as a plain measurement.
+    let trace = sample_trace(32);
+    let mut json = Vec::new();
+    let mut bin = Vec::new();
+    encode_record(TraceCodec::JsonLines, &trace, &mut json).unwrap();
+    encode_record(TraceCodec::Binary, &trace, &mut bin).unwrap();
+    eprintln!(
+        "trace record (degree 32): json={}B binary={}B ratio={:.2}x",
+        json.len(),
+        bin.len(),
+        json.len() as f64 / bin.len() as f64
+    );
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! DFS backend benches: trace-file write/read throughput on the
+//! in-memory backend vs the block-replicated cluster simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem, InMemoryFs};
+
+const PAYLOAD: usize = 256 * 1024;
+
+fn bench_dfs(c: &mut Criterion) {
+    let payload = vec![0xABu8; PAYLOAD];
+    let mut group = c.benchmark_group("dfs");
+    group.throughput(Throughput::Bytes(PAYLOAD as u64));
+
+    group.bench_function("memory_write", |b| {
+        let fs = InMemoryFs::new();
+        b.iter(|| fs.write_all("/bench/file", &payload).unwrap());
+    });
+    group.bench_function("memory_read", |b| {
+        let fs = InMemoryFs::new();
+        fs.write_all("/bench/file", &payload).unwrap();
+        b.iter(|| fs.read_all("/bench/file").unwrap().len());
+    });
+
+    for replication in [1usize, 2, 3] {
+        let make = || {
+            ClusterFs::new(ClusterFsConfig {
+                num_datanodes: 4,
+                replication,
+                block_size: 64 * 1024,
+            })
+        };
+        group.bench_with_input(
+            BenchmarkId::new("cluster_write_r", replication),
+            &replication,
+            |b, _| {
+                let fs = make();
+                b.iter(|| fs.write_all("/bench/file", &payload).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cluster_read_r", replication),
+            &replication,
+            |b, _| {
+                let fs = make();
+                fs.write_all("/bench/file", &payload).unwrap();
+                b.iter(|| fs.read_all("/bench/file").unwrap().len());
+            },
+        );
+    }
+
+    // Concurrent per-worker appenders, the trace-sink write pattern.
+    group.bench_function("memory_concurrent_4_writers", |b| {
+        b.iter(|| {
+            let fs = InMemoryFs::new();
+            std::thread::scope(|scope| {
+                for w in 0..4 {
+                    let fs = fs.clone();
+                    let chunk = &payload[..PAYLOAD / 4];
+                    scope.spawn(move || {
+                        fs.write_all(&format!("/bench/worker_{w}"), chunk).unwrap();
+                    });
+                }
+            });
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dfs);
+criterion_main!(benches);

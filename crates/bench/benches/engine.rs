@@ -1,0 +1,81 @@
+//! Engine microbenches: superstep throughput, worker scaling, and the
+//! combiner on/off ablation on a message-heavy workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graft_algorithms::pagerank::PageRank;
+use graft_algorithms::random_walk::{RWValue, RandomWalk};
+use graft_datasets::Dataset;
+use graft_pregel::{Computation, ContextOf, Engine, Graph, VertexHandleOf};
+
+/// PageRank without its combiner, for the ablation.
+struct PageRankNoCombiner(PageRank);
+
+impl Computation for PageRankNoCombiner {
+    type Id = u64;
+    type VValue = f64;
+    type EValue = ();
+    type Message = f64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[f64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        self.0.compute(vertex, messages, ctx)
+    }
+}
+
+fn web_graph() -> Graph<u64, f64, ()> {
+    let mut list = Dataset::by_name("web-BS").unwrap().generate(100, 3);
+    list.dedupe();
+    list.to_graph(0.0)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let graph = web_graph();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(15);
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("pagerank_workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    Engine::new(PageRank::new(5))
+                        .num_workers(workers)
+                        .run(graph.clone())
+                        .unwrap()
+                });
+            },
+        );
+    }
+
+    group.bench_function("pagerank_with_combiner", |b| {
+        b.iter(|| Engine::new(PageRank::new(5)).num_workers(4).run(graph.clone()).unwrap());
+    });
+    group.bench_function("pagerank_without_combiner", |b| {
+        b.iter(|| {
+            Engine::new(PageRankNoCombiner(PageRank::new(5)))
+                .num_workers(4)
+                .run(graph.clone())
+                .unwrap()
+        });
+    });
+
+    let rw_graph: Graph<u64, RWValue, ()> = {
+        let list = Dataset::by_name("web-BS").unwrap().generate_undirected(200, 3);
+        list.to_graph(RWValue::default())
+    };
+    group.bench_function("random_walk_8_steps", |b| {
+        b.iter(|| {
+            Engine::new(RandomWalk::new(1, 8)).num_workers(4).run(rw_graph.clone()).unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: per-job cost of the instrumentation layers — pass-through
+//! wrapping, pre-compute snapshots, constraint checks, and capture
+//! writing — measured as whole mini-jobs against the bare engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graft::{DebugConfig, GraftRunner};
+use graft_algorithms::pagerank::PageRank;
+use graft_datasets::Dataset;
+use graft_pregel::{Engine, Graph};
+
+fn graph() -> Graph<u64, f64, ()> {
+    let mut list = Dataset::by_name("soc-Epinions").unwrap().generate(50, 7);
+    list.dedupe();
+    list.to_graph(0.0)
+}
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let graph = graph();
+    let mut group = c.benchmark_group("instrumentation");
+    group.sample_size(20);
+
+    group.bench_function("bare_engine", |b| {
+        b.iter(|| {
+            Engine::new(PageRank::new(5)).num_workers(4).run(graph.clone()).unwrap()
+        });
+    });
+
+    group.bench_function("graft_no_captures", |b| {
+        // Instrumented wrapper installed but nothing selected: the
+        // fast path (one set lookup per vertex).
+        let config = DebugConfig::<PageRank>::builder().catch_exceptions(false).build();
+        let runner = GraftRunner::new(PageRank::new(5), config).num_workers(4);
+        b.iter(|| runner.run(graph.clone(), "/bench/none").unwrap());
+    });
+
+    group.bench_function("graft_5_ids", |b| {
+        let config = DebugConfig::<PageRank>::builder()
+            .capture_ids([1, 2, 3, 4, 5])
+            .catch_exceptions(false)
+            .build();
+        let runner = GraftRunner::new(PageRank::new(5), config).num_workers(4);
+        b.iter(|| runner.run(graph.clone(), "/bench/ids").unwrap());
+    });
+
+    group.bench_function("graft_message_constraint", |b| {
+        // Every send evaluated: the post-compute outbox scan.
+        let config = DebugConfig::<PageRank>::builder()
+            .message_constraint(|m, _, _, _| *m >= 0.0)
+            .catch_exceptions(false)
+            .build();
+        let runner = GraftRunner::new(PageRank::new(5), config).num_workers(4);
+        b.iter(|| runner.run(graph.clone(), "/bench/msg").unwrap());
+    });
+
+    group.bench_function("graft_exception_guard", |b| {
+        // Only the panic guard + snapshots, no constraints.
+        let config = DebugConfig::<PageRank>::builder().catch_exceptions(true).build();
+        let runner = GraftRunner::new(PageRank::new(5), config).num_workers(4);
+        b.iter(|| runner.run(graph.clone(), "/bench/exc").unwrap());
+    });
+
+    group.bench_function("graft_capture_all", |b| {
+        // Worst case: every vertex context written every superstep.
+        let config = DebugConfig::<PageRank>::builder()
+            .capture_all_active(true)
+            .catch_exceptions(false)
+            .max_captures(u64::MAX)
+            .build();
+        let runner = GraftRunner::new(PageRank::new(5), config).num_workers(4);
+        b.iter(|| runner.run(graph.clone(), "/bench/all").unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumentation);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: how overhead grows with the number of captures, and how the
+//! `max_captures` safety net bounds it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graft::{DebugConfig, GraftRunner, SuperstepFilter};
+use graft_algorithms::pagerank::PageRank;
+use graft_datasets::Dataset;
+use graft_pregel::Graph;
+
+fn graph() -> Graph<u64, f64, ()> {
+    let mut list = Dataset::by_name("soc-Epinions").unwrap().generate(100, 5);
+    list.dedupe();
+    list.to_graph(0.0)
+}
+
+fn bench_capture_scaling(c: &mut Criterion) {
+    let graph = graph();
+    let mut group = c.benchmark_group("capture_scaling");
+    group.sample_size(15);
+
+    // More captured supersteps => more records written.
+    for captured_steps in [0u64, 1, 3, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("captured_supersteps", captured_steps),
+            &captured_steps,
+            |b, &steps| {
+                let filter = if steps == 0 {
+                    SuperstepFilter::Set(vec![])
+                } else {
+                    SuperstepFilter::Range { from: 0, to: steps - 1 }
+                };
+                let config = DebugConfig::<PageRank>::builder()
+                    .capture_all_active(true)
+                    .supersteps(filter)
+                    .catch_exceptions(false)
+                    .max_captures(u64::MAX)
+                    .build();
+                let runner = GraftRunner::new(PageRank::new(6), config).num_workers(4);
+                b.iter(|| runner.run(graph.clone(), "/bench/steps").unwrap());
+            },
+        );
+    }
+
+    // The safety net: past the threshold, capture cost stops growing.
+    for max_captures in [100u64, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("max_captures", max_captures),
+            &max_captures,
+            |b, &max| {
+                let config = DebugConfig::<PageRank>::builder()
+                    .capture_all_active(true)
+                    .catch_exceptions(false)
+                    .max_captures(max)
+                    .build();
+                let runner = GraftRunner::new(PageRank::new(6), config).num_workers(4);
+                b.iter(|| {
+                    let run = runner.run(graph.clone(), "/bench/max").unwrap();
+                    assert!(run.captures <= max);
+                    run.captures
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_capture_scaling);
+criterion_main!(benches);

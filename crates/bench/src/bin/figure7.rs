@@ -1,0 +1,32 @@
+//! Regenerates Figure 7/8: Graft's runtime overhead for
+//! {GC, RW, MWM} × {sk-2005, twitter, bipartite-2B-6B} × Table 3's
+//! DebugConfigs, normalized to the no-debug baseline, with the number of
+//! captures on every bar and stdev error bars over the repetitions.
+//!
+//! `cargo run -p graft-bench --release --bin figure7 \
+//!      [--scale N] [--reps N] [--workers N] [--quick] [--json]`
+//!
+//! Defaults: 1/1000 scale, 5 repetitions (as in the paper), 8 workers.
+//! `--quick` drops to 1/5000 scale and 2 repetitions for smoke runs.
+
+use graft_bench::overhead::{print_figure, rows_to_json, run_figure, Settings};
+
+fn main() {
+    let quick = graft_bench::arg_flag("--quick");
+    let settings = Settings {
+        scale: graft_bench::arg_u64("--scale", if quick { 5000 } else { 1000 }),
+        reps: graft_bench::arg_u64("--reps", if quick { 2 } else { 5 }) as usize,
+        workers: graft_bench::arg_u64("--workers", 8) as usize,
+        seed: graft_bench::arg_u64("--seed", 42),
+    };
+    eprintln!(
+        "figure7: scale=1/{} reps={} workers={} seed={}",
+        settings.scale, settings.reps, settings.workers, settings.seed
+    );
+    let rows = run_figure(settings);
+    if graft_bench::arg_flag("--json") {
+        println!("{}", rows_to_json(&rows));
+    } else {
+        println!("{}", print_figure(&rows));
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 1 (demonstration datasets).
+//!
+//! `cargo run -p graft-bench --release --bin table1 [--scale N]`
+//! (default scale 1 = the paper's sizes).
+
+fn main() {
+    let scale = graft_bench::arg_u64("--scale", 1);
+    let seed = graft_bench::arg_u64("--seed", 42);
+    println!("{}", graft_bench::tables::table1(scale, seed));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 2 (performance datasets).
+//!
+//! `cargo run -p graft-bench --release --bin table2 [--scale N]`
+//! (default scale 1000; the paper's graphs reach 12B edges).
+
+fn main() {
+    let scale = graft_bench::arg_u64("--scale", 1000);
+    let seed = graft_bench::arg_u64("--seed", 42);
+    println!("{}", graft_bench::tables::table2(scale, seed));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3 (the DebugConfig configurations) from live
+//! `DebugConfig` values.
+//!
+//! `cargo run -p graft-bench --release --bin table3`
+
+fn main() {
+    println!("{}", graft_bench::tables::table3());
+}

@@ -1,0 +1,149 @@
+//! Regeneration of Tables 1, 2, and 3.
+
+use graft::DebugConfig;
+use graft_algorithms::random_walk::RandomWalk;
+use graft_datasets::{catalog, Dataset};
+
+use crate::overhead::Dc;
+use crate::render_table;
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.0}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// One generated-dataset row comparing paper numbers to ours.
+fn dataset_row(dataset: &Dataset, scale: u64, seed: u64) -> Vec<String> {
+    let directed = dataset.generate(scale, seed);
+    let undirected = dataset.generate_undirected(scale, seed);
+    vec![
+        dataset.name.to_string(),
+        human(dataset.paper_vertices),
+        format!("{} (d), {} (u)", human(dataset.paper_edges_directed),
+            dataset.paper_edges_undirected.map(human).unwrap_or_default()),
+        human(directed.num_vertices),
+        format!("{} (d), {} (u)", human(directed.num_edges()), human(undirected.num_edges())),
+        dataset.description.to_string(),
+    ]
+}
+
+/// Renders Table 1 (demo datasets) at the given scale divisor.
+pub fn table1(scale: u64, seed: u64) -> String {
+    let rows: Vec<Vec<String>> =
+        catalog::DEMO.iter().map(|d| dataset_row(d, scale, seed)).collect();
+    let mut out = format!(
+        "Table 1: Graph datasets for demonstration (generated at 1/{scale} scale)\n"
+    );
+    out.push_str(&render_table(
+        &["Name", "Paper V", "Paper E", "Ours V", "Ours E", "Description"],
+        &rows,
+    ));
+    out
+}
+
+/// Renders Table 2 (performance datasets) at the given scale divisor.
+pub fn table2(scale: u64, seed: u64) -> String {
+    let rows: Vec<Vec<String>> =
+        catalog::PERF.iter().map(|d| dataset_row(d, scale, seed)).collect();
+    let mut out = format!(
+        "Table 2: Graph datasets for performance experiments (generated at 1/{scale} scale)\n"
+    );
+    out.push_str(&render_table(
+        &["Name", "Paper V", "Paper E", "Ours V", "Ours E", "Description"],
+        &rows,
+    ));
+    out
+}
+
+/// Renders Table 3 (DebugConfig configurations) from live `DebugConfig`
+/// values — each row is built, then described by the config itself.
+pub fn table3() -> String {
+    let mut rows = Vec::new();
+    for dc in [Dc::Sp, Dc::SpNbr, Dc::Msg, Dc::Vv, Dc::Full] {
+        // Build a real config of that shape (on the RW types) and let it
+        // describe itself, proving the table matches the implementation.
+        let config = match dc {
+            Dc::Sp => DebugConfig::<RandomWalk>::builder()
+                .capture_ids([0, 1, 2, 3, 4])
+                .catch_exceptions(false)
+                .build(),
+            Dc::SpNbr => DebugConfig::<RandomWalk>::builder()
+                .capture_ids([0, 1, 2, 3, 4])
+                .capture_neighbors(true)
+                .catch_exceptions(false)
+                .build(),
+            Dc::Msg => DebugConfig::<RandomWalk>::builder()
+                .message_constraint(|m, _, _, _| *m >= 0)
+                .catch_exceptions(false)
+                .build(),
+            Dc::Vv => DebugConfig::<RandomWalk>::builder()
+                .vertex_value_constraint(|v, _, _| v.walkers >= 0)
+                .catch_exceptions(false)
+                .build(),
+            Dc::Full => DebugConfig::<RandomWalk>::builder()
+                .capture_ids((0..10).collect::<Vec<_>>())
+                .capture_neighbors(true)
+                .message_constraint(|m, _, _, _| *m >= 0)
+                .vertex_value_constraint(|v, _, _| v.walkers >= 0)
+                .build(),
+            Dc::NoDebug => unreachable!("not part of Table 3"),
+        };
+        rows.push(vec![
+            dc.label().to_string(),
+            dc.description().to_string(),
+            config.describe().join("; "),
+        ]);
+    }
+    let mut out = String::from("Table 3: DebugConfig configurations\n");
+    out.push_str(&render_table(&["Name", "Paper description", "Live config self-description"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_all_demo_rows() {
+        let text = table1(1000, 1);
+        for d in catalog::DEMO {
+            assert!(text.contains(d.name), "{} missing", d.name);
+        }
+        assert!(text.contains("685K"));
+        assert!(text.contains("7.6M (d), 12.3M (u)"));
+    }
+
+    #[test]
+    fn table2_contains_all_perf_rows() {
+        let text = table2(10_000, 1);
+        for d in catalog::PERF {
+            assert!(text.contains(d.name), "{} missing", d.name);
+        }
+        assert!(text.contains("1.9B"));
+    }
+
+    #[test]
+    fn table3_lists_all_configs() {
+        let text = table3();
+        for label in ["DC-sp", "DC-sp+nbr", "DC-msg", "DC-vv", "DC-full"] {
+            assert!(text.contains(label), "{label} missing");
+        }
+        assert!(text.contains("non-negative"));
+        assert!(text.contains("captures 5 specified vertices"));
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human(685_000), "685K");
+        assert_eq!(human(7_600_000), "7.6M");
+        assert_eq!(human(1_900_000_000), "1.9B");
+        assert_eq!(human(42), "42");
+    }
+}

@@ -1,0 +1,215 @@
+//! `graft-cli` — browse Graft trace directories from the terminal: the
+//! navigation half of the paper's browser GUI.
+//!
+//! Traces written to a `LocalFs` (directory on disk) can be inspected
+//! without recompiling the original program, as long as they use the
+//! default JSON-lines codec:
+//!
+//! ```text
+//! graft-cli <trace-dir> info
+//! graft-cli <trace-dir> supersteps
+//! graft-cli <trace-dir> show <superstep>
+//! graft-cli <trace-dir> vertex <id>
+//! graft-cli <trace-dir> violations
+//! graft-cli <trace-dir> master
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use graft::untyped::UntypedSession;
+use graft_dfs::LocalFs;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graft-cli <trace-dir> <command>\n\
+         commands:\n\
+         \x20 info                 job metadata and terminal status\n\
+         \x20 supersteps           captured supersteps with counts and M/V/E indicators\n\
+         \x20 show <superstep>     the tabular view of one superstep\n\
+         \x20 vertex <id>          one vertex's history across supersteps\n\
+         \x20 violations           the violations & exceptions view\n\
+         \x20 master               captured master contexts"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, command) = match (args.first(), args.get(1)) {
+        (Some(dir), Some(command)) => (dir.clone(), command.clone()),
+        _ => return usage(),
+    };
+
+    // The trace directory on disk becomes the root of a LocalFs.
+    let fs = match LocalFs::new(&dir) {
+        Ok(fs) => Arc::new(fs),
+        Err(e) => {
+            eprintln!("cannot open {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = match UntypedSession::open(fs, "/") {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("cannot load traces from {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "info" => info(&session),
+        "supersteps" => supersteps(&session),
+        "show" => match args.get(2).and_then(|s| s.parse().ok()) {
+            Some(superstep) => show(&session, superstep),
+            None => return usage(),
+        },
+        "vertex" => match args.get(2) {
+            Some(id) => vertex(&session, id),
+            None => return usage(),
+        },
+        "violations" => violations(&session),
+        "master" => master(&session),
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}
+
+fn info(session: &UntypedSession) {
+    let meta = session.meta();
+    println!("computation : {}", meta.computation);
+    if let Some(master) = &meta.master {
+        println!("master      : {master}");
+    }
+    println!(
+        "types       : Id={} VValue={} EValue={} Message={}",
+        meta.value_types.0, meta.value_types.1, meta.value_types.2, meta.value_types.3
+    );
+    println!("workers     : {}", meta.num_workers);
+    println!("codec       : {:?}", meta.codec);
+    println!("debug config:");
+    for line in &meta.config {
+        println!("  - {line}");
+    }
+    match session.result() {
+        Some(result) => {
+            println!(
+                "result      : {} supersteps, {} captures, {} violations, {} exceptions{}",
+                result.supersteps_executed,
+                result.captures,
+                result.violations,
+                result.exceptions,
+                if result.capture_limit_hit { " (capture limit hit)" } else { "" },
+            );
+            match &result.error {
+                Some(error) => println!("job FAILED  : {error}"),
+                None => println!("job status  : success"),
+            }
+        }
+        None => println!("result      : job still running or crashed before finalize"),
+    }
+}
+
+fn supersteps(session: &UntypedSession) {
+    println!("superstep  captures  M    V    E");
+    for superstep in session.supersteps() {
+        let ind = session.indicators(superstep);
+        let mark = |red: bool| if red { "RED " } else { "ok  " };
+        println!(
+            "{superstep:>9}  {:>8}  {}  {}  {}",
+            session.captured_at(superstep).len(),
+            mark(ind.message_violation),
+            mark(ind.value_violation),
+            mark(ind.exception),
+        );
+    }
+}
+
+fn show(session: &UntypedSession, superstep: u64) {
+    let traces = session.captured_at(superstep);
+    println!("superstep {superstep}: {} capture(s)", traces.len());
+    for trace in traces {
+        println!(
+            "  vertex {:<12} {} -> {}  in={} out={} {}  [{}]",
+            trace.vertex(),
+            trace.value_before(),
+            trace.value_after(),
+            trace.incoming_count(),
+            trace.outgoing_count(),
+            if trace.halted_after() { "halted" } else { "active" },
+            trace.reasons().join(","),
+        );
+        for (kind, detail, target) in trace.violations() {
+            match target {
+                Some(target) => println!("    violation {kind}: {detail} -> {target}"),
+                None => println!("    violation {kind}: {detail}"),
+            }
+        }
+        if let Some((message, _)) = trace.exception() {
+            println!("    exception: {message}");
+        }
+    }
+}
+
+fn vertex(session: &UntypedSession, id: &str) {
+    let history = session.history(id);
+    if history.is_empty() {
+        println!("vertex {id} was never captured");
+        return;
+    }
+    for trace in history {
+        println!(
+            "superstep {:>4}: {} -> {}  edges={} in={} out={} {}",
+            trace.superstep(),
+            trace.value_before(),
+            trace.value_after(),
+            trace.edges().len(),
+            trace.incoming_count(),
+            trace.outgoing_count(),
+            if trace.halted_after() { "halted" } else { "active" },
+        );
+    }
+}
+
+fn violations(session: &UntypedSession) {
+    let offenders = session.violations();
+    println!("{} offending capture(s)", offenders.len());
+    for trace in offenders {
+        for (kind, detail, target) in trace.violations() {
+            println!(
+                "superstep {:>4}  vertex {:<12} {kind}: {detail}{}",
+                trace.superstep(),
+                trace.vertex(),
+                target.map(|t| format!(" -> {t}")).unwrap_or_default(),
+            );
+        }
+        if let Some((message, backtrace)) = trace.exception() {
+            println!(
+                "superstep {:>4}  vertex {:<12} exception: {message}",
+                trace.superstep(),
+                trace.vertex(),
+            );
+            if let Some(backtrace) = backtrace {
+                for line in backtrace.lines().take(8) {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+}
+
+fn master(session: &UntypedSession) {
+    for trace in session.master_traces() {
+        let aggregators: Vec<String> = trace
+            .aggregators
+            .iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect();
+        println!(
+            "superstep {:>4}: {}{}",
+            trace.superstep,
+            aggregators.join(" "),
+            if trace.halted { "  [HALTED]" } else { "" },
+        );
+    }
+}

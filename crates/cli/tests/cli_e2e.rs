@@ -1,0 +1,119 @@
+//! End-to-end test of `graft-cli`: run an instrumented job with traces
+//! on a real directory, then drive the binary against it.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+use graft::{DebugConfig, GraftRunner};
+use graft_dfs::LocalFs;
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+
+struct Spiky;
+
+impl Computation for Spiky {
+    type Id = u64;
+    type VValue = i64;
+    type EValue = ();
+    type Message = i64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[i64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        let sum: i64 = messages.iter().sum();
+        vertex.set_value(vertex.value() + sum + 10);
+        if ctx.superstep() < 3 {
+            ctx.send_message_to_all_edges(vertex, *vertex.value());
+        } else {
+            vertex.vote_to_halt();
+        }
+    }
+}
+
+fn cli_binary() -> PathBuf {
+    // cargo puts integration-test binaries in target/<profile>/deps; the
+    // cli binary itself lands one level up.
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop();
+    path.pop();
+    path.push("graft-cli");
+    path
+}
+
+fn run_cli(dir: &std::path::Path, args: &[&str]) -> (String, bool) {
+    let output = Command::new(cli_binary())
+        .arg(dir)
+        .args(args)
+        .output()
+        .expect("graft-cli binary exists (build with --workspace)");
+    (
+        String::from_utf8_lossy(&output.stdout).to_string()
+            + &String::from_utf8_lossy(&output.stderr),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn cli_browses_a_real_trace_directory() {
+    let dir = std::env::temp_dir().join(format!("graft-cli-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = Arc::new(LocalFs::new(&dir).unwrap());
+
+    // Produce traces: ring of 6 vertices, capture 2 ids + a constraint.
+    let config = DebugConfig::<Spiky>::builder()
+        .capture_ids([1, 4])
+        .message_constraint(|m, _, _, _| *m < 60)
+        .catch_exceptions(false)
+        .build();
+    let run = GraftRunner::new(Spiky, config)
+        .with_fs(fs)
+        .num_workers(2)
+        .run(graft::testing::premade::cycle(6, 0i64), "/")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    assert!(run.captures > 0);
+
+    let (info, ok) = run_cli(&dir, &["info"]);
+    assert!(ok, "info failed: {info}");
+    assert!(info.contains("computation : Spiky"), "{info}");
+    assert!(info.contains("job status  : success"), "{info}");
+
+    let (supersteps, ok) = run_cli(&dir, &["supersteps"]);
+    assert!(ok);
+    assert!(supersteps.contains("superstep  captures"));
+    assert!(supersteps.lines().count() >= 4, "{supersteps}");
+
+    let (show, ok) = run_cli(&dir, &["show", "0"]);
+    assert!(ok);
+    assert!(show.contains("vertex 1"), "{show}");
+    assert!(show.contains("SpecifiedId"), "{show}");
+
+    let (history, ok) = run_cli(&dir, &["vertex", "4"]);
+    assert!(ok);
+    assert!(history.contains("superstep    0"), "{history}");
+
+    let (violations, ok) = run_cli(&dir, &["violations"]);
+    assert!(ok);
+    assert!(violations.contains("offending capture"), "{violations}");
+
+    // Unknown command prints usage and fails.
+    let (usage, ok) = run_cli(&dir, &["bogus"]);
+    assert!(!ok);
+    assert!(usage.contains("usage:"), "{usage}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_reports_missing_traces_cleanly() {
+    let dir = std::env::temp_dir().join(format!("graft-cli-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (out, ok) = run_cli(&dir, &["info"]);
+    assert!(!ok);
+    assert!(out.contains("cannot load traces"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

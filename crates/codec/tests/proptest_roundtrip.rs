@@ -1,0 +1,136 @@
+//! Property tests: every value GraftBin can encode decodes back to itself.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum Tree {
+    Leaf,
+    Value(i64),
+    Node(Box<Tree>, Box<Tree>),
+    Tagged { name: String, child: Box<Tree> },
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![Just(Tree::Leaf), any::<i64>().prop_map(Tree::Value)];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+            (".{0,12}", inner)
+                .prop_map(|(name, child)| Tree::Tagged { name, child: Box::new(child) }),
+        ]
+    })
+}
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct Mixed {
+    u: u64,
+    i: i64,
+    small: (u8, i8, u16, i16, u32, i32),
+    f: f64,
+    g: f32,
+    b: bool,
+    s: String,
+    opt: Option<String>,
+    bytes: Vec<u8>,
+    seq: Vec<i32>,
+    map: std::collections::BTreeMap<u32, String>,
+    tree: Tree,
+}
+
+fn mixed_strategy() -> impl Strategy<Value = Mixed> {
+    (
+        any::<u64>(),
+        any::<i64>(),
+        any::<(u8, i8, u16, i16, u32, i32)>(),
+        any::<f64>(),
+        any::<f32>(),
+        any::<bool>(),
+        ".{0,24}",
+        proptest::option::of(".{0,8}"),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        proptest::collection::vec(any::<i32>(), 0..32),
+        proptest::collection::btree_map(any::<u32>(), ".{0,6}", 0..8),
+        tree_strategy(),
+    )
+        .prop_map(|(u, i, small, f, g, b, s, opt, bytes, seq, map, tree)| Mixed {
+            u,
+            i,
+            small,
+            f,
+            g,
+            b,
+            s,
+            opt,
+            bytes,
+            seq,
+            map,
+            tree,
+        })
+}
+
+/// Compares while treating NaN as equal to itself (bit-level for floats).
+fn mixed_eq(a: &Mixed, b: &Mixed) -> bool {
+    a.u == b.u
+        && a.i == b.i
+        && a.small == b.small
+        && a.f.to_bits() == b.f.to_bits()
+        && a.g.to_bits() == b.g.to_bits()
+        && a.b == b.b
+        && a.s == b.s
+        && a.opt == b.opt
+        && a.bytes == b.bytes
+        && a.seq == b.seq
+        && a.map == b.map
+        && a.tree == b.tree
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_mixed(v in mixed_strategy()) {
+        let bytes = graft_codec::to_vec(&v).unwrap();
+        let back: Mixed = graft_codec::from_slice(&bytes).unwrap();
+        prop_assert!(mixed_eq(&v, &back));
+    }
+
+    #[test]
+    fn roundtrip_framed(values in proptest::collection::vec(mixed_strategy(), 0..8)) {
+        let mut buf = Vec::new();
+        for v in &values {
+            buf.extend_from_slice(&graft_codec::to_framed_vec(v).unwrap());
+        }
+        let decoded: Result<Vec<Mixed>, _> =
+            graft_codec::FramedIter::new(&buf).collect();
+        let decoded = decoded.unwrap();
+        prop_assert_eq!(decoded.len(), values.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            prop_assert!(mixed_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        graft_codec::varint::write_u64(&mut buf, v);
+        let (back, n) = graft_codec::varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(n, buf.len());
+        prop_assert_eq!(n, graft_codec::varint::encoded_len_u64(v));
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v in any::<i64>()) {
+        let enc = graft_codec::varint::zigzag_encode(v);
+        prop_assert_eq!(graft_codec::varint::zigzag_decode(enc), v);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any byte soup must produce Ok or Err, never a panic.
+        let _ = graft_codec::from_slice::<Mixed>(&bytes);
+        let _ = graft_codec::from_slice::<Tree>(&bytes);
+        let _ = graft_codec::from_slice::<String>(&bytes);
+        let _ = graft_codec::from_framed_slice::<Mixed>(&bytes);
+    }
+}

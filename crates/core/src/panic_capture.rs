@@ -1,0 +1,108 @@
+//! Captures panic location and backtrace at throw time.
+//!
+//! `catch_unwind` only yields the payload; the stack has already
+//! unwound by the time the catcher runs. To populate the "error message
+//! and stack trace" column of the Violations & Exceptions view (paper
+//! Figure 5), Graft installs a process-wide panic hook that records the
+//! panic's location and backtrace into a thread-local slot *at throw
+//! time* — but only while the current thread is inside an instrumented
+//! `compute()` call; panics elsewhere go to the previous hook untouched.
+
+use std::backtrace::Backtrace;
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static LAST_PANIC: RefCell<Option<PanicSite>> = const { RefCell::new(None) };
+}
+
+static INSTALL: Once = Once::new();
+
+/// Where and how a captured panic happened.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// `file:line:column` of the panic site, when known.
+    pub location: Option<String>,
+    /// Backtrace captured at throw time.
+    pub backtrace: String,
+}
+
+fn install_hook() {
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CAPTURING.with(|c| c.get()) {
+                let site = PanicSite {
+                    location: info.location().map(|l| l.to_string()),
+                    backtrace: Backtrace::force_capture().to_string(),
+                };
+                LAST_PANIC.with(|slot| *slot.borrow_mut() = Some(site));
+                // Swallow the printout: the panic is being captured as a
+                // Graft "exception", not crashing the process.
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, catching panics and reporting the throw-time site.
+///
+/// Nested calls are supported: the innermost guard wins.
+pub fn guarded<R>(f: impl FnOnce() -> R) -> Result<R, (String, Option<PanicSite>)> {
+    install_hook();
+    let was_capturing = CAPTURING.with(|c| c.replace(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(was_capturing));
+    match result {
+        Ok(value) => Ok(value),
+        Err(payload) => {
+            let site = LAST_PANIC.with(|slot| slot.borrow_mut().take());
+            let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            };
+            Err((message, site))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_message_and_location() {
+        let err = guarded(|| panic!("overflow at vertex {}", 672)).unwrap_err();
+        assert_eq!(err.0, "overflow at vertex 672");
+        let site = err.1.expect("hook captured the site");
+        assert!(site.location.unwrap().contains("panic_capture.rs"));
+        assert!(!site.backtrace.is_empty());
+    }
+
+    #[test]
+    fn passes_values_through_on_success() {
+        assert_eq!(guarded(|| 21 * 2).unwrap(), 42);
+    }
+
+    #[test]
+    fn nested_guards() {
+        let outer = guarded(|| {
+            let inner = guarded(|| panic!("inner"));
+            assert!(inner.is_err());
+            "outer ok"
+        });
+        assert_eq!(outer.unwrap(), "outer ok");
+    }
+
+    #[test]
+    fn non_string_payload_is_tolerated() {
+        let err = guarded(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(err.0, "<non-string panic payload>");
+    }
+}

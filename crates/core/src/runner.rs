@@ -1,0 +1,283 @@
+//! `GraftRunner`: submit a computation + `DebugConfig`, get back the job
+//! outcome plus a trace directory ready for the debug session.
+
+use std::sync::Arc;
+
+use graft_dfs::{FileSystem, FsError, InMemoryFs};
+use graft_pregel::hash::FxHashSet;
+use graft_pregel::{
+    Computation, Engine, EngineError, Graph, JobOutcome, MasterComputation, MasterContext,
+};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+use crate::config::DebugConfig;
+use crate::instrument::{CaptureSets, GraftObserver, Instrumented};
+use crate::session::{DebugSession, SessionError};
+use crate::sink::TraceSink;
+use crate::trace::{meta_path, JobMeta};
+
+/// Errors from setting up a Graft run (engine errors are reported inside
+/// [`GraftRun::outcome`] instead, because a failed job still has traces
+/// worth inspecting).
+#[derive(Debug)]
+pub enum GraftError {
+    /// The trace file system failed.
+    Fs(FsError),
+    /// Metadata could not be serialized.
+    Meta(String),
+}
+
+impl std::fmt::Display for GraftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraftError::Fs(e) => write!(f, "trace file system error: {e}"),
+            GraftError::Meta(e) => write!(f, "metadata error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraftError {}
+
+impl From<FsError> for GraftError {
+    fn from(e: FsError) -> Self {
+        GraftError::Fs(e)
+    }
+}
+
+/// Adapter lifting a user's `MasterComputation<C>` to run alongside
+/// `Instrumented<C>` (the marker type parameter is all that differs).
+struct MasterAdapter<C, M> {
+    inner: M,
+    _marker: std::marker::PhantomData<fn() -> C>,
+}
+
+impl<C, M> MasterComputation<Instrumented<C>> for MasterAdapter<C, M>
+where
+    C: Computation,
+    M: MasterComputation<C>,
+{
+    fn compute(&self, master: &mut MasterContext<'_>) {
+        self.inner.compute(master);
+    }
+
+    fn register_aggregators(&self, registry: &mut graft_pregel::AggregatorRegistry) {
+        self.inner.register_aggregators(registry);
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+/// The entry point for debugging a computation with Graft.
+///
+/// ```ignore
+/// let run = GraftRunner::new(GraphColoring::new(), config)
+///     .num_workers(4)
+///     .run(graph, "/traces/gc-debug")?;
+/// let session = run.session()?;
+/// ```
+pub struct GraftRunner<C: Computation> {
+    computation: Arc<C>,
+    config: DebugConfig<C>,
+    master: Option<Arc<dyn MasterComputation<Instrumented<C>>>>,
+    master_name: Option<String>,
+    fs: Arc<dyn FileSystem>,
+    num_workers: usize,
+    max_supersteps: u64,
+}
+
+impl<C: Computation> GraftRunner<C> {
+    /// Creates a runner over an in-memory trace file system.
+    pub fn new(computation: C, config: DebugConfig<C>) -> Self {
+        Self {
+            computation: Arc::new(computation),
+            config,
+            master: None,
+            master_name: None,
+            fs: Arc::new(InMemoryFs::new()),
+            num_workers: graft_pregel::EngineConfig::default().num_workers,
+            max_supersteps: graft_pregel::EngineConfig::default().max_supersteps,
+        }
+    }
+
+    /// Stores traces on the given file system (e.g. the `ClusterFs` HDFS
+    /// simulation, or `LocalFs` for durable traces).
+    pub fn with_fs(mut self, fs: Arc<dyn FileSystem>) -> Self {
+        self.fs = fs;
+        self
+    }
+
+    /// Attaches the user's master computation.
+    pub fn with_master<M: MasterComputation<C>>(mut self, master: M) -> Self {
+        self.master_name = Some(master.name());
+        self.master = Some(Arc::new(MasterAdapter { inner: master, _marker: std::marker::PhantomData }));
+        self
+    }
+
+    /// Sets the engine worker count.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        self.num_workers = n.max(1);
+        self
+    }
+
+    /// Sets the engine superstep limit.
+    pub fn max_supersteps(mut self, n: u64) -> Self {
+        self.max_supersteps = n;
+        self
+    }
+
+    /// The trace file system.
+    pub fn fs(&self) -> &Arc<dyn FileSystem> {
+        &self.fs
+    }
+
+    /// Resolves the pre-selected capture sets for `graph`: the listed
+    /// ids, a deterministic random sample, and (optionally) the
+    /// out-neighbors of both.
+    pub fn resolve_capture_sets(
+        &self,
+        graph: &Graph<C::Id, C::VValue, C::EValue>,
+    ) -> CaptureSets<C::Id> {
+        let specified: FxHashSet<C::Id> = self
+            .config
+            .capture_ids
+            .iter()
+            .copied()
+            .filter(|id| graph.contains(*id))
+            .collect();
+
+        let mut random: FxHashSet<C::Id> = FxHashSet::default();
+        if self.config.num_random > 0 && graph.num_vertices() > 0 {
+            let n = self.config.num_random.min(graph.num_vertices());
+            let mut rng = StdRng::seed_from_u64(self.config.random_seed);
+            for idx in sample(&mut rng, graph.num_vertices(), n) {
+                let id = graph.vertex_ids()[idx];
+                if !specified.contains(&id) {
+                    random.insert(id);
+                }
+            }
+        }
+
+        let mut neighbors: FxHashSet<C::Id> = FxHashSet::default();
+        if self.config.capture_neighbors {
+            for id in specified.iter().chain(random.iter()) {
+                if let Some(edges) = graph.out_edges(*id) {
+                    for edge in edges {
+                        if !specified.contains(&edge.target) && !random.contains(&edge.target) {
+                            neighbors.insert(edge.target);
+                        }
+                    }
+                }
+            }
+        }
+
+        CaptureSets { specified, random, neighbors }
+    }
+
+    /// Runs the instrumented job, writing traces under `trace_root`.
+    ///
+    /// Setup failures return `Err`; a failing *job* (vertex panic with
+    /// `ExceptionPolicy::Abort`) returns `Ok` with the engine error inside
+    /// [`GraftRun::outcome`] — its traces are still complete and
+    /// inspectable, which is the whole point of the tool.
+    pub fn run(
+        &self,
+        graph: Graph<C::Id, C::VValue, C::EValue>,
+        trace_root: &str,
+    ) -> Result<GraftRun<C>, GraftError> {
+        let sets = self.resolve_capture_sets(&graph);
+        let sink = Arc::new(TraceSink::new(
+            self.fs.clone(),
+            trace_root,
+            self.config.codec,
+            self.config.max_captures,
+            self.num_workers,
+        )?);
+
+        let meta = JobMeta {
+            computation: self.computation.name(),
+            computation_type: std::any::type_name::<C>().to_string(),
+            master: self.master_name.clone(),
+            value_types: (
+                std::any::type_name::<C::Id>().to_string(),
+                std::any::type_name::<C::VValue>().to_string(),
+                std::any::type_name::<C::EValue>().to_string(),
+                std::any::type_name::<C::Message>().to_string(),
+            ),
+            num_workers: self.num_workers,
+            codec: self.config.codec,
+            config: self.config.describe(),
+        };
+        let meta_bytes =
+            serde_json::to_vec_pretty(&meta).map_err(|e| GraftError::Meta(e.to_string()))?;
+        self.fs.write_all(&meta_path(trace_root), &meta_bytes)?;
+
+        let instrumented = Arc::new(Instrumented::new(
+            Arc::clone(&self.computation),
+            self.config.clone(),
+            sets,
+            Arc::clone(&sink),
+        ));
+
+        let mut engine = Engine::from_arc(Arc::clone(&instrumented))
+            .with_observer(Arc::new(GraftObserver::new(
+                Arc::clone(&sink),
+                self.config.capture_master && self.master.is_some(),
+            )))
+            .num_workers(self.num_workers)
+            .max_supersteps(self.max_supersteps);
+        if let Some(master) = &self.master {
+            engine = engine.with_master_arc(Arc::clone(master));
+        }
+
+        let outcome = engine.run(graph).map(|outcome| JobOutcome::<C> {
+            graph: outcome.graph,
+            stats: outcome.stats,
+            halt_reason: outcome.halt_reason,
+        });
+
+        Ok(GraftRun {
+            outcome,
+            captures: sink.captures(),
+            violations: sink.violations(),
+            exceptions: sink.exceptions(),
+            capture_limit_hit: sink.limit_hit(),
+            trace_root: trace_root.to_string(),
+            fs: self.fs.clone(),
+        })
+    }
+}
+
+/// The result of an instrumented run: the job outcome plus capture
+/// counters and a handle for opening the debug session.
+pub struct GraftRun<C: Computation> {
+    /// The engine outcome — `Err` when a vertex panicked under the
+    /// `Abort` exception policy (the traces survive either way).
+    pub outcome: Result<JobOutcome<C>, EngineError>,
+    /// Vertex contexts captured.
+    pub captures: u64,
+    /// Constraint violations recorded.
+    pub violations: u64,
+    /// Exceptions recorded.
+    pub exceptions: u64,
+    /// Whether the capture safety net tripped.
+    pub capture_limit_hit: bool,
+    /// Where the traces live.
+    pub trace_root: String,
+    fs: Arc<dyn FileSystem>,
+}
+
+impl<C: Computation> GraftRun<C> {
+    /// Opens the debug session over this run's traces.
+    pub fn session(&self) -> Result<DebugSession<C>, SessionError> {
+        DebugSession::open(self.fs.clone(), &self.trace_root)
+    }
+
+    /// The trace file system.
+    pub fn fs(&self) -> &Arc<dyn FileSystem> {
+        &self.fs
+    }
+}

@@ -1,0 +1,282 @@
+//! The trace sink: buffered, per-worker trace file writers with the
+//! global capture-count safety net.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use graft_dfs::{FileSystem, FileWrite};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::config::TraceCodec;
+use crate::trace::{
+    encode_record, master_trace_path, result_path, worker_trace_path, JobResultRecord,
+};
+
+struct Channel {
+    writer: Box<dyn FileWrite>,
+    /// Encode buffer reused across records.
+    scratch: Vec<u8>,
+}
+
+/// Thread-safe trace writer shared by the instrumenter (vertex captures,
+/// from worker threads) and the job observer (master captures, flushes).
+///
+/// Each engine worker writes to its own file through its own lock, so
+/// capture recording never contends across workers — the design point
+/// behind the paper's low overhead numbers.
+pub struct TraceSink {
+    codec: TraceCodec,
+    max_captures: u64,
+    captures: AtomicU64,
+    violations: AtomicU64,
+    exceptions: AtomicU64,
+    limit_hit: AtomicBool,
+    workers: Vec<Mutex<Channel>>,
+    master: Mutex<Channel>,
+    fs: Arc<dyn FileSystem>,
+    root: String,
+    /// First write error encountered, surfaced in `result.json`.
+    poisoned: Mutex<Option<String>>,
+}
+
+impl TraceSink {
+    /// Creates the sink and its trace files under `root`.
+    pub fn new(
+        fs: Arc<dyn FileSystem>,
+        root: &str,
+        codec: TraceCodec,
+        max_captures: u64,
+        num_workers: usize,
+    ) -> Result<Self, graft_dfs::FsError> {
+        fs.mkdirs(root)?;
+        let mut workers = Vec::with_capacity(num_workers);
+        for w in 0..num_workers {
+            let writer = fs.create(&worker_trace_path(root, w))?;
+            workers.push(Mutex::new(Channel { writer, scratch: Vec::new() }));
+        }
+        let master = Mutex::new(Channel {
+            writer: fs.create(&master_trace_path(root))?,
+            scratch: Vec::new(),
+        });
+        Ok(Self {
+            codec,
+            max_captures,
+            captures: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            exceptions: AtomicU64::new(0),
+            limit_hit: AtomicBool::new(false),
+            workers,
+            master,
+            fs,
+            root: root.to_string(),
+            poisoned: Mutex::new(None),
+        })
+    }
+
+    /// Records one captured vertex context from `worker`. Returns `false`
+    /// when the capture safety net has tripped and nothing was written.
+    pub fn record_vertex<T: Serialize>(&self, worker: usize, record: &T) -> bool {
+        // Reserve a capture slot first so the threshold is global across
+        // workers, as the paper describes.
+        let slot = self.captures.fetch_add(1, Ordering::Relaxed);
+        if slot >= self.max_captures {
+            self.captures.fetch_sub(1, Ordering::Relaxed);
+            self.limit_hit.store(true, Ordering::Relaxed);
+            return false;
+        }
+        let mut channel = self.workers[worker].lock();
+        let channel = &mut *channel;
+        channel.scratch.clear();
+        if let Err(e) = encode_record(self.codec, record, &mut channel.scratch) {
+            self.poison(e);
+            return false;
+        }
+        if let Err(e) = std::io::Write::write_all(&mut channel.writer, &channel.scratch) {
+            self.poison(e.to_string());
+            return false;
+        }
+        true
+    }
+
+    /// Records one captured master context.
+    pub fn record_master<T: Serialize>(&self, record: &T) {
+        let mut channel = self.master.lock();
+        let channel = &mut *channel;
+        channel.scratch.clear();
+        if let Err(e) = encode_record(self.codec, record, &mut channel.scratch) {
+            self.poison(e);
+            return;
+        }
+        if let Err(e) = std::io::Write::write_all(&mut channel.writer, &channel.scratch) {
+            self.poison(e.to_string());
+        }
+    }
+
+    /// Counts a constraint violation.
+    pub fn count_violation(&self) {
+        self.violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a captured exception.
+    pub fn count_exception(&self) {
+        self.exceptions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Makes everything written so far visible to readers (called at
+    /// superstep boundaries, like the paper's per-superstep HDFS flush).
+    pub fn flush(&self) {
+        for worker in &self.workers {
+            if let Err(e) = worker.lock().writer.sync() {
+                self.poison(e.to_string());
+            }
+        }
+        if let Err(e) = self.master.lock().writer.sync() {
+            self.poison(e.to_string());
+        }
+    }
+
+    /// Final flush plus `result.json`. Called exactly once at job end.
+    pub fn finalize(&self, supersteps_executed: u64, error: Option<String>) {
+        self.flush();
+        let error = error.or_else(|| self.poisoned.lock().clone());
+        let record = JobResultRecord {
+            supersteps_executed,
+            error,
+            captures: self.captures(),
+            violations: self.violations(),
+            exceptions: self.exceptions(),
+            capture_limit_hit: self.limit_hit(),
+        };
+        let rendered = serde_json::to_vec_pretty(&record).expect("result record serializes");
+        if let Err(e) = self.fs.write_all(&result_path(&self.root), &rendered) {
+            self.poison(e.to_string());
+        }
+    }
+
+    /// Vertex contexts captured so far.
+    pub fn captures(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Constraint violations recorded so far.
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Exceptions recorded so far.
+    pub fn exceptions(&self) -> u64 {
+        self.exceptions.load(Ordering::Relaxed)
+    }
+
+    /// Whether the capture safety net has tripped.
+    pub fn limit_hit(&self) -> bool {
+        self.limit_hit.load(Ordering::Relaxed)
+    }
+
+    fn poison(&self, error: String) {
+        let mut slot = self.poisoned.lock();
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::decode_records;
+    use graft_dfs::InMemoryFs;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Rec {
+        worker: usize,
+        seq: u64,
+    }
+
+    fn sink(max: u64) -> (Arc<InMemoryFs>, TraceSink) {
+        let fs = Arc::new(InMemoryFs::new());
+        let sink =
+            TraceSink::new(fs.clone(), "/traces/job", TraceCodec::JsonLines, max, 4).unwrap();
+        (fs, sink)
+    }
+
+    #[test]
+    fn per_worker_files_receive_their_records() {
+        let (fs, sink) = sink(1000);
+        for worker in 0..4 {
+            for seq in 0..10 {
+                assert!(sink.record_vertex(worker, &Rec { worker, seq }));
+            }
+        }
+        sink.flush();
+        for worker in 0..4 {
+            let bytes = fs.read_all(&worker_trace_path("/traces/job", worker)).unwrap();
+            let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &bytes).unwrap();
+            assert_eq!(records.len(), 10);
+            assert!(records.iter().all(|r| r.worker == worker));
+        }
+        assert_eq!(sink.captures(), 40);
+    }
+
+    #[test]
+    fn capture_limit_is_global_across_workers() {
+        let (_fs, sink) = sink(25);
+        let mut accepted = 0;
+        for seq in 0..20u64 {
+            for worker in 0..4 {
+                if sink.record_vertex(worker, &Rec { worker, seq }) {
+                    accepted += 1;
+                }
+            }
+        }
+        assert_eq!(accepted, 25);
+        assert_eq!(sink.captures(), 25);
+        assert!(sink.limit_hit());
+    }
+
+    #[test]
+    fn finalize_writes_result_json() {
+        let (fs, sink) = sink(1000);
+        sink.record_vertex(0, &Rec { worker: 0, seq: 0 });
+        sink.count_violation();
+        sink.count_violation();
+        sink.count_exception();
+        sink.finalize(7, Some("vertex 3 panicked".into()));
+        let bytes = fs.read_all(&result_path("/traces/job")).unwrap();
+        let record: JobResultRecord = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(record.supersteps_executed, 7);
+        assert_eq!(record.captures, 1);
+        assert_eq!(record.violations, 2);
+        assert_eq!(record.exceptions, 1);
+        assert_eq!(record.error.as_deref(), Some("vertex 3 panicked"));
+        assert!(!record.capture_limit_hit);
+    }
+
+    #[test]
+    fn concurrent_workers_do_not_interleave_within_a_file() {
+        let (fs, sink) = sink(100_000);
+        let sink = Arc::new(sink);
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let sink = Arc::clone(&sink);
+                scope.spawn(move || {
+                    for seq in 0..500u64 {
+                        sink.record_vertex(worker, &Rec { worker, seq });
+                    }
+                });
+            }
+        });
+        sink.flush();
+        for worker in 0..4 {
+            let bytes = fs.read_all(&worker_trace_path("/traces/job", worker)).unwrap();
+            let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &bytes).unwrap();
+            assert_eq!(records.len(), 500);
+            // Per-worker order is preserved.
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r.seq, i as u64);
+            }
+        }
+    }
+}

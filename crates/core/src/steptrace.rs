@@ -1,0 +1,174 @@
+//! Line-level replay events: the stand-in for stepping through the
+//! generated JUnit test in an IDE debugger.
+//!
+//! The Java Graft hands the user a JUnit file and relies on Eclipse or
+//! IntelliJ for the line-by-line walk. Without an IDE in the loop, this
+//! module gives the same visibility: algorithms sprinkle
+//! [`crate::trace_point!`] calls into `compute()` (they compile to a
+//! thread-local flag check — close to free when disabled), and
+//! [`with_recording`] re-runs a replayed context with recording enabled,
+//! returning exactly which trace points fired, in order, with the
+//! variable values at each.
+//!
+//! ```
+//! use graft::steptrace::{self, with_recording};
+//! use graft::trace_point;
+//!
+//! fn compute_like_body(walkers: i32) -> i32 {
+//!     trace_point!("entry", "walkers" => walkers);
+//!     if walkers > 10 {
+//!         trace_point!("many-walkers branch");
+//!         walkers * 2
+//!     } else {
+//!         walkers
+//!     }
+//! }
+//!
+//! let (result, steps) = with_recording(|| compute_like_body(50));
+//! assert_eq!(result, 100);
+//! assert_eq!(steps.events().len(), 2);
+//! assert_eq!(steps.events()[1].label, "many-walkers branch");
+//! ```
+
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    static RECORDING: Cell<bool> = const { Cell::new(false) };
+    static EVENTS: RefCell<Vec<StepEvent>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One fired trace point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepEvent {
+    /// The label given at the call site.
+    pub label: String,
+    /// Source file of the trace point.
+    pub file: &'static str,
+    /// Source line of the trace point.
+    pub line: u32,
+    /// `(name, Debug-rendered value)` pairs captured at the point.
+    pub values: Vec<(String, String)>,
+}
+
+/// The ordered list of trace points that fired during a recording.
+#[derive(Clone, Debug, Default)]
+pub struct StepTrace {
+    events: Vec<StepEvent>,
+}
+
+impl StepTrace {
+    /// The events, in firing order.
+    pub fn events(&self) -> &[StepEvent] {
+        &self.events
+    }
+
+    /// Labels only — handy for asserting which branches executed.
+    pub fn labels(&self) -> Vec<&str> {
+        self.events.iter().map(|e| e.label.as_str()).collect()
+    }
+
+    /// Renders a step-by-step listing.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (i, event) in self.events.iter().enumerate() {
+            out.push_str(&format!("{:>4}. {}:{} {}", i + 1, event.file, event.line, event.label));
+            for (name, value) in &event.values {
+                out.push_str(&format!("  {name}={value}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Whether a recording is active on this thread. Called by
+/// [`trace_point!`]; not part of the public contract.
+#[doc(hidden)]
+pub fn is_recording() -> bool {
+    RECORDING.with(|r| r.get())
+}
+
+/// Appends an event to the active recording. Called by [`trace_point!`].
+#[doc(hidden)]
+pub fn record(event: StepEvent) {
+    EVENTS.with(|events| events.borrow_mut().push(event));
+}
+
+/// Runs `f` with step recording enabled on this thread, returning its
+/// result and the trace points that fired.
+pub fn with_recording<R>(f: impl FnOnce() -> R) -> (R, StepTrace) {
+    let was = RECORDING.with(|r| r.replace(true));
+    let saved = EVENTS.with(|events| std::mem::take(&mut *events.borrow_mut()));
+    let result = f();
+    let events = EVENTS.with(|events| std::mem::replace(&mut *events.borrow_mut(), saved));
+    RECORDING.with(|r| r.set(was));
+    (result, StepTrace { events })
+}
+
+/// Records a line-level event when step recording is active.
+///
+/// ```ignore
+/// trace_point!("enter conflict resolution");
+/// trace_point!("chose color", "color" => color, "degree" => degree);
+/// ```
+#[macro_export]
+macro_rules! trace_point {
+    ($label:expr $(, $name:expr => $value:expr)* $(,)?) => {
+        if $crate::steptrace::is_recording() {
+            $crate::steptrace::record($crate::steptrace::StepEvent {
+                label: ::std::string::String::from($label),
+                file: file!(),
+                line: line!(),
+                values: vec![
+                    $((::std::string::String::from($name), format!("{:?}", $value)),)*
+                ],
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        trace_point!("should not record");
+        let (_, steps) = with_recording(|| ());
+        assert!(steps.events().is_empty());
+    }
+
+    #[test]
+    fn records_labels_values_and_order() {
+        let ((), steps) = with_recording(|| {
+            trace_point!("first", "x" => 1);
+            trace_point!("second", "y" => "text", "z" => vec![1, 2]);
+        });
+        assert_eq!(steps.labels(), vec!["first", "second"]);
+        assert_eq!(steps.events()[0].values, vec![("x".to_string(), "1".to_string())]);
+        assert_eq!(
+            steps.events()[1].values,
+            vec![
+                ("y".to_string(), "\"text\"".to_string()),
+                ("z".to_string(), "[1, 2]".to_string())
+            ]
+        );
+        assert!(steps.events()[0].file.ends_with("steptrace.rs"));
+        let text = steps.to_text();
+        assert!(text.contains("first"));
+        assert!(text.contains("z=[1, 2]"));
+    }
+
+    #[test]
+    fn nested_recordings_are_isolated() {
+        let ((), outer) = with_recording(|| {
+            trace_point!("outer-1");
+            let ((), inner) = with_recording(|| {
+                trace_point!("inner");
+            });
+            assert_eq!(inner.labels(), vec!["inner"]);
+            trace_point!("outer-2");
+        });
+        assert_eq!(outer.labels(), vec!["outer-1", "outer-2"]);
+    }
+}

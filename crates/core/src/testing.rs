@@ -1,0 +1,357 @@
+//! Small-graph construction and end-to-end test support — the offline
+//! mode of the Graft GUI (paper Section 3.4).
+//!
+//! Users can build a small graph fluently (the GUI's draw-a-graph mode),
+//! pick from a menu of premade graphs, export the adjacency-list text
+//! file for an end-to-end test, or generate an end-to-end test code
+//! template that constructs the graph programmatically.
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+
+use graft_pregel::io::write_adjacency;
+use graft_pregel::{Computation, Engine, Graph, JobOutcome, Value, VertexId};
+
+use crate::codegen::{debug_literal, Template};
+
+/// Fluent small-graph builder for tests; panics on malformed input
+/// (duplicate vertices, dangling edges) because test graphs should fail
+/// loudly at construction.
+pub struct SmallGraph<I: VertexId, V: Value, E: Value> {
+    builder_vertices: Vec<(I, V)>,
+    builder_edges: Vec<(I, I, E, bool)>,
+}
+
+impl<I: VertexId, V: Value, E: Value> Default for SmallGraph<I, V, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: VertexId, V: Value, E: Value> SmallGraph<I, V, E> {
+    /// Starts an empty graph.
+    pub fn new() -> Self {
+        Self { builder_vertices: Vec::new(), builder_edges: Vec::new() }
+    }
+
+    /// Adds a vertex.
+    pub fn vertex(mut self, id: I, value: V) -> Self {
+        self.builder_vertices.push((id, value));
+        self
+    }
+
+    /// Adds several vertices with the same initial value.
+    pub fn vertices(mut self, ids: impl IntoIterator<Item = I>, value: V) -> Self {
+        for id in ids {
+            self.builder_vertices.push((id, value.clone()));
+        }
+        self
+    }
+
+    /// Adds a directed edge.
+    pub fn edge(mut self, from: I, to: I, value: E) -> Self {
+        self.builder_edges.push((from, to, value, false));
+        self
+    }
+
+    /// Adds an undirected edge (symmetric directed pair).
+    pub fn undirected(mut self, a: I, b: I, value: E) -> Self {
+        self.builder_edges.push((a, b, value, true));
+        self
+    }
+
+    /// Builds the graph.
+    ///
+    /// # Panics
+    /// Panics on duplicate vertices or edges from unknown vertices.
+    pub fn build(self) -> Graph<I, V, E> {
+        let mut builder = Graph::builder();
+        for (id, value) in self.builder_vertices {
+            builder.add_vertex(id, value).unwrap_or_else(|e| panic!("bad test graph: {e}"));
+        }
+        for (from, to, value, undirected) in self.builder_edges {
+            if undirected {
+                builder
+                    .add_undirected_edge(from, to, value)
+                    .unwrap_or_else(|e| panic!("bad test graph: {e}"));
+            } else {
+                builder.add_edge(from, to, value).unwrap_or_else(|e| panic!("bad test graph: {e}"));
+            }
+        }
+        builder.build().unwrap_or_else(|e| panic!("bad test graph: {e}"))
+    }
+}
+
+/// The premade-graphs menu from the GUI's offline mode.
+pub mod premade {
+    use graft_pregel::{Graph, Value};
+
+    fn vertices<V: Value>(n: u64, value: V) -> graft_pregel::GraphBuilder<u64, V, ()> {
+        let mut builder = Graph::builder();
+        for v in 0..n {
+            builder.add_vertex(v, value.clone()).expect("fresh ids are unique");
+        }
+        builder
+    }
+
+    /// A cycle 0–1–…–(n−1)–0 (undirected).
+    pub fn cycle<V: Value>(n: u64, value: V) -> Graph<u64, V, ()> {
+        let mut builder = vertices(n, value);
+        for v in 0..n {
+            builder.add_undirected_edge(v, (v + 1) % n, ()).expect("vertices exist");
+        }
+        builder.build().expect("cycle is well-formed")
+    }
+
+    /// A path 0–1–…–(n−1) (undirected).
+    pub fn path<V: Value>(n: u64, value: V) -> Graph<u64, V, ()> {
+        let mut builder = vertices(n, value);
+        for v in 0..n.saturating_sub(1) {
+            builder.add_undirected_edge(v, v + 1, ()).expect("vertices exist");
+        }
+        builder.build().expect("path is well-formed")
+    }
+
+    /// A star: vertex 0 connected to 1..n (undirected).
+    pub fn star<V: Value>(n: u64, value: V) -> Graph<u64, V, ()> {
+        let mut builder = vertices(n, value);
+        for v in 1..n {
+            builder.add_undirected_edge(0, v, ()).expect("vertices exist");
+        }
+        builder.build().expect("star is well-formed")
+    }
+
+    /// A complete graph on n vertices (undirected).
+    pub fn clique<V: Value>(n: u64, value: V) -> Graph<u64, V, ()> {
+        let mut builder = vertices(n, value);
+        for a in 0..n {
+            for b in a + 1..n {
+                builder.add_undirected_edge(a, b, ()).expect("vertices exist");
+            }
+        }
+        builder.build().expect("clique is well-formed")
+    }
+
+    /// A w×h grid (undirected), vertex id = row * w + column.
+    pub fn grid<V: Value>(w: u64, h: u64, value: V) -> Graph<u64, V, ()> {
+        let mut builder = vertices(w * h, value);
+        for row in 0..h {
+            for col in 0..w {
+                let v = row * w + col;
+                if col + 1 < w {
+                    builder.add_undirected_edge(v, v + 1, ()).expect("vertices exist");
+                }
+                if row + 1 < h {
+                    builder.add_undirected_edge(v, v + w, ()).expect("vertices exist");
+                }
+            }
+        }
+        builder.build().expect("grid is well-formed")
+    }
+
+    /// A complete bipartite graph K(a, b): parts {0..a} and {a..a+b}.
+    pub fn complete_bipartite<V: Value>(a: u64, b: u64, value: V) -> Graph<u64, V, ()> {
+        let mut builder = vertices(a + b, value);
+        for left in 0..a {
+            for right in a..a + b {
+                builder.add_undirected_edge(left, right, ()).expect("vertices exist");
+            }
+        }
+        builder.build().expect("bipartite graph is well-formed")
+    }
+
+    /// A perfect binary tree of the given depth (undirected edges),
+    /// root = 0, children of v are 2v+1 and 2v+2.
+    pub fn binary_tree<V: Value>(depth: u32, value: V) -> Graph<u64, V, ()> {
+        let n = (1u64 << (depth + 1)) - 1;
+        let mut builder = vertices(n, value);
+        for v in 0..n {
+            for child in [2 * v + 1, 2 * v + 2] {
+                if child < n {
+                    builder.add_undirected_edge(v, child, ()).expect("vertices exist");
+                }
+            }
+        }
+        builder.build().expect("tree is well-formed")
+    }
+}
+
+/// Runs a computation on a small graph from the first superstep until
+/// termination and returns the outcome — the "end-to-end test" runner.
+pub fn run_end_to_end<C: Computation>(
+    computation: C,
+    graph: Graph<C::Id, C::VValue, C::EValue>,
+) -> JobOutcome<C> {
+    Engine::new(computation)
+        .num_workers(2)
+        .max_supersteps(10_000)
+        .run(graph)
+        .expect("end-to-end test job must not fail")
+}
+
+/// Asserts that the final vertex values equal `expected`, comparing as
+/// sorted `(id, value)` pairs and printing a readable diff on mismatch.
+pub fn assert_final_values<I: VertexId, V: Value>(
+    graph: &Graph<I, V, impl Value>,
+    expected: impl IntoIterator<Item = (I, V)>,
+) {
+    let actual: BTreeMap<I, V> = graph.sorted_values().into_iter().collect();
+    let expected: BTreeMap<I, V> = expected.into_iter().collect();
+    let mut diffs = Vec::new();
+    for (id, want) in &expected {
+        match actual.get(id) {
+            Some(got) if got == want => {}
+            Some(got) => diffs.push(format!("vertex {id}: expected {want:?}, got {got:?}")),
+            None => diffs.push(format!("vertex {id}: expected {want:?}, missing")),
+        }
+    }
+    for id in actual.keys() {
+        if !expected.contains_key(id) {
+            diffs.push(format!("vertex {id}: unexpected"));
+        }
+    }
+    assert!(diffs.is_empty(), "final values differ:\n  {}", diffs.join("\n  "));
+}
+
+/// Exports the graph as adjacency-list text — "obtain a text file that
+/// contains the adjacency list representation of the graph and use it in
+/// an end-to-end test".
+pub fn to_adjacency_text<I, V, E>(graph: &Graph<I, V, E>) -> String
+where
+    I: VertexId,
+    V: Value + Display,
+    E: Value + Display,
+{
+    write_adjacency(graph)
+}
+
+/// Generates an end-to-end test code template that constructs `graph`
+/// programmatically, runs the computation, and asserts on the final
+/// values — the GUI offline mode's "end-to-end test code template".
+pub fn generate_end_to_end_test<I, V, E>(
+    test_name: &str,
+    computation_name: &str,
+    graph: &Graph<I, V, E>,
+) -> String
+where
+    I: VertexId,
+    V: Value,
+    E: Value,
+{
+    let mut construction = String::new();
+    for (id, value, _) in graph.iter() {
+        construction.push_str(&format!(
+            "    builder.add_vertex({}, {}).unwrap();\n",
+            debug_literal(&id),
+            debug_literal(value)
+        ));
+    }
+    for (id, _, edges) in graph.iter() {
+        for edge in edges {
+            construction.push_str(&format!(
+                "    builder.add_edge({}, {}, {}).unwrap();\n",
+                debug_literal(&id),
+                debug_literal(&edge.target),
+                debug_literal(&edge.value)
+            ));
+        }
+    }
+    let mut vars: BTreeMap<&str, String> = BTreeMap::new();
+    vars.insert("test_name", test_name.to_string());
+    vars.insert("computation", computation_name.to_string());
+    vars.insert("construction", construction);
+    END_TO_END_TEMPLATE.render(&vars).expect("end-to-end template variables are bound")
+}
+
+static END_TO_END_TEMPLATE: Template = Template::new(
+    r#"// Generated by Graft's offline mode: an end-to-end test skeleton.
+// Construct the computation, run from the first superstep until
+// termination, and assert on the final output.
+
+#[test]
+fn ${test_name}() {
+    use graft_pregel::{Engine, Graph};
+
+    let mut builder = Graph::builder();
+${construction}
+    let graph = builder.build().unwrap();
+
+    let computation = ${computation}::new(/* your args */);
+    let outcome = Engine::new(computation).run(graph).unwrap();
+
+    for (vertex, value) in outcome.graph.sorted_values() {
+        // TODO: assert the expected final value of each vertex.
+        println!("{vertex} -> {value:?}");
+    }
+}
+"#,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn premade_graph_shapes() {
+        assert_eq!(premade::cycle(5, 0u32).num_edges(), 10);
+        assert_eq!(premade::path(5, 0u32).num_edges(), 8);
+        assert_eq!(premade::star(5, 0u32).num_edges(), 8);
+        assert_eq!(premade::clique(4, 0u32).num_edges(), 12);
+        assert_eq!(premade::grid(3, 2, 0u32).stats().num_edges, 14);
+        assert_eq!(premade::complete_bipartite(2, 3, 0u32).num_edges(), 12);
+        let tree = premade::binary_tree(3, 0u32);
+        assert_eq!(tree.num_vertices(), 15);
+        assert_eq!(tree.num_edges(), 28);
+        for graph in [premade::cycle(5, 0u32), premade::grid(3, 3, 0u32)] {
+            assert!(graph.asymmetric_edges().is_empty());
+        }
+    }
+
+    #[test]
+    fn small_graph_builder() {
+        let graph: Graph<u64, i32, f32> = SmallGraph::new()
+            .vertices([1, 2, 3], 0)
+            .undirected(1, 2, 0.5)
+            .edge(2, 3, 1.5)
+            .build();
+        assert_eq!(graph.num_vertices(), 3);
+        assert_eq!(graph.num_edges(), 3);
+        assert_eq!(graph.out_edges(1).unwrap()[0].value, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad test graph")]
+    fn small_graph_panics_on_duplicates() {
+        let _ = SmallGraph::<u64, i32, ()>::new().vertex(1, 0).vertex(1, 0).build();
+    }
+
+    #[test]
+    fn adjacency_text_export() {
+        let graph: Graph<u64, i32, f32> =
+            SmallGraph::new().vertices([1, 2], 7).edge(1, 2, 2.5).build();
+        assert_eq!(to_adjacency_text(&graph), "1 7 2:2.5\n2 7\n");
+    }
+
+    #[test]
+    fn end_to_end_template_contains_graph() {
+        let graph: Graph<u64, i32, ()> =
+            SmallGraph::new().vertices([1, 2], 0).undirected(1, 2, ()).build();
+        let source = generate_end_to_end_test("check_coloring", "GraphColoring", &graph);
+        assert!(source.contains("fn check_coloring()"));
+        assert!(source.contains("builder.add_vertex(1, 0).unwrap();"));
+        assert!(source.contains("builder.add_edge(1, 2, ()).unwrap();"));
+        assert!(source.contains("GraphColoring::new"));
+    }
+
+    #[test]
+    fn assert_final_values_reports_diffs() {
+        let graph: Graph<u64, i32, ()> = SmallGraph::new().vertex(1, 5).build();
+        assert_final_values(&graph, [(1u64, 5)]);
+        let err = std::panic::catch_unwind(|| {
+            assert_final_values(&graph, [(1u64, 6)]);
+        })
+        .unwrap_err();
+        let message = err.downcast_ref::<String>().unwrap();
+        assert!(message.contains("expected 6, got 5"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Trace record types and their on-disk encoding.
+//!
+//! A Graft run writes, under its trace root:
+//!
+//! ```text
+//! <root>/meta.json        job metadata (computation name, types, config)
+//! <root>/worker_<w>.trace captured vertex contexts from worker w
+//! <root>/master.trace     captured master contexts (one per superstep)
+//! <root>/result.json      terminal job status and summary counters
+//! ```
+//!
+//! Worker and master trace files hold a stream of records encoded per the
+//! configured [`TraceCodec`]: JSON lines (default, human-inspectable) or
+//! length-prefixed GraftBin frames.
+
+use graft_pregel::{AggValue, GlobalData};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CaptureReason, TraceCodec};
+
+/// A captured exception (panic) from `compute()`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExceptionInfo {
+    /// The panic payload rendered as text.
+    pub message: String,
+    /// A captured backtrace, when available.
+    pub backtrace: Option<String>,
+}
+
+/// What kind of constraint a violation record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// The vertex-value constraint failed.
+    VertexValue,
+    /// The message constraint failed for one outgoing message.
+    Message,
+}
+
+/// One constraint violation, with the offending value rendered for the
+/// Violations & Exceptions view. The full typed context lives in the
+/// enclosing [`VertexTrace`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationRecord {
+    /// Vertex-value or message violation.
+    pub kind: ViolationKind,
+    /// The offending vertex/message value, `Debug`-rendered.
+    pub detail: String,
+    /// For message violations, the target vertex (rendered).
+    pub target: Option<String>,
+}
+
+/// The full captured context of one vertex in one superstep — the five
+/// pieces of data the Giraph API exposes, plus what the vertex did.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VertexTrace<I, V, E, M> {
+    /// Superstep of the capture.
+    pub superstep: u64,
+    /// The captured vertex (context piece 1: the vertex id).
+    pub vertex: I,
+    /// Vertex value when `compute()` started.
+    pub value_before: V,
+    /// Vertex value after `compute()` returned (or panicked).
+    pub value_after: V,
+    /// Outgoing edges at `compute()` entry (context piece 2).
+    pub edges: Vec<(I, E)>,
+    /// Incoming messages (context piece 3).
+    pub incoming: Vec<M>,
+    /// Messages the vertex sent, in send order.
+    pub outgoing: Vec<(I, M)>,
+    /// Aggregator values visible this superstep (context piece 4).
+    pub aggregators: Vec<(String, AggValue)>,
+    /// Default global data (context piece 5).
+    pub global: GlobalData,
+    /// Whether the vertex voted to halt.
+    pub halted_after: bool,
+    /// Why this context was captured (possibly several reasons).
+    pub reasons: Vec<CaptureReason>,
+    /// Constraint violations committed by this vertex this superstep.
+    pub violations: Vec<ViolationRecord>,
+    /// The exception, if `compute()` panicked.
+    pub exception: Option<ExceptionInfo>,
+}
+
+/// Shorthand for the vertex trace of a computation `C`.
+pub type VertexTraceOf<C> = VertexTrace<
+    <C as graft_pregel::Computation>::Id,
+    <C as graft_pregel::Computation>::VValue,
+    <C as graft_pregel::Computation>::EValue,
+    <C as graft_pregel::Computation>::Message,
+>;
+
+/// The captured context of one `master.compute()` call: the aggregator
+/// values it saw/produced, plus global data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MasterTrace {
+    /// The superstep this master call preceded.
+    pub superstep: u64,
+    /// Global data at the start of the superstep.
+    pub global: GlobalData,
+    /// Aggregator values after the master ran (what gets broadcast).
+    pub aggregators: Vec<(String, AggValue)>,
+    /// Whether the master halted the job here.
+    pub halted: bool,
+}
+
+/// Job metadata written at trace root as `meta.json`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobMeta {
+    /// Computation name (for display and generated test code).
+    pub computation: String,
+    /// Fully-qualified computation type path (for generated test code).
+    pub computation_type: String,
+    /// Master computation name, if any.
+    pub master: Option<String>,
+    /// Rust type names of `(Id, VValue, EValue, Message)`.
+    pub value_types: (String, String, String, String),
+    /// Number of workers the job ran with.
+    pub num_workers: usize,
+    /// Trace encoding of the worker/master files.
+    pub codec: TraceCodec,
+    /// Human description of the active `DebugConfig`.
+    pub config: Vec<String>,
+}
+
+/// Terminal job status written at trace root as `result.json`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobResultRecord {
+    /// Supersteps fully executed.
+    pub supersteps_executed: u64,
+    /// `None` on success, the engine error text otherwise.
+    pub error: Option<String>,
+    /// Total vertex contexts captured.
+    pub captures: u64,
+    /// Total constraint violations recorded.
+    pub violations: u64,
+    /// Total exceptions recorded.
+    pub exceptions: u64,
+    /// Whether the capture safety net tripped.
+    pub capture_limit_hit: bool,
+}
+
+/// Path of the job metadata file.
+pub fn meta_path(root: &str) -> String {
+    format!("{root}/meta.json")
+}
+
+/// Path of worker `w`'s trace file.
+pub fn worker_trace_path(root: &str, worker: usize) -> String {
+    format!("{root}/worker_{worker}.trace")
+}
+
+/// Path of the master trace file.
+pub fn master_trace_path(root: &str) -> String {
+    format!("{root}/master.trace")
+}
+
+/// Path of the terminal status file.
+pub fn result_path(root: &str) -> String {
+    format!("{root}/result.json")
+}
+
+/// Encodes one record onto the end of `buf` in the given codec.
+pub fn encode_record<T: Serialize>(
+    codec: TraceCodec,
+    record: &T,
+    buf: &mut Vec<u8>,
+) -> Result<(), String> {
+    match codec {
+        TraceCodec::JsonLines => {
+            let line = serde_json::to_vec(record).map_err(|e| e.to_string())?;
+            buf.extend_from_slice(&line);
+            buf.push(b'\n');
+            Ok(())
+        }
+        TraceCodec::Binary => {
+            let frame = graft_codec::to_framed_vec(record).map_err(|e| e.to_string())?;
+            buf.extend_from_slice(&frame);
+            Ok(())
+        }
+    }
+}
+
+/// Decodes all records from a trace file's bytes.
+pub fn decode_records<T: DeserializeOwned>(
+    codec: TraceCodec,
+    bytes: &[u8],
+) -> Result<Vec<T>, String> {
+    match codec {
+        TraceCodec::JsonLines => bytes
+            .split(|&b| b == b'\n')
+            .filter(|line| !line.is_empty())
+            .map(|line| serde_json::from_slice(line).map_err(|e| e.to_string()))
+            .collect(),
+        TraceCodec::Binary => graft_codec::FramedIter::<T>::new(bytes)
+            .collect::<Result<Vec<T>, _>>()
+            .map_err(|e| e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> VertexTrace<u64, i64, (), i64> {
+        VertexTrace {
+            superstep: 41,
+            vertex: 672,
+            value_before: -1,
+            value_after: 5,
+            edges: vec![(671, ()), (673, ())],
+            incoming: vec![1, 2, 3],
+            outgoing: vec![(671, 5), (673, 5)],
+            aggregators: vec![("phase".into(), AggValue::Text("MIS".into()))],
+            global: GlobalData { superstep: 41, num_vertices: 100, num_edges: 300 },
+            halted_after: false,
+            reasons: vec![CaptureReason::SpecifiedId, CaptureReason::MessageViolation],
+            violations: vec![ViolationRecord {
+                kind: ViolationKind::Message,
+                detail: "-7".into(),
+                target: Some("673".into()),
+            }],
+            exception: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_both_codecs() {
+        for codec in [TraceCodec::JsonLines, TraceCodec::Binary] {
+            let mut buf = Vec::new();
+            encode_record(codec, &sample_trace(), &mut buf).unwrap();
+            encode_record(codec, &sample_trace(), &mut buf).unwrap();
+            let decoded: Vec<VertexTrace<u64, i64, (), i64>> =
+                decode_records(codec, &buf).unwrap();
+            assert_eq!(decoded.len(), 2);
+            assert_eq!(decoded[0].vertex, 672);
+            assert_eq!(decoded[0].violations[0].detail, "-7");
+            assert_eq!(decoded[1].aggregators[0].0, "phase");
+        }
+    }
+
+    #[test]
+    fn binary_is_denser_than_json() {
+        let mut json = Vec::new();
+        let mut bin = Vec::new();
+        encode_record(TraceCodec::JsonLines, &sample_trace(), &mut json).unwrap();
+        encode_record(TraceCodec::Binary, &sample_trace(), &mut bin).unwrap();
+        assert!(bin.len() < json.len() / 2, "bin {} vs json {}", bin.len(), json.len());
+    }
+
+    #[test]
+    fn json_lines_are_actual_json() {
+        let mut buf = Vec::new();
+        encode_record(TraceCodec::JsonLines, &sample_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(parsed["vertex"], 672);
+        assert_eq!(parsed["superstep"], 41);
+    }
+
+    #[test]
+    fn master_trace_roundtrip() {
+        let record = MasterTrace {
+            superstep: 3,
+            global: GlobalData { superstep: 3, num_vertices: 10, num_edges: 20 },
+            aggregators: vec![("phase".into(), AggValue::Text("DRAIN".into()))],
+            halted: true,
+        };
+        for codec in [TraceCodec::JsonLines, TraceCodec::Binary] {
+            let mut buf = Vec::new();
+            encode_record(codec, &record, &mut buf).unwrap();
+            let decoded: Vec<MasterTrace> = decode_records(codec, &buf).unwrap();
+            assert_eq!(decoded, vec![record.clone()]);
+        }
+    }
+
+    #[test]
+    fn paths_are_stable() {
+        assert_eq!(meta_path("/t/job"), "/t/job/meta.json");
+        assert_eq!(worker_trace_path("/t/job", 3), "/t/job/worker_3.trace");
+        assert_eq!(master_trace_path("/t/job"), "/t/job/master.trace");
+        assert_eq!(result_path("/t/job"), "/t/job/result.json");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_records::<MasterTrace>(TraceCodec::JsonLines, b"{not json}\n").is_err());
+        assert!(decode_records::<MasterTrace>(TraceCodec::Binary, &[0xff, 0xff, 0xff]).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Type-erased trace reading for external tools.
+//!
+//! A [`crate::DebugSession`] needs the computation's Rust types to decode
+//! traces. Tools like `graft-cli` — the browser-GUI stand-in — must work
+//! on *any* job's traces, so this module reads JSON-lines traces into
+//! dynamic values instead. (Binary traces carry no field names and cannot
+//! be read untyped; rerun with `TraceCodec::JsonLines` to browse them.)
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use graft_dfs::FileSystem;
+use serde_json::Value;
+
+use crate::config::TraceCodec;
+use crate::session::{Indicators, SessionError};
+use crate::trace::{
+    master_trace_path, meta_path, result_path, worker_trace_path, JobMeta, JobResultRecord,
+    MasterTrace,
+};
+
+/// One captured vertex context, as dynamic JSON.
+#[derive(Clone, Debug)]
+pub struct UntypedTrace(Value);
+
+fn compact(value: &Value) -> String {
+    match value {
+        Value::String(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+impl UntypedTrace {
+    /// The capture's superstep.
+    pub fn superstep(&self) -> u64 {
+        self.0["superstep"].as_u64().unwrap_or(0)
+    }
+
+    /// The vertex id, rendered.
+    pub fn vertex(&self) -> String {
+        compact(&self.0["vertex"])
+    }
+
+    /// The value at compute entry, rendered.
+    pub fn value_before(&self) -> String {
+        compact(&self.0["value_before"])
+    }
+
+    /// The value after compute, rendered.
+    pub fn value_after(&self) -> String {
+        compact(&self.0["value_after"])
+    }
+
+    /// The outgoing edges as `(target, edge value)` rendered pairs.
+    pub fn edges(&self) -> Vec<(String, String)> {
+        self.0["edges"]
+            .as_array()
+            .map(|edges| {
+                edges
+                    .iter()
+                    .map(|pair| {
+                        let target =
+                            pair.get(0).map(compact).unwrap_or_default();
+                        let value = pair.get(1).map(compact).unwrap_or_default();
+                        (target, value)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of incoming messages.
+    pub fn incoming_count(&self) -> usize {
+        self.0["incoming"].as_array().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of outgoing messages.
+    pub fn outgoing_count(&self) -> usize {
+        self.0["outgoing"].as_array().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Whether the vertex voted to halt.
+    pub fn halted_after(&self) -> bool {
+        self.0["halted_after"].as_bool().unwrap_or(false)
+    }
+
+    /// Capture reasons, rendered.
+    pub fn reasons(&self) -> Vec<String> {
+        self.0["reasons"]
+            .as_array()
+            .map(|reasons| reasons.iter().map(compact).collect())
+            .unwrap_or_default()
+    }
+
+    /// Violations as `(kind, detail, target)` rendered triples.
+    pub fn violations(&self) -> Vec<(String, String, Option<String>)> {
+        self.0["violations"]
+            .as_array()
+            .map(|violations| {
+                violations
+                    .iter()
+                    .map(|v| {
+                        (
+                            compact(&v["kind"]),
+                            compact(&v["detail"]),
+                            v["target"].as_str().map(str::to_string),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The exception `(message, backtrace)`, if any.
+    pub fn exception(&self) -> Option<(String, Option<String>)> {
+        let exc = self.0.get("exception")?;
+        if exc.is_null() {
+            return None;
+        }
+        Some((
+            compact(&exc["message"]),
+            exc["backtrace"].as_str().map(str::to_string),
+        ))
+    }
+
+    /// Aggregator `(name, rendered value)` pairs.
+    pub fn aggregators(&self) -> Vec<(String, String)> {
+        self.0["aggregators"]
+            .as_array()
+            .map(|aggs| {
+                aggs.iter()
+                    .map(|pair| {
+                        (
+                            pair.get(0).map(compact).unwrap_or_default(),
+                            pair.get(1).map(compact).unwrap_or_default(),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The raw JSON record.
+    pub fn raw(&self) -> &Value {
+        &self.0
+    }
+}
+
+/// A type-erased debug session over JSON-lines traces.
+pub struct UntypedSession {
+    meta: JobMeta,
+    result: Option<JobResultRecord>,
+    by_superstep: BTreeMap<u64, Vec<UntypedTrace>>,
+    master: Vec<MasterTrace>,
+}
+
+impl UntypedSession {
+    /// Loads the traces under `root`. Fails on binary-encoded traces.
+    pub fn open(fs: Arc<dyn FileSystem>, root: &str) -> Result<Self, SessionError> {
+        let meta_bytes = fs.read_all(&meta_path(root))?;
+        let meta: JobMeta =
+            serde_json::from_slice(&meta_bytes).map_err(|e| SessionError::Decode {
+                path: meta_path(root),
+                error: e.to_string(),
+            })?;
+        if meta.codec != TraceCodec::JsonLines {
+            return Err(SessionError::Decode {
+                path: meta_path(root),
+                error: "binary traces cannot be browsed untyped; use TraceCodec::JsonLines"
+                    .to_string(),
+            });
+        }
+
+        let mut by_superstep: BTreeMap<u64, Vec<UntypedTrace>> = BTreeMap::new();
+        for worker in 0..meta.num_workers {
+            let path = worker_trace_path(root, worker);
+            if !fs.exists(&path) {
+                continue;
+            }
+            let bytes = fs.read_all(&path)?;
+            for line in bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+                let value: Value =
+                    serde_json::from_slice(line).map_err(|e| SessionError::Decode {
+                        path: path.clone(),
+                        error: e.to_string(),
+                    })?;
+                let trace = UntypedTrace(value);
+                by_superstep.entry(trace.superstep()).or_default().push(trace);
+            }
+        }
+        for traces in by_superstep.values_mut() {
+            traces.sort_by_key(|t| t.vertex());
+        }
+
+        let mut master = Vec::new();
+        let master_path = master_trace_path(root);
+        if fs.exists(&master_path) {
+            let bytes = fs.read_all(&master_path)?;
+            for line in bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+                master.push(serde_json::from_slice(line).map_err(|e| SessionError::Decode {
+                    path: master_path.clone(),
+                    error: e.to_string(),
+                })?);
+            }
+        }
+
+        let result = if fs.exists(&result_path(root)) {
+            let bytes = fs.read_all(&result_path(root))?;
+            Some(serde_json::from_slice(&bytes).map_err(|e| SessionError::Decode {
+                path: result_path(root),
+                error: e.to_string(),
+            })?)
+        } else {
+            None
+        };
+
+        Ok(Self { meta, result, by_superstep, master })
+    }
+
+    /// Job metadata.
+    pub fn meta(&self) -> &JobMeta {
+        &self.meta
+    }
+
+    /// Terminal status, if present.
+    pub fn result(&self) -> Option<&JobResultRecord> {
+        self.result.as_ref()
+    }
+
+    /// Supersteps with captures.
+    pub fn supersteps(&self) -> Vec<u64> {
+        self.by_superstep.keys().copied().collect()
+    }
+
+    /// Captures in one superstep.
+    pub fn captured_at(&self, superstep: u64) -> &[UntypedTrace] {
+        self.by_superstep.get(&superstep).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every capture of one vertex, in superstep order.
+    pub fn history(&self, vertex: &str) -> Vec<&UntypedTrace> {
+        self.by_superstep
+            .values()
+            .flat_map(|traces| traces.iter().filter(|t| t.vertex() == vertex))
+            .collect()
+    }
+
+    /// The M/V/E indicator state of a superstep.
+    pub fn indicators(&self, superstep: u64) -> Indicators {
+        let mut ind = Indicators::default();
+        for trace in self.captured_at(superstep) {
+            for (kind, _, _) in trace.violations() {
+                match kind.as_str() {
+                    "Message" => ind.message_violation = true,
+                    "VertexValue" => ind.value_violation = true,
+                    _ => {}
+                }
+            }
+            if trace.exception().is_some() {
+                ind.exception = true;
+            }
+        }
+        ind
+    }
+
+    /// All violating/excepting captures.
+    pub fn violations(&self) -> Vec<&UntypedTrace> {
+        self.by_superstep
+            .values()
+            .flat_map(|traces| {
+                traces.iter().filter(|t| !t.violations().is_empty() || t.exception().is_some())
+            })
+            .collect()
+    }
+
+    /// Captured master contexts.
+    pub fn master_traces(&self) -> &[MasterTrace] {
+        &self.master
+    }
+
+    /// Total captures.
+    pub fn total_captures(&self) -> usize {
+        self.by_superstep.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::premade;
+    use crate::{DebugConfig, GraftRunner};
+    use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+
+    struct Doubler;
+    impl Computation for Doubler {
+        type Id = u64;
+        type VValue = i64;
+        type EValue = ();
+        type Message = i64;
+        fn compute(
+            &self,
+            vertex: &mut VertexHandleOf<'_, Self>,
+            messages: &[i64],
+            ctx: &mut ContextOf<'_, Self>,
+        ) {
+            let sum: i64 = messages.iter().sum();
+            vertex.set_value(vertex.value() * 2 + sum);
+            if ctx.superstep() < 2 {
+                ctx.send_message_to_all_edges(vertex, *vertex.value());
+            } else {
+                vertex.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn untyped_session_reads_what_typed_wrote() {
+        let config = DebugConfig::<Doubler>::builder()
+            .capture_ids([1, 2])
+            .message_constraint(|m, _, _, _| *m < 100)
+            .catch_exceptions(false)
+            .build();
+        let run = GraftRunner::new(Doubler, config)
+            .num_workers(2)
+            .run(premade::cycle(5, 3i64), "/t/untyped")
+            .unwrap();
+        let session = UntypedSession::open(run.fs().clone(), "/t/untyped").unwrap();
+        assert_eq!(session.meta().computation, "Doubler");
+        assert_eq!(session.total_captures() as u64, run.captures);
+        assert!(!session.supersteps().is_empty());
+        let trace = &session.captured_at(0)[0];
+        assert_eq!(trace.vertex(), "1");
+        assert_eq!(trace.value_before(), "3");
+        assert_eq!(trace.edges().len(), 2);
+        assert!(!session.history("1").is_empty());
+        let result = session.result().unwrap();
+        assert!(result.error.is_none());
+    }
+
+    #[test]
+    fn binary_traces_are_rejected_with_a_clear_error() {
+        let config = DebugConfig::<Doubler>::builder()
+            .capture_ids([1])
+            .codec(crate::TraceCodec::Binary)
+            .catch_exceptions(false)
+            .build();
+        let run = GraftRunner::new(Doubler, config)
+            .num_workers(2)
+            .run(premade::cycle(4, 1i64), "/t/untyped-bin")
+            .unwrap();
+        let err = UntypedSession::open(run.fs().clone(), "/t/untyped-bin")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("JsonLines"));
+    }
+}

@@ -1,0 +1,341 @@
+//! The Node-link view (paper Figure 3).
+
+use graft_pregel::hash::{FxHashMap, FxHashSet};
+use graft_pregel::Computation;
+
+use crate::session::{DebugSession, Indicators};
+use crate::views::{html_escape, truncate};
+
+/// One node of the diagram.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The vertex id, rendered.
+    pub id: String,
+    /// The vertex value after compute, rendered (`None` for stub
+    /// neighbors, which display only their id, as in the paper).
+    pub value: Option<String>,
+    /// Whether the vertex is active (inactive nodes are dimmed).
+    pub active: bool,
+    /// Whether the vertex was captured (stubs are drawn small).
+    pub captured: bool,
+    /// Whether the vertex violated a constraint or raised an exception
+    /// this superstep (drawn highlighted).
+    pub flagged: bool,
+}
+
+/// One link of the diagram.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Source vertex id, rendered.
+    pub from: String,
+    /// Target vertex id, rendered.
+    pub to: String,
+    /// Edge value, rendered; empty for `()`-valued edges.
+    pub label: String,
+}
+
+/// The Node-link view of one superstep.
+pub struct NodeLinkView<'a, C: Computation> {
+    session: &'a DebugSession<C>,
+    superstep: u64,
+}
+
+impl<'a, C: Computation> NodeLinkView<'a, C> {
+    pub(crate) fn new(session: &'a DebugSession<C>, superstep: u64) -> Self {
+        Self { session, superstep }
+    }
+
+    /// The superstep this view displays.
+    pub fn superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    /// The view for the next captured superstep, if any (the "Next
+    /// superstep" button).
+    pub fn next(&self) -> Option<NodeLinkView<'a, C>> {
+        self.session.next_superstep(self.superstep).map(|s| NodeLinkView::new(self.session, s))
+    }
+
+    /// The view for the previous captured superstep, if any.
+    pub fn prev(&self) -> Option<NodeLinkView<'a, C>> {
+        self.session.prev_superstep(self.superstep).map(|s| NodeLinkView::new(self.session, s))
+    }
+
+    /// The M/V/E indicator boxes.
+    pub fn indicators(&self) -> Indicators {
+        self.session.indicators(self.superstep)
+    }
+
+    /// Computes the node and link lists: captured vertices in full,
+    /// their uncaptured neighbors as stubs.
+    pub fn layout(&self) -> (Vec<Node>, Vec<Link>) {
+        let traces = self.session.captured_at(self.superstep);
+        let captured: FxHashSet<String> =
+            traces.iter().map(|t| t.vertex.to_string()).collect();
+        let mut nodes: FxHashMap<String, Node> = FxHashMap::default();
+        let mut links = Vec::new();
+
+        for trace in traces {
+            let id = trace.vertex.to_string();
+            let flagged = !trace.violations.is_empty() || trace.exception.is_some();
+            nodes.insert(
+                id.clone(),
+                Node {
+                    id: id.clone(),
+                    value: Some(format!("{:?}", trace.value_after)),
+                    active: !trace.halted_after,
+                    captured: true,
+                    flagged,
+                },
+            );
+            for (target, value) in &trace.edges {
+                let target_id = target.to_string();
+                if !captured.contains(&target_id) {
+                    nodes.entry(target_id.clone()).or_insert(Node {
+                        id: target_id.clone(),
+                        value: None,
+                        active: true,
+                        captured: false,
+                        flagged: false,
+                    });
+                }
+                let label = format!("{value:?}");
+                links.push(Link {
+                    from: id.clone(),
+                    to: target_id,
+                    label: if label == "()" { String::new() } else { label },
+                });
+            }
+        }
+
+        let mut nodes: Vec<Node> = nodes.into_values().collect();
+        nodes.sort_by(|a, b| (!a.captured, &a.id).cmp(&(!b.captured, &b.id)));
+        links.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+        (nodes, links)
+    }
+
+    /// Renders the view as plain text for terminals.
+    pub fn to_text(&self) -> String {
+        let (nodes, links) = self.layout();
+        let ind = self.indicators();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== Node-link view — superstep {} ===\n",
+            self.superstep
+        ));
+        out.push_str(&format!(
+            "[M:{}] [V:{}] [E:{}]\n",
+            if ind.message_violation { "RED" } else { "green" },
+            if ind.value_violation { "RED" } else { "green" },
+            if ind.exception { "RED" } else { "green" },
+        ));
+        if let Some(trace) = self.session.captured_at(self.superstep).first() {
+            out.push_str(&format!(
+                "global: superstep={} vertices={} edges={}\n",
+                trace.global.superstep, trace.global.num_vertices, trace.global.num_edges
+            ));
+            if !trace.aggregators.is_empty() {
+                out.push_str("aggregators:");
+                for (name, value) in &trace.aggregators {
+                    out.push_str(&format!(" {name}={value}"));
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("nodes:\n");
+        for node in &nodes {
+            let marker = if !node.captured {
+                "(stub)"
+            } else if node.flagged {
+                "(FLAGGED)"
+            } else if node.active {
+                "(active)"
+            } else {
+                "(inactive)"
+            };
+            match &node.value {
+                Some(value) => out.push_str(&format!(
+                    "  {} = {} {}\n",
+                    node.id,
+                    truncate(value, 60),
+                    marker
+                )),
+                None => out.push_str(&format!("  {} {}\n", node.id, marker)),
+            }
+        }
+        out.push_str("links:\n");
+        for link in &links {
+            if link.label.is_empty() {
+                out.push_str(&format!("  {} -> {}\n", link.from, link.to));
+            } else {
+                out.push_str(&format!("  {} -> {} [{}]\n", link.from, link.to, link.label));
+            }
+        }
+        out
+    }
+
+    /// Renders the view as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        let (nodes, links) = self.layout();
+        let mut out = String::new();
+        out.push_str(&format!("digraph superstep_{} {{\n", self.superstep));
+        out.push_str("  rankdir=LR;\n");
+        for node in &nodes {
+            let label = match &node.value {
+                Some(value) => format!("{}\\n{}", node.id, truncate(value, 40).replace('"', "'")),
+                None => node.id.clone(),
+            };
+            let mut attrs = vec![format!("label=\"{label}\"")];
+            if !node.captured {
+                attrs.push("shape=point".into());
+                attrs.push("width=0.15".into());
+            } else {
+                attrs.push("shape=ellipse".into());
+                attrs.push("style=filled".into());
+                let fill = if node.flagged {
+                    "lightcoral"
+                } else if node.active {
+                    "palegreen"
+                } else {
+                    "lightgray" // dimmed: inactive in this superstep
+                };
+                attrs.push(format!("fillcolor={fill}"));
+            }
+            out.push_str(&format!("  \"{}\" [{}];\n", node.id, attrs.join(", ")));
+        }
+        for link in &links {
+            if link.label.is_empty() {
+                out.push_str(&format!("  \"{}\" -> \"{}\";\n", link.from, link.to));
+            } else {
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+                    link.from,
+                    link.to,
+                    link.label.replace('"', "'")
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a self-contained HTML page with an inline SVG circular
+    /// layout — the browser-GUI stand-in.
+    pub fn to_html(&self) -> String {
+        let (nodes, links) = self.layout();
+        let ind = self.indicators();
+        let n = nodes.len().max(1);
+        let radius = 200.0 + 12.0 * (n as f64).sqrt();
+        let size = (radius * 2.0 + 120.0) as i64;
+        let center = size as f64 / 2.0;
+
+        let mut positions: FxHashMap<&str, (f64, f64)> = FxHashMap::default();
+        for (i, node) in nodes.iter().enumerate() {
+            let angle = std::f64::consts::TAU * i as f64 / n as f64;
+            positions.insert(&node.id, (center + radius * angle.cos(), center + radius * angle.sin()));
+        }
+
+        let mut svg = String::new();
+        for link in &links {
+            let (Some(&(x1, y1)), Some(&(x2, y2))) =
+                (positions.get(link.from.as_str()), positions.get(link.to.as_str()))
+            else {
+                continue;
+            };
+            svg.push_str(&format!(
+                "<line x1='{x1:.1}' y1='{y1:.1}' x2='{x2:.1}' y2='{y2:.1}' \
+                 stroke='#999' stroke-width='1'/>\n"
+            ));
+            if !link.label.is_empty() {
+                svg.push_str(&format!(
+                    "<text x='{:.1}' y='{:.1}' font-size='9' fill='#666'>{}</text>\n",
+                    (x1 + x2) / 2.0,
+                    (y1 + y2) / 2.0,
+                    html_escape(&link.label)
+                ));
+            }
+        }
+        for node in &nodes {
+            let &(x, y) = positions.get(node.id.as_str()).expect("every node is positioned");
+            if node.captured {
+                let fill = if node.flagged {
+                    "#f08080"
+                } else if node.active {
+                    "#98fb98"
+                } else {
+                    "#d3d3d3"
+                };
+                let opacity = if node.active { "1.0" } else { "0.5" };
+                svg.push_str(&format!(
+                    "<circle cx='{x:.1}' cy='{y:.1}' r='22' fill='{fill}' \
+                     stroke='#333' opacity='{opacity}'/>\n"
+                ));
+                svg.push_str(&format!(
+                    "<text x='{x:.1}' y='{:.1}' text-anchor='middle' font-size='11'>{}</text>\n",
+                    y - 2.0,
+                    html_escape(&node.id)
+                ));
+                if let Some(value) = &node.value {
+                    svg.push_str(&format!(
+                        "<text x='{x:.1}' y='{:.1}' text-anchor='middle' font-size='8' \
+                         fill='#333'>{}</text>\n",
+                        y + 9.0,
+                        html_escape(&truncate(value, 18))
+                    ));
+                }
+            } else {
+                svg.push_str(&format!(
+                    "<circle cx='{x:.1}' cy='{y:.1}' r='4' fill='#bbb' stroke='#888'/>\n"
+                ));
+                svg.push_str(&format!(
+                    "<text x='{x:.1}' y='{:.1}' text-anchor='middle' font-size='8' \
+                     fill='#888'>{}</text>\n",
+                    y - 8.0,
+                    html_escape(&node.id)
+                ));
+            }
+        }
+
+        let indicator = |red: bool, letter: &str| {
+            format!(
+                "<span style='display:inline-block;width:1.6em;text-align:center;\
+                 background:{};color:white;border-radius:3px;margin-right:4px'>{letter}</span>",
+                if red { "#c0392b" } else { "#27ae60" }
+            )
+        };
+
+        let mut aggregators = String::new();
+        if let Some(trace) = self.session.captured_at(self.superstep).first() {
+            aggregators.push_str(&format!(
+                "<p>superstep {} — {} vertices, {} edges</p>",
+                trace.global.superstep, trace.global.num_vertices, trace.global.num_edges
+            ));
+            if !trace.aggregators.is_empty() {
+                aggregators.push_str("<ul>");
+                for (name, value) in &trace.aggregators {
+                    aggregators.push_str(&format!(
+                        "<li><code>{}</code> = {}</li>",
+                        html_escape(name),
+                        html_escape(&value.to_string())
+                    ));
+                }
+                aggregators.push_str("</ul>");
+            }
+        }
+
+        format!(
+            "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>\
+             <title>Graft — superstep {ss}</title></head>\n\
+             <body style='font-family:sans-serif'>\n\
+             <h2>Node-link view — superstep {ss}</h2>\n\
+             <div>{m}{v}{e}</div>\n\
+             <div style='float:right;max-width:320px'>{aggregators}</div>\n\
+             <svg width='{size}' height='{size}' viewBox='0 0 {size} {size}'>\n{svg}</svg>\n\
+             </body></html>\n",
+            ss = self.superstep,
+            m = indicator(ind.message_violation, "M"),
+            v = indicator(ind.value_violation, "V"),
+            e = indicator(ind.exception, "E"),
+        )
+    }
+}

@@ -1,0 +1,154 @@
+//! The Tabular view (paper Figure 4): one row per captured vertex, with
+//! search and row expansion.
+
+use graft_pregel::Computation;
+
+use crate::session::{DebugSession, SearchQuery};
+use crate::trace::VertexTraceOf;
+use crate::views::{text_table, truncate};
+
+/// The Tabular view of one superstep.
+pub struct TabularView<'a, C: Computation> {
+    session: &'a DebugSession<C>,
+    superstep: u64,
+    query: Option<SearchQuery>,
+}
+
+impl<'a, C: Computation> TabularView<'a, C> {
+    pub(crate) fn new(session: &'a DebugSession<C>, superstep: u64) -> Self {
+        Self { session, superstep, query: None }
+    }
+
+    /// The superstep this view displays.
+    pub fn superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    /// Restricts the rows with a search query (the view's search box).
+    pub fn search(mut self, query: SearchQuery) -> Self {
+        self.query = Some(query);
+        self
+    }
+
+    /// Steps to the next captured superstep, keeping the search.
+    pub fn next(&self) -> Option<TabularView<'a, C>> {
+        self.session.next_superstep(self.superstep).map(|s| TabularView {
+            session: self.session,
+            superstep: s,
+            query: self.query.clone(),
+        })
+    }
+
+    /// Steps to the previous captured superstep, keeping the search.
+    pub fn prev(&self) -> Option<TabularView<'a, C>> {
+        self.session.prev_superstep(self.superstep).map(|s| TabularView {
+            session: self.session,
+            superstep: s,
+            query: self.query.clone(),
+        })
+    }
+
+    /// The visible rows.
+    pub fn rows(&self) -> Vec<&VertexTraceOf<C>> {
+        let all = self.session.captured_at(self.superstep);
+        match &self.query {
+            Some(query) => all.iter().filter(|t| query.matches::<C>(t)).collect(),
+            None => all.iter().collect(),
+        }
+    }
+
+    /// Renders the summary table.
+    pub fn to_text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows()
+            .iter()
+            .map(|t| {
+                vec![
+                    t.vertex.to_string(),
+                    truncate(&format!("{:?}", t.value_before), 24),
+                    truncate(&format!("{:?}", t.value_after), 24),
+                    t.incoming.len().to_string(),
+                    t.outgoing.len().to_string(),
+                    if t.halted_after { "halted" } else { "active" }.to_string(),
+                    t.reasons
+                        .iter()
+                        .map(|r| format!("{r:?}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ]
+            })
+            .collect();
+        let mut out = format!(
+            "=== Tabular view — superstep {} ({} row(s)) ===\n",
+            self.superstep,
+            rows.len()
+        );
+        out.push_str(&text_table(
+            &["vertex", "value before", "value after", "in", "out", "state", "captured because"],
+            &rows,
+        ));
+        out
+    }
+
+    /// Renders the expanded context of one row (clicking a row in the
+    /// GUI).
+    pub fn expand(&self, vertex: C::Id) -> Option<String> {
+        let trace = self.session.vertex_at(vertex, self.superstep)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "vertex {} — superstep {}\n",
+            trace.vertex, trace.superstep
+        ));
+        out.push_str(&format!("  value before : {:?}\n", trace.value_before));
+        out.push_str(&format!("  value after  : {:?}\n", trace.value_after));
+        out.push_str(&format!(
+            "  state        : {}\n",
+            if trace.halted_after { "halted" } else { "active" }
+        ));
+        out.push_str(&format!("  edges ({}):\n", trace.edges.len()));
+        for (target, value) in &trace.edges {
+            let rendered = format!("{value:?}");
+            if rendered == "()" {
+                out.push_str(&format!("    -> {target}\n"));
+            } else {
+                out.push_str(&format!("    -> {target} [{rendered}]\n"));
+            }
+        }
+        out.push_str(&format!("  incoming ({}):\n", trace.incoming.len()));
+        for message in &trace.incoming {
+            out.push_str(&format!("    {message:?}\n"));
+        }
+        out.push_str(&format!("  outgoing ({}):\n", trace.outgoing.len()));
+        for (target, message) in &trace.outgoing {
+            out.push_str(&format!("    -> {target}: {message:?}\n"));
+        }
+        if !trace.aggregators.is_empty() {
+            out.push_str("  aggregators:\n");
+            for (name, value) in &trace.aggregators {
+                out.push_str(&format!("    {name} = {value}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "  global       : {} vertices, {} edges\n",
+            trace.global.num_vertices, trace.global.num_edges
+        ));
+        if !trace.violations.is_empty() {
+            out.push_str("  violations:\n");
+            for violation in &trace.violations {
+                match &violation.target {
+                    Some(target) => out.push_str(&format!(
+                        "    {:?} -> {target}: {}\n",
+                        violation.kind, violation.detail
+                    )),
+                    None => {
+                        out.push_str(&format!("    {:?}: {}\n", violation.kind, violation.detail))
+                    }
+                }
+            }
+        }
+        if let Some(exception) = &trace.exception {
+            out.push_str(&format!("  exception    : {}\n", exception.message));
+        }
+        Some(out)
+    }
+}

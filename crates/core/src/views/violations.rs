@@ -1,0 +1,102 @@
+//! The Violations and Exceptions view (paper Figure 5).
+
+use graft_pregel::Computation;
+
+use crate::session::DebugSession;
+use crate::views::{text_table, truncate};
+
+/// One row of the view.
+#[derive(Clone, Debug)]
+pub struct ViolationRow {
+    /// The superstep the violation/exception happened in.
+    pub superstep: u64,
+    /// The offending vertex, rendered.
+    pub vertex: String,
+    /// `"message"`, `"vertex value"`, or `"exception"`.
+    pub kind: &'static str,
+    /// The offending value / the exception message.
+    pub detail: String,
+    /// For message violations, the target vertex.
+    pub target: Option<String>,
+    /// For exceptions, the captured stack trace.
+    pub backtrace: Option<String>,
+}
+
+/// Tabular view of every constraint violation and exception in the run.
+pub struct ViolationsView<'a, C: Computation> {
+    session: &'a DebugSession<C>,
+}
+
+impl<'a, C: Computation> ViolationsView<'a, C> {
+    pub(crate) fn new(session: &'a DebugSession<C>) -> Self {
+        Self { session }
+    }
+
+    /// Collects every violation/exception row, ordered by superstep then
+    /// vertex.
+    pub fn rows(&self) -> Vec<ViolationRow> {
+        let mut rows = Vec::new();
+        for superstep in self.session.supersteps() {
+            for trace in self.session.captured_at(superstep) {
+                for violation in &trace.violations {
+                    rows.push(ViolationRow {
+                        superstep,
+                        vertex: trace.vertex.to_string(),
+                        kind: match violation.kind {
+                            crate::trace::ViolationKind::Message => "message",
+                            crate::trace::ViolationKind::VertexValue => "vertex value",
+                        },
+                        detail: violation.detail.clone(),
+                        target: violation.target.clone(),
+                        backtrace: None,
+                    });
+                }
+                if let Some(exception) = &trace.exception {
+                    rows.push(ViolationRow {
+                        superstep,
+                        vertex: trace.vertex.to_string(),
+                        kind: "exception",
+                        detail: exception.message.clone(),
+                        target: None,
+                        backtrace: exception.backtrace.clone(),
+                    });
+                }
+            }
+        }
+        rows
+    }
+
+    /// Renders the view as a text table.
+    pub fn to_text(&self) -> String {
+        let rows = self.rows();
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.superstep.to_string(),
+                    row.vertex.clone(),
+                    row.kind.to_string(),
+                    truncate(&row.detail, 48),
+                    row.target.clone().unwrap_or_default(),
+                ]
+            })
+            .collect();
+        let mut out = format!(
+            "=== Violations and Exceptions view ({} row(s)) ===\n",
+            table_rows.len()
+        );
+        out.push_str(&text_table(
+            &["superstep", "vertex", "kind", "detail", "target"],
+            &table_rows,
+        ));
+        for row in rows.iter().filter(|r| r.backtrace.is_some()) {
+            out.push_str(&format!(
+                "\nstack trace for vertex {} (superstep {}):\n{}\n",
+                row.vertex,
+                row.superstep,
+                row.backtrace.as_deref().unwrap_or_default()
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,65 @@
+//! d-regular bipartite generator: the stand-in for the paper's
+//! bipartite-1M-3M and bipartite-2B-6B graphs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::edgelist::EdgeList;
+
+/// Generates a d-regular bipartite graph: parts `0..n` and `n..2n`, every
+/// vertex with exactly `degree` neighbors on the other side, built from
+/// `degree` random perfect matchings (union kept as a multigraph, like
+/// the configuration model; duplicate pairs are possible but rare).
+///
+/// The returned edge list is the *undirected* encoding: each edge appears
+/// in both directions, so `num_edges() == 2 * n * degree`.
+pub fn generate_regular(name: &str, n_per_side: u64, degree: u64, seed: u64) -> EdgeList {
+    assert!(n_per_side > 0 && degree > 0);
+    let n = n_per_side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity((2 * n * degree) as usize);
+    let mut permutation: Vec<u64> = (0..n).collect();
+    for round in 0..degree {
+        // Each round is a perfect matching: left i — right π(i).
+        permutation.shuffle(&mut rng);
+        let _ = round;
+        for (left, &right_offset) in permutation.iter().enumerate() {
+            let left = left as u64;
+            let right = n + right_offset;
+            edges.push((left, right));
+            edges.push((right, left));
+        }
+    }
+    EdgeList::new(name, 2 * n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vertex_has_exact_degree() {
+        let g = generate_regular("b", 100, 3, 5);
+        assert_eq!(g.num_vertices, 200);
+        assert_eq!(g.num_edges(), 600, "2 * n_per_side * degree directed edges");
+        for (v, d) in g.out_degrees().iter().enumerate() {
+            assert_eq!(*d, 3, "vertex {v}");
+        }
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn edges_cross_the_partition() {
+        let g = generate_regular("b", 50, 4, 1);
+        for &(a, b) in &g.edges {
+            assert!((a < 50) != (b < 50), "edge {a}-{b} stays inside one part");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_regular("b", 64, 3, 2).edges, generate_regular("b", 64, 3, 2).edges);
+        assert_ne!(generate_regular("b", 64, 3, 2).edges, generate_regular("b", 64, 3, 3).edges);
+    }
+}

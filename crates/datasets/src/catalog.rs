@@ -1,0 +1,201 @@
+//! The six named datasets of the paper's Tables 1 and 2, instantiated by
+//! seeded generators at a configurable linear scale divisor.
+
+use crate::bipartite;
+use crate::edgelist::EdgeList;
+use crate::rmat::{self, RmatParams};
+use crate::social;
+
+/// A named dataset spec: the paper's published numbers plus the
+/// generator that reproduces its shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// What the paper says about it.
+    pub description: &'static str,
+    /// Vertices at full (paper) scale.
+    pub paper_vertices: u64,
+    /// Directed edges at full scale, as reported in the paper.
+    pub paper_edges_directed: u64,
+    /// Undirected-encoding edge count reported in the paper, if any.
+    pub paper_edges_undirected: Option<u64>,
+    kind: Kind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    /// R-MAT web graph.
+    Web,
+    /// Preferential-attachment social graph.
+    Social,
+    /// d-regular bipartite (the degree).
+    Bipartite(u64),
+}
+
+/// Table 1: the demonstration datasets.
+pub const DEMO: [Dataset; 3] = [
+    Dataset {
+        name: "web-BS",
+        description: "A web graph from 2002",
+        paper_vertices: 685_000,
+        paper_edges_directed: 7_600_000,
+        paper_edges_undirected: Some(12_300_000),
+        kind: Kind::Web,
+    },
+    Dataset {
+        name: "soc-Epinions",
+        description: "Epinions.com \"who trusts whom\" network",
+        paper_vertices: 76_000,
+        paper_edges_directed: 500_000,
+        paper_edges_undirected: Some(780_000),
+        kind: Kind::Social,
+    },
+    Dataset {
+        name: "bipartite-1M-3M",
+        description: "A 3-regular bipartite graph",
+        paper_vertices: 1_000_000,
+        paper_edges_directed: 3_000_000,
+        paper_edges_undirected: Some(6_000_000),
+        kind: Kind::Bipartite(3),
+    },
+];
+
+/// Table 2: the performance datasets.
+pub const PERF: [Dataset; 3] = [
+    Dataset {
+        name: "sk-2005",
+        description: "Web graph of the .sk domain from 2005",
+        paper_vertices: 51_000_000,
+        paper_edges_directed: 1_900_000_000,
+        paper_edges_undirected: Some(3_500_000_000),
+        kind: Kind::Web,
+    },
+    Dataset {
+        name: "twitter",
+        description: "Twitter \"who is followed by who\" network",
+        paper_vertices: 42_000_000,
+        paper_edges_directed: 1_500_000_000,
+        paper_edges_undirected: Some(2_700_000_000),
+        kind: Kind::Social,
+    },
+    Dataset {
+        name: "bipartite-2B-6B",
+        description: "A 3-regular bipartite graph",
+        paper_vertices: 2_000_000_000,
+        paper_edges_directed: 6_000_000_000,
+        paper_edges_undirected: Some(12_000_000_000),
+        kind: Kind::Bipartite(3),
+    },
+];
+
+impl Dataset {
+    /// Looks a dataset up by name across both tables.
+    pub fn by_name(name: &str) -> Option<Dataset> {
+        DEMO.iter().chain(PERF.iter()).copied().find(|d| d.name == name)
+    }
+
+    /// Vertex count at scale divisor `scale` (1 = paper scale).
+    pub fn vertices_at(&self, scale: u64) -> u64 {
+        (self.paper_vertices / scale.max(1)).max(2)
+    }
+
+    /// Directed edge target at scale divisor `scale`, preserving the
+    /// paper's average degree.
+    pub fn directed_edges_at(&self, scale: u64) -> u64 {
+        (self.paper_edges_directed / scale.max(1)).max(1)
+    }
+
+    /// Generates the *directed* dataset at a scale divisor (1 = paper
+    /// scale; the heavy Table 2 graphs are usually generated at 1000).
+    /// Deterministic in `seed`.
+    pub fn generate(&self, scale: u64, seed: u64) -> EdgeList {
+        let vertices = self.vertices_at(scale);
+        match self.kind {
+            Kind::Web => rmat::generate(
+                self.name,
+                vertices,
+                self.directed_edges_at(scale),
+                RmatParams::default(),
+                seed,
+            ),
+            Kind::Social => {
+                let per_vertex =
+                    (self.paper_edges_directed / self.paper_vertices).max(1);
+                social::generate(self.name, vertices, per_vertex, seed)
+            }
+            Kind::Bipartite(degree) => {
+                // The bipartite datasets are already undirected; the
+                // generator emits the symmetric encoding directly.
+                bipartite::generate_regular(self.name, vertices / 2, degree, seed)
+            }
+        }
+    }
+
+    /// Generates the undirected (symmetrized) encoding, as the paper's
+    /// `(u)` variants. For the bipartite datasets this is the same as
+    /// [`Dataset::generate`].
+    pub fn generate_undirected(&self, scale: u64, seed: u64) -> EdgeList {
+        let directed = self.generate(scale, seed);
+        if matches!(self.kind, Kind::Bipartite(_)) {
+            directed
+        } else {
+            let mut sym = directed.symmetrized();
+            sym.name = directed.name.clone();
+            sym
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Dataset::by_name("web-BS").unwrap().paper_vertices, 685_000);
+        assert_eq!(Dataset::by_name("twitter").unwrap().paper_edges_directed, 1_500_000_000);
+        assert!(Dataset::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaled_generation_matches_targets() {
+        let d = Dataset::by_name("web-BS").unwrap();
+        let list = d.generate(100, 1);
+        assert_eq!(list.num_vertices, 6_850);
+        assert_eq!(list.num_edges(), 76_000);
+    }
+
+    #[test]
+    fn social_dataset_has_paper_average_degree() {
+        let d = Dataset::by_name("soc-Epinions").unwrap();
+        let list = d.generate(10, 1);
+        let average = list.num_edges() as f64 / list.num_vertices as f64;
+        // Paper: 500K / 76K ≈ 6.6; integer generator targets 6.
+        assert!((5.0..7.0).contains(&average), "average degree {average}");
+    }
+
+    #[test]
+    fn bipartite_dataset_is_symmetric_and_regular() {
+        let d = Dataset::by_name("bipartite-1M-3M").unwrap();
+        let list = d.generate(1000, 1);
+        assert_eq!(list.num_vertices, 1000);
+        assert_eq!(list.num_edges(), 3000, "3-regular, both directions");
+        assert!(list.is_symmetric());
+        assert!(list.out_degrees().iter().all(|&deg| deg == 3));
+    }
+
+    #[test]
+    fn undirected_variants_are_symmetric() {
+        for d in DEMO {
+            let list = d.generate_undirected(500, 9);
+            assert!(list.is_symmetric(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn determinism_across_calls() {
+        let d = Dataset::by_name("soc-Epinions").unwrap();
+        assert_eq!(d.generate(50, 3).edges, d.generate(50, 3).edges);
+    }
+}

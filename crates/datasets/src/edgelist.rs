@@ -1,0 +1,114 @@
+//! The common edge-list representation produced by all generators.
+
+use graft_pregel::{Graph, Value};
+
+/// A directed edge list over vertices `0..num_vertices`.
+#[derive(Clone, Debug)]
+pub struct EdgeList {
+    /// Dataset name (for tables and trace roots).
+    pub name: String,
+    /// Number of vertices (`0..num_vertices` all exist, even if isolated).
+    pub num_vertices: u64,
+    /// Directed edges.
+    pub edges: Vec<(u64, u64)>,
+}
+
+impl EdgeList {
+    /// Creates an edge list.
+    pub fn new(name: impl Into<String>, num_vertices: u64, edges: Vec<(u64, u64)>) -> Self {
+        Self { name: name.into(), num_vertices, edges }
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Removes duplicate edges and self-loops (in place), preserving
+    /// determinism by sorting first.
+    pub fn dedupe(&mut self) {
+        self.edges.retain(|(a, b)| a != b);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// The symmetrized ("undirected") version: every edge plus its
+    /// reverse, deduplicated. This is how the paper derives its `(u)`
+    /// variants from directed graphs.
+    pub fn symmetrized(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        for &(a, b) in &self.edges {
+            if a != b {
+                edges.push((a, b));
+                edges.push((b, a));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        EdgeList::new(format!("{}-u", self.name), self.num_vertices, edges)
+    }
+
+    /// Whether the edge set is symmetric (each edge has its reverse).
+    pub fn is_symmetric(&self) -> bool {
+        let set: std::collections::HashSet<(u64, u64)> = self.edges.iter().copied().collect();
+        self.edges.iter().all(|&(a, b)| set.contains(&(b, a)))
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u64> {
+        let mut degrees = vec![0u64; self.num_vertices as usize];
+        for &(a, _) in &self.edges {
+            degrees[a as usize] += 1;
+        }
+        degrees
+    }
+
+    /// Builds an unweighted [`Graph`] with every vertex initialized to
+    /// `default`.
+    pub fn to_graph<V: Value>(&self, default: V) -> Graph<u64, V, ()> {
+        let mut builder = Graph::builder();
+        for v in 0..self.num_vertices {
+            builder.add_vertex(v, default.clone()).expect("ids 0..n are unique");
+        }
+        for &(a, b) in &self.edges {
+            builder.add_edge(a, b, ()).expect("endpoints are in 0..n");
+        }
+        builder.build().expect("edge list forms a valid graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedupe_removes_loops_and_duplicates() {
+        let mut list = EdgeList::new("t", 3, vec![(0, 1), (1, 1), (0, 1), (2, 0)]);
+        list.dedupe();
+        assert_eq!(list.edges, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn symmetrization() {
+        let list = EdgeList::new("t", 3, vec![(0, 1), (1, 0), (1, 2)]);
+        let sym = list.symmetrized();
+        assert_eq!(sym.edges, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert!(sym.is_symmetric());
+        assert!(!list.is_symmetric());
+    }
+
+    #[test]
+    fn graph_conversion_includes_isolated_vertices() {
+        let list = EdgeList::new("t", 4, vec![(0, 1)]);
+        let graph = list.to_graph(0u32);
+        assert_eq!(graph.num_vertices(), 4);
+        assert_eq!(graph.num_edges(), 1);
+        assert!(graph.contains(3));
+    }
+
+    #[test]
+    fn degrees() {
+        let list = EdgeList::new("t", 3, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(list.out_degrees(), vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # graft-datasets
+//!
+//! Seeded synthetic graph generators standing in for the datasets of the
+//! Graft paper (Tables 1 and 2). The paper's evaluation measures
+//! *instrumentation overhead*, which depends on graph scale and shape —
+//! not on the exact real-world topology — so each real graph is replaced
+//! by a generator matched to its vertex/edge counts and degree
+//! character:
+//!
+//! | Paper dataset | Stand-in |
+//! |---|---|
+//! | web-BS, sk-2005 (web graphs) | [`rmat`] power-law generator |
+//! | soc-Epinions, twitter (social graphs) | [`social`] preferential attachment |
+//! | bipartite-1M-3M, bipartite-2B-6B | [`bipartite`] d-regular bipartite |
+//!
+//! [`catalog`] instantiates the six named datasets at a configurable
+//! linear scale divisor (Table 2's graphs are billions of edges; the
+//! benchmarks default to 1/1000 scale). [`weighted`] attaches symmetric
+//! edge weights and can inject the asymmetric-weight corruption of the
+//! paper's Scenario 4.3.
+//!
+//! All generators are deterministic in their seeds.
+
+pub mod bipartite;
+pub mod catalog;
+pub mod edgelist;
+pub mod rmat;
+pub mod social;
+pub mod weighted;
+
+pub use catalog::Dataset;
+pub use edgelist::EdgeList;

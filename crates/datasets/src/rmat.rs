@@ -1,0 +1,102 @@
+//! R-MAT recursive-matrix generator: the power-law stand-in for the
+//! paper's web graphs (web-BS, sk-2005).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edgelist::EdgeList;
+
+/// R-MAT quadrant probabilities. The defaults (0.57, 0.19, 0.19, 0.05)
+/// are the standard web-graph parameters from the R-MAT paper.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+/// Generates a directed R-MAT graph with `num_vertices` vertices and
+/// `num_edges` edges (self-loops and duplicates retained, as in raw web
+/// crawls; call [`EdgeList::dedupe`] if you need them gone).
+///
+/// Vertex ids are drawn in a power-of-two grid and folded onto
+/// `0..num_vertices`, so any vertex count works.
+pub fn generate(
+    name: &str,
+    num_vertices: u64,
+    num_edges: u64,
+    params: RmatParams,
+    seed: u64,
+) -> EdgeList {
+    assert!(num_vertices > 0, "need at least one vertex");
+    let levels = 64 - (num_vertices.max(2) - 1).leading_zeros();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    let (a, ab, abc) = (params.a, params.a + params.b, params.a + params.b + params.c);
+    for _ in 0..num_edges {
+        let mut src = 0u64;
+        let mut dst = 0u64;
+        for _ in 0..levels {
+            src <<= 1;
+            dst <<= 1;
+            let draw: f64 = rng.gen();
+            if draw < a {
+                // top-left: neither bit set
+            } else if draw < ab {
+                dst |= 1;
+            } else if draw < abc {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        edges.push((src % num_vertices, dst % num_vertices));
+    }
+    EdgeList::new(name, num_vertices, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts_and_determinism() {
+        let g1 = generate("w", 1000, 8000, RmatParams::default(), 42);
+        let g2 = generate("w", 1000, 8000, RmatParams::default(), 42);
+        assert_eq!(g1.num_vertices, 1000);
+        assert_eq!(g1.num_edges(), 8000);
+        assert_eq!(g1.edges, g2.edges);
+        let g3 = generate("w", 1000, 8000, RmatParams::default(), 43);
+        assert_ne!(g1.edges, g3.edges);
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let g = generate("w", 123, 5000, RmatParams::default(), 7);
+        assert!(g.edges.iter().all(|&(a, b)| a < 123 && b < 123));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Power-law-ish: the busiest vertex should dwarf the median.
+        let g = generate("w", 4096, 40_000, RmatParams::default(), 1);
+        let mut degrees = g.out_degrees();
+        degrees.sort_unstable();
+        let max = *degrees.last().unwrap();
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            max > median.max(1) * 10,
+            "expected a skewed distribution, max {max} median {median}"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Preferential-attachment generator: the stand-in for the paper's
+//! social graphs (soc-Epinions "who trusts whom", twitter "who is
+//! followed by whom").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edgelist::EdgeList;
+
+/// Generates a directed preferential-attachment graph: vertices arrive
+/// one by one and each links to `edges_per_vertex` earlier vertices,
+/// sampled proportionally to their current degree (Barabási–Albert via
+/// the repeated-endpoint trick), producing the heavy-tailed in-degree
+/// distribution characteristic of follower networks.
+pub fn generate(
+    name: &str,
+    num_vertices: u64,
+    edges_per_vertex: u64,
+    seed: u64,
+) -> EdgeList {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    let m = edges_per_vertex.max(1) as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u64, u64)> = Vec::with_capacity(num_vertices as usize * m);
+    // Endpoint pool: each occurrence of a vertex id gives it one unit of
+    // attachment probability mass.
+    let mut pool: Vec<u64> = vec![0, 1];
+    edges.push((1, 0));
+    for v in 2..num_vertices {
+        for _ in 0..m.min(v as usize) {
+            let target = pool[rng.gen_range(0..pool.len())];
+            edges.push((v, target));
+            pool.push(target);
+        }
+        pool.push(v);
+    }
+    EdgeList::new(name, num_vertices, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let g1 = generate("s", 500, 6, 9);
+        let g2 = generate("s", 500, 6, 9);
+        assert_eq!(g1.edges, g2.edges);
+        // Roughly m edges per vertex (first few vertices add fewer).
+        assert!(g1.num_edges() > 6 * 490 && g1.num_edges() <= 6 * 500);
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let g = generate("s", 3000, 5, 3);
+        let mut in_degrees = vec![0u64; 3000];
+        for &(_, b) in &g.edges {
+            in_degrees[b as usize] += 1;
+        }
+        in_degrees.sort_unstable();
+        let max = *in_degrees.last().unwrap();
+        let median = in_degrees[in_degrees.len() / 2];
+        assert!(max > median.max(1) * 10, "max {max} median {median}");
+    }
+
+    #[test]
+    fn no_forward_edges() {
+        let g = generate("s", 200, 3, 1);
+        assert!(g.edges.iter().all(|&(a, b)| b < a), "links point to earlier vertices");
+    }
+}

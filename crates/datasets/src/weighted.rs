@@ -1,0 +1,141 @@
+//! Symmetric edge weights and the Scenario 4.3 corruption.
+//!
+//! The paper's MWM scenario runs on "a weighted version of the
+//! soc-Epinions graph, encoded as undirected by having symmetric
+//! directed edges between every pair of adjacent vertices. However, a
+//! small fraction of the edges incorrectly have different weights on
+//! their symmetric edges." [`weight_graph`] produces the well-formed
+//! version; [`corrupt_weights`] injects the asymmetry.
+
+use graft_pregel::{Graph, Value};
+
+use crate::edgelist::EdgeList;
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic symmetric weight for the undirected pair `{a, b}`:
+/// both directions hash the (min, max) endpoints, so the weight is equal
+/// by construction. Weights are in `(0, 100]`, distinct with high
+/// probability.
+pub fn symmetric_weight(seed: u64, a: u64, b: u64) -> f64 {
+    let (lo, hi) = (a.min(b), a.max(b));
+    let h = mix64(seed ^ mix64(lo).wrapping_add(mix64(hi).rotate_left(32)));
+    ((h % 1_000_000) as f64 + 1.0) / 10_000.0
+}
+
+/// Builds a weighted graph from a symmetric edge list, every direction
+/// of an undirected edge carrying the same weight.
+pub fn weight_graph<V: Value>(list: &EdgeList, seed: u64, default: V) -> Graph<u64, V, f64> {
+    let mut builder = Graph::builder();
+    for v in 0..list.num_vertices {
+        builder.add_vertex(v, default.clone()).expect("ids 0..n are unique");
+    }
+    for &(a, b) in &list.edges {
+        builder.add_edge(a, b, symmetric_weight(seed, a, b)).expect("endpoints exist");
+    }
+    builder.build().expect("edge list forms a valid graph")
+}
+
+/// Corrupts roughly `fraction` of the directed edges by perturbing their
+/// weight — only in one direction — reproducing the paper's asymmetric
+/// input error. Returns the number of edges corrupted.
+///
+/// Corruption is deterministic in `seed`.
+pub fn corrupt_weights<V: Value>(
+    graph: Graph<u64, V, f64>,
+    fraction: f64,
+    seed: u64,
+) -> (Graph<u64, V, f64>, u64) {
+    let threshold = (fraction.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+    let mut corrupted = 0;
+    let mut builder = Graph::builder();
+    for (id, value, _) in graph.iter() {
+        builder.add_vertex(id, value.clone()).expect("source graph ids are unique");
+    }
+    for (id, _, edges) in graph.iter() {
+        for edge in edges {
+            // Hash the *directed* pair so only one direction changes.
+            let h = mix64(seed ^ mix64(id).wrapping_add(mix64(edge.target)));
+            // Only corrupt the lower-id-first direction to guarantee the
+            // reverse keeps the original weight.
+            let weight = if id < edge.target && h < threshold {
+                corrupted += 1;
+                edge.value * 3.0 + 7.5
+            } else {
+                edge.value
+            };
+            builder.add_edge(id, edge.target, weight).expect("endpoints exist");
+        }
+    }
+    (builder.build().expect("same topology as input"), corrupted)
+}
+
+/// Finds the undirected pairs whose two directions carry different
+/// weights — what the paper's user discovers by inspecting the remaining
+/// active vertices in the Graft GUI.
+pub fn asymmetric_weight_pairs<V: Value>(graph: &Graph<u64, V, f64>) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for (id, _, edges) in graph.iter() {
+        for edge in edges {
+            if id < edge.target {
+                let reverse = graph
+                    .out_edges(edge.target)
+                    .and_then(|back| back.iter().find(|e| e.target == id))
+                    .map(|e| e.value);
+                if let Some(reverse_weight) = reverse {
+                    if (reverse_weight - edge.value).abs() > 1e-12 {
+                        out.push((id, edge.target));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite;
+
+    #[test]
+    fn weights_are_symmetric_by_construction() {
+        assert_eq!(symmetric_weight(1, 5, 9), symmetric_weight(1, 9, 5));
+        assert_ne!(symmetric_weight(1, 5, 9), symmetric_weight(2, 5, 9));
+        let list = bipartite::generate_regular("b", 40, 3, 7);
+        let graph = weight_graph(&list, 11, 0u32);
+        assert!(asymmetric_weight_pairs(&graph).is_empty());
+    }
+
+    #[test]
+    fn corruption_injects_detectable_asymmetry() {
+        let list = bipartite::generate_regular("b", 40, 3, 7);
+        let graph = weight_graph(&list, 11, 0u32);
+        let (corrupted, count) = corrupt_weights(graph, 0.1, 99);
+        assert!(count > 0);
+        let pairs = asymmetric_weight_pairs(&corrupted);
+        assert_eq!(pairs.len() as u64, count);
+    }
+
+    #[test]
+    fn zero_fraction_corrupts_nothing() {
+        let list = bipartite::generate_regular("b", 20, 3, 7);
+        let graph = weight_graph(&list, 11, 0u32);
+        let (same, count) = corrupt_weights(graph, 0.0, 99);
+        assert_eq!(count, 0);
+        assert!(asymmetric_weight_pairs(&same).is_empty());
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        for (a, b) in [(0u64, 1u64), (7, 3), (1000, 999)] {
+            let w = symmetric_weight(5, a, b);
+            assert!(w > 0.0 && w <= 100.0);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The `FileSystem` trait shared by every backend.
+
+use std::io::{Read, Write};
+
+use crate::error::FsResult;
+
+/// Whether a path names a file or a directory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Directory,
+}
+
+/// Metadata for one directory entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FileStatus {
+    /// Absolute normalized path.
+    pub path: String,
+    /// File or directory.
+    pub kind: FileKind,
+    /// Length in bytes (0 for directories).
+    pub len: u64,
+}
+
+impl FileStatus {
+    /// True when this entry is a regular file.
+    pub fn is_file(&self) -> bool {
+        self.kind == FileKind::File
+    }
+}
+
+/// A writable handle to a file being created.
+///
+/// Data becomes visible to readers when the handle is dropped or
+/// [`FileWrite::sync`] is called, mirroring HDFS's create-then-close
+/// visibility model.
+pub trait FileWrite: Write + Send {
+    /// Flushes buffered data and makes it visible to readers.
+    fn sync(&mut self) -> FsResult<()>;
+}
+
+/// A readable handle to an existing file.
+pub trait FileRead: Read + Send {
+    /// Total length of the file in bytes.
+    fn len(&self) -> u64;
+
+    /// True when the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A file system where Graft stores trace files.
+///
+/// All paths are absolute `/`-separated strings (see [`crate::DfsPath`]).
+/// Implementations are safe to share across worker threads.
+pub trait FileSystem: Send + Sync {
+    /// Creates a file (and any missing parent directories), truncating an
+    /// existing file at the same path.
+    fn create(&self, path: &str) -> FsResult<Box<dyn FileWrite>>;
+
+    /// Opens an existing file for reading.
+    fn open(&self, path: &str) -> FsResult<Box<dyn FileRead>>;
+
+    /// Lists the entries of a directory, sorted by path.
+    fn list(&self, path: &str) -> FsResult<Vec<FileStatus>>;
+
+    /// Returns metadata for a path.
+    fn status(&self, path: &str) -> FsResult<FileStatus>;
+
+    /// Whether the path exists (as a file or directory).
+    fn exists(&self, path: &str) -> bool;
+
+    /// Creates a directory and all missing ancestors.
+    fn mkdirs(&self, path: &str) -> FsResult<()>;
+
+    /// Deletes a path. Directories require `recursive` unless empty.
+    fn delete(&self, path: &str, recursive: bool) -> FsResult<()>;
+
+    /// Convenience: writes an entire file in one call.
+    fn write_all(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        let mut w = self.create(path)?;
+        w.write_all(data).map_err(crate::FsError::from)?;
+        w.sync()
+    }
+
+    /// Convenience: reads an entire file in one call.
+    fn read_all(&self, path: &str) -> FsResult<Vec<u8>> {
+        let mut r = self.open(path)?;
+        let mut buf = Vec::with_capacity(r.len() as usize);
+        r.read_to_end(&mut buf).map_err(crate::FsError::from)?;
+        Ok(buf)
+    }
+
+    /// Convenience: lists only the files under `path`, recursively,
+    /// sorted by path.
+    fn list_files_recursive(&self, path: &str) -> FsResult<Vec<FileStatus>> {
+        let mut out = Vec::new();
+        let mut stack = vec![path.to_string()];
+        while let Some(dir) = stack.pop() {
+            for entry in self.list(&dir)? {
+                match entry.kind {
+                    FileKind::File => out.push(entry),
+                    FileKind::Directory => stack.push(entry.path.clone()),
+                }
+            }
+        }
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+}
+
+impl<F: FileSystem + ?Sized> FileSystem for std::sync::Arc<F> {
+    fn create(&self, path: &str) -> FsResult<Box<dyn FileWrite>> {
+        (**self).create(path)
+    }
+
+    fn open(&self, path: &str) -> FsResult<Box<dyn FileRead>> {
+        (**self).open(path)
+    }
+
+    fn list(&self, path: &str) -> FsResult<Vec<FileStatus>> {
+        (**self).list(path)
+    }
+
+    fn status(&self, path: &str) -> FsResult<FileStatus> {
+        (**self).status(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        (**self).exists(path)
+    }
+
+    fn mkdirs(&self, path: &str) -> FsResult<()> {
+        (**self).mkdirs(path)
+    }
+
+    fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
+        (**self).delete(path, recursive)
+    }
+}

@@ -1,0 +1,680 @@
+//! Block-based cluster file system: the HDFS simulation proper.
+//!
+//! Files are split into fixed-size blocks. Each block is replicated onto
+//! `replication` distinct simulated datanodes chosen round-robin among the
+//! live ones; a namenode (the `ClusterState` under the lock) maps file
+//! paths to block lists and block ids to replica locations. Datanodes can
+//! be killed and revived to exercise failure handling, and
+//! [`ClusterFs::re_replicate`] restores the replication factor after
+//! failures, as the HDFS namenode would.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::api::{FileKind, FileRead, FileStatus, FileSystem, FileWrite};
+use crate::error::{FsError, FsResult};
+use crate::path::DfsPath;
+
+/// Configuration for [`ClusterFs`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterFsConfig {
+    /// Number of simulated datanodes.
+    pub num_datanodes: usize,
+    /// Replicas per block. Must be ≥ 1 and ≤ `num_datanodes`.
+    pub replication: usize,
+    /// Block size in bytes. HDFS defaults to 128 MiB; the simulation
+    /// defaults to 64 KiB so tests exercise multi-block files cheaply.
+    pub block_size: usize,
+}
+
+impl Default for ClusterFsConfig {
+    fn default() -> Self {
+        Self { num_datanodes: 4, replication: 3, block_size: 64 * 1024 }
+    }
+}
+
+type BlockId = u64;
+
+#[derive(Clone, Debug)]
+enum INode {
+    Directory,
+    File { blocks: Vec<BlockId>, len: u64 },
+}
+
+struct DataNode {
+    alive: bool,
+    blocks: HashMap<BlockId, Bytes>,
+}
+
+struct ClusterState {
+    namespace: BTreeMap<String, INode>,
+    datanodes: Vec<DataNode>,
+    /// block id -> datanode indices holding a replica
+    locations: HashMap<BlockId, Vec<usize>>,
+    next_block: BlockId,
+    placement_cursor: usize,
+}
+
+/// Aggregate statistics about the simulated cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Datanodes currently alive.
+    pub live_datanodes: usize,
+    /// Total datanodes (alive or dead).
+    pub total_datanodes: usize,
+    /// Distinct blocks tracked by the namenode.
+    pub blocks: usize,
+    /// Total replicas stored across datanodes.
+    pub replicas: usize,
+    /// Blocks whose live replica count is below the replication factor.
+    pub under_replicated: usize,
+    /// Blocks with no live replica at all.
+    pub unavailable: usize,
+}
+
+/// The HDFS-like [`FileSystem`] backend.
+#[derive(Clone)]
+pub struct ClusterFs {
+    config: ClusterFsConfig,
+    state: Arc<RwLock<ClusterState>>,
+}
+
+impl ClusterFs {
+    /// Creates a cluster with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the replication factor is zero or exceeds the number of
+    /// datanodes, or if the block size is zero — those are configuration
+    /// bugs, not runtime conditions.
+    pub fn new(config: ClusterFsConfig) -> Self {
+        assert!(config.replication >= 1, "replication factor must be >= 1");
+        assert!(
+            config.replication <= config.num_datanodes,
+            "replication {} exceeds datanode count {}",
+            config.replication,
+            config.num_datanodes
+        );
+        assert!(config.block_size > 0, "block size must be > 0");
+        let datanodes = (0..config.num_datanodes)
+            .map(|_| DataNode { alive: true, blocks: HashMap::new() })
+            .collect();
+        Self {
+            config,
+            state: Arc::new(RwLock::new(ClusterState {
+                namespace: BTreeMap::new(),
+                datanodes,
+                locations: HashMap::new(),
+                next_block: 0,
+                placement_cursor: 0,
+            })),
+        }
+    }
+
+    /// The configuration the cluster was built with.
+    pub fn config(&self) -> ClusterFsConfig {
+        self.config
+    }
+
+    /// Marks a datanode as failed. Its replicas become unreadable until
+    /// it is revived or the cluster re-replicates.
+    pub fn kill_datanode(&self, id: usize) -> FsResult<()> {
+        let mut state = self.state.write();
+        let node = state.datanodes.get_mut(id).ok_or(FsError::NoSuchDataNode(id))?;
+        node.alive = false;
+        Ok(())
+    }
+
+    /// Brings a failed datanode back, with all the replicas it held.
+    pub fn revive_datanode(&self, id: usize) -> FsResult<()> {
+        let mut state = self.state.write();
+        let node = state.datanodes.get_mut(id).ok_or(FsError::NoSuchDataNode(id))?;
+        node.alive = true;
+        Ok(())
+    }
+
+    /// Copies under-replicated blocks to additional live datanodes until
+    /// every block has `replication` live replicas (or no more nodes are
+    /// available). Returns the number of new replicas created.
+    pub fn re_replicate(&self) -> usize {
+        let mut state = self.state.write();
+        let state = &mut *state;
+        let mut created = 0;
+        let block_ids: Vec<BlockId> = state.locations.keys().copied().collect();
+        for block in block_ids {
+            let holders = state.locations.get(&block).cloned().unwrap_or_default();
+            let live_holders: Vec<usize> =
+                holders.iter().copied().filter(|&d| state.datanodes[d].alive).collect();
+            let Some(&source) = live_holders.first() else { continue };
+            let mut live_count = live_holders.len();
+            if live_count >= self.config.replication {
+                continue;
+            }
+            let data = state.datanodes[source].blocks[&block].clone();
+            let candidates: Vec<usize> = (0..state.datanodes.len())
+                .filter(|&d| state.datanodes[d].alive && !holders.contains(&d))
+                .collect();
+            for d in candidates {
+                if live_count >= self.config.replication {
+                    break;
+                }
+                state.datanodes[d].blocks.insert(block, data.clone());
+                state.locations.entry(block).or_default().push(d);
+                live_count += 1;
+                created += 1;
+            }
+        }
+        created
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> ClusterStats {
+        let state = self.state.read();
+        let live = state.datanodes.iter().filter(|d| d.alive).count();
+        let replicas = state.datanodes.iter().map(|d| d.blocks.len()).sum();
+        let mut under = 0;
+        let mut unavailable = 0;
+        for holders in state.locations.values() {
+            let live_holders =
+                holders.iter().filter(|&&d| state.datanodes[d].alive).count();
+            if live_holders == 0 {
+                unavailable += 1;
+            }
+            if live_holders < self.config.replication {
+                under += 1;
+            }
+        }
+        ClusterStats {
+            live_datanodes: live,
+            total_datanodes: state.datanodes.len(),
+            blocks: state.locations.len(),
+            replicas,
+            under_replicated: under,
+            unavailable,
+        }
+    }
+
+    /// Bytes of replica data held by each datanode, for balance checks.
+    pub fn bytes_per_datanode(&self) -> Vec<u64> {
+        let state = self.state.read();
+        state
+            .datanodes
+            .iter()
+            .map(|d| d.blocks.values().map(|b| b.len() as u64).sum())
+            .collect()
+    }
+
+    fn ensure_parents(state: &mut ClusterState, path: &DfsPath) -> FsResult<()> {
+        let mut current = DfsPath::root();
+        for component in path.components() {
+            if !current.is_root() {
+                match state.namespace.get(current.as_str()) {
+                    Some(INode::File { .. }) => {
+                        return Err(FsError::NotADirectory(current.to_string()))
+                    }
+                    _ => {
+                        state
+                            .namespace
+                            .entry(current.as_str().to_string())
+                            .or_insert(INode::Directory);
+                    }
+                }
+            }
+            current = current.join(component)?;
+        }
+        Ok(())
+    }
+
+    fn drop_file_blocks(state: &mut ClusterState, blocks: &[BlockId]) {
+        for block in blocks {
+            if let Some(holders) = state.locations.remove(block) {
+                for d in holders {
+                    state.datanodes[d].blocks.remove(block);
+                }
+            }
+        }
+    }
+
+    /// Seals one block: assigns an id, places replicas, records locations.
+    fn seal_block(&self, state: &mut ClusterState, data: Bytes) -> FsResult<BlockId> {
+        let live: Vec<usize> =
+            (0..state.datanodes.len()).filter(|&d| state.datanodes[d].alive).collect();
+        if live.len() < self.config.replication {
+            return Err(FsError::InsufficientDataNodes {
+                live: live.len(),
+                needed: self.config.replication,
+            });
+        }
+        let block = state.next_block;
+        state.next_block += 1;
+        let mut holders = Vec::with_capacity(self.config.replication);
+        for k in 0..self.config.replication {
+            let node = live[(state.placement_cursor + k) % live.len()];
+            state.datanodes[node].blocks.insert(block, data.clone());
+            holders.push(node);
+        }
+        state.placement_cursor = state.placement_cursor.wrapping_add(1);
+        state.locations.insert(block, holders);
+        Ok(block)
+    }
+}
+
+impl FileSystem for ClusterFs {
+    fn create(&self, path: &str) -> FsResult<Box<dyn FileWrite>> {
+        let path = DfsPath::parse(path)?;
+        if path.is_root() {
+            return Err(FsError::NotAFile(path.to_string()));
+        }
+        let mut state = self.state.write();
+        Self::ensure_parents(&mut state, &path)?;
+        match state.namespace.get(path.as_str()).cloned() {
+            Some(INode::Directory) => return Err(FsError::NotAFile(path.to_string())),
+            Some(INode::File { blocks, .. }) => {
+                Self::drop_file_blocks(&mut state, &blocks);
+            }
+            None => {}
+        }
+        state
+            .namespace
+            .insert(path.as_str().to_string(), INode::File { blocks: Vec::new(), len: 0 });
+        Ok(Box::new(ClusterWriter {
+            fs: self.clone(),
+            path: path.as_str().to_string(),
+            pending: Vec::new(),
+            sealed: Vec::new(),
+            sealed_len: 0,
+        }))
+    }
+
+    fn open(&self, path: &str) -> FsResult<Box<dyn FileRead>> {
+        let path = DfsPath::parse(path)?;
+        let state = self.state.read();
+        match state.namespace.get(path.as_str()) {
+            Some(INode::File { blocks, len }) => {
+                // Resolve every block to a live replica up front, so the
+                // reader fails fast if the file is unavailable.
+                let mut chunks = Vec::with_capacity(blocks.len());
+                for block in blocks {
+                    let holders =
+                        state.locations.get(block).ok_or(FsError::BlockUnavailable {
+                            path: path.to_string(),
+                            block: *block,
+                        })?;
+                    let live = holders
+                        .iter()
+                        .copied()
+                        .find(|&d| state.datanodes[d].alive)
+                        .ok_or(FsError::BlockUnavailable {
+                            path: path.to_string(),
+                            block: *block,
+                        })?;
+                    chunks.push(state.datanodes[live].blocks[block].clone());
+                }
+                Ok(Box::new(ClusterReader { chunks, len: *len, chunk_idx: 0, offset: 0 }))
+            }
+            Some(INode::Directory) => Err(FsError::NotAFile(path.to_string())),
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn list(&self, path: &str) -> FsResult<Vec<FileStatus>> {
+        let path = DfsPath::parse(path)?;
+        let state = self.state.read();
+        if !path.is_root() {
+            match state.namespace.get(path.as_str()) {
+                Some(INode::Directory) => {}
+                Some(INode::File { .. }) => {
+                    return Err(FsError::NotADirectory(path.to_string()))
+                }
+                None => return Err(FsError::NotFound(path.to_string())),
+            }
+        }
+        let mut out = Vec::new();
+        for (entry_path, node) in state.namespace.iter() {
+            let entry = DfsPath::parse(entry_path).expect("stored paths are normalized");
+            if entry.parent().as_ref() == Some(&path) {
+                out.push(FileStatus {
+                    path: entry_path.clone(),
+                    kind: match node {
+                        INode::File { .. } => FileKind::File,
+                        INode::Directory => FileKind::Directory,
+                    },
+                    len: match node {
+                        INode::File { len, .. } => *len,
+                        INode::Directory => 0,
+                    },
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    fn status(&self, path: &str) -> FsResult<FileStatus> {
+        let path = DfsPath::parse(path)?;
+        if path.is_root() {
+            return Ok(FileStatus { path: "/".into(), kind: FileKind::Directory, len: 0 });
+        }
+        let state = self.state.read();
+        match state.namespace.get(path.as_str()) {
+            Some(INode::File { len, .. }) => Ok(FileStatus {
+                path: path.to_string(),
+                kind: FileKind::File,
+                len: *len,
+            }),
+            Some(INode::Directory) => {
+                Ok(FileStatus { path: path.to_string(), kind: FileKind::Directory, len: 0 })
+            }
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        match DfsPath::parse(path) {
+            Ok(p) => p.is_root() || self.state.read().namespace.contains_key(p.as_str()),
+            Err(_) => false,
+        }
+    }
+
+    fn mkdirs(&self, path: &str) -> FsResult<()> {
+        let path = DfsPath::parse(path)?;
+        let mut state = self.state.write();
+        Self::ensure_parents(&mut state, &path)?;
+        if path.is_root() {
+            return Ok(());
+        }
+        match state.namespace.get(path.as_str()) {
+            Some(INode::File { .. }) => Err(FsError::NotADirectory(path.to_string())),
+            _ => {
+                state.namespace.insert(path.as_str().to_string(), INode::Directory);
+                Ok(())
+            }
+        }
+    }
+
+    fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
+        let path = DfsPath::parse(path)?;
+        let mut state = self.state.write();
+        if path.is_root() {
+            if !recursive && !state.namespace.is_empty() {
+                return Err(FsError::DirectoryNotEmpty(path.to_string()));
+            }
+            let all: Vec<String> = state.namespace.keys().cloned().collect();
+            for p in all {
+                if let Some(INode::File { blocks, .. }) = state.namespace.remove(&p) {
+                    Self::drop_file_blocks(&mut state, &blocks);
+                }
+            }
+            return Ok(());
+        }
+        match state.namespace.get(path.as_str()).cloned() {
+            None => return Err(FsError::NotFound(path.to_string())),
+            Some(INode::File { blocks, .. }) => {
+                state.namespace.remove(path.as_str());
+                Self::drop_file_blocks(&mut state, &blocks);
+                return Ok(());
+            }
+            Some(INode::Directory) => {}
+        }
+        let children: Vec<String> = state
+            .namespace
+            .range(path.as_str().to_string()..)
+            .take_while(|(k, _)| {
+                DfsPath::parse(k).expect("stored paths are normalized").starts_with(&path)
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        if children.len() > 1 && !recursive {
+            return Err(FsError::DirectoryNotEmpty(path.to_string()));
+        }
+        for child in children {
+            if let Some(INode::File { blocks, .. }) = state.namespace.remove(&child) {
+                Self::drop_file_blocks(&mut state, &blocks);
+            }
+        }
+        Ok(())
+    }
+}
+
+struct ClusterWriter {
+    fs: ClusterFs,
+    path: String,
+    pending: Vec<u8>,
+    sealed: Vec<BlockId>,
+    sealed_len: u64,
+}
+
+impl ClusterWriter {
+    fn seal_full_blocks(&mut self) -> FsResult<()> {
+        let block_size = self.fs.config.block_size;
+        while self.pending.len() >= block_size {
+            let rest = self.pending.split_off(block_size);
+            let full = std::mem::replace(&mut self.pending, rest);
+            let mut state = self.fs.state.write();
+            let id = self.fs.seal_block(&mut state, Bytes::from(full))?;
+            self.sealed.push(id);
+            self.sealed_len += block_size as u64;
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self) -> FsResult<()> {
+        self.seal_full_blocks()?;
+        let mut state = self.fs.state.write();
+        let mut blocks = self.sealed.clone();
+        let mut len = self.sealed_len;
+        if !self.pending.is_empty() {
+            // The trailing partial block is sealed on every sync; a later
+            // sync with more data replaces it.
+            let tail = Bytes::from(self.pending.clone());
+            len += tail.len() as u64;
+            let id = self.fs.seal_block(&mut state, tail)?;
+            blocks.push(id);
+        }
+        if let Some(INode::File { blocks: old, .. }) =
+            state.namespace.insert(self.path.clone(), INode::File { blocks, len })
+        {
+            let stale: Vec<BlockId> =
+                old.into_iter().filter(|b| !self.sealed.contains(b)).collect();
+            ClusterFs::drop_file_blocks(&mut state, &stale);
+        }
+        Ok(())
+    }
+}
+
+impl Write for ClusterWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.pending.extend_from_slice(data);
+        if self.pending.len() >= 4 * self.fs.config.block_size {
+            self.seal_full_blocks()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl FileWrite for ClusterWriter {
+    fn sync(&mut self) -> FsResult<()> {
+        self.commit()
+    }
+}
+
+impl Drop for ClusterWriter {
+    fn drop(&mut self) {
+        let _ = self.commit();
+    }
+}
+
+struct ClusterReader {
+    chunks: Vec<Bytes>,
+    len: u64,
+    chunk_idx: usize,
+    offset: usize,
+}
+
+impl Read for ClusterReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        while self.chunk_idx < self.chunks.len() {
+            let chunk = &self.chunks[self.chunk_idx];
+            if self.offset < chunk.len() {
+                let available = &chunk[self.offset..];
+                let n = available.len().min(out.len());
+                out[..n].copy_from_slice(&available[..n]);
+                self.offset += n;
+                return Ok(n);
+            }
+            self.chunk_idx += 1;
+            self.offset = 0;
+        }
+        Ok(0)
+    }
+}
+
+impl FileRead for ClusterReader {
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> ClusterFs {
+        ClusterFs::new(ClusterFsConfig { num_datanodes: 4, replication: 2, block_size: 16 })
+    }
+
+    #[test]
+    fn multi_block_roundtrip() {
+        let fs = small_cluster();
+        let data: Vec<u8> = (0..200u8).collect();
+        fs.write_all("/f", &data).unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), data);
+        let stats = fs.stats();
+        // 200 bytes / 16-byte blocks = 13 blocks, 2 replicas each.
+        assert_eq!(stats.blocks, 13);
+        assert_eq!(stats.replicas, 26);
+        assert_eq!(stats.under_replicated, 0);
+    }
+
+    #[test]
+    fn survives_fewer_than_r_failures() {
+        let fs = small_cluster();
+        let data = vec![7u8; 500];
+        fs.write_all("/f", &data).unwrap();
+        fs.kill_datanode(0).unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), data, "one failure with r=2 must be survivable");
+    }
+
+    #[test]
+    fn re_replication_restores_durability() {
+        let fs = small_cluster();
+        let data = vec![9u8; 300];
+        fs.write_all("/f", &data).unwrap();
+        fs.kill_datanode(0).unwrap();
+        assert!(fs.stats().under_replicated > 0);
+        let created = fs.re_replicate();
+        assert!(created > 0);
+        assert_eq!(fs.stats().under_replicated, 0);
+        // Now a second failure among the original nodes is survivable.
+        fs.kill_datanode(1).unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), data);
+    }
+
+    #[test]
+    fn unavailable_block_reported() {
+        let fs = ClusterFs::new(ClusterFsConfig {
+            num_datanodes: 2,
+            replication: 2,
+            block_size: 16,
+        });
+        fs.write_all("/f", b"some data that spans blocks....").unwrap();
+        fs.kill_datanode(0).unwrap();
+        fs.kill_datanode(1).unwrap();
+        assert!(matches!(fs.open("/f"), Err(FsError::BlockUnavailable { .. })));
+        fs.revive_datanode(0).unwrap();
+        assert!(fs.open("/f").is_ok());
+    }
+
+    #[test]
+    fn create_fails_with_insufficient_live_nodes() {
+        let fs = small_cluster();
+        fs.kill_datanode(0).unwrap();
+        fs.kill_datanode(1).unwrap();
+        fs.kill_datanode(2).unwrap();
+        let err = fs.write_all("/f", b"data").unwrap_err();
+        assert!(matches!(err, FsError::InsufficientDataNodes { live: 1, needed: 2 }));
+    }
+
+    #[test]
+    fn truncating_create_frees_blocks() {
+        let fs = small_cluster();
+        fs.write_all("/f", &[1u8; 160]).unwrap();
+        let before = fs.stats().blocks;
+        assert_eq!(before, 10);
+        fs.write_all("/f", b"tiny").unwrap();
+        assert_eq!(fs.stats().blocks, 1);
+        assert_eq!(fs.read_all("/f").unwrap(), b"tiny");
+    }
+
+    #[test]
+    fn delete_frees_blocks() {
+        let fs = small_cluster();
+        fs.write_all("/d/f1", &[1u8; 64]).unwrap();
+        fs.write_all("/d/f2", &[2u8; 64]).unwrap();
+        assert!(fs.stats().blocks > 0);
+        fs.delete("/d", true).unwrap();
+        assert_eq!(fs.stats().blocks, 0);
+        assert_eq!(fs.stats().replicas, 0);
+    }
+
+    #[test]
+    fn placement_is_balanced() {
+        let fs = ClusterFs::new(ClusterFsConfig {
+            num_datanodes: 4,
+            replication: 1,
+            block_size: 10,
+        });
+        fs.write_all("/f", &vec![0u8; 400]).unwrap(); // 40 blocks
+        let per_node = fs.bytes_per_datanode();
+        assert_eq!(per_node.len(), 4);
+        let (min, max) =
+            (per_node.iter().min().unwrap(), per_node.iter().max().unwrap());
+        assert!(max - min <= 10, "imbalanced placement: {per_node:?}");
+    }
+
+    #[test]
+    fn incremental_sync_extends_file() {
+        let fs = small_cluster();
+        let mut w = fs.create("/log").unwrap();
+        w.write_all(b"first ").unwrap();
+        w.sync().unwrap();
+        assert_eq!(fs.read_all("/log").unwrap(), b"first ");
+        w.write_all(b"second").unwrap();
+        w.sync().unwrap();
+        assert_eq!(fs.read_all("/log").unwrap(), b"first second");
+    }
+
+    #[test]
+    fn directory_semantics_match_memory_backend() {
+        let fs = small_cluster();
+        fs.write_all("/a/b/c.txt", b"x").unwrap();
+        assert_eq!(fs.status("/a").unwrap().kind, FileKind::Directory);
+        assert!(matches!(fs.list("/a/b/c.txt"), Err(FsError::NotADirectory(_))));
+        assert!(matches!(fs.delete("/a", false), Err(FsError::DirectoryNotEmpty(_))));
+        let names: Vec<String> =
+            fs.list_files_recursive("/").unwrap().into_iter().map(|s| s.path).collect();
+        assert_eq!(names, vec!["/a/b/c.txt"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn invalid_replication_panics() {
+        ClusterFs::new(ClusterFsConfig { num_datanodes: 2, replication: 3, block_size: 16 });
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for file-system operations.
+
+use std::fmt;
+
+/// Result alias for DFS operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors returned by [`crate::FileSystem`] implementations.
+#[derive(Debug)]
+pub enum FsError {
+    /// The path does not exist.
+    NotFound(String),
+    /// The path already exists and the operation requires it not to.
+    AlreadyExists(String),
+    /// A directory was found where a file was required, or vice versa.
+    NotAFile(String),
+    /// A file was found where a directory was required.
+    NotADirectory(String),
+    /// Attempted to delete a non-empty directory without `recursive`.
+    DirectoryNotEmpty(String),
+    /// The path string is malformed (empty, relative, or contains `..`).
+    InvalidPath(String),
+    /// A block has no live replica (cluster backend only).
+    BlockUnavailable { path: String, block: u64 },
+    /// A datanode id was out of range (cluster backend only).
+    NoSuchDataNode(usize),
+    /// Too few live datanodes to satisfy the replication factor.
+    InsufficientDataNodes { live: usize, needed: usize },
+    /// Underlying I/O error (local backend).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotAFile(p) => write!(f, "not a file: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
+            FsError::BlockUnavailable { path, block } => {
+                write!(f, "block {block} of {path} has no live replica")
+            }
+            FsError::NoSuchDataNode(id) => write!(f, "no such datanode: {id}"),
+            FsError::InsufficientDataNodes { live, needed } => {
+                write!(f, "only {live} datanode(s) live, {needed} needed for replication")
+            }
+            FsError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FsError {
+    fn from(e: std::io::Error) -> Self {
+        FsError::Io(e)
+    }
+}
+
+impl From<FsError> for std::io::Error {
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::Io(io) => io,
+            FsError::NotFound(_) => std::io::Error::new(std::io::ErrorKind::NotFound, e),
+            other => std::io::Error::other(other),
+        }
+    }
+}

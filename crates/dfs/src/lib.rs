@@ -1,0 +1,42 @@
+//! # graft-dfs
+//!
+//! A small distributed-file-system simulation standing in for HDFS, which
+//! is where the original Graft writes its trace files.
+//!
+//! Three backends implement the same [`FileSystem`] trait:
+//!
+//! * [`InMemoryFs`] — a thread-safe in-process tree; the default for tests
+//!   and examples.
+//! * [`LocalFs`] — a thin wrapper over a root directory on the local disk,
+//!   for users who want traces to survive the process.
+//! * [`ClusterFs`] — the HDFS simulation proper: files are split into
+//!   fixed-size blocks, each block is replicated onto `r` simulated
+//!   datanodes, a namenode tracks block locations, and datanodes can be
+//!   killed and revived to exercise failure handling. As long as fewer
+//!   than `r` datanodes holding a block's replicas are down, reads
+//!   succeed.
+//!
+//! Paths are absolute, `/`-separated strings normalized by [`DfsPath`].
+//!
+//! ```
+//! use graft_dfs::{FileSystem, InMemoryFs};
+//!
+//! let fs = InMemoryFs::new();
+//! fs.write_all("/traces/job-1/superstep_0/worker_0.trace", b"hello").unwrap();
+//! assert_eq!(fs.read_all("/traces/job-1/superstep_0/worker_0.trace").unwrap(), b"hello");
+//! assert_eq!(fs.list("/traces/job-1").unwrap().len(), 1);
+//! ```
+
+mod api;
+mod cluster;
+mod error;
+mod local;
+mod memory;
+mod path;
+
+pub use api::{FileKind, FileRead, FileStatus, FileSystem, FileWrite};
+pub use cluster::{ClusterFs, ClusterFsConfig, ClusterStats};
+pub use error::{FsError, FsResult};
+pub use local::LocalFs;
+pub use memory::InMemoryFs;
+pub use path::DfsPath;

@@ -1,0 +1,225 @@
+//! Local-disk backend rooted at a host directory.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::api::{FileKind, FileRead, FileStatus, FileSystem, FileWrite};
+use crate::error::{FsError, FsResult};
+use crate::path::DfsPath;
+
+/// A [`FileSystem`] that maps DFS paths onto a directory on the local
+/// disk, for users who want trace files to outlive the process.
+pub struct LocalFs {
+    root: PathBuf,
+}
+
+impl LocalFs {
+    /// Creates a backend rooted at `root`, creating the directory if needed.
+    pub fn new(root: impl Into<PathBuf>) -> FsResult<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The host directory backing `/`.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> FsResult<(DfsPath, PathBuf)> {
+        let dfs = DfsPath::parse(path)?;
+        let mut host = self.root.clone();
+        for component in dfs.components() {
+            host.push(component);
+        }
+        Ok((dfs, host))
+    }
+
+    fn to_dfs_path(&self, host: &Path) -> String {
+        let rel = host.strip_prefix(&self.root).unwrap_or(host);
+        let mut out = String::from("/");
+        let mut first = true;
+        for c in rel.components() {
+            if !first {
+                out.push('/');
+            }
+            out.push_str(&c.as_os_str().to_string_lossy());
+            first = false;
+        }
+        out
+    }
+}
+
+impl FileSystem for LocalFs {
+    fn create(&self, path: &str) -> FsResult<Box<dyn FileWrite>> {
+        let (dfs, host) = self.resolve(path)?;
+        if dfs.is_root() {
+            return Err(FsError::NotAFile(dfs.to_string()));
+        }
+        if host.is_dir() {
+            return Err(FsError::NotAFile(dfs.to_string()));
+        }
+        if let Some(parent) = host.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = fs::File::create(&host)?;
+        Ok(Box::new(LocalWriter { inner: std::io::BufWriter::new(file) }))
+    }
+
+    fn open(&self, path: &str) -> FsResult<Box<dyn FileRead>> {
+        let (dfs, host) = self.resolve(path)?;
+        let meta = fs::metadata(&host).map_err(|_| FsError::NotFound(dfs.to_string()))?;
+        if meta.is_dir() {
+            return Err(FsError::NotAFile(dfs.to_string()));
+        }
+        let file = fs::File::open(&host)?;
+        Ok(Box::new(LocalReader { inner: std::io::BufReader::new(file), len: meta.len() }))
+    }
+
+    fn list(&self, path: &str) -> FsResult<Vec<FileStatus>> {
+        let (dfs, host) = self.resolve(path)?;
+        let meta = fs::metadata(&host).map_err(|_| FsError::NotFound(dfs.to_string()))?;
+        if !meta.is_dir() {
+            return Err(FsError::NotADirectory(dfs.to_string()));
+        }
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&host)? {
+            let entry = entry?;
+            let meta = entry.metadata()?;
+            out.push(FileStatus {
+                path: self.to_dfs_path(&entry.path()),
+                kind: if meta.is_dir() { FileKind::Directory } else { FileKind::File },
+                len: if meta.is_dir() { 0 } else { meta.len() },
+            });
+        }
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+
+    fn status(&self, path: &str) -> FsResult<FileStatus> {
+        let (dfs, host) = self.resolve(path)?;
+        let meta = fs::metadata(&host).map_err(|_| FsError::NotFound(dfs.to_string()))?;
+        Ok(FileStatus {
+            path: dfs.to_string(),
+            kind: if meta.is_dir() { FileKind::Directory } else { FileKind::File },
+            len: if meta.is_dir() { 0 } else { meta.len() },
+        })
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.resolve(path).map(|(_, host)| host.exists()).unwrap_or(false)
+    }
+
+    fn mkdirs(&self, path: &str) -> FsResult<()> {
+        let (dfs, host) = self.resolve(path)?;
+        if host.is_file() {
+            return Err(FsError::NotADirectory(dfs.to_string()));
+        }
+        fs::create_dir_all(&host)?;
+        Ok(())
+    }
+
+    fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
+        let (dfs, host) = self.resolve(path)?;
+        let meta = fs::metadata(&host).map_err(|_| FsError::NotFound(dfs.to_string()))?;
+        if meta.is_dir() {
+            if recursive {
+                fs::remove_dir_all(&host)?;
+            } else {
+                fs::remove_dir(&host).map_err(|_| FsError::DirectoryNotEmpty(dfs.to_string()))?;
+            }
+        } else {
+            fs::remove_file(&host)?;
+        }
+        Ok(())
+    }
+}
+
+struct LocalWriter {
+    inner: std::io::BufWriter<fs::File>,
+}
+
+impl Write for LocalWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.inner.write(data)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl FileWrite for LocalWriter {
+    fn sync(&mut self) -> FsResult<()> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+struct LocalReader {
+    inner: std::io::BufReader<fs::File>,
+    len: u64,
+}
+
+impl Read for LocalReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(out)
+    }
+}
+
+impl FileRead for LocalReader {
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "graft-dfs-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let root = temp_root("roundtrip");
+        let fs = LocalFs::new(&root).unwrap();
+        fs.write_all("/traces/t.bin", b"\x00\x01\x02").unwrap();
+        assert_eq!(fs.read_all("/traces/t.bin").unwrap(), b"\x00\x01\x02");
+        assert_eq!(fs.status("/traces/t.bin").unwrap().len, 3);
+        let listed = fs.list("/traces").unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].path, "/traces/t.bin");
+        fs.delete("/traces", true).unwrap();
+        assert!(!fs.exists("/traces"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_paths_error() {
+        let root = temp_root("missing");
+        let fs = LocalFs::new(&root).unwrap();
+        assert!(matches!(fs.open("/nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.list("/nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.delete("/nope", false), Err(FsError::NotFound(_))));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn non_empty_dir_requires_recursive() {
+        let root = temp_root("nonempty");
+        let fs = LocalFs::new(&root).unwrap();
+        fs.write_all("/d/f", b"x").unwrap();
+        assert!(matches!(fs.delete("/d", false), Err(FsError::DirectoryNotEmpty(_))));
+        fs.delete("/d", true).unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,182 @@
+//! Normalized absolute path handling for the DFS.
+
+use crate::error::{FsError, FsResult};
+
+/// An absolute, normalized, `/`-separated DFS path.
+///
+/// Invariants after construction:
+/// * starts with `/`,
+/// * contains no empty, `.`, or `..` components,
+/// * has no trailing slash (except the root itself, which is `/`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DfsPath {
+    normalized: String,
+}
+
+impl DfsPath {
+    /// Parses and normalizes `raw`.
+    ///
+    /// Accepts redundant slashes and `.` components; rejects relative
+    /// paths and `..`.
+    pub fn parse(raw: &str) -> FsResult<Self> {
+        if !raw.starts_with('/') {
+            return Err(FsError::InvalidPath(raw.to_string()));
+        }
+        let mut components = Vec::new();
+        for part in raw.split('/') {
+            match part {
+                "" | "." => {}
+                ".." => return Err(FsError::InvalidPath(raw.to_string())),
+                other => components.push(other),
+            }
+        }
+        let mut normalized = String::with_capacity(raw.len());
+        if components.is_empty() {
+            normalized.push('/');
+        } else {
+            for part in &components {
+                normalized.push('/');
+                normalized.push_str(part);
+            }
+        }
+        Ok(Self { normalized })
+    }
+
+    /// The root path `/`.
+    pub fn root() -> Self {
+        Self { normalized: "/".to_string() }
+    }
+
+    /// The normalized string form.
+    pub fn as_str(&self) -> &str {
+        &self.normalized
+    }
+
+    /// Whether this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.normalized == "/"
+    }
+
+    /// Path components, excluding the leading root.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.normalized.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// The final component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.normalized.rsplit('/').next()
+        }
+    }
+
+    /// The parent directory, or `None` for the root.
+    pub fn parent(&self) -> Option<DfsPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.normalized.rfind('/') {
+            Some(0) => Some(DfsPath::root()),
+            Some(idx) => Some(DfsPath { normalized: self.normalized[..idx].to_string() }),
+            None => None,
+        }
+    }
+
+    /// Appends a single component, which must not contain `/`.
+    pub fn join(&self, component: &str) -> FsResult<DfsPath> {
+        if component.is_empty() || component.contains('/') || component == "." || component == ".."
+        {
+            return Err(FsError::InvalidPath(component.to_string()));
+        }
+        let mut normalized = self.normalized.clone();
+        if !self.is_root() {
+            normalized.push('/');
+        }
+        normalized.push_str(component);
+        Ok(DfsPath { normalized })
+    }
+
+    /// Whether `self` is `ancestor` or lies underneath it.
+    pub fn starts_with(&self, ancestor: &DfsPath) -> bool {
+        if ancestor.is_root() {
+            return true;
+        }
+        self.normalized == ancestor.normalized
+            || self
+                .normalized
+                .strip_prefix(&ancestor.normalized)
+                .is_some_and(|rest| rest.starts_with('/'))
+    }
+}
+
+impl std::fmt::Display for DfsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.normalized)
+    }
+}
+
+impl std::str::FromStr for DfsPath {
+    type Err = FsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DfsPath::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_redundant_slashes_and_dots() {
+        assert_eq!(DfsPath::parse("//a///b/./c/").unwrap().as_str(), "/a/b/c");
+        assert_eq!(DfsPath::parse("/").unwrap().as_str(), "/");
+        assert_eq!(DfsPath::parse("/.").unwrap().as_str(), "/");
+    }
+
+    #[test]
+    fn rejects_relative_and_dotdot() {
+        assert!(DfsPath::parse("a/b").is_err());
+        assert!(DfsPath::parse("").is_err());
+        assert!(DfsPath::parse("/a/../b").is_err());
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        let p = DfsPath::parse("/a/b/c").unwrap();
+        assert_eq!(p.file_name(), Some("c"));
+        assert_eq!(p.parent().unwrap().as_str(), "/a/b");
+        assert_eq!(DfsPath::parse("/a").unwrap().parent().unwrap().as_str(), "/");
+        assert!(DfsPath::root().parent().is_none());
+        assert!(DfsPath::root().file_name().is_none());
+    }
+
+    #[test]
+    fn join_validates_components() {
+        let p = DfsPath::parse("/a").unwrap();
+        assert_eq!(p.join("b").unwrap().as_str(), "/a/b");
+        assert_eq!(DfsPath::root().join("x").unwrap().as_str(), "/x");
+        assert!(p.join("b/c").is_err());
+        assert!(p.join("..").is_err());
+        assert!(p.join("").is_err());
+    }
+
+    #[test]
+    fn starts_with_respects_component_boundaries() {
+        let a = DfsPath::parse("/a/b").unwrap();
+        let ab = DfsPath::parse("/a/b/c").unwrap();
+        let abx = DfsPath::parse("/a/bc").unwrap();
+        assert!(ab.starts_with(&a));
+        assert!(a.starts_with(&a));
+        assert!(!abx.starts_with(&a));
+        assert!(a.starts_with(&DfsPath::root()));
+    }
+
+    #[test]
+    fn components_iterates_in_order() {
+        let p = DfsPath::parse("/x/y/z").unwrap();
+        assert_eq!(p.components().collect::<Vec<_>>(), vec!["x", "y", "z"]);
+        assert_eq!(DfsPath::root().components().count(), 0);
+    }
+}

@@ -1,0 +1,600 @@
+//! The BSP execution engine: hash partitioning, parallel superstep
+//! execution, message shuffle, aggregator merge, topology mutations, and
+//! halting.
+//!
+//! "Workers" are threads, each owning one hash partition of the vertices.
+//! Every superstep runs in phases divided by barriers, exactly as in
+//! Pregel:
+//!
+//! 1. the optional master computation runs (it may halt the job),
+//! 2. workers compute all active vertices in parallel, staging outgoing
+//!    messages and aggregator updates,
+//! 3. aggregator partials are merged,
+//! 4. messages are delivered (with optional combining) in parallel,
+//! 5. requested topology mutations are applied,
+//! 6. the halting condition is evaluated: the job stops when every vertex
+//!    has voted to halt and no messages are in flight.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::aggregators::{AggregatorRegistry, WorkerAggregators};
+use crate::computation::{Computation, VertexHandle};
+
+type MutationOf<C> = Mutation<
+    <C as Computation>::Id,
+    <C as Computation>::VValue,
+    <C as Computation>::EValue,
+>;
+use crate::context::{ComputeContext, Mutation};
+use crate::error::{panic_message, EngineError};
+use crate::graph::Graph;
+use crate::hash::{fx_hash_one, FxHashMap};
+use crate::master::{MasterComputation, MasterContext};
+use crate::observer::{JobEnd, JobObserver};
+use crate::stats::{HaltReason, JobStats, SuperstepStats};
+use crate::types::{Edge, GlobalData};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads (== partitions). Defaults to available parallelism,
+    /// capped at 8.
+    pub num_workers: usize,
+    /// Safety limit on supersteps; the job reports
+    /// [`HaltReason::MaxSuperstepsReached`] when hit.
+    pub max_supersteps: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+        Self { num_workers: workers, max_supersteps: 100_000 }
+    }
+}
+
+/// Result of a successful job.
+pub struct JobOutcome<C: Computation> {
+    /// The graph with final vertex values and (possibly mutated) topology.
+    pub graph: Graph<C::Id, C::VValue, C::EValue>,
+    /// Per-superstep counters.
+    pub stats: JobStats,
+    /// Why the job stopped.
+    pub halt_reason: HaltReason,
+}
+
+/// The Pregel engine for one computation.
+pub struct Engine<C: Computation> {
+    computation: Arc<C>,
+    master: Option<Arc<dyn MasterComputation<C>>>,
+    observers: Vec<Arc<dyn JobObserver<C>>>,
+    config: EngineConfig,
+}
+
+impl<C: Computation> Engine<C> {
+    /// Creates an engine running `computation` with default configuration.
+    pub fn new(computation: C) -> Self {
+        Self::from_arc(Arc::new(computation))
+    }
+
+    /// Creates an engine from a shared computation (the Graft runner uses
+    /// this to keep a handle on its instrumented wrapper).
+    pub fn from_arc(computation: Arc<C>) -> Self {
+        Self { computation, master: None, observers: Vec::new(), config: EngineConfig::default() }
+    }
+
+    /// Attaches a master computation.
+    pub fn with_master<M: MasterComputation<C>>(mut self, master: M) -> Self {
+        self.master = Some(Arc::new(master));
+        self
+    }
+
+    /// Attaches a shared master computation.
+    pub fn with_master_arc(mut self, master: Arc<dyn MasterComputation<C>>) -> Self {
+        self.master = Some(master);
+        self
+    }
+
+    /// Registers a lifecycle observer.
+    pub fn with_observer(mut self, observer: Arc<dyn JobObserver<C>>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Overrides the full configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker/partition count.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        self.config.num_workers = n.max(1);
+        self
+    }
+
+    /// Sets the superstep safety limit.
+    pub fn max_supersteps(mut self, n: u64) -> Self {
+        self.config.max_supersteps = n;
+        self
+    }
+
+    /// The computation this engine runs.
+    pub fn computation(&self) -> &Arc<C> {
+        &self.computation
+    }
+
+    /// Executes the job to completion.
+    pub fn run(
+        &self,
+        graph: Graph<C::Id, C::VValue, C::EValue>,
+    ) -> Result<JobOutcome<C>, EngineError> {
+        match self.run_inner(graph) {
+            Ok(outcome) => {
+                let end = JobEnd {
+                    supersteps_executed: outcome.stats.superstep_count(),
+                    error: None,
+                };
+                for obs in &self.observers {
+                    obs.on_job_end(&end);
+                }
+                Ok(outcome)
+            }
+            Err((supersteps_executed, err)) => {
+                let end = JobEnd { supersteps_executed, error: Some(err.to_string()) };
+                for obs in &self.observers {
+                    obs.on_job_end(&end);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn run_inner(
+        &self,
+        graph: Graph<C::Id, C::VValue, C::EValue>,
+    ) -> Result<JobOutcome<C>, (u64, EngineError)> {
+        let job_start = Instant::now();
+        let num_partitions = self.config.num_workers.max(1);
+        let mut partitions = build_partitions::<C>(graph, num_partitions);
+
+        let mut registry = AggregatorRegistry::new();
+        self.computation.register_aggregators(&mut registry);
+        if let Some(master) = &self.master {
+            master.register_aggregators(&mut registry);
+        }
+
+        let mut num_vertices: u64 = partitions.iter().map(Partition::live_vertices).sum();
+        let mut num_edges: u64 = partitions.iter().map(Partition::live_edges).sum();
+
+        let initial_global = GlobalData { superstep: 0, num_vertices, num_edges };
+        for obs in &self.observers {
+            obs.on_job_start(&initial_global, num_partitions);
+        }
+
+        let mut superstep: u64 = 0;
+        let mut all_stats: Vec<SuperstepStats> = Vec::new();
+        let halt_reason;
+
+        loop {
+            let global = GlobalData { superstep, num_vertices, num_edges };
+
+            // Phase 1: master computation (beginning of superstep).
+            if let Some(master) = &self.master {
+                let mut mctx = MasterContext::new(global, &mut registry);
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
+                if let Err(payload) = result {
+                    return Err((
+                        superstep,
+                        EngineError::MasterPanic {
+                            superstep,
+                            message: panic_message(&*payload),
+                        },
+                    ));
+                }
+                let halted = mctx.is_halted();
+                let snapshot = registry.snapshot();
+                for obs in &self.observers {
+                    obs.on_master_computed(superstep, &global, &snapshot, halted);
+                }
+                if halted {
+                    halt_reason = HaltReason::MasterHalted;
+                    break;
+                }
+            }
+
+            let step_start = Instant::now();
+
+            // Phase 2: parallel vertex computation.
+            let worker_results: Vec<Result<WorkerOutput<C>, EngineError>> = {
+                let computation = &self.computation;
+                let registry_ref = &registry;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = partitions
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(worker_id, partition)| {
+                            scope.spawn(move || {
+                                run_partition(
+                                    computation.as_ref(),
+                                    partition,
+                                    global,
+                                    worker_id,
+                                    num_partitions,
+                                    registry_ref,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("engine worker must not panic"))
+                        .collect()
+                })
+            };
+
+            let mut outputs = Vec::with_capacity(worker_results.len());
+            for result in worker_results {
+                match result {
+                    Ok(output) => outputs.push(output),
+                    Err(err) => return Err((superstep, err)),
+                }
+            }
+
+            let compute_calls: u64 = outputs.iter().map(|o| o.compute_calls).sum();
+            let messages_sent: u64 = outputs.iter().map(|o| o.messages_sent).sum();
+
+            // Phase 3: merge aggregator partials.
+            registry.merge_superstep(outputs.iter_mut().map(|o| std::mem::take(&mut o.aggs)).collect());
+
+            // Phase 4: parallel message delivery.
+            let mut per_partition_incoming: Vec<Vec<Vec<(C::Id, C::Message)>>> =
+                (0..num_partitions).map(|_| Vec::with_capacity(outputs.len())).collect();
+            for output in &mut outputs {
+                for (p, buf) in output.outboxes.drain(..).enumerate() {
+                    per_partition_incoming[p].push(buf);
+                }
+            }
+            let delivery: Vec<DeliveryCounts> = {
+                let computation = &self.computation;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = partitions
+                        .iter_mut()
+                        .zip(per_partition_incoming)
+                        .map(|(partition, incoming)| {
+                            scope.spawn(move || {
+                                deliver(computation.as_ref(), partition, incoming)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("delivery must not panic"))
+                        .collect()
+                })
+            };
+
+            let messages_delivered: u64 = delivery.iter().map(|d| d.delivered).sum();
+            let messages_to_missing: u64 = delivery.iter().map(|d| d.missing).sum();
+            let mut active_vertices: u64 = delivery.iter().map(|d| d.active).sum();
+            num_vertices = delivery.iter().map(|d| d.vertices).sum();
+            num_edges = delivery.iter().map(|d| d.edges).sum();
+
+            // Phase 5: apply topology mutations.
+            let mutations: Vec<MutationOf<C>> =
+                outputs.into_iter().flat_map(|o| o.mutations).collect();
+            let mutations_applied = if mutations.is_empty() {
+                0
+            } else {
+                let applied = apply_mutations(&mut partitions, mutations, num_partitions);
+                num_vertices = partitions.iter().map(Partition::live_vertices).sum();
+                num_edges = partitions.iter().map(Partition::live_edges).sum();
+                active_vertices = partitions.iter().map(Partition::active_vertices).sum();
+                applied
+            };
+
+            let stats = SuperstepStats {
+                superstep,
+                compute_calls,
+                active_vertices,
+                messages_sent,
+                messages_delivered,
+                messages_to_missing,
+                mutations_applied,
+                wall_time: step_start.elapsed(),
+            };
+            for obs in &self.observers {
+                obs.on_superstep_end(&stats);
+            }
+            all_stats.push(stats);
+            superstep += 1;
+
+            // Phase 6: halting check.
+            if active_vertices == 0 && messages_delivered == 0 {
+                halt_reason = HaltReason::AllVerticesHalted;
+                break;
+            }
+            if superstep >= self.config.max_supersteps {
+                halt_reason = HaltReason::MaxSuperstepsReached;
+                break;
+            }
+        }
+
+        let graph = rebuild_graph::<C>(partitions);
+        Ok(JobOutcome {
+            graph,
+            stats: JobStats { supersteps: all_stats, total_wall_time: job_start.elapsed() },
+            halt_reason,
+        })
+    }
+}
+
+/// Deterministic partition assignment for a vertex id.
+pub fn partition_for<I: std::hash::Hash>(id: &I, num_partitions: usize) -> usize {
+    (fx_hash_one(id) % num_partitions as u64) as usize
+}
+
+struct Partition<C: Computation> {
+    ids: Vec<C::Id>,
+    values: Vec<C::VValue>,
+    adjacency: Vec<Vec<Edge<C::Id, C::EValue>>>,
+    halted: Vec<bool>,
+    removed: Vec<bool>,
+    inbox: Vec<Vec<C::Message>>,
+    index: FxHashMap<C::Id, usize>,
+}
+
+impl<C: Computation> Partition<C> {
+    fn new() -> Self {
+        Self {
+            ids: Vec::new(),
+            values: Vec::new(),
+            adjacency: Vec::new(),
+            halted: Vec::new(),
+            removed: Vec::new(),
+            inbox: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    fn push_vertex(&mut self, id: C::Id, value: C::VValue, edges: Vec<Edge<C::Id, C::EValue>>) {
+        let slot = self.ids.len();
+        self.ids.push(id);
+        self.values.push(value);
+        self.adjacency.push(edges);
+        self.halted.push(false);
+        self.removed.push(false);
+        self.inbox.push(Vec::new());
+        self.index.insert(id, slot);
+    }
+
+    fn live_vertices(&self) -> u64 {
+        self.removed.iter().filter(|&&r| !r).count() as u64
+    }
+
+    fn live_edges(&self) -> u64 {
+        self.adjacency
+            .iter()
+            .zip(&self.removed)
+            .filter(|(_, &r)| !r)
+            .map(|(a, _)| a.len() as u64)
+            .sum()
+    }
+
+    fn active_vertices(&self) -> u64 {
+        self.halted
+            .iter()
+            .zip(&self.removed)
+            .filter(|(&h, &r)| !h && !r)
+            .count() as u64
+    }
+}
+
+struct WorkerOutput<C: Computation> {
+    outboxes: Vec<Vec<(C::Id, C::Message)>>,
+    aggs: WorkerAggregators,
+    mutations: Vec<MutationOf<C>>,
+    compute_calls: u64,
+    messages_sent: u64,
+}
+
+struct DeliveryCounts {
+    delivered: u64,
+    missing: u64,
+    active: u64,
+    vertices: u64,
+    edges: u64,
+}
+
+fn build_partitions<C: Computation>(
+    graph: Graph<C::Id, C::VValue, C::EValue>,
+    num_partitions: usize,
+) -> Vec<Partition<C>> {
+    let mut partitions: Vec<Partition<C>> = (0..num_partitions).map(|_| Partition::new()).collect();
+    let (ids, values, adjacency) = graph.into_parts();
+    for ((id, value), edges) in ids.into_iter().zip(values).zip(adjacency) {
+        partitions[partition_for(&id, num_partitions)].push_vertex(id, value, edges);
+    }
+    partitions
+}
+
+fn rebuild_graph<C: Computation>(
+    partitions: Vec<Partition<C>>,
+) -> Graph<C::Id, C::VValue, C::EValue> {
+    let mut ids = Vec::new();
+    let mut values = Vec::new();
+    let mut adjacency = Vec::new();
+    for partition in partitions {
+        for (slot, removed) in partition.removed.iter().enumerate() {
+            if *removed {
+                continue;
+            }
+            // Tombstoned slots whose id was re-added later point elsewhere
+            // in the index; only keep slots the index still owns.
+            if partition.index.get(&partition.ids[slot]) != Some(&slot) {
+                continue;
+            }
+            ids.push(partition.ids[slot]);
+            values.push(partition.values[slot].clone());
+            adjacency.push(partition.adjacency[slot].clone());
+        }
+    }
+    Graph::from_parts(ids, values, adjacency)
+}
+
+fn run_partition<C: Computation>(
+    computation: &C,
+    partition: &mut Partition<C>,
+    global: GlobalData,
+    worker_id: usize,
+    num_partitions: usize,
+    registry: &AggregatorRegistry,
+) -> Result<WorkerOutput<C>, EngineError> {
+    let mut worker_aggs = WorkerAggregators::for_registry(registry);
+    let mut mutations: Vec<MutationOf<C>> = Vec::new();
+    let mut outboxes: Vec<Vec<(C::Id, C::Message)>> =
+        (0..num_partitions).map(|_| Vec::new()).collect();
+    let mut compute_calls = 0u64;
+    let mut messages_sent = 0u64;
+
+    {
+        let mut ctx = ComputeContext::new(
+            global,
+            worker_id,
+            registry,
+            &mut worker_aggs,
+            &mut mutations,
+        );
+        for slot in 0..partition.ids.len() {
+            if partition.removed[slot] {
+                continue;
+            }
+            let messages = std::mem::take(&mut partition.inbox[slot]);
+            if partition.halted[slot] && messages.is_empty() {
+                continue;
+            }
+            // A message to a halted vertex reactivates it.
+            partition.halted[slot] = false;
+            let id = partition.ids[slot];
+            let mut handle = VertexHandle::new(
+                id,
+                &mut partition.values[slot],
+                &mut partition.adjacency[slot],
+            );
+            compute_calls += 1;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                computation.compute(&mut handle, &messages, &mut ctx);
+            }));
+            if let Err(payload) = result {
+                return Err(EngineError::VertexPanic {
+                    vertex: id.to_string(),
+                    superstep: global.superstep,
+                    message: panic_message(&*payload),
+                });
+            }
+            partition.halted[slot] = handle.has_voted_halt();
+            for (target, message) in ctx.drain_staged() {
+                outboxes[partition_for(&target, num_partitions)].push((target, message));
+                messages_sent += 1;
+            }
+        }
+    }
+
+    Ok(WorkerOutput { outboxes, aggs: worker_aggs, mutations, compute_calls, messages_sent })
+}
+
+fn deliver<C: Computation>(
+    computation: &C,
+    partition: &mut Partition<C>,
+    incoming: Vec<Vec<(C::Id, C::Message)>>,
+) -> DeliveryCounts {
+    let use_combiner = computation.use_combiner();
+    let mut delivered = 0u64;
+    let mut missing = 0u64;
+    for batch in incoming {
+        for (target, message) in batch {
+            match partition.index.get(&target) {
+                Some(&slot) if !partition.removed[slot] => {
+                    let inbox = &mut partition.inbox[slot];
+                    if use_combiner && !inbox.is_empty() {
+                        let combined = computation.combine(&inbox[0], &message);
+                        inbox[0] = combined;
+                    } else {
+                        inbox.push(message);
+                    }
+                    delivered += 1;
+                }
+                _ => missing += 1,
+            }
+        }
+    }
+    DeliveryCounts {
+        delivered,
+        missing,
+        active: partition.active_vertices(),
+        vertices: partition.live_vertices(),
+        edges: partition.live_edges(),
+    }
+}
+
+fn apply_mutations<C: Computation>(
+    partitions: &mut [Partition<C>],
+    mutations: Vec<MutationOf<C>>,
+    num_partitions: usize,
+) -> u64 {
+    let mut applied = 0u64;
+    let mut removals_edge = Vec::new();
+    let mut removals_vertex = Vec::new();
+    let mut additions_vertex = Vec::new();
+    let mut additions_edge = Vec::new();
+    for mutation in mutations {
+        match mutation {
+            Mutation::RemoveEdge(src, dst) => removals_edge.push((src, dst)),
+            Mutation::RemoveVertex(id) => removals_vertex.push(id),
+            Mutation::AddVertex(id, value) => additions_vertex.push((id, value)),
+            Mutation::AddEdge(src, edge) => additions_edge.push((src, edge)),
+        }
+    }
+
+    // Pregel resolution order: removals before additions.
+    for (src, dst) in removals_edge {
+        let partition = &mut partitions[partition_for(&src, num_partitions)];
+        if let Some(&slot) = partition.index.get(&src) {
+            let before = partition.adjacency[slot].len();
+            partition.adjacency[slot].retain(|e| e.target != dst);
+            if partition.adjacency[slot].len() != before {
+                applied += 1;
+            }
+        }
+    }
+    for id in removals_vertex {
+        let partition = &mut partitions[partition_for(&id, num_partitions)];
+        if let Some(slot) = partition.index.remove(&id) {
+            partition.removed[slot] = true;
+            partition.halted[slot] = true;
+            partition.adjacency[slot].clear();
+            partition.inbox[slot].clear();
+            applied += 1;
+        }
+    }
+    for (id, value) in additions_vertex {
+        let partition = &mut partitions[partition_for(&id, num_partitions)];
+        if !partition.index.contains_key(&id) {
+            partition.push_vertex(id, value, Vec::new());
+            applied += 1;
+        }
+    }
+    for (src, edge) in additions_edge {
+        let partition = &mut partitions[partition_for(&src, num_partitions)];
+        if let Some(&slot) = partition.index.get(&src) {
+            partition.adjacency[slot].push(edge);
+            applied += 1;
+        }
+        // An AddEdge whose source does not exist is dropped; Giraph would
+        // create the source with a default value, which a generic engine
+        // cannot do without a `Default` bound.
+    }
+    applied
+}

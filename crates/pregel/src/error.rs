@@ -1,0 +1,52 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// A fatal job error.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A `compute()` call panicked — the Rust analogue of a Giraph job
+    /// failing with an uncaught exception.
+    VertexPanic {
+        /// The vertex whose compute panicked (rendered, to keep the error
+        /// type non-generic).
+        vertex: String,
+        /// The superstep in which the panic occurred.
+        superstep: u64,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The master computation panicked.
+    MasterPanic {
+        /// The superstep in which the panic occurred.
+        superstep: u64,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::VertexPanic { vertex, superstep, message } => {
+                write!(f, "vertex {vertex} panicked in superstep {superstep}: {message}")
+            }
+            EngineError::MasterPanic { superstep, message } => {
+                write!(f, "master computation panicked in superstep {superstep}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Renders a `catch_unwind` payload as best we can.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,224 @@
+//! Text adjacency-list input/output, Giraph-loader style.
+//!
+//! One vertex per line:
+//!
+//! ```text
+//! <id> <value> <target>[:<edge-value>] <target>[:<edge-value>] ...
+//! ```
+//!
+//! Fields are whitespace-separated; everything after `#` is a comment.
+//! Unweighted graphs omit the `:<edge-value>` suffix (the edge value type
+//! must then be `()`; `()` parses from the empty string via
+//! [`UnitValue`]). This is the format the Graft GUI's offline mode
+//! exports for end-to-end tests.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+use crate::graph::{Graph, GraphError};
+use crate::types::{Value, VertexId};
+
+/// Errors from parsing an adjacency-list text.
+#[derive(Debug)]
+pub enum ParseError {
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what failed.
+        reason: String,
+    },
+    /// The parsed lines formed an invalid graph.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<GraphError> for ParseError {
+    fn from(e: GraphError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+/// Parses a graph from adjacency-list text.
+pub fn parse_adjacency<I, V, E>(text: &str) -> Result<Graph<I, V, E>, ParseError>
+where
+    I: VertexId + FromStr,
+    V: Value + FromStr,
+    E: Value + FromStr,
+    <I as FromStr>::Err: Display,
+    <V as FromStr>::Err: Display,
+    <E as FromStr>::Err: Display,
+{
+    let mut builder = Graph::builder();
+    let mut edges: Vec<(I, I, E)> = Vec::new();
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let id_field = fields.next().expect("non-empty line has a first field");
+        let id: I = id_field.parse().map_err(|e| ParseError::Malformed {
+            line: line_no,
+            reason: format!("bad vertex id {id_field:?}: {e}"),
+        })?;
+        let value_field = fields.next().ok_or_else(|| ParseError::Malformed {
+            line: line_no,
+            reason: "missing vertex value field".to_string(),
+        })?;
+        let value: V = value_field.parse().map_err(|e| ParseError::Malformed {
+            line: line_no,
+            reason: format!("bad vertex value {value_field:?}: {e}"),
+        })?;
+        builder.add_vertex(id, value)?;
+        for edge_field in fields {
+            let (target_str, evalue_str) = match edge_field.split_once(':') {
+                Some((t, v)) => (t, v),
+                None => (edge_field, ""),
+            };
+            let target: I = target_str.parse().map_err(|e| ParseError::Malformed {
+                line: line_no,
+                reason: format!("bad edge target {target_str:?}: {e}"),
+            })?;
+            let evalue: E = evalue_str.parse().map_err(|e| ParseError::Malformed {
+                line: line_no,
+                reason: format!("bad edge value {evalue_str:?}: {e}"),
+            })?;
+            edges.push((id, target, evalue));
+        }
+    }
+    for (src, dst, val) in edges {
+        builder.add_edge(src, dst, val)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Writes a graph in the adjacency-list text format, vertices sorted by
+/// id so output is deterministic.
+pub fn write_adjacency<I, V, E>(graph: &Graph<I, V, E>) -> String
+where
+    I: VertexId,
+    V: Value + Display,
+    E: Value + Display,
+{
+    let mut rows: Vec<(I, String)> = graph
+        .iter()
+        .map(|(id, value, edges)| {
+            let mut line = format!("{id} {value}");
+            for edge in edges {
+                let rendered = edge.value.to_string();
+                if rendered.is_empty() {
+                    line.push_str(&format!(" {}", edge.target));
+                } else {
+                    line.push_str(&format!(" {}:{rendered}", edge.target));
+                }
+            }
+            (id, line)
+        })
+        .collect();
+    rows.sort_by_key(|(id, _)| *id);
+    let mut out = String::new();
+    for (_, line) in rows {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Newtype making `()` parse from (and display as) the empty string, so
+/// unweighted graphs round-trip through the text format.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct UnitValue;
+
+impl FromStr for UnitValue {
+    type Err = std::convert::Infallible;
+
+    fn from_str(_: &str) -> Result<Self, Self::Err> {
+        Ok(UnitValue)
+    }
+}
+
+impl Display for UnitValue {
+    fn fmt(&self, _f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_weighted() {
+        let text = "\
+# a weighted triangle
+1 0.0 2:1.5 3:2.5
+2 0.0 1:1.5
+3 0.0   # isolated except incoming
+";
+        let g: Graph<u64, f64, f64> = parse_adjacency(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_edges(1).unwrap()[0].value, 1.5);
+        assert_eq!(g.out_edges(1).unwrap()[1].target, 3);
+    }
+
+    #[test]
+    fn parse_unweighted_with_unit_value() {
+        let text = "10 5 20 30\n20 6\n30 7 10\n";
+        let g: Graph<u32, i32, UnitValue> = parse_adjacency(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.value(20), Some(&6));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "1 a 2:x 3:y\n2 b\n3 c 1:z\n";
+        let g: Graph<u64, String, String> = parse_adjacency(text).unwrap();
+        let written = write_adjacency(&g);
+        assert_eq!(written, text);
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let text = "1 10 2 3\n2 20\n3 30 1\n";
+        let g: Graph<u64, i64, UnitValue> = parse_adjacency(text).unwrap();
+        assert_eq!(write_adjacency(&g), text);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_adjacency::<u64, i64, UnitValue>("1 5\nnot_an_id 5\n").unwrap_err();
+        match err {
+            ParseError::Malformed { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("not_an_id"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_value_field_rejected() {
+        let err = parse_adjacency::<u64, i64, UnitValue>("1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_vertex_rejected() {
+        let err = parse_adjacency::<u64, i64, UnitValue>("1 0\n1 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(GraphError::DuplicateVertex(_))));
+    }
+}

@@ -1,0 +1,107 @@
+//! The optional master computation, run between supersteps.
+
+use crate::aggregators::{AggOp, AggValue, AggregatorRegistry};
+use crate::computation::Computation;
+use crate::types::GlobalData;
+
+/// The analogue of Giraph/GPS's `MasterCompute`: an optional program
+/// executed once at the *beginning* of each superstep, before the
+/// vertices run.
+///
+/// The master sees aggregator values merged at the end of the previous
+/// superstep, may overwrite them before they are broadcast to the
+/// vertices (typically to drive computation phases), and may halt the
+/// job.
+pub trait MasterComputation<C: Computation>: Send + Sync + 'static {
+    /// Called at the beginning of every superstep, including superstep 0.
+    fn compute(&self, master: &mut MasterContext<'_>);
+
+    /// Registers aggregators in addition to those of the vertex program.
+    fn register_aggregators(&self, _registry: &mut AggregatorRegistry) {}
+
+    /// Human-readable name for traces.
+    fn name(&self) -> String {
+        let full = std::any::type_name::<Self>();
+        full.rsplit("::").next().unwrap_or(full).to_string()
+    }
+}
+
+/// Context handed to [`MasterComputation::compute`].
+pub struct MasterContext<'a> {
+    global: GlobalData,
+    registry: &'a mut AggregatorRegistry,
+    halt: bool,
+}
+
+impl<'a> MasterContext<'a> {
+    pub(crate) fn new(global: GlobalData, registry: &'a mut AggregatorRegistry) -> Self {
+        Self { global, registry, halt: false }
+    }
+
+    /// Creates a master context outside the engine, for replaying a
+    /// captured `master.compute()` call (Graft's context reproducer and
+    /// generated master tests use this).
+    pub fn new_for_replay(global: GlobalData, registry: &'a mut AggregatorRegistry) -> Self {
+        Self::new(global, registry)
+    }
+
+    /// The superstep about to execute.
+    pub fn superstep(&self) -> u64 {
+        self.global.superstep
+    }
+
+    /// Total vertices at the start of this superstep.
+    pub fn num_vertices(&self) -> u64 {
+        self.global.num_vertices
+    }
+
+    /// Total directed edges at the start of this superstep.
+    pub fn num_edges(&self) -> u64 {
+        self.global.num_edges
+    }
+
+    /// The full global-data record.
+    pub fn global(&self) -> GlobalData {
+        self.global
+    }
+
+    /// Reads an aggregator (merged value from the previous superstep).
+    pub fn get_aggregated(&self, name: &str) -> Option<&AggValue> {
+        self.registry.get(name)
+    }
+
+    /// Overwrites an aggregator before it is broadcast to the vertices.
+    ///
+    /// # Panics
+    /// Panics if the aggregator was never registered.
+    pub fn set_aggregated(&mut self, name: &str, value: AggValue) {
+        self.registry.set(name, value);
+    }
+
+    /// Registers a new aggregator mid-job (rarely needed; Giraph allows
+    /// registration only up front, this simulation is more lenient).
+    pub fn register(&mut self, name: &str, op: AggOp, initial: AggValue) {
+        self.registry.register(name, op, initial);
+    }
+
+    /// Registers a persistent aggregator mid-job.
+    pub fn register_persistent(&mut self, name: &str, op: AggOp, initial: AggValue) {
+        self.registry.register_persistent(name, op, initial);
+    }
+
+    /// Snapshot of all aggregators, for master-context capture.
+    pub fn aggregator_snapshot(&self) -> Vec<(String, AggValue)> {
+        self.registry.snapshot()
+    }
+
+    /// Instructs the engine to terminate the job before running this
+    /// superstep's vertex computations.
+    pub fn halt_computation(&mut self) {
+        self.halt = true;
+    }
+
+    /// Whether `halt_computation` has been called.
+    pub fn is_halted(&self) -> bool {
+        self.halt
+    }
+}

@@ -1,0 +1,48 @@
+//! Job lifecycle hooks.
+//!
+//! The Graft debugger attaches to the engine through this trait: it
+//! flushes per-worker trace buffers at superstep boundaries and captures
+//! the master's context. The hooks are deliberately coarse — per-vertex
+//! interception happens by *wrapping the computation*, exactly as the
+//! paper's Javassist instrumenter wraps `vertex.compute()`, not through
+//! engine callbacks.
+
+use crate::aggregators::AggValue;
+use crate::computation::Computation;
+use crate::stats::SuperstepStats;
+use crate::types::GlobalData;
+
+/// Terminal state reported to [`JobObserver::on_job_end`].
+#[derive(Clone, Debug)]
+pub struct JobEnd {
+    /// Supersteps that fully executed.
+    pub supersteps_executed: u64,
+    /// `None` on success; the rendered engine error otherwise.
+    pub error: Option<String>,
+}
+
+/// Observer of job lifecycle events. All methods have empty defaults.
+pub trait JobObserver<C: Computation>: Send + Sync {
+    /// The job is about to start superstep 0.
+    fn on_job_start(&self, _global: &GlobalData, _num_workers: usize) {}
+
+    /// The master computation for `superstep` just ran (or would have run
+    /// if one were registered). `aggregators` is the post-master snapshot
+    /// that will be broadcast to vertices; `halted` is whether the master
+    /// stopped the job.
+    fn on_master_computed(
+        &self,
+        _superstep: u64,
+        _global: &GlobalData,
+        _aggregators: &[(String, AggValue)],
+        _halted: bool,
+    ) {
+    }
+
+    /// A superstep's compute and delivery phases finished.
+    fn on_superstep_end(&self, _stats: &SuperstepStats) {}
+
+    /// The job finished (successfully or not). Guaranteed to be called
+    /// exactly once, including on vertex panics.
+    fn on_job_end(&self, _end: &JobEnd) {}
+}

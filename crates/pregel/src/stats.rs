@@ -1,0 +1,80 @@
+//! Per-superstep and whole-job statistics.
+
+use std::time::Duration;
+
+/// Counters gathered for one superstep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SuperstepStats {
+    /// The superstep these counters describe.
+    pub superstep: u64,
+    /// Vertices that executed `compute()` this superstep.
+    pub compute_calls: u64,
+    /// Vertices still active (not halted) after the superstep.
+    pub active_vertices: u64,
+    /// Messages sent (before any combining).
+    pub messages_sent: u64,
+    /// Messages delivered into inboxes (after combining).
+    pub messages_delivered: u64,
+    /// Messages addressed to vertices that do not exist (dropped).
+    pub messages_to_missing: u64,
+    /// Topology mutations applied at the barrier.
+    pub mutations_applied: u64,
+    /// Wall-clock duration of the superstep (compute + delivery).
+    pub wall_time: Duration,
+}
+
+/// Why the job stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HaltReason {
+    /// Every vertex voted to halt and no messages were in flight.
+    AllVerticesHalted,
+    /// The master computation called `halt_computation()`.
+    MasterHalted,
+    /// The configured superstep limit was reached.
+    MaxSuperstepsReached,
+}
+
+/// Counters for a completed job.
+#[derive(Clone, Debug)]
+pub struct JobStats {
+    /// One entry per executed superstep.
+    pub supersteps: Vec<SuperstepStats>,
+    /// Total wall-clock time including setup and teardown.
+    pub total_wall_time: Duration,
+}
+
+impl JobStats {
+    /// Number of supersteps executed.
+    pub fn superstep_count(&self) -> u64 {
+        self.supersteps.len() as u64
+    }
+
+    /// Total messages sent across all supersteps.
+    pub fn total_messages(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Total `compute()` invocations across all supersteps.
+    pub fn total_compute_calls(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.compute_calls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_stats_totals() {
+        let stats = JobStats {
+            supersteps: vec![
+                SuperstepStats { superstep: 0, messages_sent: 10, compute_calls: 4, ..Default::default() },
+                SuperstepStats { superstep: 1, messages_sent: 5, compute_calls: 2, ..Default::default() },
+            ],
+            total_wall_time: Duration::from_millis(3),
+        };
+        assert_eq!(stats.superstep_count(), 2);
+        assert_eq!(stats.total_messages(), 15);
+        assert_eq!(stats.total_compute_calls(), 6);
+    }
+}

@@ -1,0 +1,120 @@
+//! Core type bounds and the "default global data" every vertex sees.
+
+use std::fmt;
+use std::hash::Hash;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// Bound for vertex identifiers.
+///
+/// Ids must be cheap to copy, hashable (for partitioning), ordered (for
+/// deterministic output), printable (for the debugger's views), and
+/// serializable (for trace files). All primitive integers qualify.
+pub trait VertexId:
+    Copy
+    + Eq
+    + Hash
+    + Ord
+    + fmt::Debug
+    + fmt::Display
+    + Send
+    + Sync
+    + Serialize
+    + DeserializeOwned
+    + 'static
+{
+}
+
+impl<T> VertexId for T where
+    T: Copy
+        + Eq
+        + Hash
+        + Ord
+        + fmt::Debug
+        + fmt::Display
+        + Send
+        + Sync
+        + Serialize
+        + DeserializeOwned
+        + 'static
+{
+}
+
+/// Bound for vertex values, edge values, and messages.
+///
+/// Values must be cloneable (the debugger snapshots them), comparable
+/// (to detect updates), printable, and serializable (for trace files).
+pub trait Value:
+    Clone + fmt::Debug + PartialEq + Send + Sync + Serialize + DeserializeOwned + 'static
+{
+}
+
+impl<T> Value for T where
+    T: Clone + fmt::Debug + PartialEq + Send + Sync + Serialize + DeserializeOwned + 'static
+{
+}
+
+/// The "default global data" the Giraph API exposes inside
+/// `vertex.compute()`: the current superstep number and the total number
+/// of vertices and edges in the graph (as of the start of the superstep).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GlobalData {
+    /// Current superstep, starting from 0.
+    pub superstep: u64,
+    /// Total vertices in the graph at the start of this superstep.
+    pub num_vertices: u64,
+    /// Total (directed) edges in the graph at the start of this superstep.
+    pub num_edges: u64,
+}
+
+/// An outgoing edge: a target vertex id plus an edge value.
+///
+/// Unweighted graphs use `()` as the edge value, which occupies no space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Edge<I, E> {
+    /// The edge's target vertex.
+    pub target: I,
+    /// The edge's value (weight, label, …).
+    pub value: E,
+}
+
+impl<I, E> Edge<I, E> {
+    /// Creates an edge to `target` carrying `value`.
+    pub fn new(target: I, value: E) -> Self {
+        Self { target, value }
+    }
+}
+
+impl<I> From<I> for Edge<I, ()> {
+    fn from(target: I) -> Self {
+        Edge { target, value: () }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_vertex_id<T: VertexId>() {}
+    fn assert_value<T: Value>() {}
+
+    #[test]
+    fn primitive_types_satisfy_bounds() {
+        assert_vertex_id::<u32>();
+        assert_vertex_id::<u64>();
+        assert_vertex_id::<i64>();
+        assert_value::<f64>();
+        assert_value::<String>();
+        assert_value::<Vec<i16>>();
+        assert_value::<()>();
+        assert_value::<Option<(u64, f32)>>();
+    }
+
+    #[test]
+    fn unweighted_edge_from_id() {
+        let e: Edge<u64, ()> = 7u64.into();
+        assert_eq!(e.target, 7);
+        assert_eq!(std::mem::size_of::<Edge<u64, ()>>(), 8);
+    }
+}

@@ -1,0 +1,112 @@
+//! Debugging `master.compute()` (paper Section 3.4).
+//!
+//! Plants the classic phase-machine bug in a graph-coloring master —
+//! colors are never assigned, so the job spins forever — and finds it by
+//! reading Graft's automatically captured master contexts, then replays
+//! the captured context against the buggy and the fixed master.
+//!
+//! ```text
+//! cargo run -p graft-core --release --example master_debugging
+//! ```
+
+use graft::{DebugConfig, GraftRunner};
+use graft_algorithms::coloring::{
+    aggregators, phases, GCValue, GraphColoring, GraphColoringMaster,
+};
+use graft_datasets::Dataset;
+use graft_pregel::{AggValue, AggregatorRegistry, Computation, MasterComputation, MasterContext};
+
+/// The buggy master: never advances past NOTIFY to COLOR-ASSIGNMENT.
+struct BuggyPhaseMaster;
+
+impl MasterComputation<GraphColoring> for BuggyPhaseMaster {
+    fn compute(&self, master: &mut MasterContext<'_>) {
+        let phase = master
+            .get_aggregated(aggregators::PHASE)
+            .and_then(|v| v.as_text().map(str::to_string))
+            .unwrap();
+        let next = match phase.as_str() {
+            phases::INIT => phases::SELECTION,
+            phases::SELECTION => phases::CONFLICT_RESOLUTION,
+            phases::CONFLICT_RESOLUTION => phases::NOTIFY,
+            _ => phases::SELECTION, // BUG: the undecided count is ignored.
+        };
+        master.set_aggregated(aggregators::PHASE, AggValue::Text(next.into()));
+    }
+
+    fn name(&self) -> String {
+        "BuggyPhaseMaster".into()
+    }
+}
+
+fn main() {
+    let graph =
+        Dataset::by_name("bipartite-1M-3M").unwrap().generate(5000, 3).to_graph(GCValue::default());
+
+    let config = DebugConfig::<GraphColoring>::builder().catch_exceptions(false).build();
+    let run = GraftRunner::new(GraphColoring::new(5), config)
+        .with_master(BuggyPhaseMaster)
+        .num_workers(2)
+        .max_supersteps(40)
+        .run(graph, "/traces/master-demo")
+        .expect("trace setup succeeds");
+    let outcome = run.outcome.as_ref().unwrap();
+    println!(
+        "job hit the superstep limit ({:?} after {} supersteps) — the infinite-loop symptom",
+        outcome.halt_reason,
+        outcome.stats.superstep_count()
+    );
+
+    let session = run.session().expect("traces load");
+
+    // Walk the master traces: phase + undecided count per superstep.
+    println!("\nmaster contexts (captured automatically every superstep):");
+    for trace in session.master_traces().take(15) {
+        let phase = trace
+            .aggregators
+            .iter()
+            .find(|(name, _)| name == aggregators::PHASE)
+            .and_then(|(_, v)| v.as_text().map(str::to_string))
+            .unwrap();
+        let undecided = trace
+            .aggregators
+            .iter()
+            .find(|(name, _)| name == aggregators::UNDECIDED)
+            .and_then(|(_, v)| v.as_long())
+            .unwrap_or(-1);
+        println!("  superstep {:>2}: phase={phase:<20} undecided={undecided}", trace.superstep);
+    }
+    println!("  … the phase never reaches COLOR-ASSIGNMENT, even at undecided=0");
+
+    // Reproduce the decision point and compare masters.
+    let stuck = session
+        .master_traces()
+        .find(|t| {
+            t.superstep >= 4
+                && t.aggregators
+                    .iter()
+                    .any(|(name, v)| name == aggregators::PHASE
+                        && v.as_text() == Some(phases::SELECTION))
+        })
+        .expect("the loop revisits SELECTION");
+    println!("\n--- generated master reproduction test (superstep {}) ---", stuck.superstep);
+    println!("{}", session.reproduce_master(stuck.superstep).unwrap().generate_test_source());
+
+    let replay = |master: &dyn MasterComputation<GraphColoring>| -> String {
+        let mut registry = AggregatorRegistry::new();
+        GraphColoring::new(5).register_aggregators(&mut registry);
+        registry.set(aggregators::PHASE, AggValue::Text(phases::NOTIFY.into()));
+        registry.set(aggregators::UNDECIDED, AggValue::Long(0));
+        let mut ctx = MasterContext::new_for_replay(stuck.global, &mut registry);
+        master.compute(&mut ctx);
+        registry
+            .get(aggregators::PHASE)
+            .and_then(|v| v.as_text().map(str::to_string))
+            .unwrap()
+    };
+    println!(
+        "replay with undecided=0 after NOTIFY: buggy master -> {}, fixed master -> {}",
+        replay(&BuggyPhaseMaster),
+        replay(&GraphColoringMaster)
+    );
+}

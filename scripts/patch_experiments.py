@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Folds figure7_output.txt into EXPERIMENTS.md as a markdown table.
+
+Run from the repo root after `figure7` finishes:
+
+    python3 scripts/patch_experiments.py
+"""
+import re
+import pathlib
+
+root = pathlib.Path(__file__).resolve().parent.parent
+figure = (root / "figure7_output.txt").read_text()
+
+rows = {}
+order = []
+cluster = None
+for line in figure.splitlines():
+    m = re.match(r"== (\S+) ==", line)
+    if m:
+        cluster = m.group(1)
+        if cluster not in rows:
+            rows[cluster] = {}
+            order.append(cluster)
+        continue
+    m = re.match(
+        r"(\S[\S+-]*)\s+#*\s+([\d.]+)x\s+±\s*([\d.]+)\s+([\d.]+)s\s+captures=(\d+)",
+        line.strip(),
+    )
+    if m and cluster:
+        config, norm, stdev, secs, captures = m.groups()
+        rows[cluster][config] = (float(norm), int(captures))
+
+configs = ["no-debug", "DC-sp", "DC-sp+nbr", "DC-msg", "DC-vv", "DC-full"]
+out = ["| Cluster | " + " | ".join(configs) + " |"]
+out.append("|" + "---|" * (len(configs) + 1))
+for cluster in order:
+    cells = []
+    for config in configs:
+        norm, captures = rows[cluster].get(config, (float("nan"), 0))
+        cell = f"{norm:.2f}x"
+        if captures:
+            cell += f" ({captures})"
+        cells.append(cell)
+    out.append(f"| {cluster} | " + " | ".join(cells) + " |")
+out.append("")
+out.append("(parenthesized numbers are capture counts, as on the paper's bars)")
+table = "\n".join(out)
+
+exp = root / "EXPERIMENTS.md"
+text = exp.read_text()
+text = text.replace("<!-- FIGURE7_SUMMARY -->", table)
+exp.write_text(text)
+print(table)

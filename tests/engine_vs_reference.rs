@@ -1,0 +1,77 @@
+//! Cross-crate correctness: the vertex-centric algorithms running on the
+//! full engine over generated datasets must agree with sequential
+//! reference implementations.
+
+use graft_algorithms::components::ConnectedComponents;
+use graft_algorithms::pagerank::PageRank;
+use graft_algorithms::reference::{dijkstra, pagerank_reference, union_find_components};
+use graft_algorithms::sssp::ShortestPaths;
+use graft_datasets::{weighted, Dataset};
+use graft_pregel::Engine;
+
+#[test]
+fn connected_components_on_scaled_epinions() {
+    let list = Dataset::by_name("soc-Epinions").unwrap().generate_undirected(100, 17);
+    let expected = union_find_components(list.num_vertices, &list.edges);
+    let outcome = Engine::new(ConnectedComponents::new())
+        .num_workers(4)
+        .run(list.to_graph(u64::MAX))
+        .unwrap();
+    for (vertex, label) in outcome.graph.sorted_values() {
+        assert_eq!(label, expected[vertex as usize], "vertex {vertex}");
+    }
+}
+
+#[test]
+fn pagerank_on_scaled_web_bs() {
+    let mut list = Dataset::by_name("web-BS").unwrap().generate(500, 23);
+    list.dedupe();
+    let outcome =
+        Engine::new(PageRank::new(20)).num_workers(4).run(list.to_graph(0.0f64)).unwrap();
+    let expected = pagerank_reference(list.num_vertices, &list.edges, 20, 0.85);
+    for (vertex, rank) in outcome.graph.sorted_values() {
+        let want = expected[vertex as usize];
+        assert!(
+            (rank - want).abs() < 1e-9,
+            "vertex {vertex}: engine {rank} vs reference {want}"
+        );
+    }
+}
+
+#[test]
+fn sssp_on_weighted_bipartite() {
+    let list = Dataset::by_name("bipartite-1M-3M").unwrap().generate(1000, 29);
+    let graph = weighted::weight_graph(&list, 31, f64::INFINITY);
+    let weighted_edges: Vec<(u64, u64, f64)> = list
+        .edges
+        .iter()
+        .map(|&(a, b)| (a, b, weighted::symmetric_weight(31, a, b)))
+        .collect();
+    let expected = dijkstra(list.num_vertices, &weighted_edges, 0);
+    let outcome = Engine::new(ShortestPaths::new(0)).num_workers(4).run(graph).unwrap();
+    for (vertex, dist) in outcome.graph.sorted_values() {
+        let want = expected[vertex as usize];
+        assert!(
+            (dist.is_infinite() && want.is_infinite()) || (dist - want).abs() < 1e-9,
+            "vertex {vertex}: engine {dist} vs dijkstra {want}"
+        );
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_any_algorithm_output() {
+    let list = Dataset::by_name("soc-Epinions").unwrap().generate_undirected(200, 41);
+    let reference = Engine::new(ConnectedComponents::new())
+        .num_workers(1)
+        .run(list.to_graph(u64::MAX))
+        .unwrap()
+        .graph
+        .sorted_values();
+    for workers in [2, 5, 8] {
+        let outcome = Engine::new(ConnectedComponents::new())
+            .num_workers(workers)
+            .run(list.to_graph(u64::MAX))
+            .unwrap();
+        assert_eq!(outcome.graph.sorted_values(), reference, "{workers} workers");
+    }
+}

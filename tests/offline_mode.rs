@@ -1,0 +1,99 @@
+//! The GUI offline mode (paper Section 3.4): build a small graph, export
+//! it as an adjacency-list text file or an end-to-end test template, and
+//! run the program "from first superstep until termination" against
+//! expected output — across the testing, io, and algorithms crates.
+
+use graft::testing::{
+    assert_final_values, generate_end_to_end_test, premade, run_end_to_end, to_adjacency_text,
+    SmallGraph,
+};
+use graft_algorithms::components::ConnectedComponents;
+use graft_algorithms::sssp::ShortestPaths;
+use graft_pregel::io::{parse_adjacency, UnitValue};
+use graft_pregel::{Graph, HaltReason};
+
+#[test]
+fn drawn_graph_exports_to_text_and_back() {
+    // "Users can add vertices and draw edges between vertices, and edit
+    // the values of the vertices and edges" — then export the adjacency
+    // list for an end-to-end test.
+    let graph: Graph<u64, i64, f64> = SmallGraph::new()
+        .vertex(1, 10)
+        .vertex(2, 20)
+        .vertex(3, 30)
+        .undirected(1, 2, 0.5)
+        .edge(2, 3, 1.5)
+        .build();
+    let text = to_adjacency_text(&graph);
+    assert_eq!(text, "1 10 2:0.5\n2 20 1:0.5 3:1.5\n3 30\n");
+
+    // The exported file loads back to an identical graph.
+    let reloaded: Graph<u64, i64, f64> = parse_adjacency(&text).unwrap();
+    assert_eq!(reloaded.sorted_values(), graph.sorted_values());
+    assert_eq!(reloaded.num_edges(), graph.num_edges());
+    assert_eq!(to_adjacency_text(&reloaded), text);
+}
+
+#[test]
+fn end_to_end_run_checks_final_output() {
+    // Two triangles bridged at one vertex: one component.
+    let graph: Graph<u64, u64, ()> = SmallGraph::new()
+        .vertices(0..6, u64::MAX)
+        .undirected(0, 1, ())
+        .undirected(1, 2, ())
+        .undirected(2, 0, ())
+        .undirected(3, 4, ())
+        .undirected(4, 5, ())
+        .undirected(5, 3, ())
+        .undirected(2, 3, ())
+        .build();
+    let outcome = run_end_to_end(ConnectedComponents::new(), graph);
+    assert_eq!(outcome.halt_reason, HaltReason::AllVerticesHalted);
+    assert_final_values(&outcome.graph, (0..6).map(|v| (v, 0u64)));
+}
+
+#[test]
+fn end_to_end_on_a_premade_graph() {
+    // SSSP on a premade grid: the distance to the opposite corner of a
+    // w x h unit grid is (w-1) + (h-1) hops.
+    let grid = premade::grid(4, 3, f64::INFINITY);
+    let weighted: Graph<u64, f64, f64> = {
+        let mut builder = Graph::builder();
+        for (id, value, _) in grid.iter() {
+            builder.add_vertex(id, *value).unwrap();
+        }
+        for (id, _, edges) in grid.iter() {
+            for edge in edges {
+                builder.add_edge(id, edge.target, 1.0).unwrap();
+            }
+        }
+        builder.build().unwrap()
+    };
+    let outcome = run_end_to_end(ShortestPaths::new(0), weighted);
+    let far_corner = 4 * 3 - 1;
+    assert_eq!(outcome.graph.value(far_corner), Some(&5.0));
+    assert_eq!(outcome.graph.value(0), Some(&0.0));
+}
+
+#[test]
+fn generated_template_matches_the_drawn_graph() {
+    let graph: Graph<u64, u64, ()> = SmallGraph::new()
+        .vertices([7, 8], 0)
+        .undirected(7, 8, ())
+        .build();
+    let source = generate_end_to_end_test("cc_on_tiny_graph", "ConnectedComponents", &graph);
+    assert!(source.contains("#[test]"));
+    assert!(source.contains("fn cc_on_tiny_graph()"));
+    assert!(source.contains("builder.add_vertex(7, 0).unwrap();"));
+    assert!(source.contains("builder.add_edge(7, 8, ()).unwrap();"));
+    assert!(source.contains("builder.add_edge(8, 7, ()).unwrap();"));
+    assert!(source.contains("Engine::new(computation).run(graph)"));
+}
+
+#[test]
+fn unit_valued_graphs_roundtrip_via_unitvalue() {
+    let graph: Graph<u64, i64, UnitValue> = parse_adjacency("5 1 6\n6 2 5\n").unwrap();
+    assert_eq!(graph.num_edges(), 2);
+    let text = to_adjacency_text(&graph);
+    assert_eq!(text, "5 1 6\n6 2 5\n");
+}

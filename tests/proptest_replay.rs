@@ -1,0 +1,165 @@
+//! Property test for Graft's central promise: replaying any captured
+//! vertex context reproduces the recorded behaviour exactly, for any
+//! (deterministic) computation, graph, and capture configuration.
+
+use graft::{DebugConfig, GraftRunner, SuperstepFilter};
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+use proptest::prelude::*;
+
+/// A deterministic computation with enough behavioural variety to stress
+/// the capture path: value updates, selective sends, edge mutations, and
+/// data-dependent halting.
+struct Quirky {
+    rounds: u64,
+}
+
+impl Computation for Quirky {
+    type Id = u64;
+    type VValue = i64;
+    type EValue = i32;
+    type Message = i64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[i64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        let sum: i64 = messages.iter().sum();
+        *vertex.value_mut() = vertex.value().wrapping_mul(3).wrapping_add(sum);
+        if *vertex.value() % 7 == 0 && vertex.num_edges() > 1 {
+            let target = vertex.edges()[0].target;
+            vertex.remove_edge(target);
+        }
+        if ctx.superstep() < self.rounds {
+            for edge in vertex.edges().to_vec() {
+                if (edge.target + ctx.superstep()).is_multiple_of(2) {
+                    ctx.send_message(edge.target, *vertex.value() + edge.value as i64);
+                }
+            }
+        }
+        if *vertex.value() % 3 == 0 || ctx.superstep() >= self.rounds {
+            vertex.vote_to_halt();
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    n: u64,
+    edges: Vec<(u64, u64, i32)>,
+    values: Vec<i64>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
+    (3u64..14).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0..n, -5i32..5).prop_filter("no self-loop", |(a, b, _)| a != b),
+            0..30,
+        );
+        let values = proptest::collection::vec(-100i64..100, n as usize);
+        (Just(n), edges, values).prop_map(|(n, edges, values)| GraphSpec { n, edges, values })
+    })
+}
+
+fn build(spec: &GraphSpec) -> graft_pregel::Graph<u64, i64, i32> {
+    let mut builder = graft_pregel::Graph::builder();
+    for v in 0..spec.n {
+        builder.add_vertex(v, spec.values[v as usize]).unwrap();
+    }
+    for &(a, b, w) in &spec.edges {
+        builder.add_edge(a, b, w).unwrap();
+    }
+    builder.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_capture_replays_faithfully(
+        spec in graph_strategy(),
+        rounds in 1u64..5,
+        capture_all in any::<bool>(),
+        filter_from in 0u64..3,
+        workers in 1usize..5,
+    ) {
+        let config = if capture_all {
+            DebugConfig::<Quirky>::builder()
+                .capture_all_active(true)
+                .supersteps(SuperstepFilter::After(filter_from))
+                .catch_exceptions(false)
+                .build()
+        } else {
+            DebugConfig::<Quirky>::builder()
+                .capture_ids(0..spec.n.min(4))
+                .capture_neighbors(true)
+                .catch_exceptions(false)
+                .build()
+        };
+        let run = GraftRunner::new(Quirky { rounds }, config)
+            .num_workers(workers)
+            .max_supersteps(rounds + 3)
+            .run(build(&spec), "/traces/prop")
+            .unwrap();
+        prop_assert!(run.outcome.is_ok());
+        let session = run.session().unwrap();
+        prop_assert_eq!(session.total_captures() as u64, run.captures);
+        for superstep in session.supersteps() {
+            for trace in session.captured_at(superstep) {
+                let reproduced = session
+                    .reproduce_vertex(trace.vertex, superstep)
+                    .unwrap();
+                let report = reproduced.verify_fidelity(Quirky { rounds });
+                prop_assert!(
+                    report.is_faithful(),
+                    "vertex {} superstep {}: {:?}",
+                    trace.vertex, superstep, report.diffs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn captures_are_identical_across_worker_counts(
+        spec in graph_strategy(),
+        rounds in 1u64..4,
+    ) {
+        let run_with = |workers: usize| {
+            let config = DebugConfig::<Quirky>::builder()
+                .capture_all_active(true)
+                .catch_exceptions(false)
+                .build();
+            let run = GraftRunner::new(Quirky { rounds }, config)
+                .num_workers(workers)
+                .max_supersteps(rounds + 3)
+                .run(build(&spec), "/traces/prop-workers")
+                .unwrap();
+            let session = run.session().unwrap();
+            let mut summary = Vec::new();
+            for superstep in session.supersteps() {
+                for trace in session.captured_at(superstep) {
+                    summary.push((
+                        superstep,
+                        trace.vertex,
+                        trace.value_before,
+                        trace.value_after,
+                        trace.halted_after,
+                        {
+                            let mut sends = trace.outgoing.clone();
+                            sends.sort_unstable();
+                            sends
+                        },
+                        {
+                            let mut incoming = trace.incoming.clone();
+                            incoming.sort_unstable();
+                            incoming
+                        },
+                    ));
+                }
+            }
+            summary
+        };
+        prop_assert_eq!(run_with(1), run_with(4));
+    }
+}

@@ -1,0 +1,99 @@
+//! The "line-by-line debugger" half of the Reproduce step: replaying a
+//! captured context with step recording enabled shows exactly which
+//! `trace_point!`-annotated lines of `compute()` executed for that
+//! vertex and superstep — the IDE-stepping experience of the paper,
+//! without an IDE.
+
+use graft::steptrace::with_recording;
+use graft::{DebugConfig, GraftRunner};
+use graft_algorithms::coloring::{GCState, GCValue, GraphColoring, GraphColoringMaster};
+use graft_datasets::Dataset;
+
+#[test]
+fn replaying_a_capture_shows_which_lines_ran() {
+    let seed = 4;
+    let graph = Dataset::by_name("bipartite-1M-3M")
+        .unwrap()
+        .generate(5000, 3)
+        .to_graph(GCValue::default());
+
+    let config = DebugConfig::<GraphColoring>::builder()
+        .capture_random(10, seed)
+        .capture_neighbors(true)
+        .catch_exceptions(false)
+        .build();
+    let run = GraftRunner::new(GraphColoring::buggy(seed), config)
+        .with_master(GraphColoringMaster)
+        .num_workers(2)
+        .max_supersteps(2000)
+        .run(graph, "/traces/steptrace")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    let session = run.session().unwrap();
+
+    // Find a capture from a CONFLICT-RESOLUTION superstep where the
+    // vertex joined the MIS.
+    let winner = session
+        .supersteps()
+        .into_iter()
+        .flat_map(|s| session.captured_at(s))
+        .find(|t| {
+            t.value_after.state == GCState::InSet && t.value_before.state == GCState::Undecided
+        })
+        .expect("someone wins a conflict eventually");
+
+    // Replay it under step recording.
+    let reproduced = session.reproduce_vertex(winner.vertex, winner.superstep).unwrap();
+    let (result, steps) = with_recording(|| reproduced.replay(GraphColoring::buggy(seed)));
+    assert_eq!(result.value_after.state, GCState::InSet);
+
+    // The step trace shows the exact execution path through compute():
+    // the conflict-resolution entry, then the winning branch.
+    let labels = steps.labels();
+    assert_eq!(labels[0], "conflict resolution");
+    assert!(labels.contains(&"won conflict: joining MIS"), "labels: {labels:?}");
+    assert!(!labels.contains(&"lost conflict: staying undecided"));
+
+    // Events carry source locations and live variable values.
+    let entry = &steps.events()[0];
+    assert!(entry.file.ends_with("coloring.rs"));
+    assert!(entry.values.iter().any(|(name, _)| name == "mine"));
+    let rendered = steps.to_text();
+    assert!(rendered.contains("coloring.rs"));
+
+    // A vertex that *lost* the same round shows the other branch.
+    if let Some(loser) = session.captured_at(winner.superstep).iter().find(|t| {
+        t.value_after.state == GCState::Undecided
+            && t.value_before.state == GCState::Undecided
+            && t.incoming.iter().any(|m| {
+                matches!(m, graft_algorithms::coloring::GCMessage::Priority { .. })
+            })
+    }) {
+        let reproduced = session.reproduce_vertex(loser.vertex, loser.superstep).unwrap();
+        let (_, steps) = with_recording(|| reproduced.replay(GraphColoring::buggy(seed)));
+        let labels = steps.labels();
+        assert!(
+            labels.contains(&"lost conflict: staying undecided"),
+            "labels: {labels:?}"
+        );
+    }
+}
+
+#[test]
+fn recording_is_off_during_normal_runs() {
+    // trace_point! must be inert when nothing records: a plain engine run
+    // of the annotated algorithm leaves no events behind.
+    let graph = Dataset::by_name("bipartite-1M-3M")
+        .unwrap()
+        .generate(20_000, 3)
+        .to_graph(GCValue::default());
+    let outcome = graft_pregel::Engine::new(GraphColoring::new(1))
+        .with_master(GraphColoringMaster)
+        .num_workers(2)
+        .max_supersteps(2000)
+        .run(graph)
+        .unwrap();
+    assert!(outcome.stats.superstep_count() > 0);
+    let ((), steps) = with_recording(|| ());
+    assert!(steps.events().is_empty());
+}
