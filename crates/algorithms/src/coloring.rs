@@ -15,8 +15,8 @@
 //! enter the MIS and end up with the same color.
 
 use graft_pregel::{
-    AggOp, AggValue, AggregatorRegistry, Computation, ContextOf, MasterComputation,
-    MasterContext, VertexHandleOf,
+    AggOp, AggValue, AggregatorRegistry, Computation, ContextOf, MasterComputation, MasterContext,
+    VertexHandleOf,
 };
 use serde::{Deserialize, Serialize};
 
@@ -157,41 +157,34 @@ impl Computation for GraphColoring {
         }
 
         match phase.as_str() {
-            phases::SELECTION
-                if vertex.value().state == GCState::Undecided => {
-                    let priority = self.priority(vertex.id(), ctx.superstep());
-                    vertex.value_mut().priority = priority;
-                    let id = vertex.id();
-                    ctx.send_message_to_all_edges(
-                        vertex,
-                        GCMessage::Priority { priority, sender: id },
-                    );
+            phases::SELECTION if vertex.value().state == GCState::Undecided => {
+                let priority = self.priority(vertex.id(), ctx.superstep());
+                vertex.value_mut().priority = priority;
+                let id = vertex.id();
+                ctx.send_message_to_all_edges(vertex, GCMessage::Priority { priority, sender: id });
+            }
+            phases::CONFLICT_RESOLUTION if vertex.value().state == GCState::Undecided => {
+                let neighbor_priorities: Vec<(u64, u64)> = messages
+                    .iter()
+                    .filter_map(|m| match m {
+                        GCMessage::Priority { priority, sender } => Some((*priority, *sender)),
+                        GCMessage::InSet => None,
+                    })
+                    .collect();
+                let mine = (vertex.value().priority, vertex.id());
+                graft::trace_point!(
+                    "conflict resolution",
+                    "mine" => mine,
+                    "neighbors" => neighbor_priorities
+                );
+                if self.wins_conflict(mine, &neighbor_priorities) {
+                    graft::trace_point!("won conflict: joining MIS", "buggy_tie_break" => self.buggy);
+                    vertex.value_mut().state = GCState::InSet;
+                    ctx.send_message_to_all_edges(vertex, GCMessage::InSet);
+                } else {
+                    graft::trace_point!("lost conflict: staying undecided");
                 }
-            phases::CONFLICT_RESOLUTION
-                if vertex.value().state == GCState::Undecided => {
-                    let neighbor_priorities: Vec<(u64, u64)> = messages
-                        .iter()
-                        .filter_map(|m| match m {
-                            GCMessage::Priority { priority, sender } => {
-                                Some((*priority, *sender))
-                            }
-                            GCMessage::InSet => None,
-                        })
-                        .collect();
-                    let mine = (vertex.value().priority, vertex.id());
-                    graft::trace_point!(
-                        "conflict resolution",
-                        "mine" => mine,
-                        "neighbors" => neighbor_priorities
-                    );
-                    if self.wins_conflict(mine, &neighbor_priorities) {
-                        graft::trace_point!("won conflict: joining MIS", "buggy_tie_break" => self.buggy);
-                        vertex.value_mut().state = GCState::InSet;
-                        ctx.send_message_to_all_edges(vertex, GCMessage::InSet);
-                    } else {
-                        graft::trace_point!("lost conflict: staying undecided");
-                    }
-                }
+            }
             phases::NOTIFY => {
                 if vertex.value().state == GCState::Undecided
                     && messages.iter().any(|m| matches!(m, GCMessage::InSet))
@@ -203,10 +196,10 @@ impl Computation for GraphColoring {
                 }
             }
             phases::COLOR_ASSIGNMENT => {
-                let color = ctx
-                    .get_aggregated(aggregators::COLOR)
-                    .and_then(AggValue::as_long)
-                    .expect("master maintains the color aggregator") as u64;
+                let color =
+                    ctx.get_aggregated(aggregators::COLOR)
+                        .and_then(AggValue::as_long)
+                        .expect("master maintains the color aggregator") as u64;
                 match vertex.value().state {
                     GCState::InSet => {
                         vertex.value_mut().color = Some(color);
@@ -239,7 +232,11 @@ impl Computation for GraphColoring {
     }
 
     fn name(&self) -> String {
-        if self.buggy { "BuggyGraphColoring".into() } else { "GraphColoring".into() }
+        if self.buggy {
+            "BuggyGraphColoring".into()
+        } else {
+            "GraphColoring".into()
+        }
     }
 }
 
@@ -322,10 +319,7 @@ mod tests {
         outcome.graph
     }
 
-    fn unit_graph(
-        edges: &[(u64, u64)],
-        n: u64,
-    ) -> Graph<u64, GCValue, ()> {
+    fn unit_graph(edges: &[(u64, u64)], n: u64) -> Graph<u64, GCValue, ()> {
         let mut builder = Graph::builder();
         for v in 0..n {
             builder.add_vertex(v, GCValue::default()).unwrap();

@@ -24,6 +24,8 @@
 //! power iteration, coloring validation, matching validation) used to
 //! verify the vertex-centric versions.
 
+#![forbid(unsafe_code)]
+
 pub mod coloring;
 pub mod components;
 pub mod matching;

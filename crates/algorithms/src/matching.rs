@@ -252,10 +252,7 @@ mod tests {
         }
         let graph = builder.build().unwrap();
         assert_eq!(graph.asymmetric_edges().len(), 0, "edges exist in both directions");
-        let outcome = Engine::new(MaxWeightMatching::new())
-            .max_supersteps(300)
-            .run(graph)
-            .unwrap();
+        let outcome = Engine::new(MaxWeightMatching::new()).max_supersteps(300).run(graph).unwrap();
         assert_eq!(
             outcome.halt_reason,
             HaltReason::MaxSuperstepsReached,
@@ -268,10 +265,8 @@ mod tests {
 
     #[test]
     fn symmetric_version_of_the_same_cycle_converges() {
-        let outcome = run_mwm(weighted_graph(
-            &[(0, 1, 10.0), (1, 2, 1.0), (2, 3, 10.0), (3, 0, 1.0)],
-            4,
-        ));
+        let outcome =
+            run_mwm(weighted_graph(&[(0, 1, 10.0), (1, 2, 1.0), (2, 3, 10.0), (3, 0, 1.0)], 4));
         assert_eq!(outcome.halt_reason, HaltReason::AllVerticesHalted);
         let matched = validate_matching(&outcome.graph).unwrap();
         assert_eq!(matched, vec![(0, 1), (2, 3)]);

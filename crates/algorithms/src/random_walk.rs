@@ -71,11 +71,8 @@ impl Computation for RandomWalk {
         messages: &[i64],
         ctx: &mut ContextOf<'_, Self>,
     ) {
-        let walkers = if ctx.superstep() == 0 {
-            self.initial_walkers
-        } else {
-            messages.iter().sum()
-        };
+        let walkers =
+            if ctx.superstep() == 0 { self.initial_walkers } else { messages.iter().sum() };
         vertex.value_mut().walkers = walkers;
 
         if ctx.superstep() >= self.steps || vertex.num_edges() == 0 {
@@ -119,7 +116,11 @@ impl Computation for RandomWalk {
     }
 
     fn name(&self) -> String {
-        if self.short_counters { "RandomWalkShort".into() } else { "RandomWalk".into() }
+        if self.short_counters {
+            "RandomWalkShort".into()
+        } else {
+            "RandomWalk".into()
+        }
     }
 }
 
@@ -180,11 +181,10 @@ mod tests {
         // superstep all walkers cross the single edge, counter 40000 >
         // 32767 wraps negative.
         let graph = walk_graph(&[(0, 1)], 2);
-        let outcome = Engine::new(
-            RandomWalk::new(1, 1).initial_walkers(40_000).with_short_counters(),
-        )
-        .run(graph)
-        .unwrap();
+        let outcome =
+            Engine::new(RandomWalk::new(1, 1).initial_walkers(40_000).with_short_counters())
+                .run(graph)
+                .unwrap();
         let values = outcome.graph.sorted_values();
         assert!(
             values.iter().any(|(_, v)| v.walkers < 0),
@@ -195,9 +195,8 @@ mod tests {
     #[test]
     fn correct_counters_do_not_overflow_on_the_same_input() {
         let graph = walk_graph(&[(0, 1)], 2);
-        let outcome = Engine::new(RandomWalk::new(1, 1).initial_walkers(40_000))
-            .run(graph)
-            .unwrap();
+        let outcome =
+            Engine::new(RandomWalk::new(1, 1).initial_walkers(40_000)).run(graph).unwrap();
         for (_, value) in outcome.graph.sorted_values() {
             assert_eq!(value.walkers, 40_000);
         }

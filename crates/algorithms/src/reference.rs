@@ -14,7 +14,7 @@ use crate::matching::MWMValue;
 pub fn union_find_components(n: u64, edges: &[(u64, u64)]) -> Vec<u64> {
     let n = n as usize;
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
@@ -94,12 +94,7 @@ pub fn dijkstra(n: u64, edges: &[(u64, u64, f64)], source: u64) -> Vec<f64> {
 /// iteration, every vertex distributes `damping * rank / out_degree`
 /// along its out-edges and resets to `(1 - damping) / n` plus what it
 /// receives; dangling vertices leak their rank.
-pub fn pagerank_reference(
-    n: u64,
-    edges: &[(u64, u64)],
-    iterations: u64,
-    damping: f64,
-) -> Vec<f64> {
+pub fn pagerank_reference(n: u64, edges: &[(u64, u64)], iterations: u64, damping: f64) -> Vec<f64> {
     let n_us = n as usize;
     let mut out_degree = vec![0usize; n_us];
     for &(a, _) in edges {

@@ -79,10 +79,7 @@ mod tests {
     fn simple_path_distances() {
         let edges = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 10.0)];
         let outcome = Engine::new(ShortestPaths::new(0)).run(weighted(&edges, 3)).unwrap();
-        assert_eq!(
-            outcome.graph.sorted_values(),
-            vec![(0, 0.0), (1, 1.0), (2, 3.0)]
-        );
+        assert_eq!(outcome.graph.sorted_values(), vec![(0, 0.0), (1, 1.0), (2, 3.0)]);
     }
 
     #[test]
@@ -106,10 +103,8 @@ mod tests {
                     }
                 }
             }
-            let outcome = Engine::new(ShortestPaths::new(0))
-                .num_workers(4)
-                .run(weighted(&edges, n))
-                .unwrap();
+            let outcome =
+                Engine::new(ShortestPaths::new(0)).num_workers(4).run(weighted(&edges, n)).unwrap();
             let expected = dijkstra(n, &edges, 0);
             for (vertex, value) in outcome.graph.sorted_values() {
                 let want = expected[vertex as usize];

@@ -83,10 +83,7 @@ mod tests {
             counts[v as usize] += 1;
         }
         for (bucket, &count) in counts.iter().enumerate() {
-            assert!(
-                (800..1200).contains(&count),
-                "bucket {bucket} has {count} of 4000 draws"
-            );
+            assert!((800..1200).contains(&count), "bucket {bucket} has {count} of 4000 draws");
         }
     }
 

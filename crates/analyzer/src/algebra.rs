@@ -1,0 +1,255 @@
+//! Algebraic property checks for combiners and aggregators (GA0001,
+//! GA0002, GA0004, GA0005).
+//!
+//! The Pregel contract says a combiner must be commutative and
+//! associative, because the engine folds messages in arrival order and
+//! arrival order is a scheduling accident. The analyzer verifies the
+//! contract *empirically*: it draws operands from the messages actually
+//! observed in the captured run (so the check exercises the value
+//! distribution the algorithm really produces) and evaluates randomized
+//! pairs and triples through `combine()`.
+//!
+//! Floating-point results are compared with a relative tolerance, so a
+//! `f64` sum combiner — associative only up to rounding — is not
+//! misreported.
+
+use std::collections::BTreeSet;
+
+use graft::DebugSession;
+use graft_pregel::{AggregatorRegistry, Computation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::{AnalyzeOptions, Finding, GA0001, GA0002, GA0004, GA0005};
+
+/// Relative tolerance for floating-point payloads: big enough to absorb
+/// rounding (a permuted f64 sum differs by ULPs), far too small to mask
+/// a real semantic difference.
+const REL_EPS: f64 = 1e-9;
+
+fn floats_close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    (a - b).abs() <= REL_EPS * a.abs().max(b.abs())
+}
+
+/// Structural equality over JSON trees with a relative tolerance on
+/// numbers. Integers compare exactly.
+fn json_approx_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(_), Value::Number(_)) => match (a.as_i64(), b.as_i64()) {
+            (Some(x), Some(y)) => x == y,
+            _ => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => floats_close(x, y),
+                _ => a == b,
+            },
+        },
+        (Value::Array(xs), Value::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| json_approx_eq(x, y))
+        }
+        (Value::Object(xs), Value::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|((ka, va), (kb, vb))| ka == kb && json_approx_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+/// Whether two serializable values are equal up to floating-point
+/// rounding. Used for every value comparison the analyzer makes, so an
+/// `f64`-carrying message type never produces ULP-level false positives.
+pub(crate) fn approx_eq<T: Serialize>(a: &T, b: &T) -> bool {
+    match (serde_json::to_value(a), serde_json::to_value(b)) {
+        (Ok(a), Ok(b)) => json_approx_eq(&a, &b),
+        // Unserializable values cannot be compared structurally; treat
+        // them as differing so the caller surfaces the case.
+        _ => false,
+    }
+}
+
+/// Collects the distinct messages observed anywhere in the session —
+/// incoming and outgoing — capped so analysis stays cheap.
+fn message_pool<C: Computation>(session: &DebugSession<C>, cap: usize) -> Vec<C::Message> {
+    let mut seen = BTreeSet::new();
+    let mut pool = Vec::new();
+    for trace in session.all_traces() {
+        for message in trace.incoming.iter().chain(trace.outgoing.iter().map(|(_, m)| m)) {
+            if pool.len() >= cap {
+                return pool;
+            }
+            if seen.insert(format!("{message:?}")) {
+                pool.push(message.clone());
+            }
+        }
+    }
+    pool
+}
+
+/// Checks the combiner's algebra against the observed message pool.
+/// Returns the findings and the number of cases evaluated.
+pub(crate) fn check_combiner<C, F>(
+    session: &DebugSession<C>,
+    make: &F,
+    options: &AnalyzeOptions,
+    rng: &mut StdRng,
+) -> (Vec<Finding>, usize)
+where
+    C: Computation,
+    F: Fn() -> C,
+{
+    let computation = make();
+    if !computation.use_combiner() {
+        return (Vec::new(), 0);
+    }
+    let pool = message_pool(session, 128);
+    if pool.is_empty() {
+        return (Vec::new(), 0);
+    }
+
+    let mut cases = 0;
+    let mut commutative_cx: Option<String> = None;
+    let mut associative_cx: Option<String> = None;
+    let mut idempotent_cx: Option<String> = None;
+
+    for _ in 0..options.algebra_cases {
+        let i = rng.gen_range(0..pool.len());
+        let mut j = rng.gen_range(0..pool.len());
+        if pool.len() > 1 && j == i {
+            j = (j + 1) % pool.len();
+        }
+        let k = rng.gen_range(0..pool.len());
+        let (a, b, c) = (&pool[i], &pool[j], &pool[k]);
+        cases += 1;
+
+        if commutative_cx.is_none() {
+            let ab = computation.combine(a, b);
+            let ba = computation.combine(b, a);
+            if !approx_eq(&ab, &ba) {
+                commutative_cx = Some(format!(
+                    "a = {a:?}, b = {b:?}: combine(a, b) = {ab:?} but combine(b, a) = {ba:?}"
+                ));
+            }
+        }
+        if associative_cx.is_none() {
+            let left = computation.combine(&computation.combine(a, b), c);
+            let right = computation.combine(a, &computation.combine(b, c));
+            if !approx_eq(&left, &right) {
+                associative_cx = Some(format!(
+                    "a = {a:?}, b = {b:?}, c = {c:?}: combine(combine(a, b), c) = {left:?} \
+                     but combine(a, combine(b, c)) = {right:?}"
+                ));
+            }
+        }
+        if idempotent_cx.is_none() {
+            let aa = computation.combine(a, a);
+            if !approx_eq(&aa, a) {
+                idempotent_cx = Some(format!("a = {a:?}: combine(a, a) = {aa:?}"));
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    if let Some(cx) = commutative_cx {
+        let mut finding = Finding::global(
+            &GA0001,
+            "combiner is not commutative over messages observed in this run; the engine \
+             folds messages in arrival order, so results depend on delivery order"
+                .to_string(),
+        );
+        finding.evidence.push(cx);
+        findings.push(finding);
+    }
+    if let Some(cx) = associative_cx {
+        let mut finding = Finding::global(
+            &GA0002,
+            "combiner is not associative over messages observed in this run; results \
+             depend on how the engine groups the fold"
+                .to_string(),
+        );
+        finding.evidence.push(cx);
+        findings.push(finding);
+    }
+    if let Some(cx) = idempotent_cx {
+        let mut finding = Finding::global(
+            &GA0004,
+            "combiner is not idempotent (expected for sums; relevant only if the \
+             transport could duplicate a message)"
+                .to_string(),
+        );
+        finding.evidence.push(cx);
+        findings.push(finding);
+    }
+    (findings, cases)
+}
+
+/// Classifies every registered aggregator's merge operator (GA0005).
+pub(crate) fn check_aggregators<C: Computation>(computation: &C) -> Vec<Finding> {
+    let mut registry = AggregatorRegistry::new();
+    computation.register_aggregators(&mut registry);
+    let mut findings = Vec::new();
+    for name in registry.names() {
+        let op = registry.op(name).expect("names() entries are registered");
+        if !op.is_order_insensitive() {
+            findings.push(Finding::global(
+                &GA0005,
+                format!(
+                    "aggregator {name:?} merges with {op:?}, which is not order-insensitive; \
+                     vertex-side aggregate() calls race across workers (master-set-only \
+                     values are safe, but nothing enforces that)"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_pregel::{AggOp, AggValue, ContextOf, VertexHandleOf};
+
+    #[test]
+    fn approx_eq_tolerates_float_rounding() {
+        let a = 0.1 + 0.2;
+        let b = 0.3;
+        assert_ne!(a, b);
+        assert!(approx_eq(&a, &b));
+        assert!(!approx_eq(&1.0, &1.001));
+        assert!(approx_eq(&vec![1i64, 2, 3], &vec![1i64, 2, 3]));
+        assert!(!approx_eq(&vec![1i64, 2], &vec![2i64, 1]));
+        assert!(approx_eq(&(1u64, 0.1 + 0.2), &(1u64, 0.3)));
+    }
+
+    struct WithOverwrite;
+    impl Computation for WithOverwrite {
+        type Id = u64;
+        type VValue = i64;
+        type EValue = ();
+        type Message = i64;
+        fn compute(
+            &self,
+            _v: &mut VertexHandleOf<'_, Self>,
+            _m: &[i64],
+            _c: &mut ContextOf<'_, Self>,
+        ) {
+        }
+        fn register_aggregators(&self, registry: &mut AggregatorRegistry) {
+            registry.register("total", AggOp::Sum, AggValue::Long(0));
+            registry.register_persistent("phase", AggOp::Overwrite, AggValue::Text("INIT".into()));
+        }
+    }
+
+    #[test]
+    fn overwrite_aggregator_is_flagged() {
+        let findings = check_aggregators(&WithOverwrite);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint.id, "GA0005");
+        assert!(findings[0].detail.contains("phase"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0010).
+//!
+//! These lints need no computation and no traces — just the config
+//! summary the runner writes into `meta.json` — so they run both from
+//! [`crate::analyze_session`] and untyped from the CLI.
+
+use graft::{ConfigFacts, SuperstepFilter};
+
+use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010};
+
+/// Runs every configuration lint over `facts`.
+pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    let filter = &facts.superstep_filter;
+    if filter.selects_none() {
+        let detail = match filter {
+            SuperstepFilter::Set(_) => {
+                "superstep filter is an empty Set; no superstep is ever captured".to_string()
+            }
+            SuperstepFilter::Range { from, to } => format!(
+                "superstep filter Range {{ from: {from}, to: {to} }} is inverted; \
+                 no superstep is ever captured"
+            ),
+            _ => unreachable!("All/After always select something"),
+        };
+        findings.push(Finding::global(&GA0006, detail));
+    } else if let Some(max) = facts.max_supersteps {
+        // The job executes supersteps 0..max; anything the filter selects
+        // at or past `max` is unreachable.
+        match filter {
+            SuperstepFilter::Set(set) => {
+                let beyond: Vec<u64> = set.iter().copied().filter(|s| *s >= max).collect();
+                if !beyond.is_empty() {
+                    let all = beyond.len() == set.len();
+                    let mut finding = Finding::global(
+                        &GA0007,
+                        format!(
+                            "{} of {} supersteps in the Set filter are at or beyond the \
+                             job limit of {max}{}",
+                            beyond.len(),
+                            set.len(),
+                            if all { "; the filter can never fire" } else { "" }
+                        ),
+                    );
+                    finding.evidence.push(format!("unreachable supersteps: {beyond:?}"));
+                    findings.push(finding);
+                }
+            }
+            _ => {
+                if filter.earliest().is_some_and(|from| from >= max) {
+                    findings.push(Finding::global(
+                        &GA0007,
+                        format!(
+                            "superstep filter {filter:?} starts at or beyond the job \
+                             limit of {max}; the filter can never fire"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    if facts.capture_neighbors && facts.num_capture_ids == 0 && facts.num_random == 0 {
+        findings.push(Finding::global(
+            &GA0008,
+            "capture_neighbors is set but no vertex ids are listed and the random \
+             sample is empty; the neighbor rule can never fire"
+                .to_string(),
+        ));
+    }
+
+    if facts.max_captures == 0 {
+        findings.push(Finding::global(
+            &GA0009,
+            "max_captures is 0; the safety net drops every capture".to_string(),
+        ));
+    }
+
+    if facts.num_capture_ids == 0
+        && facts.num_random == 0
+        && !facts.capture_all_active
+        && !facts.has_vertex_value_constraint
+        && !facts.has_message_constraint
+        && !facts.catch_exceptions
+    {
+        findings.push(Finding::global(
+            &GA0010,
+            "no capture rule is configured (no ids, no random sample, no capture-all, \
+             no constraints, exceptions not caught); the run cannot capture anything"
+                .to_string(),
+        ));
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft::{DebugConfig, SuperstepFilter};
+    use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+
+    struct Dummy;
+    impl Computation for Dummy {
+        type Id = u64;
+        type VValue = i64;
+        type EValue = ();
+        type Message = i64;
+        fn compute(
+            &self,
+            _v: &mut VertexHandleOf<'_, Self>,
+            _m: &[i64],
+            _c: &mut ContextOf<'_, Self>,
+        ) {
+        }
+    }
+
+    fn ids(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.lint.id).collect()
+    }
+
+    #[test]
+    fn healthy_config_is_clean() {
+        let facts = DebugConfig::<Dummy>::builder().capture_all_active(true).build().facts();
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_ga0006() {
+        let facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::set([]))
+            .build()
+            .facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0006"]);
+    }
+
+    #[test]
+    fn inverted_range_is_ga0006() {
+        let facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::Range { from: 9, to: 3 })
+            .build()
+            .facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0006"]);
+    }
+
+    #[test]
+    fn set_beyond_job_limit_is_ga0007() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::set([2, 50, 80]))
+            .build()
+            .facts();
+        facts.max_supersteps = Some(30);
+        let findings = check_config(&facts);
+        assert_eq!(ids(&findings), vec!["GA0007"]);
+        assert!(findings[0].detail.contains("2 of 3"));
+        // Within the horizon: clean.
+        facts.max_supersteps = Some(100);
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn after_beyond_job_limit_is_ga0007() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(500))
+            .build()
+            .facts();
+        facts.max_supersteps = Some(100);
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0007"]);
+    }
+
+    #[test]
+    fn neighbors_without_targets_is_ga0008() {
+        let facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .capture_neighbors(true)
+            .build()
+            .facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0008"]);
+        // With ids listed the rule is reachable.
+        let facts = DebugConfig::<Dummy>::builder()
+            .capture_ids([1])
+            .capture_neighbors(true)
+            .build()
+            .facts();
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn max_captures_zero_is_ga0009() {
+        let facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .max_captures(0)
+            .build()
+            .facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0009"]);
+    }
+
+    #[test]
+    fn captures_nothing_is_ga0010() {
+        let facts = DebugConfig::<Dummy>::builder().catch_exceptions(false).build().facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0010"]);
+        // The default config catches exceptions, so it is fine.
+        let facts = DebugConfig::<Dummy>::default().facts();
+        assert!(check_config(&facts).is_empty());
+    }
+}

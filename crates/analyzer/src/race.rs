@@ -1,0 +1,208 @@
+//! Message-order race detection (GA0003).
+//!
+//! Pregel gives no ordering guarantee for message delivery: the same
+//! superstep may hand `compute()` the same messages in a different order
+//! on every run, worker count, or partitioning. A `compute()` that reads
+//! `messages[0]`, or folds with a non-commutative operation, is a latent
+//! heisenbug — exactly the class of bug the paper's debugger exists to
+//! pin down.
+//!
+//! The detector re-runs every captured vertex context through the replay
+//! harness with permuted message delivery and flags contexts whose
+//! observable behaviour (value, outgoing messages, halt decision, edge
+//! mutations) changes. Before trusting any permutation, it gates on the
+//! original-order replay reproducing the recorded trace — if the replay
+//! itself is not faithful (e.g. the computation is nondeterministic),
+//! order divergence cannot be attributed to ordering and the context is
+//! skipped.
+//!
+//! Outgoing messages are compared as a *multiset*: Pregel delivery is
+//! unordered, so send-order changes alone are not a race. When the
+//! computation contains [`graft::trace_point!`] markers, the finding also
+//! pinpoints the first trace point where the permuted execution took a
+//! different path.
+
+use graft::steptrace::with_recording;
+use graft::DebugSession;
+use graft_pregel::harness::HarnessResult;
+use graft_pregel::Computation;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::Serialize;
+
+use crate::algebra::approx_eq;
+use crate::{AnalyzeOptions, Finding, GA0003};
+
+/// Hard cap on race findings, so a systematically order-dependent
+/// `compute()` produces a readable report instead of one row per capture.
+const MAX_FINDINGS: usize = 32;
+
+/// Multiset equality up to floating-point rounding.
+fn multiset_matches<T: Serialize>(a: &[T], b: &[T]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut used = vec![false; b.len()];
+    'outer: for x in a {
+        for (i, y) in b.iter().enumerate() {
+            if !used[i] && approx_eq(x, y) {
+                used[i] = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn edge_tuples<C: Computation>(result: &HarnessResult<C>) -> Vec<(C::Id, C::EValue)> {
+    result.edges_after.iter().map(|e| (e.target, e.value.clone())).collect()
+}
+
+/// First observable difference between two replays, rendered; `None` when
+/// behaviour matches.
+fn divergence<C: Computation>(base: &HarnessResult<C>, alt: &HarnessResult<C>) -> Option<String> {
+    if base.panic.is_none() != alt.panic.is_none() {
+        return Some(format!(
+            "panic behaviour changed: originally {:?}, permuted {:?}",
+            base.panic, alt.panic
+        ));
+    }
+    if !approx_eq(&base.value_after, &alt.value_after) {
+        return Some(format!(
+            "vertex value after compute(): originally {:?}, permuted {:?}",
+            base.value_after, alt.value_after
+        ));
+    }
+    if base.voted_halt != alt.voted_halt {
+        return Some(format!(
+            "halt decision changed: originally {}, permuted {}",
+            base.voted_halt, alt.voted_halt
+        ));
+    }
+    if !multiset_matches(&base.outgoing, &alt.outgoing) {
+        return Some(format!(
+            "outgoing messages (as multiset): originally {:?}, permuted {:?}",
+            base.outgoing, alt.outgoing
+        ));
+    }
+    if !multiset_matches(&edge_tuples::<C>(base), &edge_tuples::<C>(alt)) {
+        return Some(format!(
+            "edges after compute(): originally {:?}, permuted {:?}",
+            edge_tuples::<C>(base),
+            edge_tuples::<C>(alt)
+        ));
+    }
+    None
+}
+
+/// Distinct non-identity index permutations of `0..n`: the full reversal
+/// first (the most revealing order change), then random shuffles.
+fn permutations(n: usize, count: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let identity: Vec<usize> = (0..n).collect();
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let reversed: Vec<usize> = (0..n).rev().collect();
+    if reversed != identity {
+        out.push(reversed);
+    }
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 4 {
+        attempts += 1;
+        let mut p = identity.clone();
+        p.shuffle(rng);
+        if p != identity && !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Runs the detector over every captured context. Returns the findings
+/// and the number of harness replays executed.
+pub(crate) fn check_message_order<C, F>(
+    session: &DebugSession<C>,
+    make: &F,
+    options: &AnalyzeOptions,
+    rng: &mut StdRng,
+) -> (Vec<Finding>, usize)
+where
+    C: Computation,
+    F: Fn() -> C,
+{
+    let mut findings = Vec::new();
+    let mut replays = 0;
+
+    for trace in session.all_traces() {
+        if replays >= options.max_replays || findings.len() >= MAX_FINDINGS {
+            break;
+        }
+        // Fewer than two distinct messages cannot be reordered.
+        if trace.incoming.len() < 2
+            || trace.incoming.iter().all(|m| approx_eq(m, &trace.incoming[0]))
+        {
+            continue;
+        }
+        // A panicking capture has no trustworthy "after" state to compare.
+        if trace.exception.is_some() {
+            continue;
+        }
+        let Ok(context) = session.reproduce_vertex(trace.vertex, trace.superstep) else {
+            continue;
+        };
+
+        // Gate: the original-order replay must reproduce the record.
+        let (baseline, baseline_steps) = with_recording(|| context.replay(make()));
+        replays += 1;
+        let faithful = baseline.panic.is_none()
+            && approx_eq(&baseline.value_after, &trace.value_after)
+            && baseline.voted_halt == trace.halted_after
+            && multiset_matches(&baseline.outgoing, &trace.outgoing);
+        if !faithful {
+            continue;
+        }
+
+        for perm in permutations(trace.incoming.len(), options.permutations_per_trace, rng) {
+            if replays >= options.max_replays {
+                break;
+            }
+            let permuted: Vec<C::Message> =
+                perm.iter().map(|&i| trace.incoming[i].clone()).collect();
+            let (result, steps) =
+                with_recording(|| context.harness(make()).incoming(permuted.clone()).run());
+            replays += 1;
+            if let Some(diff) = divergence::<C>(&baseline, &result) {
+                let mut finding = Finding {
+                    lint: &GA0003,
+                    superstep: Some(trace.superstep),
+                    vertex: Some(trace.vertex.to_string()),
+                    detail: format!(
+                        "compute() depends on message delivery order: {}",
+                        diff.split(':').next().unwrap_or("behaviour changed")
+                    ),
+                    evidence: vec![
+                        format!("incoming (recorded order): {:?}", trace.incoming),
+                        format!("incoming (permuted):       {permuted:?}"),
+                        diff,
+                    ],
+                };
+                if !baseline_steps.events().is_empty() || !steps.events().is_empty() {
+                    if let Some(at) = baseline_steps.first_divergence(&steps) {
+                        let label = baseline_steps
+                            .events()
+                            .get(at)
+                            .or_else(|| steps.events().get(at))
+                            .map(|e| e.label.as_str())
+                            .unwrap_or("<end of trace>");
+                        finding.evidence.push(format!(
+                            "execution paths diverge at trace point #{} ({label})",
+                            at + 1
+                        ));
+                    }
+                }
+                findings.push(finding);
+                break; // one finding per captured context
+            }
+        }
+    }
+    (findings, replays)
+}

@@ -1,0 +1,198 @@
+//! End-to-end analyzer coverage: deliberately buggy computations must be
+//! flagged with exactly the right lint, and the seed reference algorithms
+//! must analyze clean.
+
+use graft::testing::premade;
+use graft::testing::SmallGraph;
+use graft::trace_point;
+use graft::{DebugConfig, GraftRunner, SuperstepFilter};
+use graft_algorithms::{components::ConnectedComponents, pagerank::PageRank, sssp::ShortestPaths};
+use graft_analyzer::{analyze_meta, analyze_session, AnalysisReport, AnalyzeOptions};
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+
+fn problem_ids(report: &AnalysisReport) -> Vec<&'static str> {
+    report.problems().iter().map(|f| f.lint.id).collect()
+}
+
+/// A combiner bug: "first message wins". Associative and idempotent, but
+/// not commutative — whichever message the engine happens to fold first
+/// survives, so results depend on delivery order.
+struct FirstWinsCombiner;
+
+impl Computation for FirstWinsCombiner {
+    type Id = u64;
+    type VValue = i64;
+    type EValue = ();
+    type Message = i64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[i64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        let sum: i64 = messages.iter().sum();
+        *vertex.value_mut() += sum;
+        if ctx.superstep() < 2 {
+            let tag = (vertex.id() * 10 + ctx.superstep()) as i64;
+            ctx.send_message_to_all_edges(vertex, tag);
+        } else {
+            vertex.vote_to_halt();
+        }
+    }
+
+    fn use_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, a: &i64, _b: &i64) -> i64 {
+        *a
+    }
+}
+
+#[test]
+fn non_commutative_combiner_triggers_exactly_ga0001() {
+    let config = DebugConfig::<FirstWinsCombiner>::builder().capture_all_active(true).build();
+    let run = GraftRunner::new(FirstWinsCombiner, config)
+        .num_workers(2)
+        .run(premade::cycle(5, 0i64), "/traces/first-wins")
+        .unwrap();
+    let session = run.session().unwrap();
+    let report = analyze_session(&session, || FirstWinsCombiner, &AnalyzeOptions::default());
+    assert_eq!(problem_ids(&report), vec!["GA0001"], "{}", report.to_text());
+    let finding = report.problems()[0];
+    assert!(!finding.evidence.is_empty(), "counterexample operands should be attached");
+    assert!(finding.evidence[0].contains("combine(a, b)"));
+    // The rendered report carries the lint id in the violations-view style.
+    assert!(report.to_text().contains("GA0001"));
+}
+
+/// A compute() bug: the vertex trusts `messages[0]`, which Pregel does
+/// not define — delivery order is a scheduling accident.
+struct TakeFirstMessage;
+
+impl Computation for TakeFirstMessage {
+    type Id = u64;
+    type VValue = i64;
+    type EValue = ();
+    type Message = i64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[i64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        if ctx.superstep() == 0 {
+            if vertex.id() != 0 {
+                ctx.send_message(0, vertex.id() as i64);
+            }
+        } else if !messages.is_empty() {
+            trace_point!("adopt first message", "m" => messages[0]);
+            vertex.set_value(messages[0]);
+        }
+        vertex.vote_to_halt();
+    }
+}
+
+#[test]
+fn order_dependent_compute_triggers_exactly_ga0003() {
+    let config = DebugConfig::<TakeFirstMessage>::builder().capture_all_active(true).build();
+    let run = GraftRunner::new(TakeFirstMessage, config)
+        .num_workers(2)
+        .run(premade::star(4, 0i64), "/traces/take-first")
+        .unwrap();
+    let session = run.session().unwrap();
+    let report = analyze_session(&session, || TakeFirstMessage, &AnalyzeOptions::default());
+    assert_eq!(problem_ids(&report), vec!["GA0003"], "{}", report.to_text());
+    let finding = report.problems()[0];
+    // The star center is the only vertex that receives several distinct
+    // messages, in superstep 1.
+    assert_eq!(finding.vertex.as_deref(), Some("0"));
+    assert_eq!(finding.superstep, Some(1));
+    assert!(finding.evidence.iter().any(|e| e.contains("permuted")));
+    // The computation has a trace point, so the finding pinpoints where
+    // the permuted execution diverged.
+    assert!(
+        finding.evidence.iter().any(|e| e.contains("trace point")),
+        "evidence: {:?}",
+        finding.evidence
+    );
+    assert!(report.replays_run > 0);
+}
+
+#[test]
+fn connected_components_is_lint_clean() {
+    let config = DebugConfig::<ConnectedComponents>::builder().capture_all_active(true).build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(3)
+        .run(premade::grid(3, 3, u64::MAX), "/traces/cc")
+        .unwrap();
+    let session = run.session().unwrap();
+    let report = analyze_session(&session, || ConnectedComponents, &AnalyzeOptions::default());
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert!(report.traces_analyzed > 0);
+}
+
+#[test]
+fn pagerank_is_lint_clean() {
+    let config = DebugConfig::<PageRank>::builder().capture_all_active(true).build();
+    // A star gives asymmetric degrees, so the observed message pool holds
+    // genuinely distinct f64 shares — the algebra checks get real work.
+    let run = GraftRunner::new(PageRank::new(5), config)
+        .num_workers(2)
+        .run(premade::star(6, 0.0f64), "/traces/pr")
+        .unwrap();
+    let session = run.session().unwrap();
+    let report = analyze_session(&session, || PageRank::new(5), &AnalyzeOptions::default());
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert!(report.combiner_cases > 0, "the sum combiner must actually be exercised");
+    // The sum combiner is legitimately non-idempotent: that is an Info
+    // advisory (GA0004), never a problem.
+    assert!(report.findings().iter().all(|f| f.lint.id == "GA0004"));
+}
+
+#[test]
+fn sssp_is_lint_clean() {
+    let graph = SmallGraph::new()
+        .vertices(0..6u64, f64::INFINITY)
+        .undirected(0, 1, 2.0)
+        .undirected(1, 2, 1.5)
+        .undirected(0, 3, 7.0)
+        .undirected(3, 4, 0.5)
+        .undirected(2, 4, 3.0)
+        .undirected(4, 5, 1.0)
+        .build();
+    let config = DebugConfig::<ShortestPaths>::builder().capture_all_active(true).build();
+    let run = GraftRunner::new(ShortestPaths::new(0), config)
+        .num_workers(2)
+        .run(graph, "/traces/sssp")
+        .unwrap();
+    let session = run.session().unwrap();
+    let report = analyze_session(&session, || ShortestPaths::new(0), &AnalyzeOptions::default());
+    assert!(report.is_clean(), "{}", report.to_text());
+    // Min is idempotent and commutative: not even an advisory.
+    assert!(report.findings().is_empty(), "{}", report.to_text());
+}
+
+#[test]
+fn config_lints_work_untyped_from_meta_json() {
+    // A config that can never capture: empty superstep Set. The runner
+    // records the facts in meta.json; the untyped analysis reads them
+    // back without knowing the computation type.
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::set([]))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .run(premade::cycle(4, u64::MAX), "/traces/empty-set")
+        .unwrap();
+    assert_eq!(run.captures, 0, "the empty filter must suppress all captures");
+    let session = run.session().unwrap();
+    let report = analyze_meta(session.meta());
+    assert_eq!(problem_ids(&report), vec!["GA0006"], "{}", report.to_text());
+    // The facts round-tripped through meta.json with the job limit set.
+    let facts = session.meta().facts.as_ref().unwrap();
+    assert!(facts.max_supersteps.is_some());
+    assert!(facts.capture_all_active);
+}

@@ -23,11 +23,7 @@ fn bench_dfs(c: &mut Criterion) {
 
     for replication in [1usize, 2, 3] {
         let make = || {
-            ClusterFs::new(ClusterFsConfig {
-                num_datanodes: 4,
-                replication,
-                block_size: 64 * 1024,
-            })
+            ClusterFs::new(ClusterFsConfig { num_datanodes: 4, replication, block_size: 64 * 1024 })
         };
         group.bench_with_input(
             BenchmarkId::new("cluster_write_r", replication),

@@ -43,10 +43,7 @@ fn bench_engine(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    Engine::new(PageRank::new(5))
-                        .num_workers(workers)
-                        .run(graph.clone())
-                        .unwrap()
+                    Engine::new(PageRank::new(5)).num_workers(workers).run(graph.clone()).unwrap()
                 });
             },
         );
@@ -69,9 +66,7 @@ fn bench_engine(c: &mut Criterion) {
         list.to_graph(RWValue::default())
     };
     group.bench_function("random_walk_8_steps", |b| {
-        b.iter(|| {
-            Engine::new(RandomWalk::new(1, 8)).num_workers(4).run(rw_graph.clone()).unwrap()
-        });
+        b.iter(|| Engine::new(RandomWalk::new(1, 8)).num_workers(4).run(rw_graph.clone()).unwrap());
     });
 
     group.finish();

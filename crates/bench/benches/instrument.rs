@@ -20,9 +20,7 @@ fn bench_instrumentation(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("bare_engine", |b| {
-        b.iter(|| {
-            Engine::new(PageRank::new(5)).num_workers(4).run(graph.clone()).unwrap()
-        });
+        b.iter(|| Engine::new(PageRank::new(5)).num_workers(4).run(graph.clone()).unwrap());
     });
 
     group.bench_function("graft_no_captures", |b| {

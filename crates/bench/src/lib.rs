@@ -18,6 +18,8 @@
 //! constraint-check placement, capture-threshold sweeps, combiner on/off
 //! and the DFS backends.
 
+#![forbid(unsafe_code)]
+
 pub mod overhead;
 pub mod tables;
 

@@ -103,10 +103,7 @@ impl Default for Settings {
 fn mean_stdev(samples: &[Duration]) -> (Duration, Duration) {
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
     let mean_s = mean.as_secs_f64();
-    let variance = samples
-        .iter()
-        .map(|s| (s.as_secs_f64() - mean_s).powi(2))
-        .sum::<f64>()
+    let variance = samples.iter().map(|s| (s.as_secs_f64() - mean_s).powi(2)).sum::<f64>()
         / samples.len() as f64;
     (mean, Duration::from_secs_f64(variance.sqrt()))
 }
@@ -177,14 +174,7 @@ where
     let _ = run_plain();
     let baseline_samples: Vec<Duration> = (0..reps).map(|_| run_plain()).collect();
     let (baseline_mean, _) = mean_stdev(&baseline_samples);
-    rows.push(sample_then_row(
-        algorithm,
-        dataset,
-        Dc::NoDebug,
-        baseline_samples,
-        None,
-        0,
-    ));
+    rows.push(sample_then_row(algorithm, dataset, Dc::NoDebug, baseline_samples, None, 0));
     for dc in [Dc::Sp, Dc::SpNbr, Dc::Msg, Dc::Vv, Dc::Full] {
         let mut samples = Vec::with_capacity(reps);
         let mut captures = 0;
@@ -193,14 +183,7 @@ where
             samples.push(elapsed);
             captures = caps;
         }
-        rows.push(sample_then_row(
-            algorithm,
-            dataset,
-            dc,
-            samples,
-            Some(baseline_mean),
-            captures,
-        ));
+        rows.push(sample_then_row(algorithm, dataset, dc, samples, Some(baseline_mean), captures));
     }
     let _ = std::marker::PhantomData::<C>;
     rows

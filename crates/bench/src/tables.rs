@@ -26,8 +26,11 @@ fn dataset_row(dataset: &Dataset, scale: u64, seed: u64) -> Vec<String> {
     vec![
         dataset.name.to_string(),
         human(dataset.paper_vertices),
-        format!("{} (d), {} (u)", human(dataset.paper_edges_directed),
-            dataset.paper_edges_undirected.map(human).unwrap_or_default()),
+        format!(
+            "{} (d), {} (u)",
+            human(dataset.paper_edges_directed),
+            dataset.paper_edges_undirected.map(human).unwrap_or_default()
+        ),
         human(directed.num_vertices),
         format!("{} (d), {} (u)", human(directed.num_edges()), human(undirected.num_edges())),
         dataset.description.to_string(),
@@ -38,9 +41,8 @@ fn dataset_row(dataset: &Dataset, scale: u64, seed: u64) -> Vec<String> {
 pub fn table1(scale: u64, seed: u64) -> String {
     let rows: Vec<Vec<String>> =
         catalog::DEMO.iter().map(|d| dataset_row(d, scale, seed)).collect();
-    let mut out = format!(
-        "Table 1: Graph datasets for demonstration (generated at 1/{scale} scale)\n"
-    );
+    let mut out =
+        format!("Table 1: Graph datasets for demonstration (generated at 1/{scale} scale)\n");
     out.push_str(&render_table(
         &["Name", "Paper V", "Paper E", "Ours V", "Ours E", "Description"],
         &rows,
@@ -102,7 +104,10 @@ pub fn table3() -> String {
         ]);
     }
     let mut out = String::from("Table 3: DebugConfig configurations\n");
-    out.push_str(&render_table(&["Name", "Paper description", "Live config self-description"], &rows));
+    out.push_str(&render_table(
+        &["Name", "Paper description", "Live config self-description"],
+        &rows,
+    ));
     out
 }
 

@@ -12,7 +12,17 @@
 //! graft-cli <trace-dir> vertex <id>
 //! graft-cli <trace-dir> violations
 //! graft-cli <trace-dir> master
+//! graft-cli <trace-dir> analyze
 //! ```
+//!
+//! `analyze` runs `graft-analyzer`'s configuration lints over the
+//! [`ConfigFacts`](graft::ConfigFacts) recorded in `meta.json` and exits
+//! nonzero when any Error-severity finding fires, so it can gate CI. The
+//! deeper semantic checks (combiner algebra, message-order races) need
+//! the compiled computation; run those through
+//! `graft_analyzer::analyze_session` in a test.
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -29,7 +39,8 @@ fn usage() -> ExitCode {
          \x20 show <superstep>     the tabular view of one superstep\n\
          \x20 vertex <id>          one vertex's history across supersteps\n\
          \x20 violations           the violations & exceptions view\n\
-         \x20 master               captured master contexts"
+         \x20 master               captured master contexts\n\
+         \x20 analyze              run config lints (GA0006-GA0010) over meta.json"
     );
     ExitCode::FAILURE
 }
@@ -70,9 +81,30 @@ fn main() -> ExitCode {
         },
         "violations" => violations(&session),
         "master" => master(&session),
+        "analyze" => return analyze(&session),
         _ => return usage(),
     }
     ExitCode::SUCCESS
+}
+
+fn analyze(session: &UntypedSession) -> ExitCode {
+    if session.meta().facts.is_none() {
+        println!(
+            "meta.json has no config facts (trace written by an older graft); nothing to analyze"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let report = graft_analyzer::analyze_meta(session.meta());
+    print!("{}", report.to_text());
+    println!(
+        "\nnote: combiner algebra and message-order race checks need the compiled \
+         computation;\nrun graft_analyzer::analyze_session against this trace from a test."
+    );
+    if report.errors().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn info(session: &UntypedSession) {
@@ -200,11 +232,8 @@ fn violations(session: &UntypedSession) {
 
 fn master(session: &UntypedSession) {
     for trace in session.master_traces() {
-        let aggregators: Vec<String> = trace
-            .aggregators
-            .iter()
-            .map(|(name, value)| format!("{name}={value}"))
-            .collect();
+        let aggregators: Vec<String> =
+            trace.aggregators.iter().map(|(name, value)| format!("{name}={value}")).collect();
         println!(
             "superstep {:>4}: {}{}",
             trace.superstep,

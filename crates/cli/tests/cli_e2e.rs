@@ -99,10 +99,45 @@ fn cli_browses_a_real_trace_directory() {
     assert!(ok);
     assert!(violations.contains("offending capture"), "{violations}");
 
+    // A healthy config analyzes clean and exits zero.
+    let (analysis, ok) = run_cli(&dir, &["analyze"]);
+    assert!(ok, "analyze failed: {analysis}");
+    assert!(analysis.contains("Analysis findings (0 row(s))"), "{analysis}");
+
     // Unknown command prints usage and fails.
     let (usage, ok) = run_cli(&dir, &["bogus"]);
     assert!(!ok);
     assert!(usage.contains("usage:"), "{usage}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_analyze_flags_a_broken_config_and_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("graft-cli-analyze-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = Arc::new(LocalFs::new(&dir).unwrap());
+
+    // Two config bugs at once: an inverted superstep range (GA0006,
+    // Error) and a neighbor rule with nothing to neighbor (GA0008,
+    // Warning).
+    let config = DebugConfig::<Spiky>::builder()
+        .capture_all_active(true)
+        .capture_neighbors(true)
+        .supersteps(graft::SuperstepFilter::Range { from: 8, to: 2 })
+        .build();
+    let run = GraftRunner::new(Spiky, config)
+        .with_fs(fs)
+        .run(graft::testing::premade::cycle(4, 0i64), "/")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    assert_eq!(run.captures, 0);
+
+    let (analysis, ok) = run_cli(&dir, &["analyze"]);
+    assert!(!ok, "an Error finding must exit nonzero: {analysis}");
+    assert!(analysis.contains("GA0006"), "{analysis}");
+    assert!(analysis.contains("GA0008"), "{analysis}");
+    assert!(analysis.contains("[error] superstep filter Range"), "{analysis}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -291,7 +291,10 @@ impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
     type Error = Error;
     type Variant = VariantAccess<'a, 'de>;
 
-    fn variant_seed<V: de::DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self::Variant)> {
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant)> {
         let index = self.de.read_u64()?;
         let index = u32::try_from(index).map_err(|_| Error::InvalidVariant(u32::MAX))?;
         let value =

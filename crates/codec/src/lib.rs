@@ -34,6 +34,8 @@
 //! assert_eq!(rec, back);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod de;
 mod error;
 mod ser;
@@ -197,9 +199,8 @@ mod tests {
 
     #[test]
     fn framed_roundtrip_stream() {
-        let records: Vec<Inner> = (0..100)
-            .map(|i| Inner { flag: i % 2 == 0, label: format!("record-{i}") })
-            .collect();
+        let records: Vec<Inner> =
+            (0..100).map(|i| Inner { flag: i % 2 == 0, label: format!("record-{i}") }).collect();
         let mut buf = Vec::new();
         for r in &records {
             buf.extend_from_slice(&to_framed_vec(r).unwrap());

@@ -283,7 +283,11 @@ impl ser::SerializeStruct for &mut Serializer<'_> {
     type Ok = ();
     type Error = Error;
 
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<()> {
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
         value.serialize(&mut **self)
     }
 
@@ -296,7 +300,11 @@ impl ser::SerializeStructVariant for &mut Serializer<'_> {
     type Ok = ();
     type Error = Error;
 
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<()> {
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
         value.serialize(&mut **self)
     }
 

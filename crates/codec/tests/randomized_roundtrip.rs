@@ -1,0 +1,185 @@
+//! Randomized tests: every value GraftBin can encode decodes back to
+//! itself. Seeded generation keeps the cases reproducible offline.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum Tree {
+    Leaf,
+    Value(i64),
+    Node(Box<Tree>, Box<Tree>),
+    Tagged { name: String, child: Box<Tree> },
+}
+
+fn random_string(rng: &mut rand::rngs::StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            // Mix ASCII with a few multi-byte code points to stress UTF-8
+            // length handling in the string codec.
+            match rng.gen_range(0..8u32) {
+                0 => 'λ',
+                1 => '€',
+                2 => '\u{1F600}',
+                _ => char::from(rng.gen_range(32u8..127)),
+            }
+        })
+        .collect()
+}
+
+fn random_tree(rng: &mut rand::rngs::StdRng, depth: u32) -> Tree {
+    if depth == 0 {
+        return if rng.gen_bool(0.5) { Tree::Leaf } else { Tree::Value(rng.gen()) };
+    }
+    match rng.gen_range(0..4u32) {
+        0 => Tree::Leaf,
+        1 => Tree::Value(rng.gen()),
+        2 => {
+            Tree::Node(Box::new(random_tree(rng, depth - 1)), Box::new(random_tree(rng, depth - 1)))
+        }
+        _ => Tree::Tagged {
+            name: random_string(rng, 12),
+            child: Box::new(random_tree(rng, depth - 1)),
+        },
+    }
+}
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct Mixed {
+    u: u64,
+    i: i64,
+    small: (u8, i8, u16, i16, u32, i32),
+    f: f64,
+    g: f32,
+    b: bool,
+    s: String,
+    opt: Option<String>,
+    bytes: Vec<u8>,
+    seq: Vec<i32>,
+    map: std::collections::BTreeMap<u32, String>,
+    tree: Tree,
+}
+
+fn random_mixed(rng: &mut rand::rngs::StdRng) -> Mixed {
+    let f = match rng.gen_range(0..10u32) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        _ => f64::from_bits(rng.gen()),
+    };
+    Mixed {
+        u: rng.gen(),
+        i: rng.gen(),
+        small: (
+            rng.gen_range(0..=u8::MAX),
+            rng.gen_range(i8::MIN..=i8::MAX),
+            rng.gen_range(0..=u16::MAX),
+            rng.gen_range(i16::MIN..=i16::MAX),
+            rng.gen(),
+            rng.gen_range(i32::MIN..=i32::MAX),
+        ),
+        f,
+        g: f32::from_bits(rng.gen()),
+        b: rng.gen(),
+        s: random_string(rng, 24),
+        opt: if rng.gen_bool(0.5) { Some(random_string(rng, 8)) } else { None },
+        bytes: (0..rng.gen_range(0..64usize)).map(|_| rng.gen_range(0..=u8::MAX)).collect(),
+        seq: (0..rng.gen_range(0..32usize)).map(|_| rng.gen_range(i32::MIN..=i32::MAX)).collect(),
+        map: (0..rng.gen_range(0..8usize)).map(|_| (rng.gen(), random_string(rng, 6))).collect(),
+        tree: random_tree(rng, 4),
+    }
+}
+
+/// Compares while treating NaN as equal to itself (bit-level for floats).
+fn mixed_eq(a: &Mixed, b: &Mixed) -> bool {
+    a.u == b.u
+        && a.i == b.i
+        && a.small == b.small
+        && a.f.to_bits() == b.f.to_bits()
+        && a.g.to_bits() == b.g.to_bits()
+        && a.b == b.b
+        && a.s == b.s
+        && a.opt == b.opt
+        && a.bytes == b.bytes
+        && a.seq == b.seq
+        && a.map == b.map
+        && a.tree == b.tree
+}
+
+#[test]
+fn roundtrip_mixed() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DEC01);
+    for _ in 0..256 {
+        let v = random_mixed(&mut rng);
+        let bytes = graft_codec::to_vec(&v).unwrap();
+        let back: Mixed = graft_codec::from_slice(&bytes).unwrap();
+        assert!(mixed_eq(&v, &back), "roundtrip diverged for {v:?}");
+    }
+}
+
+#[test]
+fn roundtrip_framed() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DEC02);
+    for _ in 0..64 {
+        let values: Vec<Mixed> =
+            (0..rng.gen_range(0..8usize)).map(|_| random_mixed(&mut rng)).collect();
+        let mut buf = Vec::new();
+        for v in &values {
+            buf.extend_from_slice(&graft_codec::to_framed_vec(v).unwrap());
+        }
+        let decoded: Result<Vec<Mixed>, _> = graft_codec::FramedIter::new(&buf).collect();
+        let decoded = decoded.unwrap();
+        assert_eq!(decoded.len(), values.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            assert!(mixed_eq(a, b));
+        }
+    }
+}
+
+#[test]
+fn varint_roundtrip() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DEC03);
+    let mut cases: Vec<u64> = (0..512).map(|_| rng.gen()).collect();
+    // Boundary cases around each varint length step.
+    for shift in 0..10 {
+        let edge = 1u64 << (7 * shift);
+        cases.extend([edge.wrapping_sub(1), edge, edge.wrapping_add(1)]);
+    }
+    cases.extend([0, 1, u64::MAX]);
+    for v in cases {
+        let mut buf = Vec::new();
+        graft_codec::varint::write_u64(&mut buf, v);
+        let (back, n) = graft_codec::varint::read_u64(&buf).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, graft_codec::varint::encoded_len_u64(v));
+    }
+}
+
+#[test]
+fn zigzag_roundtrip() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DEC04);
+    let mut cases: Vec<i64> = (0..512).map(|_| rng.gen()).collect();
+    cases.extend([0, 1, -1, i64::MIN, i64::MAX]);
+    for v in cases {
+        let enc = graft_codec::varint::zigzag_encode(v);
+        assert_eq!(graft_codec::varint::zigzag_decode(enc), v);
+    }
+}
+
+#[test]
+fn decoder_never_panics_on_garbage() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DEC05);
+    for _ in 0..256 {
+        let bytes: Vec<u8> =
+            (0..rng.gen_range(0..256usize)).map(|_| rng.gen_range(0..=u8::MAX)).collect();
+        // Any byte soup must produce Ok or Err, never a panic.
+        let _ = graft_codec::from_slice::<Mixed>(&bytes);
+        let _ = graft_codec::from_slice::<Tree>(&bytes);
+        let _ = graft_codec::from_slice::<String>(&bytes);
+        let _ = graft_codec::from_framed_slice::<Mixed>(&bytes);
+    }
+}

@@ -49,13 +49,11 @@ impl Template {
         while let Some(start) = rest.find("${") {
             out.push_str(&rest[..start]);
             let after = &rest[start + 2..];
-            let end = after
-                .find('}')
-                .ok_or(TemplateError::UnterminatedPlaceholder(offset + start))?;
+            let end =
+                after.find('}').ok_or(TemplateError::UnterminatedPlaceholder(offset + start))?;
             let name = &after[..end];
-            let value = vars
-                .get(name)
-                .ok_or_else(|| TemplateError::MissingVariable(name.to_string()))?;
+            let value =
+                vars.get(name).ok_or_else(|| TemplateError::MissingVariable(name.to_string()))?;
             out.push_str(value);
             offset += start + 2 + end + 1;
             rest = &after[end + 1..];

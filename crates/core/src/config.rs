@@ -20,9 +20,8 @@ use serde::{Deserialize, Serialize};
 
 /// Vertex-value constraint: `(value, vertex id, superstep) -> ok?`.
 /// Returning `false` marks a violation and captures the vertex.
-pub type VertexValueConstraint<C> = Arc<
-    dyn Fn(&<C as Computation>::VValue, &<C as Computation>::Id, u64) -> bool + Send + Sync,
->;
+pub type VertexValueConstraint<C> =
+    Arc<dyn Fn(&<C as Computation>::VValue, &<C as Computation>::Id, u64) -> bool + Send + Sync>;
 
 /// Message constraint: `(message, source id, target id, superstep) -> ok?`.
 /// Returning `false` marks a violation and captures the sending vertex.
@@ -52,18 +51,62 @@ pub enum SuperstepFilter {
         /// Last superstep captured (inclusive).
         to: u64,
     },
-    /// Capture only in the listed supersteps.
+    /// Capture only in the listed supersteps. Kept sorted and deduplicated
+    /// (see [`SuperstepFilter::set`]) so membership tests are a binary
+    /// search instead of a linear scan.
     Set(Vec<u64>),
 }
 
 impl SuperstepFilter {
+    /// Builds a `Set` filter from any iterator of supersteps, sorting and
+    /// deduplicating so [`matches`](Self::matches) can binary-search.
+    /// Prefer this over constructing `SuperstepFilter::Set` directly.
+    pub fn set(supersteps: impl IntoIterator<Item = u64>) -> Self {
+        let mut set: Vec<u64> = supersteps.into_iter().collect();
+        set.sort_unstable();
+        set.dedup();
+        SuperstepFilter::Set(set)
+    }
+
+    /// Returns a copy with `Set` contents sorted and deduplicated. The
+    /// builder applies this, so configs built through the public API
+    /// always satisfy the `Set` ordering invariant.
+    pub fn normalized(&self) -> Self {
+        match self {
+            SuperstepFilter::Set(set) => SuperstepFilter::set(set.iter().copied()),
+            other => other.clone(),
+        }
+    }
+
     /// Whether `superstep` is selected by this filter.
     pub fn matches(&self, superstep: u64) -> bool {
         match self {
             SuperstepFilter::All => true,
             SuperstepFilter::After(from) => superstep >= *from,
             SuperstepFilter::Range { from, to } => superstep >= *from && superstep <= *to,
-            SuperstepFilter::Set(set) => set.contains(&superstep),
+            SuperstepFilter::Set(set) => set.binary_search(&superstep).is_ok(),
+        }
+    }
+
+    /// Whether this filter can never select any superstep (an inverted
+    /// `Range` or an empty `Set`) — such a config silently captures
+    /// nothing, which the analyzer flags as GA0006.
+    pub fn selects_none(&self) -> bool {
+        match self {
+            SuperstepFilter::All | SuperstepFilter::After(_) => false,
+            SuperstepFilter::Range { from, to } => from > to,
+            SuperstepFilter::Set(set) => set.is_empty(),
+        }
+    }
+
+    /// The earliest superstep this filter can select, if bounded below.
+    /// `All` starts at 0; an unsatisfiable filter returns `None`.
+    pub fn earliest(&self) -> Option<u64> {
+        match self {
+            SuperstepFilter::All => Some(0),
+            SuperstepFilter::After(from) => Some(*from),
+            SuperstepFilter::Range { from, to } => (from <= to).then_some(*from),
+            SuperstepFilter::Set(set) => set.iter().min().copied(),
         }
     }
 }
@@ -108,6 +151,39 @@ pub enum TraceCodec {
     /// Compact length-prefixed GraftBin records (see `graft-codec`);
     /// smaller and faster, for heavy captures.
     Binary,
+}
+
+/// A type-erased summary of a [`DebugConfig`], recorded in `meta.json`
+/// and consumed by `graft-analyzer`'s configuration lints (GA0006–GA0010).
+///
+/// Constraints and capture ids are reduced to presence/counts because the
+/// typed payloads (closures, `C::Id` values) cannot be serialized; the
+/// structural fields the lints reason about are carried verbatim.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigFacts {
+    /// How many vertex ids the config lists for capture.
+    pub num_capture_ids: usize,
+    /// Whether neighbors of captured vertices are also captured.
+    pub capture_neighbors: bool,
+    /// Size of the random capture sample.
+    pub num_random: usize,
+    /// Whether every active vertex is captured.
+    pub capture_all_active: bool,
+    /// Whether a vertex-value constraint is installed.
+    pub has_vertex_value_constraint: bool,
+    /// Whether a message constraint is installed.
+    pub has_message_constraint: bool,
+    /// Whether exceptions are captured.
+    pub catch_exceptions: bool,
+    /// The superstep filter, verbatim.
+    pub superstep_filter: SuperstepFilter,
+    /// The capture safety-net threshold.
+    pub max_captures: u64,
+    /// Whether master contexts are captured.
+    pub capture_master: bool,
+    /// The job's superstep limit, when known (filled in by the runner; a
+    /// config on its own has no superstep horizon).
+    pub max_supersteps: Option<u64>,
 }
 
 /// The assembled debug configuration for a computation `C`.
@@ -247,6 +323,25 @@ impl<C: Computation> DebugConfig<C> {
     pub fn codec(&self) -> TraceCodec {
         self.codec
     }
+
+    /// The type-erased summary of this config, for `meta.json` and the
+    /// analyzer's configuration lints. `max_supersteps` is left `None`;
+    /// the runner fills it in from the job limit.
+    pub fn facts(&self) -> ConfigFacts {
+        ConfigFacts {
+            num_capture_ids: self.capture_ids.len(),
+            capture_neighbors: self.capture_neighbors,
+            num_random: self.num_random,
+            capture_all_active: self.capture_all_active,
+            has_vertex_value_constraint: self.vertex_value_constraint.is_some(),
+            has_message_constraint: self.message_constraint.is_some(),
+            catch_exceptions: self.catch_exceptions,
+            superstep_filter: self.superstep_filter.clone(),
+            max_captures: self.max_captures,
+            capture_master: self.capture_master,
+            max_supersteps: None,
+        }
+    }
 }
 
 impl<C: Computation> fmt::Debug for DebugConfig<C> {
@@ -328,9 +423,10 @@ impl<C: Computation> DebugConfigBuilder<C> {
         self
     }
 
-    /// Restrict capturing to a subset of supersteps.
+    /// Restrict capturing to a subset of supersteps. `Set` filters are
+    /// normalized (sorted, deduplicated) so membership is a binary search.
     pub fn supersteps(mut self, filter: SuperstepFilter) -> Self {
-        self.config.superstep_filter = filter;
+        self.config.superstep_filter = filter.normalized();
         self
     }
 
@@ -387,6 +483,68 @@ mod tests {
         assert!(!SuperstepFilter::Range { from: 2, to: 4 }.matches(5));
         assert!(SuperstepFilter::Set(vec![1, 41]).matches(41));
         assert!(!SuperstepFilter::Set(vec![1, 41]).matches(2));
+    }
+
+    #[test]
+    fn set_constructor_sorts_and_dedups() {
+        let filter = SuperstepFilter::set([41, 1, 7, 41, 1]);
+        assert_eq!(filter, SuperstepFilter::Set(vec![1, 7, 41]));
+        for superstep in [1, 7, 41] {
+            assert!(filter.matches(superstep));
+        }
+        for superstep in [0, 2, 40, 42, u64::MAX] {
+            assert!(!filter.matches(superstep));
+        }
+    }
+
+    #[test]
+    fn builder_normalizes_unsorted_sets() {
+        let config = DebugConfig::<Dummy>::builder()
+            .supersteps(SuperstepFilter::Set(vec![9, 3, 9, 5]))
+            .build();
+        assert_eq!(config.superstep_filter, SuperstepFilter::Set(vec![3, 5, 9]));
+        assert!(config.superstep_filter.matches(5));
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let filter = SuperstepFilter::set(std::iter::empty());
+        assert!(filter.selects_none());
+        assert_eq!(filter.earliest(), None);
+        for superstep in [0, 1, 500, u64::MAX] {
+            assert!(!filter.matches(superstep));
+        }
+    }
+
+    #[test]
+    fn inverted_range_matches_nothing() {
+        let filter = SuperstepFilter::Range { from: 10, to: 2 };
+        assert!(filter.selects_none());
+        assert_eq!(filter.earliest(), None);
+        for superstep in [0, 2, 5, 10, u64::MAX] {
+            assert!(!filter.matches(superstep));
+        }
+        assert!(!SuperstepFilter::Range { from: 2, to: 10 }.selects_none());
+        assert_eq!(SuperstepFilter::Range { from: 2, to: 10 }.earliest(), Some(2));
+    }
+
+    #[test]
+    fn facts_summarize_the_config() {
+        let config = DebugConfig::<Dummy>::builder()
+            .capture_ids([672, 673])
+            .capture_neighbors(true)
+            .message_constraint(|msg, _, _, _| *msg >= 0)
+            .supersteps(SuperstepFilter::set([4, 2]))
+            .max_captures(99)
+            .build();
+        let facts = config.facts();
+        assert_eq!(facts.num_capture_ids, 2);
+        assert!(facts.capture_neighbors);
+        assert!(!facts.has_vertex_value_constraint);
+        assert!(facts.has_message_constraint);
+        assert_eq!(facts.superstep_filter, SuperstepFilter::Set(vec![2, 4]));
+        assert_eq!(facts.max_captures, 99);
+        assert_eq!(facts.max_supersteps, None);
     }
 
     #[test]

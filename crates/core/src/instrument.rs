@@ -16,8 +16,7 @@ use std::sync::Arc;
 
 use graft_pregel::hash::FxHashSet;
 use graft_pregel::{
-    AggregatorRegistry, Computation, ContextOf, JobEnd, JobObserver, SuperstepStats,
-    VertexHandleOf,
+    AggregatorRegistry, Computation, ContextOf, JobEnd, JobObserver, SuperstepStats, VertexHandleOf,
 };
 
 use crate::config::{CaptureReason, DebugConfig, ExceptionPolicy};

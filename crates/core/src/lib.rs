@@ -73,6 +73,8 @@
 //! # let _ = SearchQuery::by_id(0u64);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod codegen;
 mod config;
 mod instrument;
@@ -88,8 +90,8 @@ pub mod untyped;
 pub mod views;
 
 pub use config::{
-    CaptureReason, DebugConfig, DebugConfigBuilder, ExceptionPolicy, MessageConstraint,
-    SuperstepFilter, TraceCodec, VertexValueConstraint,
+    CaptureReason, ConfigFacts, DebugConfig, DebugConfigBuilder, ExceptionPolicy,
+    MessageConstraint, SuperstepFilter, TraceCodec, VertexValueConstraint,
 };
 pub use instrument::{CaptureSets, GraftObserver, Instrumented};
 pub use reproduce::{FidelityReport, ReproducedContext, ReproducedMaster};

@@ -59,11 +59,7 @@ impl<C: Computation> ReproducedContext<C> {
     pub fn harness(&self, computation: C) -> VertexTestHarness<C> {
         let mut harness = VertexTestHarness::new(computation)
             .global(self.trace.global)
-            .vertex(
-                self.trace.vertex,
-                self.trace.value_before.clone(),
-                self.trace.edges.clone(),
-            )
+            .vertex(self.trace.vertex, self.trace.value_before.clone(), self.trace.edges.clone())
             .incoming(self.trace.incoming.clone());
         for (name, value) in &self.trace.aggregators {
             harness = harness.aggregator(name, value.clone());
@@ -127,8 +123,7 @@ impl<C: Computation> ReproducedContext<C> {
             .map(|(target, value)| format!("({}, {})", debug_literal(target), debug_literal(value)))
             .collect::<Vec<_>>()
             .join(", ");
-        let incoming =
-            t.incoming.iter().map(debug_literal).collect::<Vec<_>>().join(", ");
+        let incoming = t.incoming.iter().map(debug_literal).collect::<Vec<_>>().join(", ");
         let outgoing = t
             .outgoing
             .iter()
@@ -252,11 +247,7 @@ impl ReproducedMaster {
         master.register_aggregators(&mut registry);
         for (name, value) in &self.trace.aggregators {
             if !registry.contains(name) {
-                registry.register_persistent(
-                    name,
-                    graft_pregel::AggOp::Overwrite,
-                    value.clone(),
-                );
+                registry.register_persistent(name, graft_pregel::AggOp::Overwrite, value.clone());
             }
             registry.set(name, value.clone());
         }
@@ -272,12 +263,9 @@ impl ReproducedMaster {
             .trace
             .aggregators
             .iter()
-            .map(|(name, value)| {
-                format!("    //   {name} = {value}\n")
-            })
+            .map(|(name, value)| format!("    //   {name} = {value}\n"))
             .collect::<String>();
-        let master_name =
-            self.meta.master.clone().unwrap_or_else(|| "YourMaster".to_string());
+        let master_name = self.meta.master.clone().unwrap_or_else(|| "YourMaster".to_string());
         let mut vars: BTreeMap<&str, String> = BTreeMap::new();
         vars.insert("master", master_name);
         vars.insert("superstep", self.trace.superstep.to_string());

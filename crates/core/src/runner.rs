@@ -113,7 +113,8 @@ impl<C: Computation> GraftRunner<C> {
     /// Attaches the user's master computation.
     pub fn with_master<M: MasterComputation<C>>(mut self, master: M) -> Self {
         self.master_name = Some(master.name());
-        self.master = Some(Arc::new(MasterAdapter { inner: master, _marker: std::marker::PhantomData }));
+        self.master =
+            Some(Arc::new(MasterAdapter { inner: master, _marker: std::marker::PhantomData }));
         self
     }
 
@@ -141,13 +142,8 @@ impl<C: Computation> GraftRunner<C> {
         &self,
         graph: &Graph<C::Id, C::VValue, C::EValue>,
     ) -> CaptureSets<C::Id> {
-        let specified: FxHashSet<C::Id> = self
-            .config
-            .capture_ids
-            .iter()
-            .copied()
-            .filter(|id| graph.contains(*id))
-            .collect();
+        let specified: FxHashSet<C::Id> =
+            self.config.capture_ids.iter().copied().filter(|id| graph.contains(*id)).collect();
 
         let mut random: FxHashSet<C::Id> = FxHashSet::default();
         if self.config.num_random > 0 && graph.num_vertices() > 0 {
@@ -210,6 +206,11 @@ impl<C: Computation> GraftRunner<C> {
             num_workers: self.num_workers,
             codec: self.config.codec,
             config: self.config.describe(),
+            facts: Some({
+                let mut facts = self.config.facts();
+                facts.max_supersteps = Some(self.max_supersteps);
+                facts
+            }),
         };
         let meta_bytes =
             serde_json::to_vec_pretty(&meta).map_err(|e| GraftError::Meta(e.to_string()))?;

@@ -9,7 +9,7 @@ use graft_pregel::Computation;
 
 use crate::reproduce::{ReproducedContext, ReproducedMaster};
 use crate::trace::{
-    master_trace_path, meta_path, result_path, worker_trace_path, decode_records, JobMeta,
+    decode_records, master_trace_path, meta_path, result_path, worker_trace_path, JobMeta,
     JobResultRecord, MasterTrace, VertexTraceOf,
 };
 use crate::views::node_link::NodeLinkView;
@@ -133,11 +133,7 @@ impl SearchQuery {
             }
         }
         if let Some(needle) = &self.sent_contains {
-            if !trace
-                .outgoing
-                .iter()
-                .any(|(_, m)| format!("{m:?}").contains(needle.as_str()))
-            {
+            if !trace.outgoing.iter().any(|(_, m)| format!("{m:?}").contains(needle.as_str())) {
                 return false;
             }
         }
@@ -163,11 +159,8 @@ impl<C: Computation> DebugSession<C> {
     /// Loads the traces a [`crate::GraftRunner`] wrote under `root`.
     pub fn open(fs: Arc<dyn FileSystem>, root: &str) -> Result<Self, SessionError> {
         let meta_bytes = fs.read_all(&meta_path(root))?;
-        let meta: JobMeta =
-            serde_json::from_slice(&meta_bytes).map_err(|e| SessionError::Decode {
-                path: meta_path(root),
-                error: e.to_string(),
-            })?;
+        let meta: JobMeta = serde_json::from_slice(&meta_bytes)
+            .map_err(|e| SessionError::Decode { path: meta_path(root), error: e.to_string() })?;
 
         let mut by_superstep: BTreeMap<u64, Vec<VertexTraceOf<C>>> = BTreeMap::new();
         for worker in 0..meta.num_workers {
@@ -238,6 +231,14 @@ impl<C: Computation> DebugSession<C> {
     /// The capture of one vertex in one superstep.
     pub fn vertex_at(&self, vertex: C::Id, superstep: u64) -> Option<&VertexTraceOf<C>> {
         self.captured_at(superstep).iter().find(|t| t.vertex == vertex)
+    }
+
+    /// Every capture in the session, superstep-ordered then vertex-ordered.
+    /// This is the analyzer's raw material: the observed message pool for
+    /// algebraic combiner checks and the replay corpus for the
+    /// message-order race detector.
+    pub fn all_traces(&self) -> impl Iterator<Item = &VertexTraceOf<C>> {
+        self.by_superstep.values().flat_map(|traces| traces.iter())
     }
 
     /// Every capture of `vertex`, across supersteps in order — the
@@ -348,16 +349,15 @@ impl<C: Computation> DebugSession<C> {
         vertex: C::Id,
         superstep: u64,
     ) -> Result<ReproducedContext<C>, SessionError> {
-        let trace = self.vertex_at(vertex, superstep).ok_or_else(|| {
-            SessionError::NoSuchCapture { vertex: vertex.to_string(), superstep }
-        })?;
+        let trace = self
+            .vertex_at(vertex, superstep)
+            .ok_or_else(|| SessionError::NoSuchCapture { vertex: vertex.to_string(), superstep })?;
         Ok(ReproducedContext::new(trace.clone(), self.meta.clone()))
     }
 
     /// The "Reproduce Master Context" button.
     pub fn reproduce_master(&self, superstep: u64) -> Result<ReproducedMaster, SessionError> {
-        let trace =
-            self.master_at(superstep).ok_or(SessionError::NoMasterCapture(superstep))?;
+        let trace = self.master_at(superstep).ok_or(SessionError::NoMasterCapture(superstep))?;
         Ok(ReproducedMaster::new(trace.clone(), self.meta.clone()))
     }
 }

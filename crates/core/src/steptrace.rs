@@ -67,6 +67,18 @@ impl StepTrace {
         self.events.iter().map(|e| e.label.as_str()).collect()
     }
 
+    /// Index of the first event where `self` and `other` differ (by
+    /// label, location, or captured values). A strict prefix diverges at
+    /// the shorter trace's length; equal traces return `None`. The
+    /// analyzer's race detector uses this to pinpoint where a
+    /// permuted-delivery replay took a different path through `compute()`.
+    pub fn first_divergence(&self, other: &StepTrace) -> Option<usize> {
+        self.events.iter().zip(other.events.iter()).position(|(a, b)| a != b).or_else(|| {
+            (self.events.len() != other.events.len())
+                .then(|| self.events.len().min(other.events.len()))
+        })
+    }
+
     /// Renders a step-by-step listing.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -157,6 +169,32 @@ mod tests {
         let text = steps.to_text();
         assert!(text.contains("first"));
         assert!(text.contains("z=[1, 2]"));
+    }
+
+    #[test]
+    fn first_divergence_finds_the_split() {
+        // `None` stops after the shared prefix; events compare by source
+        // location too, so all runs must share the same trace points.
+        let run = |branch: Option<bool>| {
+            with_recording(|| {
+                trace_point!("entry");
+                let Some(branch) = branch else { return };
+                if branch {
+                    trace_point!("left");
+                } else {
+                    trace_point!("right");
+                }
+                trace_point!("exit");
+            })
+            .1
+        };
+        let left = run(Some(true));
+        let right = run(Some(false));
+        assert_eq!(left.first_divergence(&left), None);
+        assert_eq!(left.first_divergence(&right), Some(1));
+        // A strict prefix diverges where the longer trace continues.
+        let short = run(None);
+        assert_eq!(short.first_divergence(&left), Some(1));
     }
 
     #[test]

@@ -309,11 +309,8 @@ mod tests {
 
     #[test]
     fn small_graph_builder() {
-        let graph: Graph<u64, i32, f32> = SmallGraph::new()
-            .vertices([1, 2, 3], 0)
-            .undirected(1, 2, 0.5)
-            .edge(2, 3, 1.5)
-            .build();
+        let graph: Graph<u64, i32, f32> =
+            SmallGraph::new().vertices([1, 2, 3], 0).undirected(1, 2, 0.5).edge(2, 3, 1.5).build();
         assert_eq!(graph.num_vertices(), 3);
         assert_eq!(graph.num_edges(), 3);
         assert_eq!(graph.out_edges(1).unwrap()[0].value, 0.5);

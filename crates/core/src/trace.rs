@@ -17,7 +17,7 @@ use graft_pregel::{AggValue, GlobalData};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
-use crate::config::{CaptureReason, TraceCodec};
+use crate::config::{CaptureReason, ConfigFacts, TraceCodec};
 
 /// A captured exception (panic) from `compute()`.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,6 +121,9 @@ pub struct JobMeta {
     pub codec: TraceCodec,
     /// Human description of the active `DebugConfig`.
     pub config: Vec<String>,
+    /// Machine-readable config summary for the analyzer's lints. `None`
+    /// in traces written before the analyzer existed.
+    pub facts: Option<ConfigFacts>,
 }
 
 /// Terminal job status written at trace root as `result.json`.
@@ -230,8 +233,7 @@ mod tests {
             let mut buf = Vec::new();
             encode_record(codec, &sample_trace(), &mut buf).unwrap();
             encode_record(codec, &sample_trace(), &mut buf).unwrap();
-            let decoded: Vec<VertexTrace<u64, i64, (), i64>> =
-                decode_records(codec, &buf).unwrap();
+            let decoded: Vec<VertexTrace<u64, i64, (), i64>> = decode_records(codec, &buf).unwrap();
             assert_eq!(decoded.len(), 2);
             assert_eq!(decoded[0].vertex, 672);
             assert_eq!(decoded[0].violations[0].detail, "-7");
@@ -272,6 +274,25 @@ mod tests {
             let decoded: Vec<MasterTrace> = decode_records(codec, &buf).unwrap();
             assert_eq!(decoded, vec![record.clone()]);
         }
+    }
+
+    #[test]
+    fn meta_without_facts_still_loads() {
+        // Traces written before the analyzer existed have no `facts`
+        // key; they must keep loading (as None), or old trace
+        // directories would become unreadable by every command.
+        let json = r#"{
+            "computation": "PageRank",
+            "computation_type": "graft_algorithms::pagerank::PageRank",
+            "master": null,
+            "value_types": ["u64", "f64", "()", "f64"],
+            "num_workers": 2,
+            "codec": "JsonLines",
+            "config": []
+        }"#;
+        let meta: JobMeta = serde_json::from_str(json).unwrap();
+        assert_eq!(meta.computation, "PageRank");
+        assert!(meta.facts.is_none());
     }
 
     #[test]

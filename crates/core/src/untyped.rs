@@ -59,8 +59,7 @@ impl UntypedTrace {
                 edges
                     .iter()
                     .map(|pair| {
-                        let target =
-                            pair.get(0).map(compact).unwrap_or_default();
+                        let target = pair.get(0).map(compact).unwrap_or_default();
                         let value = pair.get(1).map(compact).unwrap_or_default();
                         (target, value)
                     })
@@ -117,10 +116,7 @@ impl UntypedTrace {
         if exc.is_null() {
             return None;
         }
-        Some((
-            compact(&exc["message"]),
-            exc["backtrace"].as_str().map(str::to_string),
-        ))
+        Some((compact(&exc["message"]), exc["backtrace"].as_str().map(str::to_string)))
     }
 
     /// Aggregator `(name, rendered value)` pairs.
@@ -158,11 +154,8 @@ impl UntypedSession {
     /// Loads the traces under `root`. Fails on binary-encoded traces.
     pub fn open(fs: Arc<dyn FileSystem>, root: &str) -> Result<Self, SessionError> {
         let meta_bytes = fs.read_all(&meta_path(root))?;
-        let meta: JobMeta =
-            serde_json::from_slice(&meta_bytes).map_err(|e| SessionError::Decode {
-                path: meta_path(root),
-                error: e.to_string(),
-            })?;
+        let meta: JobMeta = serde_json::from_slice(&meta_bytes)
+            .map_err(|e| SessionError::Decode { path: meta_path(root), error: e.to_string() })?;
         if meta.codec != TraceCodec::JsonLines {
             return Err(SessionError::Decode {
                 path: meta_path(root),
@@ -179,11 +172,9 @@ impl UntypedSession {
             }
             let bytes = fs.read_all(&path)?;
             for line in bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
-                let value: Value =
-                    serde_json::from_slice(line).map_err(|e| SessionError::Decode {
-                        path: path.clone(),
-                        error: e.to_string(),
-                    })?;
+                let value: Value = serde_json::from_slice(line).map_err(|e| {
+                    SessionError::Decode { path: path.clone(), error: e.to_string() }
+                })?;
                 let trace = UntypedTrace(value);
                 by_superstep.entry(trace.superstep()).or_default().push(trace);
             }
@@ -348,9 +339,7 @@ mod tests {
             .num_workers(2)
             .run(premade::cycle(4, 1i64), "/t/untyped-bin")
             .unwrap();
-        let err = UntypedSession::open(run.fs().clone(), "/t/untyped-bin")
-            .map(|_| ())
-            .unwrap_err();
+        let err = UntypedSession::open(run.fs().clone(), "/t/untyped-bin").map(|_| ()).unwrap_err();
         assert!(err.to_string().contains("JsonLines"));
     }
 }

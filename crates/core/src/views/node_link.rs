@@ -70,8 +70,7 @@ impl<'a, C: Computation> NodeLinkView<'a, C> {
     /// their uncaptured neighbors as stubs.
     pub fn layout(&self) -> (Vec<Node>, Vec<Link>) {
         let traces = self.session.captured_at(self.superstep);
-        let captured: FxHashSet<String> =
-            traces.iter().map(|t| t.vertex.to_string()).collect();
+        let captured: FxHashSet<String> = traces.iter().map(|t| t.vertex.to_string()).collect();
         let mut nodes: FxHashMap<String, Node> = FxHashMap::default();
         let mut links = Vec::new();
 
@@ -119,10 +118,7 @@ impl<'a, C: Computation> NodeLinkView<'a, C> {
         let (nodes, links) = self.layout();
         let ind = self.indicators();
         let mut out = String::new();
-        out.push_str(&format!(
-            "=== Node-link view — superstep {} ===\n",
-            self.superstep
-        ));
+        out.push_str(&format!("=== Node-link view — superstep {} ===\n", self.superstep));
         out.push_str(&format!(
             "[M:{}] [V:{}] [E:{}]\n",
             if ind.message_violation { "RED" } else { "green" },
@@ -154,12 +150,9 @@ impl<'a, C: Computation> NodeLinkView<'a, C> {
                 "(inactive)"
             };
             match &node.value {
-                Some(value) => out.push_str(&format!(
-                    "  {} = {} {}\n",
-                    node.id,
-                    truncate(value, 60),
-                    marker
-                )),
+                Some(value) => {
+                    out.push_str(&format!("  {} = {} {}\n", node.id, truncate(value, 60), marker))
+                }
                 None => out.push_str(&format!("  {} {}\n", node.id, marker)),
             }
         }
@@ -232,7 +225,8 @@ impl<'a, C: Computation> NodeLinkView<'a, C> {
         let mut positions: FxHashMap<&str, (f64, f64)> = FxHashMap::default();
         for (i, node) in nodes.iter().enumerate() {
             let angle = std::f64::consts::TAU * i as f64 / n as f64;
-            positions.insert(&node.id, (center + radius * angle.cos(), center + radius * angle.sin()));
+            positions
+                .insert(&node.id, (center + radius * angle.cos(), center + radius * angle.sin()));
         }
 
         let mut svg = String::new();

@@ -70,11 +70,7 @@ impl<'a, C: Computation> TabularView<'a, C> {
                     t.incoming.len().to_string(),
                     t.outgoing.len().to_string(),
                     if t.halted_after { "halted" } else { "active" }.to_string(),
-                    t.reasons
-                        .iter()
-                        .map(|r| format!("{r:?}"))
-                        .collect::<Vec<_>>()
-                        .join(","),
+                    t.reasons.iter().map(|r| format!("{r:?}")).collect::<Vec<_>>().join(","),
                 ]
             })
             .collect();
@@ -95,10 +91,7 @@ impl<'a, C: Computation> TabularView<'a, C> {
     pub fn expand(&self, vertex: C::Id) -> Option<String> {
         let trace = self.session.vertex_at(vertex, self.superstep)?;
         let mut out = String::new();
-        out.push_str(&format!(
-            "vertex {} — superstep {}\n",
-            trace.vertex, trace.superstep
-        ));
+        out.push_str(&format!("vertex {} — superstep {}\n", trace.vertex, trace.superstep));
         out.push_str(&format!("  value before : {:?}\n", trace.value_before));
         out.push_str(&format!("  value after  : {:?}\n", trace.value_after));
         out.push_str(&format!(

@@ -68,35 +68,35 @@ impl<'a, C: Computation> ViolationsView<'a, C> {
 
     /// Renders the view as a text table.
     pub fn to_text(&self) -> String {
-        let rows = self.rows();
-        let table_rows: Vec<Vec<String>> = rows
-            .iter()
-            .map(|row| {
-                vec![
-                    row.superstep.to_string(),
-                    row.vertex.clone(),
-                    row.kind.to_string(),
-                    truncate(&row.detail, 48),
-                    row.target.clone().unwrap_or_default(),
-                ]
-            })
-            .collect();
-        let mut out = format!(
-            "=== Violations and Exceptions view ({} row(s)) ===\n",
-            table_rows.len()
-        );
-        out.push_str(&text_table(
-            &["superstep", "vertex", "kind", "detail", "target"],
-            &table_rows,
-        ));
-        for row in rows.iter().filter(|r| r.backtrace.is_some()) {
-            out.push_str(&format!(
-                "\nstack trace for vertex {} (superstep {}):\n{}\n",
-                row.vertex,
-                row.superstep,
-                row.backtrace.as_deref().unwrap_or_default()
-            ));
-        }
-        out
+        render_rows("Violations and Exceptions view", &self.rows())
     }
+}
+
+/// Renders violation rows in the paper's tabular style. Public so other
+/// producers of [`ViolationRow`]s — notably `graft-analyzer`'s findings —
+/// share the exact rendering of the Violations and Exceptions view.
+pub fn render_rows(title: &str, rows: &[ViolationRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.superstep.to_string(),
+                row.vertex.clone(),
+                row.kind.to_string(),
+                truncate(&row.detail, 48),
+                row.target.clone().unwrap_or_default(),
+            ]
+        })
+        .collect();
+    let mut out = format!("=== {title} ({} row(s)) ===\n", table_rows.len());
+    out.push_str(&text_table(&["superstep", "vertex", "kind", "detail", "target"], &table_rows));
+    for row in rows.iter().filter(|r| r.backtrace.is_some()) {
+        out.push_str(&format!(
+            "\nstack trace for vertex {} (superstep {}):\n{}\n",
+            row.vertex,
+            row.superstep,
+            row.backtrace.as_deref().unwrap_or_default()
+        ));
+    }
+    out
 }

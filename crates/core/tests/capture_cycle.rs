@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use graft::testing::premade;
-use graft::{
-    DebugConfig, ExceptionPolicy, GraftRunner, SearchQuery, SuperstepFilter, TraceCodec,
-};
+use graft::{DebugConfig, ExceptionPolicy, GraftRunner, SearchQuery, SuperstepFilter, TraceCodec};
 use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem, InMemoryFs};
 use graft_pregel::{AggOp, AggValue, AggregatorRegistry, Computation, ContextOf, VertexHandleOf};
 
@@ -60,8 +58,7 @@ fn capture_by_id_with_neighbors() {
     // Vertex 3 and its cycle neighbors 2 and 4, every superstep (4 total).
     assert_eq!(session.supersteps(), vec![0, 1, 2, 3]);
     for superstep in session.supersteps() {
-        let ids: Vec<u64> =
-            session.captured_at(superstep).iter().map(|t| t.vertex).collect();
+        let ids: Vec<u64> = session.captured_at(superstep).iter().map(|t| t.vertex).collect();
         assert_eq!(ids, vec![2, 3, 4], "superstep {superstep}");
     }
     assert_eq!(run.captures, 12);
@@ -253,10 +250,8 @@ fn capture_all_active_and_max_captures_safety_net() {
 
 #[test]
 fn replay_reproduces_the_exact_context() {
-    let config = DebugConfig::<Accumulate>::builder()
-        .capture_ids([2, 5])
-        .catch_exceptions(false)
-        .build();
+    let config =
+        DebugConfig::<Accumulate>::builder().capture_ids([2, 5]).catch_exceptions(false).build();
     let run = GraftRunner::new(Accumulate { rounds: 4 }, config)
         .num_workers(3)
         .run(premade::cycle(8, 3i64), "/t/replay")
@@ -277,10 +272,8 @@ fn replay_reproduces_the_exact_context() {
 
 #[test]
 fn generated_test_source_contains_the_context() {
-    let config = DebugConfig::<Accumulate>::builder()
-        .capture_ids([2])
-        .catch_exceptions(false)
-        .build();
+    let config =
+        DebugConfig::<Accumulate>::builder().capture_ids([2]).catch_exceptions(false).build();
     let run = GraftRunner::new(Accumulate { rounds: 2 }, config)
         .num_workers(2)
         .run(premade::cycle(4, 3i64), "/t/codegen")
@@ -392,10 +385,8 @@ fn traces_survive_on_the_cluster_fs_with_failures() {
 
 #[test]
 fn history_walks_a_vertex_across_supersteps() {
-    let config = DebugConfig::<Accumulate>::builder()
-        .capture_ids([4])
-        .catch_exceptions(false)
-        .build();
+    let config =
+        DebugConfig::<Accumulate>::builder().capture_ids([4]).catch_exceptions(false).build();
     let run = GraftRunner::new(Accumulate { rounds: 5 }, config)
         .num_workers(2)
         .run(premade::cycle(8, 1i64), "/t/history")

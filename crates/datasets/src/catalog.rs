@@ -120,8 +120,7 @@ impl Dataset {
                 seed,
             ),
             Kind::Social => {
-                let per_vertex =
-                    (self.paper_edges_directed / self.paper_vertices).max(1);
+                let per_vertex = (self.paper_edges_directed / self.paper_vertices).max(1);
                 social::generate(self.name, vertices, per_vertex, seed)
             }
             Kind::Bipartite(degree) => {

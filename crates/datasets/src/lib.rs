@@ -21,6 +21,8 @@
 //!
 //! All generators are deterministic in their seeds.
 
+#![forbid(unsafe_code)]
+
 pub mod bipartite;
 pub mod catalog;
 pub mod edgelist;

@@ -12,12 +12,7 @@ use crate::edgelist::EdgeList;
 /// sampled proportionally to their current degree (Barabási–Albert via
 /// the repeated-endpoint trick), producing the heavy-tailed in-degree
 /// distribution characteristic of follower networks.
-pub fn generate(
-    name: &str,
-    num_vertices: u64,
-    edges_per_vertex: u64,
-    seed: u64,
-) -> EdgeList {
+pub fn generate(name: &str, num_vertices: u64, edges_per_vertex: u64, seed: u64) -> EdgeList {
     assert!(num_vertices >= 2, "need at least two vertices");
     let m = edges_per_vertex.max(1) as usize;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -149,21 +149,17 @@ impl ClusterFs {
             let live_holders: Vec<usize> =
                 holders.iter().copied().filter(|&d| state.datanodes[d].alive).collect();
             let Some(&source) = live_holders.first() else { continue };
-            let mut live_count = live_holders.len();
-            if live_count >= self.config.replication {
+            if live_holders.len() >= self.config.replication {
                 continue;
             }
+            let needed = self.config.replication - live_holders.len();
             let data = state.datanodes[source].blocks[&block].clone();
             let candidates: Vec<usize> = (0..state.datanodes.len())
                 .filter(|&d| state.datanodes[d].alive && !holders.contains(&d))
                 .collect();
-            for d in candidates {
-                if live_count >= self.config.replication {
-                    break;
-                }
+            for d in candidates.into_iter().take(needed) {
                 state.datanodes[d].blocks.insert(block, data.clone());
                 state.locations.entry(block).or_default().push(d);
-                live_count += 1;
                 created += 1;
             }
         }
@@ -178,8 +174,7 @@ impl ClusterFs {
         let mut under = 0;
         let mut unavailable = 0;
         for holders in state.locations.values() {
-            let live_holders =
-                holders.iter().filter(|&&d| state.datanodes[d].alive).count();
+            let live_holders = holders.iter().filter(|&&d| state.datanodes[d].alive).count();
             if live_holders == 0 {
                 unavailable += 1;
             }
@@ -200,11 +195,7 @@ impl ClusterFs {
     /// Bytes of replica data held by each datanode, for balance checks.
     pub fn bytes_per_datanode(&self) -> Vec<u64> {
         let state = self.state.read();
-        state
-            .datanodes
-            .iter()
-            .map(|d| d.blocks.values().map(|b| b.len() as u64).sum())
-            .collect()
+        state.datanodes.iter().map(|d| d.blocks.values().map(|b| b.len() as u64).sum()).collect()
     }
 
     fn ensure_parents(state: &mut ClusterState, path: &DfsPath) -> FsResult<()> {
@@ -298,19 +289,13 @@ impl FileSystem for ClusterFs {
                 // reader fails fast if the file is unavailable.
                 let mut chunks = Vec::with_capacity(blocks.len());
                 for block in blocks {
-                    let holders =
-                        state.locations.get(block).ok_or(FsError::BlockUnavailable {
-                            path: path.to_string(),
-                            block: *block,
-                        })?;
-                    let live = holders
-                        .iter()
-                        .copied()
-                        .find(|&d| state.datanodes[d].alive)
-                        .ok_or(FsError::BlockUnavailable {
-                            path: path.to_string(),
-                            block: *block,
-                        })?;
+                    let holders = state.locations.get(block).ok_or(FsError::BlockUnavailable {
+                        path: path.to_string(),
+                        block: *block,
+                    })?;
+                    let live = holders.iter().copied().find(|&d| state.datanodes[d].alive).ok_or(
+                        FsError::BlockUnavailable { path: path.to_string(), block: *block },
+                    )?;
                     chunks.push(state.datanodes[live].blocks[block].clone());
                 }
                 Ok(Box::new(ClusterReader { chunks, len: *len, chunk_idx: 0, offset: 0 }))
@@ -326,9 +311,7 @@ impl FileSystem for ClusterFs {
         if !path.is_root() {
             match state.namespace.get(path.as_str()) {
                 Some(INode::Directory) => {}
-                Some(INode::File { .. }) => {
-                    return Err(FsError::NotADirectory(path.to_string()))
-                }
+                Some(INode::File { .. }) => return Err(FsError::NotADirectory(path.to_string())),
                 None => return Err(FsError::NotFound(path.to_string())),
             }
         }
@@ -359,11 +342,9 @@ impl FileSystem for ClusterFs {
         }
         let state = self.state.read();
         match state.namespace.get(path.as_str()) {
-            Some(INode::File { len, .. }) => Ok(FileStatus {
-                path: path.to_string(),
-                kind: FileKind::File,
-                len: *len,
-            }),
+            Some(INode::File { len, .. }) => {
+                Ok(FileStatus { path: path.to_string(), kind: FileKind::File, len: *len })
+            }
             Some(INode::Directory) => {
                 Ok(FileStatus { path: path.to_string(), kind: FileKind::Directory, len: 0 })
             }
@@ -588,11 +569,8 @@ mod tests {
 
     #[test]
     fn unavailable_block_reported() {
-        let fs = ClusterFs::new(ClusterFsConfig {
-            num_datanodes: 2,
-            replication: 2,
-            block_size: 16,
-        });
+        let fs =
+            ClusterFs::new(ClusterFsConfig { num_datanodes: 2, replication: 2, block_size: 16 });
         fs.write_all("/f", b"some data that spans blocks....").unwrap();
         fs.kill_datanode(0).unwrap();
         fs.kill_datanode(1).unwrap();
@@ -635,16 +613,12 @@ mod tests {
 
     #[test]
     fn placement_is_balanced() {
-        let fs = ClusterFs::new(ClusterFsConfig {
-            num_datanodes: 4,
-            replication: 1,
-            block_size: 10,
-        });
+        let fs =
+            ClusterFs::new(ClusterFsConfig { num_datanodes: 4, replication: 1, block_size: 10 });
         fs.write_all("/f", &vec![0u8; 400]).unwrap(); // 40 blocks
         let per_node = fs.bytes_per_datanode();
         assert_eq!(per_node.len(), 4);
-        let (min, max) =
-            (per_node.iter().min().unwrap(), per_node.iter().max().unwrap());
+        let (min, max) = (per_node.iter().min().unwrap(), per_node.iter().max().unwrap());
         assert!(max - min <= 10, "imbalanced placement: {per_node:?}");
     }
 

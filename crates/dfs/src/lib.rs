@@ -27,6 +27,8 @@
 //! assert_eq!(fs.list("/traces/job-1").unwrap().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod api;
 mod cluster;
 mod error;

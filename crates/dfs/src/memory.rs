@@ -142,11 +142,9 @@ impl FileSystem for InMemoryFs {
         }
         let tree = self.tree.read();
         match tree.get(path.as_str()) {
-            Some(Node::File(b)) => Ok(FileStatus {
-                path: path.to_string(),
-                kind: FileKind::File,
-                len: b.len() as u64,
-            }),
+            Some(Node::File(b)) => {
+                Ok(FileStatus { path: path.to_string(), kind: FileKind::File, len: b.len() as u64 })
+            }
             Some(Node::Directory) => {
                 Ok(FileStatus { path: path.to_string(), kind: FileKind::Directory, len: 0 })
             }

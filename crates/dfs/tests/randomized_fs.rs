@@ -1,10 +1,10 @@
-//! Model-based property tests: the cluster backend must behave exactly
+//! Model-based randomized tests: the cluster backend must behave exactly
 //! like the simple in-memory backend for any sequence of namespace
 //! operations, and data must survive any set of fewer-than-r datanode
-//! failures.
+//! failures. Seeded generation keeps the sequences reproducible.
 
 use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem, FsError, InMemoryFs};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -15,29 +15,23 @@ enum Op {
     List { dir: usize },
 }
 
-const PATHS: &[&str] = &[
-    "/a",
-    "/a/x",
-    "/a/y",
-    "/b/deep/file",
-    "/b/deep/other",
-    "/c",
-];
+const PATHS: &[&str] = &["/a", "/a/x", "/a/y", "/b/deep/file", "/b/deep/other", "/c"];
 
 const FLAT_PATHS: &[&str] = &["/f1", "/f2", "/dir/f3", "/dir/f4"];
 
 const DIRS: &[&str] = &["/a", "/b", "/b/deep", "/d"];
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..PATHS.len(), proptest::collection::vec(any::<u8>(), 0..200))
-            .prop_map(|(path, data)| Op::Write { path, data }),
-        (0..PATHS.len()).prop_map(|path| Op::Read { path }),
-        (0..DIRS.len()).prop_map(|dir| Op::Mkdirs { dir }),
-        (0..PATHS.len(), any::<bool>())
-            .prop_map(|(path, recursive)| Op::Delete { path, recursive }),
-        (0..DIRS.len()).prop_map(|dir| Op::List { dir }),
-    ]
+fn random_op(rng: &mut rand::rngs::StdRng) -> Op {
+    match rng.gen_range(0..5u32) {
+        0 => Op::Write {
+            path: rng.gen_range(0..PATHS.len()),
+            data: (0..rng.gen_range(0..200usize)).map(|_| rng.gen_range(0..=u8::MAX)).collect(),
+        },
+        1 => Op::Read { path: rng.gen_range(0..PATHS.len()) },
+        2 => Op::Mkdirs { dir: rng.gen_range(0..DIRS.len()) },
+        3 => Op::Delete { path: rng.gen_range(0..PATHS.len()), recursive: rng.gen() },
+        _ => Op::List { dir: rng.gen_range(0..DIRS.len()) },
+    }
 }
 
 /// Collapses errors to a comparable discriminant: both backends must fail
@@ -54,57 +48,54 @@ fn kind(e: &FsError) -> &'static str {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cluster_matches_memory_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn cluster_matches_memory_model() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDF501);
+    for _ in 0..64 {
+        let ops: Vec<Op> = (0..rng.gen_range(1..40usize)).map(|_| random_op(&mut rng)).collect();
         let model = InMemoryFs::new();
-        let cluster = ClusterFs::new(ClusterFsConfig {
-            num_datanodes: 3,
-            replication: 2,
-            block_size: 32,
-        });
+        let cluster =
+            ClusterFs::new(ClusterFsConfig { num_datanodes: 3, replication: 2, block_size: 32 });
         for op in ops {
             match op {
                 Op::Write { path, data } => {
                     let a = model.write_all(PATHS[path], &data);
                     let b = cluster.write_all(PATHS[path], &data);
-                    prop_assert_eq!(a.is_ok(), b.is_ok(), "write {}", PATHS[path]);
+                    assert_eq!(a.is_ok(), b.is_ok(), "write {}", PATHS[path]);
                     if let (Err(ea), Err(eb)) = (&a, &b) {
-                        prop_assert_eq!(kind(ea), kind(eb));
+                        assert_eq!(kind(ea), kind(eb));
                     }
                 }
                 Op::Read { path } => {
                     let a = model.read_all(PATHS[path]);
                     let b = cluster.read_all(PATHS[path]);
                     match (a, b) {
-                        (Ok(da), Ok(db)) => prop_assert_eq!(da, db),
-                        (Err(ea), Err(eb)) => prop_assert_eq!(kind(&ea), kind(&eb)),
-                        (a, b) => prop_assert!(false, "read divergence: {a:?} vs {b:?}"),
+                        (Ok(da), Ok(db)) => assert_eq!(da, db),
+                        (Err(ea), Err(eb)) => assert_eq!(kind(&ea), kind(&eb)),
+                        (a, b) => panic!("read divergence: {a:?} vs {b:?}"),
                     }
                 }
                 Op::Mkdirs { dir } => {
                     let a = model.mkdirs(DIRS[dir]);
                     let b = cluster.mkdirs(DIRS[dir]);
-                    prop_assert_eq!(a.is_ok(), b.is_ok());
+                    assert_eq!(a.is_ok(), b.is_ok());
                 }
                 Op::Delete { path, recursive } => {
                     let a = model.delete(PATHS[path], recursive);
                     let b = cluster.delete(PATHS[path], recursive);
                     match (a, b) {
                         (Ok(()), Ok(())) => {}
-                        (Err(ea), Err(eb)) => prop_assert_eq!(kind(&ea), kind(&eb)),
-                        (a, b) => prop_assert!(false, "delete divergence: {a:?} vs {b:?}"),
+                        (Err(ea), Err(eb)) => assert_eq!(kind(&ea), kind(&eb)),
+                        (a, b) => panic!("delete divergence: {a:?} vs {b:?}"),
                     }
                 }
                 Op::List { dir } => {
                     let a = model.list(DIRS[dir]);
                     let b = cluster.list(DIRS[dir]);
                     match (a, b) {
-                        (Ok(la), Ok(lb)) => prop_assert_eq!(la, lb),
-                        (Err(ea), Err(eb)) => prop_assert_eq!(kind(&ea), kind(&eb)),
-                        (a, b) => prop_assert!(false, "list divergence: {a:?} vs {b:?}"),
+                        (Ok(la), Ok(lb)) => assert_eq!(la, lb),
+                        (Err(ea), Err(eb)) => assert_eq!(kind(&ea), kind(&eb)),
+                        (a, b) => panic!("list divergence: {a:?} vs {b:?}"),
                     }
                 }
             }
@@ -112,36 +103,42 @@ proptest! {
         // The cluster must never leak blocks: every tracked block belongs
         // to some live file, and files account for all blocks.
         let stats = cluster.stats();
-        let total_file_bytes: u64 = cluster
-            .list_files_recursive("/")
-            .unwrap()
-            .iter()
-            .map(|f| f.len)
-            .sum();
+        let total_file_bytes: u64 =
+            cluster.list_files_recursive("/").unwrap().iter().map(|f| f.len).sum();
         let min_blocks_needed = cluster
             .list_files_recursive("/")
             .unwrap()
             .iter()
             .map(|f| (f.len as usize).div_ceil(32))
             .sum::<usize>();
-        prop_assert!(stats.blocks >= min_blocks_needed,
-            "blocks {} < minimum {} for {} bytes", stats.blocks, min_blocks_needed, total_file_bytes);
+        assert!(
+            stats.blocks >= min_blocks_needed,
+            "blocks {} < minimum {} for {} bytes",
+            stats.blocks,
+            min_blocks_needed,
+            total_file_bytes
+        );
         // No more than one block per file beyond the minimum (the partial tail).
         let file_count = cluster.list_files_recursive("/").unwrap().len();
-        prop_assert!(stats.blocks <= min_blocks_needed + file_count);
+        assert!(stats.blocks <= min_blocks_needed + file_count);
     }
+}
 
-    #[test]
-    fn data_survives_single_failure_with_r2(
-        files in proptest::collection::vec(
-            (0..FLAT_PATHS.len(), proptest::collection::vec(any::<u8>(), 1..300)), 1..5),
-        victim in 0usize..3,
-    ) {
-        let cluster = ClusterFs::new(ClusterFsConfig {
-            num_datanodes: 3,
-            replication: 2,
-            block_size: 24,
-        });
+#[test]
+fn data_survives_single_failure_with_r2() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDF502);
+    for _ in 0..32 {
+        let files: Vec<(usize, Vec<u8>)> = (0..rng.gen_range(1..5usize))
+            .map(|_| {
+                (
+                    rng.gen_range(0..FLAT_PATHS.len()),
+                    (0..rng.gen_range(1..300usize)).map(|_| rng.gen_range(0..=u8::MAX)).collect(),
+                )
+            })
+            .collect();
+        let victim = rng.gen_range(0usize..3);
+        let cluster =
+            ClusterFs::new(ClusterFsConfig { num_datanodes: 3, replication: 2, block_size: 24 });
         let mut expected = std::collections::BTreeMap::new();
         for (path, data) in files {
             cluster.write_all(FLAT_PATHS[path], &data).unwrap();
@@ -149,14 +146,14 @@ proptest! {
         }
         cluster.kill_datanode(victim).unwrap();
         for (path, data) in &expected {
-            prop_assert_eq!(&cluster.read_all(path).unwrap(), data);
+            assert_eq!(&cluster.read_all(path).unwrap(), data);
         }
         // And after re-replication, a second (different) failure is fine.
         cluster.re_replicate();
         let second = (victim + 1) % 3;
         cluster.kill_datanode(second).unwrap();
         for (path, data) in &expected {
-            prop_assert_eq!(&cluster.read_all(path).unwrap(), data);
+            assert_eq!(&cluster.read_all(path).unwrap(), data);
         }
     }
 }

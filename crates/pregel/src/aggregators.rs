@@ -147,6 +147,34 @@ impl AggOp {
         }
     }
 
+    /// Whether `merge(a, b) == merge(b, a)` for all well-typed operands.
+    /// `Overwrite` is the one built-in that is not: its result is whatever
+    /// worker partial arrives last, so vertex-side updates through it are
+    /// order-dependent (the analyzer's GA0005).
+    pub fn is_commutative(self) -> bool {
+        !matches!(self, AggOp::Overwrite)
+    }
+
+    /// Whether `merge(merge(a, b), c) == merge(a, merge(b, c))`. All
+    /// built-in operators are associative by construction (`Sum` over
+    /// `Double` only up to floating-point rounding).
+    pub fn is_associative(self) -> bool {
+        true
+    }
+
+    /// Whether `merge(a, a) == a`. `Min`/`Max`/`And`/`Or`/`Overwrite` are;
+    /// `Sum` is not (duplicated delivery would double-count).
+    pub fn is_idempotent(self) -> bool {
+        !matches!(self, AggOp::Sum)
+    }
+
+    /// Whether the merged result is independent of the order workers'
+    /// partials are folded in — the safety condition the Pregel model
+    /// assumes. Equivalent to commutative *and* associative.
+    pub fn is_order_insensitive(self) -> bool {
+        self.is_commutative() && self.is_associative()
+    }
+
     /// The identity element a regular aggregator resets to, given a
     /// prototype value for its type.
     pub fn identity_like(self, prototype: &AggValue) -> AggValue {
@@ -244,10 +272,7 @@ impl AggregatorRegistry {
     /// Deterministic `(name, value)` snapshot of the values visible this
     /// superstep — what Graft stores in vertex and master traces.
     pub fn snapshot(&self) -> Vec<(String, AggValue)> {
-        self.order
-            .iter()
-            .map(|name| (name.clone(), self.entries[name].current.clone()))
-            .collect()
+        self.order.iter().map(|name| (name.clone(), self.entries[name].current.clone())).collect()
     }
 
     /// Merge operator of a registered aggregator.
@@ -263,11 +288,8 @@ impl AggregatorRegistry {
     pub fn merge_superstep(&mut self, partials: Vec<WorkerAggregators>) {
         for name in &self.order {
             let entry = self.entries.get_mut(name).expect("ordered names are registered");
-            let mut acc = if entry.persistent {
-                entry.current.clone()
-            } else {
-                entry.identity.clone()
-            };
+            let mut acc =
+                if entry.persistent { entry.current.clone() } else { entry.identity.clone() };
             let mut saw_update = entry.persistent;
             for worker in &partials {
                 if let Some(update) = worker.partials.get(name.as_str()) {
@@ -297,11 +319,8 @@ impl WorkerAggregators {
     /// Creates an empty partial table that validates names/ops against
     /// `registry`.
     pub fn for_registry(registry: &AggregatorRegistry) -> Self {
-        let ops = registry
-            .order
-            .iter()
-            .map(|name| (name.clone(), registry.entries[name].op))
-            .collect();
+        let ops =
+            registry.order.iter().map(|name| (name.clone(), registry.entries[name].op)).collect();
         Self { partials: FxHashMap::default(), ops }
     }
 
@@ -311,10 +330,8 @@ impl WorkerAggregators {
     /// Panics if `name` was never registered — same contract as Giraph's
     /// `aggregate()`.
     pub fn aggregate(&mut self, name: &str, value: AggValue) {
-        let op = *self
-            .ops
-            .get(name)
-            .unwrap_or_else(|| panic!("aggregator {name:?} not registered"));
+        let op =
+            *self.ops.get(name).unwrap_or_else(|| panic!("aggregator {name:?} not registered"));
         match self.partials.get_mut(name) {
             Some(acc) => *acc = op.merge(acc, &value),
             None => {
@@ -345,6 +362,31 @@ mod tests {
         assert_eq!(AggOp::Overwrite.merge(&Text("a".into()), &Text("b".into())), Text("b".into()));
         assert_eq!(AggOp::Max.merge(&Pair(1, 0.5), &Pair(2, 0.9)), Pair(2, 0.9));
         assert_eq!(AggOp::Min.merge(&Pair(1, 0.5), &Pair(2, 0.9)), Pair(1, 0.5));
+    }
+
+    #[test]
+    fn algebraic_classification() {
+        for op in [AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::And, AggOp::Or] {
+            assert!(op.is_commutative(), "{op:?}");
+            assert!(op.is_order_insensitive(), "{op:?}");
+        }
+        assert!(!AggOp::Overwrite.is_commutative());
+        assert!(!AggOp::Overwrite.is_order_insensitive());
+        assert!(AggOp::Overwrite.is_associative());
+        assert!(!AggOp::Sum.is_idempotent());
+        for op in [AggOp::Min, AggOp::Max, AggOp::And, AggOp::Or, AggOp::Overwrite] {
+            assert!(op.is_idempotent(), "{op:?}");
+        }
+        // Spot-check the claims against merge() itself.
+        use AggValue::*;
+        for (a, b) in [(Long(3), Long(9)), (Long(-2), Long(7))] {
+            assert_eq!(AggOp::Min.merge(&a, &b), AggOp::Min.merge(&b, &a));
+            assert_eq!(AggOp::Sum.merge(&a, &b), AggOp::Sum.merge(&b, &a));
+        }
+        assert_ne!(
+            AggOp::Overwrite.merge(&Long(1), &Long(2)),
+            AggOp::Overwrite.merge(&Long(2), &Long(1))
+        );
     }
 
     #[test]

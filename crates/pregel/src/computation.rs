@@ -68,10 +68,23 @@ pub trait Computation: Send + Sync + Sized + 'static {
     }
 
     /// Combines two messages addressed to the same vertex. Must be
-    /// associative and commutative. Only called when
-    /// [`Computation::use_combiner`] returns `true`.
+    /// associative and commutative — the engine folds messages in arrival
+    /// order, so a non-commutative combiner makes results depend on
+    /// delivery order (`graft-analyzer` checks this empirically as
+    /// GA0001/GA0002). Only called when [`Computation::use_combiner`]
+    /// returns `true`.
     fn combine(&self, _a: &Self::Message, _b: &Self::Message) -> Self::Message {
         unimplemented!("combine() called but use_combiner() is false")
+    }
+
+    /// Folds a message slice with [`Computation::combine`] exactly the way
+    /// the engine does (left fold in slice order). `None` for an empty
+    /// slice. Useful for tests and analysis tools that need the engine's
+    /// combining semantics without running the engine.
+    fn combine_all(&self, messages: &[Self::Message]) -> Option<Self::Message> {
+        let mut iter = messages.iter();
+        let first = iter.next()?.clone();
+        Some(iter.fold(first, |acc, m| self.combine(&acc, m)))
     }
 
     /// Registers the aggregators this computation uses. Called once

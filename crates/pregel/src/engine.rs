@@ -22,11 +22,11 @@ use std::time::Instant;
 use crate::aggregators::{AggregatorRegistry, WorkerAggregators};
 use crate::computation::{Computation, VertexHandle};
 
-type MutationOf<C> = Mutation<
-    <C as Computation>::Id,
-    <C as Computation>::VValue,
-    <C as Computation>::EValue,
->;
+type MutationOf<C> =
+    Mutation<<C as Computation>::Id, <C as Computation>::VValue, <C as Computation>::EValue>;
+
+/// One worker's batch of `(target, message)` pairs bound for a partition.
+type OutboxOf<C> = Vec<(<C as Computation>::Id, <C as Computation>::Message)>;
 use crate::context::{ComputeContext, Mutation};
 use crate::error::{panic_message, EngineError};
 use crate::graph::Graph;
@@ -132,10 +132,8 @@ impl<C: Computation> Engine<C> {
     ) -> Result<JobOutcome<C>, EngineError> {
         match self.run_inner(graph) {
             Ok(outcome) => {
-                let end = JobEnd {
-                    supersteps_executed: outcome.stats.superstep_count(),
-                    error: None,
-                };
+                let end =
+                    JobEnd { supersteps_executed: outcome.stats.superstep_count(), error: None };
                 for obs in &self.observers {
                     obs.on_job_end(&end);
                 }
@@ -183,15 +181,11 @@ impl<C: Computation> Engine<C> {
             // Phase 1: master computation (beginning of superstep).
             if let Some(master) = &self.master {
                 let mut mctx = MasterContext::new(global, &mut registry);
-                let result =
-                    catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
+                let result = catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
                 if let Err(payload) = result {
                     return Err((
                         superstep,
-                        EngineError::MasterPanic {
-                            superstep,
-                            message: panic_message(&*payload),
-                        },
+                        EngineError::MasterPanic { superstep, message: panic_message(&*payload) },
                     ));
                 }
                 let halted = mctx.is_halted();
@@ -247,10 +241,11 @@ impl<C: Computation> Engine<C> {
             let messages_sent: u64 = outputs.iter().map(|o| o.messages_sent).sum();
 
             // Phase 3: merge aggregator partials.
-            registry.merge_superstep(outputs.iter_mut().map(|o| std::mem::take(&mut o.aggs)).collect());
+            registry
+                .merge_superstep(outputs.iter_mut().map(|o| std::mem::take(&mut o.aggs)).collect());
 
             // Phase 4: parallel message delivery.
-            let mut per_partition_incoming: Vec<Vec<Vec<(C::Id, C::Message)>>> =
+            let mut per_partition_incoming: Vec<Vec<OutboxOf<C>>> =
                 (0..num_partitions).map(|_| Vec::with_capacity(outputs.len())).collect();
             for output in &mut outputs {
                 for (p, buf) in output.outboxes.drain(..).enumerate() {
@@ -264,9 +259,7 @@ impl<C: Computation> Engine<C> {
                         .iter_mut()
                         .zip(per_partition_incoming)
                         .map(|(partition, incoming)| {
-                            scope.spawn(move || {
-                                deliver(computation.as_ref(), partition, incoming)
-                            })
+                            scope.spawn(move || deliver(computation.as_ref(), partition, incoming))
                         })
                         .collect();
                     handles
@@ -384,16 +377,12 @@ impl<C: Computation> Partition<C> {
     }
 
     fn active_vertices(&self) -> u64 {
-        self.halted
-            .iter()
-            .zip(&self.removed)
-            .filter(|(&h, &r)| !h && !r)
-            .count() as u64
+        self.halted.iter().zip(&self.removed).filter(|(&h, &r)| !h && !r).count() as u64
     }
 }
 
 struct WorkerOutput<C: Computation> {
-    outboxes: Vec<Vec<(C::Id, C::Message)>>,
+    outboxes: Vec<OutboxOf<C>>,
     aggs: WorkerAggregators,
     mutations: Vec<MutationOf<C>>,
     compute_calls: u64,
@@ -454,19 +443,13 @@ fn run_partition<C: Computation>(
 ) -> Result<WorkerOutput<C>, EngineError> {
     let mut worker_aggs = WorkerAggregators::for_registry(registry);
     let mut mutations: Vec<MutationOf<C>> = Vec::new();
-    let mut outboxes: Vec<Vec<(C::Id, C::Message)>> =
-        (0..num_partitions).map(|_| Vec::new()).collect();
+    let mut outboxes: Vec<OutboxOf<C>> = (0..num_partitions).map(|_| Vec::new()).collect();
     let mut compute_calls = 0u64;
     let mut messages_sent = 0u64;
 
     {
-        let mut ctx = ComputeContext::new(
-            global,
-            worker_id,
-            registry,
-            &mut worker_aggs,
-            &mut mutations,
-        );
+        let mut ctx =
+            ComputeContext::new(global, worker_id, registry, &mut worker_aggs, &mut mutations);
         for slot in 0..partition.ids.len() {
             if partition.removed[slot] {
                 continue;
@@ -478,11 +461,8 @@ fn run_partition<C: Computation>(
             // A message to a halted vertex reactivates it.
             partition.halted[slot] = false;
             let id = partition.ids[slot];
-            let mut handle = VertexHandle::new(
-                id,
-                &mut partition.values[slot],
-                &mut partition.adjacency[slot],
-            );
+            let mut handle =
+                VertexHandle::new(id, &mut partition.values[slot], &mut partition.adjacency[slot]);
             compute_calls += 1;
             let result = catch_unwind(AssertUnwindSafe(|| {
                 computation.compute(&mut handle, &messages, &mut ctx);

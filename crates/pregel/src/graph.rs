@@ -3,6 +3,9 @@
 use crate::hash::FxHashMap;
 use crate::types::{Edge, Value, VertexId};
 
+/// Per-vertex out-edge lists, indexed by dense vertex position.
+type Adjacency<I, E> = Vec<Vec<Edge<I, E>>>;
+
 /// An in-memory directed graph: the input to (and final output of) a
 /// Pregel job.
 ///
@@ -12,13 +15,18 @@ use crate::types::{Edge, Value, VertexId};
 pub struct Graph<I, V, E> {
     ids: Vec<I>,
     values: Vec<V>,
-    adjacency: Vec<Vec<Edge<I, E>>>,
+    adjacency: Adjacency<I, E>,
     index: FxHashMap<I, usize>,
 }
 
 impl<I: VertexId, V: Value, E: Value> Default for Graph<I, V, E> {
     fn default() -> Self {
-        Self { ids: Vec::new(), values: Vec::new(), adjacency: Vec::new(), index: FxHashMap::default() }
+        Self {
+            ids: Vec::new(),
+            values: Vec::new(),
+            adjacency: Vec::new(),
+            index: FxHashMap::default(),
+        }
     }
 }
 
@@ -136,11 +144,11 @@ impl<I: VertexId, V: Value, E: Value> Graph<I, V, E> {
         }
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<I>, Vec<V>, Vec<Vec<Edge<I, E>>>) {
+    pub(crate) fn into_parts(self) -> (Vec<I>, Vec<V>, Adjacency<I, E>) {
         (self.ids, self.values, self.adjacency)
     }
 
-    pub(crate) fn from_parts(ids: Vec<I>, values: Vec<V>, adjacency: Vec<Vec<Edge<I, E>>>) -> Self {
+    pub(crate) fn from_parts(ids: Vec<I>, values: Vec<V>, adjacency: Adjacency<I, E>) -> Self {
         let index = ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
         Self { ids, values, adjacency, index }
     }
@@ -284,7 +292,10 @@ mod tests {
     fn duplicate_vertex_rejected() {
         let mut b = Graph::<u64, (), ()>::builder();
         b.add_vertex(1, ()).unwrap();
-        assert_eq!(b.add_vertex(1, ()).map(|_| ()).unwrap_err(), GraphError::DuplicateVertex("1".into()));
+        assert_eq!(
+            b.add_vertex(1, ()).map(|_| ()).unwrap_err(),
+            GraphError::DuplicateVertex("1".into())
+        );
     }
 
     #[test]
@@ -307,7 +318,10 @@ mod tests {
     #[test]
     fn edge_from_missing_source_rejected() {
         let mut b = Graph::<u64, (), ()>::builder();
-        assert_eq!(b.add_edge(5, 6, ()).map(|_| ()).unwrap_err(), GraphError::NoSuchVertex("5".into()));
+        assert_eq!(
+            b.add_edge(5, 6, ()).map(|_| ()).unwrap_err(),
+            GraphError::NoSuchVertex("5".into())
+        );
     }
 
     #[test]

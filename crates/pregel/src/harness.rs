@@ -119,12 +119,7 @@ impl<C: Computation> VertexTestHarness<C> {
 
     /// Reconstructs the vertex: id, value at compute entry, and outgoing
     /// edges as `(target, edge value)` pairs.
-    pub fn vertex(
-        mut self,
-        id: C::Id,
-        value: C::VValue,
-        edges: Vec<(C::Id, C::EValue)>,
-    ) -> Self {
+    pub fn vertex(mut self, id: C::Id, value: C::VValue, edges: Vec<(C::Id, C::EValue)>) -> Self {
         self.id = Some(id);
         self.value = Some(value);
         self.edges = edges.into_iter().map(|(t, v)| Edge::new(t, v)).collect();
@@ -255,8 +250,7 @@ mod tests {
 
     #[test]
     fn captures_panics_as_exceptions() {
-        let result =
-            VertexTestHarness::new(Panics).vertex(1, (), vec![]).incoming(vec![]).run();
+        let result = VertexTestHarness::new(Panics).vertex(1, (), vec![]).incoming(vec![]).run();
         assert_eq!(result.panic.as_deref(), Some("reproduced exception"));
     }
 }

@@ -51,6 +51,8 @@
 //! assert_eq!(outcome.graph.value(3), Some(&2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aggregators;
 mod computation;
 mod context;

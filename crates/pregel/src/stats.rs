@@ -68,8 +68,18 @@ mod tests {
     fn job_stats_totals() {
         let stats = JobStats {
             supersteps: vec![
-                SuperstepStats { superstep: 0, messages_sent: 10, compute_calls: 4, ..Default::default() },
-                SuperstepStats { superstep: 1, messages_sent: 5, compute_calls: 2, ..Default::default() },
+                SuperstepStats {
+                    superstep: 0,
+                    messages_sent: 10,
+                    compute_calls: 4,
+                    ..Default::default()
+                },
+                SuperstepStats {
+                    superstep: 1,
+                    messages_sent: 5,
+                    compute_calls: 2,
+                    ..Default::default()
+                },
             ],
             total_wall_time: Duration::from_millis(3),
         };

@@ -71,8 +71,7 @@ fn messages_cross_exactly_one_superstep_boundary() {
 #[test]
 fn halted_vertices_are_reactivated_only_by_messages() {
     let outcome = Engine::new(TokenRelay).num_workers(2).run(line_graph(6)).unwrap();
-    let per_step: Vec<u64> =
-        outcome.stats.supersteps.iter().map(|s| s.compute_calls).collect();
+    let per_step: Vec<u64> = outcome.stats.supersteps.iter().map(|s| s.compute_calls).collect();
     // Superstep 0 computes all 6 vertices; afterwards exactly the single
     // reactivated vertex computes each superstep.
     assert_eq!(per_step[0], 6);
@@ -158,7 +157,8 @@ fn sum_combiner_preserves_results_and_reduces_inbox_size() {
 
 #[test]
 fn results_are_identical_across_worker_counts() {
-    let reference = Engine::new(SumRounds { rounds: 5 }).num_workers(1).run(line_graph(30)).unwrap();
+    let reference =
+        Engine::new(SumRounds { rounds: 5 }).num_workers(1).run(line_graph(30)).unwrap();
     for workers in [2, 3, 7, 8] {
         let outcome =
             Engine::new(SumRounds { rounds: 5 }).num_workers(workers).run(line_graph(30)).unwrap();
@@ -261,10 +261,8 @@ impl MasterComputation<CountAndObey> for HaltImmediately {
 fn master_can_halt_before_superstep_zero() {
     let mut b = Graph::<u64, u64, ()>::builder();
     b.add_vertex(0, 99).unwrap();
-    let outcome = Engine::new(CountAndObey)
-        .with_master(HaltImmediately)
-        .run(b.build().unwrap())
-        .unwrap();
+    let outcome =
+        Engine::new(CountAndObey).with_master(HaltImmediately).run(b.build().unwrap()).unwrap();
     assert_eq!(outcome.halt_reason, HaltReason::MasterHalted);
     assert_eq!(outcome.stats.superstep_count(), 0);
     // No compute ever ran: values untouched.

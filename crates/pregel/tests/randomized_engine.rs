@@ -1,13 +1,13 @@
-//! Engine property tests: message delivery is exactly-once, aggregator
+//! Randomized engine tests: message delivery is exactly-once, aggregator
 //! visibility follows the superstep contract, results are deterministic
 //! across worker counts, and the single-vertex harness agrees with the
-//! engine on arbitrary graphs.
+//! engine on arbitrary graphs. Seeded generation keeps cases reproducible.
 
 use graft_pregel::harness::VertexTestHarness;
 use graft_pregel::{
     AggOp, AggValue, AggregatorRegistry, Computation, ContextOf, Engine, Graph, VertexHandleOf,
 };
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
 
 /// Every vertex sends `(its id + superstep)` to every neighbor for a
 /// fixed number of rounds and accumulates (count, sum) of everything it
@@ -29,10 +29,7 @@ impl Computation for CountingEcho {
         ctx: &mut ContextOf<'_, Self>,
     ) {
         let (count, sum) = *vertex.value();
-        vertex.set_value((
-            count + messages.len() as u64,
-            sum + messages.iter().sum::<u64>(),
-        ));
+        vertex.set_value((count + messages.len() as u64, sum + messages.iter().sum::<u64>()));
         if ctx.superstep() < self.rounds {
             let payload = vertex.id() + ctx.superstep();
             for edge in vertex.edges() {
@@ -55,11 +52,12 @@ struct Spec {
     edges: Vec<(u64, u64)>,
 }
 
-fn spec_strategy() -> impl Strategy<Value = Spec> {
-    (2u64..20).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..50)
-            .prop_map(move |edges| Spec { n, edges })
-    })
+fn random_spec(rng: &mut rand::rngs::StdRng) -> Spec {
+    let n = rng.gen_range(2u64..20);
+    let edges = (0..rng.gen_range(0..50usize))
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    Spec { n, edges }
 }
 
 fn build(spec: &Spec) -> Graph<u64, (u64, u64), ()> {
@@ -73,50 +71,54 @@ fn build(spec: &Spec) -> Graph<u64, (u64, u64), ()> {
     builder.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Exactly-once delivery: total messages received across all
-    /// vertices equals total messages sent, superstep by superstep.
-    #[test]
-    fn delivery_is_exactly_once(spec in spec_strategy(), rounds in 1u64..5, workers in 1usize..5) {
-        let outcome = Engine::new(CountingEcho { rounds })
-            .num_workers(workers)
-            .run(build(&spec))
-            .unwrap();
+/// Exactly-once delivery: total messages received across all vertices
+/// equals total messages sent, superstep by superstep.
+#[test]
+fn delivery_is_exactly_once() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xEC001);
+    for _ in 0..64 {
+        let spec = random_spec(&mut rng);
+        let rounds = rng.gen_range(1u64..5);
+        let workers = rng.gen_range(1usize..5);
+        let outcome =
+            Engine::new(CountingEcho { rounds }).num_workers(workers).run(build(&spec)).unwrap();
         let expected_per_round: u64 = spec.edges.len() as u64;
         let expected_total = expected_per_round * rounds;
         let received_total: u64 =
             outcome.graph.sorted_values().iter().map(|(_, (count, _))| count).sum();
-        prop_assert_eq!(received_total, expected_total);
+        assert_eq!(received_total, expected_total);
         // The stats agree with the ground truth.
-        prop_assert_eq!(outcome.stats.total_messages(), expected_total);
-        let delivered: u64 =
-            outcome.stats.supersteps.iter().map(|s| s.messages_delivered).sum();
-        prop_assert_eq!(delivered, expected_total);
+        assert_eq!(outcome.stats.total_messages(), expected_total);
+        let delivered: u64 = outcome.stats.supersteps.iter().map(|s| s.messages_delivered).sum();
+        assert_eq!(delivered, expected_total);
     }
+}
 
-    /// Aggregators accumulate exactly the sends (persistent sum), visible
-    /// one superstep later.
-    #[test]
-    fn aggregator_totals_match_sends(spec in spec_strategy(), rounds in 1u64..4) {
-        let outcome = Engine::new(CountingEcho { rounds })
-            .num_workers(3)
-            .run(build(&spec))
-            .unwrap();
+/// Aggregators accumulate exactly the sends (persistent sum), visible
+/// one superstep later.
+#[test]
+fn aggregator_totals_match_sends() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xEC002);
+    for _ in 0..32 {
+        let spec = random_spec(&mut rng);
+        let rounds = rng.gen_range(1u64..4);
+        let outcome =
+            Engine::new(CountingEcho { rounds }).num_workers(3).run(build(&spec)).unwrap();
         // Persistent "sent" aggregator ends at edges * rounds. We can't
         // read the registry after the run directly, but the message
         // totals must match what the aggregator counted.
-        prop_assert_eq!(
-            outcome.stats.total_messages(),
-            spec.edges.len() as u64 * rounds
-        );
+        assert_eq!(outcome.stats.total_messages(), spec.edges.len() as u64 * rounds);
     }
+}
 
-    /// The engine is a pure function of (graph, computation): worker
-    /// count never changes the outcome.
-    #[test]
-    fn worker_count_invariance(spec in spec_strategy(), rounds in 1u64..4) {
+/// The engine is a pure function of (graph, computation): worker count
+/// never changes the outcome.
+#[test]
+fn worker_count_invariance() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xEC003);
+    for _ in 0..16 {
+        let spec = random_spec(&mut rng);
+        let rounds = rng.gen_range(1u64..4);
         let reference = Engine::new(CountingEcho { rounds })
             .num_workers(1)
             .run(build(&spec))
@@ -128,49 +130,50 @@ proptest! {
                 .num_workers(workers)
                 .run(build(&spec))
                 .unwrap();
-            prop_assert_eq!(outcome.graph.sorted_values(), reference.clone());
+            assert_eq!(outcome.graph.sorted_values(), reference.clone());
         }
     }
+}
 
-    /// Single-vertex harness vs engine: running superstep 0 of one vertex
-    /// through the harness produces exactly the messages the engine's
-    /// superstep 0 sends from that vertex.
-    #[test]
-    fn harness_matches_engine_superstep_zero(spec in spec_strategy()) {
+/// Single-vertex harness vs engine: running superstep 0 of one vertex
+/// through the harness produces exactly the messages the engine's
+/// superstep 0 sends from that vertex.
+#[test]
+fn harness_matches_engine_superstep_zero() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xEC004);
+    for _ in 0..32 {
+        let spec = random_spec(&mut rng);
         let graph = build(&spec);
         let vertex_id = 0u64;
-        let edges: Vec<(u64, ())> = graph
-            .out_edges(vertex_id)
-            .unwrap()
-            .iter()
-            .map(|e| (e.target, ()))
-            .collect();
+        let edges: Vec<(u64, ())> =
+            graph.out_edges(vertex_id).unwrap().iter().map(|e| (e.target, ())).collect();
         let result = VertexTestHarness::new(CountingEcho { rounds: 2 })
             .superstep(0)
             .graph_totals(spec.n, spec.edges.len() as u64)
             .vertex(vertex_id, (0, 0), edges.clone())
             .incoming(vec![])
             .run();
-        prop_assert!(result.panic.is_none());
-        let expected: Vec<(u64, u64)> =
-            edges.iter().map(|(t, _)| (*t, vertex_id)).collect();
-        prop_assert_eq!(result.outgoing, expected);
-        prop_assert!(!result.voted_halt);
+        assert!(result.panic.is_none());
+        let expected: Vec<(u64, u64)> = edges.iter().map(|(t, _)| (*t, vertex_id)).collect();
+        assert_eq!(result.outgoing, expected);
+        assert!(!result.voted_halt);
     }
+}
 
-    /// Graph invariants survive the engine round-trip: vertex set is
-    /// preserved and (without mutations) so is every adjacency list.
-    #[test]
-    fn graph_topology_is_preserved(spec in spec_strategy(), rounds in 1u64..3) {
+/// Graph invariants survive the engine round-trip: vertex set is
+/// preserved and (without mutations) so is every adjacency list.
+#[test]
+fn graph_topology_is_preserved() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xEC005);
+    for _ in 0..32 {
+        let spec = random_spec(&mut rng);
+        let rounds = rng.gen_range(1u64..3);
         let input = build(&spec);
         let input_edges: Vec<(u64, Vec<u64>)> = input
             .iter()
             .map(|(id, _, edges)| (id, edges.iter().map(|e| e.target).collect()))
             .collect();
-        let outcome = Engine::new(CountingEcho { rounds })
-            .num_workers(4)
-            .run(input)
-            .unwrap();
+        let outcome = Engine::new(CountingEcho { rounds }).num_workers(4).run(input).unwrap();
         let mut output_edges: Vec<(u64, Vec<u64>)> = outcome
             .graph
             .iter()
@@ -179,6 +182,6 @@ proptest! {
         output_edges.sort_by_key(|(id, _)| *id);
         let mut expected = input_edges;
         expected.sort_by_key(|(id, _)| *id);
-        prop_assert_eq!(output_edges, expected);
+        assert_eq!(output_edges, expected);
     }
 }

@@ -1,0 +1,62 @@
+//! Analyze a captured run: the `graft-analyzer` quickstart.
+//!
+//! Runs PageRank under Graft twice — once with a healthy DebugConfig and
+//! once with a deliberately broken one — writing both trace directories
+//! to disk, then runs the full semantic analysis in-process. The printed
+//! paths can be fed straight to the CLI for the untyped config lints:
+//!
+//! ```text
+//! cargo run -p graft-analyzer --release --example analyze_traces
+//! graft-cli <printed-dir> analyze
+//! ```
+
+use std::sync::Arc;
+
+use graft::testing::premade;
+use graft::{DebugConfig, GraftRunner, SuperstepFilter};
+use graft_algorithms::pagerank::PageRank;
+use graft_analyzer::{analyze_session, AnalyzeOptions};
+use graft_dfs::LocalFs;
+
+fn main() {
+    let root = std::env::temp_dir().join("graft-analyze-example");
+    let _ = std::fs::remove_dir_all(&root);
+
+    // A healthy run: capture everything, let the analyzer probe the
+    // combiner and replay captured contexts under permuted delivery.
+    let healthy_dir = root.join("healthy");
+    let config = DebugConfig::<PageRank>::builder().capture_all_active(true).build();
+    let run = GraftRunner::new(PageRank::new(5), config)
+        .with_fs(Arc::new(LocalFs::new(&healthy_dir).expect("trace dir")))
+        .num_workers(2)
+        .run(premade::star(6, 0.0f64), "/")
+        .expect("PageRank runs");
+    let session = run.session().expect("traces load");
+    let report = analyze_session(&session, || PageRank::new(5), &AnalyzeOptions::default());
+    println!("== healthy run ({} captures) ==", run.captures);
+    print!("{}", report.to_text());
+    println!("clean: {}\n", report.is_clean());
+
+    // A broken config: an inverted superstep range plus a neighbor rule
+    // with nothing to be a neighbor of. It runs fine — and captures
+    // nothing, which is exactly the failure mode the lints catch.
+    let broken_dir = root.join("broken");
+    let config = DebugConfig::<PageRank>::builder()
+        .capture_all_active(true)
+        .capture_neighbors(true)
+        .supersteps(SuperstepFilter::Range { from: 8, to: 2 })
+        .build();
+    let run = GraftRunner::new(PageRank::new(5), config)
+        .with_fs(Arc::new(LocalFs::new(&broken_dir).expect("trace dir")))
+        .run(premade::star(6, 0.0f64), "/")
+        .expect("PageRank runs");
+    let session = run.session().expect("traces load");
+    let report = analyze_session(&session, || PageRank::new(5), &AnalyzeOptions::default());
+    println!("== broken config ({} captures) ==", run.captures);
+    print!("{}", report.to_text());
+    println!("clean: {}\n", report.is_clean());
+
+    println!("trace directories for `graft-cli <dir> analyze`:");
+    println!("  {}", healthy_dir.display());
+    println!("  {}", broken_dir.display());
+}

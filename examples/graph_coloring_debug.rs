@@ -16,10 +16,8 @@ use graft_datasets::Dataset;
 
 fn main() {
     let seed = 4;
-    let graph = Dataset::by_name("bipartite-1M-3M")
-        .unwrap()
-        .generate(1000, 7)
-        .to_graph(GCValue::default());
+    let graph =
+        Dataset::by_name("bipartite-1M-3M").unwrap().generate(1000, 7).to_graph(GCValue::default());
     println!(
         "bipartite graph at 1/1000 scale: {} vertices, {} edges",
         graph.num_vertices(),
@@ -45,7 +43,9 @@ fn main() {
     );
 
     match graft_algorithms::reference::validate_coloring(&outcome.graph) {
-        Ok(colors) => println!("output validates with {colors} colors (bug not triggered; try another seed)"),
+        Ok(colors) => {
+            println!("output validates with {colors} colors (bug not triggered; try another seed)")
+        }
         Err(problem) => println!("output is WRONG: {problem}"),
     }
 
@@ -81,10 +81,9 @@ fn main() {
         .into_iter()
         .find(|&s| {
             [u, v].iter().all(|&x| {
-                session
-                    .vertex_at(x, s)
-                    .is_some_and(|t| t.value_after.state == GCState::InSet
-                        && t.value_before.state != GCState::InSet)
+                session.vertex_at(x, s).is_some_and(|t| {
+                    t.value_after.state == GCState::InSet && t.value_before.state != GCState::InSet
+                })
             })
         })
         .expect("both vertices entered the MIS somewhere");
@@ -101,10 +100,8 @@ fn main() {
     // In-process replay: buggy computation reproduces the bad decision;
     // the fixed tie-break keeps the vertex out.
     let buggy_replay = reproduced.replay(GraphColoring::buggy(seed));
-    let fixed_replay = session
-        .reproduce_vertex(u, conflict_superstep)
-        .unwrap()
-        .replay(GraphColoring::new(seed));
+    let fixed_replay =
+        session.reproduce_vertex(u, conflict_superstep).unwrap().replay(GraphColoring::new(seed));
     println!(
         "replay: buggy tie-break => {:?}; fixed tie-break => {:?}",
         buggy_replay.value_after.state, fixed_replay.value_after.state

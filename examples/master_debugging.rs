@@ -83,10 +83,9 @@ fn main() {
         .master_traces()
         .find(|t| {
             t.superstep >= 4
-                && t.aggregators
-                    .iter()
-                    .any(|(name, v)| name == aggregators::PHASE
-                        && v.as_text() == Some(phases::SELECTION))
+                && t.aggregators.iter().any(|(name, v)| {
+                    name == aggregators::PHASE && v.as_text() == Some(phases::SELECTION)
+                })
         })
         .expect("the loop revisits SELECTION");
     println!("\n--- generated master reproduction test (superstep {}) ---", stuck.superstep);
@@ -99,10 +98,7 @@ fn main() {
         registry.set(aggregators::UNDECIDED, AggValue::Long(0));
         let mut ctx = MasterContext::new_for_replay(stuck.global, &mut registry);
         master.compute(&mut ctx);
-        registry
-            .get(aggregators::PHASE)
-            .and_then(|v| v.as_text().map(str::to_string))
-            .unwrap()
+        registry.get(aggregators::PHASE).and_then(|v| v.as_text().map(str::to_string)).unwrap()
     };
     println!(
         "replay with undecided=0 after NOTIFY: buggy master -> {}, fixed master -> {}",

@@ -69,11 +69,7 @@ fn main() {
     let trace = &session.captured_at(3)[0];
     let reproduced = session.reproduce_vertex(trace.vertex, 3).unwrap();
     let report = reproduced.verify_fidelity(PageRank::new(10));
-    println!(
-        "replayed vertex {} superstep 3: faithful = {}",
-        trace.vertex,
-        report.is_faithful()
-    );
+    println!("replayed vertex {} superstep 3: faithful = {}", trace.vertex, report.is_faithful());
 
     // And emit the standalone reproduction test (Figure 6 analogue).
     println!("\n--- generated reproduction test ---");

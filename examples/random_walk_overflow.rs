@@ -62,16 +62,14 @@ fn main() {
     println!("--- generated reproduction test for vertex {vertex} ---");
     println!("{}", reproduced.generate_test_source());
 
-    let buggy_replay = reproduced
-        .replay(RandomWalk::new(11, 8).initial_walkers(50_000).with_short_counters());
-    let negative_sends =
-        buggy_replay.outgoing.iter().filter(|(_, count)| *count < 0).count();
+    let buggy_replay =
+        reproduced.replay(RandomWalk::new(11, 8).initial_walkers(50_000).with_short_counters());
+    let negative_sends = buggy_replay.outgoing.iter().filter(|(_, count)| *count < 0).count();
     let fixed_replay = session
         .reproduce_vertex(vertex, offender.superstep)
         .unwrap()
         .replay(RandomWalk::new(11, 8).initial_walkers(50_000));
-    let fixed_negative =
-        fixed_replay.outgoing.iter().filter(|(_, count)| *count < 0).count();
+    let fixed_negative = fixed_replay.outgoing.iter().filter(|(_, count)| *count < 0).count();
     println!(
         "replay: 16-bit counters send {negative_sends} negative message(s); \
          64-bit counters send {fixed_negative} — the overflow is the bug"

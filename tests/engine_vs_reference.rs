@@ -26,15 +26,11 @@ fn connected_components_on_scaled_epinions() {
 fn pagerank_on_scaled_web_bs() {
     let mut list = Dataset::by_name("web-BS").unwrap().generate(500, 23);
     list.dedupe();
-    let outcome =
-        Engine::new(PageRank::new(20)).num_workers(4).run(list.to_graph(0.0f64)).unwrap();
+    let outcome = Engine::new(PageRank::new(20)).num_workers(4).run(list.to_graph(0.0f64)).unwrap();
     let expected = pagerank_reference(list.num_vertices, &list.edges, 20, 0.85);
     for (vertex, rank) in outcome.graph.sorted_values() {
         let want = expected[vertex as usize];
-        assert!(
-            (rank - want).abs() < 1e-9,
-            "vertex {vertex}: engine {rank} vs reference {want}"
-        );
+        assert!((rank - want).abs() < 1e-9, "vertex {vertex}: engine {rank} vs reference {want}");
     }
 }
 
@@ -42,11 +38,8 @@ fn pagerank_on_scaled_web_bs() {
 fn sssp_on_weighted_bipartite() {
     let list = Dataset::by_name("bipartite-1M-3M").unwrap().generate(1000, 29);
     let graph = weighted::weight_graph(&list, 31, f64::INFINITY);
-    let weighted_edges: Vec<(u64, u64, f64)> = list
-        .edges
-        .iter()
-        .map(|&(a, b)| (a, b, weighted::symmetric_weight(31, a, b)))
-        .collect();
+    let weighted_edges: Vec<(u64, u64, f64)> =
+        list.edges.iter().map(|&(a, b)| (a, b, weighted::symmetric_weight(31, a, b))).collect();
     let expected = dijkstra(list.num_vertices, &weighted_edges, 0);
     let outcome = Engine::new(ShortestPaths::new(0)).num_workers(4).run(graph).unwrap();
     for (vertex, dist) in outcome.graph.sorted_values() {

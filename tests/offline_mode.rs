@@ -77,10 +77,8 @@ fn end_to_end_on_a_premade_graph() {
 
 #[test]
 fn generated_template_matches_the_drawn_graph() {
-    let graph: Graph<u64, u64, ()> = SmallGraph::new()
-        .vertices([7, 8], 0)
-        .undirected(7, 8, ())
-        .build();
+    let graph: Graph<u64, u64, ()> =
+        SmallGraph::new().vertices([7, 8], 0).undirected(7, 8, ()).build();
     let source = generate_end_to_end_test("cc_on_tiny_graph", "ConnectedComponents", &graph);
     assert!(source.contains("#[test]"));
     assert!(source.contains("fn cc_on_tiny_graph()"));

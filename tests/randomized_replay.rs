@@ -1,10 +1,10 @@
-//! Property test for Graft's central promise: replaying any captured
+//! Randomized test for Graft's central promise: replaying any captured
 //! vertex context reproduces the recorded behaviour exactly, for any
 //! (deterministic) computation, graph, and capture configuration.
 
 use graft::{DebugConfig, GraftRunner, SuperstepFilter};
 use graft_pregel::{Computation, ContextOf, VertexHandleOf};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
 
 /// A deterministic computation with enough behavioural variety to stress
 /// the capture path: value updates, selective sends, edge mutations, and
@@ -51,15 +51,18 @@ struct GraphSpec {
     values: Vec<i64>,
 }
 
-fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
-    (3u64..14).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n, 0..n, -5i32..5).prop_filter("no self-loop", |(a, b, _)| a != b),
-            0..30,
-        );
-        let values = proptest::collection::vec(-100i64..100, n as usize);
-        (Just(n), edges, values).prop_map(|(n, edges, values)| GraphSpec { n, edges, values })
-    })
+fn random_spec(rng: &mut rand::rngs::StdRng) -> GraphSpec {
+    let n = rng.gen_range(3u64..14);
+    let mut edges = Vec::new();
+    for _ in 0..rng.gen_range(0..30usize) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.push((a, b, rng.gen_range(-5i32..5)));
+        }
+    }
+    let values = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+    GraphSpec { n, edges, values }
 }
 
 fn build(spec: &GraphSpec) -> graft_pregel::Graph<u64, i64, i32> {
@@ -73,17 +76,15 @@ fn build(spec: &GraphSpec) -> graft_pregel::Graph<u64, i64, i32> {
     builder.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_capture_replays_faithfully(
-        spec in graph_strategy(),
-        rounds in 1u64..5,
-        capture_all in any::<bool>(),
-        filter_from in 0u64..3,
-        workers in 1usize..5,
-    ) {
+#[test]
+fn every_capture_replays_faithfully() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x04EB_1A01);
+    for _ in 0..48 {
+        let spec = random_spec(&mut rng);
+        let rounds = rng.gen_range(1u64..5);
+        let capture_all: bool = rng.gen();
+        let filter_from = rng.gen_range(0u64..3);
+        let workers = rng.gen_range(1usize..5);
         let config = if capture_all {
             DebugConfig::<Quirky>::builder()
                 .capture_all_active(true)
@@ -102,29 +103,31 @@ proptest! {
             .max_supersteps(rounds + 3)
             .run(build(&spec), "/traces/prop")
             .unwrap();
-        prop_assert!(run.outcome.is_ok());
+        assert!(run.outcome.is_ok());
         let session = run.session().unwrap();
-        prop_assert_eq!(session.total_captures() as u64, run.captures);
+        assert_eq!(session.total_captures() as u64, run.captures);
         for superstep in session.supersteps() {
             for trace in session.captured_at(superstep) {
-                let reproduced = session
-                    .reproduce_vertex(trace.vertex, superstep)
-                    .unwrap();
+                let reproduced = session.reproduce_vertex(trace.vertex, superstep).unwrap();
                 let report = reproduced.verify_fidelity(Quirky { rounds });
-                prop_assert!(
+                assert!(
                     report.is_faithful(),
                     "vertex {} superstep {}: {:?}",
-                    trace.vertex, superstep, report.diffs
+                    trace.vertex,
+                    superstep,
+                    report.diffs
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn captures_are_identical_across_worker_counts(
-        spec in graph_strategy(),
-        rounds in 1u64..4,
-    ) {
+#[test]
+fn captures_are_identical_across_worker_counts() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x04EB_1A02);
+    for _ in 0..16 {
+        let spec = random_spec(&mut rng);
+        let rounds = rng.gen_range(1u64..4);
         let run_with = |workers: usize| {
             let config = DebugConfig::<Quirky>::builder()
                 .capture_all_active(true)
@@ -160,6 +163,6 @@ proptest! {
             }
             summary
         };
-        prop_assert_eq!(run_with(1), run_with(4));
+        assert_eq!(run_with(1), run_with(4));
     }
 }

@@ -23,9 +23,7 @@ fn run_buggy(
     seed: u64,
 ) -> (Session, graft_pregel::Graph<u64, graft_algorithms::coloring::GCValue, ()>) {
     let dataset = Dataset::by_name("bipartite-1M-3M").unwrap();
-    let graph = dataset
-        .generate(2000, 7)
-        .to_graph(graft_algorithms::coloring::GCValue::default());
+    let graph = dataset.generate(2000, 7).to_graph(graft_algorithms::coloring::GCValue::default());
 
     let config = DebugConfig::<GraphColoring>::builder()
         .capture_random(10, seed)
@@ -53,11 +51,8 @@ fn find_conflicting_pair(session: &Session) -> Option<(u64, u64)> {
         for trace in session.captured_at(s) {
             let Some(color) = trace.value_after.color else { continue };
             for (neighbor, _) in &trace.edges {
-                if let Some(neighbor_trace) = session
-                    .history(*neighbor)
-                    .iter()
-                    .rev()
-                    .find(|t| t.value_after.color.is_some())
+                if let Some(neighbor_trace) =
+                    session.history(*neighbor).iter().rev().find(|t| t.value_after.color.is_some())
                 {
                     if neighbor_trace.value_after.color == Some(color) {
                         return Some((trace.vertex, *neighbor));
@@ -97,14 +92,12 @@ fn scenario_4_1_graph_coloring_debugging_cycle() {
         .supersteps()
         .into_iter()
         .find(|&s| {
-            let u_in = session
-                .vertex_at(u, s)
-                .is_some_and(|t| t.value_after.state == GCState::InSet
-                    && t.value_before.state != GCState::InSet);
-            let v_in = session
-                .vertex_at(v, s)
-                .is_some_and(|t| t.value_after.state == GCState::InSet
-                    && t.value_before.state != GCState::InSet);
+            let u_in = session.vertex_at(u, s).is_some_and(|t| {
+                t.value_after.state == GCState::InSet && t.value_before.state != GCState::InSet
+            });
+            let v_in = session.vertex_at(v, s).is_some_and(|t| {
+                t.value_after.state == GCState::InSet && t.value_before.state != GCState::InSet
+            });
             u_in && v_in
         })
         .expect("both vertices enter the MIS in the same conflict-resolution superstep");
@@ -150,8 +143,7 @@ fn scenario_4_1_graph_coloring_debugging_cycle() {
         .unwrap()
         .replay(GraphColoring::new(seed_used));
     assert!(
-        u_fixed.value_after.state != GCState::InSet
-            || v_fixed.value_after.state != GCState::InSet,
+        u_fixed.value_after.state != GCState::InSet || v_fixed.value_after.state != GCState::InSet,
         "with a strict tie-break the two adjacent vertices cannot both win"
     );
 }
@@ -159,9 +151,7 @@ fn scenario_4_1_graph_coloring_debugging_cycle() {
 #[test]
 fn correct_coloring_passes_the_same_inspection() {
     let dataset = Dataset::by_name("bipartite-1M-3M").unwrap();
-    let graph = dataset
-        .generate(2000, 7)
-        .to_graph(graft_algorithms::coloring::GCValue::default());
+    let graph = dataset.generate(2000, 7).to_graph(graft_algorithms::coloring::GCValue::default());
     let config = DebugConfig::<GraphColoring>::builder()
         .capture_random(10, 3)
         .capture_neighbors(true)

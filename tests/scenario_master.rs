@@ -10,7 +10,9 @@
 //! both the buggy and fixed masters.
 
 use graft::{DebugConfig, GraftRunner};
-use graft_algorithms::coloring::{aggregators, phases, GCValue, GraphColoring, GraphColoringMaster};
+use graft_algorithms::coloring::{
+    aggregators, phases, GCValue, GraphColoring, GraphColoringMaster,
+};
 use graft_datasets::Dataset;
 use graft_pregel::{
     AggValue, AggregatorRegistry, Computation, HaltReason, MasterComputation, MasterContext,
@@ -125,10 +127,7 @@ fn master_phase_bug_is_visible_in_master_traces() {
         registry.set(aggregators::UNDECIDED, AggValue::Long(0));
         let mut ctx = MasterContext::new_for_replay(notify_trace.global, &mut registry);
         master.compute(&mut ctx);
-        registry
-            .get(aggregators::PHASE)
-            .and_then(|v| v.as_text().map(str::to_string))
-            .unwrap()
+        registry.get(aggregators::PHASE).and_then(|v| v.as_text().map(str::to_string)).unwrap()
     };
     assert_eq!(replay_master(&BuggyPhaseMaster), phases::SELECTION, "bug reproduced");
     assert_eq!(

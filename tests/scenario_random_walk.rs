@@ -28,10 +28,7 @@ fn run_rw(computation: RandomWalk, root: &str) -> graft::GraftRun<RandomWalk> {
         .message_constraint(|walkers, _src, _dst, _superstep| *walkers >= 0)
         .catch_exceptions(false)
         .build();
-    GraftRunner::new(computation, config)
-        .num_workers(4)
-        .run(web_bs_graph(), root)
-        .unwrap()
+    GraftRunner::new(computation, config).num_workers(4).run(web_bs_graph(), root).unwrap()
 }
 
 #[test]
@@ -78,16 +75,12 @@ fn scenario_4_2_short_overflow_found_by_message_constraint() {
     // same context sends only non-negative counts — the "short overflow"
     // diagnosis of the paper.
     let fixed = RandomWalk::new(11, 8).initial_walkers(50_000);
-    let replay_fixed = session
-        .reproduce_vertex(vertex, offender.superstep)
-        .unwrap()
-        .replay(fixed);
+    let replay_fixed = session.reproduce_vertex(vertex, offender.superstep).unwrap().replay(fixed);
     assert!(replay_fixed.outgoing.iter().all(|(_, count)| *count >= 0));
     // Same number of walkers moved; only the counter width differs.
     let moved_fixed: i64 = replay_fixed.outgoing.iter().map(|(_, c)| *c).sum();
     let walkers_in: i64 = reproduced.trace().incoming.iter().sum();
-    let walkers_held =
-        if reproduced.trace().superstep == 0 { 50_000 } else { walkers_in };
+    let walkers_held = if reproduced.trace().superstep == 0 { 50_000 } else { walkers_in };
     assert_eq!(moved_fixed, walkers_held.max(0));
 }
 

@@ -12,10 +12,8 @@ use graft_datasets::Dataset;
 #[test]
 fn replaying_a_capture_shows_which_lines_ran() {
     let seed = 4;
-    let graph = Dataset::by_name("bipartite-1M-3M")
-        .unwrap()
-        .generate(5000, 3)
-        .to_graph(GCValue::default());
+    let graph =
+        Dataset::by_name("bipartite-1M-3M").unwrap().generate(5000, 3).to_graph(GCValue::default());
 
     let config = DebugConfig::<GraphColoring>::builder()
         .capture_random(10, seed)
@@ -65,17 +63,14 @@ fn replaying_a_capture_shows_which_lines_ran() {
     if let Some(loser) = session.captured_at(winner.superstep).iter().find(|t| {
         t.value_after.state == GCState::Undecided
             && t.value_before.state == GCState::Undecided
-            && t.incoming.iter().any(|m| {
-                matches!(m, graft_algorithms::coloring::GCMessage::Priority { .. })
-            })
+            && t.incoming
+                .iter()
+                .any(|m| matches!(m, graft_algorithms::coloring::GCMessage::Priority { .. }))
     }) {
         let reproduced = session.reproduce_vertex(loser.vertex, loser.superstep).unwrap();
         let (_, steps) = with_recording(|| reproduced.replay(GraphColoring::buggy(seed)));
         let labels = steps.labels();
-        assert!(
-            labels.contains(&"lost conflict: staying undecided"),
-            "labels: {labels:?}"
-        );
+        assert!(labels.contains(&"lost conflict: staying undecided"), "labels: {labels:?}");
     }
 }
 

@@ -1,0 +1,44 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256** with SplitMix64
+/// seeding. (The real `StdRng` is ChaCha12; trace capture only needs
+/// determinism, not unpredictability, and this keeps the stub tiny.)
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { state }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s2x = s2 ^ s0;
+        let mut s3x = s3 ^ s1;
+        let s1x = s1 ^ s2x;
+        let s0x = s0 ^ s3x;
+        s2x ^= t;
+        s3x = s3x.rotate_left(45);
+        self.state = [s0x, s1x, s2x, s3x];
+        result
+    }
+}

@@ -1,0 +1,91 @@
+//! Sequence-related helpers: shuffling and distinct index sampling.
+
+use crate::{Rng, RngCore};
+
+/// Shuffle/choose operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle, deterministic for a given rng state.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(crate::uniform_below(rng, self.len() as u64) as usize)
+        }
+    }
+}
+
+/// Distinct-index sampling, mirroring `rand::seq::index`.
+pub mod index {
+    use super::*;
+
+    /// A set of sampled indices, iterable as `usize`.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// The sampled indices in selection order.
+        pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+            self.0.iter()
+        }
+
+        /// Converts into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// `true` if no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length` uniformly.
+    /// Panics if `amount > length` (matching `rand`).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} distinct indices from 0..{length}");
+        // Partial Fisher–Yates over a swap map: O(amount) memory-wise
+        // sparse via the map, O(amount) draws.
+        let mut swaps: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut picked = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = i + crate::uniform_below(rng, (length - i) as u64) as usize;
+            let vi = swaps.get(&i).copied().unwrap_or(i);
+            let vj = swaps.get(&j).copied().unwrap_or(j);
+            picked.push(vj);
+            swaps.insert(j, vi);
+        }
+        IndexVec(picked)
+    }
+}

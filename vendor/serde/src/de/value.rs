@@ -1,0 +1,205 @@
+//! Deserializers over plain Rust values, used for enum variant tags and
+//! map keys in non-self-describing formats.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+use super::{Deserializer, Error as DeError, IntoDeserializer, Visitor};
+
+/// A free-standing error type for value deserializers used without a
+/// format attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl crate::ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl DeError for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+macro_rules! forward_all_to {
+    ($visit:ident, $field:ident) => {
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.$visit(self.$field)
+        }
+        fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+        fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+    };
+}
+
+/// Deserializer over a bare `u32` (e.g. an enum variant index).
+pub struct U32Deserializer<E> {
+    value: u32,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: DeError> Deserializer<'de> for U32Deserializer<E> {
+    type Error = E;
+    forward_all_to!(visit_u32, value);
+}
+
+impl<'de, E: DeError> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = U32Deserializer<E>;
+    fn into_deserializer(self) -> U32Deserializer<E> {
+        U32Deserializer { value: self, marker: PhantomData }
+    }
+}
+
+/// Deserializer over a bare `u64`.
+pub struct U64Deserializer<E> {
+    value: u64,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: DeError> Deserializer<'de> for U64Deserializer<E> {
+    type Error = E;
+    forward_all_to!(visit_u64, value);
+}
+
+impl<'de, E: DeError> IntoDeserializer<'de, E> for u64 {
+    type Deserializer = U64Deserializer<E>;
+    fn into_deserializer(self) -> U64Deserializer<E> {
+        U64Deserializer { value: self, marker: PhantomData }
+    }
+}
+
+/// Deserializer over a borrowed string (e.g. a variant name or map key).
+pub struct StrDeserializer<'a, E> {
+    value: &'a str,
+    marker: PhantomData<E>,
+}
+
+impl<'de, 'a, E: DeError> Deserializer<'de> for StrDeserializer<'a, E> {
+    type Error = E;
+    forward_all_to!(visit_str, value);
+}
+
+impl<'de, 'a, E: DeError> IntoDeserializer<'de, E> for &'a str {
+    type Deserializer = StrDeserializer<'a, E>;
+    fn into_deserializer(self) -> StrDeserializer<'a, E> {
+        StrDeserializer { value: self, marker: PhantomData }
+    }
+}

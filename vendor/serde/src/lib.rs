@@ -1,0 +1,28 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! This workspace builds in an environment with no crates.io access, so
+//! the external dependencies are replaced by small local crates exposing
+//! exactly the API surface the workspace uses. This crate reimplements
+//! the serde data model: the `Serialize`/`Deserialize` traits, the
+//! `Serializer`/`Deserializer` driver traits, the visitor machinery, and
+//! impls for the std types that appear in Graft trace records.
+//!
+//! It is wire-compatible with the real serde for the formats implemented
+//! in this workspace (`graft-codec`'s GraftBin and the vendored
+//! `serde_json`), because both sides of every roundtrip go through this
+//! same data model.
+
+// Vendored code: keep the sources close to upstream, exempt from the
+// workspace's clippy policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// The derive macros. Like the real serde, the macro names intentionally
+// shadow the trait names — they live in different namespaces.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,838 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes used in this workspace: plain structs (named, tuple, unit) and
+//! enums (unit / newtype / tuple / struct variants), with plain type
+//! parameters and no `#[serde(...)]` attributes. The item is parsed by
+//! hand from the raw `TokenStream` (no syn/quote available offline) and
+//! the impls are rendered as source text, then re-parsed.
+//!
+//! Generated code mirrors the real derive's data-model calls so the
+//! workspace codecs see identical shapes: named structs go through
+//! `serialize_struct`/`deserialize_struct` with both `visit_seq`
+//! (positional, used by the binary codec) and `visit_map` (keyed, used by
+//! JSON); enums go through `serialize_*_variant`/`deserialize_enum`.
+
+// Vendored code: keep the sources close to upstream, exempt from the
+// workspace's clippy policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(expand_serialize(&item))
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(expand_deserialize(&item))
+}
+
+fn render(src: String) -> TokenStream {
+    src.parse().unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{src}"))
+}
+
+// ---------------------------------------------------------------------
+// A minimal item model.
+// ---------------------------------------------------------------------
+
+/// One named field: its name, and whether its type is `Option<..>` —
+/// `Option` fields tolerate being absent from maps (deserializing as
+/// `None`), matching upstream serde's implicit-optional behaviour.
+struct NamedField {
+    name: String,
+    is_option: bool,
+}
+
+/// The fields of one struct or enum variant.
+enum Fields {
+    /// `{ a: T, b: U }`
+    Named(Vec<NamedField>),
+    /// `( T, U )` — count only; a count of 1 is a newtype.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Plain type parameter names, e.g. `["I", "V", "E", "M"]`.
+    generics: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skips outer attributes (`#[...]`), including doc comments.
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1;
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(super)`, etc.
+    fn skip_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor { tokens: input.into_iter().collect(), pos: 0 };
+    cur.skip_attributes();
+    cur.skip_visibility();
+
+    let kind = cur.expect_ident();
+    let name = cur.expect_ident();
+    let generics = parse_generics(&mut cur);
+    if cur.peek_ident("where") {
+        panic!("serde_derive: `where` clauses are not supported by the vendored derive");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_fields(&mut cur, &name)),
+        "enum" => Body::Enum(parse_enum_variants(&mut cur, &name)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, generics, body }
+}
+
+/// Parses `<A, B, C>` into the parameter names; bounds, lifetimes, and
+/// const parameters are rejected (unused in this workspace).
+fn parse_generics(cur: &mut Cursor) -> Vec<String> {
+    let mut params = Vec::new();
+    if !cur.eat_punct('<') {
+        return params;
+    }
+    loop {
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Ident(i)) => {
+                let word = i.to_string();
+                if word == "const" {
+                    panic!("serde_derive: const generics are not supported");
+                }
+                params.push(word);
+                // Reject bounds so failures are loud rather than silent.
+                if let Some(TokenTree::Punct(p)) = cur.peek() {
+                    if p.as_char() == ':' {
+                        panic!("serde_derive: inline generic bounds are not supported");
+                    }
+                }
+            }
+            other => panic!("serde_derive: unsupported generic parameter {other:?}"),
+        }
+    }
+    params
+}
+
+fn parse_struct_fields(cur: &mut Cursor, name: &str) -> Fields {
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream(), name))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde_derive: malformed struct `{name}` body: {other:?}"),
+    }
+}
+
+/// Parses `a: T, b: U, ...` returning the field names. Field types are
+/// skipped token-by-token with `<`/`>` depth tracking so commas inside
+/// generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream, owner: &str) -> Vec<NamedField> {
+    let mut cur = Cursor { tokens: stream.into_iter().collect(), pos: 0 };
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attributes();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        if !cur.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field name in `{owner}`");
+        }
+        let mut angle_depth = 0usize;
+        // The ident immediately preceding the first `<` (tracking path
+        // prefixes like `std::option::Option`) tells us whether the
+        // field type is an Option.
+        let mut last_ident_before_angle: Option<String> = None;
+        while let Some(tok) = cur.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    cur.pos += 1;
+                    break;
+                }
+                TokenTree::Ident(i) if angle_depth == 0 && last_ident_before_angle.is_none() => {
+                    // Only the *outermost* type constructor matters; stop
+                    // updating once we've dipped into angle brackets.
+                    let text = i.to_string();
+                    if cur.tokens.get(cur.pos + 1).is_some_and(
+                        |next| matches!(next, TokenTree::Punct(p) if p.as_char() == '<'),
+                    ) {
+                        last_ident_before_angle = Some(text);
+                    }
+                }
+                _ => {}
+            }
+            cur.pos += 1;
+        }
+        let is_option = last_ident_before_angle.as_deref() == Some("Option");
+        fields.push(NamedField { name, is_option });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated segments in a tuple-field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut saw_token_since_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if saw_token_since_comma {
+                    count += 1;
+                }
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        // Trailing comma: the last segment was empty.
+        count -= 1;
+    }
+    count
+}
+
+fn parse_enum_variants(cur: &mut Cursor, name: &str) -> Vec<Variant> {
+    let group = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive: malformed enum `{name}` body: {other:?}"),
+    };
+    let mut inner = Cursor { tokens: group.stream().into_iter().collect(), pos: 0 };
+    let mut variants = Vec::new();
+    while inner.peek().is_some() {
+        inner.skip_attributes();
+        if inner.peek().is_none() {
+            break;
+        }
+        let vname = inner.expect_ident();
+        let fields = match inner.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                inner.pos += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream(), name);
+                inner.pos += 1;
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = inner.peek() {
+            if p.as_char() == '=' {
+                panic!("serde_derive: explicit enum discriminants are not supported");
+            }
+        }
+        inner.eat_punct(',');
+        variants.push(Variant { name: vname, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Shared codegen helpers.
+// ---------------------------------------------------------------------
+
+/// `<I, V>` or empty.
+fn type_args(item: &Item) -> String {
+    if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    }
+}
+
+/// Impl-header generics with a per-parameter trait bound, plus an
+/// optional leading lifetime: `<'de, I: Bound, V: Bound>`.
+fn bounded_generics(item: &Item, lifetime: Option<&str>, bound: &str) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(lt) = lifetime {
+        parts.push(lt.to_string());
+    }
+    for p in &item.generics {
+        parts.push(format!("{p}: {bound}"));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", parts.join(", "))
+    }
+}
+
+/// PhantomData marker type over the generic parameters.
+fn marker_type(item: &Item) -> String {
+    if item.generics.is_empty() {
+        "core::marker::PhantomData<()>".to_string()
+    } else {
+        format!("core::marker::PhantomData<({},)>", item.generics.join(", "))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize.
+// ---------------------------------------------------------------------
+
+fn expand_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let args = type_args(item);
+    let generics = bounded_generics(item, None, "serde::ser::Serialize");
+    let body = match &item.body {
+        Body::Struct(fields) => serialize_struct_body(name, fields),
+        Body::Enum(variants) => serialize_enum_body(name, variants),
+    };
+    format!(
+        "const _: () = {{\n\
+         #[automatically_derived]\n\
+         impl{generics} serde::ser::Serialize for {name}{args} {{\n\
+           fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) \
+             -> core::result::Result<__S::Ok, __S::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n\
+         }};"
+    )
+}
+
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Fields::Tuple(1) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Fields::Tuple(n) => {
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "use serde::ser::SerializeTupleStruct;\n\
+                 let mut __state = __serializer.serialize_tuple_struct(\"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                let _ = write!(out, "__state.serialize_field(&self.{i})?;\n");
+            }
+            out.push_str("__state.end()");
+            out
+        }
+        Fields::Named(names) => {
+            let n = names.len();
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "use serde::ser::SerializeStruct;\n\
+                 let mut __state = __serializer.serialize_struct(\"{name}\", {n})?;\n"
+            );
+            for f in names.iter().map(|f| &f.name) {
+                let _ = write!(out, "__state.serialize_field(\"{f}\", &self.{f})?;\n");
+            }
+            out.push_str("__state.end()");
+            out
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vname} => \
+                     __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vname}(__f0) => __serializer\
+                     .serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{\n\
+                     use serde::ser::SerializeTupleVariant;\n\
+                     let mut __state = __serializer\
+                     .serialize_tuple_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                    binders.join(", ")
+                );
+                for b in &binders {
+                    let _ = write!(arm, "__state.serialize_field({b})?;\n");
+                }
+                arm.push_str("__state.end()\n}\n");
+                arms.push_str(&arm);
+            }
+            Fields::Named(fields) => {
+                let n = fields.len();
+                let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     use serde::ser::SerializeStructVariant;\n\
+                     let mut __state = __serializer\
+                     .serialize_struct_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                    names.join(", ")
+                );
+                for f in &names {
+                    let _ = write!(arm, "__state.serialize_field(\"{f}\", {f})?;\n");
+                }
+                arm.push_str("__state.end()\n}\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------
+// Deserialize.
+// ---------------------------------------------------------------------
+
+fn expand_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let args = type_args(item);
+    let generics = bounded_generics(item, Some("'de"), "serde::de::Deserialize<'de>");
+    let visitor_generics = type_args(item);
+    let marker = marker_type(item);
+    let visitor_decl = if item.generics.is_empty() {
+        format!("struct __Visitor {{ marker: {marker} }}")
+    } else {
+        format!("struct __Visitor<{}> {{ marker: {marker} }}", item.generics.join(", "))
+    };
+
+    let (visitor_impl_body, driver) = match &item.body {
+        Body::Struct(fields) => deserialize_struct_parts(name, &args, fields),
+        Body::Enum(variants) => deserialize_enum_parts(name, &args, variants),
+    };
+
+    format!(
+        "const _: () = {{\n\
+         {visitor_decl}\n\
+         #[automatically_derived]\n\
+         impl{generics} serde::de::Visitor<'de> for __Visitor{visitor_generics} {{\n\
+           type Value = {name}{args};\n\
+           fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+             __f.write_str(\"{name}\")\n\
+           }}\n\
+           {visitor_impl_body}\n\
+         }}\n\
+         #[automatically_derived]\n\
+         impl{generics} serde::de::Deserialize<'de> for {name}{args} {{\n\
+           fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) \
+             -> core::result::Result<Self, __D::Error> {{\n\
+             {driver}\n\
+           }}\n\
+         }}\n\
+         }};"
+    )
+}
+
+/// `let __v0 = seq.next_element()?...;` lines plus the construction
+/// expression for a positional (seq) read of `n` fields.
+fn seq_reads(n: usize, expected: &str) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        let _ = write!(
+            out,
+            "let __v{i} = match __seq.next_element()? {{\n\
+               Some(__value) => __value,\n\
+               None => return Err(serde::de::Error::invalid_length({i}, \"{expected}\")),\n\
+             }};\n"
+        );
+    }
+    out
+}
+
+/// Builds a `visit_map` body that fills `__v0..__vN` by field name.
+/// Unknown keys are skipped with `IgnoredAny`, so JSON stays forward
+/// compatible with records written by newer schema revisions.
+fn map_reads(fields: &[NamedField]) -> String {
+    let mut out = String::new();
+    for i in 0..fields.len() {
+        let _ = write!(out, "let mut __v{i} = None;\n");
+    }
+    out.push_str("while let Some(__key) = __map.next_key::<String>()? {\nmatch __key.as_str() {\n");
+    for (i, f) in fields.iter().enumerate() {
+        let f = &f.name;
+        let _ = write!(
+            out,
+            "\"{f}\" => {{\n\
+               if __v{i}.is_some() {{\n\
+                 return Err(serde::de::Error::duplicate_field(\"{f}\"));\n\
+               }}\n\
+               __v{i} = Some(__map.next_value()?);\n\
+             }}\n"
+        );
+    }
+    out.push_str("_ => { let _ = __map.next_value::<serde::de::IgnoredAny>()?; }\n}\n}\n");
+    for (i, f) in fields.iter().enumerate() {
+        if f.is_option {
+            // Missing Option fields read back as None, so records written
+            // before a field existed keep deserializing (upstream serde
+            // behaves the same way).
+            let _ = write!(out, "let __v{i} = __v{i}.unwrap_or_default();\n");
+        } else {
+            let _ = write!(
+                out,
+                "let __v{i} = match __v{i} {{\n\
+                   Some(__value) => __value,\n\
+                   None => return Err(serde::de::Error::missing_field(\"{}\")),\n\
+                 }};\n",
+                f.name
+            );
+        }
+    }
+    out
+}
+
+fn named_construction(path: &str, fields: &[NamedField]) -> String {
+    let inits: Vec<String> =
+        fields.iter().enumerate().map(|(i, f)| format!("{}: __v{i}", f.name)).collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn tuple_construction(path: &str, n: usize) -> String {
+    let vals: Vec<String> = (0..n).map(|i| format!("__v{i}")).collect();
+    format!("{path}({})", vals.join(", "))
+}
+
+/// Returns (visitor methods, `deserialize` body) for a struct.
+fn deserialize_struct_parts(name: &str, args: &str, fields: &Fields) -> (String, String) {
+    match fields {
+        Fields::Unit => (
+            format!(
+                "fn visit_unit<__E: serde::de::Error>(self) \
+                   -> core::result::Result<Self::Value, __E> {{\n\
+                   Ok({name})\n\
+                 }}"
+            ),
+            format!(
+                "__deserializer.deserialize_unit_struct(\"{name}\", \
+                 __Visitor {{ marker: core::marker::PhantomData }})"
+            ),
+        ),
+        Fields::Tuple(1) => (
+            format!(
+                "fn visit_newtype_struct<__D: serde::de::Deserializer<'de>>(\
+                   self, __d: __D) -> core::result::Result<Self::Value, __D::Error> {{\n\
+                   Ok({name}(serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+                 fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                   -> core::result::Result<Self::Value, __A::Error> {{\n\
+                   {}\n\
+                   Ok({})\n\
+                 }}",
+                seq_reads(1, name),
+                tuple_construction(name, 1),
+            ),
+            format!(
+                "__deserializer.deserialize_newtype_struct(\"{name}\", \
+                 __Visitor {{ marker: core::marker::PhantomData }})"
+            ),
+        ),
+        Fields::Tuple(n) => (
+            format!(
+                "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                   -> core::result::Result<Self::Value, __A::Error> {{\n\
+                   {}\n\
+                   Ok({})\n\
+                 }}",
+                seq_reads(*n, name),
+                tuple_construction(name, *n),
+            ),
+            format!(
+                "__deserializer.deserialize_tuple_struct(\"{name}\", {n}, \
+                 __Visitor {{ marker: core::marker::PhantomData }})"
+            ),
+        ),
+        Fields::Named(field_names) => {
+            let n = field_names.len();
+            let field_list: Vec<String> =
+                field_names.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            let construction =
+                named_construction(&format!("{name}{}", strip_args(args)), field_names);
+            (
+                format!(
+                    "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                       -> core::result::Result<Self::Value, __A::Error> {{\n\
+                       {}\n\
+                       Ok({construction})\n\
+                     }}\n\
+                     fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                       -> core::result::Result<Self::Value, __A::Error> {{\n\
+                       {}\n\
+                       Ok({construction})\n\
+                     }}",
+                    seq_reads(n, name),
+                    map_reads(field_names),
+                ),
+                format!(
+                    "const __FIELDS: &[&str] = &[{}];\n\
+                     __deserializer.deserialize_struct(\"{name}\", __FIELDS, \
+                     __Visitor {{ marker: core::marker::PhantomData }})",
+                    field_list.join(", ")
+                ),
+            )
+        }
+    }
+}
+
+/// Type arguments are not allowed in struct-literal paths without a
+/// turbofish; construction relies on inference, so drop them.
+fn strip_args(_args: &str) -> &'static str {
+    ""
+}
+
+/// Returns (visitor methods, `deserialize` body) for an enum.
+fn deserialize_enum_parts(name: &str, _args: &str, variants: &[Variant]) -> (String, String) {
+    let variant_csv =
+        variants.iter().map(|v| format!("\"{}\"", v.name)).collect::<Vec<_>>().join(", ");
+
+    // The variant-tag visitor: binary codecs hand over an index
+    // (visit_u64), JSON hands over the name (visit_str).
+    let mut tag_u64_arms = String::new();
+    let mut tag_str_arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let _ = write!(tag_u64_arms, "{idx}u64 => Ok({idx}usize),\n");
+        let _ = write!(tag_str_arms, "\"{}\" => Ok({idx}usize),\n", v.name);
+    }
+
+    let mut match_arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    match_arms,
+                    "{idx}usize => {{\n\
+                       serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                       Ok({name}::{vname})\n\
+                     }}\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    match_arms,
+                    "{idx}usize => Ok({name}::{vname}(\
+                     serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let construction = tuple_construction(&format!("{name}::{vname}"), *n);
+                let _ = write!(
+                    match_arms,
+                    "{idx}usize => {{\n\
+                       struct __TupleVisitor;\n\
+                       impl<'de> serde::de::Visitor<'de> for __TupleVisitor {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) \
+                           -> core::fmt::Result {{\n\
+                           __f.write_str(\"tuple variant {name}::{vname}\")\n\
+                         }}\n\
+                         fn visit_seq<__A: serde::de::SeqAccess<'de>>(\
+                           self, mut __seq: __A) \
+                           -> core::result::Result<Self::Value, __A::Error> {{\n\
+                           {}\n\
+                           Ok({construction})\n\
+                         }}\n\
+                       }}\n\
+                       serde::de::VariantAccess::tuple_variant(\
+                         __variant, {n}, __TupleVisitor)\n\
+                     }}\n",
+                    seq_reads(*n, &format!("{name}::{vname}")),
+                );
+            }
+            Fields::Named(fields) => {
+                let n = fields.len();
+                let field_list: Vec<String> =
+                    fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                let construction = named_construction(&format!("{name}::{vname}"), fields);
+                let _ = write!(
+                    match_arms,
+                    "{idx}usize => {{\n\
+                       struct __StructVisitor;\n\
+                       impl<'de> serde::de::Visitor<'de> for __StructVisitor {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) \
+                           -> core::fmt::Result {{\n\
+                           __f.write_str(\"struct variant {name}::{vname}\")\n\
+                         }}\n\
+                         fn visit_seq<__A: serde::de::SeqAccess<'de>>(\
+                           self, mut __seq: __A) \
+                           -> core::result::Result<Self::Value, __A::Error> {{\n\
+                           {}\n\
+                           Ok({construction})\n\
+                         }}\n\
+                         fn visit_map<__A: serde::de::MapAccess<'de>>(\
+                           self, mut __map: __A) \
+                           -> core::result::Result<Self::Value, __A::Error> {{\n\
+                           {}\n\
+                           Ok({construction})\n\
+                         }}\n\
+                       }}\n\
+                       serde::de::VariantAccess::struct_variant(\
+                         __variant, &[{}], __StructVisitor)\n\
+                     }}\n",
+                    seq_reads(n, &format!("{name}::{vname}")),
+                    map_reads(fields),
+                    field_list.join(", "),
+                );
+            }
+        }
+    }
+
+    let visitor_impl = format!(
+        "fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+           -> core::result::Result<Self::Value, __A::Error> {{\n\
+           const __VARIANTS: &[&str] = &[{variant_csv}];\n\
+           struct __Tag(usize);\n\
+           impl<'de> serde::de::Deserialize<'de> for __Tag {{\n\
+             fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D) \
+               -> core::result::Result<Self, __D::Error> {{\n\
+               struct __TagVisitor;\n\
+               impl<'de> serde::de::Visitor<'de> for __TagVisitor {{\n\
+                 type Value = usize;\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) \
+                   -> core::fmt::Result {{\n\
+                   __f.write_str(\"variant of {name}\")\n\
+                 }}\n\
+                 fn visit_u64<__E: serde::de::Error>(self, __v: u64) \
+                   -> core::result::Result<usize, __E> {{\n\
+                   match __v {{\n\
+                     {tag_u64_arms}\
+                     _ => Err(serde::de::Error::custom(\
+                       format_args!(\"variant index {{__v}} out of range for {name}\"))),\n\
+                   }}\n\
+                 }}\n\
+                 fn visit_str<__E: serde::de::Error>(self, __v: &str) \
+                   -> core::result::Result<usize, __E> {{\n\
+                   match __v {{\n\
+                     {tag_str_arms}\
+                     _ => Err(serde::de::Error::unknown_variant(__v, __VARIANTS)),\n\
+                   }}\n\
+                 }}\n\
+               }}\n\
+               Ok(__Tag(__d.deserialize_identifier(__TagVisitor)?))\n\
+             }}\n\
+           }}\n\
+           let (__tag, __variant) = serde::de::EnumAccess::variant::<__Tag>(__data)?;\n\
+           match __tag.0 {{\n\
+             {match_arms}\
+             _ => unreachable!(),\n\
+           }}\n\
+         }}"
+    );
+
+    let driver = format!(
+        "const __VARIANTS: &[&str] = &[{variant_csv}];\n\
+         __deserializer.deserialize_enum(\"{name}\", __VARIANTS, \
+         __Visitor {{ marker: core::marker::PhantomData }})"
+    );
+
+    (visitor_impl, driver)
+}

@@ -1,0 +1,507 @@
+//! Deserialization: JSON text → [`Value`] → any `Deserialize` type.
+
+use serde::de::{
+    Deserialize, DeserializeOwned, DeserializeSeed, Deserializer as _, EnumAccess, MapAccess,
+    SeqAccess, VariantAccess, Visitor,
+};
+
+use crate::parse::Parser;
+use crate::value::{Number, Value};
+use crate::{Error, Result};
+
+/// Deserializes `T` from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let value = Parser::new(bytes).parse_document()?;
+    T::deserialize(ValueDeserializer { value: &value })
+}
+
+/// Deserializes `T` from JSON text.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    from_slice(text.as_bytes())
+}
+
+/// Deserializes `T` from an already-parsed [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T> {
+    T::deserialize(ValueDeserializer { value })
+}
+
+impl<'de> serde::de::Deserialize<'de> for Value {
+    fn deserialize<D: serde::de::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        struct ValueVisitor;
+        impl<'de> Visitor<'de> for ValueVisitor {
+            type Value = Value;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("any JSON value")
+            }
+            fn visit_bool<E: serde::de::Error>(self, v: bool) -> std::result::Result<Value, E> {
+                Ok(Value::Bool(v))
+            }
+            fn visit_i64<E: serde::de::Error>(self, v: i64) -> std::result::Result<Value, E> {
+                Ok(Value::Number(Number::I64(v)))
+            }
+            fn visit_u64<E: serde::de::Error>(self, v: u64) -> std::result::Result<Value, E> {
+                Ok(Value::Number(Number::U64(v)))
+            }
+            fn visit_f64<E: serde::de::Error>(self, v: f64) -> std::result::Result<Value, E> {
+                Ok(Value::Number(Number::F64(v)))
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> std::result::Result<Value, E> {
+                Ok(Value::String(v.to_owned()))
+            }
+            fn visit_none<E: serde::de::Error>(self) -> std::result::Result<Value, E> {
+                Ok(Value::Null)
+            }
+            fn visit_unit<E: serde::de::Error>(self) -> std::result::Result<Value, E> {
+                Ok(Value::Null)
+            }
+            fn visit_some<D2: serde::de::Deserializer<'de>>(
+                self,
+                deserializer: D2,
+            ) -> std::result::Result<Value, D2::Error> {
+                Value::deserialize(deserializer)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> std::result::Result<Value, A::Error> {
+                let mut items = Vec::new();
+                while let Some(item) = seq.next_element()? {
+                    items.push(item);
+                }
+                Ok(Value::Array(items))
+            }
+            fn visit_map<A: MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> std::result::Result<Value, A::Error> {
+                let mut out = crate::value::Map::new();
+                while let Some((key, value)) = map.next_entry::<String, Value>()? {
+                    out.insert(key, value);
+                }
+                Ok(Value::Object(out))
+            }
+        }
+        deserializer.deserialize_any(ValueVisitor)
+    }
+}
+
+/// Drives serde visitors off a borrowed [`Value`] tree.
+struct ValueDeserializer<'a> {
+    value: &'a Value,
+}
+
+impl<'a> ValueDeserializer<'a> {
+    fn type_error(&self, expected: &str) -> Error {
+        let found = match self.value {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => format!("boolean `{b}`"),
+            Value::Number(_) => "number".to_string(),
+            Value::String(s) => format!("string {s:?}"),
+            Value::Array(_) => "array".to_string(),
+            Value::Object(_) => "object".to_string(),
+        };
+        Error(format!("invalid type: {found}, expected {expected}"))
+    }
+
+    fn visit_number<'de, V: Visitor<'de>>(&self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Number(Number::I64(v)) => visitor.visit_i64(*v),
+            Value::Number(Number::U64(v)) => visitor.visit_u64(*v),
+            Value::Number(Number::F64(v)) => visitor.visit_f64(*v),
+            _ => Err(self.type_error("a number")),
+        }
+    }
+}
+
+macro_rules! forward_to_number {
+    ($($method:ident)+) => {
+        $(
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+                self.visit_number(visitor)
+            }
+        )+
+    };
+}
+
+impl<'de, 'a> serde::de::Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(*b),
+            Value::Number(_) => self.visit_number(visitor),
+            Value::String(s) => visitor.visit_str(s),
+            Value::Array(_) => self.deserialize_seq(visitor),
+            Value::Object(_) => self.deserialize_map(visitor),
+        }
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Bool(b) => visitor.visit_bool(*b),
+            _ => Err(self.type_error("a boolean")),
+        }
+    }
+
+    forward_to_number! {
+        deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64
+        deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64
+        deserialize_f32 deserialize_f64
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::String(s) => visitor.visit_str(s),
+            _ => Err(self.type_error("a one-character string")),
+        }
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::String(s) => visitor.visit_str(s),
+            _ => Err(self.type_error("a string")),
+        }
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Array(items) => {
+                let mut bytes = Vec::with_capacity(items.len());
+                for item in items {
+                    let b = item
+                        .as_u64()
+                        .and_then(|v| u8::try_from(v).ok())
+                        .ok_or_else(|| Error("byte array element out of range".into()))?;
+                    bytes.push(b);
+                }
+                visitor.visit_bytes(&bytes)
+            }
+            _ => Err(self.type_error("a byte array")),
+        }
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Null => visitor.visit_none(),
+            _ => visitor.visit_some(self),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Null => visitor.visit_unit(),
+            _ => Err(self.type_error("null")),
+        }
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_unit(visitor)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Array(items) => visitor.visit_seq(SeqDeserializer { iter: items.iter() }),
+            _ => Err(self.type_error("an array")),
+        }
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.value {
+            Value::Object(map) => {
+                visitor.visit_map(MapDeserializer { iter: map.iter(), pending_value: None })
+            }
+            _ => Err(self.type_error("an object")),
+        }
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        match self.value {
+            Value::Object(_) => self.deserialize_map(visitor),
+            // Tolerated for symmetry with positional codecs.
+            Value::Array(_) => self.deserialize_seq(visitor),
+            _ => Err(self.type_error("an object")),
+        }
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        match self.value {
+            // `"Variant"` — unit variant.
+            Value::String(tag) => visitor.visit_enum(ValueEnumAccess { tag, content: None }),
+            // `{"Variant": content}` — newtype / tuple / struct variant.
+            Value::Object(map) if map.len() == 1 => {
+                let (tag, content) = map.iter().next().expect("len()==1 object has an entry");
+                visitor.visit_enum(ValueEnumAccess { tag, content: Some(content) })
+            }
+            _ => Err(self.type_error("an enum (string or single-key object)")),
+        }
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        // Tree-backed: nothing to consume, any shape is fine.
+        self.deserialize_any(visitor)
+    }
+}
+
+struct SeqDeserializer<'a> {
+    iter: std::slice::Iter<'a, Value>,
+}
+
+impl<'de, 'a> SeqAccess<'de> for SeqDeserializer<'a> {
+    type Error = Error;
+    fn next_element_seed<T: DeserializeSeed<'de>>(&mut self, seed: T) -> Result<Option<T::Value>> {
+        match self.iter.next() {
+            Some(value) => seed.deserialize(ValueDeserializer { value }).map(Some),
+            None => Ok(None),
+        }
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct MapDeserializer<'a> {
+    iter: std::collections::btree_map::Iter<'a, String, Value>,
+    pending_value: Option<&'a Value>,
+}
+
+impl<'de, 'a> MapAccess<'de> for MapDeserializer<'a> {
+    type Error = Error;
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        match self.iter.next() {
+            Some((key, value)) => {
+                self.pending_value = Some(value);
+                seed.deserialize(KeyDeserializer { key }).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        let value =
+            self.pending_value.take().ok_or_else(|| Error("next_value before next_key".into()))?;
+        seed.deserialize(ValueDeserializer { value })
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+/// Object keys arrive as strings; integer-keyed maps parse the key text.
+struct KeyDeserializer<'a> {
+    key: &'a str,
+}
+
+macro_rules! key_parsed {
+    ($($method:ident => $visit:ident : $ty:ty,)+) => {
+        $(
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+                let parsed: $ty = self
+                    .key
+                    .parse()
+                    .map_err(|_| Error(format!("invalid numeric key {:?}", self.key)))?;
+                visitor.$visit(parsed)
+            }
+        )+
+    };
+}
+
+impl<'de, 'a> serde::de::Deserializer<'de> for KeyDeserializer<'a> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_str(self.key)
+    }
+
+    key_parsed! {
+        deserialize_i8 => visit_i64: i64,
+        deserialize_i16 => visit_i64: i64,
+        deserialize_i32 => visit_i64: i64,
+        deserialize_i64 => visit_i64: i64,
+        deserialize_u8 => visit_u64: u64,
+        deserialize_u16 => visit_u64: u64,
+        deserialize_u32 => visit_u64: u64,
+        deserialize_u64 => visit_u64: u64,
+        deserialize_f32 => visit_f64: f64,
+        deserialize_f64 => visit_f64: f64,
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.key {
+            "true" => visitor.visit_bool(true),
+            "false" => visitor.visit_bool(false),
+            other => Err(Error(format!("invalid boolean key {other:?}"))),
+        }
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_str(self.key)
+    }
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_str(self.key)
+    }
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_str(self.key)
+    }
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_bytes(self.key.as_bytes())
+    }
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_bytes(self.key.as_bytes())
+    }
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_some(self)
+    }
+    fn deserialize_unit<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error("object key cannot be unit".into()))
+    }
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _visitor: V,
+    ) -> Result<V::Value> {
+        Err(Error("object key cannot be a unit struct".into()))
+    }
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+    fn deserialize_seq<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error("object key cannot be a sequence".into()))
+    }
+    fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, _visitor: V) -> Result<V::Value> {
+        Err(Error("object key cannot be a tuple".into()))
+    }
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        _visitor: V,
+    ) -> Result<V::Value> {
+        Err(Error("object key cannot be a tuple struct".into()))
+    }
+    fn deserialize_map<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error("object key cannot be a map".into()))
+    }
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        _visitor: V,
+    ) -> Result<V::Value> {
+        Err(Error("object key cannot be a struct".into()))
+    }
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(ValueEnumAccess { tag: self.key, content: None })
+    }
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_str(self.key)
+    }
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+}
+
+struct ValueEnumAccess<'a> {
+    tag: &'a str,
+    content: Option<&'a Value>,
+}
+
+impl<'de, 'a> EnumAccess<'de> for ValueEnumAccess<'a> {
+    type Error = Error;
+    type Variant = ValueVariantAccess<'a>;
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self::Variant)> {
+        let tag = seed.deserialize(KeyDeserializer { key: self.tag })?;
+        Ok((tag, ValueVariantAccess { content: self.content }))
+    }
+}
+
+struct ValueVariantAccess<'a> {
+    content: Option<&'a Value>,
+}
+
+impl<'de, 'a> VariantAccess<'de> for ValueVariantAccess<'a> {
+    type Error = Error;
+    fn unit_variant(self) -> Result<()> {
+        match self.content {
+            None => Ok(()),
+            Some(Value::Null) => Ok(()),
+            Some(_) => Err(Error("unexpected content for unit variant".into())),
+        }
+    }
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        let value =
+            self.content.ok_or_else(|| Error("missing content for newtype variant".into()))?;
+        seed.deserialize(ValueDeserializer { value })
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value> {
+        let value =
+            self.content.ok_or_else(|| Error("missing content for tuple variant".into()))?;
+        ValueDeserializer { value }.deserialize_seq(visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        let value =
+            self.content.ok_or_else(|| Error("missing content for struct variant".into()))?;
+        ValueDeserializer { value }.deserialize_struct("", &[], visitor)
+    }
+}

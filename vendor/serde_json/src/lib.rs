@@ -1,0 +1,57 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! A complete JSON codec over the vendored serde data model: a
+//! recursive-descent parser into [`Value`], a writer with compact and
+//! pretty modes, and `Serializer`/`Deserializer` bridges so any
+//! `#[derive(Serialize, Deserialize)]` type round-trips through JSON
+//! text. Encoding conventions match real serde_json where the workspace
+//! depends on them:
+//!
+//! - structs → objects keyed by field name
+//! - unit enum variants → `"Name"`; newtype → `{"Name": value}`;
+//!   tuple → `{"Name": [..]}`; struct → `{"Name": {..}}`
+//! - `Option` → value or `null`; unit → `null`
+//! - non-finite floats: NaN → `null`, ±∞ → `±1e999` (round-trips via
+//!   `f64::from_str`, which saturates to infinity)
+
+// Vendored code: keep the sources close to upstream, exempt from the
+// workspace's clippy policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+mod de;
+mod parse;
+mod ser;
+mod value;
+mod write;
+
+pub use de::{from_slice, from_str, from_value};
+pub use ser::{to_string, to_string_pretty, to_value, to_vec, to_vec_pretty};
+pub use value::{Map, Number, Value};
+
+/// Errors produced while encoding or decoding JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub(crate) String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

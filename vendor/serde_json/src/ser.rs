@@ -1,0 +1,332 @@
+//! Serialization: any `Serialize` type → [`Value`] → JSON text.
+
+use serde::ser::{Error as _, Serialize};
+
+use crate::value::{Map, Number, Value};
+use crate::write::write_value;
+use crate::{Error, Result};
+
+/// Serializes `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let tree = to_value(value)?;
+    let mut out = Vec::new();
+    write_value(&mut out, &tree, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty JSON bytes (two-space indent).
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let tree = to_value(value)?;
+    let mut out = Vec::new();
+    write_value(&mut out, &tree, Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    String::from_utf8(to_vec(value)?).map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes `value` to a pretty JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    String::from_utf8(to_vec_pretty(value)?).map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes `value` into a dynamic [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    value.serialize(ValueSerializer)
+}
+
+/// Builds a [`Value`] from serde data-model calls.
+struct ValueSerializer;
+
+/// In-progress sequence/tuple collector.
+struct SeqCollector {
+    items: Vec<Value>,
+    /// For `{"Variant": [..]}` tuple-variant encoding.
+    variant: Option<&'static str>,
+}
+
+/// In-progress map/struct collector.
+struct MapCollector {
+    map: Map,
+    pending_key: Option<String>,
+    /// For `{"Variant": {..}}` struct-variant encoding.
+    variant: Option<&'static str>,
+}
+
+fn wrap_variant(variant: Option<&'static str>, value: Value) -> Value {
+    match variant {
+        None => value,
+        Some(name) => {
+            let mut map = Map::new();
+            map.insert(name.to_string(), value);
+            Value::Object(map)
+        }
+    }
+}
+
+impl serde::ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqCollector;
+    type SerializeTuple = SeqCollector;
+    type SerializeTupleStruct = SeqCollector;
+    type SerializeTupleVariant = SeqCollector;
+    type SerializeMap = MapCollector;
+    type SerializeStruct = MapCollector;
+    type SerializeStructVariant = MapCollector;
+
+    fn serialize_bool(self, v: bool) -> Result<Value> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i8(self, v: i8) -> Result<Value> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i16(self, v: i16) -> Result<Value> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i32(self, v: i32) -> Result<Value> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value> {
+        Ok(Value::Number(Number::I64(v)))
+    }
+    fn serialize_u8(self, v: u8) -> Result<Value> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u16(self, v: u16) -> Result<Value> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u32(self, v: u32) -> Result<Value> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value> {
+        Ok(Value::Number(Number::U64(v)))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Value> {
+        self.serialize_f64(v.into())
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value> {
+        Ok(Value::Number(Number::F64(v)))
+    }
+    fn serialize_char(self, v: char) -> Result<Value> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value> {
+        Ok(Value::Array(v.iter().map(|&b| Value::Number(Number::U64(b.into()))).collect()))
+    }
+    fn serialize_none(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_unit(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<Value> {
+        Ok(Value::String(variant.to_string()))
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value> {
+        Ok(wrap_variant(Some(variant), value.serialize(ValueSerializer)?))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqCollector> {
+        Ok(SeqCollector { items: Vec::with_capacity(len.unwrap_or(0)), variant: None })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqCollector> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, len: usize) -> Result<SeqCollector> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<SeqCollector> {
+        Ok(SeqCollector { items: Vec::with_capacity(len), variant: Some(variant) })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapCollector> {
+        Ok(MapCollector { map: Map::new(), pending_key: None, variant: None })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<MapCollector> {
+        Ok(MapCollector { map: Map::new(), pending_key: None, variant: None })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<MapCollector> {
+        Ok(MapCollector { map: Map::new(), pending_key: None, variant: Some(variant) })
+    }
+}
+
+impl serde::ser::SerializeSeq for SeqCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(wrap_variant(self.variant, Value::Array(self.items)))
+    }
+}
+
+impl serde::ser::SerializeTuple for SeqCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        serde::ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Value> {
+        serde::ser::SerializeSeq::end(self)
+    }
+}
+
+impl serde::ser::SerializeTupleStruct for SeqCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        serde::ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Value> {
+        serde::ser::SerializeSeq::end(self)
+    }
+}
+
+impl serde::ser::SerializeTupleVariant for SeqCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        serde::ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Value> {
+        serde::ser::SerializeSeq::end(self)
+    }
+}
+
+impl serde::ser::SerializeMap for MapCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        let rendered = match key.serialize(ValueSerializer)? {
+            Value::String(s) => s,
+            // JSON object keys must be strings; numbers are quoted the
+            // way real serde_json does.
+            Value::Number(n) => {
+                let mut buf = Vec::new();
+                crate::write::write_number(&mut buf, &n);
+                String::from_utf8_lossy(&buf).into_owned()
+            }
+            Value::Bool(b) => b.to_string(),
+            _ => return Err(Error::custom("map key must be a string or number")),
+        };
+        self.pending_key = Some(rendered);
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        let key = self
+            .pending_key
+            .take()
+            .ok_or_else(|| Error::custom("serialize_value before serialize_key"))?;
+        self.map.insert(key, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(wrap_variant(self.variant, Value::Object(self.map)))
+    }
+}
+
+impl serde::ser::SerializeStruct for MapCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.map.insert(key.to_string(), value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(wrap_variant(self.variant, Value::Object(self.map)))
+    }
+}
+
+impl serde::ser::SerializeStructVariant for MapCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        serde::ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<Value> {
+        serde::ser::SerializeStruct::end(self)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::ser::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(Number::I64(v)) => serializer.serialize_i64(*v),
+            Value::Number(Number::U64(v)) => serializer.serialize_u64(*v),
+            Value::Number(Number::F64(v)) => serializer.serialize_f64(*v),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                use serde::ser::SerializeSeq;
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(map) => {
+                use serde::ser::SerializeMap;
+                let mut out = serializer.serialize_map(Some(map.len()))?;
+                for (key, item) in map {
+                    out.serialize_key(key)?;
+                    out.serialize_value(item)?;
+                }
+                out.end()
+            }
+        }
+    }
+}

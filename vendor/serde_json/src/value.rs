@@ -1,0 +1,234 @@
+//! The dynamic JSON value tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON objects preserve sorted key order via `BTreeMap`, which also
+/// makes rendered output deterministic.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number; integers keep their exact representation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Everything with a fraction or exponent.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(v) => Some(v),
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert lossily past 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::I64(v) => Some(v as f64),
+            Number::U64(v) => Some(v as f64),
+            Number::F64(v) => Some(v),
+        }
+    }
+}
+
+/// Any JSON value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// `true` if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if any.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if any.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if any.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up an array element or object member; `None` on a type
+    /// mismatch or a missing key, never a panic.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders compact JSON (what `serde_json::Value::to_string` does).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = Vec::new();
+        crate::write::write_value(&mut out, self, None, 0);
+        f.write_str(&String::from_utf8_lossy(&out))
+    }
+}
+
+/// Index into a [`Value`] by array position or object key.
+pub trait ValueIndex {
+    /// Returns the element this index selects, if present.
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value>;
+}
+
+impl ValueIndex for usize {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl ValueIndex for &str {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_object().and_then(|o| o.get(*self))
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        self.as_str().index_into(value)
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+    /// Missing members yield `Value::Null` rather than panicking, so
+    /// chained lookups over partial records stay total.
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+// Literal comparisons used in assertions, e.g. `value["vertex"] == 672`.
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for i64 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(i64::from(*other))
+    }
+}
+
+impl PartialEq<Value> for i32 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}

@@ -1,0 +1,101 @@
+//! JSON text rendering, compact and pretty.
+
+use crate::value::{Number, Value};
+
+/// Writes `value` as JSON into `out`. `indent` of `None` renders
+/// compact; `Some(step)` renders pretty with `step` spaces per level.
+pub(crate) fn write_value(out: &mut Vec<u8>, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.extend_from_slice(b"null"),
+        Value::Bool(true) => out.extend_from_slice(b"true"),
+        Value::Bool(false) => out.extend_from_slice(b"false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push(b'[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(b']');
+        }
+        Value::Object(map) => {
+            out.push(b'{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(b':');
+                if indent.is_some() {
+                    out.push(b' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if !map.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(b'}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut Vec<u8>, indent: Option<usize>, level: usize) {
+    if let Some(step) = indent {
+        out.push(b'\n');
+        out.extend(std::iter::repeat(b' ').take(step * level));
+    }
+}
+
+pub(crate) fn write_number(out: &mut Vec<u8>, n: &Number) {
+    match *n {
+        Number::I64(v) => out.extend_from_slice(v.to_string().as_bytes()),
+        Number::U64(v) => out.extend_from_slice(v.to_string().as_bytes()),
+        Number::F64(v) => write_f64(out, v),
+    }
+}
+
+pub(crate) fn write_f64(out: &mut Vec<u8>, v: f64) {
+    if v.is_nan() {
+        // JSON has no NaN; real serde_json also degrades it to null.
+        out.extend_from_slice(b"null");
+    } else if v.is_infinite() {
+        // `1e999` overflows to ±inf when parsed back, so non-finite
+        // aggregator values survive a JSON round-trip.
+        out.extend_from_slice(if v > 0.0 { b"1e999" } else { b"-1e999" });
+    } else {
+        // `{:?}` keeps a trailing `.0` on integral floats (so the value
+        // re-parses as a float) and prints the shortest round-trip form.
+        out.extend_from_slice(format!("{v:?}").as_bytes());
+    }
+}
+
+pub(crate) fn write_string(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    for c in s.chars() {
+        match c {
+            '"' => out.extend_from_slice(b"\\\""),
+            '\\' => out.extend_from_slice(b"\\\\"),
+            '\n' => out.extend_from_slice(b"\\n"),
+            '\r' => out.extend_from_slice(b"\\r"),
+            '\t' => out.extend_from_slice(b"\\t"),
+            '\u{0008}' => out.extend_from_slice(b"\\b"),
+            '\u{000C}' => out.extend_from_slice(b"\\f"),
+            c if (c as u32) < 0x20 => {
+                out.extend_from_slice(format!("\\u{:04x}", c as u32).as_bytes());
+            }
+            c => {
+                let mut buf = [0u8; 4];
+                out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            }
+        }
+    }
+    out.push(b'"');
+}
