@@ -1,4 +1,4 @@
-//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0010).
+//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0011).
 //!
 //! These lints need no computation and no traces — just the config
 //! summary the runner writes into `meta.json` — so they run both from
@@ -6,7 +6,7 @@
 
 use graft::{ConfigFacts, SuperstepFilter};
 
-use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010};
+use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011};
 
 /// Runs every configuration lint over `facts`.
 pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
@@ -90,6 +90,28 @@ pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
              no constraints, exceptions not caught); the run cannot capture anything"
                 .to_string(),
         ));
+    }
+
+    if let Some(every) = facts.checkpoint_every {
+        if every == 0 {
+            findings.push(Finding::global(
+                &GA0011,
+                "checkpoint interval is 0; checkpointing is configured but never fires, \
+                 so any worker failure is fatal"
+                    .to_string(),
+            ));
+        } else if let Some(max) = facts.max_supersteps {
+            if every >= max {
+                findings.push(Finding::global(
+                    &GA0011,
+                    format!(
+                        "checkpoint interval {every} is at least the superstep limit {max}; \
+                         only the superstep-0 checkpoint is ever written, so every recovery \
+                         replays the whole job"
+                    ),
+                ));
+            }
+        }
     }
 
     findings
@@ -206,6 +228,34 @@ mod tests {
         assert_eq!(ids(&check_config(&facts)), vec!["GA0010"]);
         // The default config catches exceptions, so it is fine.
         let facts = DebugConfig::<Dummy>::default().facts();
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_is_ga0011() {
+        let mut facts = DebugConfig::<Dummy>::builder().capture_all_active(true).build().facts();
+        facts.checkpoint_every = Some(0);
+        let findings = check_config(&facts);
+        assert_eq!(ids(&findings), vec!["GA0011"]);
+        assert!(findings[0].detail.contains("interval is 0"));
+    }
+
+    #[test]
+    fn checkpoint_interval_at_or_past_limit_is_ga0011() {
+        let mut facts = DebugConfig::<Dummy>::builder().capture_all_active(true).build().facts();
+        facts.max_supersteps = Some(30);
+        facts.checkpoint_every = Some(30);
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0011"]);
+        facts.checkpoint_every = Some(100);
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0011"]);
+        // A firing interval is clean, as is no checkpointing at all.
+        facts.checkpoint_every = Some(10);
+        assert!(check_config(&facts).is_empty());
+        facts.checkpoint_every = None;
+        assert!(check_config(&facts).is_empty());
+        // Without a known horizon only the zero interval can be judged.
+        facts.max_supersteps = None;
+        facts.checkpoint_every = Some(1_000_000);
         assert!(check_config(&facts).is_empty());
     }
 }

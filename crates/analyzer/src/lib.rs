@@ -17,10 +17,11 @@
 //!    analyzer re-runs every captured vertex context through the replay
 //!    harness with permuted message delivery and flags vertices whose
 //!    value, outgoing messages, halt decision, or edges differ.
-//! 3. **Configuration lints** (`GA0006`–`GA0010`) — a [`DebugConfig`]
+//! 3. **Configuration lints** (`GA0006`–`GA0011`) — a [`DebugConfig`]
 //!    that can never capture anything (empty superstep sets, inverted
 //!    ranges, `max_captures == 0`, filters entirely beyond the job's
-//!    superstep horizon, neighbor capture with no capture targets) fails
+//!    superstep horizon, neighbor capture with no capture targets, a
+//!    checkpoint interval that never fires) fails
 //!    silently at debug time, which is the worst possible time. These
 //!    lints run on the [`ConfigFacts`] recorded in `meta.json`, so they
 //!    also work untyped from the CLI (`graft analyze <trace-root>`).
@@ -87,7 +88,7 @@ impl std::fmt::Display for Severity {
 /// one-line description.
 #[derive(Debug)]
 pub struct Lint {
-    /// Stable identifier, `GA0001`..`GA0010`.
+    /// Stable identifier, `GA0001`..`GA0011`.
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -188,9 +189,22 @@ pub static GA0010: Lint = Lint {
               anything",
 };
 
+/// The checkpoint interval can never produce a usable checkpoint.
+pub static GA0011: Lint = Lint {
+    id: "GA0011",
+    name: "checkpoint-never-fires",
+    severity: Severity::Warning,
+    summary: "the checkpoint interval is 0 (checkpointing disabled while \
+              configured) or at least the superstep limit, so no failure \
+              after superstep 0 can be recovered from a useful checkpoint",
+};
+
 /// The full catalog, in id order.
-pub fn catalog() -> [&'static Lint; 10] {
-    [&GA0001, &GA0002, &GA0003, &GA0004, &GA0005, &GA0006, &GA0007, &GA0008, &GA0009, &GA0010]
+pub fn catalog() -> [&'static Lint; 11] {
+    [
+        &GA0001, &GA0002, &GA0003, &GA0004, &GA0005, &GA0006, &GA0007, &GA0008, &GA0009, &GA0010,
+        &GA0011,
+    ]
 }
 
 /// One concrete finding: a lint that fired, where, and the evidence.

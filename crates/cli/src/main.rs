@@ -21,6 +21,11 @@
 //! deeper semantic checks (combiner algebra, message-order races) need
 //! the compiled computation; run those through
 //! `graft_analyzer::analyze_session` in a test.
+//!
+//! `graft-cli run <algorithm>` executes a built-in algorithm on the
+//! simulated HDFS cluster with checkpoint/restart fault tolerance —
+//! optionally under an injected fault plan — and can export the trace
+//! directory for browsing (see `run_cmd`).
 
 #![forbid(unsafe_code)]
 
@@ -30,9 +35,12 @@ use std::sync::Arc;
 use graft::untyped::UntypedSession;
 use graft_dfs::LocalFs;
 
+mod run_cmd;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: graft-cli <trace-dir> <command>\n\
+         \x20      graft-cli run <algorithm> [options]   (see `graft-cli run` for details)\n\
          commands:\n\
          \x20 info                 job metadata and terminal status\n\
          \x20 supersteps           captured supersteps with counts and M/V/E indicators\n\
@@ -40,13 +48,19 @@ fn usage() -> ExitCode {
          \x20 vertex <id>          one vertex's history across supersteps\n\
          \x20 violations           the violations & exceptions view\n\
          \x20 master               captured master contexts\n\
-         \x20 analyze              run config lints (GA0006-GA0010) over meta.json"
+         \x20 analyze              run config lints (GA0006-GA0011) over meta.json"
     );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("run") {
+        return match args.get(1) {
+            Some(_) => run_cmd::run(&args[1..]),
+            None => run_cmd::usage(),
+        };
+    }
     let (dir, command) = match (args.first(), args.get(1)) {
         (Some(dir), Some(command)) => (dir.clone(), command.clone()),
         _ => return usage(),

@@ -1,0 +1,269 @@
+//! `graft-cli run` — execute a built-in algorithm on the simulated HDFS
+//! cluster with checkpoint/restart fault tolerance, optionally under a
+//! deterministic fault plan.
+//!
+//! ```text
+//! graft-cli run pagerank --vertices 64 --workers 4 \
+//!     --checkpoint-every 2 --fault-plan "kill-worker:1@3; kill-datanode:0@2" \
+//!     --export ./traces
+//! ```
+//!
+//! The result checksum printed at the end is computed over the sorted
+//! final vertex values bit-for-bit, so a faulted run that recovered
+//! correctly prints exactly the same checksum as a failure-free run.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use graft::{DebugConfig, GraftRunner};
+use graft_algorithms::components::ConnectedComponents;
+use graft_algorithms::pagerank::PageRank;
+use graft_algorithms::sssp::ShortestPaths;
+use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem};
+use graft_pregel::{Computation, FaultPlan, Graph, Value};
+
+const TRACE_ROOT: &str = "/traces/run";
+
+pub fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graft-cli run <algorithm> [options]\n\
+         algorithms:\n\
+         \x20 pagerank             8 iterations of PageRank (damping 0.85)\n\
+         \x20 sssp                 single-source shortest paths from vertex 0\n\
+         \x20 components           connected components by min-label\n\
+         options:\n\
+         \x20 --vertices <n>       graph size (default 64)\n\
+         \x20 --workers <n>        engine workers (default 4)\n\
+         \x20 --checkpoint-every <k>  checkpoint every k supersteps (default 2; 0 disables)\n\
+         \x20 --fault-plan <spec>  inject faults, e.g. \"kill-worker:1@3; panic@5;\n\
+         \x20                      kill-datanode:0@2\" (semicolon- or comma-separated)\n\
+         \x20 --datanodes <n>      simulated HDFS datanodes (default 4)\n\
+         \x20 --replication <r>    block replication factor (default 2)\n\
+         \x20 --export <dir>       copy the trace directory to a local directory"
+    );
+    ExitCode::FAILURE
+}
+
+struct RunOptions {
+    algorithm: String,
+    vertices: u64,
+    workers: usize,
+    checkpoint_every: u64,
+    fault_plan: Option<FaultPlan>,
+    datanodes: usize,
+    replication: usize,
+    export: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<RunOptions, String> {
+    let algorithm = args.first().ok_or("missing algorithm")?.clone();
+    let mut options = RunOptions {
+        algorithm,
+        vertices: 64,
+        workers: 4,
+        checkpoint_every: 2,
+        fault_plan: None,
+        datanodes: 4,
+        replication: 2,
+        export: None,
+    };
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        let value = rest.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--vertices" => {
+                options.vertices = value.parse().map_err(|_| format!("bad --vertices {value}"))?
+            }
+            "--workers" => {
+                options.workers = value.parse().map_err(|_| format!("bad --workers {value}"))?
+            }
+            "--checkpoint-every" => {
+                options.checkpoint_every =
+                    value.parse().map_err(|_| format!("bad --checkpoint-every {value}"))?
+            }
+            "--fault-plan" => {
+                options.fault_plan =
+                    Some(value.parse().map_err(|e| format!("bad --fault-plan: {e}"))?)
+            }
+            "--datanodes" => {
+                options.datanodes = value.parse().map_err(|_| format!("bad --datanodes {value}"))?
+            }
+            "--replication" => {
+                options.replication =
+                    value.parse().map_err(|_| format!("bad --replication {value}"))?
+            }
+            "--export" => options.export = Some(value.clone()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Entry point for `graft-cli run <algorithm> [options]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let options = match parse_options(args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            return usage();
+        }
+    };
+    match options.algorithm.as_str() {
+        "pagerank" => {
+            execute(&options, PageRank::new(8), pr_graph(options.vertices), |v| v.to_bits())
+        }
+        "sssp" => {
+            execute(&options, ShortestPaths::new(0), sssp_graph(options.vertices), |v| v.to_bits())
+        }
+        "components" => {
+            execute(&options, ConnectedComponents::new(), cc_graph(options.vertices), |v| *v)
+        }
+        other => {
+            eprintln!("error: unknown algorithm {other}\n");
+            usage()
+        }
+    }
+}
+
+/// Deterministic ring-with-chords topology, the same family the chaos
+/// tests use.
+fn build_graph<V: Value, E: Value>(
+    n: u64,
+    vertex: impl Fn(u64) -> V,
+    edge: impl Fn(u64) -> E,
+) -> Graph<u64, V, E> {
+    let mut b = Graph::builder();
+    for v in 0..n {
+        b.add_vertex(v, vertex(v)).expect("distinct ids");
+    }
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n, edge(v)).expect("valid edge");
+        b.add_edge(v, (v * 7 + 3) % n, edge(v + 1)).expect("valid edge");
+    }
+    b.build().expect("valid graph")
+}
+
+fn pr_graph(n: u64) -> Graph<u64, f64, ()> {
+    build_graph(n, |_| 0.0, |_| ())
+}
+
+fn sssp_graph(n: u64) -> Graph<u64, f64, f64> {
+    build_graph(n, |_| f64::INFINITY, |v| 1.0 + (v % 5) as f64)
+}
+
+fn cc_graph(n: u64) -> Graph<u64, u64, ()> {
+    build_graph(n, |v| v, |_| ())
+}
+
+fn execute<C>(
+    options: &RunOptions,
+    computation: C,
+    graph: Graph<C::Id, C::VValue, C::EValue>,
+    value_bits: impl Fn(&C::VValue) -> u64,
+) -> ExitCode
+where
+    C: Computation<Id = u64>,
+{
+    let cluster = ClusterFs::new(ClusterFsConfig {
+        num_datanodes: options.datanodes,
+        replication: options.replication.min(options.datanodes),
+        block_size: 4096,
+    });
+    let config = DebugConfig::<C>::builder().capture_all_active(true).build();
+    let mut runner = GraftRunner::new(computation, config)
+        .with_cluster(cluster.clone())
+        .num_workers(options.workers);
+    if options.checkpoint_every > 0 {
+        runner = runner.checkpoint_every(options.checkpoint_every);
+    }
+    if let Some(plan) = &options.fault_plan {
+        runner = runner.with_fault_plan(plan.clone());
+    }
+    let run = match runner.run(graph, TRACE_ROOT) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("algorithm   : {}", options.algorithm);
+    println!("vertices    : {}", options.vertices);
+    println!("workers     : {}", options.workers);
+    println!(
+        "checkpoints : {}",
+        if options.checkpoint_every > 0 {
+            format!("every {} superstep(s)", options.checkpoint_every)
+        } else {
+            "disabled".to_string()
+        }
+    );
+    if let Some(plan) = &options.fault_plan {
+        println!("fault plan  : {plan}");
+    }
+    let stats = cluster.stats();
+    println!(
+        "cluster     : {}/{} datanodes live, {} blocks, {} under-replicated",
+        stats.live_datanodes, stats.total_datanodes, stats.blocks, stats.under_replicated
+    );
+    println!("captures    : {}", run.captures);
+
+    match &run.outcome {
+        Ok(outcome) => {
+            println!("supersteps  : {}", outcome.stats.superstep_count());
+            println!("recoveries  : {}", outcome.stats.recoveries);
+            println!("halt reason : {:?}", outcome.halt_reason);
+            let checksum =
+                checksum(outcome.graph.sorted_values().iter().map(|(id, v)| (*id, value_bits(v))));
+            println!("result checksum: {checksum:016x}");
+        }
+        Err(e) => {
+            eprintln!("job FAILED  : {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(dir) = &options.export {
+        if let Err(e) = export_traces(&cluster, dir) {
+            eprintln!("export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("traces exported to {dir}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// FNV-1a over the (id, value-bits) stream: stable across runs, so a
+/// recovered run's checksum is comparable to a clean run's.
+fn checksum(values: impl Iterator<Item = (u64, u64)>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (id, bits) in values {
+        mix(id);
+        mix(bits);
+    }
+    hash
+}
+
+/// Copies the trace directory (including checkpoints) from the cluster to
+/// a local directory, so the traces can be browsed with the other
+/// `graft-cli` commands.
+fn export_traces(cluster: &ClusterFs, dir: &str) -> Result<(), String> {
+    let fs: Arc<dyn FileSystem> = Arc::new(cluster.clone());
+    let files = fs.list_files_recursive(TRACE_ROOT).map_err(|e| e.to_string())?;
+    for file in files {
+        let relative = file.path.strip_prefix(TRACE_ROOT).unwrap_or(&file.path);
+        let target = std::path::Path::new(dir).join(relative.trim_start_matches('/'));
+        if let Some(parent) = target.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        let bytes = fs.read_all(&file.path).map_err(|e| e.to_string())?;
+        std::fs::write(&target, bytes).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

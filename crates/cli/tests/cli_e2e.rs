@@ -142,6 +142,62 @@ fn cli_analyze_flags_a_broken_config_and_exits_nonzero() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn run_cli_raw(args: &[&str]) -> (String, bool) {
+    let output = Command::new(cli_binary())
+        .args(args)
+        .output()
+        .expect("graft-cli binary exists (build with --workspace)");
+    (
+        String::from_utf8_lossy(&output.stdout).to_string()
+            + &String::from_utf8_lossy(&output.stderr),
+        output.status.success(),
+    )
+}
+
+fn checksum_line(output: &str) -> &str {
+    output.lines().find(|l| l.starts_with("result checksum")).expect("run prints a result checksum")
+}
+
+#[test]
+fn cli_run_recovers_from_faults_with_identical_checksum() {
+    let (clean, ok) =
+        run_cli_raw(&["run", "pagerank", "--vertices", "32", "--checkpoint-every", "2"]);
+    assert!(ok, "clean run failed: {clean}");
+    assert!(clean.contains("recoveries  : 0"), "{clean}");
+
+    let export = std::env::temp_dir().join(format!("graft-cli-run-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&export);
+    let (faulted, ok) = run_cli_raw(&[
+        "run",
+        "pagerank",
+        "--vertices",
+        "32",
+        "--checkpoint-every",
+        "2",
+        "--fault-plan",
+        "kill-worker:1@3; kill-datanode:0@2",
+        "--export",
+        export.to_str().unwrap(),
+    ]);
+    assert!(ok, "faulted run failed: {faulted}");
+    assert!(faulted.contains("recoveries  : 1"), "{faulted}");
+    assert!(faulted.contains("3/4 datanodes live"), "{faulted}");
+    assert_eq!(checksum_line(&clean), checksum_line(&faulted), "recovery must be bit-identical");
+
+    // The exported trace directory is complete and browsable.
+    let (info, ok) = run_cli(&export, &["info"]);
+    assert!(ok, "exported traces must load: {info}");
+    assert!(info.contains("job status  : success"), "{info}");
+    let _ = std::fs::remove_dir_all(&export);
+}
+
+#[test]
+fn cli_run_rejects_a_malformed_fault_plan() {
+    let (out, ok) = run_cli_raw(&["run", "pagerank", "--fault-plan", "explode@now"]);
+    assert!(!ok);
+    assert!(out.contains("bad --fault-plan"), "{out}");
+}
+
 #[test]
 fn cli_reports_missing_traces_cleanly() {
     let dir = std::env::temp_dir().join(format!("graft-cli-empty-{}", std::process::id()));

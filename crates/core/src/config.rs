@@ -154,7 +154,7 @@ pub enum TraceCodec {
 }
 
 /// A type-erased summary of a [`DebugConfig`], recorded in `meta.json`
-/// and consumed by `graft-analyzer`'s configuration lints (GA0006–GA0010).
+/// and consumed by `graft-analyzer`'s configuration lints (GA0006–GA0011).
 ///
 /// Constraints and capture ids are reduced to presence/counts because the
 /// typed payloads (closures, `C::Id` values) cannot be serialized; the
@@ -184,6 +184,9 @@ pub struct ConfigFacts {
     /// The job's superstep limit, when known (filled in by the runner; a
     /// config on its own has no superstep horizon).
     pub max_supersteps: Option<u64>,
+    /// The checkpoint interval, when the runner enabled fault tolerance
+    /// (`None` means checkpointing is off). Filled in by the runner.
+    pub checkpoint_every: Option<u64>,
 }
 
 /// The assembled debug configuration for a computation `C`.
@@ -340,6 +343,7 @@ impl<C: Computation> DebugConfig<C> {
             max_captures: self.max_captures,
             capture_master: self.capture_master,
             max_supersteps: None,
+            checkpoint_every: None,
         }
     }
 }

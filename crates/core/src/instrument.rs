@@ -277,6 +277,19 @@ impl<C: Computation> JobObserver<C> for GraftObserver {
         self.sink.flush();
     }
 
+    fn on_checkpoint(&self, superstep: u64) {
+        // Snapshot the trace state in lock-step with the engine's
+        // checkpoint, so a restore can rewind the traces to the same
+        // boundary.
+        self.sink.snapshot(superstep);
+    }
+
+    fn on_restore(&self, superstep: u64) {
+        // Discard everything recorded by the aborted execution: the
+        // replayed supersteps will rewrite those records identically.
+        self.sink.rollback(superstep);
+    }
+
     fn on_job_end(&self, end: &JobEnd) {
         self.sink.finalize(end.supersteps_executed, end.error.clone());
     }

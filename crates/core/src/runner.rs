@@ -1,12 +1,14 @@
 //! `GraftRunner`: submit a computation + `DebugConfig`, get back the job
 //! outcome plus a trace directory ready for the debug session.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use graft_dfs::{FileSystem, FsError, InMemoryFs};
+use graft_dfs::{ClusterFs, FileSystem, FsError, InMemoryFs};
 use graft_pregel::hash::FxHashSet;
 use graft_pregel::{
-    Computation, Engine, EngineError, Graph, JobOutcome, MasterComputation, MasterContext,
+    CheckpointConfig, Computation, Engine, EngineError, FaultPlan, Graph, JobObserver, JobOutcome,
+    MasterComputation, MasterContext, SuperstepStats,
 };
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
@@ -85,8 +87,51 @@ pub struct GraftRunner<C: Computation> {
     master: Option<Arc<dyn MasterComputation<Instrumented<C>>>>,
     master_name: Option<String>,
     fs: Arc<dyn FileSystem>,
+    cluster: Option<ClusterFs>,
     num_workers: usize,
     max_supersteps: u64,
+    checkpoint_every: Option<u64>,
+    fault_plan: Option<FaultPlan>,
+}
+
+/// Observer that kills datanodes of the trace cluster at planned
+/// supersteps — the DFS half of a [`FaultPlan`]. Superstep-`s` kills fire
+/// right before superstep `s` starts computing; each fires at most once,
+/// so replayed supersteps after a recovery do not re-kill revived nodes.
+struct DatanodeChaos {
+    cluster: ClusterFs,
+    kills: Vec<(usize, u64, AtomicBool)>,
+}
+
+impl DatanodeChaos {
+    fn new(cluster: ClusterFs, plan: &FaultPlan) -> Self {
+        let kills = plan
+            .datanode_kills()
+            .into_iter()
+            .map(|(node, superstep)| (node, superstep, AtomicBool::new(false)))
+            .collect();
+        Self { cluster, kills }
+    }
+
+    fn fire(&self, superstep: u64) {
+        for (node, at, fired) in &self.kills {
+            if *at == superstep
+                && fired.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
+            {
+                let _ = self.cluster.kill_datanode(*node);
+            }
+        }
+    }
+}
+
+impl<C: Computation> JobObserver<C> for DatanodeChaos {
+    fn on_job_start(&self, _global: &graft_pregel::GlobalData, _num_workers: usize) {
+        self.fire(0);
+    }
+
+    fn on_superstep_end(&self, stats: &SuperstepStats) {
+        self.fire(stats.superstep + 1);
+    }
 }
 
 impl<C: Computation> GraftRunner<C> {
@@ -98,8 +143,11 @@ impl<C: Computation> GraftRunner<C> {
             master: None,
             master_name: None,
             fs: Arc::new(InMemoryFs::new()),
+            cluster: None,
             num_workers: graft_pregel::EngineConfig::default().num_workers,
             max_supersteps: graft_pregel::EngineConfig::default().max_supersteps,
+            checkpoint_every: None,
+            fault_plan: None,
         }
     }
 
@@ -107,6 +155,33 @@ impl<C: Computation> GraftRunner<C> {
     /// simulation, or `LocalFs` for durable traces).
     pub fn with_fs(mut self, fs: Arc<dyn FileSystem>) -> Self {
         self.fs = fs;
+        self
+    }
+
+    /// Stores traces (and checkpoints) on the given simulated HDFS
+    /// cluster *and* enables datanode chaos: `kill-datanode` entries of a
+    /// fault plan only take effect when the runner knows the cluster.
+    pub fn with_cluster(mut self, cluster: ClusterFs) -> Self {
+        self.fs = Arc::new(cluster.clone());
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Enables checkpoint/restart fault tolerance: vertex state,
+    /// messages, and aggregators are snapshotted to
+    /// `<trace_root>/checkpoints` every `every` supersteps, and the trace
+    /// sink learns to rewind with the engine on restore.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Injects deterministic faults (worker kills, compute panics,
+    /// datanode kills) into the run. Worker faults need
+    /// [`GraftRunner::checkpoint_every`] to be survivable; datanode kills
+    /// need [`GraftRunner::with_cluster`] to have a cluster to kill in.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -209,6 +284,7 @@ impl<C: Computation> GraftRunner<C> {
             facts: Some({
                 let mut facts = self.config.facts();
                 facts.max_supersteps = Some(self.max_supersteps);
+                facts.checkpoint_every = self.checkpoint_every;
                 facts
             }),
         };
@@ -232,6 +308,19 @@ impl<C: Computation> GraftRunner<C> {
             .max_supersteps(self.max_supersteps);
         if let Some(master) = &self.master {
             engine = engine.with_master_arc(Arc::clone(master));
+        }
+        if let Some(every) = self.checkpoint_every {
+            let root = format!("{}/checkpoints", trace_root.trim_end_matches('/'));
+            engine = engine.with_checkpoints(self.fs.clone(), CheckpointConfig::new(every, root));
+        }
+        if let Some(plan) = &self.fault_plan {
+            engine = engine.with_fault_plan(plan.clone());
+            if let Some(cluster) = &self.cluster {
+                if !plan.datanode_kills().is_empty() {
+                    engine =
+                        engine.with_observer(Arc::new(DatanodeChaos::new(cluster.clone(), plan)));
+                }
+            }
         }
 
         let outcome = engine.run(graph).map(|outcome| JobOutcome::<C> {

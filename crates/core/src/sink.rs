@@ -17,6 +17,51 @@ struct Channel {
     writer: Box<dyn FileWrite>,
     /// Encode buffer reused across records.
     scratch: Vec<u8>,
+    /// The file this channel writes to (needed for rollback).
+    path: String,
+    /// Bytes handed to the writer so far; after a `flush` this is the
+    /// durable file length, which rollback and the finalize durability
+    /// check both rely on.
+    written: u64,
+}
+
+impl Channel {
+    fn new(fs: &Arc<dyn FileSystem>, path: String) -> Result<Self, graft_dfs::FsError> {
+        let writer = fs.create(&path)?;
+        Ok(Self { writer, scratch: Vec::new(), path, written: 0 })
+    }
+}
+
+/// Placeholder writer installed while a channel's file is being rewound.
+struct NullWrite;
+
+impl std::io::Write for NullWrite {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl FileWrite for NullWrite {
+    fn sync(&mut self) -> Result<(), graft_dfs::FsError> {
+        Ok(())
+    }
+}
+
+/// Everything needed to rewind the sink to a checkpoint boundary: the
+/// per-channel durable lengths and the global counters.
+#[derive(Clone)]
+struct SinkSnapshot {
+    superstep: u64,
+    worker_written: Vec<u64>,
+    master_written: u64,
+    captures: u64,
+    violations: u64,
+    exceptions: u64,
+    limit_hit: bool,
 }
 
 /// Thread-safe trace writer shared by the instrumenter (vertex captures,
@@ -36,6 +81,8 @@ pub struct TraceSink {
     master: Mutex<Channel>,
     fs: Arc<dyn FileSystem>,
     root: String,
+    /// Trace-state snapshots taken at checkpoint boundaries, oldest first.
+    snapshots: Mutex<Vec<SinkSnapshot>>,
     /// First write error encountered, surfaced in `result.json`.
     poisoned: Mutex<Option<String>>,
 }
@@ -52,13 +99,9 @@ impl TraceSink {
         fs.mkdirs(root)?;
         let mut workers = Vec::with_capacity(num_workers);
         for w in 0..num_workers {
-            let writer = fs.create(&worker_trace_path(root, w))?;
-            workers.push(Mutex::new(Channel { writer, scratch: Vec::new() }));
+            workers.push(Mutex::new(Channel::new(&fs, worker_trace_path(root, w))?));
         }
-        let master = Mutex::new(Channel {
-            writer: fs.create(&master_trace_path(root))?,
-            scratch: Vec::new(),
-        });
+        let master = Mutex::new(Channel::new(&fs, master_trace_path(root))?);
         Ok(Self {
             codec,
             max_captures,
@@ -70,6 +113,7 @@ impl TraceSink {
             master,
             fs,
             root: root.to_string(),
+            snapshots: Mutex::new(Vec::new()),
             poisoned: Mutex::new(None),
         })
     }
@@ -96,6 +140,7 @@ impl TraceSink {
             self.poison(e.to_string());
             return false;
         }
+        channel.written += channel.scratch.len() as u64;
         true
     }
 
@@ -110,7 +155,9 @@ impl TraceSink {
         }
         if let Err(e) = std::io::Write::write_all(&mut channel.writer, &channel.scratch) {
             self.poison(e.to_string());
+            return;
         }
+        channel.written += channel.scratch.len() as u64;
     }
 
     /// Counts a constraint violation.
@@ -136,9 +183,98 @@ impl TraceSink {
         }
     }
 
+    /// Snapshots the sink's durable state at a checkpoint boundary for
+    /// `superstep`, so a later [`TraceSink::rollback`] can rewind the
+    /// trace files in lock-step with the engine's recovery. Replaces any
+    /// earlier snapshot for the same or a later superstep (a replayed
+    /// checkpoint supersedes the pre-failure one).
+    pub fn snapshot(&self, superstep: u64) {
+        self.flush();
+        let worker_written: Vec<u64> = self.workers.iter().map(|w| w.lock().written).collect();
+        let master_written = self.master.lock().written;
+        let mut snapshots = self.snapshots.lock();
+        snapshots.retain(|s| s.superstep < superstep);
+        snapshots.push(SinkSnapshot {
+            superstep,
+            worker_written,
+            master_written,
+            captures: self.captures(),
+            violations: self.violations(),
+            exceptions: self.exceptions(),
+            limit_hit: self.limit_hit(),
+        });
+    }
+
+    /// Rewinds every trace file and counter to the snapshot taken for
+    /// `superstep`, discarding records from the aborted execution so the
+    /// replayed supersteps land exactly where the lost ones did. Poisons
+    /// the sink if no snapshot exists or a file cannot be rewound.
+    pub fn rollback(&self, superstep: u64) {
+        let snapshot = {
+            let mut snapshots = self.snapshots.lock();
+            let Some(pos) = snapshots.iter().position(|s| s.superstep == superstep) else {
+                self.poison(format!("no trace snapshot for restored superstep {superstep}"));
+                return;
+            };
+            snapshots.truncate(pos + 1);
+            snapshots[pos].clone()
+        };
+        for (worker, channel) in self.workers.iter().enumerate() {
+            let mut channel = channel.lock();
+            if let Err(e) = Self::rewind(&self.fs, &mut channel, snapshot.worker_written[worker]) {
+                self.poison(e);
+            }
+        }
+        {
+            let mut channel = self.master.lock();
+            if let Err(e) = Self::rewind(&self.fs, &mut channel, snapshot.master_written) {
+                self.poison(e);
+            }
+        }
+        self.captures.store(snapshot.captures, Ordering::Relaxed);
+        self.violations.store(snapshot.violations, Ordering::Relaxed);
+        self.exceptions.store(snapshot.exceptions, Ordering::Relaxed);
+        self.limit_hit.store(snapshot.limit_hit, Ordering::Relaxed);
+    }
+
+    /// Truncates a channel's file back to `keep` bytes by committing the
+    /// current writer, re-reading the durable prefix, and recreating the
+    /// file with exactly that prefix.
+    fn rewind(fs: &Arc<dyn FileSystem>, channel: &mut Channel, keep: u64) -> Result<(), String> {
+        if channel.written == keep {
+            return Ok(());
+        }
+        // Dropping the writer commits any buffered bytes; install a
+        // placeholder so the channel stays structurally valid if the
+        // rewrite below fails part-way.
+        drop(std::mem::replace(&mut channel.writer, Box::new(NullWrite)));
+        let bytes = fs.read_all(&channel.path).map_err(|e| e.to_string())?;
+        let keep_len = usize::try_from(keep).map_err(|e| e.to_string())?;
+        if bytes.len() < keep_len {
+            return Err(format!(
+                "trace file {} truncated below its snapshot ({} < {keep} bytes)",
+                channel.path,
+                bytes.len()
+            ));
+        }
+        let mut writer = fs.create(&channel.path).map_err(|e| e.to_string())?;
+        std::io::Write::write_all(&mut writer, &bytes[..keep_len]).map_err(|e| e.to_string())?;
+        writer.sync().map_err(|e| e.to_string())?;
+        channel.writer = writer;
+        channel.written = keep;
+        Ok(())
+    }
+
     /// Final flush plus `result.json`. Called exactly once at job end.
+    ///
+    /// Durability-hardened: after the final sync, every trace file's
+    /// length on the file system is verified against the bytes this sink
+    /// wrote to it — a short file means the backing store lost data, and
+    /// that is reported in `result.json` rather than silently producing a
+    /// truncated trace.
     pub fn finalize(&self, supersteps_executed: u64, error: Option<String>) {
         self.flush();
+        self.verify_durable();
         let error = error.or_else(|| self.poisoned.lock().clone());
         let record = JobResultRecord {
             supersteps_executed,
@@ -172,6 +308,25 @@ impl TraceSink {
     /// Whether the capture safety net has tripped.
     pub fn limit_hit(&self) -> bool {
         self.limit_hit.load(Ordering::Relaxed)
+    }
+
+    /// Checks that every synced trace file is exactly as long as the
+    /// bytes written to it.
+    fn verify_durable(&self) {
+        let channels = self.workers.iter().chain(std::iter::once(&self.master));
+        for channel in channels {
+            let channel = channel.lock();
+            match self.fs.status(&channel.path) {
+                Ok(status) if status.len == channel.written => {}
+                Ok(status) => self.poison(format!(
+                    "trace file {} not durable: {} bytes on disk, {} written",
+                    channel.path, status.len, channel.written
+                )),
+                Err(e) => {
+                    self.poison(format!("trace file {} unreadable at finalize: {e}", channel.path))
+                }
+            }
+        }
     }
 
     fn poison(&self, error: String) {
@@ -252,6 +407,92 @@ mod tests {
         assert_eq!(record.exceptions, 1);
         assert_eq!(record.error.as_deref(), Some("vertex 3 panicked"));
         assert!(!record.capture_limit_hit);
+    }
+
+    #[test]
+    fn rollback_rewinds_files_and_counters_to_snapshot() {
+        let (fs, sink) = sink(1000);
+        // Superstep 0 and 1 records, checkpoint boundary at superstep 2.
+        for seq in 0..4 {
+            sink.record_vertex(0, &Rec { worker: 0, seq });
+        }
+        sink.record_master(&Rec { worker: 99, seq: 0 });
+        sink.count_violation();
+        sink.snapshot(2);
+        // Supersteps 2..4 write more, then the "job" fails and restores.
+        for seq in 4..9 {
+            sink.record_vertex(0, &Rec { worker: 0, seq });
+            sink.record_vertex(1, &Rec { worker: 1, seq });
+        }
+        sink.record_master(&Rec { worker: 99, seq: 1 });
+        sink.count_violation();
+        sink.count_exception();
+        sink.rollback(2);
+
+        assert_eq!(sink.captures(), 4);
+        assert_eq!(sink.violations(), 1);
+        assert_eq!(sink.exceptions(), 0);
+        sink.flush();
+        let w0 = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
+        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w0).unwrap();
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let w1 = fs.read_all(&worker_trace_path("/traces/job", 1)).unwrap();
+        assert!(w1.is_empty());
+        let master = fs.read_all(&crate::trace::master_trace_path("/traces/job")).unwrap();
+        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &master).unwrap();
+        assert_eq!(records.len(), 1);
+
+        // The channels remain writable after a rollback: the replayed
+        // supersteps append exactly where the discarded ones began.
+        for seq in 4..6 {
+            assert!(sink.record_vertex(0, &Rec { worker: 0, seq }));
+        }
+        sink.flush();
+        let w0 = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
+        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w0).unwrap();
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn replayed_snapshot_supersedes_pre_failure_snapshot() {
+        let (_fs, sink) = sink(1000);
+        sink.record_vertex(0, &Rec { worker: 0, seq: 0 });
+        sink.snapshot(2);
+        sink.record_vertex(0, &Rec { worker: 0, seq: 1 });
+        sink.snapshot(4);
+        sink.rollback(2);
+        // Replay reaches superstep 4 again with different durable state.
+        sink.snapshot(4);
+        sink.record_vertex(0, &Rec { worker: 0, seq: 2 });
+        sink.rollback(4);
+        assert_eq!(sink.captures(), 1);
+    }
+
+    #[test]
+    fn rollback_without_snapshot_poisons_the_result() {
+        let (fs, sink) = sink(1000);
+        sink.rollback(7);
+        sink.finalize(0, None);
+        let bytes = fs.read_all(&result_path("/traces/job")).unwrap();
+        let record: JobResultRecord = serde_json::from_slice(&bytes).unwrap();
+        assert!(record.error.unwrap().contains("no trace snapshot"));
+    }
+
+    #[test]
+    fn finalize_reports_truncated_trace_files() {
+        let (fs, sink) = sink(1000);
+        for seq in 0..8 {
+            sink.record_vertex(0, &Rec { worker: 0, seq });
+        }
+        sink.flush();
+        // Simulate the backing store losing the file's tail.
+        let path = worker_trace_path("/traces/job", 0);
+        let bytes = fs.read_all(&path).unwrap();
+        fs.write_all(&path, &bytes[..bytes.len() / 2]).unwrap();
+        sink.finalize(3, None);
+        let bytes = fs.read_all(&result_path("/traces/job")).unwrap();
+        let record: JobResultRecord = serde_json::from_slice(&bytes).unwrap();
+        assert!(record.error.unwrap().contains("not durable"));
     }
 
     #[test]

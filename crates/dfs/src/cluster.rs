@@ -8,9 +8,10 @@
 //! [`ClusterFs::re_replicate`] restores the replication factor after
 //! failures, as the HDFS namenode would.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{Read, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -57,6 +58,11 @@ struct ClusterState {
     locations: HashMap<BlockId, Vec<usize>>,
     next_block: BlockId,
     placement_cursor: usize,
+    /// Blocks whose live replica count is (or was last seen) below the
+    /// replication factor — the namenode's re-replication work queue.
+    /// Populated by degraded writes and datanode kills; drained by
+    /// [`ClusterFs::re_replicate`], revives, and subsequent writes.
+    degraded: BTreeSet<BlockId>,
 }
 
 /// Aggregate statistics about the simulated cluster.
@@ -110,6 +116,7 @@ impl ClusterFs {
                 locations: HashMap::new(),
                 next_block: 0,
                 placement_cursor: 0,
+                degraded: BTreeSet::new(),
             })),
         }
     }
@@ -120,19 +127,30 @@ impl ClusterFs {
     }
 
     /// Marks a datanode as failed. Its replicas become unreadable until
-    /// it is revived or the cluster re-replicates.
+    /// it is revived or the cluster re-replicates. Every block that loses
+    /// a live replica below the replication factor is queued for
+    /// re-replication, which the next write (or revive) triggers.
     pub fn kill_datanode(&self, id: usize) -> FsResult<()> {
         let mut state = self.state.write();
         let node = state.datanodes.get_mut(id).ok_or(FsError::NoSuchDataNode(id))?;
         node.alive = false;
+        let state = &mut *state;
+        for (&block, holders) in &state.locations {
+            let live = holders.iter().filter(|&&d| state.datanodes[d].alive).count();
+            if live < self.config.replication {
+                state.degraded.insert(block);
+            }
+        }
         Ok(())
     }
 
-    /// Brings a failed datanode back, with all the replicas it held.
+    /// Brings a failed datanode back, with all the replicas it held, and
+    /// immediately re-replicates whatever the restored capacity allows.
     pub fn revive_datanode(&self, id: usize) -> FsResult<()> {
         let mut state = self.state.write();
         let node = state.datanodes.get_mut(id).ok_or(FsError::NoSuchDataNode(id))?;
         node.alive = true;
+        Self::heal(&mut state, &self.config);
         Ok(())
     }
 
@@ -141,18 +159,30 @@ impl ClusterFs {
     /// available). Returns the number of new replicas created.
     pub fn re_replicate(&self) -> usize {
         let mut state = self.state.write();
-        let state = &mut *state;
+        Self::heal(&mut state, &self.config)
+    }
+
+    /// Works through the degraded-block queue, copying each block from a
+    /// live holder to live non-holders until its replication factor is
+    /// met. Blocks healed (or gone) leave the queue; blocks with no live
+    /// replica stay queued for when a holder revives.
+    fn heal(state: &mut ClusterState, config: &ClusterFsConfig) -> usize {
         let mut created = 0;
-        let block_ids: Vec<BlockId> = state.locations.keys().copied().collect();
-        for block in block_ids {
-            let holders = state.locations.get(&block).cloned().unwrap_or_default();
+        let queue: Vec<BlockId> = state.degraded.iter().copied().collect();
+        for block in queue {
+            let Some(holders) = state.locations.get(&block).cloned() else {
+                // The owning file was deleted or rewritten.
+                state.degraded.remove(&block);
+                continue;
+            };
             let live_holders: Vec<usize> =
                 holders.iter().copied().filter(|&d| state.datanodes[d].alive).collect();
-            let Some(&source) = live_holders.first() else { continue };
-            if live_holders.len() >= self.config.replication {
+            if live_holders.len() >= config.replication {
+                state.degraded.remove(&block);
                 continue;
             }
-            let needed = self.config.replication - live_holders.len();
+            let Some(&source) = live_holders.first() else { continue };
+            let needed = config.replication - live_holders.len();
             let data = state.datanodes[source].blocks[&block].clone();
             let candidates: Vec<usize> = (0..state.datanodes.len())
                 .filter(|&d| state.datanodes[d].alive && !holders.contains(&d))
@@ -161,6 +191,11 @@ impl ClusterFs {
                 state.datanodes[d].blocks.insert(block, data.clone());
                 state.locations.entry(block).or_default().push(d);
                 created += 1;
+            }
+            let live_now =
+                state.locations[&block].iter().filter(|&&d| state.datanodes[d].alive).count();
+            if live_now >= config.replication {
+                state.degraded.remove(&block);
             }
         }
         created
@@ -221,6 +256,7 @@ impl ClusterFs {
 
     fn drop_file_blocks(state: &mut ClusterState, blocks: &[BlockId]) {
         for block in blocks {
+            state.degraded.remove(block);
             if let Some(holders) = state.locations.remove(block) {
                 for d in holders {
                     state.datanodes[d].blocks.remove(block);
@@ -230,25 +266,38 @@ impl ClusterFs {
     }
 
     /// Seals one block: assigns an id, places replicas, records locations.
+    ///
+    /// Writes degrade rather than fail: with fewer live datanodes than
+    /// the replication factor the block is placed on every live node,
+    /// queued as under-replicated, and healed when capacity returns (as
+    /// HDFS accepts writes into a shrunken pipeline). Only a cluster with
+    /// zero live datanodes rejects the write. Sealing also works through
+    /// the pending re-replication queue, so writes are what drive
+    /// recovery of earlier degraded blocks.
     fn seal_block(&self, state: &mut ClusterState, data: Bytes) -> FsResult<BlockId> {
         let live: Vec<usize> =
             (0..state.datanodes.len()).filter(|&d| state.datanodes[d].alive).collect();
-        if live.len() < self.config.replication {
+        if live.is_empty() {
             return Err(FsError::InsufficientDataNodes {
-                live: live.len(),
+                live: 0,
                 needed: self.config.replication,
             });
         }
         let block = state.next_block;
         state.next_block += 1;
-        let mut holders = Vec::with_capacity(self.config.replication);
-        for k in 0..self.config.replication {
+        let targets = live.len().min(self.config.replication);
+        let mut holders = Vec::with_capacity(targets);
+        for k in 0..targets {
             let node = live[(state.placement_cursor + k) % live.len()];
             state.datanodes[node].blocks.insert(block, data.clone());
             holders.push(node);
         }
         state.placement_cursor = state.placement_cursor.wrapping_add(1);
         state.locations.insert(block, holders);
+        if targets < self.config.replication {
+            state.degraded.insert(block);
+        }
+        Self::heal(state, &self.config);
         Ok(block)
     }
 }
@@ -285,20 +334,28 @@ impl FileSystem for ClusterFs {
         let state = self.state.read();
         match state.namespace.get(path.as_str()) {
             Some(INode::File { blocks, len }) => {
-                // Resolve every block to a live replica up front, so the
-                // reader fails fast if the file is unavailable.
-                let mut chunks = Vec::with_capacity(blocks.len());
+                // Fail fast when a block has no live replica at open time,
+                // but resolve block data lazily at read time: each read
+                // picks any live replica then, so a datanode dying between
+                // open and read fails over instead of erroring.
                 for block in blocks {
                     let holders = state.locations.get(block).ok_or(FsError::BlockUnavailable {
                         path: path.to_string(),
                         block: *block,
                     })?;
-                    let live = holders.iter().copied().find(|&d| state.datanodes[d].alive).ok_or(
+                    holders.iter().copied().find(|&d| state.datanodes[d].alive).ok_or(
                         FsError::BlockUnavailable { path: path.to_string(), block: *block },
                     )?;
-                    chunks.push(state.datanodes[live].blocks[block].clone());
                 }
-                Ok(Box::new(ClusterReader { chunks, len: *len, chunk_idx: 0, offset: 0 }))
+                Ok(Box::new(ClusterReader {
+                    fs: self.clone(),
+                    path: path.to_string(),
+                    blocks: blocks.clone(),
+                    len: *len,
+                    block_idx: 0,
+                    offset: 0,
+                    current: None,
+                }))
             }
             Some(INode::Directory) => Err(FsError::NotAFile(path.to_string())),
             None => Err(FsError::NotFound(path.to_string())),
@@ -491,17 +548,63 @@ impl Drop for ClusterWriter {
     }
 }
 
+/// Read retries per block before reporting it unavailable.
+const READ_ATTEMPTS: usize = 3;
+/// Initial retry backoff; doubles per attempt.
+const READ_BACKOFF: Duration = Duration::from_micros(200);
+
+/// A lazy, replica-failover reader: block data is resolved at read time
+/// against whichever replicas are live *then*. A first-choice replica
+/// dying mid-read makes the reader try the remaining holders, retrying
+/// with bounded exponential backoff before giving up — so reads survive
+/// any failure sequence that leaves at least one live replica.
 struct ClusterReader {
-    chunks: Vec<Bytes>,
+    fs: ClusterFs,
+    path: String,
+    blocks: Vec<BlockId>,
     len: u64,
-    chunk_idx: usize,
+    block_idx: usize,
     offset: usize,
+    current: Option<Bytes>,
+}
+
+impl ClusterReader {
+    fn fetch(&self, block: BlockId) -> FsResult<Bytes> {
+        let mut backoff = READ_BACKOFF;
+        for attempt in 0..READ_ATTEMPTS {
+            {
+                let state = self.fs.state.read();
+                if let Some(holders) = state.locations.get(&block) {
+                    for &d in holders {
+                        if state.datanodes[d].alive {
+                            if let Some(data) = state.datanodes[d].blocks.get(&block) {
+                                return Ok(data.clone());
+                            }
+                        }
+                    }
+                } else {
+                    // The block is gone (file deleted/rewritten since
+                    // open); waiting will not bring it back.
+                    break;
+                }
+            }
+            if attempt + 1 < READ_ATTEMPTS {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+        }
+        Err(FsError::BlockUnavailable { path: self.path.clone(), block })
+    }
 }
 
 impl Read for ClusterReader {
     fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
-        while self.chunk_idx < self.chunks.len() {
-            let chunk = &self.chunks[self.chunk_idx];
+        while self.block_idx < self.blocks.len() {
+            if self.current.is_none() {
+                let data = self.fetch(self.blocks[self.block_idx])?;
+                self.current = Some(data);
+            }
+            let chunk = self.current.as_ref().expect("chunk just fetched");
             if self.offset < chunk.len() {
                 let available = &chunk[self.offset..];
                 let n = available.len().min(out.len());
@@ -509,8 +612,9 @@ impl Read for ClusterReader {
                 self.offset += n;
                 return Ok(n);
             }
-            self.chunk_idx += 1;
+            self.block_idx += 1;
             self.offset = 0;
+            self.current = None;
         }
         Ok(0)
     }
@@ -580,13 +684,74 @@ mod tests {
     }
 
     #[test]
-    fn create_fails_with_insufficient_live_nodes() {
+    fn create_fails_only_with_zero_live_nodes() {
+        let fs = small_cluster();
+        for d in 0..4 {
+            fs.kill_datanode(d).unwrap();
+        }
+        let err = fs.write_all("/f", b"data").unwrap_err();
+        assert!(matches!(err, FsError::InsufficientDataNodes { live: 0, needed: 2 }));
+    }
+
+    #[test]
+    fn degraded_write_heals_when_capacity_returns() {
         let fs = small_cluster();
         fs.kill_datanode(0).unwrap();
         fs.kill_datanode(1).unwrap();
         fs.kill_datanode(2).unwrap();
-        let err = fs.write_all("/f", b"data").unwrap_err();
-        assert!(matches!(err, FsError::InsufficientDataNodes { live: 1, needed: 2 }));
+        // One live node, replication 2: the write succeeds degraded.
+        let data = vec![5u8; 100];
+        fs.write_all("/f", &data).unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), data);
+        assert!(fs.stats().under_replicated > 0);
+        // Reviving a node re-replicates automatically.
+        fs.revive_datanode(0).unwrap();
+        assert_eq!(fs.stats().under_replicated, 0);
+        fs.kill_datanode(3).unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), data, "healed replicas must carry the data");
+    }
+
+    #[test]
+    fn writes_trigger_re_replication_of_earlier_blocks() {
+        let fs = small_cluster();
+        let data = vec![3u8; 200];
+        fs.write_all("/old", &data).unwrap();
+        fs.kill_datanode(0).unwrap();
+        assert!(fs.stats().under_replicated > 0);
+        // No explicit re_replicate() call: a later write works the queue.
+        fs.write_all("/new", b"fresh data").unwrap();
+        assert_eq!(fs.stats().under_replicated, 0);
+        fs.kill_datanode(1).unwrap();
+        assert_eq!(fs.read_all("/old").unwrap(), data);
+    }
+
+    #[test]
+    fn read_fails_over_when_replica_dies_mid_read() {
+        let fs = small_cluster();
+        let data: Vec<u8> = (0..=255u8).cycle().take(400).collect();
+        fs.write_all("/f", &data).unwrap();
+        let mut reader = fs.open("/f").unwrap();
+        let mut first = vec![0u8; 40];
+        reader.read_exact(&mut first).unwrap();
+        // Kill one node *after* open: remaining replicas must serve the
+        // rest of the file (r=2 tolerates one failure).
+        fs.kill_datanode(2).unwrap();
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert_eq!([first, rest].concat(), data);
+    }
+
+    #[test]
+    fn read_reports_unavailable_after_bounded_retries() {
+        let fs =
+            ClusterFs::new(ClusterFsConfig { num_datanodes: 2, replication: 2, block_size: 16 });
+        fs.write_all("/f", &[9u8; 64]).unwrap();
+        let mut reader = fs.open("/f").unwrap();
+        fs.kill_datanode(0).unwrap();
+        fs.kill_datanode(1).unwrap();
+        let mut buf = Vec::new();
+        let err = reader.read_to_end(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
     }
 
     #[test]

@@ -124,6 +124,89 @@ fn cluster_matches_memory_model() {
     }
 }
 
+/// Kill/revive/re-replicate storm: random datanode churn interleaved with
+/// writes and reads. As long as at least one replica of every block
+/// survives each kill (enforced by never dropping below `replication - 1`
+/// simultaneous dead nodes, and healing between waves), no data may be
+/// lost and every read must return exactly what was written.
+#[test]
+fn storm_of_kills_revives_and_re_replication_loses_no_data() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDF503);
+    for round in 0..16 {
+        let num_nodes = 5usize;
+        let cluster = ClusterFs::new(ClusterFsConfig {
+            num_datanodes: num_nodes,
+            replication: 3,
+            block_size: 24,
+        });
+        let mut expected = std::collections::BTreeMap::new();
+        let mut dead: Vec<usize> = Vec::new();
+        for step in 0..rng.gen_range(20..60usize) {
+            match rng.gen_range(0..6u32) {
+                // Write or overwrite a file (also drives queued healing).
+                0 | 1 => {
+                    let path = FLAT_PATHS[rng.gen_range(0..FLAT_PATHS.len())];
+                    let data: Vec<u8> = (0..rng.gen_range(1..200usize))
+                        .map(|_| rng.gen_range(0..=u8::MAX))
+                        .collect();
+                    cluster.write_all(path, &data).unwrap();
+                    expected.insert(path.to_string(), data);
+                }
+                // Read back a random known file.
+                2 => {
+                    if !expected.is_empty() {
+                        let idx = rng.gen_range(0..expected.len());
+                        let (path, data) = expected.iter().nth(idx).unwrap();
+                        assert_eq!(
+                            &cluster.read_all(path).unwrap(),
+                            data,
+                            "round {round} step {step}: data lost for {path} (dead: {dead:?})"
+                        );
+                    }
+                }
+                // Kill a node, but keep at most replication-1 = 2 dead at
+                // once so every block always has a surviving replica.
+                3 => {
+                    if dead.len() < 2 {
+                        let victim = rng.gen_range(0..num_nodes);
+                        if !dead.contains(&victim) {
+                            cluster.kill_datanode(victim).unwrap();
+                            dead.push(victim);
+                        }
+                    }
+                }
+                // Revive one dead node; healing fires automatically.
+                4 => {
+                    if let Some(node) = dead.pop() {
+                        cluster.revive_datanode(node).unwrap();
+                    }
+                }
+                // Explicit re-replication sweep.
+                _ => {
+                    cluster.re_replicate();
+                }
+            }
+        }
+        // Settle: revive everything, heal, then verify the full namespace.
+        for node in dead.drain(..) {
+            cluster.revive_datanode(node).unwrap();
+        }
+        cluster.re_replicate();
+        assert_eq!(cluster.stats().under_replicated, 0, "round {round}: heal left stragglers");
+        for (path, data) in &expected {
+            assert_eq!(&cluster.read_all(path).unwrap(), data, "round {round}: final check {path}");
+        }
+        // After full healing, any replication-1 nodes may die and data
+        // must still be readable.
+        for node in 0..2 {
+            cluster.kill_datanode(node).unwrap();
+        }
+        for (path, data) in &expected {
+            assert_eq!(&cluster.read_all(path).unwrap(), data, "round {round}: post-heal {path}");
+        }
+    }
+}
+
 #[test]
 fn data_survives_single_failure_with_r2() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xDF502);

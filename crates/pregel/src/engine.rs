@@ -19,8 +19,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
+use graft_dfs::FileSystem;
+
 use crate::aggregators::{AggregatorRegistry, WorkerAggregators};
+use crate::checkpoint::{self, CheckpointConfig};
 use crate::computation::{Computation, VertexHandle};
+use crate::fault::{ArmedFaults, FaultPlan};
 
 type MutationOf<C> =
     Mutation<<C as Computation>::Id, <C as Computation>::VValue, <C as Computation>::EValue>;
@@ -70,6 +74,8 @@ pub struct Engine<C: Computation> {
     master: Option<Arc<dyn MasterComputation<C>>>,
     observers: Vec<Arc<dyn JobObserver<C>>>,
     config: EngineConfig,
+    fault_plan: Option<FaultPlan>,
+    checkpoints: Option<(Arc<dyn FileSystem>, CheckpointConfig)>,
 }
 
 impl<C: Computation> Engine<C> {
@@ -81,7 +87,14 @@ impl<C: Computation> Engine<C> {
     /// Creates an engine from a shared computation (the Graft runner uses
     /// this to keep a handle on its instrumented wrapper).
     pub fn from_arc(computation: Arc<C>) -> Self {
-        Self { computation, master: None, observers: Vec::new(), config: EngineConfig::default() }
+        Self {
+            computation,
+            master: None,
+            observers: Vec::new(),
+            config: EngineConfig::default(),
+            fault_plan: None,
+            checkpoints: None,
+        }
     }
 
     /// Attaches a master computation.
@@ -120,6 +133,23 @@ impl<C: Computation> Engine<C> {
         self
     }
 
+    /// Schedules deterministic fault injection (worker crashes and
+    /// compute panics; datanode kills in the plan are ignored here — the
+    /// Graft runner maps those onto its cluster).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables checkpoint/restart fault tolerance: job state snapshots to
+    /// `fs` on the schedule in `config`, and worker failures trigger
+    /// restore-and-replay from the latest committed checkpoint instead of
+    /// failing the job.
+    pub fn with_checkpoints(mut self, fs: Arc<dyn FileSystem>, config: CheckpointConfig) -> Self {
+        self.checkpoints = Some((fs, config));
+        self
+    }
+
     /// The computation this engine runs.
     pub fn computation(&self) -> &Arc<C> {
         &self.computation
@@ -155,173 +185,302 @@ impl<C: Computation> Engine<C> {
     ) -> Result<JobOutcome<C>, (u64, EngineError)> {
         let job_start = Instant::now();
         let num_partitions = self.config.num_workers.max(1);
-        let mut partitions = build_partitions::<C>(graph, num_partitions);
+        let partitions = build_partitions::<C>(graph, num_partitions);
 
-        let mut registry = AggregatorRegistry::new();
-        self.computation.register_aggregators(&mut registry);
-        if let Some(master) = &self.master {
-            master.register_aggregators(&mut registry);
-        }
-
-        let mut num_vertices: u64 = partitions.iter().map(Partition::live_vertices).sum();
-        let mut num_edges: u64 = partitions.iter().map(Partition::live_edges).sum();
+        let registry = self.fresh_registry();
+        let num_vertices: u64 = partitions.iter().map(Partition::live_vertices).sum();
+        let num_edges: u64 = partitions.iter().map(Partition::live_edges).sum();
 
         let initial_global = GlobalData { superstep: 0, num_vertices, num_edges };
         for obs in &self.observers {
             obs.on_job_start(&initial_global, num_partitions);
         }
 
-        let mut superstep: u64 = 0;
-        let mut all_stats: Vec<SuperstepStats> = Vec::new();
-        let halt_reason;
+        // Fire-once fault state lives outside the recovery loop so a
+        // fault consumed before a restore does not re-fire in the replay.
+        let faults = self.fault_plan.as_ref().map(ArmedFaults::new);
 
-        loop {
-            let global = GlobalData { superstep, num_vertices, num_edges };
+        let mut state = LoopState {
+            partitions,
+            registry,
+            superstep: 0,
+            all_stats: Vec::new(),
+            num_vertices,
+            num_edges,
+        };
+        let mut recoveries = 0u64;
+        let mut last_checkpoint: Option<u64> = None;
 
-            // Phase 1: master computation (beginning of superstep).
-            if let Some(master) = &self.master {
-                let mut mctx = MasterContext::new(global, &mut registry);
-                let result = catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
-                if let Err(payload) = result {
-                    return Err((
-                        superstep,
-                        EngineError::MasterPanic { superstep, message: panic_message(&*payload) },
-                    ));
-                }
-                let halted = mctx.is_halted();
-                let snapshot = registry.snapshot();
-                for obs in &self.observers {
-                    obs.on_master_computed(superstep, &global, &snapshot, halted);
-                }
-                if halted {
-                    halt_reason = HaltReason::MasterHalted;
-                    break;
-                }
-            }
-
-            let step_start = Instant::now();
-
-            // Phase 2: parallel vertex computation.
-            let worker_results: Vec<Result<WorkerOutput<C>, EngineError>> = {
-                let computation = &self.computation;
-                let registry_ref = &registry;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = partitions
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(worker_id, partition)| {
-                            scope.spawn(move || {
-                                run_partition(
-                                    computation.as_ref(),
-                                    partition,
-                                    global,
-                                    worker_id,
-                                    num_partitions,
-                                    registry_ref,
-                                )
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("engine worker must not panic"))
-                        .collect()
-                })
-            };
-
-            let mut outputs = Vec::with_capacity(worker_results.len());
-            for result in worker_results {
-                match result {
-                    Ok(output) => outputs.push(output),
-                    Err(err) => return Err((superstep, err)),
+        let halt_reason = loop {
+            if let Some((fs, ckpt)) = &self.checkpoints {
+                if ckpt.due_at(state.superstep) && last_checkpoint != Some(state.superstep) {
+                    checkpoint::write_checkpoint(
+                        fs,
+                        ckpt,
+                        state.superstep,
+                        &state.partitions,
+                        state.registry.snapshot(),
+                    )
+                    .map_err(|e| (state.superstep, EngineError::Checkpoint(e)))?;
+                    last_checkpoint = Some(state.superstep);
+                    for obs in &self.observers {
+                        obs.on_checkpoint(state.superstep);
+                    }
                 }
             }
 
-            let compute_calls: u64 = outputs.iter().map(|o| o.compute_calls).sum();
-            let messages_sent: u64 = outputs.iter().map(|o| o.messages_sent).sum();
-
-            // Phase 3: merge aggregator partials.
-            registry
-                .merge_superstep(outputs.iter_mut().map(|o| std::mem::take(&mut o.aggs)).collect());
-
-            // Phase 4: parallel message delivery.
-            let mut per_partition_incoming: Vec<Vec<OutboxOf<C>>> =
-                (0..num_partitions).map(|_| Vec::with_capacity(outputs.len())).collect();
-            for output in &mut outputs {
-                for (p, buf) in output.outboxes.drain(..).enumerate() {
-                    per_partition_incoming[p].push(buf);
+            match self.execute_superstep(&mut state, num_partitions, faults.as_ref()) {
+                Ok(Some(reason)) => break reason,
+                Ok(None) => {}
+                Err(err) => {
+                    let failed_at = state.superstep;
+                    let Some((fs, ckpt)) = &self.checkpoints else {
+                        return Err((failed_at, err));
+                    };
+                    if !is_recoverable(&err) {
+                        return Err((failed_at, err));
+                    }
+                    if recoveries >= ckpt.max_recoveries {
+                        return Err((
+                            failed_at,
+                            EngineError::RecoveryExhausted {
+                                attempts: recoveries,
+                                last_error: Box::new(err),
+                            },
+                        ));
+                    }
+                    let restored = match checkpoint::restore_latest::<C>(fs, ckpt) {
+                        Ok(Some(restored)) => restored,
+                        // No committed checkpoint to fall back to: the
+                        // original failure stands.
+                        Ok(None) => return Err((failed_at, err)),
+                        Err(ck) => return Err((failed_at, EngineError::Checkpoint(ck))),
+                    };
+                    recoveries += 1;
+                    let resumed_at = restored.superstep;
+                    self.resume_from(&mut state, restored);
+                    // The restored superstep's checkpoint is the one we
+                    // just loaded; don't rewrite it before the replay.
+                    last_checkpoint = Some(resumed_at);
+                    for obs in &self.observers {
+                        obs.on_restore(resumed_at);
+                    }
                 }
             }
-            let delivery: Vec<DeliveryCounts> = {
-                let computation = &self.computation;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = partitions
-                        .iter_mut()
-                        .zip(per_partition_incoming)
-                        .map(|(partition, incoming)| {
-                            scope.spawn(move || deliver(computation.as_ref(), partition, incoming))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("delivery must not panic"))
-                        .collect()
-                })
-            };
+        };
 
-            let messages_delivered: u64 = delivery.iter().map(|d| d.delivered).sum();
-            let messages_to_missing: u64 = delivery.iter().map(|d| d.missing).sum();
-            let mut active_vertices: u64 = delivery.iter().map(|d| d.active).sum();
-            num_vertices = delivery.iter().map(|d| d.vertices).sum();
-            num_edges = delivery.iter().map(|d| d.edges).sum();
-
-            // Phase 5: apply topology mutations.
-            let mutations: Vec<MutationOf<C>> =
-                outputs.into_iter().flat_map(|o| o.mutations).collect();
-            let mutations_applied = if mutations.is_empty() {
-                0
-            } else {
-                let applied = apply_mutations(&mut partitions, mutations, num_partitions);
-                num_vertices = partitions.iter().map(Partition::live_vertices).sum();
-                num_edges = partitions.iter().map(Partition::live_edges).sum();
-                active_vertices = partitions.iter().map(Partition::active_vertices).sum();
-                applied
-            };
-
-            let stats = SuperstepStats {
-                superstep,
-                compute_calls,
-                active_vertices,
-                messages_sent,
-                messages_delivered,
-                messages_to_missing,
-                mutations_applied,
-                wall_time: step_start.elapsed(),
-            };
-            for obs in &self.observers {
-                obs.on_superstep_end(&stats);
-            }
-            all_stats.push(stats);
-            superstep += 1;
-
-            // Phase 6: halting check.
-            if active_vertices == 0 && messages_delivered == 0 {
-                halt_reason = HaltReason::AllVerticesHalted;
-                break;
-            }
-            if superstep >= self.config.max_supersteps {
-                halt_reason = HaltReason::MaxSuperstepsReached;
-                break;
-            }
-        }
-
-        let graph = rebuild_graph::<C>(partitions);
+        let graph = rebuild_graph::<C>(state.partitions);
         Ok(JobOutcome {
             graph,
-            stats: JobStats { supersteps: all_stats, total_wall_time: job_start.elapsed() },
+            stats: JobStats {
+                supersteps: state.all_stats,
+                total_wall_time: job_start.elapsed(),
+                recoveries,
+            },
             halt_reason,
         })
     }
+
+    /// A registry with the computation's (and master's) aggregators
+    /// registered and all values at their identities.
+    fn fresh_registry(&self) -> AggregatorRegistry {
+        let mut registry = AggregatorRegistry::new();
+        self.computation.register_aggregators(&mut registry);
+        if let Some(master) = &self.master {
+            master.register_aggregators(&mut registry);
+        }
+        registry
+    }
+
+    /// Rewinds `state` to a restored checkpoint.
+    fn resume_from(&self, state: &mut LoopState<C>, restored: checkpoint::RestoredState<C>) {
+        let mut registry = self.fresh_registry();
+        for (name, value) in restored.aggregators {
+            // Aggregators in the checkpoint but no longer registered
+            // cannot occur within one run; the guard keeps restore total.
+            if registry.contains(&name) {
+                registry.set(&name, value);
+            }
+        }
+        state.partitions = restored.partitions;
+        state.registry = registry;
+        state.superstep = restored.superstep;
+        state.num_vertices = state.partitions.iter().map(Partition::live_vertices).sum();
+        state.num_edges = state.partitions.iter().map(Partition::live_edges).sum();
+        // One entry per completed superstep, so entry i is superstep i:
+        // drop everything the replay will re-execute.
+        state.all_stats.truncate(restored.superstep as usize);
+    }
+
+    /// Runs one full superstep (phases 1–6) against `state`.
+    ///
+    /// Returns `Ok(Some(reason))` when the job halted, `Ok(None)` when it
+    /// should continue with the next superstep, and `Err` on a failure
+    /// (which the caller may recover from via checkpoints).
+    fn execute_superstep(
+        &self,
+        state: &mut LoopState<C>,
+        num_partitions: usize,
+        faults: Option<&ArmedFaults>,
+    ) -> Result<Option<HaltReason>, EngineError> {
+        let superstep = state.superstep;
+        let global =
+            GlobalData { superstep, num_vertices: state.num_vertices, num_edges: state.num_edges };
+
+        // Phase 1: master computation (beginning of superstep).
+        if let Some(master) = &self.master {
+            let mut mctx = MasterContext::new(global, &mut state.registry);
+            let result = catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
+            if let Err(payload) = result {
+                return Err(EngineError::MasterPanic {
+                    superstep,
+                    message: panic_message(&*payload),
+                });
+            }
+            let halted = mctx.is_halted();
+            let snapshot = state.registry.snapshot();
+            for obs in &self.observers {
+                obs.on_master_computed(superstep, &global, &snapshot, halted);
+            }
+            if halted {
+                return Ok(Some(HaltReason::MasterHalted));
+            }
+        }
+
+        let step_start = Instant::now();
+
+        // Phase 2: parallel vertex computation.
+        let worker_results: Vec<Result<WorkerOutput<C>, EngineError>> = {
+            let computation = &self.computation;
+            let registry_ref = &state.registry;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = state
+                    .partitions
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(worker_id, partition)| {
+                        scope.spawn(move || {
+                            run_partition(
+                                computation.as_ref(),
+                                partition,
+                                global,
+                                worker_id,
+                                num_partitions,
+                                registry_ref,
+                                faults,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker must not panic"))
+                    .collect()
+            })
+        };
+
+        let mut outputs = Vec::with_capacity(worker_results.len());
+        for result in worker_results {
+            match result {
+                Ok(output) => outputs.push(output),
+                Err(err) => return Err(err),
+            }
+        }
+
+        let compute_calls: u64 = outputs.iter().map(|o| o.compute_calls).sum();
+        let messages_sent: u64 = outputs.iter().map(|o| o.messages_sent).sum();
+
+        // Phase 3: merge aggregator partials.
+        state
+            .registry
+            .merge_superstep(outputs.iter_mut().map(|o| std::mem::take(&mut o.aggs)).collect());
+
+        // Phase 4: parallel message delivery.
+        let mut per_partition_incoming: Vec<Vec<OutboxOf<C>>> =
+            (0..num_partitions).map(|_| Vec::with_capacity(outputs.len())).collect();
+        for output in &mut outputs {
+            for (p, buf) in output.outboxes.drain(..).enumerate() {
+                per_partition_incoming[p].push(buf);
+            }
+        }
+        let delivery: Vec<DeliveryCounts> = {
+            let computation = &self.computation;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = state
+                    .partitions
+                    .iter_mut()
+                    .zip(per_partition_incoming)
+                    .map(|(partition, incoming)| {
+                        scope.spawn(move || deliver(computation.as_ref(), partition, incoming))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("delivery must not panic")).collect()
+            })
+        };
+
+        let messages_delivered: u64 = delivery.iter().map(|d| d.delivered).sum();
+        let messages_to_missing: u64 = delivery.iter().map(|d| d.missing).sum();
+        let mut active_vertices: u64 = delivery.iter().map(|d| d.active).sum();
+        state.num_vertices = delivery.iter().map(|d| d.vertices).sum();
+        state.num_edges = delivery.iter().map(|d| d.edges).sum();
+
+        // Phase 5: apply topology mutations.
+        let mutations: Vec<MutationOf<C>> = outputs.into_iter().flat_map(|o| o.mutations).collect();
+        let mutations_applied = if mutations.is_empty() {
+            0
+        } else {
+            let applied = apply_mutations(&mut state.partitions, mutations, num_partitions);
+            state.num_vertices = state.partitions.iter().map(Partition::live_vertices).sum();
+            state.num_edges = state.partitions.iter().map(Partition::live_edges).sum();
+            active_vertices = state.partitions.iter().map(Partition::active_vertices).sum();
+            applied
+        };
+
+        let stats = SuperstepStats {
+            superstep,
+            compute_calls,
+            active_vertices,
+            messages_sent,
+            messages_delivered,
+            messages_to_missing,
+            mutations_applied,
+            wall_time: step_start.elapsed(),
+        };
+        for obs in &self.observers {
+            obs.on_superstep_end(&stats);
+        }
+        state.all_stats.push(stats);
+        state.superstep += 1;
+
+        // Phase 6: halting check.
+        if active_vertices == 0 && messages_delivered == 0 {
+            return Ok(Some(HaltReason::AllVerticesHalted));
+        }
+        if state.superstep >= self.config.max_supersteps {
+            return Ok(Some(HaltReason::MaxSuperstepsReached));
+        }
+        Ok(None)
+    }
+}
+
+/// The complete mutable job state threaded through the superstep loop —
+/// exactly what a checkpoint captures (plus derived counts and the
+/// stats tail a restore truncates).
+struct LoopState<C: Computation> {
+    partitions: Vec<Partition<C>>,
+    registry: AggregatorRegistry,
+    superstep: u64,
+    all_stats: Vec<SuperstepStats>,
+    num_vertices: u64,
+    num_edges: u64,
+}
+
+/// Whether a failure can be healed by restoring a checkpoint and
+/// replaying. Master panics are excluded: the master is the coordinator
+/// itself (its failure kills a Pregel job), and a deterministic master
+/// panic would simply re-fire every replay.
+fn is_recoverable(err: &EngineError) -> bool {
+    matches!(err, EngineError::VertexPanic { .. } | EngineError::WorkerCrashed { .. })
 }
 
 /// Deterministic partition assignment for a vertex id.
@@ -329,18 +488,20 @@ pub fn partition_for<I: std::hash::Hash>(id: &I, num_partitions: usize) -> usize
     (fx_hash_one(id) % num_partitions as u64) as usize
 }
 
-struct Partition<C: Computation> {
-    ids: Vec<C::Id>,
-    values: Vec<C::VValue>,
-    adjacency: Vec<Vec<Edge<C::Id, C::EValue>>>,
-    halted: Vec<bool>,
-    removed: Vec<bool>,
-    inbox: Vec<Vec<C::Message>>,
-    index: FxHashMap<C::Id, usize>,
+/// One worker's share of the graph. `pub(crate)` so the checkpoint
+/// module can serialize and rebuild partitions directly.
+pub(crate) struct Partition<C: Computation> {
+    pub(crate) ids: Vec<C::Id>,
+    pub(crate) values: Vec<C::VValue>,
+    pub(crate) adjacency: Vec<Vec<Edge<C::Id, C::EValue>>>,
+    pub(crate) halted: Vec<bool>,
+    pub(crate) removed: Vec<bool>,
+    pub(crate) inbox: Vec<Vec<C::Message>>,
+    pub(crate) index: FxHashMap<C::Id, usize>,
 }
 
 impl<C: Computation> Partition<C> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             ids: Vec::new(),
             values: Vec::new(),
@@ -352,7 +513,12 @@ impl<C: Computation> Partition<C> {
         }
     }
 
-    fn push_vertex(&mut self, id: C::Id, value: C::VValue, edges: Vec<Edge<C::Id, C::EValue>>) {
+    pub(crate) fn push_vertex(
+        &mut self,
+        id: C::Id,
+        value: C::VValue,
+        edges: Vec<Edge<C::Id, C::EValue>>,
+    ) {
         let slot = self.ids.len();
         self.ids.push(id);
         self.values.push(value);
@@ -440,7 +606,18 @@ fn run_partition<C: Computation>(
     worker_id: usize,
     num_partitions: usize,
     registry: &AggregatorRegistry,
+    faults: Option<&ArmedFaults>,
 ) -> Result<WorkerOutput<C>, EngineError> {
+    // Injected crash: the worker dies before computing any of its
+    // vertices, leaving the superstep unfinished.
+    if let Some(faults) = faults {
+        if faults.take_worker_crash(worker_id, global.superstep) {
+            return Err(EngineError::WorkerCrashed {
+                worker: worker_id,
+                superstep: global.superstep,
+            });
+        }
+    }
     let mut worker_aggs = WorkerAggregators::for_registry(registry);
     let mut mutations: Vec<MutationOf<C>> = Vec::new();
     let mut outboxes: Vec<OutboxOf<C>> = (0..num_partitions).map(|_| Vec::new()).collect();
@@ -465,6 +642,17 @@ fn run_partition<C: Computation>(
                 VertexHandle::new(id, &mut partition.values[slot], &mut partition.adjacency[slot]);
             compute_calls += 1;
             let result = catch_unwind(AssertUnwindSafe(|| {
+                // Injected panic: raised outside the user's compute (so
+                // the Graft instrumenter never records it as a vertex
+                // exception) but inside the engine's panic guard.
+                if let Some(faults) = faults {
+                    if faults.take_compute_panic(worker_id, global.superstep) {
+                        panic!(
+                            "injected fault: compute panic (worker {worker_id}, superstep {})",
+                            global.superstep
+                        );
+                    }
+                }
                 computation.compute(&mut handle, &messages, &mut ctx);
             }));
             if let Err(payload) = result {

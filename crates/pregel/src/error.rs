@@ -23,6 +23,24 @@ pub enum EngineError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A worker crashed wholesale (today only via fault injection) — the
+    /// analogue of a Giraph worker JVM dying mid-job.
+    WorkerCrashed {
+        /// The worker that died.
+        worker: usize,
+        /// The superstep in which it died.
+        superstep: u64,
+    },
+    /// Writing or restoring a checkpoint failed.
+    Checkpoint(crate::checkpoint::CheckpointError),
+    /// The job failed, recovery was attempted, and the recovery limit was
+    /// exhausted. The boxed error is the last failure.
+    RecoveryExhausted {
+        /// Restore-and-replay attempts made.
+        attempts: u64,
+        /// The error that ended the final attempt.
+        last_error: Box<EngineError>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -33,6 +51,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::MasterPanic { superstep, message } => {
                 write!(f, "master computation panicked in superstep {superstep}: {message}")
+            }
+            EngineError::WorkerCrashed { worker, superstep } => {
+                write!(f, "worker {worker} crashed in superstep {superstep}")
+            }
+            EngineError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            EngineError::RecoveryExhausted { attempts, last_error } => {
+                write!(f, "job failed after {attempts} recovery attempt(s): {last_error}")
             }
         }
     }

@@ -54,10 +54,12 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregators;
+mod checkpoint;
 mod computation;
 mod context;
 mod engine;
 mod error;
+mod fault;
 pub mod graph;
 pub mod harness;
 pub mod hash;
@@ -68,10 +70,12 @@ mod stats;
 mod types;
 
 pub use aggregators::{AggOp, AggValue, AggregatorRegistry, WorkerAggregators};
+pub use checkpoint::{CheckpointConfig, CheckpointError};
 pub use computation::{Computation, ContextOf, VertexHandle, VertexHandleOf};
 pub use context::{ComputeContext, Mutation};
 pub use engine::{partition_for, Engine, EngineConfig, JobOutcome};
 pub use error::EngineError;
+pub use fault::{Fault, FaultPlan, FaultPlanParseError};
 pub use graph::{Graph, GraphBuilder, GraphError, GraphStats};
 pub use master::{MasterComputation, MasterContext};
 pub use observer::{JobEnd, JobObserver};

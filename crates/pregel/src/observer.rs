@@ -42,6 +42,17 @@ pub trait JobObserver<C: Computation>: Send + Sync {
     /// A superstep's compute and delivery phases finished.
     fn on_superstep_end(&self, _stats: &SuperstepStats) {}
 
+    /// A checkpoint for `superstep` was committed. Fires after the
+    /// previous superstep fully finished and before the master runs for
+    /// `superstep`, so observers can snapshot their own state in step
+    /// with the engine's.
+    fn on_checkpoint(&self, _superstep: u64) {}
+
+    /// The engine restored the checkpoint for `superstep` after a
+    /// failure and is about to replay from there. Observers must discard
+    /// whatever they recorded for supersteps `>= superstep`.
+    fn on_restore(&self, _superstep: u64) {}
+
     /// The job finished (successfully or not). Guaranteed to be called
     /// exactly once, including on vertex panics.
     fn on_job_end(&self, _end: &JobEnd) {}

@@ -37,10 +37,14 @@ pub enum HaltReason {
 /// Counters for a completed job.
 #[derive(Clone, Debug)]
 pub struct JobStats {
-    /// One entry per executed superstep.
+    /// One entry per executed superstep. Supersteps re-executed after a
+    /// checkpoint restore appear once: a restore truncates the tail back
+    /// to the checkpointed superstep before the replay refills it.
     pub supersteps: Vec<SuperstepStats>,
     /// Total wall-clock time including setup and teardown.
     pub total_wall_time: Duration,
+    /// Checkpoint restores performed during the job (0 for a clean run).
+    pub recoveries: u64,
 }
 
 impl JobStats {
@@ -82,6 +86,7 @@ mod tests {
                 },
             ],
             total_wall_time: Duration::from_millis(3),
+            recoveries: 0,
         };
         assert_eq!(stats.superstep_count(), 2);
         assert_eq!(stats.total_messages(), 15);
