@@ -1,4 +1,4 @@
-//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0011).
+//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0012).
 //!
 //! These lints need no computation and no traces — just the config
 //! summary the runner writes into `meta.json` — so they run both from
@@ -6,7 +6,7 @@
 
 use graft::{ConfigFacts, SuperstepFilter};
 
-use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011};
+use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012};
 
 /// Runs every configuration lint over `facts`.
 pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
@@ -92,6 +92,31 @@ pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
         ));
     }
 
+    // GA0012: capture-all with a filter that selects every superstep the
+    // job can reach serializes every vertex context at every superstep —
+    // the configuration behind the paper's worst overhead numbers. Only
+    // meaningful when captures actually happen (GA0009 covers the
+    // max_captures == 0 case).
+    if facts.capture_all_active && facts.max_captures > 0 {
+        let covers_every_superstep = match filter {
+            SuperstepFilter::All => true,
+            SuperstepFilter::After(from) => *from == 0,
+            SuperstepFilter::Range { from, to } => {
+                *from == 0 && facts.max_supersteps.is_some_and(|max| *to >= max.saturating_sub(1))
+            }
+            SuperstepFilter::Set(_) => false,
+        };
+        if covers_every_superstep {
+            findings.push(Finding::global(
+                &GA0012,
+                "capture_all_active with an unbounded superstep filter captures every \
+                 vertex at every superstep — the maximal-overhead configuration; bound \
+                 the filter with supersteps(...) or capture ids/samples instead"
+                    .to_string(),
+            ));
+        }
+    }
+
     if let Some(every) = facts.checkpoint_every {
         if every == 0 {
             findings.push(Finding::global(
@@ -144,7 +169,12 @@ mod tests {
 
     #[test]
     fn healthy_config_is_clean() {
-        let facts = DebugConfig::<Dummy>::builder().capture_all_active(true).build().facts();
+        // Capture-all bounded to a superstep window: the recommended shape.
+        let facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::Range { from: 0, to: 9 })
+            .build()
+            .facts();
         assert!(check_config(&facts).is_empty());
     }
 
@@ -199,6 +229,7 @@ mod tests {
     fn neighbors_without_targets_is_ga0008() {
         let facts = DebugConfig::<Dummy>::builder()
             .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
             .capture_neighbors(true)
             .build()
             .facts();
@@ -233,7 +264,11 @@ mod tests {
 
     #[test]
     fn zero_checkpoint_interval_is_ga0011() {
-        let mut facts = DebugConfig::<Dummy>::builder().capture_all_active(true).build().facts();
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
         facts.checkpoint_every = Some(0);
         let findings = check_config(&facts);
         assert_eq!(ids(&findings), vec!["GA0011"]);
@@ -242,7 +277,11 @@ mod tests {
 
     #[test]
     fn checkpoint_interval_at_or_past_limit_is_ga0011() {
-        let mut facts = DebugConfig::<Dummy>::builder().capture_all_active(true).build().facts();
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
         facts.max_supersteps = Some(30);
         facts.checkpoint_every = Some(30);
         assert_eq!(ids(&check_config(&facts)), vec!["GA0011"]);
@@ -256,6 +295,47 @@ mod tests {
         // Without a known horizon only the zero interval can be judged.
         facts.max_supersteps = None;
         facts.checkpoint_every = Some(1_000_000);
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn capture_everything_is_ga0012() {
+        // The default filter is All: every vertex, every superstep.
+        let facts = DebugConfig::<Dummy>::builder().capture_all_active(true).build().facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0012"]);
+        // After(0) spells the same thing differently.
+        let facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(0))
+            .build()
+            .facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0012"]);
+        // After(1) leaves superstep 0 uncaptured: deliberately bounded.
+        let facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
+        assert!(check_config(&facts).is_empty());
+        // Without capture-all the filter's reach is irrelevant.
+        let facts = DebugConfig::<Dummy>::builder().capture_ids([1, 2]).build().facts();
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn range_covering_the_whole_horizon_is_ga0012() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::Range { from: 0, to: 100 })
+            .build()
+            .facts();
+        // Without a known horizon a Range is assumed intentional.
+        assert!(check_config(&facts).is_empty());
+        // With one, [0, 100] covers all 50 supersteps the job can run.
+        facts.max_supersteps = Some(50);
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0012"]);
+        // A range that ends before the horizon is a deliberate window.
+        facts.superstep_filter = SuperstepFilter::Range { from: 0, to: 30 };
         assert!(check_config(&facts).is_empty());
     }
 }

@@ -17,12 +17,15 @@
 //!    analyzer re-runs every captured vertex context through the replay
 //!    harness with permuted message delivery and flags vertices whose
 //!    value, outgoing messages, halt decision, or edges differ.
-//! 3. **Configuration lints** (`GA0006`–`GA0011`) — a [`DebugConfig`]
+//! 3. **Configuration lints** (`GA0006`–`GA0012`) — a [`DebugConfig`]
 //!    that can never capture anything (empty superstep sets, inverted
 //!    ranges, `max_captures == 0`, filters entirely beyond the job's
 //!    superstep horizon, neighbor capture with no capture targets, a
 //!    checkpoint interval that never fires) fails
-//!    silently at debug time, which is the worst possible time. These
+//!    silently at debug time, which is the worst possible time; and a
+//!    config that captures every vertex at every superstep (`GA0012`)
+//!    is the maximal-overhead way to debug — the paper's overhead
+//!    numbers come from exactly that configuration. These
 //!    lints run on the [`ConfigFacts`] recorded in `meta.json`, so they
 //!    also work untyped from the CLI (`graft analyze <trace-root>`).
 //!
@@ -30,13 +33,14 @@
 //! `graft`'s Violations & Exceptions view rendering.
 //!
 //! ```
-//! use graft::{DebugConfig, GraftRunner};
+//! use graft::{DebugConfig, GraftRunner, SuperstepFilter};
 //! use graft::testing::premade;
 //! use graft_algorithms::components::ConnectedComponents;
 //! use graft_analyzer::{analyze_session, AnalyzeOptions};
 //!
 //! let config = DebugConfig::<ConnectedComponents>::builder()
 //!     .capture_all_active(true)
+//!     .supersteps(SuperstepFilter::Range { from: 0, to: 31 })
 //!     .build();
 //! let run = GraftRunner::new(ConnectedComponents, config)
 //!     .run(premade::cycle(6, u64::MAX), "/traces/cc")
@@ -88,7 +92,7 @@ impl std::fmt::Display for Severity {
 /// one-line description.
 #[derive(Debug)]
 pub struct Lint {
-    /// Stable identifier, `GA0001`..`GA0011`.
+    /// Stable identifier, `GA0001`..`GA0012`.
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -199,11 +203,21 @@ pub static GA0011: Lint = Lint {
               after superstep 0 can be recovered from a useful checkpoint",
 };
 
+/// The config captures everything, everywhere, all the time.
+pub static GA0012: Lint = Lint {
+    id: "GA0012",
+    name: "capture-all-every-superstep",
+    severity: Severity::Warning,
+    summary: "capture_all_active with an unbounded superstep filter serializes \
+              every vertex context at every superstep — the maximal-overhead \
+              debug configuration",
+};
+
 /// The full catalog, in id order.
-pub fn catalog() -> [&'static Lint; 11] {
+pub fn catalog() -> [&'static Lint; 12] {
     [
         &GA0001, &GA0002, &GA0003, &GA0004, &GA0005, &GA0006, &GA0007, &GA0008, &GA0009, &GA0010,
-        &GA0011,
+        &GA0011, &GA0012,
     ]
 }
 

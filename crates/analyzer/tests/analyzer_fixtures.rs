@@ -52,7 +52,10 @@ impl Computation for FirstWinsCombiner {
 
 #[test]
 fn non_commutative_combiner_triggers_exactly_ga0001() {
-    let config = DebugConfig::<FirstWinsCombiner>::builder().capture_all_active(true).build();
+    let config = DebugConfig::<FirstWinsCombiner>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::Range { from: 0, to: 31 })
+        .build();
     let run = GraftRunner::new(FirstWinsCombiner, config)
         .num_workers(2)
         .run(premade::cycle(5, 0i64), "/traces/first-wins")
@@ -97,7 +100,10 @@ impl Computation for TakeFirstMessage {
 
 #[test]
 fn order_dependent_compute_triggers_exactly_ga0003() {
-    let config = DebugConfig::<TakeFirstMessage>::builder().capture_all_active(true).build();
+    let config = DebugConfig::<TakeFirstMessage>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::Range { from: 0, to: 31 })
+        .build();
     let run = GraftRunner::new(TakeFirstMessage, config)
         .num_workers(2)
         .run(premade::star(4, 0i64), "/traces/take-first")
@@ -123,7 +129,10 @@ fn order_dependent_compute_triggers_exactly_ga0003() {
 
 #[test]
 fn connected_components_is_lint_clean() {
-    let config = DebugConfig::<ConnectedComponents>::builder().capture_all_active(true).build();
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::Range { from: 0, to: 31 })
+        .build();
     let run = GraftRunner::new(ConnectedComponents, config)
         .num_workers(3)
         .run(premade::grid(3, 3, u64::MAX), "/traces/cc")
@@ -136,7 +145,10 @@ fn connected_components_is_lint_clean() {
 
 #[test]
 fn pagerank_is_lint_clean() {
-    let config = DebugConfig::<PageRank>::builder().capture_all_active(true).build();
+    let config = DebugConfig::<PageRank>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::Range { from: 0, to: 31 })
+        .build();
     // A star gives asymmetric degrees, so the observed message pool holds
     // genuinely distinct f64 shares — the algebra checks get real work.
     let run = GraftRunner::new(PageRank::new(5), config)
@@ -163,7 +175,10 @@ fn sssp_is_lint_clean() {
         .undirected(2, 4, 3.0)
         .undirected(4, 5, 1.0)
         .build();
-    let config = DebugConfig::<ShortestPaths>::builder().capture_all_active(true).build();
+    let config = DebugConfig::<ShortestPaths>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::Range { from: 0, to: 31 })
+        .build();
     let run = GraftRunner::new(ShortestPaths::new(0), config)
         .num_workers(2)
         .run(graph, "/traces/sssp")
@@ -173,6 +188,24 @@ fn sssp_is_lint_clean() {
     assert!(report.is_clean(), "{}", report.to_text());
     // Min is idempotent and commutative: not even an advisory.
     assert!(report.findings().is_empty(), "{}", report.to_text());
+}
+
+#[test]
+fn capture_everything_config_flags_ga0012_from_meta_json() {
+    // capture_all_active with the default All filter is exactly the
+    // capture-everything configuration behind the paper's worst overhead
+    // numbers; the analyzer warns but the job itself is fine.
+    let config = DebugConfig::<ConnectedComponents>::builder().capture_all_active(true).build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .run(premade::cycle(4, u64::MAX), "/traces/capture-all")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    let session = run.session().unwrap();
+    let report = analyze_meta(session.meta());
+    assert_eq!(problem_ids(&report), vec!["GA0012"], "{}", report.to_text());
+    assert!(!report.is_clean());
+    assert!(report.errors().is_empty(), "GA0012 is a warning, not an error");
+    assert!(report.problems()[0].detail.contains("maximal-overhead"));
 }
 
 #[test]

@@ -35,12 +35,14 @@ use std::sync::Arc;
 use graft::untyped::UntypedSession;
 use graft_dfs::LocalFs;
 
+mod profile_cmd;
 mod run_cmd;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: graft-cli <trace-dir> <command>\n\
          \x20      graft-cli run <algorithm> [options]   (see `graft-cli run` for details)\n\
+         \x20      graft-cli profile <obs-dir> [options] (see `graft-cli profile`)\n\
          commands:\n\
          \x20 info                 job metadata and terminal status\n\
          \x20 supersteps           captured supersteps with counts and M/V/E indicators\n\
@@ -48,7 +50,7 @@ fn usage() -> ExitCode {
          \x20 vertex <id>          one vertex's history across supersteps\n\
          \x20 violations           the violations & exceptions view\n\
          \x20 master               captured master contexts\n\
-         \x20 analyze              run config lints (GA0006-GA0011) over meta.json"
+         \x20 analyze              run config lints (GA0006-GA0012) over meta.json"
     );
     ExitCode::FAILURE
 }
@@ -59,6 +61,12 @@ fn main() -> ExitCode {
         return match args.get(1) {
             Some(_) => run_cmd::run(&args[1..]),
             None => run_cmd::usage(),
+        };
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        return match args.get(1) {
+            Some(_) => profile_cmd::run(&args[1..]),
+            None => profile_cmd::usage(),
         };
     }
     let (dir, command) = match (args.first(), args.get(1)) {

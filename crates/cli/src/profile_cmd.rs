@@ -1,0 +1,104 @@
+//! `graft-cli profile` — the superstep profiler over an exported
+//! observability directory (`events.jsonl` + `metrics.json`, as written
+//! by `graft-cli run --metrics <dir>` or `GraftRunner::with_obs`).
+//!
+//! ```text
+//! graft-cli profile <obs-dir>
+//! graft-cli profile <obs-dir> --export json
+//! graft-cli profile <obs-dir> --top 5
+//! ```
+//!
+//! Renders the ASCII superstep timeline, the phase-breakdown hotspot
+//! table (compute vs delivery vs checkpoint vs DFS I/O), and the top-k
+//! compute-skew table. Exits nonzero when the event log is missing or
+//! malformed, so CI can gate on trace integrity.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use graft_obs::{from_json, parse_jsonl, MetricsSnapshot, Profile, EVENTS_FILE, METRICS_JSON_FILE};
+
+pub fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graft-cli profile <obs-dir> [options]\n\
+         options:\n\
+         \x20 --export json        print the folded profile as JSON instead of tables\n\
+         \x20 --top <k>            rows in the compute-skew table (default 10)"
+    );
+    ExitCode::FAILURE
+}
+
+struct ProfileOptions {
+    dir: String,
+    export_json: bool,
+    top: usize,
+}
+
+fn parse_options(args: &[String]) -> Result<ProfileOptions, String> {
+    let dir = args.first().ok_or("missing <obs-dir>")?.clone();
+    let mut options = ProfileOptions { dir, export_json: false, top: 10 };
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        let value = rest.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--export" => match value.as_str() {
+                "json" => options.export_json = true,
+                other => return Err(format!("unknown --export format {other}")),
+            },
+            "--top" => options.top = value.parse().map_err(|_| format!("bad --top {value}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Entry point for `graft-cli profile <obs-dir> [options]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let options = match parse_options(args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            return usage();
+        }
+    };
+    match profile(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn profile(options: &ProfileOptions) -> Result<(), String> {
+    let events_path = Path::new(&options.dir).join(EVENTS_FILE);
+    let events_text = std::fs::read_to_string(&events_path)
+        .map_err(|e| format!("cannot read {}: {e}", events_path.display()))?;
+    let events = parse_jsonl(&events_text)
+        .map_err(|e| format!("malformed {}: {e}", events_path.display()))?;
+
+    // The metrics snapshot is optional (it only feeds the skew table),
+    // but when present it must parse — a corrupt export is a bug.
+    let metrics_path = Path::new(&options.dir).join(METRICS_JSON_FILE);
+    let metrics: Option<MetricsSnapshot> = match std::fs::read_to_string(&metrics_path) {
+        Ok(text) => Some(
+            from_json(&text).map_err(|e| format!("malformed {}: {e}", metrics_path.display()))?,
+        ),
+        Err(_) => None,
+    };
+
+    let profile = Profile::build(&events, metrics.as_ref())?;
+    if options.export_json {
+        print!("{}", profile.to_json());
+        return Ok(());
+    }
+    print!("{}", profile.render_timeline());
+    println!();
+    print!("{}", profile.render_hotspots());
+    let skew = profile.render_skew(options.top);
+    if !skew.is_empty() {
+        println!();
+        print!("{skew}");
+    }
+    Ok(())
+}

@@ -19,7 +19,8 @@ use graft::{DebugConfig, GraftRunner};
 use graft_algorithms::components::ConnectedComponents;
 use graft_algorithms::pagerank::PageRank;
 use graft_algorithms::sssp::ShortestPaths;
-use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem};
+use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem, LocalFs};
+use graft_obs::Obs;
 use graft_pregel::{Computation, FaultPlan, Graph, Value};
 
 const TRACE_ROOT: &str = "/traces/run";
@@ -39,7 +40,11 @@ pub fn usage() -> ExitCode {
          \x20                      kill-datanode:0@2\" (semicolon- or comma-separated)\n\
          \x20 --datanodes <n>      simulated HDFS datanodes (default 4)\n\
          \x20 --replication <r>    block replication factor (default 2)\n\
-         \x20 --export <dir>       copy the trace directory to a local directory"
+         \x20 --export <dir>       copy the trace directory to a local directory\n\
+         \x20 --metrics <dir>      record metrics + events and export them to a local\n\
+         \x20                      directory (browse with `graft-cli profile <dir>`)\n\
+         \x20 --logical-clock <ns> use a deterministic logical clock advancing <ns>\n\
+         \x20                      per reading, so identical runs export identical bytes"
     );
     ExitCode::FAILURE
 }
@@ -53,6 +58,8 @@ struct RunOptions {
     datanodes: usize,
     replication: usize,
     export: Option<String>,
+    metrics: Option<String>,
+    logical_clock: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<RunOptions, String> {
@@ -66,6 +73,8 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
         datanodes: 4,
         replication: 2,
         export: None,
+        metrics: None,
+        logical_clock: None,
     };
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
@@ -93,6 +102,11 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
                     value.parse().map_err(|_| format!("bad --replication {value}"))?
             }
             "--export" => options.export = Some(value.clone()),
+            "--metrics" => options.metrics = Some(value.clone()),
+            "--logical-clock" => {
+                options.logical_clock =
+                    Some(value.parse().map_err(|_| format!("bad --logical-clock {value}"))?)
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -170,9 +184,20 @@ where
         block_size: 4096,
     });
     let config = DebugConfig::<C>::builder().capture_all_active(true).build();
+    // The registry, event log, and superstep profiler all hang off one
+    // shared Obs; --logical-clock swaps its clock for a deterministic one.
+    let obs = (options.metrics.is_some() || options.logical_clock.is_some()).then(|| match options
+        .logical_clock
+    {
+        Some(step_nanos) => Obs::deterministic(step_nanos),
+        None => Obs::wall(),
+    });
     let mut runner = GraftRunner::new(computation, config)
         .with_cluster(cluster.clone())
         .num_workers(options.workers);
+    if let Some(obs) = &obs {
+        runner = runner.with_obs(Arc::clone(obs));
+    }
     if options.checkpoint_every > 0 {
         runner = runner.checkpoint_every(options.checkpoint_every);
     }
@@ -210,7 +235,9 @@ where
 
     match &run.outcome {
         Ok(outcome) => {
-            println!("supersteps  : {}", outcome.stats.superstep_count());
+            // JobStats renders its own one-line summary (counts plus the
+            // p50/p95/max superstep wall-time spread).
+            println!("stats       : {}", outcome.stats);
             println!("recoveries  : {}", outcome.stats.recoveries);
             println!("halt reason : {:?}", outcome.halt_reason);
             let checksum =
@@ -223,6 +250,13 @@ where
         }
     }
 
+    if let (Some(obs), Some(dir)) = (&obs, &options.metrics) {
+        if let Err(e) = export_metrics(obs, dir) {
+            eprintln!("metrics export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics exported to {dir}");
+    }
     if let Some(dir) = &options.export {
         if let Err(e) = export_traces(&cluster, dir) {
             eprintln!("export failed: {e}");
@@ -231,6 +265,13 @@ where
         println!("traces exported to {dir}");
     }
     ExitCode::SUCCESS
+}
+
+/// Writes `events.jsonl`, `metrics.prom`, and `metrics.json` to a local
+/// directory, ready for `graft-cli profile <dir>`.
+fn export_metrics(obs: &Obs, dir: &str) -> Result<(), String> {
+    let local = LocalFs::new(dir).map_err(|e| e.to_string())?;
+    obs.write_artifacts(&local, "/").map_err(|e| e.to_string())
 }
 
 /// FNV-1a over the (id, value-bits) stream: stable across runs, so a

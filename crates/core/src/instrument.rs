@@ -52,6 +52,7 @@ pub struct Instrumented<C: Computation> {
     config: DebugConfig<C>,
     sets: CaptureSets<C::Id>,
     sink: Arc<TraceSink>,
+    obs: Option<Arc<graft_obs::Obs>>,
 }
 
 impl<C: Computation> Instrumented<C> {
@@ -62,7 +63,14 @@ impl<C: Computation> Instrumented<C> {
         sets: CaptureSets<C::Id>,
         sink: Arc<TraceSink>,
     ) -> Self {
-        Self { inner, config, sets, sink }
+        Self { inner, config, sets, sink, obs: None }
+    }
+
+    /// Times every `compute()` call into `obs`, feeding the profiler's
+    /// per-vertex skew table.
+    pub fn with_obs(mut self, obs: Arc<graft_obs::Obs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// The wrapped computation.
@@ -75,29 +83,13 @@ impl<C: Computation> Instrumented<C> {
         &self.sets
     }
 
-    fn preselect_reason(&self, id: &C::Id) -> Option<CaptureReason> {
-        if self.sets.specified.contains(id) {
-            Some(CaptureReason::SpecifiedId)
-        } else if self.sets.random.contains(id) {
-            Some(CaptureReason::RandomSample)
-        } else if self.sets.neighbors.contains(id) {
-            Some(CaptureReason::NeighborOfCaptured)
-        } else {
-            None
-        }
-    }
-}
-
-impl<C: Computation> Computation for Instrumented<C> {
-    type Id = C::Id;
-    type VValue = C::VValue;
-    type EValue = C::EValue;
-    type Message = C::Message;
-
-    fn compute(
+    /// The capture pipeline for one `compute()` call (steps 1–5 of the
+    /// module docs). Kept separate from the trait method so the optional
+    /// per-vertex timing wraps it without touching its early returns.
+    fn compute_traced(
         &self,
         vertex: &mut VertexHandleOf<'_, Self>,
-        messages: &[Self::Message],
+        messages: &[C::Message],
         ctx: &mut ContextOf<'_, Self>,
     ) {
         let superstep = ctx.superstep();
@@ -223,6 +215,45 @@ impl<C: Computation> Computation for Instrumented<C> {
         }
     }
 
+    fn preselect_reason(&self, id: &C::Id) -> Option<CaptureReason> {
+        if self.sets.specified.contains(id) {
+            Some(CaptureReason::SpecifiedId)
+        } else if self.sets.random.contains(id) {
+            Some(CaptureReason::RandomSample)
+        } else if self.sets.neighbors.contains(id) {
+            Some(CaptureReason::NeighborOfCaptured)
+        } else {
+            None
+        }
+    }
+}
+
+impl<C: Computation> Computation for Instrumented<C> {
+    type Id = C::Id;
+    type VValue = C::VValue;
+    type EValue = C::EValue;
+    type Message = C::Message;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[Self::Message],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        let Some(obs) = &self.obs else {
+            self.compute_traced(vertex, messages, ctx);
+            return;
+        };
+        // Per-vertex skew timing: timers are worker-thread safe, and the
+        // registry's accumulation commutes, so this cannot perturb the
+        // deterministic exports. A panicking compute loses its sample —
+        // the exception path is profiled through the event log instead.
+        let id = vertex.id().to_string();
+        let timer = obs.timer();
+        self.compute_traced(vertex, messages, ctx);
+        obs.registry().record_vertex_compute(&id, timer.stop());
+    }
+
     fn use_combiner(&self) -> bool {
         self.inner.use_combiner()
     }
@@ -246,12 +277,28 @@ impl<C: Computation> Computation for Instrumented<C> {
 pub struct GraftObserver {
     sink: Arc<TraceSink>,
     capture_master: bool,
+    obs: Option<Arc<graft_obs::Obs>>,
+    /// Sink bytes that were durable after the previous flush, for the
+    /// per-flush byte delta in `trace.flush` spans.
+    flushed_bytes: std::sync::atomic::AtomicU64,
 }
 
 impl GraftObserver {
     /// Creates the observer for a run.
     pub fn new(sink: Arc<TraceSink>, capture_master: bool) -> Self {
-        Self { sink, capture_master }
+        Self {
+            sink,
+            capture_master,
+            obs: None,
+            flushed_bytes: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Emits `trace.flush` spans (with byte counts) into `obs` around the
+    /// per-superstep trace flushes.
+    pub fn with_obs(mut self, obs: Arc<graft_obs::Obs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -273,8 +320,29 @@ impl<C: Computation> JobObserver<C> for GraftObserver {
         }
     }
 
-    fn on_superstep_end(&self, _stats: &SuperstepStats) {
+    fn on_superstep_end(&self, stats: &SuperstepStats) {
+        let Some(obs) = &self.obs else {
+            self.sink.flush();
+            return;
+        };
+        let superstep = stats.superstep;
+        let begin = obs.begin("trace.flush", Some(superstep), None);
         self.sink.flush();
+        let total = self.sink.bytes_written();
+        let bytes =
+            total - self.flushed_bytes.swap(total, std::sync::atomic::Ordering::Relaxed).min(total);
+        let dur = obs.end(
+            "trace.flush",
+            Some(superstep),
+            None,
+            begin,
+            &[("bytes", bytes.to_string()), ("total_bytes", total.to_string())],
+        );
+        let reg = obs.registry();
+        reg.inc("trace_flush_bytes_total", graft_obs::Scope::GLOBAL, bytes);
+        reg.observe_bytes("trace_flush_bytes", graft_obs::Scope::GLOBAL, bytes);
+        reg.observe_time("trace_flush_nanos", graft_obs::Scope::GLOBAL, dur);
+        reg.set_gauge("trace_bytes_written", graft_obs::Scope::GLOBAL, total as i64);
     }
 
     fn on_checkpoint(&self, superstep: u64) {

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use graft_dfs::{ClusterFs, FileSystem, FsError, InMemoryFs};
+use graft_obs::{DfsMetrics, Obs};
 use graft_pregel::hash::FxHashSet;
 use graft_pregel::{
     CheckpointConfig, Computation, Engine, EngineError, FaultPlan, Graph, JobObserver, JobOutcome,
@@ -92,6 +93,7 @@ pub struct GraftRunner<C: Computation> {
     max_supersteps: u64,
     checkpoint_every: Option<u64>,
     fault_plan: Option<FaultPlan>,
+    obs: Option<Arc<Obs>>,
 }
 
 /// Observer that kills datanodes of the trace cluster at planned
@@ -148,6 +150,7 @@ impl<C: Computation> GraftRunner<C> {
             max_supersteps: graft_pregel::EngineConfig::default().max_supersteps,
             checkpoint_every: None,
             fault_plan: None,
+            obs: None,
         }
     }
 
@@ -162,8 +165,23 @@ impl<C: Computation> GraftRunner<C> {
     /// cluster *and* enables datanode chaos: `kill-datanode` entries of a
     /// fault plan only take effect when the runner knows the cluster.
     pub fn with_cluster(mut self, cluster: ClusterFs) -> Self {
+        if let Some(obs) = &self.obs {
+            cluster.add_observer(Arc::new(DfsMetrics::new(Arc::clone(obs))));
+        }
         self.fs = Arc::new(cluster.clone());
         self.cluster = Some(cluster);
+        self
+    }
+
+    /// Attaches an observability handle: the engine, the trace sink, the
+    /// instrumenter, and the cluster DFS (when one is attached) all
+    /// record into it, and the run exports `events.jsonl`,
+    /// `metrics.prom`, and `metrics.json` under `<trace_root>/obs/`.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        if let Some(cluster) = &self.cluster {
+            cluster.add_observer(Arc::new(DfsMetrics::new(Arc::clone(&obs))));
+        }
+        self.obs = Some(obs);
         self
     }
 
@@ -292,20 +310,29 @@ impl<C: Computation> GraftRunner<C> {
             serde_json::to_vec_pretty(&meta).map_err(|e| GraftError::Meta(e.to_string()))?;
         self.fs.write_all(&meta_path(trace_root), &meta_bytes)?;
 
-        let instrumented = Arc::new(Instrumented::new(
+        let mut instrumented = Instrumented::new(
             Arc::clone(&self.computation),
             self.config.clone(),
             sets,
             Arc::clone(&sink),
-        ));
+        );
+        let mut observer = GraftObserver::new(
+            Arc::clone(&sink),
+            self.config.capture_master && self.master.is_some(),
+        );
+        if let Some(obs) = &self.obs {
+            instrumented = instrumented.with_obs(Arc::clone(obs));
+            observer = observer.with_obs(Arc::clone(obs));
+        }
+        let instrumented = Arc::new(instrumented);
 
         let mut engine = Engine::from_arc(Arc::clone(&instrumented))
-            .with_observer(Arc::new(GraftObserver::new(
-                Arc::clone(&sink),
-                self.config.capture_master && self.master.is_some(),
-            )))
+            .with_observer(Arc::new(observer))
             .num_workers(self.num_workers)
             .max_supersteps(self.max_supersteps);
+        if let Some(obs) = &self.obs {
+            engine = engine.with_obs(Arc::clone(obs));
+        }
         if let Some(master) = &self.master {
             engine = engine.with_master_arc(Arc::clone(master));
         }
@@ -328,6 +355,11 @@ impl<C: Computation> GraftRunner<C> {
             stats: outcome.stats,
             halt_reason: outcome.halt_reason,
         });
+
+        if let Some(obs) = &self.obs {
+            let dir = format!("{}/obs", trace_root.trim_end_matches('/'));
+            obs.write_artifacts(self.fs.as_ref(), &dir)?;
+        }
 
         Ok(GraftRun {
             outcome,

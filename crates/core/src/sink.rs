@@ -310,6 +310,14 @@ impl TraceSink {
         self.limit_hit.load(Ordering::Relaxed)
     }
 
+    /// Total bytes handed to all trace writers (worker files plus the
+    /// master file) so far. After a [`TraceSink::flush`] this is the
+    /// durable trace volume — the number the observability layer surfaces.
+    pub fn bytes_written(&self) -> u64 {
+        let workers: u64 = self.workers.iter().map(|w| w.lock().written).sum();
+        workers + self.master.lock().written
+    }
+
     /// Checks that every synced trace file is exactly as long as the
     /// bytes written to it.
     fn verify_durable(&self) {

@@ -18,6 +18,7 @@ use parking_lot::RwLock;
 
 use crate::api::{FileKind, FileRead, FileStatus, FileSystem, FileWrite};
 use crate::error::{FsError, FsResult};
+use crate::observer::DfsObserver;
 use crate::path::DfsPath;
 
 /// Configuration for [`ClusterFs`].
@@ -82,11 +83,23 @@ pub struct ClusterStats {
     pub unavailable: usize,
 }
 
+/// What sealing one block did — carried out of the namespace lock so
+/// observers are notified without holding it.
+#[derive(Clone, Copy, Debug)]
+struct BlockSeal {
+    bytes: u64,
+    replicas: usize,
+    degraded: bool,
+    healed: u64,
+    queue_depth: u64,
+}
+
 /// The HDFS-like [`FileSystem`] backend.
 #[derive(Clone)]
 pub struct ClusterFs {
     config: ClusterFsConfig,
     state: Arc<RwLock<ClusterState>>,
+    observers: Arc<RwLock<Vec<Arc<dyn DfsObserver>>>>,
 }
 
 impl ClusterFs {
@@ -118,6 +131,7 @@ impl ClusterFs {
                 placement_cursor: 0,
                 degraded: BTreeSet::new(),
             })),
+            observers: Arc::new(RwLock::new(Vec::new())),
         }
     }
 
@@ -126,31 +140,78 @@ impl ClusterFs {
         self.config
     }
 
+    /// Registers an instrumentation observer (see [`DfsObserver`]).
+    /// Observers are shared by every clone of this cluster handle.
+    pub fn add_observer(&self, observer: Arc<dyn DfsObserver>) {
+        self.observers.write().push(observer);
+    }
+
+    /// Runs `f` over every registered observer. Callers must not hold
+    /// the state lock.
+    fn notify(&self, f: impl Fn(&dyn DfsObserver)) {
+        for obs in self.observers.read().iter() {
+            f(obs.as_ref());
+        }
+    }
+
+    /// Notifies observers about sealed blocks (and any healing a seal
+    /// triggered), outside the state lock.
+    fn notify_seals(&self, seals: &[BlockSeal]) {
+        if seals.is_empty() || self.observers.read().is_empty() {
+            return;
+        }
+        for seal in seals {
+            self.notify(|obs| {
+                obs.block_written(seal.bytes, seal.replicas, seal.degraded);
+                if seal.healed > 0 {
+                    obs.heal_completed(seal.healed, seal.queue_depth);
+                }
+            });
+        }
+    }
+
     /// Marks a datanode as failed. Its replicas become unreadable until
     /// it is revived or the cluster re-replicates. Every block that loses
     /// a live replica below the replication factor is queued for
     /// re-replication, which the next write (or revive) triggers.
     pub fn kill_datanode(&self, id: usize) -> FsResult<()> {
-        let mut state = self.state.write();
-        let node = state.datanodes.get_mut(id).ok_or(FsError::NoSuchDataNode(id))?;
-        node.alive = false;
-        let state = &mut *state;
-        for (&block, holders) in &state.locations {
-            let live = holders.iter().filter(|&&d| state.datanodes[d].alive).count();
-            if live < self.config.replication {
-                state.degraded.insert(block);
+        let live = {
+            let mut state = self.state.write();
+            let node = state.datanodes.get_mut(id).ok_or(FsError::NoSuchDataNode(id))?;
+            node.alive = false;
+            let state = &mut *state;
+            for (&block, holders) in &state.locations {
+                let live = holders.iter().filter(|&&d| state.datanodes[d].alive).count();
+                if live < self.config.replication {
+                    state.degraded.insert(block);
+                }
             }
-        }
+            state.datanodes.iter().filter(|d| d.alive).count()
+        };
+        self.notify(|obs| obs.datanode_killed(id, live));
         Ok(())
     }
 
     /// Brings a failed datanode back, with all the replicas it held, and
     /// immediately re-replicates whatever the restored capacity allows.
     pub fn revive_datanode(&self, id: usize) -> FsResult<()> {
-        let mut state = self.state.write();
-        let node = state.datanodes.get_mut(id).ok_or(FsError::NoSuchDataNode(id))?;
-        node.alive = true;
-        Self::heal(&mut state, &self.config);
+        let (live, created, queue_depth) = {
+            let mut state = self.state.write();
+            let node = state.datanodes.get_mut(id).ok_or(FsError::NoSuchDataNode(id))?;
+            node.alive = true;
+            let created = Self::heal(&mut state, &self.config);
+            (
+                state.datanodes.iter().filter(|d| d.alive).count(),
+                created as u64,
+                state.degraded.len() as u64,
+            )
+        };
+        self.notify(|obs| {
+            obs.datanode_revived(id, live);
+            if created > 0 {
+                obs.heal_completed(created, queue_depth);
+            }
+        });
         Ok(())
     }
 
@@ -158,8 +219,15 @@ impl ClusterFs {
     /// every block has `replication` live replicas (or no more nodes are
     /// available). Returns the number of new replicas created.
     pub fn re_replicate(&self) -> usize {
-        let mut state = self.state.write();
-        Self::heal(&mut state, &self.config)
+        let (created, queue_depth) = {
+            let mut state = self.state.write();
+            let created = Self::heal(&mut state, &self.config);
+            (created, state.degraded.len() as u64)
+        };
+        if created > 0 {
+            self.notify(|obs| obs.heal_completed(created as u64, queue_depth));
+        }
+        created
     }
 
     /// Works through the degraded-block queue, copying each block from a
@@ -274,7 +342,7 @@ impl ClusterFs {
     /// zero live datanodes rejects the write. Sealing also works through
     /// the pending re-replication queue, so writes are what drive
     /// recovery of earlier degraded blocks.
-    fn seal_block(&self, state: &mut ClusterState, data: Bytes) -> FsResult<BlockId> {
+    fn seal_block(&self, state: &mut ClusterState, data: Bytes) -> FsResult<(BlockId, BlockSeal)> {
         let live: Vec<usize> =
             (0..state.datanodes.len()).filter(|&d| state.datanodes[d].alive).collect();
         if live.is_empty() {
@@ -283,6 +351,7 @@ impl ClusterFs {
                 needed: self.config.replication,
             });
         }
+        let bytes = data.len() as u64;
         let block = state.next_block;
         state.next_block += 1;
         let targets = live.len().min(self.config.replication);
@@ -294,11 +363,19 @@ impl ClusterFs {
         }
         state.placement_cursor = state.placement_cursor.wrapping_add(1);
         state.locations.insert(block, holders);
-        if targets < self.config.replication {
+        let degraded = targets < self.config.replication;
+        if degraded {
             state.degraded.insert(block);
         }
-        Self::heal(state, &self.config);
-        Ok(block)
+        let healed = Self::heal(state, &self.config) as u64;
+        let seal = BlockSeal {
+            bytes,
+            replicas: targets,
+            degraded,
+            healed,
+            queue_depth: state.degraded.len() as u64,
+        };
+        Ok((block, seal))
     }
 }
 
@@ -326,6 +403,7 @@ impl FileSystem for ClusterFs {
             pending: Vec::new(),
             sealed: Vec::new(),
             sealed_len: 0,
+            committed_len: None,
         }))
     }
 
@@ -482,42 +560,60 @@ struct ClusterWriter {
     pending: Vec<u8>,
     sealed: Vec<BlockId>,
     sealed_len: u64,
+    /// Total bytes committed by the last `commit`, if any. A commit with
+    /// no new data since (e.g. the drop after an explicit sync) is a
+    /// no-op instead of re-sealing the trailing partial block.
+    committed_len: Option<u64>,
 }
 
 impl ClusterWriter {
     fn seal_full_blocks(&mut self) -> FsResult<()> {
         let block_size = self.fs.config.block_size;
+        let mut seals = Vec::new();
         while self.pending.len() >= block_size {
             let rest = self.pending.split_off(block_size);
             let full = std::mem::replace(&mut self.pending, rest);
             let mut state = self.fs.state.write();
-            let id = self.fs.seal_block(&mut state, Bytes::from(full))?;
+            let (id, seal) = self.fs.seal_block(&mut state, Bytes::from(full))?;
+            drop(state);
+            seals.push(seal);
             self.sealed.push(id);
             self.sealed_len += block_size as u64;
         }
+        self.fs.notify_seals(&seals);
         Ok(())
     }
 
     fn commit(&mut self) -> FsResult<()> {
         self.seal_full_blocks()?;
-        let mut state = self.fs.state.write();
-        let mut blocks = self.sealed.clone();
-        let mut len = self.sealed_len;
-        if !self.pending.is_empty() {
-            // The trailing partial block is sealed on every sync; a later
-            // sync with more data replaces it.
-            let tail = Bytes::from(self.pending.clone());
-            len += tail.len() as u64;
-            let id = self.fs.seal_block(&mut state, tail)?;
-            blocks.push(id);
+        let total = self.sealed_len + self.pending.len() as u64;
+        if self.committed_len == Some(total) {
+            return Ok(());
         }
-        if let Some(INode::File { blocks: old, .. }) =
-            state.namespace.insert(self.path.clone(), INode::File { blocks, len })
+        let mut seals = Vec::new();
         {
-            let stale: Vec<BlockId> =
-                old.into_iter().filter(|b| !self.sealed.contains(b)).collect();
-            ClusterFs::drop_file_blocks(&mut state, &stale);
+            let mut state = self.fs.state.write();
+            let mut blocks = self.sealed.clone();
+            let mut len = self.sealed_len;
+            if !self.pending.is_empty() {
+                // The trailing partial block is sealed on every sync; a later
+                // sync with more data replaces it.
+                let tail = Bytes::from(self.pending.clone());
+                len += tail.len() as u64;
+                let (id, seal) = self.fs.seal_block(&mut state, tail)?;
+                seals.push(seal);
+                blocks.push(id);
+            }
+            if let Some(INode::File { blocks: old, .. }) =
+                state.namespace.insert(self.path.clone(), INode::File { blocks, len })
+            {
+                let stale: Vec<BlockId> =
+                    old.into_iter().filter(|b| !self.sealed.contains(b)).collect();
+                ClusterFs::drop_file_blocks(&mut state, &stale);
+            }
         }
+        self.committed_len = Some(total);
+        self.fs.notify_seals(&seals);
         Ok(())
     }
 }
@@ -571,22 +667,34 @@ struct ClusterReader {
 impl ClusterReader {
     fn fetch(&self, block: BlockId) -> FsResult<Bytes> {
         let mut backoff = READ_BACKOFF;
+        // Dead or incomplete replicas skipped (plus retry rounds) before
+        // a live holder served the block — reported to observers.
+        let mut failovers = 0u64;
         for attempt in 0..READ_ATTEMPTS {
-            {
+            let found = {
                 let state = self.fs.state.read();
                 if let Some(holders) = state.locations.get(&block) {
+                    let mut data = None;
                     for &d in holders {
                         if state.datanodes[d].alive {
-                            if let Some(data) = state.datanodes[d].blocks.get(&block) {
-                                return Ok(data.clone());
+                            if let Some(bytes) = state.datanodes[d].blocks.get(&block) {
+                                data = Some(bytes.clone());
+                                break;
                             }
                         }
+                        failovers += 1;
                     }
+                    data
                 } else {
                     // The block is gone (file deleted/rewritten since
                     // open); waiting will not bring it back.
                     break;
                 }
+            };
+            if let Some(data) = found {
+                let bytes = data.len() as u64;
+                self.fs.notify(|obs| obs.block_read(bytes, failovers));
+                return Ok(data);
             }
             if attempt + 1 < READ_ATTEMPTS {
                 std::thread::sleep(backoff);
@@ -815,5 +923,95 @@ mod tests {
     #[should_panic(expected = "replication")]
     fn invalid_replication_panics() {
         ClusterFs::new(ClusterFsConfig { num_datanodes: 2, replication: 3, block_size: 16 });
+    }
+
+    #[derive(Default)]
+    struct RecordingObserver {
+        blocks_written: std::sync::atomic::AtomicU64,
+        bytes_written: std::sync::atomic::AtomicU64,
+        degraded_writes: std::sync::atomic::AtomicU64,
+        blocks_read: std::sync::atomic::AtomicU64,
+        failovers: std::sync::atomic::AtomicU64,
+        replicas_healed: std::sync::atomic::AtomicU64,
+        kills: std::sync::atomic::AtomicU64,
+        revives: std::sync::atomic::AtomicU64,
+    }
+
+    impl DfsObserver for RecordingObserver {
+        fn block_written(&self, bytes: u64, _replicas: usize, degraded: bool) {
+            use std::sync::atomic::Ordering::SeqCst;
+            self.blocks_written.fetch_add(1, SeqCst);
+            self.bytes_written.fetch_add(bytes, SeqCst);
+            if degraded {
+                self.degraded_writes.fetch_add(1, SeqCst);
+            }
+        }
+
+        fn block_read(&self, _bytes: u64, failovers: u64) {
+            use std::sync::atomic::Ordering::SeqCst;
+            self.blocks_read.fetch_add(1, SeqCst);
+            self.failovers.fetch_add(failovers, SeqCst);
+        }
+
+        fn heal_completed(&self, replicas_created: u64, _queue_depth: u64) {
+            self.replicas_healed.fetch_add(replicas_created, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        fn datanode_killed(&self, _node: usize, _live: usize) {
+            self.kills.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        fn datanode_revived(&self, _node: usize, _live: usize) {
+            self.revives.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn observer_sees_writes_reads_failures_and_healing() {
+        use std::sync::atomic::Ordering::SeqCst;
+        let fs = small_cluster();
+        let recorder = Arc::new(RecordingObserver::default());
+        fs.add_observer(recorder.clone());
+
+        let data = vec![1u8; 100];
+        fs.write_all("/f", &data).unwrap();
+        // 100 bytes / 16-byte blocks = 7 blocks.
+        assert_eq!(recorder.blocks_written.load(SeqCst), 7);
+        assert_eq!(recorder.bytes_written.load(SeqCst), 100);
+        assert_eq!(recorder.degraded_writes.load(SeqCst), 0);
+
+        assert_eq!(fs.read_all("/f").unwrap(), data);
+        assert_eq!(recorder.blocks_read.load(SeqCst), 7);
+        assert_eq!(recorder.failovers.load(SeqCst), 0);
+
+        // A kill forces failovers on reads and queues healing work.
+        fs.kill_datanode(0).unwrap();
+        assert_eq!(recorder.kills.load(SeqCst), 1);
+        assert_eq!(fs.read_all("/f").unwrap(), data);
+        assert!(recorder.failovers.load(SeqCst) > 0, "dead replicas must be skipped");
+
+        let created = fs.re_replicate();
+        assert!(created > 0);
+        assert_eq!(recorder.replicas_healed.load(SeqCst), created as u64);
+
+        fs.revive_datanode(0).unwrap();
+        assert_eq!(recorder.revives.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn degraded_writes_are_reported() {
+        use std::sync::atomic::Ordering::SeqCst;
+        let fs = small_cluster();
+        let recorder = Arc::new(RecordingObserver::default());
+        fs.add_observer(recorder.clone());
+        fs.kill_datanode(0).unwrap();
+        fs.kill_datanode(1).unwrap();
+        fs.kill_datanode(2).unwrap();
+        // One live node with replication 2: every block writes degraded.
+        fs.write_all("/f", &[5u8; 40]).unwrap();
+        assert_eq!(recorder.degraded_writes.load(SeqCst), 3);
+        // Healing on revive is reported with the created replica count.
+        fs.revive_datanode(0).unwrap();
+        assert_eq!(recorder.replicas_healed.load(SeqCst), 3);
     }
 }

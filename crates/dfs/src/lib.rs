@@ -34,6 +34,7 @@ mod cluster;
 mod error;
 mod local;
 mod memory;
+mod observer;
 mod path;
 
 pub use api::{FileKind, FileRead, FileStatus, FileSystem, FileWrite};
@@ -41,4 +42,5 @@ pub use cluster::{ClusterFs, ClusterFsConfig, ClusterStats};
 pub use error::{FsError, FsResult};
 pub use local::LocalFs;
 pub use memory::InMemoryFs;
+pub use observer::DfsObserver;
 pub use path::DfsPath;

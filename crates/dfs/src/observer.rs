@@ -1,0 +1,36 @@
+//! Instrumentation hooks for the cluster file system.
+//!
+//! `graft-dfs` defines the observer trait but no implementation, so the
+//! observability layer (`graft-obs`) can record cluster activity without
+//! a dependency cycle. All methods have empty defaults; implementors
+//! override what they care about.
+//!
+//! Hooks fire *after* the cluster's namespace lock is released, so an
+//! observer may call back into the file system — but implementations
+//! should still be cheap and non-blocking, as they sit on the write and
+//! read paths.
+
+/// Receives notifications about [`crate::ClusterFs`] activity.
+#[allow(unused_variables)]
+pub trait DfsObserver: Send + Sync {
+    /// A block was sealed onto datanodes. `degraded` is true when fewer
+    /// live datanodes than the replication factor were available, so the
+    /// block entered the re-replication queue.
+    fn block_written(&self, bytes: u64, replicas: usize, degraded: bool) {}
+
+    /// A block was served to a reader. `failovers` counts dead or
+    /// incomplete replicas skipped (including backoff retries) before a
+    /// live one answered.
+    fn block_read(&self, bytes: u64, failovers: u64) {}
+
+    /// The namenode worked through (part of) its re-replication queue,
+    /// creating `replicas_created` new replicas; `queue_depth` is the
+    /// number of blocks still degraded afterwards.
+    fn heal_completed(&self, replicas_created: u64, queue_depth: u64) {}
+
+    /// A datanode was killed; `live` datanodes remain.
+    fn datanode_killed(&self, node: usize, live: usize) {}
+
+    /// A datanode came back; `live` datanodes are now up.
+    fn datanode_revived(&self, node: usize, live: usize) {}
+}

@@ -1,0 +1,153 @@
+//! The structured event log.
+//!
+//! Events are span edges (`B`egin / `E`nd) or instantaneous `P`oints,
+//! stamped by the coordinator thread with the active [`crate::Clock`].
+//! The log serializes to JSON-lines — one event per line — and is
+//! written through the simulated DFS like any other Graft artifact, so
+//! it survives datanode failures with the same guarantees as traces.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Span-edge marker for a begin event.
+pub const EDGE_BEGIN: &str = "B";
+/// Span-edge marker for an end event (carries `dur`).
+pub const EDGE_END: &str = "E";
+/// Marker for an instantaneous event.
+pub const EDGE_POINT: &str = "P";
+
+/// One entry in the event log.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Timestamp in nanoseconds since the job clock's epoch.
+    pub ts: u64,
+    /// Event kind, e.g. `superstep`, `phase.compute`, `checkpoint.restore`.
+    pub kind: String,
+    /// `"B"`, `"E"`, or `"P"` — see the `EDGE_*` constants.
+    pub edge: String,
+    /// Superstep the event belongs to, if any.
+    pub superstep: Option<u64>,
+    /// Worker the event belongs to, if any.
+    pub worker: Option<u64>,
+    /// Span duration in nanoseconds (end events only).
+    pub dur: Option<u64>,
+    /// Free-form string attributes, sorted by key.
+    pub attrs: BTreeMap<String, String>,
+}
+
+impl Event {
+    /// True for a span end of the given kind.
+    pub fn is_end(&self, kind: &str) -> bool {
+        self.edge == EDGE_END && self.kind == kind
+    }
+
+    /// True for a point event of the given kind.
+    pub fn is_point(&self, kind: &str) -> bool {
+        self.edge == EDGE_POINT && self.kind == kind
+    }
+}
+
+/// An append-only, shareable event log.
+#[derive(Clone, Default)]
+pub struct EventLog {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn append(&self, event: Event) {
+        self.events.lock().push(event);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the recorded events, in append order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+}
+
+/// Serializes events to JSON-lines (one JSON object per line, trailing
+/// newline). Field order is fixed by the struct declaration and `attrs`
+/// is a sorted map, so the output is deterministic.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&serde_json::to_string(event).expect("event serialization is infallible"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines event log. Blank lines are ignored; any malformed
+/// line fails the whole parse with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Event =
+            serde_json::from_str(line).map_err(|e| format!("event log line {}: {e:?}", idx + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ts: u64, kind: &str, edge: &str) -> Event {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("k".to_string(), "v".to_string());
+        Event {
+            ts,
+            kind: kind.to_string(),
+            edge: edge.to_string(),
+            superstep: Some(2),
+            worker: None,
+            dur: if edge == EDGE_END { Some(41) } else { None },
+            attrs,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let events = vec![sample(1, "superstep", EDGE_BEGIN), sample(42, "superstep", EDGE_END)];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        let parsed = parse_jsonl(&text).expect("round trip parses");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parse_reports_bad_line_number() {
+        let mut text = to_jsonl(&[sample(1, "job", EDGE_BEGIN)]);
+        text.push_str("{not json\n");
+        let err = parse_jsonl(&text).expect_err("malformed line must fail");
+        assert!(err.contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n", to_jsonl(&[sample(1, "job", EDGE_POINT)]));
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Export formats for a [`MetricsSnapshot`]: Prometheus-style text
+//! exposition and pretty JSON. Both are deterministic — the snapshot is
+//! sorted and every map underneath serializes in key order.
+
+use std::fmt::Write as _;
+
+use crate::registry::MetricsSnapshot;
+
+/// Prefix applied to every metric name in the Prometheus exposition.
+const PROM_PREFIX: &str = "graft_";
+
+/// Renders the snapshot in the Prometheus text exposition format.
+///
+/// Counters get a `_total`-free name as recorded (names already carry
+/// their unit/kind suffix); histograms expand to `_bucket`/`_sum`/
+/// `_count` series with an explicit `+Inf` bucket.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed = String::new();
+
+    for counter in &snapshot.counters {
+        type_line(&mut out, &mut last_typed, &counter.name, "counter");
+        let _ = writeln!(
+            out,
+            "{PROM_PREFIX}{}{} {}",
+            counter.name,
+            labels(counter.worker, counter.superstep),
+            counter.value
+        );
+    }
+    last_typed.clear();
+    for gauge in &snapshot.gauges {
+        type_line(&mut out, &mut last_typed, &gauge.name, "gauge");
+        let _ = writeln!(
+            out,
+            "{PROM_PREFIX}{}{} {}",
+            gauge.name,
+            labels(gauge.worker, gauge.superstep),
+            gauge.value
+        );
+    }
+    last_typed.clear();
+    for histogram in &snapshot.histograms {
+        type_line(&mut out, &mut last_typed, &histogram.name, "histogram");
+        let scope_labels = labels_vec(histogram.worker, histogram.superstep);
+        let mut cumulative = 0u64;
+        for (bound, count) in histogram.data.bounds.iter().zip(&histogram.data.counts) {
+            cumulative += count;
+            let mut with_le = scope_labels.clone();
+            with_le.push(format!("le=\"{bound}\""));
+            let _ = writeln!(
+                out,
+                "{PROM_PREFIX}{}_bucket{{{}}} {}",
+                histogram.name,
+                with_le.join(","),
+                cumulative
+            );
+        }
+        let mut with_inf = scope_labels.clone();
+        with_inf.push("le=\"+Inf\"".to_string());
+        let _ = writeln!(
+            out,
+            "{PROM_PREFIX}{}_bucket{{{}}} {}",
+            histogram.name,
+            with_inf.join(","),
+            histogram.data.count
+        );
+        let _ = writeln!(
+            out,
+            "{PROM_PREFIX}{}_sum{} {}",
+            histogram.name,
+            labels(histogram.worker, histogram.superstep),
+            histogram.data.sum
+        );
+        let _ = writeln!(
+            out,
+            "{PROM_PREFIX}{}_count{} {}",
+            histogram.name,
+            labels(histogram.worker, histogram.superstep),
+            histogram.data.count
+        );
+    }
+    out
+}
+
+/// Renders the snapshot as pretty JSON with a trailing newline.
+pub fn to_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out =
+        serde_json::to_string_pretty(snapshot).expect("snapshot serialization is infallible");
+    out.push('\n');
+    out
+}
+
+/// Parses a JSON metrics export back into a snapshot.
+pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+    serde_json::from_str(text).map_err(|e| format!("metrics json: {e:?}"))
+}
+
+fn type_line(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        let _ = writeln!(out, "# TYPE {PROM_PREFIX}{name} {kind}");
+        *last = name.to_string();
+    }
+}
+
+fn labels_vec(worker: Option<u64>, superstep: Option<u64>) -> Vec<String> {
+    let mut parts = Vec::new();
+    if let Some(w) = worker {
+        parts.push(format!("worker=\"{w}\""));
+    }
+    if let Some(s) = superstep {
+        parts.push(format!("superstep=\"{s}\""));
+    }
+    parts
+}
+
+fn labels(worker: Option<u64>, superstep: Option<u64>) -> String {
+    let parts = labels_vec(worker, superstep);
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MetricsRegistry, Scope};
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.inc("pregel_messages_sent", Scope::superstep(0), 12);
+        reg.inc("pregel_messages_sent", Scope::superstep(1), 4);
+        reg.set_gauge("dfs_heal_queue_depth", Scope::GLOBAL, 2);
+        reg.observe_time("phase_compute_nanos", Scope::worker(0), 1_500);
+        reg
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = to_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE graft_pregel_messages_sent counter"));
+        assert!(text.contains("graft_pregel_messages_sent{superstep=\"0\"} 12"));
+        assert!(text.contains("graft_dfs_heal_queue_depth 2"));
+        assert!(text.contains("graft_phase_compute_nanos_bucket{worker=\"0\",le=\"+Inf\"} 1"));
+        assert!(text.contains("graft_phase_compute_nanos_sum{worker=\"0\"} 1500"));
+        // The TYPE header appears once per metric name, not per sample.
+        assert_eq!(text.matches("# TYPE graft_pregel_messages_sent counter").count(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_and_determinism() {
+        let snap = sample_registry().snapshot();
+        let a = to_json(&snap);
+        let b = to_json(&sample_registry().snapshot());
+        assert_eq!(a, b, "identical recordings must export identical bytes");
+        let parsed = from_json(&a).expect("parses back");
+        assert_eq!(parsed, snap);
+    }
+}

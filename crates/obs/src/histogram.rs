@@ -1,0 +1,135 @@
+//! Fixed-boundary histograms.
+//!
+//! Bucket boundaries are compiled in rather than adaptive so that two
+//! runs of the same job produce byte-identical exports: a histogram's
+//! shape depends only on the observed values, never on their order or on
+//! tuning state.
+
+use serde::{Deserialize, Serialize};
+
+/// Bucket upper bounds (inclusive) for time histograms, in nanoseconds:
+/// 1µs … 10s in roughly half-decade steps.
+pub const TIME_BUCKETS_NANOS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// Bucket upper bounds (inclusive) for byte-size histograms:
+/// 64 B … 16 MiB in power-of-four steps.
+pub const BYTE_BUCKETS: &[u64] =
+    &[64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216];
+
+/// A cumulative-style histogram over fixed bucket boundaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the time boundaries.
+    pub fn time() -> Self {
+        Self::with_bounds(TIME_BUCKETS_NANOS)
+    }
+
+    /// An empty histogram over the byte boundaries.
+    pub fn bytes() -> Self {
+        Self::with_bounds(BYTE_BUCKETS)
+    }
+
+    fn with_bounds(bounds: &'static [u64]) -> Self {
+        Self { bounds, counts: vec![0; bounds.len()], sum: 0, count: 0 }
+    }
+
+    /// Records one observation. Values above the last boundary land in
+    /// the implicit `+Inf` bucket (tracked by `count`).
+    pub fn observe(&mut self, value: u64) {
+        if let Some(slot) = self.bounds.iter().position(|&b| value <= b) {
+            self.counts[slot] += 1;
+        }
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// A serializable copy of the current state.
+    pub fn snapshot(&self) -> HistogramData {
+        HistogramData {
+            bounds: self.bounds.to_vec(),
+            counts: self.counts.clone(),
+            sum: self.sum,
+            count: self.count,
+        }
+    }
+}
+
+/// The exportable state of a [`Histogram`]: per-bucket (non-cumulative)
+/// counts aligned with `bounds`, plus sum and total count. Observations
+/// above the last bound are only reflected in `count`/`sum` (the
+/// Prometheus exposition derives the `+Inf` bucket from `count`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramData {
+    /// Inclusive bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Observations per bucket (same length as `bounds`).
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_first_covering_bucket() {
+        let mut h = Histogram::bytes();
+        h.observe(64); // inclusive upper bound
+        h.observe(65);
+        h.observe(1 << 30); // beyond the last bound: +Inf only
+        let snap = h.snapshot();
+        assert_eq!(snap.counts[0], 1);
+        assert_eq!(snap.counts[1], 1);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 64 + 65 + (1 << 30));
+        assert_eq!(snap.counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn identical_observations_identical_snapshots() {
+        let values = [3u64, 999, 1_000, 1_001, 123_456_789];
+        let mut a = Histogram::time();
+        let mut b = Histogram::time();
+        // Order must not matter.
+        for v in values {
+            a.observe(v);
+        }
+        for v in values.iter().rev() {
+            b.observe(*v);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+}

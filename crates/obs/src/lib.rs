@@ -1,0 +1,251 @@
+//! End-to-end observability for Graft: a metrics registry, a structured
+//! event log, and the superstep profiler.
+//!
+//! The central handle is [`Obs`]. The engine, the Graft runner, the DFS
+//! and the trace sink all record into one shared `Obs`; after the job it
+//! exports three artifacts — `events.jsonl` (the span log),
+//! `metrics.prom` (Prometheus text exposition) and `metrics.json` —
+//! through any [`FileSystem`], including the simulated cluster DFS.
+//!
+//! Determinism is a design constraint: with [`Obs::deterministic`] the
+//! clock is logical (see [`TickClock`]), histograms use fixed bucket
+//! boundaries, all storage is ordered, and events are stamped only from
+//! the coordinator thread — so two identical seeded runs export
+//! byte-identical artifacts, which makes perf regressions diffable.
+//!
+//! ```
+//! use graft_obs::{Obs, Scope};
+//!
+//! let obs = Obs::deterministic(1_000);
+//! let begin = obs.begin("superstep", Some(0), None);
+//! obs.registry().inc("pregel_messages_sent", Scope::superstep(0), 42);
+//! obs.end("superstep", Some(0), None, begin, &[("messages_sent", "42".to_string())]);
+//! let events = obs.events();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[1].dur, Some(1_000));
+//! ```
+
+mod clock;
+mod dfs;
+mod events;
+mod export;
+mod histogram;
+mod profile;
+mod registry;
+
+pub use clock::{Clock, TickClock, Timer, WallClock};
+pub use dfs::DfsMetrics;
+pub use events::{parse_jsonl, to_jsonl, Event, EventLog, EDGE_BEGIN, EDGE_END, EDGE_POINT};
+pub use export::{from_json, to_json, to_prometheus};
+pub use histogram::{Histogram, HistogramData, BYTE_BUCKETS, TIME_BUCKETS_NANOS};
+pub use profile::{fmt_nanos, PhaseTotal, Profile, RestoreSpan, SuperstepProfile};
+pub use registry::{
+    CounterEntry, GaugeEntry, HistogramEntry, MetricsRegistry, MetricsSnapshot, Scope, VertexCost,
+    TOP_VERTICES_EXPORTED,
+};
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use graft_dfs::{FileSystem, FsResult};
+
+/// File name of the JSON-lines event log artifact.
+pub const EVENTS_FILE: &str = "events.jsonl";
+/// File name of the Prometheus text exposition artifact.
+pub const METRICS_PROM_FILE: &str = "metrics.prom";
+/// File name of the JSON metrics artifact.
+pub const METRICS_JSON_FILE: &str = "metrics.json";
+
+/// The shared observability handle: one clock, one registry, one event
+/// log.
+pub struct Obs {
+    clock: Arc<dyn Clock>,
+    registry: MetricsRegistry,
+    events: EventLog,
+}
+
+impl Obs {
+    /// An `Obs` over real wall-clock time.
+    pub fn wall() -> Arc<Obs> {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// An `Obs` over a logical clock advancing `step_nanos` per reading:
+    /// identical runs export identical bytes.
+    pub fn deterministic(step_nanos: u64) -> Arc<Obs> {
+        Self::with_clock(Arc::new(TickClock::new(step_nanos)))
+    }
+
+    /// An `Obs` over an arbitrary clock.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Arc<Obs> {
+        Arc::new(Obs { clock, registry: MetricsRegistry::new(), events: EventLog::new() })
+    }
+
+    /// The clock driving event timestamps.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The metrics registry (cheap to clone for worker-side recording).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Starts a duration measurement safe on any thread.
+    pub fn timer(&self) -> Timer {
+        self.clock.timer()
+    }
+
+    /// Emits a span begin event and returns its timestamp (pass it to
+    /// [`Obs::end`]). Coordinator thread only.
+    pub fn begin(&self, kind: &str, superstep: Option<u64>, worker: Option<u64>) -> u64 {
+        let ts = self.clock.now_nanos();
+        self.events.append(Event {
+            ts,
+            kind: kind.to_string(),
+            edge: EDGE_BEGIN.to_string(),
+            superstep,
+            worker,
+            dur: None,
+            attrs: BTreeMap::new(),
+        });
+        ts
+    }
+
+    /// Emits a span end event and returns the span duration in
+    /// nanoseconds. Coordinator thread only.
+    pub fn end(
+        &self,
+        kind: &str,
+        superstep: Option<u64>,
+        worker: Option<u64>,
+        begin_ts: u64,
+        attrs: &[(&str, String)],
+    ) -> u64 {
+        let ts = self.clock.now_nanos();
+        let dur = ts.saturating_sub(begin_ts);
+        self.events.append(Event {
+            ts,
+            kind: kind.to_string(),
+            edge: EDGE_END.to_string(),
+            superstep,
+            worker,
+            dur: Some(dur),
+            attrs: to_attr_map(attrs),
+        });
+        dur
+    }
+
+    /// Emits an instantaneous event. Coordinator thread only.
+    pub fn point(
+        &self,
+        kind: &str,
+        superstep: Option<u64>,
+        worker: Option<u64>,
+        attrs: &[(&str, String)],
+    ) {
+        let ts = self.clock.now_nanos();
+        self.events.append(Event {
+            ts,
+            kind: kind.to_string(),
+            edge: EDGE_POINT.to_string(),
+            superstep,
+            worker,
+            dur: None,
+            attrs: to_attr_map(attrs),
+        });
+    }
+
+    /// A copy of the recorded events, in append order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.snapshot()
+    }
+
+    /// A sorted snapshot of the metrics recorded so far.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Writes the three artifacts (`events.jsonl`, `metrics.prom`,
+    /// `metrics.json`) under `dir` on `fs`.
+    pub fn write_artifacts(&self, fs: &dyn FileSystem, dir: &str) -> FsResult<()> {
+        fs.mkdirs(dir)?;
+        let join = |file: &str| {
+            if dir.ends_with('/') {
+                format!("{dir}{file}")
+            } else {
+                format!("{dir}/{file}")
+            }
+        };
+        fs.write_all(&join(EVENTS_FILE), to_jsonl(&self.events.snapshot()).as_bytes())?;
+        let snapshot = self.registry.snapshot();
+        fs.write_all(&join(METRICS_PROM_FILE), to_prometheus(&snapshot).as_bytes())?;
+        fs.write_all(&join(METRICS_JSON_FILE), to_json(&snapshot).as_bytes())
+    }
+}
+
+fn to_attr_map(attrs: &[(&str, String)]) -> BTreeMap<String, String> {
+    attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_dfs::InMemoryFs;
+
+    #[test]
+    fn spans_record_begin_end_with_duration() {
+        let obs = Obs::deterministic(100);
+        let begin = obs.begin("phase.compute", Some(3), None);
+        let dur = obs.end("phase.compute", Some(3), None, begin, &[("calls", "5".to_string())]);
+        assert_eq!(dur, 100);
+        let events = obs.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].edge, EDGE_BEGIN);
+        assert_eq!(events[1].dur, Some(100));
+        assert_eq!(events[1].attrs["calls"], "5");
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_a_filesystem() {
+        let fs = InMemoryFs::new();
+        let obs = Obs::deterministic(10);
+        let begin = obs.begin("superstep", Some(0), None);
+        obs.registry().inc("pregel_messages_sent", Scope::superstep(0), 9);
+        obs.end("superstep", Some(0), None, begin, &[]);
+        obs.point("recovery", None, None, &[("attempt", "1".to_string())]);
+        obs.write_artifacts(&fs, "/obs").expect("artifacts write");
+
+        let events_text = String::from_utf8(fs.read_all("/obs/events.jsonl").unwrap()).unwrap();
+        let parsed = parse_jsonl(&events_text).expect("event log parses");
+        assert_eq!(parsed, obs.events());
+
+        let json_text = String::from_utf8(fs.read_all("/obs/metrics.json").unwrap()).unwrap();
+        let snapshot = from_json(&json_text).expect("metrics parse");
+        assert_eq!(snapshot, obs.metrics());
+
+        let prom = String::from_utf8(fs.read_all("/obs/metrics.prom").unwrap()).unwrap();
+        assert!(prom.contains("graft_pregel_messages_sent{superstep=\"0\"} 9"));
+    }
+
+    #[test]
+    fn identical_recordings_export_identical_bytes() {
+        let record = || {
+            let fs = InMemoryFs::new();
+            let obs = Obs::deterministic(50);
+            for ss in 0..3u64 {
+                let begin = obs.begin("superstep", Some(ss), None);
+                obs.registry().inc("pregel_compute_calls", Scope::superstep(ss), 4 + ss);
+                obs.registry().observe_time("superstep_wall_nanos", Scope::GLOBAL, 50);
+                obs.end("superstep", Some(ss), None, begin, &[("messages_sent", ss.to_string())]);
+            }
+            obs.write_artifacts(&fs, "/obs").unwrap();
+            (
+                fs.read_all("/obs/events.jsonl").unwrap(),
+                fs.read_all("/obs/metrics.prom").unwrap(),
+                fs.read_all("/obs/metrics.json").unwrap(),
+            )
+        };
+        assert_eq!(record(), record());
+    }
+}

@@ -149,13 +149,15 @@ pub(crate) struct RestoredState<C: Computation> {
 }
 
 /// Writes a committed checkpoint for `superstep` and prunes old ones.
+/// Returns the number of payload bytes written (partition frames,
+/// manifest, and commit marker).
 pub(crate) fn write_checkpoint<C: Computation>(
     fs: &Arc<dyn FileSystem>,
     config: &CheckpointConfig,
     superstep: u64,
     partitions: &[Partition<C>],
     aggregators: Vec<(String, AggValue)>,
-) -> Result<(), CheckpointError> {
+) -> Result<u64, CheckpointError> {
     let dir = config.dir(superstep);
     // A leftover directory from a crashed earlier attempt (or from the run
     // this one recovered from) is stale; rewrite it from scratch.
@@ -166,6 +168,7 @@ pub(crate) fn write_checkpoint<C: Computation>(
     fs.mkdirs(&dir)
         .map_err(|e| CheckpointError::new(format!("creating checkpoint dir {dir}"), e))?;
 
+    let mut bytes_written = 0u64;
     for (p, partition) in partitions.iter().enumerate() {
         let path = format!("{dir}/part_{p}.ckpt");
         let mut writer =
@@ -188,6 +191,7 @@ pub(crate) fn write_checkpoint<C: Computation>(
             };
             let frame = graft_codec::to_framed_vec(&record)
                 .map_err(|e| CheckpointError::new(format!("encoding vertex for {path}"), e))?;
+            bytes_written += frame.len() as u64;
             writer
                 .write_all(&frame)
                 .map_err(|e| CheckpointError::new(format!("writing {path}"), e))?;
@@ -198,16 +202,19 @@ pub(crate) fn write_checkpoint<C: Computation>(
     let manifest = Manifest { superstep, num_partitions: partitions.len(), aggregators };
     let bytes =
         graft_codec::to_vec(&manifest).map_err(|e| CheckpointError::new("encoding manifest", e))?;
+    bytes_written += bytes.len() as u64;
     fs.write_all(&format!("{dir}/manifest.bin"), &bytes)
         .map_err(|e| CheckpointError::new(format!("writing {dir}/manifest.bin"), e))?;
 
     // The commit marker is written last: its presence certifies that every
     // partition file and the manifest are complete.
-    fs.write_all(&format!("{dir}/COMMIT"), superstep.to_string().as_bytes())
+    let marker = superstep.to_string();
+    bytes_written += marker.len() as u64;
+    fs.write_all(&format!("{dir}/COMMIT"), marker.as_bytes())
         .map_err(|e| CheckpointError::new(format!("committing {dir}"), e))?;
 
     prune(fs, config);
-    Ok(())
+    Ok(bytes_written)
 }
 
 /// Restores the newest committed checkpoint that loads fully, or `None`

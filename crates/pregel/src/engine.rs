@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use graft_dfs::FileSystem;
+use graft_obs::{Obs, Scope, Timer};
 
 use crate::aggregators::{AggregatorRegistry, WorkerAggregators};
 use crate::checkpoint::{self, CheckpointConfig};
@@ -76,6 +77,7 @@ pub struct Engine<C: Computation> {
     config: EngineConfig,
     fault_plan: Option<FaultPlan>,
     checkpoints: Option<(Arc<dyn FileSystem>, CheckpointConfig)>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl<C: Computation> Engine<C> {
@@ -94,6 +96,7 @@ impl<C: Computation> Engine<C> {
             config: EngineConfig::default(),
             fault_plan: None,
             checkpoints: None,
+            obs: None,
         }
     }
 
@@ -150,6 +153,15 @@ impl<C: Computation> Engine<C> {
         self
     }
 
+    /// Attaches an observability handle: the engine emits span events for
+    /// the job, every superstep and its phases, checkpoint writes and
+    /// restores, and records per-superstep counters plus phase/worker
+    /// timing histograms into its registry.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// The computation this engine runs.
     pub fn computation(&self) -> &Arc<C> {
         &self.computation
@@ -160,8 +172,22 @@ impl<C: Computation> Engine<C> {
         &self,
         graph: Graph<C::Id, C::VValue, C::EValue>,
     ) -> Result<JobOutcome<C>, EngineError> {
+        let job_begin = self.obs.as_ref().map(|o| o.begin("job", None, None));
         match self.run_inner(graph) {
             Ok(outcome) => {
+                if let (Some(obs), Some(begin)) = (&self.obs, job_begin) {
+                    obs.end(
+                        "job",
+                        None,
+                        None,
+                        begin,
+                        &[
+                            ("supersteps", outcome.stats.superstep_count().to_string()),
+                            ("recoveries", outcome.stats.recoveries.to_string()),
+                            ("halt", format!("{:?}", outcome.halt_reason)),
+                        ],
+                    );
+                }
                 let end =
                     JobEnd { supersteps_executed: outcome.stats.superstep_count(), error: None };
                 for obs in &self.observers {
@@ -170,6 +196,18 @@ impl<C: Computation> Engine<C> {
                 Ok(outcome)
             }
             Err((supersteps_executed, err)) => {
+                if let (Some(obs), Some(begin)) = (&self.obs, job_begin) {
+                    obs.end(
+                        "job",
+                        None,
+                        None,
+                        begin,
+                        &[
+                            ("supersteps", supersteps_executed.to_string()),
+                            ("error", err.to_string()),
+                        ],
+                    );
+                }
                 let end = JobEnd { supersteps_executed, error: Some(err.to_string()) };
                 for obs in &self.observers {
                     obs.on_job_end(&end);
@@ -214,7 +252,11 @@ impl<C: Computation> Engine<C> {
         let halt_reason = loop {
             if let Some((fs, ckpt)) = &self.checkpoints {
                 if ckpt.due_at(state.superstep) && last_checkpoint != Some(state.superstep) {
-                    checkpoint::write_checkpoint(
+                    let begin = self
+                        .obs
+                        .as_ref()
+                        .map(|o| o.begin("checkpoint.write", Some(state.superstep), None));
+                    let bytes = checkpoint::write_checkpoint(
                         fs,
                         ckpt,
                         state.superstep,
@@ -222,6 +264,20 @@ impl<C: Computation> Engine<C> {
                         state.registry.snapshot(),
                     )
                     .map_err(|e| (state.superstep, EngineError::Checkpoint(e)))?;
+                    if let (Some(obs), Some(begin)) = (&self.obs, begin) {
+                        let dur = obs.end(
+                            "checkpoint.write",
+                            Some(state.superstep),
+                            None,
+                            begin,
+                            &[("bytes", bytes.to_string())],
+                        );
+                        let reg = obs.registry();
+                        reg.inc("pregel_checkpoints_total", Scope::GLOBAL, 1);
+                        reg.inc("checkpoint_bytes_total", Scope::GLOBAL, bytes);
+                        reg.observe_bytes("checkpoint_write_bytes", Scope::GLOBAL, bytes);
+                        reg.observe_time("checkpoint_write_nanos", Scope::GLOBAL, dur);
+                    }
                     last_checkpoint = Some(state.superstep);
                     for obs in &self.observers {
                         obs.on_checkpoint(state.superstep);
@@ -249,6 +305,8 @@ impl<C: Computation> Engine<C> {
                             },
                         ));
                     }
+                    let begin =
+                        self.obs.as_ref().map(|o| o.begin("checkpoint.restore", None, None));
                     let restored = match checkpoint::restore_latest::<C>(fs, ckpt) {
                         Ok(Some(restored)) => restored,
                         // No committed checkpoint to fall back to: the
@@ -259,6 +317,32 @@ impl<C: Computation> Engine<C> {
                     recoveries += 1;
                     let resumed_at = restored.superstep;
                     self.resume_from(&mut state, restored);
+                    if let (Some(obs), Some(begin)) = (&self.obs, begin) {
+                        let dur = obs.end(
+                            "checkpoint.restore",
+                            None,
+                            None,
+                            begin,
+                            &[
+                                ("failed_superstep", failed_at.to_string()),
+                                ("resumed_superstep", resumed_at.to_string()),
+                            ],
+                        );
+                        obs.point(
+                            "recovery",
+                            None,
+                            None,
+                            &[
+                                ("attempt", recoveries.to_string()),
+                                ("failed_superstep", failed_at.to_string()),
+                                ("resumed_superstep", resumed_at.to_string()),
+                                ("error", err.to_string()),
+                            ],
+                        );
+                        let reg = obs.registry();
+                        reg.inc("pregel_recoveries_total", Scope::GLOBAL, 1);
+                        reg.observe_time("checkpoint_restore_nanos", Scope::GLOBAL, dur);
+                    }
                     // The restored superstep's checkpoint is the one we
                     // just loaded; don't rewrite it before the replay.
                     last_checkpoint = Some(resumed_at);
@@ -326,9 +410,12 @@ impl<C: Computation> Engine<C> {
         let superstep = state.superstep;
         let global =
             GlobalData { superstep, num_vertices: state.num_vertices, num_edges: state.num_edges };
+        let obs = self.obs.as_deref();
+        let ss_begin = obs.map(|o| o.begin("superstep", Some(superstep), None));
 
         // Phase 1: master computation (beginning of superstep).
         if let Some(master) = &self.master {
+            let master_begin = obs.map(|o| o.begin("phase.master", Some(superstep), None));
             let mut mctx = MasterContext::new(global, &mut state.registry);
             let result = catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
             if let Err(payload) = result {
@@ -338,6 +425,16 @@ impl<C: Computation> Engine<C> {
                 });
             }
             let halted = mctx.is_halted();
+            if let (Some(o), Some(begin)) = (obs, master_begin) {
+                let dur = o.end(
+                    "phase.master",
+                    Some(superstep),
+                    None,
+                    begin,
+                    &[("halted", halted.to_string())],
+                );
+                o.registry().observe_time("phase_master_nanos", Scope::GLOBAL, dur);
+            }
             let snapshot = state.registry.snapshot();
             for obs in &self.observers {
                 obs.on_master_computed(superstep, &global, &snapshot, halted);
@@ -347,7 +444,8 @@ impl<C: Computation> Engine<C> {
             }
         }
 
-        let step_start = Instant::now();
+        let compute_start = Instant::now();
+        let compute_begin = obs.map(|o| o.begin("phase.compute", Some(superstep), None));
 
         // Phase 2: parallel vertex computation.
         let worker_results: Vec<Result<WorkerOutput<C>, EngineError>> = {
@@ -359,13 +457,17 @@ impl<C: Computation> Engine<C> {
                     .iter_mut()
                     .enumerate()
                     .map(|(worker_id, partition)| {
+                        let lane = WorkerLane {
+                            id: worker_id,
+                            num_partitions,
+                            timer: obs.map(|o| o.timer()),
+                        };
                         scope.spawn(move || {
                             run_partition(
                                 computation.as_ref(),
                                 partition,
                                 global,
-                                worker_id,
-                                num_partitions,
+                                lane,
                                 registry_ref,
                                 faults,
                             )
@@ -390,10 +492,45 @@ impl<C: Computation> Engine<C> {
         let compute_calls: u64 = outputs.iter().map(|o| o.compute_calls).sum();
         let messages_sent: u64 = outputs.iter().map(|o| o.messages_sent).sum();
 
+        if let (Some(o), Some(begin)) = (obs, compute_begin) {
+            let worker_nanos: Vec<String> =
+                outputs.iter().enumerate().map(|(w, out)| format!("{w}:{}", out.nanos)).collect();
+            let dur = o.end(
+                "phase.compute",
+                Some(superstep),
+                None,
+                begin,
+                &[
+                    ("compute_calls", compute_calls.to_string()),
+                    ("messages_sent", messages_sent.to_string()),
+                    ("worker_nanos", worker_nanos.join(";")),
+                ],
+            );
+            let reg = o.registry();
+            reg.observe_time("phase_compute_nanos", Scope::GLOBAL, dur);
+            for (w, out) in outputs.iter().enumerate() {
+                reg.observe_time("worker_compute_nanos", Scope::worker(w as u64), out.nanos);
+                reg.inc(
+                    "pregel_worker_compute_calls",
+                    Scope::at(w as u64, superstep),
+                    out.compute_calls,
+                );
+            }
+        }
+
         // Phase 3: merge aggregator partials.
+        let aggregate_begin = obs.map(|o| o.begin("phase.aggregate", Some(superstep), None));
         state
             .registry
             .merge_superstep(outputs.iter_mut().map(|o| std::mem::take(&mut o.aggs)).collect());
+        if let (Some(o), Some(begin)) = (obs, aggregate_begin) {
+            let dur = o.end("phase.aggregate", Some(superstep), None, begin, &[]);
+            o.registry().observe_time("phase_aggregate_nanos", Scope::GLOBAL, dur);
+        }
+        let compute_time = compute_start.elapsed();
+
+        let delivery_start = Instant::now();
+        let delivery_begin = obs.map(|o| o.begin("phase.delivery", Some(superstep), None));
 
         // Phase 4: parallel message delivery.
         let mut per_partition_incoming: Vec<Vec<OutboxOf<C>>> =
@@ -411,7 +548,10 @@ impl<C: Computation> Engine<C> {
                     .iter_mut()
                     .zip(per_partition_incoming)
                     .map(|(partition, incoming)| {
-                        scope.spawn(move || deliver(computation.as_ref(), partition, incoming))
+                        let timer = obs.map(|o| o.timer());
+                        scope.spawn(move || {
+                            deliver(computation.as_ref(), partition, incoming, timer)
+                        })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("delivery must not panic")).collect()
@@ -424,17 +564,50 @@ impl<C: Computation> Engine<C> {
         state.num_vertices = delivery.iter().map(|d| d.vertices).sum();
         state.num_edges = delivery.iter().map(|d| d.edges).sum();
 
+        if let (Some(o), Some(begin)) = (obs, delivery_begin) {
+            let worker_nanos: Vec<String> =
+                delivery.iter().enumerate().map(|(w, d)| format!("{w}:{}", d.nanos)).collect();
+            let dur = o.end(
+                "phase.delivery",
+                Some(superstep),
+                None,
+                begin,
+                &[
+                    ("delivered", messages_delivered.to_string()),
+                    ("missing", messages_to_missing.to_string()),
+                    ("worker_nanos", worker_nanos.join(";")),
+                ],
+            );
+            let reg = o.registry();
+            reg.observe_time("phase_delivery_nanos", Scope::GLOBAL, dur);
+            for (w, d) in delivery.iter().enumerate() {
+                reg.observe_time("worker_delivery_nanos", Scope::worker(w as u64), d.nanos);
+            }
+        }
+
         // Phase 5: apply topology mutations.
         let mutations: Vec<MutationOf<C>> = outputs.into_iter().flat_map(|o| o.mutations).collect();
         let mutations_applied = if mutations.is_empty() {
             0
         } else {
+            let mutate_begin = obs.map(|o| o.begin("phase.mutate", Some(superstep), None));
             let applied = apply_mutations(&mut state.partitions, mutations, num_partitions);
             state.num_vertices = state.partitions.iter().map(Partition::live_vertices).sum();
             state.num_edges = state.partitions.iter().map(Partition::live_edges).sum();
             active_vertices = state.partitions.iter().map(Partition::active_vertices).sum();
+            if let (Some(o), Some(begin)) = (obs, mutate_begin) {
+                let dur = o.end(
+                    "phase.mutate",
+                    Some(superstep),
+                    None,
+                    begin,
+                    &[("applied", applied.to_string())],
+                );
+                o.registry().observe_time("phase_mutate_nanos", Scope::GLOBAL, dur);
+            }
             applied
         };
+        let delivery_time = delivery_start.elapsed();
 
         let stats = SuperstepStats {
             superstep,
@@ -444,8 +617,46 @@ impl<C: Computation> Engine<C> {
             messages_delivered,
             messages_to_missing,
             mutations_applied,
-            wall_time: step_start.elapsed(),
+            compute_time,
+            delivery_time,
+            wall_time: compute_time + delivery_time,
         };
+        if let (Some(o), Some(begin)) = (obs, ss_begin) {
+            let dur = o.end(
+                "superstep",
+                Some(superstep),
+                None,
+                begin,
+                &[
+                    ("compute_calls", compute_calls.to_string()),
+                    ("messages_sent", messages_sent.to_string()),
+                    ("messages_delivered", messages_delivered.to_string()),
+                    ("active_vertices", active_vertices.to_string()),
+                ],
+            );
+            let reg = o.registry();
+            reg.inc("pregel_supersteps_total", Scope::GLOBAL, 1);
+            reg.inc("pregel_compute_calls", Scope::superstep(superstep), compute_calls);
+            reg.inc("pregel_messages_sent", Scope::superstep(superstep), messages_sent);
+            reg.inc("pregel_messages_delivered", Scope::superstep(superstep), messages_delivered);
+            if messages_to_missing > 0 {
+                reg.inc(
+                    "pregel_messages_to_missing",
+                    Scope::superstep(superstep),
+                    messages_to_missing,
+                );
+            }
+            if mutations_applied > 0 {
+                reg.inc("pregel_mutations_applied", Scope::superstep(superstep), mutations_applied);
+            }
+            reg.set_gauge(
+                "pregel_active_vertices",
+                Scope::superstep(superstep),
+                active_vertices as i64,
+            );
+            reg.max_gauge("pregel_peak_active_vertices", Scope::GLOBAL, active_vertices as i64);
+            reg.observe_time("superstep_wall_nanos", Scope::GLOBAL, dur);
+        }
         for obs in &self.observers {
             obs.on_superstep_end(&stats);
         }
@@ -553,6 +764,9 @@ struct WorkerOutput<C: Computation> {
     mutations: Vec<MutationOf<C>>,
     compute_calls: u64,
     messages_sent: u64,
+    /// Observability-clock nanoseconds this worker spent in phase 2
+    /// (zero when the engine runs without an [`Obs`] handle).
+    nanos: u64,
 }
 
 struct DeliveryCounts {
@@ -561,6 +775,8 @@ struct DeliveryCounts {
     active: u64,
     vertices: u64,
     edges: u64,
+    /// Observability-clock nanoseconds this worker spent delivering.
+    nanos: u64,
 }
 
 fn build_partitions<C: Computation>(
@@ -599,15 +815,24 @@ fn rebuild_graph<C: Computation>(
     Graph::from_parts(ids, values, adjacency)
 }
 
+/// The identity a compute thread carries into `run_partition`: which
+/// worker slot it is, how many partitions messages route across, and the
+/// optional duration probe (workers never touch the shared clock).
+struct WorkerLane {
+    id: usize,
+    num_partitions: usize,
+    timer: Option<Timer>,
+}
+
 fn run_partition<C: Computation>(
     computation: &C,
     partition: &mut Partition<C>,
     global: GlobalData,
-    worker_id: usize,
-    num_partitions: usize,
+    lane: WorkerLane,
     registry: &AggregatorRegistry,
     faults: Option<&ArmedFaults>,
 ) -> Result<WorkerOutput<C>, EngineError> {
+    let WorkerLane { id: worker_id, num_partitions, timer } = lane;
     // Injected crash: the worker dies before computing any of its
     // vertices, leaving the superstep unfinished.
     if let Some(faults) = faults {
@@ -670,13 +895,15 @@ fn run_partition<C: Computation>(
         }
     }
 
-    Ok(WorkerOutput { outboxes, aggs: worker_aggs, mutations, compute_calls, messages_sent })
+    let nanos = timer.map(|t| t.stop()).unwrap_or(0);
+    Ok(WorkerOutput { outboxes, aggs: worker_aggs, mutations, compute_calls, messages_sent, nanos })
 }
 
 fn deliver<C: Computation>(
     computation: &C,
     partition: &mut Partition<C>,
     incoming: Vec<Vec<(C::Id, C::Message)>>,
+    timer: Option<Timer>,
 ) -> DeliveryCounts {
     let use_combiner = computation.use_combiner();
     let mut delivered = 0u64;
@@ -704,6 +931,7 @@ fn deliver<C: Computation>(
         active: partition.active_vertices(),
         vertices: partition.live_vertices(),
         edges: partition.live_edges(),
+        nanos: timer.map(|t| t.stop()).unwrap_or(0),
     }
 }
 

@@ -22,10 +22,15 @@ fn main() {
     let root = std::env::temp_dir().join("graft-analyze-example");
     let _ = std::fs::remove_dir_all(&root);
 
-    // A healthy run: capture everything, let the analyzer probe the
-    // combiner and replay captured contexts under permuted delivery.
+    // A healthy run: capture everything in a bounded superstep window
+    // (unbounded capture-all would itself draw a GA0012 overhead
+    // warning), letting the analyzer probe the combiner and replay
+    // captured contexts under permuted delivery.
     let healthy_dir = root.join("healthy");
-    let config = DebugConfig::<PageRank>::builder().capture_all_active(true).build();
+    let config = DebugConfig::<PageRank>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::Range { from: 0, to: 31 })
+        .build();
     let run = GraftRunner::new(PageRank::new(5), config)
         .with_fs(Arc::new(LocalFs::new(&healthy_dir).expect("trace dir")))
         .num_workers(2)
