@@ -1,4 +1,4 @@
-//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0012).
+//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0013).
 //!
 //! These lints need no computation and no traces — just the config
 //! summary the runner writes into `meta.json` — so they run both from
@@ -6,7 +6,7 @@
 
 use graft::{ConfigFacts, SuperstepFilter};
 
-use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012};
+use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013};
 
 /// Runs every configuration lint over `facts`.
 pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
@@ -88,6 +88,28 @@ pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
             &GA0010,
             "no capture rule is configured (no ids, no random sample, no capture-all, \
              no constraints, exceptions not caught); the run cannot capture anything"
+                .to_string(),
+        ));
+    }
+
+    // GA0013: catch_exceptions alone is a valid config (GA0010 does not
+    // fire) but on a healthy run it records nothing — every view of a
+    // debug session or server over the traces comes up empty. Skipped
+    // when max_captures == 0 because GA0009 already covers that.
+    if facts.num_capture_ids == 0
+        && facts.num_random == 0
+        && !facts.capture_all_active
+        && !facts.has_vertex_value_constraint
+        && !facts.has_message_constraint
+        && facts.catch_exceptions
+        && facts.max_captures > 0
+    {
+        findings.push(Finding::global(
+            &GA0013,
+            "the only capture rule is catch_exceptions; unless the run raises an \
+             exception it captures no vertices and no violations, so every debug \
+             view will be empty — add capture ids, a sample, capture_all_active, \
+             or a constraint"
                 .to_string(),
         ));
     }
@@ -257,9 +279,25 @@ mod tests {
     fn captures_nothing_is_ga0010() {
         let facts = DebugConfig::<Dummy>::builder().catch_exceptions(false).build().facts();
         assert_eq!(ids(&check_config(&facts)), vec!["GA0010"]);
-        // The default config catches exceptions, so it is fine.
+    }
+
+    #[test]
+    fn exception_only_capture_is_ga0013() {
+        // The default config's only rule is catch_exceptions: valid, but a
+        // healthy run leaves every debug view empty.
         let facts = DebugConfig::<Dummy>::default().facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0013"]);
+        // Any positive capture rule silences it.
+        let facts = DebugConfig::<Dummy>::builder().capture_ids([7]).build().facts();
         assert!(check_config(&facts).is_empty());
+        let facts = DebugConfig::<Dummy>::builder()
+            .vertex_value_constraint(|v, _, _| *v >= 0)
+            .build()
+            .facts();
+        assert!(check_config(&facts).is_empty());
+        // max_captures == 0 is GA0009's territory, not a double report.
+        let facts = DebugConfig::<Dummy>::builder().max_captures(0).build().facts();
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0009"]);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!    analyzer re-runs every captured vertex context through the replay
 //!    harness with permuted message delivery and flags vertices whose
 //!    value, outgoing messages, halt decision, or edges differ.
-//! 3. **Configuration lints** (`GA0006`–`GA0012`) — a [`DebugConfig`]
+//! 3. **Configuration lints** (`GA0006`–`GA0013`) — a [`DebugConfig`]
 //!    that can never capture anything (empty superstep sets, inverted
 //!    ranges, `max_captures == 0`, filters entirely beyond the job's
 //!    superstep horizon, neighbor capture with no capture targets, a
@@ -92,7 +92,7 @@ impl std::fmt::Display for Severity {
 /// one-line description.
 #[derive(Debug)]
 pub struct Lint {
-    /// Stable identifier, `GA0001`..`GA0012`.
+    /// Stable identifier, `GA0001`..`GA0013`.
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -213,11 +213,22 @@ pub static GA0012: Lint = Lint {
               debug configuration",
 };
 
+/// The only capture rule is catching exceptions: healthy runs record
+/// nothing, so the debug session has nothing to show.
+pub static GA0013: Lint = Lint {
+    id: "GA0013",
+    name: "exception-only-capture",
+    severity: Severity::Warning,
+    summary: "the only capture rule is catch_exceptions; a run without \
+              exceptions captures no vertices and no violations, leaving \
+              every debug view empty",
+};
+
 /// The full catalog, in id order.
-pub fn catalog() -> [&'static Lint; 12] {
+pub fn catalog() -> [&'static Lint; 13] {
     [
         &GA0001, &GA0002, &GA0003, &GA0004, &GA0005, &GA0006, &GA0007, &GA0008, &GA0009, &GA0010,
-        &GA0011, &GA0012,
+        &GA0011, &GA0012, &GA0013,
     ]
 }
 

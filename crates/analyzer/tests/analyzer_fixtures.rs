@@ -209,6 +209,25 @@ fn capture_everything_config_flags_ga0012_from_meta_json() {
 }
 
 #[test]
+fn exception_only_config_flags_ga0013_from_meta_json() {
+    // The default DebugConfig's only rule is catch_exceptions. The job
+    // runs fine, but a healthy run captures nothing — a debug session (or
+    // the debug server) over these traces has nothing to show, which is
+    // exactly what GA0013 warns about.
+    let config = DebugConfig::<ConnectedComponents>::default();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .run(premade::cycle(4, u64::MAX), "/traces/exception-only")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    assert_eq!(run.captures, 0, "a healthy exception-only run records nothing");
+    let session = run.session().unwrap();
+    let report = analyze_meta(session.meta());
+    assert_eq!(problem_ids(&report), vec!["GA0013"], "{}", report.to_text());
+    assert!(report.errors().is_empty(), "GA0013 is a warning, not an error");
+    assert!(report.problems()[0].detail.contains("catch_exceptions"));
+}
+
+#[test]
 fn config_lints_work_untyped_from_meta_json() {
     // A config that can never capture: empty superstep Set. The runner
     // records the facts in meta.json; the untyped analysis reads them

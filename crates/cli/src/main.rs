@@ -33,30 +33,37 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use graft::untyped::UntypedSession;
+use graft::views::json as vj;
 use graft_dfs::LocalFs;
 
 mod profile_cmd;
 mod run_cmd;
+mod serve_cmd;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: graft-cli <trace-dir> <command>\n\
+        "usage: graft-cli <trace-dir> <command> [--format json|text]\n\
          \x20      graft-cli run <algorithm> [options]   (see `graft-cli run` for details)\n\
          \x20      graft-cli profile <obs-dir> [options] (see `graft-cli profile`)\n\
+         \x20      graft-cli serve --trace-root <dir>    (see `graft-cli serve`)\n\
          commands:\n\
          \x20 info                 job metadata and terminal status\n\
          \x20 supersteps           captured supersteps with counts and M/V/E indicators\n\
          \x20 show <superstep>     the tabular view of one superstep\n\
+         \x20 nodelink <superstep> the node-link view document (always JSON)\n\
          \x20 vertex <id>          one vertex's history across supersteps\n\
          \x20 violations           the violations & exceptions view\n\
+         \x20 repro <id> <ss>      generated reproducer test for one captured vertex\n\
          \x20 master               captured master contexts\n\
-         \x20 analyze              run config lints (GA0006-GA0012) over meta.json"
+         \x20 analyze              run config lints (GA0006-GA0013) over meta.json\n\
+         `--format json` prints the same bytes graft-server sends for the\n\
+         matching endpoint (info, supersteps, show, violations)."
     );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("run") {
         return match args.get(1) {
             Some(_) => run_cmd::run(&args[1..]),
@@ -69,6 +76,29 @@ fn main() -> ExitCode {
             None => profile_cmd::usage(),
         };
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return match args.get(1) {
+            Some(_) => serve_cmd::run(&args[1..]),
+            None => serve_cmd::usage(),
+        };
+    }
+
+    // `--format json|text` may appear anywhere after the command.
+    let json = match args.windows(2).position(|w| w[0] == "--format") {
+        Some(pos) => {
+            let format = args[pos + 1].clone();
+            args.drain(pos..pos + 2);
+            match format.as_str() {
+                "json" => true,
+                "text" => false,
+                other => {
+                    eprintln!("error: unknown format {other}\n");
+                    return usage();
+                }
+            }
+        }
+        None => false,
+    };
     let (dir, command) = match (args.first(), args.get(1)) {
         (Some(dir), Some(command)) => (dir.clone(), command.clone()),
         _ => return usage(),
@@ -90,18 +120,49 @@ fn main() -> ExitCode {
         }
     };
 
+    // In JSON mode the job id is the trace directory's basename — the
+    // same id `graft-cli serve --trace-root <parent>` would route it as.
+    let job_id = std::path::Path::new(&dir)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| dir.clone());
+
     match command.as_str() {
+        "info" if json => print!("{}", vj::to_line(&vj::job_json(&job_id, &session))),
         "info" => info(&session),
+        "supersteps" if json => print!("{}", vj::to_line(&vj::supersteps_json(&session))),
         "supersteps" => supersteps(&session),
         "show" => match args.get(2).and_then(|s| s.parse().ok()) {
+            // JSON `show` is the server's tabular document with the
+            // server's defaults (no query, page 1, 50 rows per page).
+            Some(superstep) if json => {
+                print!("{}", vj::to_line(&vj::tabular_json(&session, superstep, None, 1, 50)))
+            }
             Some(superstep) => show(&session, superstep),
+            None => return usage(),
+        },
+        "nodelink" => match args.get(2).and_then(|s| s.parse().ok()) {
+            Some(superstep) => {
+                print!("{}", vj::to_line(&vj::node_link_json(&session, superstep)))
+            }
             None => return usage(),
         },
         "vertex" => match args.get(2) {
             Some(id) => vertex(&session, id),
             None => return usage(),
         },
+        "violations" if json => print!("{}", vj::to_line(&vj::violations_json(&session, None))),
         "violations" => violations(&session),
+        "repro" => match (args.get(2), args.get(3).and_then(|s| s.parse().ok())) {
+            (Some(id), Some(superstep)) => match vj::repro_source(&session, id, superstep) {
+                Some(source) => print!("{source}"),
+                None => {
+                    eprintln!("vertex {id} was not captured in superstep {superstep}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => return usage(),
+        },
         "master" => master(&session),
         "analyze" => return analyze(&session),
         _ => return usage(),

@@ -16,6 +16,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use graft::{DebugConfig, GraftRunner};
+use graft_algorithms::coloring::{GCValue, GraphColoring, GraphColoringMaster};
 use graft_algorithms::components::ConnectedComponents;
 use graft_algorithms::pagerank::PageRank;
 use graft_algorithms::sssp::ShortestPaths;
@@ -32,6 +33,7 @@ pub fn usage() -> ExitCode {
          \x20 pagerank             8 iterations of PageRank (damping 0.85)\n\
          \x20 sssp                 single-source shortest paths from vertex 0\n\
          \x20 components           connected components by min-label\n\
+         \x20 coloring             greedy MIS-based graph coloring (master-driven)\n\
          options:\n\
          \x20 --vertices <n>       graph size (default 64)\n\
          \x20 --workers <n>        engine workers (default 4)\n\
@@ -124,14 +126,26 @@ pub fn run(args: &[String]) -> ExitCode {
     };
     match options.algorithm.as_str() {
         "pagerank" => {
-            execute(&options, PageRank::new(8), pr_graph(options.vertices), |v| v.to_bits())
+            execute(&options, PageRank::new(8), pr_graph(options.vertices), |v| v.to_bits(), |r| r)
         }
-        "sssp" => {
-            execute(&options, ShortestPaths::new(0), sssp_graph(options.vertices), |v| v.to_bits())
-        }
+        "sssp" => execute(
+            &options,
+            ShortestPaths::new(0),
+            sssp_graph(options.vertices),
+            |v| v.to_bits(),
+            |r| r,
+        ),
         "components" => {
-            execute(&options, ConnectedComponents::new(), cc_graph(options.vertices), |v| *v)
+            execute(&options, ConnectedComponents::new(), cc_graph(options.vertices), |v| *v, |r| r)
         }
+        "coloring" => execute(
+            &options,
+            GraphColoring::new(7),
+            gc_graph(options.vertices),
+            // Colors are small integers; +1 keeps "uncolored" distinct.
+            |v| v.color.map(|c| c + 1).unwrap_or(0),
+            |r| r.with_master(GraphColoringMaster),
+        ),
         other => {
             eprintln!("error: unknown algorithm {other}\n");
             usage()
@@ -169,11 +183,16 @@ fn cc_graph(n: u64) -> Graph<u64, u64, ()> {
     build_graph(n, |v| v, |_| ())
 }
 
+fn gc_graph(n: u64) -> Graph<u64, GCValue, ()> {
+    build_graph(n, |_| GCValue::default(), |_| ())
+}
+
 fn execute<C>(
     options: &RunOptions,
     computation: C,
     graph: Graph<C::Id, C::VValue, C::EValue>,
     value_bits: impl Fn(&C::VValue) -> u64,
+    tune: impl FnOnce(GraftRunner<C>) -> GraftRunner<C>,
 ) -> ExitCode
 where
     C: Computation<Id = u64>,
@@ -192,9 +211,11 @@ where
         Some(step_nanos) => Obs::deterministic(step_nanos),
         None => Obs::wall(),
     });
-    let mut runner = GraftRunner::new(computation, config)
-        .with_cluster(cluster.clone())
-        .num_workers(options.workers);
+    let mut runner = tune(
+        GraftRunner::new(computation, config)
+            .with_cluster(cluster.clone())
+            .num_workers(options.workers),
+    );
     if let Some(obs) = &obs {
         runner = runner.with_obs(Arc::clone(obs));
     }

@@ -1,0 +1,112 @@
+//! `graft-cli serve` — start the `graft-server` HTTP debug server over a
+//! directory of trace directories.
+//!
+//! ```text
+//! graft-cli serve --trace-root ./traces [--port 7878] [--workers 8] \
+//!     [--index-capacity 64]
+//! ```
+//!
+//! The trace root holds one subdirectory per job (each with its own
+//! `meta.json`); every job becomes browsable at `/jobs/<dirname>`.
+//! Response bodies are the `graft::views::json` documents — identical
+//! bytes to `graft-cli <dir> <view> --format json`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use graft_dfs::{FileSystem, LocalFs};
+use graft_obs::Obs;
+use graft_server::server::{serve, ServerConfig};
+
+pub fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graft-cli serve --trace-root <dir> [options]\n\
+         options:\n\
+         \x20 --port <p>            TCP port to bind on 127.0.0.1 (default 7878)\n\
+         \x20 --workers <n>         connection worker threads (default 8)\n\
+         \x20 --index-capacity <n>  parsed jobs kept in the trace index (default 64)"
+    );
+    ExitCode::FAILURE
+}
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut trace_root: Option<String> = None;
+    let mut port: u16 = 7878;
+    let mut workers: usize = 8;
+    let mut index_capacity: usize = 64;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let Some(value) = iter.next() else {
+            eprintln!("error: missing value for {flag}\n");
+            return usage();
+        };
+        let parsed = match flag.as_str() {
+            "--trace-root" => {
+                trace_root = Some(value.clone());
+                Ok(())
+            }
+            "--port" => value.parse().map(|p| port = p).map_err(|_| ()),
+            "--workers" => value.parse().map(|w| workers = w).map_err(|_| ()),
+            "--index-capacity" => value.parse().map(|c| index_capacity = c).map_err(|_| ()),
+            other => {
+                eprintln!("error: unknown option {other}\n");
+                return usage();
+            }
+        };
+        if parsed.is_err() {
+            eprintln!("error: invalid value for {flag}: {value}\n");
+            return usage();
+        }
+    }
+    let Some(trace_root) = trace_root else {
+        eprintln!("error: --trace-root is required\n");
+        return usage();
+    };
+
+    let fs: Arc<dyn FileSystem> = match LocalFs::new(&trace_root) {
+        Ok(fs) => Arc::new(fs),
+        Err(e) => {
+            eprintln!("cannot open {trace_root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
+        workers,
+        index_capacity,
+        ..ServerConfig::default()
+    };
+    // LocalFs roots all paths at the trace root, so inside the fs the
+    // jobs live directly under "/".
+    let handle = match serve(fs, "/", Obs::wall(), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("graft-server: serving {trace_root} at http://{}", handle.addr());
+    println!("endpoints:");
+    for endpoint in [
+        "/jobs",
+        "/jobs/{id}",
+        "/jobs/{id}/supersteps",
+        "/jobs/{id}/violations",
+        "/jobs/{id}/ss/{n}/node-link",
+        "/jobs/{id}/ss/{n}/tabular?q=&page=&per_page=",
+        "/jobs/{id}/ss/{n}/violations",
+        "/jobs/{id}/repro/{vertex}/{ss}",
+        "/metrics",
+    ] {
+        println!("  GET {endpoint}");
+    }
+    println!("press Ctrl-C to stop");
+
+    // Serve until killed: the accept loop and workers are background
+    // threads, so park the main thread indefinitely.
+    loop {
+        std::thread::park();
+    }
+}

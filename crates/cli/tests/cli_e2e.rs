@@ -208,3 +208,89 @@ fn cli_reports_missing_traces_cleanly() {
     assert!(out.contains("cannot load traces"), "{out}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Stdout only — JSON-mode comparisons must not pick up stderr noise.
+fn run_cli_stdout(dir: &std::path::Path, args: &[&str]) -> String {
+    let output = Command::new(cli_binary())
+        .arg(dir)
+        .args(args)
+        .output()
+        .expect("graft-cli binary exists (build with --workspace)");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    String::from_utf8(output.stdout).expect("UTF-8 stdout")
+}
+
+/// Satellite contract of the debug server: `graft-cli <dir> <view>
+/// --format json` and the matching HTTP endpoint emit identical bytes,
+/// because both go through `graft::views::json`.
+#[test]
+fn cli_json_output_is_byte_identical_to_the_server() {
+    use graft::untyped::UntypedSession;
+    use graft::views::json as vj;
+    use graft_server::client::HttpClient;
+    use graft_server::server::{serve, ServerConfig};
+
+    let parent = std::env::temp_dir().join(format!("graft-cli-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&parent);
+    let fs: Arc<dyn graft_dfs::FileSystem> = Arc::new(LocalFs::new(&parent).unwrap());
+
+    let config = DebugConfig::<Spiky>::builder()
+        .capture_ids([1, 4])
+        .message_constraint(|m, _, _, _| *m < 60)
+        .build();
+    let run = GraftRunner::new(Spiky, config)
+        .with_fs(Arc::clone(&fs))
+        .num_workers(2)
+        .run(graft::testing::premade::cycle(6, 0i64), "/spiky-job")
+        .unwrap();
+    assert!(run.captures > 0);
+
+    let session = UntypedSession::open(Arc::clone(&fs), "/spiky-job").unwrap();
+    let job_dir = parent.join("spiky-job");
+
+    let handle = serve(fs, "/", graft_obs::Obs::wall(), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::new(handle.addr());
+
+    // (cli args, server path, renderer output) — all three must agree.
+    let cases: Vec<(Vec<&str>, String, String)> = vec![
+        (
+            vec!["info", "--format", "json"],
+            "/jobs/spiky-job".into(),
+            vj::to_line(&vj::job_json("spiky-job", &session)),
+        ),
+        (
+            vec!["supersteps", "--format", "json"],
+            "/jobs/spiky-job/supersteps".into(),
+            vj::to_line(&vj::supersteps_json(&session)),
+        ),
+        (
+            vec!["show", "0", "--format", "json"],
+            "/jobs/spiky-job/ss/0/tabular".into(),
+            vj::to_line(&vj::tabular_json(&session, 0, None, 1, 50)),
+        ),
+        (
+            vec!["nodelink", "0"],
+            "/jobs/spiky-job/ss/0/node-link".into(),
+            vj::to_line(&vj::node_link_json(&session, 0)),
+        ),
+        (
+            vec!["violations", "--format", "json"],
+            "/jobs/spiky-job/violations".into(),
+            vj::to_line(&vj::violations_json(&session, None)),
+        ),
+        (
+            vec!["repro", "1", "0"],
+            "/jobs/spiky-job/repro/1/0".into(),
+            vj::repro_source(&session, "1", 0).expect("vertex 1 is captured"),
+        ),
+    ];
+    for (cli_args, server_path, want) in cases {
+        let cli_out = run_cli_stdout(&job_dir, &cli_args);
+        assert_eq!(cli_out, want, "cli {cli_args:?} diverged from the renderer");
+        let response = client.get(&server_path).unwrap();
+        assert_eq!(response.status, 200, "{server_path}");
+        assert_eq!(response.text(), cli_out, "{server_path} diverged from the cli");
+    }
+
+    let _ = std::fs::remove_dir_all(&parent);
+}

@@ -100,6 +100,24 @@ pub fn debug_literal<T: std::fmt::Debug>(value: &T) -> String {
     format!("{value:?}")
 }
 
+/// Renders a trace JSON value as a Rust literal, best-effort: the
+/// type-erased analogue of [`debug_literal`] used when generating test
+/// source from an untyped trace (the debug server's repro download).
+/// Numbers and bools are exact (the writer keeps `.0` on integral
+/// floats), `null` maps back to `()`, and composite values fall back to
+/// their JSON rendering — readable, though the user may need to adjust
+/// them to their constructor syntax.
+pub fn json_literal(value: &serde_json::Value) -> String {
+    use serde_json::Value;
+    match value {
+        Value::Null => "()".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(_) => value.to_string(),
+        Value::String(s) => format!("{s:?}"),
+        composite => composite.to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -94,7 +94,7 @@ pub use config::{
     MessageConstraint, SuperstepFilter, TraceCodec, VertexValueConstraint,
 };
 pub use instrument::{CaptureSets, GraftObserver, Instrumented};
-pub use reproduce::{FidelityReport, ReproducedContext, ReproducedMaster};
+pub use reproduce::{untyped_test_source, FidelityReport, ReproducedContext, ReproducedMaster};
 pub use runner::{GraftError, GraftRun, GraftRunner};
 pub use session::{DebugSession, Indicators, SearchQuery, SessionError};
 pub use sink::TraceSink;

@@ -220,6 +220,97 @@ ${aggregator_lines}        // The vertex's value and outgoing edges at compute()
 "#,
 );
 
+/// Generates vertex test source from a type-erased trace — the same
+/// Figure 6 template [`ReproducedContext::generate_test_source`] renders,
+/// reachable without the computation's Rust types. This is what the debug
+/// server's `/jobs/{id}/repro/{vertex}/{ss}` download serves: values are
+/// rendered with [`crate::codegen::json_literal`], so primitives are
+/// exact and composite values come out as their JSON text for the user to
+/// adapt.
+pub fn untyped_test_source(trace: &crate::untyped::UntypedTrace, meta: &JobMeta) -> String {
+    use crate::codegen::json_literal;
+    let raw = trace.raw();
+    let pair_list = |field: &str| {
+        raw[field]
+            .as_array()
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .map(|pair| {
+                        format!(
+                            "({}, {})",
+                            pair.get(0).map(json_literal).unwrap_or_default(),
+                            pair.get(1).map(json_literal).unwrap_or_default()
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default()
+    };
+    let incoming = raw["incoming"]
+        .as_array()
+        .map(|msgs| msgs.iter().map(json_literal).collect::<Vec<_>>().join(", "))
+        .unwrap_or_default();
+    let aggregator_lines = raw["aggregators"]
+        .as_array()
+        .map(|aggs| {
+            aggs.iter()
+                .filter_map(|pair| {
+                    let name = pair.get(0)?.as_str()?;
+                    let literal = agg_literal_from_json(pair.get(1)?)?;
+                    Some(format!("        .aggregator({name:?}, {literal})\n"))
+                })
+                .collect::<String>()
+        })
+        .unwrap_or_default();
+    let (superstep, num_vertices, num_edges) = trace.global().unwrap_or((trace.superstep(), 0, 0));
+
+    // Vertex ids become part of the function name; anything that is not
+    // identifier-safe is folded to '_'.
+    let vertex_ident: String =
+        trace.vertex().chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+
+    let mut vars: BTreeMap<&str, String> = BTreeMap::new();
+    vars.insert("computation", meta.computation.clone());
+    vars.insert("fn_name", format!("reproduce_vertex_{}_superstep_{}", vertex_ident, superstep));
+    vars.insert("vertex_id", json_literal(&raw["vertex"]));
+    vars.insert("superstep", superstep.to_string());
+    vars.insert("num_vertices", num_vertices.to_string());
+    vars.insert("num_edges", num_edges.to_string());
+    vars.insert("value_before", json_literal(&raw["value_before"]));
+    vars.insert("value_after", json_literal(&raw["value_after"]));
+    vars.insert("edges", pair_list("edges"));
+    vars.insert("incoming", incoming);
+    vars.insert("outgoing", pair_list("outgoing"));
+    vars.insert("aggregator_lines", aggregator_lines);
+    vars.insert("halted", trace.halted_after().to_string());
+    vars.insert("id_ty", clean_type_name(&meta.value_types.0));
+    vars.insert("value_ty", clean_type_name(&meta.value_types.1));
+    vars.insert("edge_ty", clean_type_name(&meta.value_types.2));
+    vars.insert("message_ty", clean_type_name(&meta.value_types.3));
+    VERTEX_TEST_TEMPLATE.render(&vars).expect("vertex test template variables are bound")
+}
+
+/// Reconstructs an `AggValue` constructor expression from its
+/// externally-tagged JSON form (`{"Long":3}`, `{"Pair":[1,2.5]}`, …).
+fn agg_literal_from_json(value: &serde_json::Value) -> Option<String> {
+    let obj = value.as_object()?;
+    let (tag, payload) = obj.iter().next()?;
+    Some(match tag.as_str() {
+        "Long" => format!("AggValue::Long({})", payload.as_i64()?),
+        "Double" => format!("AggValue::Double({:?})", payload.as_f64()?),
+        "Bool" => format!("AggValue::Bool({})", payload.as_bool()?),
+        "Text" => format!("AggValue::Text({:?}.to_string())", payload.as_str()?),
+        "Pair" => format!(
+            "AggValue::Pair({}, {:?})",
+            payload.get(0)?.as_i64()?,
+            payload.get(1)?.as_f64()?
+        ),
+        _ => return None,
+    })
+}
+
 /// A captured master context ready to be replayed or exported.
 pub struct ReproducedMaster {
     trace: MasterTrace,

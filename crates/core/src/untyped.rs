@@ -1,10 +1,19 @@
 //! Type-erased trace reading for external tools.
 //!
 //! A [`crate::DebugSession`] needs the computation's Rust types to decode
-//! traces. Tools like `graft-cli` — the browser-GUI stand-in — must work
-//! on *any* job's traces, so this module reads JSON-lines traces into
-//! dynamic values instead. (Binary traces carry no field names and cannot
-//! be read untyped; rerun with `TraceCodec::JsonLines` to browse them.)
+//! traces. Tools like `graft-cli` and `graft-server` — the browser-GUI
+//! stand-ins — must work on *any* job's traces, so this module reads
+//! JSON-lines traces into dynamic values instead. (Binary traces carry no
+//! field names and cannot be read untyped; rerun with
+//! `TraceCodec::JsonLines` to browse them.)
+//!
+//! Rows are *not* materialized up front: [`UntypedSession::open`] scans
+//! the trace files once to validate every record and build a per-superstep
+//! index of byte ranges, then parses individual rows on demand. A
+//! superstep with a million captures costs three words of index per row
+//! until somebody actually asks for a page of it — which is what lets the
+//! debug server paginate large supersteps without holding parsed JSON
+//! trees for whole jobs in memory.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -83,6 +92,17 @@ impl UntypedTrace {
         self.0["halted_after"].as_bool().unwrap_or(false)
     }
 
+    /// The default global data `(superstep, num_vertices, num_edges)` the
+    /// vertex observed, if recorded.
+    pub fn global(&self) -> Option<(u64, u64, u64)> {
+        let global = self.0.get("global")?;
+        Some((
+            global["superstep"].as_u64()?,
+            global["num_vertices"].as_u64()?,
+            global["num_edges"].as_u64()?,
+        ))
+    }
+
     /// Capture reasons, rendered.
     pub fn reasons(&self) -> Vec<String> {
         self.0["reasons"]
@@ -142,16 +162,31 @@ impl UntypedTrace {
     }
 }
 
+/// A byte range of one trace record inside a worker file.
+#[derive(Clone, Copy, Debug)]
+struct RowRef {
+    worker: usize,
+    start: usize,
+    len: usize,
+}
+
 /// A type-erased debug session over JSON-lines traces.
+///
+/// Holds the raw trace bytes plus a per-superstep row index sorted by
+/// rendered vertex id; individual rows are parsed on demand (see the
+/// module docs).
 pub struct UntypedSession {
     meta: JobMeta,
     result: Option<JobResultRecord>,
-    by_superstep: BTreeMap<u64, Vec<UntypedTrace>>,
+    workers: Vec<Vec<u8>>,
+    index: BTreeMap<u64, Vec<RowRef>>,
     master: Vec<MasterTrace>,
 }
 
 impl UntypedSession {
-    /// Loads the traces under `root`. Fails on binary-encoded traces.
+    /// Loads the traces under `root`. Fails on binary-encoded traces and
+    /// on any record that is not valid JSON — after `open` succeeds,
+    /// every indexed row is known to parse.
     pub fn open(fs: Arc<dyn FileSystem>, root: &str) -> Result<Self, SessionError> {
         let meta_bytes = fs.read_all(&meta_path(root))?;
         let meta: JobMeta = serde_json::from_slice(&meta_bytes)
@@ -164,24 +199,42 @@ impl UntypedSession {
             });
         }
 
-        let mut by_superstep: BTreeMap<u64, Vec<UntypedTrace>> = BTreeMap::new();
+        // One validation scan: each line is parsed to extract its sort key
+        // (superstep, rendered vertex) and immediately dropped; only the
+        // raw bytes and the byte-range index survive.
+        let mut workers: Vec<Vec<u8>> = Vec::new();
+        let mut by_superstep: BTreeMap<u64, Vec<(String, RowRef)>> = BTreeMap::new();
         for worker in 0..meta.num_workers {
             let path = worker_trace_path(root, worker);
             if !fs.exists(&path) {
                 continue;
             }
             let bytes = fs.read_all(&path)?;
-            for line in bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
-                let value: Value = serde_json::from_slice(line).map_err(|e| {
-                    SessionError::Decode { path: path.clone(), error: e.to_string() }
-                })?;
-                let trace = UntypedTrace(value);
-                by_superstep.entry(trace.superstep()).or_default().push(trace);
+            let worker_slot = workers.len();
+            let mut start = 0usize;
+            for line in bytes.split(|&b| b == b'\n') {
+                let len = line.len();
+                if len > 0 {
+                    let value: Value = serde_json::from_slice(line).map_err(|e| {
+                        SessionError::Decode { path: path.clone(), error: e.to_string() }
+                    })?;
+                    let trace = UntypedTrace(value);
+                    by_superstep
+                        .entry(trace.superstep())
+                        .or_default()
+                        .push((trace.vertex(), RowRef { worker: worker_slot, start, len }));
+                }
+                start += len + 1;
             }
+            workers.push(bytes);
         }
-        for traces in by_superstep.values_mut() {
-            traces.sort_by_key(|t| t.vertex());
-        }
+        let index = by_superstep
+            .into_iter()
+            .map(|(superstep, mut rows)| {
+                rows.sort_by(|a, b| a.0.cmp(&b.0));
+                (superstep, rows.into_iter().map(|(_, row)| row).collect())
+            })
+            .collect();
 
         let mut master = Vec::new();
         let master_path = master_trace_path(root);
@@ -205,7 +258,12 @@ impl UntypedSession {
             None
         };
 
-        Ok(Self { meta, result, by_superstep, master })
+        Ok(Self { meta, result, workers, index, master })
+    }
+
+    fn parse_row(&self, row: &RowRef) -> UntypedTrace {
+        let line = &self.workers[row.worker][row.start..row.start + row.len];
+        UntypedTrace(serde_json::from_slice(line).expect("rows were validated by open()"))
     }
 
     /// Job metadata.
@@ -220,26 +278,64 @@ impl UntypedSession {
 
     /// Supersteps with captures.
     pub fn supersteps(&self) -> Vec<u64> {
-        self.by_superstep.keys().copied().collect()
+        self.index.keys().copied().collect()
     }
 
-    /// Captures in one superstep.
-    pub fn captured_at(&self, superstep: u64) -> &[UntypedTrace] {
-        self.by_superstep.get(&superstep).map(Vec::as_slice).unwrap_or(&[])
+    /// Number of captures in one superstep, without parsing any row.
+    pub fn count_at(&self, superstep: u64) -> usize {
+        self.index.get(&superstep).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Streams the captures of one superstep in vertex order, parsing
+    /// each row only as the iterator reaches it.
+    pub fn traces_at(&self, superstep: u64) -> impl Iterator<Item = UntypedTrace> + '_ {
+        self.index
+            .get(&superstep)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .map(|row| self.parse_row(row))
+    }
+
+    /// Captures in one superstep, materialized. Prefer
+    /// [`UntypedSession::traces_at`] or [`UntypedSession::rows_window`]
+    /// on large supersteps.
+    pub fn captured_at(&self, superstep: u64) -> Vec<UntypedTrace> {
+        self.traces_at(superstep).collect()
+    }
+
+    /// One page of a superstep: rows `[offset, offset + limit)` in vertex
+    /// order. Only the requested rows are parsed, so paging through a
+    /// huge superstep costs O(page), not O(superstep).
+    pub fn rows_window(&self, superstep: u64, offset: usize, limit: usize) -> Vec<UntypedTrace> {
+        self.index
+            .get(&superstep)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .skip(offset)
+            .take(limit)
+            .map(|row| self.parse_row(row))
+            .collect()
+    }
+
+    /// The capture of one vertex in one superstep, if any.
+    pub fn vertex_at(&self, superstep: u64, vertex: &str) -> Option<UntypedTrace> {
+        self.traces_at(superstep).find(|t| t.vertex() == vertex)
     }
 
     /// Every capture of one vertex, in superstep order.
-    pub fn history(&self, vertex: &str) -> Vec<&UntypedTrace> {
-        self.by_superstep
-            .values()
-            .flat_map(|traces| traces.iter().filter(|t| t.vertex() == vertex))
+    pub fn history(&self, vertex: &str) -> Vec<UntypedTrace> {
+        self.index
+            .keys()
+            .flat_map(|ss| self.traces_at(*ss).filter(|t| t.vertex() == vertex))
             .collect()
     }
 
     /// The M/V/E indicator state of a superstep.
     pub fn indicators(&self, superstep: u64) -> Indicators {
         let mut ind = Indicators::default();
-        for trace in self.captured_at(superstep) {
+        for trace in self.traces_at(superstep) {
             for (kind, _, _) in trace.violations() {
                 match kind.as_str() {
                     "Message" => ind.message_violation = true,
@@ -255,11 +351,12 @@ impl UntypedSession {
     }
 
     /// All violating/excepting captures.
-    pub fn violations(&self) -> Vec<&UntypedTrace> {
-        self.by_superstep
-            .values()
-            .flat_map(|traces| {
-                traces.iter().filter(|t| !t.violations().is_empty() || t.exception().is_some())
+    pub fn violations(&self) -> Vec<UntypedTrace> {
+        self.index
+            .keys()
+            .flat_map(|ss| {
+                self.traces_at(*ss)
+                    .filter(|t| !t.violations().is_empty() || t.exception().is_some())
             })
             .collect()
     }
@@ -271,7 +368,7 @@ impl UntypedSession {
 
     /// Total captures.
     pub fn total_captures(&self) -> usize {
-        self.by_superstep.values().map(Vec::len).sum()
+        self.index.values().map(Vec::len).sum()
     }
 }
 
@@ -341,5 +438,60 @@ mod tests {
             .unwrap();
         let err = UntypedSession::open(run.fs().clone(), "/t/untyped-bin").map(|_| ()).unwrap_err();
         assert!(err.to_string().contains("JsonLines"));
+    }
+
+    /// Regression for the streaming/pagination rewrite: a 10k-vertex
+    /// superstep is served page by page without materializing the whole
+    /// superstep, and the pages stitched together equal the full listing.
+    #[test]
+    fn large_superstep_paginates_without_materializing() {
+        let config = DebugConfig::<Doubler>::builder()
+            .capture_all_active(true)
+            .catch_exceptions(false)
+            .build();
+        let run = GraftRunner::new(Doubler, config)
+            .num_workers(4)
+            .max_supersteps(1)
+            .run(premade::cycle(10_000, 1i64), "/t/untyped-large")
+            .unwrap();
+        let session = UntypedSession::open(run.fs().clone(), "/t/untyped-large").unwrap();
+        assert_eq!(session.count_at(0), 10_000);
+        assert_eq!(session.total_captures(), 10_000);
+
+        // A deep page parses only its 25 rows, stays in vertex order, and
+        // matches the same slice of the full listing byte for byte.
+        let page = session.rows_window(0, 9_950, 25);
+        assert_eq!(page.len(), 25);
+        let all = session.captured_at(0);
+        for (paged, full) in page.iter().zip(&all[9_950..9_975]) {
+            assert_eq!(paged.raw().to_string(), full.raw().to_string());
+        }
+        let mut keys: Vec<String> = all.iter().map(|t| t.vertex()).collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(keys, sorted, "rows must be sorted by rendered vertex id");
+
+        // Stitching every page back together reproduces the full set.
+        let mut stitched = Vec::new();
+        let mut offset = 0;
+        loop {
+            let chunk = session.rows_window(0, offset, 1_000);
+            if chunk.is_empty() {
+                break;
+            }
+            offset += chunk.len();
+            stitched.extend(chunk.into_iter().map(|t| t.vertex()));
+        }
+        keys.sort();
+        stitched.sort();
+        assert_eq!(stitched, keys);
+
+        // Point lookups and the past-the-end window behave.
+        assert!(session.vertex_at(0, "777").is_some());
+        assert!(session.vertex_at(0, "10000").is_none());
+        assert!(session.rows_window(0, 10_000, 10).is_empty());
     }
 }

@@ -11,6 +11,10 @@
 //! * [`violations::ViolationsView`] — Figure 5: constraint violations and
 //!   exceptions with messages and stack traces.
 
+//! * [`json`] — the JSON serialization of all three views shared by
+//!   `graft-cli --format json` and the `graft-server` endpoints.
+
+pub mod json;
 pub mod node_link;
 pub mod tabular;
 pub mod violations;

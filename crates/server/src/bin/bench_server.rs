@@ -1,0 +1,217 @@
+//! Benchmarks the debug server end to end over loopback HTTP and writes
+//! `BENCH_server.json`.
+//!
+//! Two scenarios, same request mix (node-link + tabular + violations over
+//! a synthetic corpus):
+//!
+//! * **cold** — the trace index capacity is half the corpus, and clients
+//!   walk jobs round-robin, so almost every request forces an eviction
+//!   and a fresh trace parse;
+//! * **index-hot** — capacity covers the corpus and the index is
+//!   pre-warmed, so every request is a cache hit.
+//!
+//! Usage: `bench_server [--connections 16] [--requests 500]
+//! [--jobs 8] [--vertices 300] [--out BENCH_server.json]`
+
+use std::sync::Arc;
+
+use graft_dfs::{FileSystem, InMemoryFs};
+use graft_obs::Obs;
+use graft_server::client::HttpClient;
+use graft_server::server::{serve, ServerConfig};
+use graft_server::synth::write_synthetic_trace;
+
+struct Args {
+    connections: usize,
+    requests: usize,
+    jobs: usize,
+    vertices: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        connections: 16,
+        requests: 500,
+        jobs: 8,
+        vertices: 600,
+        out: "BENCH_server.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> String {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--connections" => args.connections = value("--connections").parse().expect("number"),
+            "--requests" => args.requests = value("--requests").parse().expect("number"),
+            "--jobs" => args.jobs = value("--jobs").parse().expect("number"),
+            "--vertices" => args.vertices = value("--vertices").parse().expect("number"),
+            "--out" => args.out = value("--out"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Scenario {
+    name: &'static str,
+    throughput_rps: f64,
+    p50_micros: f64,
+    p95_micros: f64,
+    p99_micros: f64,
+    requests: usize,
+    errors: usize,
+}
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_nanos.len() as f64) * p).ceil() as usize;
+    sorted_nanos[rank.clamp(1, sorted_nanos.len()) - 1] as f64 / 1_000.0
+}
+
+/// Drives `connections` client threads, each issuing `requests` GETs
+/// round-robin over the jobs, and collects per-request latencies.
+fn run_scenario(
+    name: &'static str,
+    addr: std::net::SocketAddr,
+    job_ids: &[String],
+    connections: usize,
+    requests: usize,
+) -> Scenario {
+    // The paginated tabular endpoint is the contrast probe: served from a
+    // warm index it parses only the 10 requested rows (streaming), while
+    // a cold miss first validates and indexes the whole trace — so the
+    // cold/hot gap isolates exactly the TraceIndex's contribution.
+    let paths: Vec<String> = job_ids
+        .iter()
+        .flat_map(|id| {
+            (1..=3).map(move |page| format!("/jobs/{id}/ss/1/tabular?page={page}&per_page=10"))
+        })
+        .collect();
+    let paths = Arc::new(paths);
+    let clock = std::time::Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let paths = Arc::clone(&paths);
+            std::thread::spawn(move || {
+                let mut client = HttpClient::new(addr);
+                let mut latencies = Vec::with_capacity(requests);
+                let mut errors = 0usize;
+                for r in 0..requests {
+                    let path = &paths[(c + r) % paths.len()];
+                    let start = std::time::Instant::now();
+                    match client.get(path) {
+                        Ok(response) if response.status == 200 => {
+                            latencies.push(start.elapsed().as_nanos() as u64)
+                        }
+                        _ => errors += 1,
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(connections * requests);
+    let mut errors = 0usize;
+    for handle in handles {
+        let (mut thread_latencies, thread_errors) = handle.join().expect("bench thread");
+        latencies.append(&mut thread_latencies);
+        errors += thread_errors;
+    }
+    let elapsed = clock.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    Scenario {
+        name,
+        throughput_rps: latencies.len() as f64 / elapsed.max(1e-9),
+        p50_micros: percentile(&latencies, 0.50),
+        p95_micros: percentile(&latencies, 0.95),
+        p99_micros: percentile(&latencies, 0.99),
+        requests: connections * requests,
+        errors,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    let job_ids: Vec<String> = (0..args.jobs).map(|j| format!("bench-job-{j:02}")).collect();
+    for id in &job_ids {
+        write_synthetic_trace(fs.as_ref(), &format!("/traces/{id}"), args.vertices, 4)
+            .expect("synthetic trace");
+    }
+    eprintln!(
+        "corpus: {} jobs x {} vertices x 3 supersteps; {} connections x {} requests each",
+        args.jobs, args.vertices, args.connections, args.requests
+    );
+
+    // Cold: index thrashes (capacity < corpus), every miss re-parses.
+    let cold = {
+        let config = ServerConfig {
+            index_capacity: (args.jobs / 2).max(1),
+            workers: args.connections,
+            ..ServerConfig::default()
+        };
+        let handle = serve(Arc::clone(&fs), "/traces", Obs::wall(), config).expect("serve");
+        let result =
+            run_scenario("cold_parse", handle.addr(), &job_ids, args.connections, args.requests);
+        drop(handle);
+        result
+    };
+
+    // Hot: capacity covers the corpus; warm it, then measure pure hits.
+    let hot = {
+        let config = ServerConfig {
+            index_capacity: args.jobs + 1,
+            workers: args.connections,
+            ..ServerConfig::default()
+        };
+        let handle = serve(Arc::clone(&fs), "/traces", Obs::wall(), config).expect("serve");
+        let mut warmup = HttpClient::new(handle.addr());
+        for id in &job_ids {
+            assert_eq!(warmup.get(&format!("/jobs/{id}")).expect("warmup").status, 200);
+        }
+        let result =
+            run_scenario("index_hot", handle.addr(), &job_ids, args.connections, args.requests);
+        drop(handle);
+        result
+    };
+
+    let mut report = String::from("{\n  \"bench\": \"graft-server\",\n  \"scenarios\": [\n");
+    for (i, s) in [&cold, &hot].into_iter().enumerate() {
+        report.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"errors\": {}, \
+             \"throughput_rps\": {:.1}, \"p50_micros\": {:.1}, \
+             \"p95_micros\": {:.1}, \"p99_micros\": {:.1}}}{}\n",
+            s.name,
+            s.requests,
+            s.errors,
+            s.throughput_rps,
+            s.p50_micros,
+            s.p95_micros,
+            s.p99_micros,
+            if i == 0 { "," } else { "" }
+        ));
+        println!(
+            "{:>10}: {:>8.1} req/s  p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us  ({} errors)",
+            s.name, s.throughput_rps, s.p50_micros, s.p95_micros, s.p99_micros, s.errors
+        );
+    }
+    report.push_str("  ]\n}\n");
+    std::fs::write(&args.out, report).expect("write bench report");
+    eprintln!("wrote {}", args.out);
+
+    if cold.errors + hot.errors > 0 {
+        eprintln!("bench saw errors");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,138 @@
+//! A minimal loopback HTTP/1.1 client, written against the same wire
+//! rules as the server. It exists so tests, the smoke binary, and the
+//! benchmark can exercise the server without any external tooling; it
+//! speaks keep-alive and reconnects transparently when the server closes
+//! a connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub content_type: String,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (all server responses are text).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("server bodies are UTF-8")
+    }
+}
+
+/// A keep-alive connection to one server address.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `addr`; connections are opened lazily.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, stream: None, timeout: Duration::from_secs(10) }
+    }
+
+    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Issues `GET {target}` (path plus optional query, already encoded)
+    /// and reads the full response. Retries once on a fresh connection if
+    /// the kept-alive one died.
+    pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        match self.try_get(target) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                // The pooled connection may have been closed between
+                // requests (keep-alive budget, server restart): reconnect.
+                self.stream = None;
+                self.try_get(target)
+            }
+        }
+    }
+
+    fn try_get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        let request =
+            format!("GET {target} HTTP/1.1\r\nHost: graft\r\nConnection: keep-alive\r\n\r\n");
+        let stream = self.stream()?;
+        stream.write_all(request.as_bytes())?;
+        let response = read_response(stream)?;
+        if response.close {
+            self.stream = None;
+        }
+        Ok(ClientResponse {
+            status: response.status,
+            content_type: response.content_type,
+            body: response.body,
+        })
+    }
+}
+
+struct RawResponse {
+    status: u16,
+    content_type: String,
+    body: Vec<u8>,
+    close: bool,
+}
+
+fn bad(why: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_string())
+}
+
+fn read_response(stream: &mut TcpStream) -> std::io::Result<RawResponse> {
+    // Head: byte-at-a-time until the blank line, same as the server side.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if stream.read(&mut byte)? == 0 {
+            return Err(bad("connection closed mid-response"));
+        }
+        head.push(byte[0]);
+        if head.len() > 64 * 1024 {
+            return Err(bad("response head too large"));
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| bad("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP response"));
+    }
+    let status: u16 =
+        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad status code"))?;
+
+    let mut content_length = 0usize;
+    let mut content_type = String::new();
+    let mut close = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?
+            }
+            "content-type" => content_type = value.to_string(),
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(RawResponse { status, content_type, body, close })
+}

@@ -1,0 +1,262 @@
+//! The TraceIndex: a concurrent, LRU-capped, lazily-loaded cache of
+//! parsed job traces shared by every connection.
+//!
+//! Parsing a job's traces (`UntypedSession::open`) is the expensive step
+//! — it validates and indexes every record — so it must happen once per
+//! job, not once per request. The index keeps an `Arc<UntypedSession>`
+//! per hot job behind two lock layers:
+//!
+//! * a map lock, held only to look up / install a job's **slot**, and
+//! * a per-slot lock, held across the parse — so two requests for the
+//!   same cold job parse it once (the second blocks on the slot), while
+//!   requests for *different* cold jobs parse in parallel.
+//!
+//! Eviction is LRU by a logical tick counter, capped at `capacity`
+//! sessions; an evicted session stays alive for requests still holding
+//! its `Arc` and is simply re-parsed on the next miss.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use graft::untyped::UntypedSession;
+use graft::SessionError;
+use graft_dfs::FileSystem;
+use graft_obs::{Obs, Scope};
+use parking_lot::Mutex;
+
+/// Errors from serving a job out of the index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The job id is not a plain directory name under the trace root.
+    BadJobId(String),
+    /// The job directory does not exist (no `meta.json`).
+    NoSuchJob(String),
+    /// The traces exist but could not be parsed.
+    Session(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::BadJobId(id) => write!(f, "invalid job id {id:?}"),
+            IndexError::NoSuchJob(id) => write!(f, "no such job {id:?}"),
+            IndexError::Session(why) => write!(f, "cannot open traces: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+struct Slot {
+    session: Arc<Mutex<Option<Arc<UntypedSession>>>>,
+    last_used: u64,
+}
+
+struct Inner {
+    slots: HashMap<String, Slot>,
+    tick: u64,
+}
+
+/// The shared cache of parsed jobs. Cheap to clone via `Arc` at the
+/// server layer; all methods take `&self`.
+pub struct TraceIndex {
+    fs: Arc<dyn FileSystem>,
+    root: String,
+    capacity: usize,
+    obs: Arc<Obs>,
+    inner: Mutex<Inner>,
+}
+
+impl TraceIndex {
+    /// An index over the jobs under `root` on `fs`, keeping at most
+    /// `capacity` parsed sessions. Hit/miss/eviction counters and parse
+    /// latencies land in `obs`'s registry (and therefore in `/metrics`).
+    pub fn new(fs: Arc<dyn FileSystem>, root: &str, capacity: usize, obs: Arc<Obs>) -> Self {
+        Self {
+            fs,
+            root: root.trim_end_matches('/').to_string(),
+            capacity: capacity.max(1),
+            obs,
+            inner: Mutex::new(Inner { slots: HashMap::new(), tick: 0 }),
+        }
+    }
+
+    fn job_root(&self, id: &str) -> String {
+        format!("{}/{id}", self.root)
+    }
+
+    /// Lists the job ids under the trace root: every direct or nested
+    /// directory holding a `meta.json`, sorted.
+    pub fn jobs(&self) -> Result<Vec<String>, IndexError> {
+        // A root of "/" normalizes to "" (job paths join cleanly), but the
+        // listing itself needs the real directory back.
+        let list_root = if self.root.is_empty() { "/" } else { self.root.as_str() };
+        let files = self
+            .fs
+            .list_files_recursive(list_root)
+            .map_err(|e| IndexError::Session(e.to_string()))?;
+        let prefix = format!("{}/", self.root);
+        let mut ids: Vec<String> = files
+            .iter()
+            .filter_map(|f| {
+                let rel = f.path.strip_prefix(&prefix)?;
+                let id = rel.strip_suffix("/meta.json")?;
+                // Checkpoint directories etc. carry their own files but no
+                // meta.json, so only actual job roots survive this filter.
+                Some(id.to_string())
+            })
+            .collect();
+        ids.sort();
+        ids.dedup();
+        Ok(ids)
+    }
+
+    /// The parsed session of one job, from cache or freshly parsed.
+    pub fn session(&self, id: &str) -> Result<Arc<UntypedSession>, IndexError> {
+        validate_job_id(id)?;
+
+        // Phase 1 (map lock): find or install the job's slot and stamp
+        // its recency. The lock is dropped before any parsing happens.
+        let slot = {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let slot = inner
+                .slots
+                .entry(id.to_string())
+                .or_insert_with(|| Slot { session: Arc::new(Mutex::new(None)), last_used: 0 });
+            slot.last_used = tick;
+            Arc::clone(&slot.session)
+        };
+
+        // Phase 2 (slot lock): parse on miss. Concurrent requests for the
+        // same job serialize here; other jobs are untouched.
+        let mut guard = slot.lock();
+        if let Some(session) = guard.as_ref() {
+            self.obs.registry().inc("server_index_hits", Scope::GLOBAL, 1);
+            return Ok(Arc::clone(session));
+        }
+        self.obs.registry().inc("server_index_misses", Scope::GLOBAL, 1);
+        let root = self.job_root(id);
+        if !self.fs.exists(&graft::trace::meta_path(&root)) {
+            // Remove the speculative slot so unknown ids cannot fill the map.
+            drop(guard);
+            self.inner.lock().slots.remove(id);
+            return Err(IndexError::NoSuchJob(id.to_string()));
+        }
+        let timer = self.obs.timer();
+        let session = UntypedSession::open(Arc::clone(&self.fs), &root)
+            .map_err(|e: SessionError| IndexError::Session(e.to_string()))?;
+        self.obs.registry().observe_time("server_index_parse_nanos", Scope::GLOBAL, timer.stop());
+        let session = Arc::new(session);
+        *guard = Some(Arc::clone(&session));
+        drop(guard);
+
+        self.evict_over_capacity(id);
+        Ok(session)
+    }
+
+    /// Evicts least-recently-used slots until at most `capacity` remain,
+    /// never evicting `just_loaded`.
+    fn evict_over_capacity(&self, just_loaded: &str) {
+        let mut inner = self.inner.lock();
+        while inner.slots.len() > self.capacity {
+            let Some(victim) = inner
+                .slots
+                .iter()
+                .filter(|(id, _)| id.as_str() != just_loaded)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(id, _)| id.clone())
+            else {
+                break;
+            };
+            inner.slots.remove(&victim);
+            self.obs.registry().inc("server_index_evictions", Scope::GLOBAL, 1);
+        }
+    }
+
+    /// Parsed sessions currently resident (test / metrics hook).
+    pub fn resident(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+}
+
+/// Job ids come off the URL; only plain single-segment directory names
+/// are addressable, which keeps `..`/absolute escapes out of the fs.
+fn validate_job_id(id: &str) -> Result<(), IndexError> {
+    let ok = !id.is_empty()
+        && id != "."
+        && id != ".."
+        && id.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(IndexError::BadJobId(id.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::write_synthetic_trace;
+    use graft_dfs::InMemoryFs;
+
+    fn index_with_jobs(capacity: usize, jobs: &[&str]) -> TraceIndex {
+        let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+        for job in jobs {
+            write_synthetic_trace(fs.as_ref(), &format!("/traces/{job}"), 8, 2).unwrap();
+        }
+        TraceIndex::new(fs, "/traces", capacity, Obs::wall())
+    }
+
+    #[test]
+    fn lists_jobs_and_parses_once_per_job() {
+        let index = index_with_jobs(4, &["alpha", "beta"]);
+        assert_eq!(index.jobs().unwrap(), vec!["alpha", "beta"]);
+        let first = index.session("alpha").unwrap();
+        let second = index.session("alpha").unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit must return the cached parse");
+        let registry = index.obs.registry();
+        assert_eq!(registry.counter_value("server_index_misses", Scope::GLOBAL), 1);
+        assert_eq!(registry.counter_value("server_index_hits", Scope::GLOBAL), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_job() {
+        let index = index_with_jobs(2, &["a", "b", "c"]);
+        index.session("a").unwrap();
+        index.session("b").unwrap();
+        index.session("a").unwrap(); // refresh a; b is now coldest
+        index.session("c").unwrap(); // forces an eviction
+        assert_eq!(index.resident(), 2);
+        let a_again = index.session("a").unwrap();
+        assert_eq!(a_again.meta().computation, "SynthComputation");
+        assert_eq!(index.obs.registry().counter_value("server_index_evictions", Scope::GLOBAL), 1);
+    }
+
+    #[test]
+    fn traversal_and_unknown_ids_are_rejected() {
+        let index = index_with_jobs(2, &["real"]);
+        assert!(matches!(index.session(".."), Err(IndexError::BadJobId(_))));
+        assert!(matches!(index.session("a/b"), Err(IndexError::BadJobId(_))));
+        assert!(matches!(index.session(""), Err(IndexError::BadJobId(_))));
+        assert!(matches!(index.session("ghost"), Err(IndexError::NoSuchJob(_))));
+        // A failed lookup must not occupy cache capacity.
+        assert_eq!(index.resident(), 0);
+    }
+
+    #[test]
+    fn concurrent_misses_for_one_job_parse_once() {
+        let index = Arc::new(index_with_jobs(4, &["shared"]));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let index = Arc::clone(&index);
+                std::thread::spawn(move || index.session("shared").unwrap())
+            })
+            .collect();
+        let sessions: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sessions.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        let misses = index.obs.registry().counter_value("server_index_misses", Scope::GLOBAL);
+        assert_eq!(misses, 1, "slot lock must serialize the cold parse");
+    }
+}

@@ -1,0 +1,42 @@
+//! # graft-server
+//!
+//! A concurrent HTTP debug server over captured Graft traces — the
+//! always-on analogue of the paper's Graft GUI (Salihoglu et al., SIGMOD
+//! 2015). Where `graft-cli` renders one view of one job per invocation,
+//! `graft-server` keeps a shared, LRU-capped [`index::TraceIndex`] of
+//! parsed jobs and serves every view of every job under a trace root over
+//! plain HTTP — node-link (paper Figure 3), tabular with search and
+//! pagination (Figure 4), violations (Figure 5), and generated
+//! reproducer sources (the JUnit analogue of Figure 6).
+//!
+//! The server is built from scratch on `std::net` — no HTTP dependency
+//! exists in this workspace — with a bounded request parser
+//! ([`http`]), a fixed worker pool ([`pool`]), and graceful shutdown.
+//! Response bodies come from `graft::views::json`, the same serializer
+//! `graft-cli --format json` uses, so both surfaces are byte-identical.
+//!
+//! ```
+//! use graft_dfs::{FileSystem, InMemoryFs};
+//! use graft_obs::Obs;
+//! use graft_server::client::HttpClient;
+//! use graft_server::server::{serve, ServerConfig};
+//! use graft_server::synth::write_synthetic_trace;
+//! use std::sync::Arc;
+//!
+//! let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+//! write_synthetic_trace(fs.as_ref(), "/traces/demo", 8, 2).unwrap();
+//! let handle = serve(fs, "/traces", Obs::wall(), ServerConfig::default()).unwrap();
+//! let mut client = HttpClient::new(handle.addr());
+//! let jobs = client.get("/jobs").unwrap();
+//! assert_eq!(jobs.status, 200);
+//! assert!(jobs.text().contains("demo"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod index;
+pub mod pool;
+pub mod server;
+pub mod synth;

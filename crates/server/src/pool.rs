@@ -1,0 +1,106 @@
+//! A fixed-size worker thread pool over an `mpsc` channel.
+//!
+//! The vendored `parking_lot` has no `Condvar`, so instead of a shared
+//! deque the workers contend on one `Mutex<Receiver>` — each worker
+//! locks, blocks on `recv`, and releases before running the job. Jobs
+//! here are whole HTTP connections, so the handoff cost is noise.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of named worker threads.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers (at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("graft-server-worker-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock across recv() serializes the
+                        // *dequeue*, not the work: it is released before
+                        // the job runs.
+                        let job = {
+                            let guard = receiver.lock();
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // all senders dropped: shutdown
+                        }
+                    })
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Self { sender: Some(sender), workers }
+    }
+
+    /// Queues a job; some idle worker will pick it up.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(sender) = &self.sender {
+            // A send only fails after shutdown started; dropping the job
+            // then is correct.
+            let _ = sender.send(Box::new(job));
+        }
+    }
+
+    /// Drops the queue and joins every worker. Queued jobs still run.
+    pub fn shutdown(&mut self) {
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_concurrently_and_drains_on_shutdown() {
+        let mut pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one_worker() {
+        let mut pool = ThreadPool::new(0);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&ran);
+        pool.execute(move || {
+            flag.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

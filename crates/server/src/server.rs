@@ -1,0 +1,343 @@
+//! The debug server: accept loop, routing, and the endpoint handlers.
+//!
+//! Each connection is one job on the worker pool: parse request → route →
+//! render the view document through `graft::views::json` (the same code
+//! path as `graft-cli --format json`, so responses are byte-identical to
+//! CLI output) → write, looping while keep-alive holds. Every endpoint
+//! records a request counter and a latency histogram in the shared
+//! [`Obs`] registry; `/metrics` re-exports the whole registry as
+//! Prometheus text, server and engine metrics side by side.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use graft::untyped::UntypedSession;
+use graft::views::json as vj;
+use graft_dfs::FileSystem;
+use graft_obs::{to_prometheus, Obs, Scope};
+
+use crate::http::{self, HttpError, Request, Response};
+use crate::index::{IndexError, TraceIndex};
+use crate::pool::ThreadPool;
+
+/// Tuning knobs for [`serve`].
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: SocketAddr,
+    /// Worker threads (one connection each at a time).
+    pub workers: usize,
+    /// Parsed sessions the trace index keeps (LRU beyond that).
+    pub index_capacity: usize,
+    /// Requests served per connection before the server closes it.
+    pub keep_alive_requests: usize,
+    /// Per-read socket timeout; a stalled client frees its worker after
+    /// this long.
+    pub read_timeout: Duration,
+    /// Cap on the request head.
+    pub max_head_bytes: usize,
+    /// Cap on a request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            workers: 8,
+            index_capacity: 64,
+            keep_alive_requests: 1000,
+            read_timeout: Duration::from_secs(10),
+            max_head_bytes: http::MAX_HEAD_BYTES,
+            max_body_bytes: http::MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops the accept loop and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections, joins all threads.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in accept(); a throwaway self-connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the server over the jobs below `root` on `fs`. Returns once the
+/// listener is bound; requests are served on background threads.
+pub fn serve(
+    fs: Arc<dyn FileSystem>,
+    root: &str,
+    obs: Arc<Obs>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let index = Arc::new(TraceIndex::new(fs, root, config.index_capacity, Arc::clone(&obs)));
+    let shared = Arc::new(Shared {
+        index,
+        obs,
+        keep_alive_requests: config.keep_alive_requests.max(1),
+        read_timeout: config.read_timeout,
+        max_head_bytes: config.max_head_bytes,
+        max_body_bytes: config.max_body_bytes,
+    });
+
+    let accept_stop = Arc::clone(&stop);
+    let workers = config.workers;
+    let accept_thread =
+        std::thread::Builder::new().name("graft-server-accept".to_string()).spawn(move || {
+            let mut pool = ThreadPool::new(workers);
+            for connection in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = connection else { continue };
+                let shared = Arc::clone(&shared);
+                pool.execute(move || shared.handle_connection(stream));
+            }
+            pool.shutdown();
+        })?;
+
+    Ok(ServerHandle { addr, stop, accept_thread: Some(accept_thread) })
+}
+
+struct Shared {
+    index: Arc<TraceIndex>,
+    obs: Arc<Obs>,
+    keep_alive_requests: usize,
+    read_timeout: Duration,
+    max_head_bytes: usize,
+    max_body_bytes: usize,
+}
+
+impl Shared {
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.read_timeout));
+        let _ = stream.set_nodelay(true);
+        for served in 0..self.keep_alive_requests {
+            let request =
+                match http::read_request(&mut stream, self.max_head_bytes, self.max_body_bytes) {
+                    Ok(Some(request)) => request,
+                    Ok(None) => return, // client closed a kept-alive connection
+                    Err(HttpError::TooLarge(why)) => {
+                        self.record("reject", 413, 0);
+                        let _ =
+                            http::write_response(&mut stream, &Response::error(413, &why), false);
+                        lingering_close(stream);
+                        return;
+                    }
+                    Err(HttpError::Malformed(why)) => {
+                        self.record("reject", 400, 0);
+                        let _ =
+                            http::write_response(&mut stream, &Response::error(400, &why), false);
+                        lingering_close(stream);
+                        return;
+                    }
+                    Err(HttpError::Io(_)) => return, // timeout / reset: drop quietly
+                };
+
+            let timer = self.obs.timer();
+            let (endpoint, response) = self.dispatch(&request);
+            self.record(endpoint, response.status, timer.stop());
+            // Error responses close the connection: the client may be in a
+            // state we no longer understand.
+            let keep_alive = request.keep_alive()
+                && served + 1 < self.keep_alive_requests
+                && response.status < 400;
+            if http::write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+                return;
+            }
+        }
+    }
+
+    /// Per-endpoint counters and latency histograms, plus a status-class
+    /// counter — all in the same registry `/metrics` exports.
+    fn record(&self, endpoint: &str, status: u16, nanos: u64) {
+        let registry = self.obs.registry();
+        registry.inc(&format!("server_requests_{endpoint}"), Scope::GLOBAL, 1);
+        registry.inc(&format!("server_responses_{}xx", status / 100), Scope::GLOBAL, 1);
+        registry.observe_time(&format!("server_latency_{endpoint}_nanos"), Scope::GLOBAL, nanos);
+    }
+
+    fn dispatch(&self, request: &Request) -> (&'static str, Response) {
+        if request.method != "GET" {
+            return ("reject", Response::error(405, "only GET is supported"));
+        }
+        let segments = request.segments();
+        match segments.as_slice() {
+            [] => ("root", endpoint_listing()),
+            ["metrics"] => ("metrics", self.metrics()),
+            ["jobs"] => ("jobs", self.jobs()),
+            ["jobs", id] => self.with_job("job", id, |job, s| {
+                Response::json(200, vj::to_line(&vj::job_json(job, s)))
+            }),
+            ["jobs", id, "supersteps"] => self.with_job("supersteps", id, |_, s| {
+                Response::json(200, vj::to_line(&vj::supersteps_json(s)))
+            }),
+            ["jobs", id, "violations"] => self.with_job("violations", id, |_, s| {
+                Response::json(200, vj::to_line(&vj::violations_json(s, None)))
+            }),
+            ["jobs", id, "ss", ss, view] => {
+                let Ok(superstep) = ss.parse::<u64>() else {
+                    return ("reject", Response::error(400, "superstep must be an integer"));
+                };
+                match *view {
+                    "node-link" => self.with_superstep("node_link", id, superstep, |s| {
+                        Response::json(200, vj::to_line(&vj::node_link_json(s, superstep)))
+                    }),
+                    "tabular" => {
+                        let query = request.query.get("q").map(String::as_str);
+                        let page = parse_param(&request.query, "page", 1);
+                        let per_page = parse_param(&request.query, "per_page", 50);
+                        self.with_superstep("tabular", id, superstep, |s| {
+                            Response::json(
+                                200,
+                                vj::to_line(&vj::tabular_json(s, superstep, query, page, per_page)),
+                            )
+                        })
+                    }
+                    "violations" => self.with_superstep("violations", id, superstep, |s| {
+                        Response::json(200, vj::to_line(&vj::violations_json(s, Some(superstep))))
+                    }),
+                    _ => ("reject", Response::error(404, "unknown view")),
+                }
+            }
+            ["jobs", id, "repro", vertex, ss] => {
+                let Ok(superstep) = ss.parse::<u64>() else {
+                    return ("reject", Response::error(400, "superstep must be an integer"));
+                };
+                self.with_job("repro", id, |_, s| match vj::repro_source(s, vertex, superstep) {
+                    Some(source) => Response::text(200, source),
+                    None => Response::error(
+                        404,
+                        &format!("no capture for vertex {vertex} in superstep {superstep}"),
+                    ),
+                })
+            }
+            _ => ("reject", Response::error(404, "unknown route")),
+        }
+    }
+
+    fn jobs(&self) -> Response {
+        match self.index.jobs() {
+            Ok(ids) => {
+                let mut jobs = Vec::new();
+                for id in ids {
+                    match self.index.session(&id) {
+                        Ok(session) => jobs.push(vj::job_json(&id, &session)),
+                        Err(IndexError::Session(_)) => continue, // undecodable job: skip
+                        Err(_) => continue,
+                    }
+                }
+                Response::json(200, vj::to_line(&jobs))
+            }
+            Err(e) => Response::error(500, &e.to_string()),
+        }
+    }
+
+    fn metrics(&self) -> Response {
+        Response::text(200, to_prometheus(&self.obs.metrics()))
+    }
+
+    fn with_job(
+        &self,
+        endpoint: &'static str,
+        id: &str,
+        render: impl FnOnce(&str, &UntypedSession) -> Response,
+    ) -> (&'static str, Response) {
+        match self.index.session(id) {
+            Ok(session) => (endpoint, render(id, &session)),
+            Err(e @ IndexError::BadJobId(_)) => ("reject", Response::error(400, &e.to_string())),
+            Err(e @ IndexError::NoSuchJob(_)) => ("reject", Response::error(404, &e.to_string())),
+            Err(e @ IndexError::Session(_)) => ("reject", Response::error(500, &e.to_string())),
+        }
+    }
+
+    fn with_superstep(
+        &self,
+        endpoint: &'static str,
+        id: &str,
+        superstep: u64,
+        render: impl FnOnce(&UntypedSession) -> Response,
+    ) -> (&'static str, Response) {
+        self.with_job(endpoint, id, |_, session| {
+            if session.count_at(superstep) == 0 {
+                Response::error(404, &format!("superstep {superstep} captured nothing"))
+            } else {
+                render(session)
+            }
+        })
+    }
+}
+
+fn parse_param(
+    query: &std::collections::BTreeMap<String, String>,
+    key: &str,
+    default: usize,
+) -> usize {
+    query.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Drains whatever the client already sent before dropping the socket, so
+/// an error response reaches the client as a clean close — closing with
+/// unread bytes in the receive buffer sends an RST that can discard the
+/// response (the classic lingering-close problem).
+fn lingering_close(mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut scratch = [0u8; 4096];
+    for _ in 0..64 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// `GET /` — a self-describing endpoint list.
+fn endpoint_listing() -> Response {
+    Response::json(
+        200,
+        concat!(
+            "{\"endpoints\":[",
+            "\"/jobs\",",
+            "\"/jobs/{id}\",",
+            "\"/jobs/{id}/supersteps\",",
+            "\"/jobs/{id}/violations\",",
+            "\"/jobs/{id}/ss/{n}/node-link\",",
+            "\"/jobs/{id}/ss/{n}/tabular?q=&page=&per_page=\",",
+            "\"/jobs/{id}/ss/{n}/violations\",",
+            "\"/jobs/{id}/repro/{vertex}/{ss}\",",
+            "\"/metrics\"",
+            "]}\n"
+        ),
+    )
+}

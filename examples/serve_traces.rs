@@ -1,0 +1,75 @@
+//! Serve captured traces over HTTP: the `graft-server` quickstart.
+//!
+//! Runs graph coloring under Graft with capture-all enabled, writes the
+//! traces to disk, then starts the debug server over them and walks the
+//! API with the in-crate loopback client — the same sequence
+//! `graft-cli serve` automates:
+//!
+//! ```text
+//! cargo run -p graft-server --release --example serve_traces
+//! ```
+//!
+//! Every body printed below is byte-identical to what
+//! `graft-cli <dir> <view> --format json` prints for the same view,
+//! because both go through `graft::views::json`.
+
+use std::sync::Arc;
+
+use graft::testing::premade;
+use graft::{DebugConfig, GraftRunner};
+use graft_algorithms::coloring::{GraphColoring, GraphColoringMaster};
+use graft_dfs::{FileSystem, LocalFs};
+use graft_obs::Obs;
+use graft_server::client::HttpClient;
+use graft_server::server::{serve, ServerConfig};
+
+fn main() {
+    // 1. Capture: run a job with tracing on, as usual.
+    let root = std::env::temp_dir().join("graft-serve-example");
+    let _ = std::fs::remove_dir_all(&root);
+    let fs: Arc<dyn FileSystem> = Arc::new(LocalFs::new(&root).expect("trace dir"));
+    let config = DebugConfig::<GraphColoring>::builder().capture_all_active(true).build();
+    GraftRunner::new(GraphColoring::new(7), config)
+        .with_master(GraphColoringMaster)
+        .with_fs(Arc::clone(&fs))
+        .num_workers(2)
+        .run(premade::cycle(8, Default::default()), "/coloring-demo")
+        .expect("coloring runs");
+
+    // 2. Serve: one server over the whole trace root. Port 0 picks a free
+    //    port; a real deployment would pin one (see `graft-cli serve`).
+    let handle =
+        serve(Arc::clone(&fs), "/", Obs::wall(), ServerConfig::default()).expect("server starts");
+    println!("serving {} at http://{}", root.display(), handle.addr());
+
+    // 3. Browse: the loopback client is plain HTTP/1.1 — curl works too.
+    let mut client = HttpClient::new(handle.addr());
+    for path in [
+        "/jobs",
+        "/jobs/coloring-demo/supersteps",
+        "/jobs/coloring-demo/ss/0/node-link",
+        "/jobs/coloring-demo/ss/0/tabular?page=1&per_page=3",
+        "/jobs/coloring-demo/violations",
+        "/jobs/coloring-demo/repro/0/0",
+    ] {
+        let response = client.get(path).expect("request");
+        let body = response.text();
+        let preview = body.lines().next().unwrap_or("");
+        let preview = if preview.len() > 120 {
+            format!("{}...", &preview[..120])
+        } else {
+            preview.to_string()
+        };
+        println!("GET {path} -> {} {}", response.status, preview);
+    }
+
+    // 4. Observe: request counters and latency histograms, Prometheus
+    //    text format, engine and server metrics in one registry.
+    let metrics = client.get("/metrics").expect("metrics");
+    let served: Vec<&str> =
+        metrics.text().lines().filter(|l| l.starts_with("graft_server_requests_")).collect();
+    println!("--- request counters ---");
+    for line in served {
+        println!("{line}");
+    }
+}
