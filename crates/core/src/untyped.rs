@@ -162,6 +162,85 @@ impl UntypedTrace {
     }
 }
 
+/// The listing-only facts of a job: metadata, terminal status, and
+/// per-superstep capture counts — everything a `/jobs` landing page needs
+/// — gathered in one streaming pass that retains no trace bytes and
+/// builds no row index. A server can enumerate a trace root far larger
+/// than its session cache through this without evicting a single parsed
+/// session.
+pub struct JobSummary {
+    meta: JobMeta,
+    result: Option<JobResultRecord>,
+    counts: BTreeMap<u64, usize>,
+}
+
+impl JobSummary {
+    /// Scans the traces under `root`, validating exactly what
+    /// [`UntypedSession::open`] validates (codec, per-record JSON) — a job
+    /// summarizes if and only if it opens, with identical counts.
+    pub fn scan(fs: &dyn FileSystem, root: &str) -> Result<Self, SessionError> {
+        let meta_bytes = fs.read_all(&meta_path(root))?;
+        let meta: JobMeta = serde_json::from_slice(&meta_bytes)
+            .map_err(|e| SessionError::Decode { path: meta_path(root), error: e.to_string() })?;
+        if meta.codec != TraceCodec::JsonLines {
+            return Err(SessionError::Decode {
+                path: meta_path(root),
+                error: "binary traces cannot be browsed untyped; use TraceCodec::JsonLines"
+                    .to_string(),
+            });
+        }
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+        for worker in 0..meta.num_workers {
+            let path = worker_trace_path(root, worker);
+            if !fs.exists(&path) {
+                continue;
+            }
+            let bytes = fs.read_all(&path)?;
+            for line in bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+                let value: Value = serde_json::from_slice(line).map_err(|e| {
+                    SessionError::Decode { path: path.clone(), error: e.to_string() }
+                })?;
+                *counts.entry(UntypedTrace(value).superstep()).or_default() += 1;
+            }
+        }
+        let result = if fs.exists(&result_path(root)) {
+            let bytes = fs.read_all(&result_path(root))?;
+            Some(serde_json::from_slice(&bytes).map_err(|e| SessionError::Decode {
+                path: result_path(root),
+                error: e.to_string(),
+            })?)
+        } else {
+            None
+        };
+        Ok(Self { meta, result, counts })
+    }
+
+    /// Job metadata.
+    pub fn meta(&self) -> &JobMeta {
+        &self.meta
+    }
+
+    /// Terminal status, if present.
+    pub fn result(&self) -> Option<&JobResultRecord> {
+        self.result.as_ref()
+    }
+
+    /// Supersteps with captures, ascending.
+    pub fn supersteps(&self) -> Vec<u64> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// Number of captures in one superstep.
+    pub fn count_at(&self, superstep: u64) -> usize {
+        self.counts.get(&superstep).copied().unwrap_or(0)
+    }
+
+    /// Total captures.
+    pub fn total_captures(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
 /// A byte range of one trace record inside a worker file.
 #[derive(Clone, Copy, Debug)]
 struct RowRef {
@@ -426,6 +505,27 @@ mod tests {
     }
 
     #[test]
+    fn job_summary_agrees_with_the_full_session() {
+        let config = DebugConfig::<Doubler>::builder()
+            .capture_ids([1, 2, 3])
+            .catch_exceptions(false)
+            .build();
+        let run = GraftRunner::new(Doubler, config)
+            .num_workers(3)
+            .run(premade::cycle(6, 2i64), "/t/untyped-summary")
+            .unwrap();
+        let session = UntypedSession::open(run.fs().clone(), "/t/untyped-summary").unwrap();
+        let summary = JobSummary::scan(run.fs().as_ref(), "/t/untyped-summary").unwrap();
+        assert_eq!(summary.supersteps(), session.supersteps());
+        assert_eq!(summary.total_captures(), session.total_captures());
+        assert_eq!(summary.meta().computation, session.meta().computation);
+        assert_eq!(summary.result().map(|r| r.captures), session.result().map(|r| r.captures));
+        for ss in session.supersteps() {
+            assert_eq!(summary.count_at(ss), session.count_at(ss));
+        }
+    }
+
+    #[test]
     fn binary_traces_are_rejected_with_a_clear_error() {
         let config = DebugConfig::<Doubler>::builder()
             .capture_ids([1])
@@ -438,6 +538,8 @@ mod tests {
             .unwrap();
         let err = UntypedSession::open(run.fs().clone(), "/t/untyped-bin").map(|_| ()).unwrap_err();
         assert!(err.to_string().contains("JsonLines"));
+        let err = JobSummary::scan(run.fs().as_ref(), "/t/untyped-bin").map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("JsonLines"), "summary scan applies the codec check too");
     }
 
     /// Regression for the streaming/pagination rewrite: a 10k-vertex

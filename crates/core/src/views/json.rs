@@ -12,7 +12,8 @@
 use serde::Serialize;
 
 use crate::session::Indicators;
-use crate::untyped::{UntypedSession, UntypedTrace};
+use crate::trace::{JobMeta, JobResultRecord};
+use crate::untyped::{JobSummary, UntypedSession, UntypedTrace};
 
 /// Renders a view value in the canonical wire form: compact JSON plus a
 /// trailing newline.
@@ -222,14 +223,31 @@ pub struct ViolationsJson {
 
 /// The `/jobs` listing / `graft-cli info` document for one job.
 pub fn job_json(id: &str, session: &UntypedSession) -> JobJson {
+    job_doc(id, session.meta(), session.supersteps(), session.total_captures(), session.result())
+}
+
+/// [`job_json`] built from a listing-only [`JobSummary`] instead of a
+/// fully parsed session — same document, byte for byte (asserted in the
+/// server tests), without paying for a row index.
+pub fn job_summary_json(id: &str, summary: &JobSummary) -> JobJson {
+    job_doc(id, summary.meta(), summary.supersteps(), summary.total_captures(), summary.result())
+}
+
+fn job_doc(
+    id: &str,
+    meta: &JobMeta,
+    supersteps: Vec<u64>,
+    total_captures: usize,
+    result: Option<&JobResultRecord>,
+) -> JobJson {
     JobJson {
         id: id.to_string(),
-        computation: session.meta().computation.clone(),
-        master: session.meta().master.clone(),
-        workers: session.meta().num_workers,
-        supersteps: session.supersteps(),
-        total_captures: session.total_captures(),
-        result: session.result().map(|r| ResultJson {
+        computation: meta.computation.clone(),
+        master: meta.master.clone(),
+        workers: meta.num_workers,
+        supersteps,
+        total_captures,
+        result: result.map(|r| ResultJson {
             supersteps_executed: r.supersteps_executed,
             error: r.error.clone(),
             captures: r.captures,
@@ -338,6 +356,10 @@ fn matches_query(trace: &UntypedTrace, query: &str) -> bool {
         || trace.reasons().iter().any(|r| r.contains(query))
 }
 
+/// Upper bound on `per_page`: one response parses at most this many rows,
+/// no matter what the query string asks for.
+pub const MAX_PER_PAGE: usize = 1_000;
+
 /// One page of the tabular view with server-side search. `page` is
 /// 1-based; without a query only the page's rows are parsed (the
 /// streaming fast path of [`UntypedSession::rows_window`]).
@@ -348,10 +370,12 @@ pub fn tabular_json(
     page: usize,
     per_page: usize,
 ) -> TabularJson {
-    let per_page = per_page.max(1);
+    let per_page = per_page.clamp(1, MAX_PER_PAGE);
     let page = page.max(1);
     let total_rows = session.count_at(superstep);
-    let offset = (page - 1) * per_page;
+    // Both parameters come straight off the URL; a saturating offset turns
+    // an absurd page into an empty one instead of overflowing.
+    let offset = page.saturating_sub(1).saturating_mul(per_page);
     let (matching_rows, rows) = match query {
         None | Some("") => {
             let rows = session.rows_window(superstep, offset, per_page);
@@ -521,6 +545,19 @@ mod tests {
         assert!(searched.rows.iter().all(|r| {
             r.vertex.contains('5') || r.value_before.contains('5') || r.value_after.contains('5')
         }));
+    }
+
+    #[test]
+    fn tabular_survives_hostile_page_and_per_page() {
+        let s = session();
+        // page/per_page come off the URL unchecked; the extremes must not
+        // overflow the offset computation — just produce an empty page.
+        let wild = tabular_json(&s, 0, None, usize::MAX, usize::MAX);
+        assert!(wild.rows.is_empty());
+        assert_eq!(wild.per_page, MAX_PER_PAGE, "per_page is clamped");
+        let wild_search = tabular_json(&s, 0, Some("5"), usize::MAX, 2);
+        assert!(wild_search.rows.is_empty());
+        assert_eq!(tabular_json(&s, 0, None, 1, usize::MAX).rows.len(), 6);
     }
 
     #[test]

@@ -18,8 +18,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use graft::untyped::UntypedSession;
-use graft::SessionError;
+use graft::untyped::{JobSummary, UntypedSession};
+use graft::views::json as vj;
 use graft_dfs::FileSystem;
 use graft_obs::{Obs, Scope};
 use parking_lot::Mutex;
@@ -141,12 +141,22 @@ impl TraceIndex {
         if !self.fs.exists(&graft::trace::meta_path(&root)) {
             // Remove the speculative slot so unknown ids cannot fill the map.
             drop(guard);
-            self.inner.lock().slots.remove(id);
+            self.remove_slot(id, &slot);
             return Err(IndexError::NoSuchJob(id.to_string()));
         }
         let timer = self.obs.timer();
-        let session = UntypedSession::open(Arc::clone(&self.fs), &root)
-            .map_err(|e: SessionError| IndexError::Session(e.to_string()))?;
+        let session = match UntypedSession::open(Arc::clone(&self.fs), &root) {
+            Ok(session) => session,
+            Err(e) => {
+                // An unparseable job (e.g. binary codec) must not occupy a
+                // slot either: eviction only runs on successful loads, so a
+                // dead slot would count against capacity forever and its
+                // recency stamps could evict live sessions.
+                drop(guard);
+                self.remove_slot(id, &slot);
+                return Err(IndexError::Session(e.to_string()));
+            }
+        };
         self.obs.registry().observe_time("server_index_parse_nanos", Scope::GLOBAL, timer.stop());
         let session = Arc::new(session);
         *guard = Some(Arc::clone(&session));
@@ -154,6 +164,53 @@ impl TraceIndex {
 
         self.evict_over_capacity(id);
         Ok(session)
+    }
+
+    /// The `/jobs` listing document for one job. A resident parsed session
+    /// answers straight from the cache; a cold job gets a listing-only
+    /// [`JobSummary`] scan that never installs a slot — so enumerating a
+    /// trace root far larger than `capacity` neither evicts a hot session
+    /// nor re-parses every job through the cache.
+    pub fn job_listing(&self, id: &str) -> Result<vj::JobJson, IndexError> {
+        validate_job_id(id)?;
+        let slot = {
+            let inner = self.inner.lock();
+            inner.slots.get(id).map(|slot| Arc::clone(&slot.session))
+        };
+        // A parse in progress holds the slot lock; waiting it out turns
+        // into a free hit. An empty slot (the parse failed) falls through
+        // to the summary scan.
+        if let Some(slot) = slot {
+            let guard = slot.lock();
+            if let Some(session) = guard.as_ref() {
+                self.obs.registry().inc("server_index_hits", Scope::GLOBAL, 1);
+                return Ok(vj::job_json(id, session));
+            }
+        }
+        let root = self.job_root(id);
+        if !self.fs.exists(&graft::trace::meta_path(&root)) {
+            return Err(IndexError::NoSuchJob(id.to_string()));
+        }
+        let timer = self.obs.timer();
+        let summary = JobSummary::scan(self.fs.as_ref(), &root)
+            .map_err(|e| IndexError::Session(e.to_string()))?;
+        self.obs.registry().inc("server_index_summary_scans", Scope::GLOBAL, 1);
+        self.obs.registry().observe_time(
+            "server_index_summary_scan_nanos",
+            Scope::GLOBAL,
+            timer.stop(),
+        );
+        Ok(vj::job_summary_json(id, &summary))
+    }
+
+    /// Removes a failed speculative slot — but only if the map still holds
+    /// *this* slot, so a concurrent re-install (evict + fresh load) of the
+    /// same id is never clobbered.
+    fn remove_slot(&self, id: &str, slot: &Arc<Mutex<Option<Arc<UntypedSession>>>>) {
+        let mut inner = self.inner.lock();
+        if inner.slots.get(id).is_some_and(|s| Arc::ptr_eq(&s.session, slot)) {
+            inner.slots.remove(id);
+        }
     }
 
     /// Evicts least-recently-used slots until at most `capacity` remain,
@@ -243,6 +300,44 @@ mod tests {
         assert!(matches!(index.session("ghost"), Err(IndexError::NoSuchJob(_))));
         // A failed lookup must not occupy cache capacity.
         assert_eq!(index.resident(), 0);
+    }
+
+    #[test]
+    fn job_listing_is_byte_identical_and_never_churns_the_cache() {
+        let index = index_with_jobs(1, &["a", "b", "c"]);
+        let hot = index.session("a").unwrap();
+        // Listing every job — more than capacity — must match the full
+        // renderer byte for byte without installing or evicting anything.
+        for id in ["a", "b", "c"] {
+            let from_listing = vj::to_line(&index.job_listing(id).unwrap());
+            let session =
+                UntypedSession::open(Arc::clone(&index.fs), &format!("/traces/{id}")).unwrap();
+            let from_session = vj::to_line(&vj::job_json(id, &session));
+            assert_eq!(from_listing, from_session, "{id}");
+        }
+        assert_eq!(index.resident(), 1, "listing must not fill the cache");
+        let again = index.session("a").unwrap();
+        assert!(Arc::ptr_eq(&hot, &again), "listing must not evict the hot session");
+        let registry = index.obs.registry();
+        assert_eq!(registry.counter_value("server_index_misses", Scope::GLOBAL), 1);
+        assert_eq!(registry.counter_value("server_index_summary_scans", Scope::GLOBAL), 2);
+        assert!(matches!(index.job_listing("ghost"), Err(IndexError::NoSuchJob(_))));
+        assert!(matches!(index.job_listing("../x"), Err(IndexError::BadJobId(_))));
+    }
+
+    #[test]
+    fn unparseable_jobs_do_not_occupy_cache_slots() {
+        let index = index_with_jobs(1, &["good"]);
+        // meta.json exists, so the lookup reaches the parse — which fails.
+        index.fs.mkdirs("/traces/corrupt").unwrap();
+        index.fs.write_all("/traces/corrupt/meta.json", b"{ not json").unwrap();
+        let good = index.session("good").unwrap();
+        for _ in 0..3 {
+            assert!(matches!(index.session("corrupt"), Err(IndexError::Session(_))));
+        }
+        assert_eq!(index.resident(), 1, "failed parses must not hold slots");
+        let again = index.session("good").unwrap();
+        assert!(Arc::ptr_eq(&good, &again), "dead slots must not evict live sessions");
     }
 
     #[test]

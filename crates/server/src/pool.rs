@@ -39,7 +39,18 @@ impl ThreadPool {
                             guard.recv()
                         };
                         match job {
-                            Ok(job) => job(),
+                            // A panicking connection handler must not kill
+                            // the worker: the pool is fixed-size, so every
+                            // lost thread permanently shrinks capacity.
+                            Ok(job) => {
+                                let job = std::panic::AssertUnwindSafe(job);
+                                if std::panic::catch_unwind(job).is_err() {
+                                    eprintln!(
+                                        "graft-server-worker-{i}: connection handler panicked; \
+                                         worker continues"
+                                    );
+                                }
+                            }
                             Err(_) => break, // all senders dropped: shutdown
                         }
                     })
@@ -90,6 +101,22 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_shrink_the_pool() {
+        // One worker: if the panic killed it, nothing after could run.
+        let mut pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 0..3 {
+            pool.execute(move || panic!("handler blew up in round {round}"));
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 3, "worker must survive every panic");
     }
 
     #[test]

@@ -251,10 +251,12 @@ impl Shared {
             Ok(ids) => {
                 let mut jobs = Vec::new();
                 for id in ids {
-                    match self.index.session(&id) {
-                        Ok(session) => jobs.push(vj::job_json(&id, &session)),
-                        Err(IndexError::Session(_)) => continue, // undecodable job: skip
-                        Err(_) => continue,
+                    // The listing takes the cheap path: cached sessions
+                    // answer for free, cold jobs are summarized off-cache,
+                    // so a large trace root cannot churn the session LRU.
+                    match self.index.job_listing(&id) {
+                        Ok(job) => jobs.push(job),
+                        Err(_) => continue, // undecodable/vanished job: skip
                     }
                 }
                 Response::json(200, vj::to_line(&jobs))
