@@ -28,6 +28,12 @@
 //!    numbers come from exactly that configuration. These
 //!    lints run on the [`ConfigFacts`] recorded in `meta.json`, so they
 //!    also work untyped from the CLI (`graft analyze <trace-root>`).
+//! 4. **Shuffle-volume lint** (`GA0014`) — a computation that sends
+//!    multiple messages to the same target vertex in one superstep
+//!    without enabling a combiner ships the full uncombined stream
+//!    across the shuffle; the analyzer scans the captured outgoing
+//!    messages for that fan-in pattern and points at the combiner the
+//!    engine's sender-side combining could exploit.
 //!
 //! Findings are reported as paper-style violation rows through
 //! `graft`'s Violations & Exceptions view rendering.
@@ -58,6 +64,7 @@
 mod algebra;
 mod config_lints;
 mod race;
+mod shuffle;
 
 use graft::views::violations::{render_rows, ViolationRow};
 use graft::{DebugSession, JobMeta};
@@ -92,7 +99,7 @@ impl std::fmt::Display for Severity {
 /// one-line description.
 #[derive(Debug)]
 pub struct Lint {
-    /// Stable identifier, `GA0001`..`GA0013`.
+    /// Stable identifier, `GA0001`..`GA0014`.
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -224,11 +231,21 @@ pub static GA0013: Lint = Lint {
               every debug view empty",
 };
 
+/// Repeated sends to one target in one superstep, with no combiner.
+pub static GA0014: Lint = Lint {
+    id: "GA0014",
+    name: "uncombined-fanin",
+    severity: Severity::Warning,
+    summary: "a vertex sent multiple messages to the same target in one \
+              superstep without a combiner; enabling one lets the engine \
+              fold them sender-side and shrink the shuffle",
+};
+
 /// The full catalog, in id order.
-pub fn catalog() -> [&'static Lint; 13] {
+pub fn catalog() -> [&'static Lint; 14] {
     [
         &GA0001, &GA0002, &GA0003, &GA0004, &GA0005, &GA0006, &GA0007, &GA0008, &GA0009, &GA0010,
-        &GA0011, &GA0012, &GA0013,
+        &GA0011, &GA0012, &GA0013, &GA0014,
     ]
 }
 
@@ -385,6 +402,8 @@ where
     let (findings, replays) = race::check_message_order(session, &make, options, &mut rng);
     report.replays_run = replays;
     report.push_all(findings);
+
+    report.push_all(shuffle::check_uncombined_fanin(session, &make()));
 
     report.sort();
     report

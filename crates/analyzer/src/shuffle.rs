@@ -1,0 +1,72 @@
+//! Shuffle-volume lint: repeated per-target sends without a combiner.
+//!
+//! The engine's sender-side combining (and Giraph's combiner mechanism in
+//! general) only kicks in when [`Computation::use_combiner`] is `true`.
+//! A computation that sends several messages to the same target vertex in
+//! one superstep *without* a combiner ships the full uncombined stream
+//! across the shuffle every superstep — exactly the configuration where
+//! enabling a combiner cuts shuffle volume the most. This lint scans the
+//! captured traces for that pattern (GA0014).
+
+use graft::DebugSession;
+use graft_pregel::hash::FxHashMap;
+use graft_pregel::Computation;
+
+use crate::{Finding, GA0014};
+
+/// Cap on emitted findings; the first few offending vertices are enough
+/// to make the point, and a fan-in-heavy job would otherwise flood the
+/// report with one row per captured vertex.
+const MAX_FINDINGS: usize = 16;
+
+/// Flags captured compute() calls that sent more than one message to the
+/// same target in a single superstep while the computation has no
+/// combiner enabled. Purely static over the trace — no replays.
+pub(crate) fn check_uncombined_fanin<C: Computation>(
+    session: &DebugSession<C>,
+    computation: &C,
+) -> Vec<Finding> {
+    if computation.use_combiner() {
+        return Vec::new();
+    }
+
+    let mut findings = Vec::new();
+    let mut counts: FxHashMap<C::Id, u64> = FxHashMap::default();
+    for trace in session.all_traces() {
+        if findings.len() >= MAX_FINDINGS {
+            break;
+        }
+        if trace.outgoing.len() < 2 {
+            continue;
+        }
+        counts.clear();
+        for (target, _) in &trace.outgoing {
+            *counts.entry(*target).or_insert(0) += 1;
+        }
+        let mut repeated: Vec<(C::Id, u64)> =
+            counts.iter().filter(|(_, &n)| n > 1).map(|(t, &n)| (*t, n)).collect();
+        if repeated.is_empty() {
+            continue;
+        }
+        // Deterministic output: worst fan-in first, id as tie-breaker.
+        repeated.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+        let (worst_target, worst_count) = repeated[0];
+        let extra: u64 = repeated.iter().map(|(_, n)| n - 1).sum();
+        findings.push(Finding {
+            lint: &GA0014,
+            superstep: Some(trace.superstep),
+            vertex: Some(trace.vertex.to_string()),
+            detail: format!(
+                "sent {worst_count} messages to vertex {worst_target} in one superstep \
+                 with no combiner enabled; a combiner would cut {extra} message(s) \
+                 from this vertex's shuffle alone"
+            ),
+            evidence: repeated
+                .iter()
+                .take(4)
+                .map(|(target, n)| format!("target {target}: {n} messages"))
+                .collect(),
+        });
+    }
+    findings
+}

@@ -248,3 +248,68 @@ fn config_lints_work_untyped_from_meta_json() {
     assert!(facts.max_supersteps.is_some());
     assert!(facts.capture_all_active);
 }
+
+/// A fan-in pattern without a combiner: every leaf sends its id to the
+/// hub *twice* per superstep. With `COMBINE = false` that doubles the
+/// shuffle for nothing — GA0014's exact target. The same computation
+/// with `COMBINE = true` declares a sum combiner and must analyze clean.
+struct DoubleSendToHub<const COMBINE: bool>;
+
+impl<const COMBINE: bool> Computation for DoubleSendToHub<COMBINE> {
+    type Id = u64;
+    type VValue = i64;
+    type EValue = ();
+    type Message = i64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[i64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        *vertex.value_mut() += messages.iter().sum::<i64>();
+        if ctx.superstep() == 0 && vertex.id() != 0 {
+            ctx.send_message(0, vertex.id() as i64);
+            ctx.send_message(0, vertex.id() as i64);
+        }
+        vertex.vote_to_halt();
+    }
+
+    fn use_combiner(&self) -> bool {
+        COMBINE
+    }
+
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        a + b
+    }
+}
+
+fn run_double_send<const COMBINE: bool>(root: &str) -> AnalysisReport {
+    let config = DebugConfig::<DoubleSendToHub<COMBINE>>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::Range { from: 0, to: 31 })
+        .build();
+    let run = GraftRunner::new(DoubleSendToHub::<COMBINE>, config)
+        .num_workers(2)
+        .run(premade::star(5, 0i64), root)
+        .unwrap();
+    let session = run.session().unwrap();
+    analyze_session(&session, || DoubleSendToHub::<COMBINE>, &AnalyzeOptions::default())
+}
+
+#[test]
+fn uncombined_fanin_triggers_exactly_ga0014() {
+    let report = run_double_send::<false>("/traces/double-send");
+    let ids = problem_ids(&report);
+    assert!(!ids.is_empty() && ids.iter().all(|id| *id == "GA0014"), "{}", report.to_text());
+    let finding = report.problems()[0];
+    assert_eq!(finding.superstep, Some(0));
+    assert!(finding.detail.contains("no combiner"), "{}", finding.detail);
+    assert!(finding.evidence.iter().any(|e| e.contains("2 messages")), "{:?}", finding.evidence);
+}
+
+#[test]
+fn combined_fanin_is_lint_clean() {
+    let report = run_double_send::<true>("/traces/double-send-combined");
+    assert!(report.is_clean(), "{}", report.to_text());
+}

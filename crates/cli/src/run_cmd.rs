@@ -36,7 +36,9 @@ pub fn usage() -> ExitCode {
          \x20 coloring             greedy MIS-based graph coloring (master-driven)\n\
          options:\n\
          \x20 --vertices <n>       graph size (default 64)\n\
-         \x20 --workers <n>        engine workers (default 4)\n\
+         \x20 --workers <n>        engine workers (default: GRAFT_NUM_WORKERS env var,\n\
+         \x20                      else 4 — fixed, not hardware-dependent, so fault\n\
+         \x20                      plans that name worker ids stay reproducible)\n\
          \x20 --checkpoint-every <k>  checkpoint every k supersteps (default 2; 0 disables)\n\
          \x20 --fault-plan <spec>  inject faults, e.g. \"kill-worker:1@3; panic@5;\n\
          \x20                      kill-datanode:0@2\" (semicolon- or comma-separated)\n\
@@ -69,7 +71,10 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
     let mut options = RunOptions {
         algorithm,
         vertices: 64,
-        workers: 4,
+        workers: graft_pregel::EngineConfig::worker_override(
+            std::env::var("GRAFT_NUM_WORKERS").ok().as_deref(),
+        )
+        .unwrap_or(4),
         checkpoint_every: 2,
         fault_plan: None,
         datanodes: 4,

@@ -91,6 +91,8 @@ pub struct GraftRunner<C: Computation> {
     cluster: Option<ClusterFs>,
     num_workers: usize,
     max_supersteps: u64,
+    executor: graft_pregel::ExecutorMode,
+    combining: graft_pregel::CombineStrategy,
     checkpoint_every: Option<u64>,
     fault_plan: Option<FaultPlan>,
     obs: Option<Arc<Obs>>,
@@ -148,6 +150,8 @@ impl<C: Computation> GraftRunner<C> {
             cluster: None,
             num_workers: graft_pregel::EngineConfig::default().num_workers,
             max_supersteps: graft_pregel::EngineConfig::default().max_supersteps,
+            executor: graft_pregel::EngineConfig::default().executor,
+            combining: graft_pregel::EngineConfig::default().combining,
             checkpoint_every: None,
             fault_plan: None,
             obs: None,
@@ -220,6 +224,22 @@ impl<C: Computation> GraftRunner<C> {
     /// Sets the engine superstep limit.
     pub fn max_supersteps(mut self, n: u64) -> Self {
         self.max_supersteps = n;
+        self
+    }
+
+    /// Selects the engine's thread executor. Deliberately *not* recorded
+    /// in `meta.json`: traces are bit-identical across executors, and the
+    /// equivalence tests depend on that.
+    pub fn executor(mut self, mode: graft_pregel::ExecutorMode) -> Self {
+        self.executor = mode;
+        self
+    }
+
+    /// Selects where the engine applies the combiner (sender or receiver
+    /// side). Like the executor, this is an execution detail that never
+    /// reaches `meta.json`.
+    pub fn combining(mut self, strategy: graft_pregel::CombineStrategy) -> Self {
+        self.combining = strategy;
         self
     }
 
@@ -329,7 +349,9 @@ impl<C: Computation> GraftRunner<C> {
         let mut engine = Engine::from_arc(Arc::clone(&instrumented))
             .with_observer(Arc::new(observer))
             .num_workers(self.num_workers)
-            .max_supersteps(self.max_supersteps);
+            .max_supersteps(self.max_supersteps)
+            .executor(self.executor)
+            .combining(self.combining);
         if let Some(obs) = &self.obs {
             engine = engine.with_obs(Arc::clone(obs));
         }

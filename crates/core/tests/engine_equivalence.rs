@@ -1,0 +1,203 @@
+//! Engine-equivalence matrix: the persistent-pool executor with
+//! sender-side combining must be observationally identical to the
+//! pre-pool path (spawn-per-superstep threads, receiver-side combining).
+//! For PageRank, SSSP, connected components, and graph coloring, both
+//! configurations must produce byte-identical trace directories, equal
+//! deterministic `JobStats` counters, and equal result checksums — also
+//! when a `FaultPlan` forces checkpoint/restart recovery mid-job.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use graft::{DebugConfig, GraftRun, GraftRunner};
+use graft_algorithms::coloring::{GCValue, GraphColoring, GraphColoringMaster};
+use graft_algorithms::components::ConnectedComponents;
+use graft_algorithms::pagerank::PageRank;
+use graft_algorithms::sssp::ShortestPaths;
+use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem};
+use graft_pregel::{CombineStrategy, Computation, ExecutorMode, FaultPlan, Graph};
+
+const TRACE_ROOT: &str = "/traces/equiv";
+
+/// The engine configuration as it was before the persistent pool landed.
+const LEGACY: (ExecutorMode, CombineStrategy) =
+    (ExecutorMode::SpawnPerSuperstep, CombineStrategy::AtReceiver);
+/// The optimized configuration this matrix certifies.
+const POOLED: (ExecutorMode, CombineStrategy) =
+    (ExecutorMode::PersistentPool, CombineStrategy::AtSender);
+
+fn cluster() -> ClusterFs {
+    ClusterFs::new(ClusterFsConfig { num_datanodes: 4, replication: 2, block_size: 256 })
+}
+
+/// Same deterministic ring-with-chords family the chaos matrix uses.
+fn build_graph<V, E>(n: u64, vertex: impl Fn(u64) -> V, edge: impl Fn(u64) -> E) -> Graph<u64, V, E>
+where
+    V: graft_pregel::Value,
+    E: graft_pregel::Value,
+{
+    let mut b = Graph::builder();
+    for v in 0..n {
+        b.add_vertex(v, vertex(v)).unwrap();
+    }
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n, edge(v)).unwrap();
+        b.add_edge(v, (v * 7 + 3) % n, edge(v + 1)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Runs `computation` under one (executor, combining) configuration.
+fn run_mode<C, G, F>(
+    computation: C,
+    graph: G,
+    mode: (ExecutorMode, CombineStrategy),
+    plan: Option<FaultPlan>,
+    customize: F,
+) -> (GraftRun<C>, ClusterFs)
+where
+    C: Computation<Id = u64>,
+    G: FnOnce() -> Graph<C::Id, C::VValue, C::EValue>,
+    F: FnOnce(GraftRunner<C>) -> GraftRunner<C>,
+{
+    let cluster = cluster();
+    let config = DebugConfig::<C>::builder().capture_all_active(true).build();
+    let mut runner = GraftRunner::new(computation, config)
+        .with_cluster(cluster.clone())
+        .num_workers(4)
+        .max_supersteps(40)
+        .executor(mode.0)
+        .combining(mode.1);
+    if let Some(plan) = plan {
+        runner = runner.checkpoint_every(2).with_fault_plan(plan);
+    }
+    let run = customize(runner).run(graph(), TRACE_ROOT).unwrap();
+    (run, cluster)
+}
+
+/// Every trace file (everything except checkpoints), keyed by path.
+fn trace_files(fs: &ClusterFs) -> BTreeMap<String, Vec<u8>> {
+    let fs: Arc<dyn FileSystem> = Arc::new(fs.clone());
+    fs.list_files_recursive(TRACE_ROOT)
+        .unwrap()
+        .into_iter()
+        .filter(|f| !f.path.contains("/checkpoints/"))
+        .map(|f| {
+            let bytes = fs.read_all(&f.path).unwrap();
+            (f.path, bytes)
+        })
+        .collect()
+}
+
+/// FNV-1a over the sorted (id, value-bits) stream — the same checksum
+/// `graft-cli run` prints, so the matrix certifies what users compare.
+fn checksum(values: impl Iterator<Item = (u64, u64)>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (id, bits) in values {
+        mix(id);
+        mix(bits);
+    }
+    hash
+}
+
+/// Asserts the two runs are observationally identical: trace bytes,
+/// deterministic stats counters, and result checksums.
+fn assert_equivalent<C>(
+    legacy: &(GraftRun<C>, ClusterFs),
+    pooled: &(GraftRun<C>, ClusterFs),
+    value_bits: impl Fn(&C::VValue) -> u64,
+    label: &str,
+) where
+    C: Computation<Id = u64>,
+{
+    let lo = legacy.0.outcome.as_ref().unwrap();
+    let po = pooled.0.outcome.as_ref().unwrap();
+
+    let lsum = checksum(lo.graph.sorted_values().iter().map(|(id, v)| (*id, value_bits(v))));
+    let psum = checksum(po.graph.sorted_values().iter().map(|(id, v)| (*id, value_bits(v))));
+    assert_eq!(lsum, psum, "{label}: result checksums diverged");
+
+    assert!(lo.stats.same_counters(&po.stats), "{label}: JobStats counters diverged");
+    assert_eq!(lo.halt_reason, po.halt_reason, "{label}: halt reasons diverged");
+
+    let lfiles = trace_files(&legacy.1);
+    let pfiles = trace_files(&pooled.1);
+    assert_eq!(
+        lfiles.keys().collect::<Vec<_>>(),
+        pfiles.keys().collect::<Vec<_>>(),
+        "{label}: trace directory listings diverged"
+    );
+    for (path, bytes) in &lfiles {
+        assert_eq!(bytes, &pfiles[path], "{label}: trace file {path} diverged");
+    }
+}
+
+#[test]
+fn pagerank_pooled_sender_combined_is_bit_identical() {
+    let graph = || build_graph(48, |_| 0.0f64, |_| ());
+    let legacy = run_mode(PageRank::new(10), graph, LEGACY, None, |r| r);
+    let pooled = run_mode(PageRank::new(10), graph, POOLED, None, |r| r);
+    assert!(
+        PageRank::new(10).use_combiner(),
+        "matrix must exercise sender-side combining on a combiner-enabled job"
+    );
+    assert_equivalent(&legacy, &pooled, |v: &f64| v.to_bits(), "pagerank");
+}
+
+#[test]
+fn sssp_pooled_sender_combined_is_bit_identical() {
+    let graph = || build_graph(48, |_| f64::INFINITY, |v| 1.0 + (v % 5) as f64);
+    let legacy = run_mode(ShortestPaths::new(0), graph, LEGACY, None, |r| r);
+    let pooled = run_mode(ShortestPaths::new(0), graph, POOLED, None, |r| r);
+    assert_equivalent(&legacy, &pooled, |v: &f64| v.to_bits(), "sssp");
+}
+
+#[test]
+fn components_pooled_sender_combined_is_bit_identical() {
+    let graph = || build_graph(48, |v| v, |_| ());
+    let legacy = run_mode(ConnectedComponents::new(), graph, LEGACY, None, |r| r);
+    let pooled = run_mode(ConnectedComponents::new(), graph, POOLED, None, |r| r);
+    assert_equivalent(&legacy, &pooled, |v: &u64| *v, "components");
+}
+
+#[test]
+fn coloring_pooled_sender_combined_is_bit_identical() {
+    // No combiner here: the pooled run must fall back to raw batches and
+    // still shuffle/deliver in exactly the legacy order, master included.
+    let graph = || build_graph(48, |_| GCValue::default(), |_| ());
+    let legacy = run_mode(GraphColoring::new(7), graph, LEGACY, None, |r| {
+        r.with_master(GraphColoringMaster)
+    });
+    let pooled = run_mode(GraphColoring::new(7), graph, POOLED, None, |r| {
+        r.with_master(GraphColoringMaster)
+    });
+    assert!(!GraphColoring::new(7).use_combiner());
+    assert_equivalent(
+        &legacy,
+        &pooled,
+        |v: &GCValue| v.color.map(|c| c + 1).unwrap_or(0),
+        "coloring",
+    );
+}
+
+#[test]
+fn faulted_runs_recover_identically_across_modes() {
+    // A worker kill and a compute panic at different supersteps: both
+    // configurations must checkpoint, restore, and replay to the same
+    // bytes — and both must actually have recovered.
+    let plan = || "kill-worker:1@3; panic@5".parse::<FaultPlan>().unwrap();
+    let graph = || build_graph(48, |_| 0.0f64, |_| ());
+    let legacy = run_mode(PageRank::new(10), graph, LEGACY, Some(plan()), |r| r);
+    let pooled = run_mode(PageRank::new(10), graph, POOLED, Some(plan()), |r| r);
+    for (run, label) in [(&legacy, "legacy"), (&pooled, "pooled")] {
+        let outcome = run.0.outcome.as_ref().unwrap();
+        assert!(outcome.stats.recoveries > 0, "{label}: fault plan never fired");
+    }
+    assert_equivalent(&legacy, &pooled, |v: &f64| v.to_bits(), "pagerank+faults");
+}

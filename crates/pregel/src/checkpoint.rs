@@ -150,12 +150,14 @@ pub(crate) struct RestoredState<C: Computation> {
 
 /// Writes a committed checkpoint for `superstep` and prunes old ones.
 /// Returns the number of payload bytes written (partition frames,
-/// manifest, and commit marker).
+/// manifest, and commit marker). Takes partition references because the
+/// live partitions sit behind per-worker locks (the coordinator holds
+/// all the guards while the pool is parked between phases).
 pub(crate) fn write_checkpoint<C: Computation>(
     fs: &Arc<dyn FileSystem>,
     config: &CheckpointConfig,
     superstep: u64,
-    partitions: &[Partition<C>],
+    partitions: &[&Partition<C>],
     aggregators: Vec<(String, AggValue)>,
 ) -> Result<u64, CheckpointError> {
     let dir = config.dir(superstep);
@@ -349,7 +351,9 @@ mod tests {
         let fs = fs();
         let config = CheckpointConfig::new(2, "/ckpt");
         let aggs = vec![("sum".to_string(), AggValue::Long(42))];
-        write_checkpoint(&fs, &config, 4, &sample_partitions(), aggs.clone()).unwrap();
+        let partitions = sample_partitions();
+        let refs: Vec<&Partition<Noop>> = partitions.iter().collect();
+        write_checkpoint(&fs, &config, 4, &refs, aggs.clone()).unwrap();
 
         let restored = restore_latest::<Noop>(&fs, &config).unwrap().unwrap();
         assert_eq!(restored.superstep, 4);
@@ -368,8 +372,10 @@ mod tests {
     fn restore_picks_newest_committed() {
         let fs = fs();
         let config = CheckpointConfig::new(2, "/ckpt").keep(10);
-        write_checkpoint(&fs, &config, 0, &sample_partitions(), vec![]).unwrap();
-        write_checkpoint(&fs, &config, 2, &sample_partitions(), vec![]).unwrap();
+        let partitions = sample_partitions();
+        let refs: Vec<&Partition<Noop>> = partitions.iter().collect();
+        write_checkpoint(&fs, &config, 0, &refs, vec![]).unwrap();
+        write_checkpoint(&fs, &config, 2, &refs, vec![]).unwrap();
         // A later, uncommitted (crashed mid-write) checkpoint is ignored.
         fs.write_all("/ckpt/cp_4/part_0.ckpt", b"torn").unwrap();
         let restored = restore_latest::<Noop>(&fs, &config).unwrap().unwrap();
@@ -387,8 +393,10 @@ mod tests {
     fn pruning_keeps_newest_k() {
         let fs = fs();
         let config = CheckpointConfig::new(2, "/ckpt").keep(2);
+        let partitions = sample_partitions();
+        let refs: Vec<&Partition<Noop>> = partitions.iter().collect();
         for s in [0, 2, 4, 6] {
-            write_checkpoint(&fs, &config, s, &sample_partitions(), vec![]).unwrap();
+            write_checkpoint(&fs, &config, s, &refs, vec![]).unwrap();
         }
         assert!(!fs.exists("/ckpt/cp_0"));
         assert!(!fs.exists("/ckpt/cp_2"));

@@ -77,10 +77,15 @@ pub trait Computation: Send + Sync + Sized + 'static {
         unimplemented!("combine() called but use_combiner() is false")
     }
 
-    /// Folds a message slice with [`Computation::combine`] exactly the way
-    /// the engine does (left fold in slice order). `None` for an empty
-    /// slice. Useful for tests and analysis tools that need the engine's
-    /// combining semantics without running the engine.
+    /// Folds a message slice with [`Computation::combine`] the way the
+    /// engine folds one sender's stream (left fold in slice order).
+    /// `None` for an empty slice. The engine groups messages by sending
+    /// worker, folds each group in send order, and merges the per-worker
+    /// partials in worker order — so the engine's overall fold over a
+    /// delivery is `combine_all` applied to the worker partials of
+    /// `combine_all` applied to each worker's sends. Useful for tests and
+    /// analysis tools that need the engine's combining semantics without
+    /// running the engine.
     fn combine_all(&self, messages: &[Self::Message]) -> Option<Self::Message> {
         let mut iter = messages.iter();
         let first = iter.next()?.clone();

@@ -46,7 +46,30 @@ impl<'a, I: VertexId, V: Value, E: Value, M: Value> ComputeContext<'a, I, V, E, 
         worker_aggs: &'a mut WorkerAggregators,
         mutations: &'a mut Vec<Mutation<I, V, E>>,
     ) -> Self {
-        Self { global, worker_id, staged: Vec::new(), aggregators, worker_aggs, mutations }
+        Self::with_buffer(global, worker_id, aggregators, worker_aggs, mutations, Vec::new())
+    }
+
+    /// Like [`ComputeContext::new`], but stages sends into a recycled
+    /// buffer instead of a fresh allocation. The engine's worker threads
+    /// thread the same buffer through every superstep (reclaiming it
+    /// with [`ComputeContext::into_buffer`]); the buffer is cleared here,
+    /// so only its capacity is reused.
+    pub fn with_buffer(
+        global: GlobalData,
+        worker_id: usize,
+        aggregators: &'a AggregatorRegistry,
+        worker_aggs: &'a mut WorkerAggregators,
+        mutations: &'a mut Vec<Mutation<I, V, E>>,
+        mut staged: Vec<(I, M)>,
+    ) -> Self {
+        staged.clear();
+        Self { global, worker_id, staged, aggregators, worker_aggs, mutations }
+    }
+
+    /// Consumes the context, returning the staged-send buffer so its
+    /// capacity can be reused by the next superstep's context.
+    pub fn into_buffer(self) -> Vec<(I, M)> {
+        self.staged
     }
 
     /// The current superstep number (0-based).

@@ -1,26 +1,80 @@
-//! The BSP execution engine: hash partitioning, parallel superstep
-//! execution, message shuffle, aggregator merge, topology mutations, and
-//! halting.
+//! The BSP execution engine: hash partitioning, a persistent worker
+//! pool, message shuffle with optional sender-side combining, aggregator
+//! merge, topology mutations, and halting.
 //!
-//! "Workers" are threads, each owning one hash partition of the vertices.
-//! Every superstep runs in phases divided by barriers, exactly as in
-//! Pregel:
+//! "Workers" are threads, each owning one hash partition of the
+//! vertices. Every superstep runs in phases divided by barriers, exactly
+//! as in Pregel:
 //!
 //! 1. the optional master computation runs (it may halt the job),
 //! 2. workers compute all active vertices in parallel, staging outgoing
-//!    messages and aggregator updates,
+//!    messages into per-destination-partition shuffle buffers,
 //! 3. aggregator partials are merged,
 //! 4. messages are delivered (with optional combining) in parallel,
 //! 5. requested topology mutations are applied,
 //! 6. the halting condition is evaluated: the job stops when every vertex
 //!    has voted to halt and no messages are in flight.
+//!
+//! # Executors
+//!
+//! Two [`ExecutorMode`]s drive phases 2 and 4:
+//!
+//! * [`ExecutorMode::PersistentPool`] (the default) creates
+//!   `num_workers` long-lived threads once per job. The coordinator and
+//!   the workers synchronize on two reusable `Barrier`s
+//!   (`num_workers + 1` participants each) around a shared command word:
+//!
+//!   1. the coordinator stores the phase command (`Compute(global)`,
+//!      `Deliver`, or `Exit`) and waits on the *start* barrier;
+//!   2. every worker wakes, reads the command, runs its phase against
+//!      its own partition, and parks the outcome in its result slot;
+//!   3. workers and coordinator meet at the *done* barrier, after which
+//!      the coordinator owns all partitions again and collects the
+//!      result slots in worker-index order.
+//!
+//!   `Exit` releases the workers without a done-barrier rendezvous; the
+//!   coordinator sends it unconditionally (success or failure) before
+//!   leaving the job scope, so worker threads can never outlive a job.
+//!   Worker phase bodies run under `catch_unwind`, so an injected fault
+//!   or a panic escaping user code surfaces as an error in the result
+//!   slot while the thread itself survives to serve the recovery replay
+//!   — fault injection stays deterministic across restores.
+//!
+//! * [`ExecutorMode::SpawnPerSuperstep`] reproduces the original
+//!   engine's behavior — a fresh `std::thread::scope` per phase — and is
+//!   kept as the baseline for the equivalence matrix and benchmarks.
+//!
+//! # Shuffle and combining
+//!
+//! Messages travel from compute workers to delivery workers through
+//! per-partition staging slots (`incoming[partition][source_worker]`),
+//! drained in source-worker order so the shuffle is deterministic. With
+//! [`CombineStrategy::AtSender`] (the default) and a combiner enabled,
+//! each worker folds messages per target *at send time*, so one combined
+//! message (plus the raw count, which keeps the stats exact) crosses the
+//! shuffle per `(target, source worker)`. [`CombineStrategy::AtReceiver`]
+//! ships the raw stream and folds on the delivery side using the *same*
+//! fold tree: per-source partials folded in send order, partials merged
+//! into the inbox in source-worker order. Both strategies therefore
+//! produce bit-identical inboxes, results, stats, and trace bytes — even
+//! for combiners that are not associative in floating point, like
+//! PageRank's rank sum.
+//!
+//! # Buffer reuse
+//!
+//! Shuffle buffers (raw `Vec`s and combining maps) are recycled through
+//! a shared buffer pool instead of reallocated every superstep: compute
+//! workers take buffers, delivery workers drain them and put them back,
+//! and inbox `Vec`s swap back into their slot after compute so their
+//! capacity survives the superstep. Recycled buffers retain capacity,
+//! never contents, so reuse is invisible to results and traces.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::time::Instant;
 
 use graft_dfs::FileSystem;
-use graft_obs::{Obs, Scope, Timer};
+use graft_obs::{Obs, Scope};
 
 use crate::aggregators::{AggregatorRegistry, WorkerAggregators};
 use crate::checkpoint::{self, CheckpointConfig};
@@ -30,8 +84,14 @@ use crate::fault::{ArmedFaults, FaultPlan};
 type MutationOf<C> =
     Mutation<<C as Computation>::Id, <C as Computation>::VValue, <C as Computation>::EValue>;
 
-/// One worker's batch of `(target, message)` pairs bound for a partition.
-type OutboxOf<C> = Vec<(<C as Computation>::Id, <C as Computation>::Message)>;
+/// A raw (uncombined) shuffle batch: `(target, message)` pairs in send
+/// order.
+type RawBatch<C> = Vec<(<C as Computation>::Id, <C as Computation>::Message)>;
+
+/// A sender-combined shuffle batch: per target, the folded message plus
+/// the raw message count it stands for (so delivery stats stay exact).
+type CombinedBatch<C> = FxHashMap<<C as Computation>::Id, (<C as Computation>::Message, u64)>;
+
 use crate::context::{ComputeContext, Mutation};
 use crate::error::{panic_message, EngineError};
 use crate::graph::Graph;
@@ -41,21 +101,67 @@ use crate::observer::{JobEnd, JobObserver};
 use crate::stats::{HaltReason, JobStats, SuperstepStats};
 use crate::types::{Edge, GlobalData};
 
+/// How phases 2 and 4 are executed; see the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorMode {
+    /// One pool of `num_workers` long-lived threads per job, phases
+    /// synchronized with reusable barriers. The default.
+    PersistentPool,
+    /// Fresh scoped threads per phase (the original engine's behavior).
+    /// Kept as the equivalence baseline for tests and benchmarks.
+    SpawnPerSuperstep,
+}
+
+/// Where combiner folds run; see the module docs. Both strategies use
+/// the same fold tree and produce bit-identical results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CombineStrategy {
+    /// Fold per target at send time; the shuffle moves one combined
+    /// message per `(target, source worker)`. The default.
+    AtSender,
+    /// Ship the raw message stream and fold at delivery.
+    AtReceiver,
+}
+
 /// Engine tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
-    /// Worker threads (== partitions). Defaults to available parallelism,
-    /// capped at 8.
+    /// Worker threads (== partitions). Defaults to available parallelism
+    /// capped at 8, overridable with the `GRAFT_NUM_WORKERS` env var.
     pub num_workers: usize,
     /// Safety limit on supersteps; the job reports
     /// [`HaltReason::MaxSuperstepsReached`] when hit.
     pub max_supersteps: u64,
+    /// How phases 2 and 4 are executed.
+    pub executor: ExecutorMode,
+    /// Where combiner folds run.
+    pub combining: CombineStrategy,
+}
+
+impl EngineConfig {
+    /// Parses a `GRAFT_NUM_WORKERS` override, clamped to `1..=64`.
+    /// `None` when unset or unparsable (the hardware default applies).
+    pub fn worker_override(raw: Option<&str>) -> Option<usize> {
+        let n: usize = raw?.trim().parse().ok()?;
+        Some(n.clamp(1, 64))
+    }
+
+    /// The default worker count: `GRAFT_NUM_WORKERS` if set and valid,
+    /// otherwise available parallelism capped at 8.
+    pub fn default_num_workers() -> usize {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+        Self::worker_override(std::env::var("GRAFT_NUM_WORKERS").ok().as_deref()).unwrap_or(hw)
+    }
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-        Self { num_workers: workers, max_supersteps: 100_000 }
+        Self {
+            num_workers: Self::default_num_workers(),
+            max_supersteps: 100_000,
+            executor: ExecutorMode::PersistentPool,
+            combining: CombineStrategy::AtSender,
+        }
     }
 }
 
@@ -133,6 +239,18 @@ impl<C: Computation> Engine<C> {
     /// Sets the superstep safety limit.
     pub fn max_supersteps(mut self, n: u64) -> Self {
         self.config.max_supersteps = n;
+        self
+    }
+
+    /// Selects how phases 2 and 4 are executed.
+    pub fn executor(mut self, mode: ExecutorMode) -> Self {
+        self.config.executor = mode;
+        self
+    }
+
+    /// Selects where combiner folds run.
+    pub fn combining(mut self, strategy: CombineStrategy) -> Self {
+        self.config.combining = strategy;
         self
     }
 
@@ -223,11 +341,11 @@ impl<C: Computation> Engine<C> {
     ) -> Result<JobOutcome<C>, (u64, EngineError)> {
         let job_start = Instant::now();
         let num_partitions = self.config.num_workers.max(1);
-        let partitions = build_partitions::<C>(graph, num_partitions);
+        let shared =
+            SharedState::new(build_partitions::<C>(graph, num_partitions), self.fresh_registry());
 
-        let registry = self.fresh_registry();
-        let num_vertices: u64 = partitions.iter().map(Partition::live_vertices).sum();
-        let num_edges: u64 = partitions.iter().map(Partition::live_edges).sum();
+        let num_vertices: u64 = shared.partitions.iter().map(|p| lock(p).live_vertices()).sum();
+        let num_edges: u64 = shared.partitions.iter().map(|p| lock(p).live_edges()).sum();
 
         let initial_global = GlobalData { superstep: 0, num_vertices, num_edges };
         for obs in &self.observers {
@@ -239,31 +357,91 @@ impl<C: Computation> Engine<C> {
         let faults = self.fault_plan.as_ref().map(ArmedFaults::new);
 
         let mut state = LoopState {
-            partitions,
-            registry,
             superstep: 0,
             all_stats: Vec::new(),
             num_vertices,
             num_edges,
+            recoveries: 0,
+            last_checkpoint: None,
         };
-        let mut recoveries = 0u64;
-        let mut last_checkpoint: Option<u64> = None;
 
-        let halt_reason = loop {
+        let ctx = EngineCtx {
+            computation: self.computation.as_ref(),
+            shared: &shared,
+            faults: faults.as_ref(),
+            obs: self.obs.as_deref(),
+            combining: self.config.combining,
+            num_partitions,
+        };
+
+        let halt_reason = match self.config.executor {
+            ExecutorMode::SpawnPerSuperstep => {
+                let runner = SpawnRunner { ctx };
+                self.drive(&mut state, &shared, &runner, num_partitions)?
+            }
+            ExecutorMode::PersistentPool => {
+                let sync = PoolSync::<C>::new(num_partitions);
+                std::thread::scope(|scope| {
+                    for worker_id in 0..num_partitions {
+                        let sync = &sync;
+                        scope.spawn(move || pool_worker(ctx, sync, worker_id));
+                    }
+                    let runner = PoolRunner { sync: &sync };
+                    let outcome = self.drive(&mut state, &shared, &runner, num_partitions);
+                    // Unconditional shutdown: workers must be released
+                    // before the scope joins them, on success or failure.
+                    *lock(&sync.command) = PoolCommand::Exit;
+                    sync.start.wait();
+                    outcome
+                })?
+            }
+        };
+
+        let partitions: Vec<Partition<C>> = shared
+            .partitions
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect();
+        let graph = rebuild_graph::<C>(partitions);
+        Ok(JobOutcome {
+            graph,
+            stats: JobStats {
+                supersteps: state.all_stats,
+                total_wall_time: job_start.elapsed(),
+                recoveries: state.recoveries,
+            },
+            halt_reason,
+        })
+    }
+
+    /// The superstep loop: checkpoint when due, execute, recover from
+    /// recoverable failures by restoring the latest committed checkpoint.
+    fn drive<R: PhaseRunner<C>>(
+        &self,
+        state: &mut LoopState,
+        shared: &SharedState<C>,
+        runner: &R,
+        num_partitions: usize,
+    ) -> Result<HaltReason, (u64, EngineError)> {
+        loop {
             if let Some((fs, ckpt)) = &self.checkpoints {
-                if ckpt.due_at(state.superstep) && last_checkpoint != Some(state.superstep) {
+                if ckpt.due_at(state.superstep) && state.last_checkpoint != Some(state.superstep) {
                     let begin = self
                         .obs
                         .as_ref()
                         .map(|o| o.begin("checkpoint.write", Some(state.superstep), None));
-                    let bytes = checkpoint::write_checkpoint(
-                        fs,
-                        ckpt,
-                        state.superstep,
-                        &state.partitions,
-                        state.registry.snapshot(),
-                    )
-                    .map_err(|e| (state.superstep, EngineError::Checkpoint(e)))?;
+                    let bytes = {
+                        let guards: Vec<_> = shared.partitions.iter().map(lock).collect();
+                        let refs: Vec<&Partition<C>> = guards.iter().map(|g| &**g).collect();
+                        checkpoint::write_checkpoint(
+                            fs,
+                            ckpt,
+                            state.superstep,
+                            &refs,
+                            read(&shared.registry).snapshot(),
+                        )
+                        .map_err(|e| (state.superstep, EngineError::Checkpoint(e)))?
+                    };
                     if let (Some(obs), Some(begin)) = (&self.obs, begin) {
                         let dur = obs.end(
                             "checkpoint.write",
@@ -278,15 +456,15 @@ impl<C: Computation> Engine<C> {
                         reg.observe_bytes("checkpoint_write_bytes", Scope::GLOBAL, bytes);
                         reg.observe_time("checkpoint_write_nanos", Scope::GLOBAL, dur);
                     }
-                    last_checkpoint = Some(state.superstep);
+                    state.last_checkpoint = Some(state.superstep);
                     for obs in &self.observers {
                         obs.on_checkpoint(state.superstep);
                     }
                 }
             }
 
-            match self.execute_superstep(&mut state, num_partitions, faults.as_ref()) {
-                Ok(Some(reason)) => break reason,
+            match self.execute_superstep(state, shared, runner, num_partitions) {
+                Ok(Some(reason)) => return Ok(reason),
                 Ok(None) => {}
                 Err(err) => {
                     let failed_at = state.superstep;
@@ -296,11 +474,11 @@ impl<C: Computation> Engine<C> {
                     if !is_recoverable(&err) {
                         return Err((failed_at, err));
                     }
-                    if recoveries >= ckpt.max_recoveries {
+                    if state.recoveries >= ckpt.max_recoveries {
                         return Err((
                             failed_at,
                             EngineError::RecoveryExhausted {
-                                attempts: recoveries,
+                                attempts: state.recoveries,
                                 last_error: Box::new(err),
                             },
                         ));
@@ -314,9 +492,9 @@ impl<C: Computation> Engine<C> {
                         Ok(None) => return Err((failed_at, err)),
                         Err(ck) => return Err((failed_at, EngineError::Checkpoint(ck))),
                     };
-                    recoveries += 1;
+                    state.recoveries += 1;
                     let resumed_at = restored.superstep;
-                    self.resume_from(&mut state, restored);
+                    self.resume_from(state, shared, restored);
                     if let (Some(obs), Some(begin)) = (&self.obs, begin) {
                         let dur = obs.end(
                             "checkpoint.restore",
@@ -333,7 +511,7 @@ impl<C: Computation> Engine<C> {
                             None,
                             None,
                             &[
-                                ("attempt", recoveries.to_string()),
+                                ("attempt", state.recoveries.to_string()),
                                 ("failed_superstep", failed_at.to_string()),
                                 ("resumed_superstep", resumed_at.to_string()),
                                 ("error", err.to_string()),
@@ -345,24 +523,13 @@ impl<C: Computation> Engine<C> {
                     }
                     // The restored superstep's checkpoint is the one we
                     // just loaded; don't rewrite it before the replay.
-                    last_checkpoint = Some(resumed_at);
+                    state.last_checkpoint = Some(resumed_at);
                     for obs in &self.observers {
                         obs.on_restore(resumed_at);
                     }
                 }
             }
-        };
-
-        let graph = rebuild_graph::<C>(state.partitions);
-        Ok(JobOutcome {
-            graph,
-            stats: JobStats {
-                supersteps: state.all_stats,
-                total_wall_time: job_start.elapsed(),
-                recoveries,
-            },
-            halt_reason,
-        })
+        }
     }
 
     /// A registry with the computation's (and master's) aggregators
@@ -376,8 +543,16 @@ impl<C: Computation> Engine<C> {
         registry
     }
 
-    /// Rewinds `state` to a restored checkpoint.
-    fn resume_from(&self, state: &mut LoopState<C>, restored: checkpoint::RestoredState<C>) {
+    /// Rewinds the job to a restored checkpoint: partitions and registry
+    /// are replaced in place (pooled workers keep their shared borrows),
+    /// and any shuffle batches staged by the failed superstep's partial
+    /// compute phase are discarded back to the buffer pool.
+    fn resume_from(
+        &self,
+        state: &mut LoopState,
+        shared: &SharedState<C>,
+        restored: checkpoint::RestoredState<C>,
+    ) {
         let mut registry = self.fresh_registry();
         for (name, value) in restored.aggregators {
             // Aggregators in the checkpoint but no longer registered
@@ -386,11 +561,14 @@ impl<C: Computation> Engine<C> {
                 registry.set(&name, value);
             }
         }
-        state.partitions = restored.partitions;
-        state.registry = registry;
+        for (slot, partition) in shared.partitions.iter().zip(restored.partitions) {
+            *lock(slot) = partition;
+        }
+        *write(&shared.registry) = registry;
+        shared.clear_incoming();
         state.superstep = restored.superstep;
-        state.num_vertices = state.partitions.iter().map(Partition::live_vertices).sum();
-        state.num_edges = state.partitions.iter().map(Partition::live_edges).sum();
+        state.num_vertices = shared.partitions.iter().map(|p| lock(p).live_vertices()).sum();
+        state.num_edges = shared.partitions.iter().map(|p| lock(p).live_edges()).sum();
         // One entry per completed superstep, so entry i is superstep i:
         // drop everything the replay will re-execute.
         state.all_stats.truncate(restored.superstep as usize);
@@ -401,11 +579,12 @@ impl<C: Computation> Engine<C> {
     /// Returns `Ok(Some(reason))` when the job halted, `Ok(None)` when it
     /// should continue with the next superstep, and `Err` on a failure
     /// (which the caller may recover from via checkpoints).
-    fn execute_superstep(
+    fn execute_superstep<R: PhaseRunner<C>>(
         &self,
-        state: &mut LoopState<C>,
+        state: &mut LoopState,
+        shared: &SharedState<C>,
+        runner: &R,
         num_partitions: usize,
-        faults: Option<&ArmedFaults>,
     ) -> Result<Option<HaltReason>, EngineError> {
         let superstep = state.superstep;
         let global =
@@ -416,15 +595,18 @@ impl<C: Computation> Engine<C> {
         // Phase 1: master computation (beginning of superstep).
         if let Some(master) = &self.master {
             let master_begin = obs.map(|o| o.begin("phase.master", Some(superstep), None));
-            let mut mctx = MasterContext::new(global, &mut state.registry);
-            let result = catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
-            if let Err(payload) = result {
-                return Err(EngineError::MasterPanic {
-                    superstep,
-                    message: panic_message(&*payload),
-                });
-            }
-            let halted = mctx.is_halted();
+            let halted = {
+                let mut registry = write(&shared.registry);
+                let mut mctx = MasterContext::new(global, &mut registry);
+                let result = catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
+                if let Err(payload) = result {
+                    return Err(EngineError::MasterPanic {
+                        superstep,
+                        message: panic_message(&*payload),
+                    });
+                }
+                mctx.is_halted()
+            };
             if let (Some(o), Some(begin)) = (obs, master_begin) {
                 let dur = o.end(
                     "phase.master",
@@ -435,7 +617,7 @@ impl<C: Computation> Engine<C> {
                 );
                 o.registry().observe_time("phase_master_nanos", Scope::GLOBAL, dur);
             }
-            let snapshot = state.registry.snapshot();
+            let snapshot = read(&shared.registry).snapshot();
             for obs in &self.observers {
                 obs.on_master_computed(superstep, &global, &snapshot, halted);
             }
@@ -448,38 +630,7 @@ impl<C: Computation> Engine<C> {
         let compute_begin = obs.map(|o| o.begin("phase.compute", Some(superstep), None));
 
         // Phase 2: parallel vertex computation.
-        let worker_results: Vec<Result<WorkerOutput<C>, EngineError>> = {
-            let computation = &self.computation;
-            let registry_ref = &state.registry;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = state
-                    .partitions
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(worker_id, partition)| {
-                        let lane = WorkerLane {
-                            id: worker_id,
-                            num_partitions,
-                            timer: obs.map(|o| o.timer()),
-                        };
-                        scope.spawn(move || {
-                            run_partition(
-                                computation.as_ref(),
-                                partition,
-                                global,
-                                lane,
-                                registry_ref,
-                                faults,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("engine worker must not panic"))
-                    .collect()
-            })
-        };
+        let worker_results = runner.compute(global);
 
         let mut outputs = Vec::with_capacity(worker_results.len());
         for result in worker_results {
@@ -491,6 +642,7 @@ impl<C: Computation> Engine<C> {
 
         let compute_calls: u64 = outputs.iter().map(|o| o.compute_calls).sum();
         let messages_sent: u64 = outputs.iter().map(|o| o.messages_sent).sum();
+        let messages_shuffled: u64 = outputs.iter().map(|o| o.messages_shuffled).sum();
 
         if let (Some(o), Some(begin)) = (obs, compute_begin) {
             let worker_nanos: Vec<String> =
@@ -508,6 +660,7 @@ impl<C: Computation> Engine<C> {
             );
             let reg = o.registry();
             reg.observe_time("phase_compute_nanos", Scope::GLOBAL, dur);
+            reg.inc("pregel_messages_shuffled", Scope::superstep(superstep), messages_shuffled);
             for (w, out) in outputs.iter().enumerate() {
                 reg.observe_time("worker_compute_nanos", Scope::worker(w as u64), out.nanos);
                 reg.inc(
@@ -520,8 +673,7 @@ impl<C: Computation> Engine<C> {
 
         // Phase 3: merge aggregator partials.
         let aggregate_begin = obs.map(|o| o.begin("phase.aggregate", Some(superstep), None));
-        state
-            .registry
+        write(&shared.registry)
             .merge_superstep(outputs.iter_mut().map(|o| std::mem::take(&mut o.aggs)).collect());
         if let (Some(o), Some(begin)) = (obs, aggregate_begin) {
             let dur = o.end("phase.aggregate", Some(superstep), None, begin, &[]);
@@ -532,31 +684,15 @@ impl<C: Computation> Engine<C> {
         let delivery_start = Instant::now();
         let delivery_begin = obs.map(|o| o.begin("phase.delivery", Some(superstep), None));
 
-        // Phase 4: parallel message delivery.
-        let mut per_partition_incoming: Vec<Vec<OutboxOf<C>>> =
-            (0..num_partitions).map(|_| Vec::with_capacity(outputs.len())).collect();
-        for output in &mut outputs {
-            for (p, buf) in output.outboxes.drain(..).enumerate() {
-                per_partition_incoming[p].push(buf);
+        // Phase 4: parallel message delivery from the staged shuffle.
+        let delivery_results = runner.deliver(superstep);
+        let mut delivery = Vec::with_capacity(delivery_results.len());
+        for result in delivery_results {
+            match result {
+                Ok(counts) => delivery.push(counts),
+                Err(err) => return Err(err),
             }
         }
-        let delivery: Vec<DeliveryCounts> = {
-            let computation = &self.computation;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = state
-                    .partitions
-                    .iter_mut()
-                    .zip(per_partition_incoming)
-                    .map(|(partition, incoming)| {
-                        let timer = obs.map(|o| o.timer());
-                        scope.spawn(move || {
-                            deliver(computation.as_ref(), partition, incoming, timer)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("delivery must not panic")).collect()
-            })
-        };
 
         let messages_delivered: u64 = delivery.iter().map(|d| d.delivered).sum();
         let messages_to_missing: u64 = delivery.iter().map(|d| d.missing).sum();
@@ -591,10 +727,14 @@ impl<C: Computation> Engine<C> {
             0
         } else {
             let mutate_begin = obs.map(|o| o.begin("phase.mutate", Some(superstep), None));
-            let applied = apply_mutations(&mut state.partitions, mutations, num_partitions);
-            state.num_vertices = state.partitions.iter().map(Partition::live_vertices).sum();
-            state.num_edges = state.partitions.iter().map(Partition::live_edges).sum();
-            active_vertices = state.partitions.iter().map(Partition::active_vertices).sum();
+            let applied = {
+                let mut guards: Vec<_> = shared.partitions.iter().map(lock).collect();
+                let applied = apply_mutations::<C, _>(&mut guards, mutations, num_partitions);
+                state.num_vertices = guards.iter().map(|g| g.live_vertices()).sum();
+                state.num_edges = guards.iter().map(|g| g.live_edges()).sum();
+                active_vertices = guards.iter().map(|g| g.active_vertices()).sum();
+                applied
+            };
             if let (Some(o), Some(begin)) = (obs, mutate_begin) {
                 let dur = o.end(
                     "phase.mutate",
@@ -674,16 +814,16 @@ impl<C: Computation> Engine<C> {
     }
 }
 
-/// The complete mutable job state threaded through the superstep loop —
-/// exactly what a checkpoint captures (plus derived counts and the
-/// stats tail a restore truncates).
-struct LoopState<C: Computation> {
-    partitions: Vec<Partition<C>>,
-    registry: AggregatorRegistry,
+/// Coordinator-side loop bookkeeping. The graph state itself lives in
+/// [`SharedState`], where both the coordinator and the workers can reach
+/// it between barriers.
+struct LoopState {
     superstep: u64,
     all_stats: Vec<SuperstepStats>,
     num_vertices: u64,
     num_edges: u64,
+    recoveries: u64,
+    last_checkpoint: Option<u64>,
 }
 
 /// Whether a failure can be healed by restoring a checkpoint and
@@ -694,9 +834,62 @@ fn is_recoverable(err: &EngineError) -> bool {
     matches!(err, EngineError::VertexPanic { .. } | EngineError::WorkerCrashed { .. })
 }
 
+/// Locks a mutex, tolerating poison: worker phases run under
+/// `catch_unwind`, so a poisoned lock only means a guarded panic already
+/// surfaced as an error through a result slot.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn read<T>(rwlock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    rwlock.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write<T>(rwlock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    rwlock.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Deterministic partition assignment for a vertex id.
 pub fn partition_for<I: std::hash::Hash>(id: &I, num_partitions: usize) -> usize {
     (fx_hash_one(id) % num_partitions as u64) as usize
+}
+
+/// Job state shared between the coordinator and the worker threads.
+/// Workers lock only their own partition (and briefly the staging slots
+/// they ship batches to); the coordinator locks between phases, when the
+/// barriers guarantee every worker is parked.
+struct SharedState<C: Computation> {
+    partitions: Vec<Mutex<Partition<C>>>,
+    /// Shuffle staging: `incoming[partition][source_worker]` holds the
+    /// batch worker `source_worker` produced for `partition` this
+    /// superstep. Slot order makes delivery merge in worker-index order.
+    incoming: Vec<Mutex<Vec<Option<Outbox<C>>>>>,
+    buffers: BufferPool<C>,
+    registry: RwLock<AggregatorRegistry>,
+}
+
+impl<C: Computation> SharedState<C> {
+    fn new(partitions: Vec<Partition<C>>, registry: AggregatorRegistry) -> Self {
+        let n = partitions.len();
+        Self {
+            partitions: partitions.into_iter().map(Mutex::new).collect(),
+            incoming: (0..n).map(|_| Mutex::new((0..n).map(|_| None).collect())).collect(),
+            buffers: BufferPool::new(),
+            registry: RwLock::new(registry),
+        }
+    }
+
+    /// Discards any staged shuffle batches (a failed superstep leaves
+    /// behind the batches of the workers that succeeded).
+    fn clear_incoming(&self) {
+        for slots in &self.incoming {
+            for slot in lock(slots).iter_mut() {
+                if let Some(batch) = slot.take() {
+                    self.buffers.put(batch);
+                }
+            }
+        }
+    }
 }
 
 /// One worker's share of the graph. `pub(crate)` so the checkpoint
@@ -758,12 +951,110 @@ impl<C: Computation> Partition<C> {
     }
 }
 
+/// One shuffle batch in flight from a compute worker to a delivery
+/// worker.
+enum Outbox<C: Computation> {
+    /// The raw `(target, message)` stream, in send order.
+    Raw(RawBatch<C>),
+    /// Sender-combined: one folded message (plus raw count) per target.
+    Combined(CombinedBatch<C>),
+}
+
+impl<C: Computation> Outbox<C> {
+    fn is_empty(&self) -> bool {
+        match self {
+            Outbox::Raw(v) => v.is_empty(),
+            Outbox::Combined(m) => m.is_empty(),
+        }
+    }
+
+    /// Entries that physically cross the shuffle.
+    fn len(&self) -> usize {
+        match self {
+            Outbox::Raw(v) => v.len(),
+            Outbox::Combined(m) => m.len(),
+        }
+    }
+}
+
+/// Recycles shuffle buffers across supersteps. Buffers migrate between
+/// threads (filled by compute workers, drained and returned by delivery
+/// workers), so the free lists are shared. Returned buffers are cleared;
+/// only capacity is reused.
+struct BufferPool<C: Computation> {
+    raw: Mutex<Vec<RawBatch<C>>>,
+    combined: Mutex<Vec<CombinedBatch<C>>>,
+}
+
+impl<C: Computation> BufferPool<C> {
+    fn new() -> Self {
+        Self { raw: Mutex::new(Vec::new()), combined: Mutex::new(Vec::new()) }
+    }
+
+    fn take(&self, combined: bool) -> Outbox<C> {
+        if combined {
+            Outbox::Combined(lock(&self.combined).pop().unwrap_or_default())
+        } else {
+            Outbox::Raw(lock(&self.raw).pop().unwrap_or_default())
+        }
+    }
+
+    fn put(&self, outbox: Outbox<C>) {
+        match outbox {
+            Outbox::Raw(mut v) => {
+                v.clear();
+                lock(&self.raw).push(v);
+            }
+            Outbox::Combined(mut m) => {
+                m.clear();
+                lock(&self.combined).push(m);
+            }
+        }
+    }
+}
+
+/// Everything a worker phase needs, bundled so it can be copied into
+/// pool threads and per-phase scoped threads alike.
+struct EngineCtx<'a, C: Computation> {
+    computation: &'a C,
+    shared: &'a SharedState<C>,
+    faults: Option<&'a ArmedFaults>,
+    obs: Option<&'a Obs>,
+    combining: CombineStrategy,
+    num_partitions: usize,
+}
+
+impl<C: Computation> Clone for EngineCtx<'_, C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<C: Computation> Copy for EngineCtx<'_, C> {}
+
+/// Per-worker reusable scratch: the staged-send buffer threaded through
+/// [`ComputeContext`] and the receiver-side combining map. Pool workers
+/// keep one across the whole job; spawn-mode workers rebuild it per
+/// phase (that allocation cost is part of what the pool removes).
+struct WorkerScratch<C: Computation> {
+    staged: RawBatch<C>,
+    fold: CombinedBatch<C>,
+}
+
+impl<C: Computation> WorkerScratch<C> {
+    fn new() -> Self {
+        Self { staged: Vec::new(), fold: FxHashMap::default() }
+    }
+}
+
 struct WorkerOutput<C: Computation> {
-    outboxes: Vec<OutboxOf<C>>,
     aggs: WorkerAggregators,
     mutations: Vec<MutationOf<C>>,
     compute_calls: u64,
     messages_sent: u64,
+    /// Entries that physically crossed the shuffle (== `messages_sent`
+    /// for raw batches, less when sender-side combining collapsed them).
+    messages_shuffled: u64,
     /// Observability-clock nanoseconds this worker spent in phase 2
     /// (zero when the engine runs without an [`Obs`] handle).
     nanos: u64,
@@ -815,27 +1106,70 @@ fn rebuild_graph<C: Computation>(
     Graph::from_parts(ids, values, adjacency)
 }
 
-/// The identity a compute thread carries into `run_partition`: which
-/// worker slot it is, how many partitions messages route across, and the
-/// optional duration probe (workers never touch the shared clock).
-struct WorkerLane {
-    id: usize,
-    num_partitions: usize,
-    timer: Option<Timer>,
+/// Folds one `(target, message)` send into a combining map: the same
+/// per-source, send-order fold runs at the sender (`AtSender`) and per
+/// raw batch at the receiver (`AtReceiver`), which is what makes the two
+/// strategies bit-identical. The count tracks raw messages so delivery
+/// stats stay exact.
+fn fold_entry<C: Computation>(
+    computation: &C,
+    map: &mut CombinedBatch<C>,
+    target: C::Id,
+    message: C::Message,
+) {
+    use std::collections::hash_map::Entry;
+    match map.entry(target) {
+        Entry::Occupied(mut entry) => {
+            let (acc, count) = entry.get_mut();
+            *acc = computation.combine(acc, &message);
+            *count += 1;
+        }
+        Entry::Vacant(entry) => {
+            entry.insert((message, 1));
+        }
+    }
 }
 
-fn run_partition<C: Computation>(
+/// Merges one per-source combined partial into the target's inbox.
+/// Partials arrive in source-worker order, so the cross-worker fold is
+/// deterministic; within a batch, targets are independent.
+fn deliver_combined<C: Computation>(
     computation: &C,
     partition: &mut Partition<C>,
+    target: C::Id,
+    message: C::Message,
+    count: u64,
+    delivered: &mut u64,
+    missing: &mut u64,
+) {
+    match partition.index.get(&target) {
+        Some(&slot) if !partition.removed[slot] => {
+            let inbox = &mut partition.inbox[slot];
+            if inbox.is_empty() {
+                inbox.push(message);
+            } else {
+                let combined = computation.combine(&inbox[0], &message);
+                inbox[0] = combined;
+            }
+            *delivered += count;
+        }
+        _ => *missing += count,
+    }
+}
+
+/// Phase 2 for one worker: compute every active vertex of its partition,
+/// routing staged sends into per-destination shuffle buffers, then ship
+/// the non-empty buffers to the staging slots.
+fn worker_compute<C: Computation>(
+    ctx: EngineCtx<'_, C>,
+    worker_id: usize,
     global: GlobalData,
-    lane: WorkerLane,
-    registry: &AggregatorRegistry,
-    faults: Option<&ArmedFaults>,
+    scratch: &mut WorkerScratch<C>,
 ) -> Result<WorkerOutput<C>, EngineError> {
-    let WorkerLane { id: worker_id, num_partitions, timer } = lane;
+    let timer = ctx.obs.map(|o| o.timer());
     // Injected crash: the worker dies before computing any of its
     // vertices, leaving the superstep unfinished.
-    if let Some(faults) = faults {
+    if let Some(faults) = ctx.faults {
         if faults.take_worker_crash(worker_id, global.superstep) {
             return Err(EngineError::WorkerCrashed {
                 worker: worker_id,
@@ -843,15 +1177,29 @@ fn run_partition<C: Computation>(
             });
         }
     }
-    let mut worker_aggs = WorkerAggregators::for_registry(registry);
+    let computation = ctx.computation;
+    let combine_at_send = ctx.combining == CombineStrategy::AtSender && computation.use_combiner();
+    let mut outboxes: Vec<Outbox<C>> =
+        (0..ctx.num_partitions).map(|_| ctx.shared.buffers.take(combine_at_send)).collect();
+
+    let registry = read(&ctx.shared.registry);
+    let mut worker_aggs = WorkerAggregators::for_registry(&registry);
     let mut mutations: Vec<MutationOf<C>> = Vec::new();
-    let mut outboxes: Vec<OutboxOf<C>> = (0..num_partitions).map(|_| Vec::new()).collect();
     let mut compute_calls = 0u64;
     let mut messages_sent = 0u64;
+    let mut partition_guard = lock(&ctx.shared.partitions[worker_id]);
+    let partition = &mut *partition_guard;
 
     {
-        let mut ctx =
-            ComputeContext::new(global, worker_id, registry, &mut worker_aggs, &mut mutations);
+        let staged = std::mem::take(&mut scratch.staged);
+        let mut cctx = ComputeContext::with_buffer(
+            global,
+            worker_id,
+            &registry,
+            &mut worker_aggs,
+            &mut mutations,
+            staged,
+        );
         for slot in 0..partition.ids.len() {
             if partition.removed[slot] {
                 continue;
@@ -870,7 +1218,7 @@ fn run_partition<C: Computation>(
                 // Injected panic: raised outside the user's compute (so
                 // the Graft instrumenter never records it as a vertex
                 // exception) but inside the engine's panic guard.
-                if let Some(faults) = faults {
+                if let Some(faults) = ctx.faults {
                     if faults.take_compute_panic(worker_id, global.superstep) {
                         panic!(
                             "injected fault: compute panic (worker {worker_id}, superstep {})",
@@ -878,7 +1226,7 @@ fn run_partition<C: Computation>(
                         );
                     }
                 }
-                computation.compute(&mut handle, &messages, &mut ctx);
+                computation.compute(&mut handle, &messages, &mut cctx);
             }));
             if let Err(payload) = result {
                 return Err(EngineError::VertexPanic {
@@ -888,43 +1236,115 @@ fn run_partition<C: Computation>(
                 });
             }
             partition.halted[slot] = handle.has_voted_halt();
-            for (target, message) in ctx.drain_staged() {
-                outboxes[partition_for(&target, num_partitions)].push((target, message));
+            for (target, message) in cctx.drain_staged() {
                 messages_sent += 1;
+                match &mut outboxes[partition_for(&target, ctx.num_partitions)] {
+                    Outbox::Raw(buf) => buf.push((target, message)),
+                    Outbox::Combined(map) => fold_entry(computation, map, target, message),
+                }
             }
+            // Swap the drained inbox Vec back into its slot: it is empty
+            // either way, but this way its capacity survives into the
+            // next superstep's delivery.
+            let mut drained = messages;
+            drained.clear();
+            partition.inbox[slot] = drained;
         }
+        scratch.staged = cctx.into_buffer();
+    }
+
+    let mut messages_shuffled = 0u64;
+    for (p, outbox) in outboxes.into_iter().enumerate() {
+        if outbox.is_empty() {
+            ctx.shared.buffers.put(outbox);
+            continue;
+        }
+        messages_shuffled += outbox.len() as u64;
+        lock(&ctx.shared.incoming[p])[worker_id] = Some(outbox);
     }
 
     let nanos = timer.map(|t| t.stop()).unwrap_or(0);
-    Ok(WorkerOutput { outboxes, aggs: worker_aggs, mutations, compute_calls, messages_sent, nanos })
+    Ok(WorkerOutput {
+        aggs: worker_aggs,
+        mutations,
+        compute_calls,
+        messages_sent,
+        messages_shuffled,
+        nanos,
+    })
 }
 
-fn deliver<C: Computation>(
-    computation: &C,
-    partition: &mut Partition<C>,
-    incoming: Vec<Vec<(C::Id, C::Message)>>,
-    timer: Option<Timer>,
+/// Phase 4 for one worker: drain the staging slots for its partition in
+/// source-worker order and apply each batch to the inboxes, returning
+/// every drained buffer to the pool.
+fn worker_deliver<C: Computation>(
+    ctx: EngineCtx<'_, C>,
+    worker_id: usize,
+    scratch: &mut WorkerScratch<C>,
 ) -> DeliveryCounts {
+    let timer = ctx.obs.map(|o| o.timer());
+    let computation = ctx.computation;
     let use_combiner = computation.use_combiner();
+    let mut partition_guard = lock(&ctx.shared.partitions[worker_id]);
+    let partition = &mut *partition_guard;
     let mut delivered = 0u64;
     let mut missing = 0u64;
-    for batch in incoming {
-        for (target, message) in batch {
-            match partition.index.get(&target) {
-                Some(&slot) if !partition.removed[slot] => {
-                    let inbox = &mut partition.inbox[slot];
-                    if use_combiner && !inbox.is_empty() {
-                        let combined = computation.combine(&inbox[0], &message);
-                        inbox[0] = combined;
-                    } else {
-                        inbox.push(message);
+
+    let mut slots = lock(&ctx.shared.incoming[worker_id]);
+    for source_slot in slots.iter_mut() {
+        let Some(batch) = source_slot.take() else { continue };
+        match batch {
+            Outbox::Raw(mut buf) => {
+                if use_combiner {
+                    // Receiver-side combining: run the sender-side fold
+                    // on this batch, then merge the partials — the exact
+                    // operation sequence `AtSender` would have shipped.
+                    scratch.fold.clear();
+                    for (target, message) in buf.drain(..) {
+                        fold_entry(computation, &mut scratch.fold, target, message);
                     }
-                    delivered += 1;
+                    for (target, (message, count)) in scratch.fold.drain() {
+                        deliver_combined(
+                            computation,
+                            partition,
+                            target,
+                            message,
+                            count,
+                            &mut delivered,
+                            &mut missing,
+                        );
+                    }
+                } else {
+                    for (target, message) in buf.drain(..) {
+                        match partition.index.get(&target) {
+                            Some(&slot) if !partition.removed[slot] => {
+                                partition.inbox[slot].push(message);
+                                delivered += 1;
+                            }
+                            _ => missing += 1,
+                        }
+                    }
                 }
-                _ => missing += 1,
+                ctx.shared.buffers.put(Outbox::Raw(buf));
+            }
+            Outbox::Combined(mut map) => {
+                for (target, (message, count)) in map.drain() {
+                    deliver_combined(
+                        computation,
+                        partition,
+                        target,
+                        message,
+                        count,
+                        &mut delivered,
+                        &mut missing,
+                    );
+                }
+                ctx.shared.buffers.put(Outbox::Combined(map));
             }
         }
     }
+    drop(slots);
+
     DeliveryCounts {
         delivered,
         missing,
@@ -935,8 +1355,182 @@ fn deliver<C: Computation>(
     }
 }
 
-fn apply_mutations<C: Computation>(
-    partitions: &mut [Partition<C>],
+/// Runs `worker_compute` under a panic guard so a worker thread can
+/// never die (or deadlock a barrier) on a panic that escapes the
+/// per-vertex guard — e.g. one raised inside a user `combine`.
+fn guarded_compute<C: Computation>(
+    ctx: EngineCtx<'_, C>,
+    worker_id: usize,
+    global: GlobalData,
+    scratch: &mut WorkerScratch<C>,
+) -> Result<WorkerOutput<C>, EngineError> {
+    match catch_unwind(AssertUnwindSafe(|| worker_compute(ctx, worker_id, global, scratch))) {
+        Ok(result) => result,
+        Err(_) => {
+            Err(EngineError::WorkerCrashed { worker: worker_id, superstep: global.superstep })
+        }
+    }
+}
+
+/// Runs `worker_deliver` under the same panic guard as
+/// [`guarded_compute`].
+fn guarded_deliver<C: Computation>(
+    ctx: EngineCtx<'_, C>,
+    worker_id: usize,
+    superstep: u64,
+    scratch: &mut WorkerScratch<C>,
+) -> Result<DeliveryCounts, EngineError> {
+    match catch_unwind(AssertUnwindSafe(|| worker_deliver(ctx, worker_id, scratch))) {
+        Ok(counts) => Ok(counts),
+        Err(_) => Err(EngineError::WorkerCrashed { worker: worker_id, superstep }),
+    }
+}
+
+/// How the coordinator runs phases 2 and 4; implemented by the
+/// spawn-per-superstep baseline and the persistent pool.
+trait PhaseRunner<C: Computation> {
+    /// Runs phase 2 on every worker; results in worker-index order.
+    fn compute(&self, global: GlobalData) -> Vec<Result<WorkerOutput<C>, EngineError>>;
+    /// Runs phase 4 on every worker; results in worker-index order.
+    fn deliver(&self, superstep: u64) -> Vec<Result<DeliveryCounts, EngineError>>;
+}
+
+/// [`ExecutorMode::SpawnPerSuperstep`]: fresh scoped threads per phase.
+struct SpawnRunner<'a, C: Computation> {
+    ctx: EngineCtx<'a, C>,
+}
+
+impl<C: Computation> PhaseRunner<C> for SpawnRunner<'_, C> {
+    fn compute(&self, global: GlobalData) -> Vec<Result<WorkerOutput<C>, EngineError>> {
+        let ctx = self.ctx;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ctx.num_partitions)
+                .map(|worker_id| {
+                    scope.spawn(move || {
+                        let mut scratch = WorkerScratch::new();
+                        guarded_compute(ctx, worker_id, global, &mut scratch)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("engine worker must not panic")).collect()
+        })
+    }
+
+    fn deliver(&self, superstep: u64) -> Vec<Result<DeliveryCounts, EngineError>> {
+        let ctx = self.ctx;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ctx.num_partitions)
+                .map(|worker_id| {
+                    scope.spawn(move || {
+                        let mut scratch = WorkerScratch::new();
+                        guarded_deliver(ctx, worker_id, superstep, &mut scratch)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("delivery must not panic")).collect()
+        })
+    }
+}
+
+/// What the coordinator asks the pool to do next; see the module docs
+/// for the barrier protocol.
+#[derive(Clone, Copy)]
+enum PoolCommand {
+    /// Initial value; never dispatched.
+    Idle,
+    /// Run phase 2 under the given global data.
+    Compute(GlobalData),
+    /// Run phase 4 (the superstep is only used to label panic errors).
+    Deliver { superstep: u64 },
+    /// Return from the worker loop.
+    Exit,
+}
+
+/// A per-worker parking slot for one phase's result.
+type ResultSlot<T> = Mutex<Option<Result<T, EngineError>>>;
+
+/// The shared rendezvous state of the persistent pool.
+struct PoolSync<C: Computation> {
+    command: Mutex<PoolCommand>,
+    start: Barrier,
+    done: Barrier,
+    compute_results: Vec<ResultSlot<WorkerOutput<C>>>,
+    deliver_results: Vec<ResultSlot<DeliveryCounts>>,
+}
+
+impl<C: Computation> PoolSync<C> {
+    fn new(num_workers: usize) -> Self {
+        Self {
+            command: Mutex::new(PoolCommand::Idle),
+            start: Barrier::new(num_workers + 1),
+            done: Barrier::new(num_workers + 1),
+            compute_results: (0..num_workers).map(|_| Mutex::new(None)).collect(),
+            deliver_results: (0..num_workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+}
+
+/// The body of one persistent pool thread: wait at the start barrier,
+/// read the command, run the phase, park the result, meet at the done
+/// barrier. Per-job scratch (staged-send buffer, fold map) lives here
+/// across supersteps — that reuse is one of the pool's wins.
+fn pool_worker<C: Computation>(ctx: EngineCtx<'_, C>, sync: &PoolSync<C>, worker_id: usize) {
+    let mut scratch = WorkerScratch::new();
+    loop {
+        sync.start.wait();
+        let command = *lock(&sync.command);
+        match command {
+            PoolCommand::Compute(global) => {
+                let result = guarded_compute(ctx, worker_id, global, &mut scratch);
+                *lock(&sync.compute_results[worker_id]) = Some(result);
+            }
+            PoolCommand::Deliver { superstep } => {
+                let result = guarded_deliver(ctx, worker_id, superstep, &mut scratch);
+                *lock(&sync.deliver_results[worker_id]) = Some(result);
+            }
+            PoolCommand::Exit => return,
+            PoolCommand::Idle => {}
+        }
+        sync.done.wait();
+    }
+}
+
+/// [`ExecutorMode::PersistentPool`]: dispatches phases to the long-lived
+/// worker threads through the barrier protocol.
+struct PoolRunner<'a, C: Computation> {
+    sync: &'a PoolSync<C>,
+}
+
+impl<C: Computation> PoolRunner<'_, C> {
+    fn dispatch(&self, command: PoolCommand) {
+        *lock(&self.sync.command) = command;
+        self.sync.start.wait();
+        self.sync.done.wait();
+    }
+}
+
+impl<C: Computation> PhaseRunner<C> for PoolRunner<'_, C> {
+    fn compute(&self, global: GlobalData) -> Vec<Result<WorkerOutput<C>, EngineError>> {
+        self.dispatch(PoolCommand::Compute(global));
+        self.sync
+            .compute_results
+            .iter()
+            .map(|slot| lock(slot).take().expect("pool worker must report a compute result"))
+            .collect()
+    }
+
+    fn deliver(&self, superstep: u64) -> Vec<Result<DeliveryCounts, EngineError>> {
+        self.dispatch(PoolCommand::Deliver { superstep });
+        self.sync
+            .deliver_results
+            .iter()
+            .map(|slot| lock(slot).take().expect("pool worker must report a delivery result"))
+            .collect()
+    }
+}
+
+fn apply_mutations<C: Computation, P: std::ops::DerefMut<Target = Partition<C>>>(
+    partitions: &mut [P],
     mutations: Vec<MutationOf<C>>,
     num_partitions: usize,
 ) -> u64 {
@@ -956,7 +1550,7 @@ fn apply_mutations<C: Computation>(
 
     // Pregel resolution order: removals before additions.
     for (src, dst) in removals_edge {
-        let partition = &mut partitions[partition_for(&src, num_partitions)];
+        let partition = &mut *partitions[partition_for(&src, num_partitions)];
         if let Some(&slot) = partition.index.get(&src) {
             let before = partition.adjacency[slot].len();
             partition.adjacency[slot].retain(|e| e.target != dst);
@@ -966,7 +1560,7 @@ fn apply_mutations<C: Computation>(
         }
     }
     for id in removals_vertex {
-        let partition = &mut partitions[partition_for(&id, num_partitions)];
+        let partition = &mut *partitions[partition_for(&id, num_partitions)];
         if let Some(slot) = partition.index.remove(&id) {
             partition.removed[slot] = true;
             partition.halted[slot] = true;
@@ -976,14 +1570,14 @@ fn apply_mutations<C: Computation>(
         }
     }
     for (id, value) in additions_vertex {
-        let partition = &mut partitions[partition_for(&id, num_partitions)];
+        let partition = &mut *partitions[partition_for(&id, num_partitions)];
         if !partition.index.contains_key(&id) {
             partition.push_vertex(id, value, Vec::new());
             applied += 1;
         }
     }
     for (src, edge) in additions_edge {
-        let partition = &mut partitions[partition_for(&src, num_partitions)];
+        let partition = &mut *partitions[partition_for(&src, num_partitions)];
         if let Some(&slot) = partition.index.get(&src) {
             partition.adjacency[slot].push(edge);
             applied += 1;
@@ -993,4 +1587,31 @@ fn apply_mutations<C: Computation>(
         // cannot do without a `Default` bound.
     }
     applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `worker_override` is pure in its input precisely so it can be
+    // tested without mutating the process environment.
+    #[test]
+    fn worker_override_parses_and_clamps() {
+        assert_eq!(EngineConfig::worker_override(None), None);
+        assert_eq!(EngineConfig::worker_override(Some("")), None);
+        assert_eq!(EngineConfig::worker_override(Some("six")), None);
+        assert_eq!(EngineConfig::worker_override(Some("-3")), None);
+        assert_eq!(EngineConfig::worker_override(Some("6")), Some(6));
+        assert_eq!(EngineConfig::worker_override(Some(" 12 ")), Some(12));
+        assert_eq!(EngineConfig::worker_override(Some("0")), Some(1));
+        assert_eq!(EngineConfig::worker_override(Some("4096")), Some(64));
+    }
+
+    #[test]
+    fn default_config_uses_pool_and_sender_combining() {
+        let config = EngineConfig::default();
+        assert_eq!(config.executor, ExecutorMode::PersistentPool);
+        assert_eq!(config.combining, CombineStrategy::AtSender);
+        assert!(config.num_workers >= 1);
+    }
 }

@@ -7,6 +7,12 @@
 //! graph always fails at the same point, which is what lets the
 //! fault-tolerance tests demand byte-identical recovery.
 //!
+//! Faults fire the same way under both engine executors: with the
+//! persistent worker pool, a "crashed" worker reports the fault through
+//! its per-phase result slot (the pool thread itself survives and parks
+//! at the barrier), so recovery sees exactly the error a freshly spawned
+//! thread would have produced.
+//!
 //! Plans can be written in a compact spec syntax for the CLI:
 //!
 //! ```text

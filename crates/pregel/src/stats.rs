@@ -32,6 +32,30 @@ pub struct SuperstepStats {
     pub wall_time: Duration,
 }
 
+impl SuperstepStats {
+    /// The deterministic counters of this superstep, in declaration
+    /// order, excluding the wall-clock durations. Two runs of the same
+    /// job are expected to agree on these even across executor and
+    /// combining modes; timings naturally differ.
+    pub fn counters(&self) -> [u64; 7] {
+        [
+            self.superstep,
+            self.compute_calls,
+            self.active_vertices,
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_to_missing,
+            self.mutations_applied,
+        ]
+    }
+
+    /// Whether every deterministic counter matches `other` (timings are
+    /// ignored).
+    pub fn same_counters(&self, other: &SuperstepStats) -> bool {
+        self.counters() == other.counters()
+    }
+}
+
 /// Why the job stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HaltReason {
@@ -90,6 +114,16 @@ impl JobStats {
     /// Longest superstep wall time.
     pub fn max_superstep_wall(&self) -> Duration {
         self.supersteps.iter().map(|s| s.wall_time).max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Whether every deterministic per-superstep counter and the recovery
+    /// count match `other` (wall-clock timings are ignored). This is the
+    /// equality the engine-equivalence tests assert across executor and
+    /// combining modes.
+    pub fn same_counters(&self, other: &JobStats) -> bool {
+        self.recoveries == other.recoveries
+            && self.supersteps.len() == other.supersteps.len()
+            && self.supersteps.iter().zip(&other.supersteps).all(|(a, b)| a.same_counters(b))
     }
 
     /// Nearest-rank percentile of the superstep wall times: the smallest
