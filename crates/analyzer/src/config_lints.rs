@@ -5,8 +5,9 @@
 //! [`crate::analyze_session`] and untyped from the CLI.
 
 use graft::{ConfigFacts, SuperstepFilter};
+use graft_pregel::{Fault, FaultPlan};
 
-use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013};
+use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013, GA0015};
 
 /// Runs every configuration lint over `facts`.
 pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
@@ -136,6 +137,40 @@ pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
                  the filter with supersteps(...) or capture ids/samples instead"
                     .to_string(),
             ));
+        }
+    }
+
+    // GA0015: a fault plan aiming at a worker id the job does not have.
+    // Workers are indexed 0..num_workers, so any fault naming an id at or
+    // beyond that count waits forever — the fault-injection test passes
+    // while injecting nothing. The spec string in meta.json is the
+    // runner's own `Display` rendering, so a parse failure here means a
+    // hand-edited meta and is ignored rather than guessed at.
+    if let (Some(spec), Some(num_workers)) = (&facts.fault_plan, facts.num_workers) {
+        if let Ok(plan) = FaultPlan::parse(spec) {
+            let unreachable: Vec<&Fault> = plan
+                .faults()
+                .iter()
+                .filter(|f| match f {
+                    Fault::KillWorker { worker, .. } => *worker >= num_workers,
+                    Fault::ComputePanic { worker: Some(w), .. } => *w >= num_workers,
+                    Fault::ComputePanic { worker: None, .. } | Fault::KillDatanode { .. } => false,
+                })
+                .collect();
+            if !unreachable.is_empty() {
+                let mut finding = Finding::global(
+                    &GA0015,
+                    format!(
+                        "{} fault(s) in the plan target worker ids at or beyond the \
+                         configured worker count of {num_workers}; they can never fire",
+                        unreachable.len()
+                    ),
+                );
+                finding
+                    .evidence
+                    .extend(unreachable.iter().map(|f| format!("unreachable fault: {f}")));
+                findings.push(finding);
+            }
         }
     }
 
@@ -333,6 +368,48 @@ mod tests {
         // Without a known horizon only the zero interval can be judged.
         facts.max_supersteps = None;
         facts.checkpoint_every = Some(1_000_000);
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn fault_plan_beyond_worker_count_is_ga0015() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
+        facts.num_workers = Some(2);
+        facts.fault_plan = Some("kill-worker:5@3".to_string());
+        let findings = check_config(&facts);
+        assert_eq!(ids(&findings), vec!["GA0015"]);
+        assert!(findings[0].evidence[0].contains("kill-worker:5@3"));
+        // Worker-confined panics are checked the same way.
+        facts.fault_plan = Some("panic:2@1".to_string());
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0015"]);
+        // The boundary: workers are 0-indexed, so id == count is out.
+        facts.fault_plan = Some("kill-worker:2@3".to_string());
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0015"]);
+    }
+
+    #[test]
+    fn fault_plan_within_worker_count_is_clean() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
+        facts.num_workers = Some(2);
+        // Every targetable kind in range: the last valid worker, an
+        // any-worker panic, and a datanode kill (not a worker id).
+        facts.fault_plan = Some("kill-worker:1@3;panic@2;kill-datanode:9@1".to_string());
+        assert!(check_config(&facts).is_empty());
+        // No worker count recorded (old meta.json): nothing to judge.
+        facts.num_workers = None;
+        facts.fault_plan = Some("kill-worker:5@3".to_string());
+        assert!(check_config(&facts).is_empty());
+        // No fault plan at all: nothing to judge either.
+        facts.num_workers = Some(2);
+        facts.fault_plan = None;
         assert!(check_config(&facts).is_empty());
     }
 

@@ -17,11 +17,12 @@
 //!    analyzer re-runs every captured vertex context through the replay
 //!    harness with permuted message delivery and flags vertices whose
 //!    value, outgoing messages, halt decision, or edges differ.
-//! 3. **Configuration lints** (`GA0006`–`GA0013`) — a [`DebugConfig`]
+//! 3. **Configuration lints** (`GA0006`–`GA0013`, `GA0015`) — a [`DebugConfig`]
 //!    that can never capture anything (empty superstep sets, inverted
 //!    ranges, `max_captures == 0`, filters entirely beyond the job's
 //!    superstep horizon, neighbor capture with no capture targets, a
-//!    checkpoint interval that never fires) fails
+//!    checkpoint interval that never fires, a fault plan naming a worker
+//!    the job does not have) fails
 //!    silently at debug time, which is the worst possible time; and a
 //!    config that captures every vertex at every superstep (`GA0012`)
 //!    is the maximal-overhead way to debug — the paper's overhead
@@ -99,7 +100,7 @@ impl std::fmt::Display for Severity {
 /// one-line description.
 #[derive(Debug)]
 pub struct Lint {
-    /// Stable identifier, `GA0001`..`GA0014`.
+    /// Stable identifier, `GA0001`..`GA0015`.
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -241,11 +242,21 @@ pub static GA0014: Lint = Lint {
               fold them sender-side and shrink the shuffle",
 };
 
+/// A fault plan targets a worker the job does not have.
+pub static GA0015: Lint = Lint {
+    id: "GA0015",
+    name: "fault-plan-worker-out-of-range",
+    severity: Severity::Warning,
+    summary: "the fault plan names a worker id at or beyond the configured \
+              worker count; that fault can never fire, so the fault-injection \
+              test silently tests nothing",
+};
+
 /// The full catalog, in id order.
-pub fn catalog() -> [&'static Lint; 14] {
+pub fn catalog() -> [&'static Lint; 15] {
     [
         &GA0001, &GA0002, &GA0003, &GA0004, &GA0005, &GA0006, &GA0007, &GA0008, &GA0009, &GA0010,
-        &GA0011, &GA0012, &GA0013, &GA0014,
+        &GA0011, &GA0012, &GA0013, &GA0014, &GA0015,
     ]
 }
 

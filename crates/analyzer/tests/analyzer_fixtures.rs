@@ -228,6 +228,50 @@ fn exception_only_config_flags_ga0013_from_meta_json() {
 }
 
 #[test]
+fn fault_plan_targeting_missing_worker_flags_ga0015_from_meta_json() {
+    // Injecting a crash into worker 5 of a 2-worker job: the fault waits
+    // forever, the job runs to a clean finish, and the fault-injection
+    // test has silently tested nothing. The runner records the armed
+    // plan and the worker count in meta.json, so the untyped analysis
+    // catches it after the fact.
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::After(1))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(2)
+        .with_fault_plan(graft_pregel::FaultPlan::parse("kill-worker:5@1").unwrap())
+        .run(premade::cycle(4, u64::MAX), "/traces/fault-out-of-range")
+        .unwrap();
+    assert!(run.outcome.is_ok(), "the unreachable fault must not disturb the job");
+    let session = run.session().unwrap();
+    let report = analyze_meta(session.meta());
+    assert_eq!(problem_ids(&report), vec!["GA0015"], "{}", report.to_text());
+    assert!(report.errors().is_empty(), "GA0015 is a warning, not an error");
+    assert!(report.problems()[0].evidence[0].contains("kill-worker:5@1"));
+}
+
+#[test]
+fn fault_plan_within_worker_count_is_ga0015_clean_from_meta_json() {
+    // The same plan aimed at a worker the job actually has (at a
+    // superstep past the job's natural end, so the run still completes)
+    // must not be flagged.
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::After(1))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(2)
+        .with_fault_plan(graft_pregel::FaultPlan::parse("kill-worker:1@500").unwrap())
+        .run(premade::cycle(4, u64::MAX), "/traces/fault-in-range")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    let session = run.session().unwrap();
+    let report = analyze_meta(session.meta());
+    assert!(report.is_clean(), "{}", report.to_text());
+}
+
+#[test]
 fn config_lints_work_untyped_from_meta_json() {
     // A config that can never capture: empty superstep Set. The runner
     // records the facts in meta.json; the untyped analysis reads them

@@ -20,6 +20,14 @@
 //!    receiver-side vs sender-side combining, comparing the
 //!    `pregel_messages_shuffled` counter (messages that actually crossed
 //!    the worker shuffle) against raw `pregel_messages_sent`.
+//! 4. **Sched-shim overhead** — the same PageRank job through the
+//!    graft-sched shims outside any schedule session (passthrough, the
+//!    production configuration) vs under the deterministic scheduler
+//!    (`run_schedule`, the `check-sched` configuration). The passthrough
+//!    number is the one regressions gate on; the instrumented ratio
+//!    documents what a model-checking run costs. With the `check`
+//!    feature disabled the shim hooks vanish at compile time, so the
+//!    passthrough column *is* the production hot path.
 //!
 //! `--check-pool-faster` exits nonzero if the pooled engine is not
 //! faster than spawn-per-superstep on the relay workload — the CI
@@ -87,11 +95,30 @@ struct CombiningComparison {
     shuffle_reduction_percent: f64,
 }
 
+/// PageRank through the sync shims, passthrough vs instrumented.
+#[derive(Serialize, Deserialize)]
+struct SchedShimOverhead {
+    workload: String,
+    vertices: u64,
+    workers: u64,
+    /// Best-of-N per mode (wall time of the fastest run).
+    runs_per_mode: u64,
+    /// Shims present, no schedule session installed (production).
+    passthrough_wall_nanos: u64,
+    /// Same job serialized under one deterministic schedule.
+    instrumented_wall_nanos: u64,
+    /// Scheduler yield points the instrumented run executed.
+    instrumented_sched_steps: u64,
+    /// instrumented wall / passthrough wall.
+    instrumented_slowdown: f64,
+}
+
 #[derive(Serialize, Deserialize)]
 struct BenchReport {
     entries: Vec<BenchEntry>,
     executor_comparison: ExecutorComparison,
     combining_comparison: CombiningComparison,
+    sched_shim_overhead: SchedShimOverhead,
 }
 
 /// Token relay around a pure ring: exactly one vertex computes per
@@ -225,8 +252,31 @@ fn main() -> ExitCode {
         )
     );
 
+    let sched_shim_overhead = bench_sched_shims(vertices, workers);
+    println!(
+        "{}",
+        graft_bench::render_table(
+            &["shim mode", "wall", "sched steps", "slowdown"],
+            &[
+                vec![
+                    "passthrough".to_string(),
+                    format!("{:.2}ms", sched_shim_overhead.passthrough_wall_nanos as f64 / 1e6),
+                    "-".to_string(),
+                    "1.00x".to_string(),
+                ],
+                vec![
+                    "instrumented".to_string(),
+                    format!("{:.2}ms", sched_shim_overhead.instrumented_wall_nanos as f64 / 1e6),
+                    sched_shim_overhead.instrumented_sched_steps.to_string(),
+                    format!("{:.2}x", sched_shim_overhead.instrumented_slowdown),
+                ],
+            ],
+        )
+    );
+
     let pool_won = executor_comparison.pool_speedup > 1.0;
-    let report = BenchReport { entries, executor_comparison, combining_comparison };
+    let report =
+        BenchReport { entries, executor_comparison, combining_comparison, sched_shim_overhead };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write bench report");
     println!("written to {out}");
@@ -338,6 +388,58 @@ fn bench_combining(vertices: u64, workers: usize) -> CombiningComparison {
         shuffled_at_sender: shuffled_sender,
         shuffle_reduction_percent: 100.0
             * (1.0 - shuffled_sender as f64 / shuffled_receiver.max(1) as f64),
+    }
+}
+
+/// The same PageRank job twice through the shims: passthrough (no
+/// schedule session — every shim op is one thread-local load) and
+/// serialized under one deterministic schedule. The graph is kept small
+/// so the instrumented run's serialized step count stays reasonable;
+/// both modes use the identical graph, so the ratio is apples-to-apples.
+fn bench_sched_shims(vertices: u64, workers: usize) -> SchedShimOverhead {
+    const RUNS: u64 = 3;
+    let n = vertices.clamp(64, 256);
+    let job = || {
+        let outcome = Engine::new(PageRank::new(8))
+            .num_workers(workers)
+            .run(build_graph(n, |_| 0.0, |_| ()))
+            .expect("pagerank succeeds");
+        outcome.stats.superstep_count()
+    };
+
+    let mut passthrough_wall = u64::MAX;
+    for _ in 0..RUNS {
+        let start = std::time::Instant::now();
+        job();
+        passthrough_wall = passthrough_wall.min(start.elapsed().as_nanos() as u64);
+    }
+
+    let mut instrumented_wall = u64::MAX;
+    let mut sched_steps = 0;
+    for run in 0..RUNS {
+        let start = std::time::Instant::now();
+        let outcome = graft_sched::run_schedule(
+            0xBE7C_0DE0 + run,
+            graft_sched::StrategyKind::Random,
+            50_000_000,
+            || {
+                job();
+            },
+        );
+        assert!(!outcome.failed(), "instrumented pagerank must be clean: {}", outcome.verdict());
+        instrumented_wall = instrumented_wall.min(start.elapsed().as_nanos() as u64);
+        sched_steps = outcome.steps;
+    }
+
+    SchedShimOverhead {
+        workload: "pagerank".to_string(),
+        vertices: n,
+        workers: workers as u64,
+        runs_per_mode: RUNS,
+        passthrough_wall_nanos: passthrough_wall.max(1),
+        instrumented_wall_nanos: instrumented_wall.max(1),
+        instrumented_sched_steps: sched_steps,
+        instrumented_slowdown: instrumented_wall as f64 / passthrough_wall.max(1) as f64,
     }
 }
 

@@ -36,6 +36,7 @@ use graft::untyped::UntypedSession;
 use graft::views::json as vj;
 use graft_dfs::LocalFs;
 
+mod check_sched_cmd;
 mod profile_cmd;
 mod run_cmd;
 mod serve_cmd;
@@ -46,6 +47,7 @@ fn usage() -> ExitCode {
          \x20      graft-cli run <algorithm> [options]   (see `graft-cli run` for details)\n\
          \x20      graft-cli profile <obs-dir> [options] (see `graft-cli profile`)\n\
          \x20      graft-cli serve --trace-root <dir>    (see `graft-cli serve`)\n\
+         \x20      graft-cli check-sched [options]       (see `graft-cli check-sched --help`)\n\
          commands:\n\
          \x20 info                 job metadata and terminal status\n\
          \x20 supersteps           captured supersteps with counts and M/V/E indicators\n\
@@ -81,6 +83,13 @@ fn main() -> ExitCode {
             Some(_) => serve_cmd::run(&args[1..]),
             None => serve_cmd::usage(),
         };
+    }
+    if args.first().map(String::as_str) == Some("check-sched") {
+        // No arguments means the full gate, so empty `rest` is valid.
+        if args.get(1).map(String::as_str) == Some("--help") {
+            return check_sched_cmd::usage();
+        }
+        return check_sched_cmd::run(&args[1..]);
     }
 
     // `--format json|text` may appear anywhere after the command.

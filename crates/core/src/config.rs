@@ -187,6 +187,13 @@ pub struct ConfigFacts {
     /// The checkpoint interval, when the runner enabled fault tolerance
     /// (`None` means checkpointing is off). Filled in by the runner.
     pub checkpoint_every: Option<u64>,
+    /// The engine worker count. Filled in by the runner. (`Option` fields
+    /// are implicitly optional to the vendored serde, so meta.json files
+    /// written before this field existed still deserialize.)
+    pub num_workers: Option<usize>,
+    /// The armed fault plan in its spec syntax (`Display` form), when the
+    /// runner injects faults. Filled in by the runner.
+    pub fault_plan: Option<String>,
 }
 
 /// The assembled debug configuration for a computation `C`.
@@ -344,6 +351,8 @@ impl<C: Computation> DebugConfig<C> {
             capture_master: self.capture_master,
             max_supersteps: None,
             checkpoint_every: None,
+            num_workers: None,
+            fault_plan: None,
         }
     }
 }

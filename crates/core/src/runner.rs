@@ -323,6 +323,8 @@ impl<C: Computation> GraftRunner<C> {
                 let mut facts = self.config.facts();
                 facts.max_supersteps = Some(self.max_supersteps);
                 facts.checkpoint_every = self.checkpoint_every;
+                facts.num_workers = Some(self.num_workers);
+                facts.fault_plan = self.fault_plan.as_ref().map(|p| p.to_string());
                 facts
             }),
         };

@@ -1,11 +1,16 @@
 //! The trace sink: buffered, per-worker trace file writers with the
 //! global capture-count safety net.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use graft_dfs::{FileSystem, FileWrite};
-use parking_lot::Mutex;
+// Channel locks and the global counters are graft-sched shims: identical
+// to parking_lot + std atomics in production, scheduler yield points
+// with happens-before tracking under `check-sched` — the capture-slot
+// reservation protocol is model-checked against real interleavings.
+use graft_sched::atomic::{AtomicBool, AtomicU64};
+use graft_sched::sync::Mutex;
 use serde::Serialize;
 
 use crate::config::TraceCodec;

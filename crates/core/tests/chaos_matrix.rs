@@ -114,6 +114,24 @@ fn assert_matches_clean<C>(
         "{label}: trace directory listings diverged"
     );
     for (path, bytes) in &clean_files {
+        if path.ends_with("meta.json") {
+            // meta.json records the armed fault plan by design (the
+            // analyzer's GA0015 reads it back) — the one field that
+            // legitimately differs between a clean and a faulted run.
+            let mut clean_meta: graft::JobMeta = serde_json::from_slice(bytes).unwrap();
+            let mut fault_meta: graft::JobMeta =
+                serde_json::from_slice(&fault_files[path]).unwrap();
+            for meta in [&mut clean_meta, &mut fault_meta] {
+                if let Some(facts) = &mut meta.facts {
+                    facts.fault_plan = None;
+                }
+            }
+            assert_eq!(
+                clean_meta, fault_meta,
+                "{label}: {path} diverged beyond the recorded fault plan"
+            );
+            continue;
+        }
         assert_eq!(bytes, &fault_files[path], "{label}: trace file {path} diverged");
     }
 

@@ -70,11 +70,17 @@
 //! never contents, so reuse is invisible to results and traces.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Barrier, Mutex, RwLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 use graft_dfs::FileSystem;
 use graft_obs::{Obs, Scope};
+// The schedule-checkable sync shims: plain passthroughs in a normal
+// run, deterministic-scheduler yield points plus happens-before edges
+// under `graft-cli check-sched` (see DESIGN.md "Concurrency model").
+use graft_sched::sync::{Barrier, Mutex, RwLock};
+use graft_sched::thread as sched_thread;
+use graft_sched::TrackedCell;
 
 use crate::aggregators::{AggregatorRegistry, WorkerAggregators};
 use crate::checkpoint::{self, CheckpointConfig};
@@ -382,26 +388,32 @@ impl<C: Computation> Engine<C> {
             ExecutorMode::PersistentPool => {
                 let sync = PoolSync::<C>::new(num_partitions);
                 std::thread::scope(|scope| {
+                    let mut tokens = Vec::with_capacity(num_partitions);
                     for worker_id in 0..num_partitions {
                         let sync = &sync;
-                        scope.spawn(move || pool_worker(ctx, sync, worker_id));
+                        let forked = sched_thread::fork(format!("pool-worker-{worker_id}"));
+                        tokens.push(forked.token());
+                        scope.spawn(forked.wrap(move || pool_worker(ctx, sync, worker_id)));
                     }
                     let runner = PoolRunner { sync: &sync };
                     let outcome = self.drive(&mut state, &shared, &runner, num_partitions);
                     // Unconditional shutdown: workers must be released
                     // before the scope joins them, on success or failure.
-                    *lock(&sync.command) = PoolCommand::Exit;
+                    sync.command.set(PoolCommand::Exit);
                     sync.start.wait();
+                    // Under a schedule session the scope's implicit joins
+                    // would block the scheduler token; wait for each
+                    // worker at a schedulable point first.
+                    for token in &tokens {
+                        token.join_point();
+                    }
                     outcome
                 })?
             }
         };
 
-        let partitions: Vec<Partition<C>> = shared
-            .partitions
-            .into_iter()
-            .map(|m| m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
-            .collect();
+        let partitions: Vec<Partition<C>> =
+            shared.partitions.into_iter().map(Mutex::into_inner).collect();
         let graph = rebuild_graph::<C>(partitions);
         Ok(JobOutcome {
             graph,
@@ -834,19 +846,24 @@ fn is_recoverable(err: &EngineError) -> bool {
     matches!(err, EngineError::VertexPanic { .. } | EngineError::WorkerCrashed { .. })
 }
 
-/// Locks a mutex, tolerating poison: worker phases run under
-/// `catch_unwind`, so a poisoned lock only means a guarded panic already
-/// surfaced as an error through a result slot.
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Locks a mutex. Worker phases run under `catch_unwind`, so a panicked
+/// phase must not cascade into poisoned-lock panics on healthy threads;
+/// the shim recovers poison centrally (the panic already surfaced as an
+/// error through a result slot). `#[track_caller]` keeps check-sched
+/// replay traces pointing at the real call sites.
+#[track_caller]
+fn lock<T>(mutex: &Mutex<T>) -> graft_sched::sync::MutexGuard<'_, T> {
+    mutex.lock()
 }
 
-fn read<T>(rwlock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    rwlock.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+#[track_caller]
+fn read<T>(rwlock: &RwLock<T>) -> graft_sched::sync::RwLockReadGuard<'_, T> {
+    rwlock.read()
 }
 
-fn write<T>(rwlock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    rwlock.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+#[track_caller]
+fn write<T>(rwlock: &RwLock<T>) -> graft_sched::sync::RwLockWriteGuard<'_, T> {
+    rwlock.write()
 }
 
 /// Deterministic partition assignment for a vertex id.
@@ -1406,13 +1423,22 @@ impl<C: Computation> PhaseRunner<C> for SpawnRunner<'_, C> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..ctx.num_partitions)
                 .map(|worker_id| {
-                    scope.spawn(move || {
+                    let forked = sched_thread::fork(format!("compute-{worker_id}"));
+                    let token = forked.token();
+                    let handle = scope.spawn(forked.wrap(move || {
                         let mut scratch = WorkerScratch::new();
                         guarded_compute(ctx, worker_id, global, &mut scratch)
-                    })
+                    }));
+                    (token, handle)
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("engine worker must not panic")).collect()
+            handles
+                .into_iter()
+                .map(|(token, h)| {
+                    token.join_point();
+                    h.join().expect("engine worker must not panic")
+                })
+                .collect()
         })
     }
 
@@ -1421,13 +1447,22 @@ impl<C: Computation> PhaseRunner<C> for SpawnRunner<'_, C> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..ctx.num_partitions)
                 .map(|worker_id| {
-                    scope.spawn(move || {
+                    let forked = sched_thread::fork(format!("deliver-{worker_id}"));
+                    let token = forked.token();
+                    let handle = scope.spawn(forked.wrap(move || {
                         let mut scratch = WorkerScratch::new();
                         guarded_deliver(ctx, worker_id, superstep, &mut scratch)
-                    })
+                    }));
+                    (token, handle)
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("delivery must not panic")).collect()
+            handles
+                .into_iter()
+                .map(|(token, h)| {
+                    token.join_point();
+                    h.join().expect("delivery must not panic")
+                })
+                .collect()
         })
     }
 }
@@ -1447,11 +1482,19 @@ enum PoolCommand {
 }
 
 /// A per-worker parking slot for one phase's result.
-type ResultSlot<T> = Mutex<Option<Result<T, EngineError>>>;
+///
+/// Deliberately a [`TrackedCell`], not a mutex: the slot's safety rests
+/// entirely on the barrier protocol (the worker writes strictly between
+/// `start` and `done`, the coordinator reads strictly outside that
+/// window), so under `check-sched` any protocol slip — a missing or
+/// mis-sized barrier — surfaces as a reported race on the slot instead
+/// of silently serializing through a lock.
+type ResultSlot<T> = TrackedCell<Option<Result<T, EngineError>>>;
 
 /// The shared rendezvous state of the persistent pool.
 struct PoolSync<C: Computation> {
-    command: Mutex<PoolCommand>,
+    /// The command word is barrier-protected, like the result slots.
+    command: TrackedCell<PoolCommand>,
     start: Barrier,
     done: Barrier,
     compute_results: Vec<ResultSlot<WorkerOutput<C>>>,
@@ -1461,11 +1504,15 @@ struct PoolSync<C: Computation> {
 impl<C: Computation> PoolSync<C> {
     fn new(num_workers: usize) -> Self {
         Self {
-            command: Mutex::new(PoolCommand::Idle),
+            command: TrackedCell::new("pool-command", PoolCommand::Idle),
             start: Barrier::new(num_workers + 1),
             done: Barrier::new(num_workers + 1),
-            compute_results: (0..num_workers).map(|_| Mutex::new(None)).collect(),
-            deliver_results: (0..num_workers).map(|_| Mutex::new(None)).collect(),
+            compute_results: (0..num_workers)
+                .map(|w| TrackedCell::new(format!("compute-result-{w}"), None))
+                .collect(),
+            deliver_results: (0..num_workers)
+                .map(|w| TrackedCell::new(format!("deliver-result-{w}"), None))
+                .collect(),
         }
     }
 }
@@ -1478,15 +1525,15 @@ fn pool_worker<C: Computation>(ctx: EngineCtx<'_, C>, sync: &PoolSync<C>, worker
     let mut scratch = WorkerScratch::new();
     loop {
         sync.start.wait();
-        let command = *lock(&sync.command);
+        let command = sync.command.get();
         match command {
             PoolCommand::Compute(global) => {
                 let result = guarded_compute(ctx, worker_id, global, &mut scratch);
-                *lock(&sync.compute_results[worker_id]) = Some(result);
+                sync.compute_results[worker_id].set(Some(result));
             }
             PoolCommand::Deliver { superstep } => {
                 let result = guarded_deliver(ctx, worker_id, superstep, &mut scratch);
-                *lock(&sync.deliver_results[worker_id]) = Some(result);
+                sync.deliver_results[worker_id].set(Some(result));
             }
             PoolCommand::Exit => return,
             PoolCommand::Idle => {}
@@ -1503,7 +1550,7 @@ struct PoolRunner<'a, C: Computation> {
 
 impl<C: Computation> PoolRunner<'_, C> {
     fn dispatch(&self, command: PoolCommand) {
-        *lock(&self.sync.command) = command;
+        self.sync.command.set(command);
         self.sync.start.wait();
         self.sync.done.wait();
     }
@@ -1515,7 +1562,7 @@ impl<C: Computation> PhaseRunner<C> for PoolRunner<'_, C> {
         self.sync
             .compute_results
             .iter()
-            .map(|slot| lock(slot).take().expect("pool worker must report a compute result"))
+            .map(|slot| slot.take().expect("pool worker must report a compute result"))
             .collect()
     }
 
@@ -1524,7 +1571,7 @@ impl<C: Computation> PhaseRunner<C> for PoolRunner<'_, C> {
         self.sync
             .deliver_results
             .iter()
-            .map(|slot| lock(slot).take().expect("pool worker must report a delivery result"))
+            .map(|slot| slot.take().expect("pool worker must report a delivery result"))
             .collect()
     }
 }

@@ -1,0 +1,139 @@
+//! Instrumented atomics.
+//!
+//! Outside a session these delegate straight to `std::sync::atomic`
+//! with the caller's ordering. Inside a session every operation is a
+//! yield point, and the happens-before treatment is deliberately
+//! conservative: every op acquires from the atomic's clock, and every
+//! mutating op releases into it. That over-approximates `Relaxed`
+//! (fewer false races, never a missed mutex/barrier bug, which is what
+//! the engine protocol checks care about).
+
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+
+#[cfg(feature = "check")]
+use crate::session::{current_ctx, Attempt, Session};
+
+macro_rules! shim_atomic {
+    ($name:ident, $std:ty, $prim:ty, [$($fetch:ident),*]) => {
+        /// An instrumented atomic; see the module docs.
+        pub struct $name {
+            #[cfg(feature = "check")]
+            slot: crate::sync::ObjSlot,
+            inner: $std,
+        }
+
+        impl $name {
+            /// Wraps `value`.
+            pub fn new(value: $prim) -> Self {
+                Self {
+                    #[cfg(feature = "check")]
+                    slot: crate::sync::ObjSlot::new(),
+                    inner: <$std>::new(value),
+                }
+            }
+
+            #[cfg(feature = "check")]
+            #[track_caller]
+            fn note(&self, op: &'static str, writes: bool) {
+                if let Some((session, tid)) = current_ctx() {
+                    let obj = self.slot.resolve(&session, Session::register_atomic);
+                    let loc = Location::caller();
+                    session.op(
+                        tid,
+                        loc,
+                        || format!("atomic[{obj}].{op}"),
+                        |core, tid| {
+                            core.atomic_op(obj, tid, writes);
+                            Attempt::Ready(())
+                        },
+                    );
+                }
+            }
+
+            #[cfg(not(feature = "check"))]
+            fn note(&self, _op: &'static str, _writes: bool) {}
+
+            /// Atomic load.
+            #[track_caller]
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.note("load", false);
+                self.inner.load(order)
+            }
+
+            /// Atomic store.
+            #[track_caller]
+            pub fn store(&self, value: $prim, order: Ordering) {
+                self.note("store", true);
+                self.inner.store(value, order);
+            }
+
+            /// Atomic swap.
+            #[track_caller]
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                self.note("swap", true);
+                self.inner.swap(value, order)
+            }
+
+            /// Atomic compare-exchange.
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.note("compare_exchange", true);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            $(
+                /// Atomic read-modify-write.
+                #[track_caller]
+                pub fn $fetch(&self, value: $prim, order: Ordering) -> $prim {
+                    self.note(stringify!($fetch), true);
+                    self.inner.$fetch(value, order)
+                }
+            )*
+
+            /// Unwraps the value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+shim_atomic!(
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64,
+    [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+);
+shim_atomic!(
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize,
+    [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+);
+shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool, [fetch_or, fetch_and]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_atomics_behave_like_std() {
+        let n = AtomicU64::new(5);
+        assert_eq!(n.fetch_add(3, Ordering::SeqCst), 5);
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+        assert_eq!(n.swap(1, Ordering::SeqCst), 8);
+        assert!(n.compare_exchange(1, 2, Ordering::SeqCst, Ordering::SeqCst).is_ok());
+        assert_eq!(n.into_inner(), 2);
+
+        let flag = AtomicBool::new(false);
+        flag.store(true, Ordering::Release);
+        assert!(flag.load(Ordering::Acquire));
+    }
+}

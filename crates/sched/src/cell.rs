@@ -1,0 +1,133 @@
+//! Tracked shared cells — the race detector's subjects.
+//!
+//! A [`TrackedCell`] marks data whose safety rests on a *protocol*
+//! (phase barriers, ownership handoff, a freelist) rather than on a
+//! lock of its own: the engine's `PoolCommand` word, per-worker result
+//! slots, staged shuffle batches, recycled buffers. The workspace
+//! forbids `unsafe`, so the cell is physically an internal mutex — but
+//! that mutex contributes **no** happens-before edges. Every access is
+//! checked against the vector-clock graph established by the real
+//! shims; two accesses that only the internal mutex ordered are
+//! reported as a race, exactly as they would be for a plain field in
+//! unsafe code. Outside a session the cell is just a cheap mutex.
+
+use std::panic::Location;
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+use crate::session::AccessKind;
+#[cfg(feature = "check")]
+use crate::session::{current_ctx, Attempt};
+#[cfg(feature = "check")]
+use crate::sync::ObjSlot;
+
+/// A logically-unsynchronized shared cell; see the module docs.
+pub struct TrackedCell<T> {
+    label: String,
+    #[cfg(feature = "check")]
+    slot: ObjSlot,
+    data: StdMutex<T>,
+}
+
+impl<T> TrackedCell<T> {
+    /// Wraps `value`; `label` names the cell in race reports
+    /// (e.g. `partition-slot-3`).
+    pub fn new(label: impl Into<String>, value: T) -> Self {
+        TrackedCell {
+            label: label.into(),
+            #[cfg(feature = "check")]
+            slot: ObjSlot::new(),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// The cell's race-report label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    #[cfg(feature = "check")]
+    #[track_caller]
+    fn note(&self, kind: AccessKind) {
+        if let Some((session, tid)) = current_ctx() {
+            let label = self.label.clone();
+            let cell = self.slot.resolve(&session, |s| s.register_cell(label));
+            let loc = Location::caller();
+            session.op(
+                tid,
+                loc,
+                || format!("cell[{}].{kind}", self.label),
+                |core, tid| {
+                    core.cell_access(cell, tid, kind, loc);
+                    Attempt::Ready(())
+                },
+            );
+        }
+    }
+
+    #[cfg(not(feature = "check"))]
+    fn note(&self, _kind: AccessKind) {}
+
+    /// Reads through a closure; recorded as a read access.
+    #[track_caller]
+    pub fn with_read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.note(AccessKind::Read);
+        f(&self.data.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutates through a closure; recorded as a write access.
+    #[track_caller]
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.note(AccessKind::Write);
+        f(&mut self.data.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Replaces the value, returning the old one (a write access).
+    #[track_caller]
+    pub fn replace(&self, value: T) -> T {
+        self.with_write(|slot| std::mem::replace(slot, value))
+    }
+
+    /// Stores `value` (a write access).
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        self.with_write(|slot| *slot = value);
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Copy> TrackedCell<T> {
+    /// Copies the value out (a read access).
+    #[track_caller]
+    pub fn get(&self) -> T {
+        self.with_read(|v| *v)
+    }
+}
+
+impl<T: Default> TrackedCell<T> {
+    /// Takes the value, leaving the default (a write access).
+    #[track_caller]
+    pub fn take(&self) -> T {
+        self.with_write(std::mem::take)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_cell_is_a_plain_container() {
+        let cell = TrackedCell::new("test-cell", 41u64);
+        assert_eq!(cell.get(), 41);
+        cell.set(42);
+        assert_eq!(cell.replace(7), 42);
+        assert_eq!(cell.take(), 7);
+        assert_eq!(cell.get(), 0);
+        assert_eq!(cell.label(), "test-cell");
+        assert_eq!(cell.into_inner(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! An instrumented mpsc channel.
+//!
+//! One implementation serves both modes: the queue and sender counts
+//! live behind a std mutex + condvar (passthrough blocking), and under
+//! a schedule session blocking moves into the scheduler instead, with
+//! each message carrying the sender's vector clock (a send
+//! happens-before the recv that takes it, and the last sender drop
+//! happens-before the disconnect error).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::Location;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+
+#[cfg(feature = "check")]
+use crate::session::{current_ctx, Attempt, Session};
+#[cfg(feature = "check")]
+use crate::sync::ObjSlot;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: StdMutex<State<T>>,
+    cv: Condvar,
+    #[cfg(feature = "check")]
+    slot: ObjSlot,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Sending half; clonable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiver was dropped; the message comes back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+/// Every sender was dropped and the queue is drained.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Creates an unbounded mpsc channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: StdMutex::new(State { queue: VecDeque::new(), senders: 1, receiver_alive: true }),
+        cv: Condvar::new(),
+        #[cfg(feature = "check")]
+        slot: ObjSlot::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Queues `value`; fails only after the receiver dropped.
+    #[track_caller]
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        {
+            let mut state = self.shared.lock();
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+        }
+        self.shared.cv.notify_all();
+        #[cfg(feature = "check")]
+        if let Some((session, tid)) = current_ctx() {
+            let obj = self.shared.slot.resolve(&session, Session::register_channel);
+            let loc = Location::caller();
+            session.op(
+                tid,
+                loc,
+                || format!("channel[{obj}].send"),
+                |core, tid| {
+                    core.chan_send(obj, tid);
+                    Attempt::Ready(())
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    #[track_caller]
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        #[cfg(feature = "check")]
+        if let Some((session, tid)) = current_ctx() {
+            let obj = self.shared.slot.resolve(&session, Session::register_channel);
+            let loc = Location::caller();
+            session.op(
+                tid,
+                loc,
+                || format!("channel[{obj}].clone-sender"),
+                |core, _| {
+                    core.chan_sender_cloned(obj);
+                    Attempt::Ready(())
+                },
+            );
+        }
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.senders = state.senders.saturating_sub(1);
+        }
+        self.shared.cv.notify_all();
+        #[cfg(feature = "check")]
+        if let Some((session, tid)) = current_ctx() {
+            let obj = self.shared.slot.resolve(&session, Session::register_channel);
+            if std::thread::panicking() {
+                session.op_unwind(|core| core.chan_sender_dropped(obj, tid));
+            } else {
+                let loc = Location::caller();
+                session.op(
+                    tid,
+                    loc,
+                    || format!("channel[{obj}].drop-sender"),
+                    |core, tid| {
+                        core.chan_sender_dropped(obj, tid);
+                        Attempt::Ready(())
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next message; errors once every sender is gone
+    /// and the queue is drained.
+    #[track_caller]
+    pub fn recv(&self) -> Result<T, RecvError> {
+        #[cfg(feature = "check")]
+        if let Some((session, tid)) = current_ctx() {
+            let obj = self.shared.slot.resolve(&session, Session::register_channel);
+            let loc = Location::caller();
+            let got = session.op(
+                tid,
+                loc,
+                || format!("channel[{obj}].recv"),
+                |core, tid| core.chan_recv(obj, tid),
+            );
+            if !got {
+                return Err(RecvError);
+            }
+            let value = self
+                .shared
+                .lock()
+                .queue
+                .pop_front()
+                .expect("logical queue said a message is available");
+            return Ok(value);
+        }
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().receiver_alive = false;
+        self.shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_send_recv_and_disconnect() {
+        let (tx, rx) = channel::<u32>();
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn passthrough_blocking_recv_wakes_on_send() {
+        let (tx, rx) = channel::<u32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(9).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_the_message() {
+        let (tx, rx) = channel::<String>();
+        drop(rx);
+        let err = tx.send("boomerang".to_string()).unwrap_err();
+        assert_eq!(err.0, "boomerang");
+    }
+}

@@ -1,0 +1,117 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every scheduled thread carries a [`VectorClock`]; synchronization
+//! objects (mutexes, barriers, channels, atomics) carry one too and
+//! ferry orderings between threads: a release joins the thread's clock
+//! into the object, an acquire joins the object's clock into the
+//! thread. Two accesses to the same cell are racy exactly when neither
+//! clock dominates the other at the access points — the FastTrack
+//! formulation, kept in full-vector form because our thread counts are
+//! tiny (a worker pool, not a JVM).
+
+use std::fmt;
+
+/// A grow-on-demand vector clock indexed by scheduler thread id.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock (ordered before everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component for thread `tid` (zero when never touched).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for thread `tid`.
+    pub fn set(&mut self, tid: usize, value: u64) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] = value;
+    }
+
+    /// Advances this thread's own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        let v = self.get(tid);
+        self.set(tid, v + 1);
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether every component of `self` is `<=` the matching component
+    /// of `other` — i.e. `self` happens-before-or-equals `other`.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.slots.iter().enumerate().all(|(tid, &v)| v <= other.get(tid))
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn leq_detects_ordering_and_concurrency() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = a.clone();
+        b.tick(0);
+        b.tick(1);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+
+        let mut c = VectorClock::new();
+        c.set(1, 9);
+        // a and c are concurrent: neither dominates.
+        assert!(!a.leq(&c) && !c.leq(&a));
+    }
+
+    #[test]
+    fn tick_is_per_component() {
+        let mut a = VectorClock::new();
+        a.tick(4);
+        a.tick(4);
+        assert_eq!(a.get(4), 2);
+        assert_eq!(a.get(0), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Schedule exploration and seed-based replay.
+//!
+//! [`explore`] drives a program body through many distinct
+//! interleavings (seeded random and PCT-style priority strategies) and
+//! stops at the first failing schedule — a detected race, a deadlock, a
+//! panic, or a scheduler stall. The failing [`ScheduleOutcome`] carries
+//! the seed and the full step trace, and [`run_schedule`] replays any
+//! seed exactly: same seed, same strategy, same interleaving. This is
+//! Graft's replay-debugging philosophy pointed at our own runtime.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::session::{RaceReport, SchedAbort, Session, StepRecord, StrategyState};
+
+/// Which scheduling strategy drives an attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StrategyKind {
+    /// Uniform random choice at every yield point.
+    Random,
+    /// PCT-style: random thread priorities with `depth` priority-change
+    /// points per schedule.
+    Pct {
+        /// Number of priority-change points.
+        depth: usize,
+    },
+    /// Alternate [`StrategyKind::Random`] and [`StrategyKind::Pct`]
+    /// across attempts (the default).
+    Mixed,
+}
+
+/// Exploration budget and seeding.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Target number of *distinct* interleavings to explore.
+    pub schedules: usize,
+    /// Base seed; attempt `i` derives its own seed from it.
+    pub seed: u64,
+    /// Scheduling strategy.
+    pub strategy: StrategyKind,
+    /// Per-schedule step budget (aborts runaway schedules).
+    pub max_steps: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            schedules: 100,
+            seed: 0xC0FF_EE00,
+            strategy: StrategyKind::Mixed,
+            max_steps: 200_000,
+        }
+    }
+}
+
+/// Everything observed while running one schedule.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// The exact seed that reproduces this schedule.
+    pub seed: u64,
+    /// The concrete strategy that ran (pass back to [`run_schedule`]
+    /// together with `seed` for an exact replay).
+    pub strategy_kind: StrategyKind,
+    /// Human-readable strategy description.
+    pub strategy: String,
+    /// Steps executed.
+    pub steps: u64,
+    /// Interleaving fingerprint (for distinctness counting).
+    pub schedule_hash: u64,
+    /// Detected happens-before races.
+    pub races: Vec<RaceReport>,
+    /// Deadlock description, if every live thread parked.
+    pub deadlock: Option<String>,
+    /// Scheduler stall / step-budget abort, if any.
+    pub stall: Option<String>,
+    /// Program panics (main body and forked threads).
+    pub panics: Vec<String>,
+    /// The full step-by-step trace.
+    pub trace: Vec<StepRecord>,
+}
+
+impl ScheduleOutcome {
+    /// Whether this schedule counts as a failure.
+    pub fn failed(&self) -> bool {
+        !self.races.is_empty()
+            || self.deadlock.is_some()
+            || self.stall.is_some()
+            || !self.panics.is_empty()
+    }
+
+    /// One-line failure classification.
+    pub fn verdict(&self) -> String {
+        if !self.races.is_empty() {
+            format!("{} race(s) detected", self.races.len())
+        } else if self.deadlock.is_some() {
+            "deadlock".to_string()
+        } else if !self.panics.is_empty() {
+            "panic".to_string()
+        } else if self.stall.is_some() {
+            "stall".to_string()
+        } else {
+            "clean".to_string()
+        }
+    }
+}
+
+/// The result of an [`explore`] run.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Schedules attempted (including hash-duplicates).
+    pub attempted: usize,
+    /// Distinct interleavings seen.
+    pub distinct: usize,
+    /// The first failing schedule, if any.
+    pub failure: Option<ScheduleOutcome>,
+}
+
+impl ExploreReport {
+    /// Whether every explored schedule came back clean.
+    pub fn clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+fn derive_seed(base: u64, attempt: usize) -> u64 {
+    base.wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn concrete(strategy: StrategyKind, attempt: usize) -> StrategyKind {
+    match strategy {
+        StrategyKind::Mixed => {
+            if attempt.is_multiple_of(2) {
+                StrategyKind::Random
+            } else {
+                StrategyKind::Pct { depth: 3 }
+            }
+        }
+        other => other,
+    }
+}
+
+fn build_state(strategy: StrategyKind, seed: u64) -> (StrategyState, String) {
+    match strategy {
+        StrategyKind::Random => (StrategyState::Random, format!("random(seed={seed:#x})")),
+        StrategyKind::Pct { depth } => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+            let change_points = (0..depth).map(|_| rng.gen_range(1u64..=2048)).collect::<Vec<_>>();
+            (
+                StrategyState::Pct { change_points, low_water: 0 },
+                format!("pct(depth={depth},seed={seed:#x})"),
+            )
+        }
+        StrategyKind::Mixed => unreachable!("Mixed is resolved per attempt"),
+    }
+}
+
+/// Runs `body` under one deterministic schedule. The same `(seed,
+/// strategy, max_steps, body)` always produces the same interleaving —
+/// this is the replay entry point.
+pub fn run_schedule(
+    seed: u64,
+    strategy: StrategyKind,
+    max_steps: u64,
+    body: impl FnOnce(),
+) -> ScheduleOutcome {
+    let strategy = concrete(strategy, 0);
+    let (state, strategy_name) = build_state(strategy, seed);
+    let session = Session::new(seed, state, max_steps);
+    let guard = session.install_main();
+    let result = catch_unwind(AssertUnwindSafe(body));
+    drop(guard);
+    let results = session.collect();
+    let mut panics = results.panics;
+    if let Err(payload) = result {
+        if payload.downcast_ref::<SchedAbort>().is_none() {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            panics.push(format!("thread main panicked: {msg}"));
+        }
+    }
+    let stall = match (&results.abort, &results.deadlock) {
+        (Some(abort), Some(deadlock)) if abort == deadlock => None,
+        (Some(abort), _) => Some(abort.clone()),
+        (None, _) => None,
+    };
+    ScheduleOutcome {
+        seed,
+        strategy_kind: strategy,
+        strategy: strategy_name,
+        steps: results.steps,
+        schedule_hash: results.schedule_hash,
+        races: results.races,
+        deadlock: results.deadlock,
+        stall,
+        panics,
+        trace: results.trace,
+    }
+}
+
+/// Explores up to `cfg.schedules` distinct interleavings of `body`,
+/// stopping early at the first failure. Duplicate interleavings (small
+/// programs exhaust their schedule space quickly) are retried with
+/// fresh seeds, up to 4x the target.
+pub fn explore(cfg: &ExploreConfig, body: impl Fn()) -> ExploreReport {
+    let mut seen = HashSet::new();
+    let mut attempted = 0usize;
+    let max_attempts = cfg.schedules.saturating_mul(4).max(1);
+    while seen.len() < cfg.schedules && attempted < max_attempts {
+        let seed = derive_seed(cfg.seed, attempted);
+        let strategy = concrete(cfg.strategy, attempted);
+        let outcome = run_schedule(seed, strategy, cfg.max_steps, &body);
+        attempted += 1;
+        seen.insert(outcome.schedule_hash);
+        if outcome.failed() {
+            return ExploreReport { attempted, distinct: seen.len(), failure: Some(outcome) };
+        }
+    }
+    ExploreReport { attempted, distinct: seen.len(), failure: None }
+}
+
+/// Renders a failing schedule as a step-by-step replay trace, capped at
+/// `max_steps` trailing steps (the failure is always near the end).
+pub fn render_trace(outcome: &ScheduleOutcome, max_steps: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule seed={:#x} strategy={} verdict={}",
+        outcome.seed,
+        outcome.strategy,
+        outcome.verdict()
+    );
+    for race in &outcome.races {
+        let _ = writeln!(out, "  {race}");
+    }
+    if let Some(deadlock) = &outcome.deadlock {
+        let _ = writeln!(out, "  {deadlock}");
+    }
+    if let Some(stall) = &outcome.stall {
+        let _ = writeln!(out, "  {stall}");
+    }
+    for panic in &outcome.panics {
+        let _ = writeln!(out, "  {panic}");
+    }
+    let skip = outcome.trace.len().saturating_sub(max_steps);
+    if skip > 0 {
+        let _ = writeln!(out, "  ... {skip} earlier step(s) elided ...");
+    }
+    for step in &outcome.trace[skip..] {
+        let _ = writeln!(
+            out,
+            "  step {:>5}  {:<18} {:<40} {}",
+            step.step, step.thread, step.desc, step.location
+        );
+    }
+    out
+}

@@ -1,0 +1,297 @@
+//! Seeded-race fixtures: miniature replicas of the engine's and
+//! server's concurrency protocols, each with (or without) a planted
+//! bug. The racy ones are the detector's regression suite — every one
+//! must be caught within the CI schedule budget — and the clean one
+//! pins down the false-positive rate. `graft-cli check-sched` runs all
+//! of them before gating on the real runtime.
+
+use std::sync::Arc;
+
+use crate::cell::TrackedCell;
+use crate::sync::{Barrier, Mutex};
+use crate::thread::{fork, JoinToken};
+
+/// One fixture program.
+pub struct Fixture {
+    /// Stable fixture name (used by `check-sched --fixture`).
+    pub name: &'static str,
+    /// Whether the detector is *expected* to fail it.
+    pub racy: bool,
+    /// What the planted bug (or protocol) is.
+    pub summary: &'static str,
+    /// The program body, run once per schedule.
+    pub body: fn(),
+}
+
+/// All fixtures, racy ones first.
+pub fn catalog() -> &'static [Fixture] {
+    &[
+        Fixture {
+            name: "unsync-partition-write",
+            racy: true,
+            summary: "worker 0's partition math is off by one: it writes a slot \
+                      owned by worker 1 with no synchronization",
+            body: unsync_partition_write,
+        },
+        Fixture {
+            name: "barrier-reuse-off-by-one",
+            racy: true,
+            summary: "the phase barrier is sized for the workers only, forgetting \
+                      the coordinator (+1): workers can pass before the command \
+                      write, or strand an arrival into the next generation",
+            body: barrier_reuse_off_by_one,
+        },
+        Fixture {
+            name: "freelist-double-return",
+            racy: true,
+            summary: "a buffer is returned to the freelist twice, so two workers \
+                      pop the same buffer and write it concurrently",
+            body: freelist_double_return,
+        },
+        Fixture {
+            name: "racy-steal-on-empty",
+            racy: true,
+            summary: "the empty-queue fallback path touches the victim slot \
+                      without taking its lock; only schedules where the consumer \
+                      outruns the producer expose it",
+            body: racy_steal_on_empty,
+        },
+        Fixture {
+            name: "clean-pool-protocol",
+            racy: false,
+            summary: "the engine's pool protocol done right: command word and \
+                      result slots guarded purely by correctly-sized barriers",
+            body: clean_pool_protocol,
+        },
+    ]
+}
+
+/// Looks a fixture up by name.
+pub fn by_name(name: &str) -> Option<&'static Fixture> {
+    catalog().iter().find(|f| f.name == name)
+}
+
+fn join_all(handles: Vec<(JoinToken, std::thread::JoinHandle<()>)>) {
+    for (token, handle) in handles {
+        token.join_point();
+        let _ = handle.join();
+    }
+}
+
+fn unsync_partition_write() {
+    let slots: Arc<Vec<TrackedCell<u64>>> =
+        Arc::new((0..2).map(|i| TrackedCell::new(format!("partition-slot-{i}"), 0)).collect());
+    let mut handles = Vec::new();
+    for w in 0..2usize {
+        let slots = Arc::clone(&slots);
+        let forked = fork(format!("worker-{w}"));
+        let token = forked.token();
+        let handle = std::thread::spawn(forked.wrap(move || {
+            slots[w].set(w as u64 + 1);
+            if w == 0 {
+                // BUG: off-by-one partition routing also touches slot 1.
+                slots[1].with_write(|v| *v += 10);
+            }
+        }));
+        handles.push((token, handle));
+    }
+    join_all(handles);
+}
+
+fn barrier_reuse_off_by_one() {
+    const WORKERS: usize = 2;
+    // BUG: the coordinator also waits, so this must be WORKERS + 1.
+    let start = Arc::new(Barrier::new(WORKERS));
+    let command = Arc::new(TrackedCell::new("pool-command", 0u64));
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let start = Arc::clone(&start);
+        let command = Arc::clone(&command);
+        let forked = fork(format!("worker-{w}"));
+        let token = forked.token();
+        let handle = std::thread::spawn(forked.wrap(move || {
+            start.wait();
+            let _ = command.get();
+        }));
+        handles.push((token, handle));
+    }
+    command.set(7);
+    start.wait();
+    join_all(handles);
+}
+
+fn freelist_double_return() {
+    let freelist = Arc::new(Mutex::new(vec![0usize]));
+    let buffers: Arc<Vec<TrackedCell<u64>>> =
+        Arc::new(vec![TrackedCell::new("recycled-buffer-0", 0)]);
+    // BUG: the error path already returned buffer 0; the normal path
+    // returns it again.
+    freelist.lock().push(0);
+    let mut handles = Vec::new();
+    for w in 0..2usize {
+        let freelist = Arc::clone(&freelist);
+        let buffers = Arc::clone(&buffers);
+        let forked = fork(format!("worker-{w}"));
+        let token = forked.token();
+        let handle = std::thread::spawn(forked.wrap(move || {
+            let idx = freelist.lock().pop();
+            if let Some(idx) = idx {
+                // Both workers got buffer 0; writing it outside the
+                // freelist lock is the whole point of a freelist.
+                buffers[idx].with_write(|v| *v += w as u64 + 1);
+            }
+        }));
+        handles.push((token, handle));
+    }
+    join_all(handles);
+}
+
+fn racy_steal_on_empty() {
+    let queue = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let victim = Arc::new(TrackedCell::new("victim-slot", 0u64));
+    let victim_lock = Arc::new(Mutex::new(()));
+    let mut handles = Vec::new();
+    {
+        let queue = Arc::clone(&queue);
+        let victim = Arc::clone(&victim);
+        let victim_lock = Arc::clone(&victim_lock);
+        let forked = fork("producer");
+        let token = forked.token();
+        let handle = std::thread::spawn(forked.wrap(move || {
+            queue.lock().push(1);
+            let _guard = victim_lock.lock();
+            victim.set(1);
+        }));
+        handles.push((token, handle));
+    }
+    {
+        let queue = Arc::clone(&queue);
+        let victim = Arc::clone(&victim);
+        let forked = fork("consumer");
+        let token = forked.token();
+        let handle = std::thread::spawn(forked.wrap(move || {
+            let empty = queue.lock().is_empty();
+            if empty {
+                // BUG: the empty-queue fallback skips victim_lock, so
+                // only consumer-first schedules expose the race.
+                victim.set(2);
+            } else {
+                queue.lock().pop();
+            }
+        }));
+        handles.push((token, handle));
+    }
+    join_all(handles);
+}
+
+fn clean_pool_protocol() {
+    const WORKERS: usize = 2;
+    const ROUNDS: i64 = 2;
+    let start = Arc::new(Barrier::new(WORKERS + 1));
+    let done = Arc::new(Barrier::new(WORKERS + 1));
+    let command = Arc::new(TrackedCell::new("pool-command", 0i64));
+    let results: Arc<Vec<TrackedCell<i64>>> =
+        Arc::new((0..WORKERS).map(|w| TrackedCell::new(format!("result-slot-{w}"), 0)).collect());
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let start = Arc::clone(&start);
+        let done = Arc::clone(&done);
+        let command = Arc::clone(&command);
+        let results = Arc::clone(&results);
+        let forked = fork(format!("pool-worker-{w}"));
+        let token = forked.token();
+        let handle = std::thread::spawn(forked.wrap(move || loop {
+            start.wait();
+            let round = command.get();
+            if round < 0 {
+                return;
+            }
+            results[w].set(round * (w as i64 + 1));
+            done.wait();
+        }));
+        handles.push((token, handle));
+    }
+    for round in 1..=ROUNDS {
+        command.set(round);
+        start.wait();
+        done.wait();
+        let sum: i64 = results.iter().map(TrackedCell::get).sum();
+        assert_eq!(sum, round * (WORKERS * (WORKERS + 1) / 2) as i64);
+    }
+    command.set(-1);
+    start.wait();
+    join_all(handles);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, run_schedule, ExploreConfig};
+
+    fn cfg(schedules: usize) -> ExploreConfig {
+        ExploreConfig { schedules, seed: 0xD1CE, ..ExploreConfig::default() }
+    }
+
+    #[test]
+    fn every_racy_fixture_is_caught_within_budget() {
+        for fixture in catalog().iter().filter(|f| f.racy) {
+            let report = explore(&cfg(60), fixture.body);
+            let failure = report.failure.unwrap_or_else(|| {
+                panic!(
+                    "fixture {} not caught in {} schedules ({} distinct)",
+                    fixture.name, report.attempted, report.distinct
+                )
+            });
+            assert!(failure.failed(), "fixture {}: failure outcome must self-report", fixture.name);
+        }
+    }
+
+    #[test]
+    fn clean_fixture_passes_the_full_budget() {
+        let fixture = by_name("clean-pool-protocol").unwrap();
+        let report = explore(&cfg(40), fixture.body);
+        if let Some(failure) = &report.failure {
+            panic!(
+                "clean fixture failed: {}\n{}",
+                failure.verdict(),
+                crate::explore::render_trace(failure, 120)
+            );
+        }
+        assert!(report.distinct >= 2, "exploration must actually vary the schedule");
+    }
+
+    #[test]
+    fn failing_seed_replays_to_the_same_schedule_and_verdict() {
+        let fixture = by_name("unsync-partition-write").unwrap();
+        let report = explore(&cfg(30), fixture.body);
+        let failure = report.failure.expect("fixture must fail");
+        let replay = run_schedule(failure.seed, failure.strategy_kind, 200_000, fixture.body);
+        assert_eq!(replay.schedule_hash, failure.schedule_hash, "replay must be exact");
+        assert_eq!(replay.verdict(), failure.verdict());
+        assert!(!replay.races.is_empty());
+        // The replay trace is the debugging artifact: it must name the
+        // cell, both threads, and the source locations.
+        let rendered = crate::explore::render_trace(&replay, 200);
+        assert!(rendered.contains("partition-slot-1"), "trace:\n{rendered}");
+        assert!(rendered.contains("fixtures.rs"), "trace:\n{rendered}");
+    }
+
+    #[test]
+    fn schedule_dependent_race_needs_exploration_and_is_found() {
+        let fixture = by_name("racy-steal-on-empty").unwrap();
+        let report = explore(&cfg(120), fixture.body);
+        assert!(report.failure.is_some(), "consumer-first schedule never explored");
+    }
+
+    #[test]
+    fn deadlock_or_race_from_undersized_barrier_reports_cleanly() {
+        let fixture = by_name("barrier-reuse-off-by-one").unwrap();
+        let report = explore(&cfg(60), fixture.body);
+        let failure = report.failure.expect("fixture must fail");
+        assert!(
+            !failure.races.is_empty() || failure.deadlock.is_some(),
+            "expected a race or a deadlock, got: {}",
+            failure.verdict()
+        );
+    }
+}

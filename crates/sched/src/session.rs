@@ -1,0 +1,933 @@
+//! The cooperative deterministic scheduler.
+//!
+//! A [`Session`] serializes every participating thread onto one logical
+//! token: only the thread named by `Core::current` executes; everyone
+//! else parks on a condvar. Each shim operation is a *yield point* —
+//! the scheduler may hand the token to any other runnable thread there,
+//! which is what lets a seeded strategy drive the program through many
+//! distinct interleavings. Threads still run on real OS threads (the
+//! engine and server spawn them normally); the session only decides
+//! *when* each one may take its next visible step.
+//!
+//! Sessions are installed per-thread (thread-local), never globally, so
+//! concurrently running tests do not interfere: a shim used by a thread
+//! with no installed session is a plain passthrough.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::clock::VectorClock;
+
+/// How long a parked thread waits for the token before declaring the
+/// schedule stalled (something blocked outside the shims).
+const STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+static SESSION_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Session>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind threads when a schedule is torn down
+/// (deadlock, stall, step-budget blowout). Never reported as a program
+/// panic.
+pub(crate) struct SchedAbort;
+
+/// The session + thread id of the calling thread, if it is scheduled.
+pub(crate) fn current_ctx() -> Option<(Arc<Session>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Session>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Why a thread is parked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockReason {
+    /// Waiting to acquire a mutex.
+    Mutex(usize),
+    /// Waiting for a read lock.
+    RwRead(usize),
+    /// Waiting for a write lock.
+    RwWrite(usize),
+    /// Waiting at a barrier (for the generation it joined).
+    Barrier { obj: usize, generation: u64 },
+    /// Waiting for a message.
+    Recv(usize),
+    /// Waiting for another scheduled thread to finish.
+    Join { target: usize },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(BlockReason),
+    Finished,
+}
+
+/// One attempt at a shim operation: either it completes now, or the
+/// thread must park and retry when woken.
+pub(crate) enum Attempt<R> {
+    Ready(R),
+    Block(BlockReason),
+}
+
+/// Read or write, for race reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// A read of the tracked cell.
+    Read,
+    /// A write of the tracked cell.
+    Write,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// One endpoint of a detected race.
+#[derive(Clone, Debug)]
+pub struct RaceAccess {
+    /// Scheduler thread id.
+    pub tid: usize,
+    /// Thread name at registration time.
+    pub thread: String,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// `file:line` of the access.
+    pub location: String,
+}
+
+/// A pair of conflicting, happens-before-unordered accesses to one
+/// tracked cell.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// Label of the cell (e.g. `partition-slot-3`).
+    pub cell: String,
+    /// The earlier recorded access.
+    pub first: RaceAccess,
+    /// The access that exposed the conflict.
+    pub second: RaceAccess,
+    /// Scheduler step at which the race was detected.
+    pub step: u64,
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "race on `{}`: {} by {} at {} is unordered with {} by {} at {} (step {})",
+            self.cell,
+            self.first.kind,
+            self.first.thread,
+            self.first.location,
+            self.second.kind,
+            self.second.thread,
+            self.second.location,
+            self.step,
+        )
+    }
+}
+
+/// One scheduled step, for replay traces.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Monotonic step number within the schedule.
+    pub step: u64,
+    /// Scheduler thread id that executed the step.
+    pub tid: usize,
+    /// Thread name.
+    pub thread: String,
+    /// What the step did (op + object).
+    pub desc: String,
+    /// `file:line` of the shim call.
+    pub location: String,
+}
+
+struct ThreadState {
+    name: String,
+    clock: VectorClock,
+    status: Status,
+    priority: i64,
+}
+
+enum ObjectState {
+    Mutex { held_by: Option<usize>, clock: VectorClock },
+    RwLock { writer: Option<usize>, readers: Vec<usize>, clock: VectorClock },
+    Barrier { participants: usize, generation: u64, arrived: Vec<usize>, gathering: VectorClock },
+    Channel { msg_clocks: VecDeque<VectorClock>, senders: usize, close_clock: Option<VectorClock> },
+    Atomic { clock: VectorClock },
+}
+
+struct CellState {
+    label: String,
+    raced: bool,
+    /// Per-tid `(clock component at last write, location)`.
+    last_write: Vec<Option<(u64, String)>>,
+    /// Per-tid `(clock component at last read, location)`.
+    last_read: Vec<Option<(u64, String)>>,
+}
+
+/// The exploration strategy driving scheduling decisions.
+pub(crate) enum StrategyState {
+    /// Uniform random choice among runnable threads.
+    Random,
+    /// PCT-style: random static priorities plus `change_points` steps at
+    /// which the running thread is demoted below everyone else.
+    Pct { change_points: Vec<u64>, low_water: i64 },
+}
+
+pub(crate) struct Core {
+    threads: Vec<ThreadState>,
+    current: Option<usize>,
+    steps: u64,
+    max_steps: u64,
+    trace: Vec<StepRecord>,
+    objects: Vec<ObjectState>,
+    cells: Vec<CellState>,
+    rng: StdRng,
+    strategy: StrategyState,
+    schedule_hash: u64,
+    abort: Option<String>,
+    deadlock: Option<String>,
+    races: Vec<RaceReport>,
+    panics: Vec<String>,
+}
+
+impl Core {
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn fresh_priority(&mut self) -> i64 {
+        // Positive, so demoted threads (negative priorities) always rank
+        // below every thread still carrying its initial priority.
+        (self.rng.next_u64() >> 2) as i64
+    }
+
+    fn pick(&mut self, runnable: &[usize]) -> usize {
+        debug_assert!(!runnable.is_empty());
+        match &mut self.strategy {
+            StrategyState::Random => {
+                runnable[(self.rng.next_u64() % runnable.len() as u64) as usize]
+            }
+            StrategyState::Pct { change_points, low_water } => {
+                if let Some(pos) = change_points.iter().position(|&s| s == self.steps) {
+                    change_points.swap_remove(pos);
+                    if let Some(cur) = self.current {
+                        *low_water -= 1;
+                        self.threads[cur].priority = *low_water;
+                    }
+                }
+                *runnable
+                    .iter()
+                    .max_by_key(|&&tid| self.threads[tid].priority)
+                    .expect("runnable is non-empty")
+            }
+        }
+    }
+
+    fn note_choice(&mut self, tid: usize) {
+        // FNV-1a over the chosen-thread sequence: two schedules are
+        // "distinct" when their interleavings differ anywhere.
+        self.schedule_hash ^= tid as u64 + 1;
+        self.schedule_hash = self.schedule_hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn record_step(&mut self, tid: usize, desc: String, loc: &'static Location<'static>) {
+        self.steps += 1;
+        self.note_choice(tid);
+        let step = StepRecord {
+            step: self.steps,
+            tid,
+            thread: self.threads[tid].name.clone(),
+            desc,
+            location: format!("{}:{}", loc.file(), loc.line()),
+        };
+        self.trace.push(step);
+        if self.steps > self.max_steps && self.abort.is_none() {
+            self.abort = Some(format!("schedule exceeded the {}-step budget", self.max_steps));
+        }
+    }
+
+    fn wake_where(&mut self, mut pred: impl FnMut(&BlockReason) -> bool) {
+        for t in &mut self.threads {
+            if let Status::Blocked(reason) = t.status {
+                if pred(&reason) {
+                    t.status = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    // ---- happens-before rules per primitive -------------------------
+
+    pub(crate) fn mutex_acquire(&mut self, obj: usize, tid: usize) -> Attempt<()> {
+        let ObjectState::Mutex { held_by, clock } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a mutex");
+        };
+        if held_by.is_some() {
+            return Attempt::Block(BlockReason::Mutex(obj));
+        }
+        *held_by = Some(tid);
+        let clock = clock.clone();
+        self.threads[tid].clock.join(&clock);
+        Attempt::Ready(())
+    }
+
+    pub(crate) fn mutex_release(&mut self, obj: usize, tid: usize) {
+        let thread_clock = self.threads[tid].clock.clone();
+        let ObjectState::Mutex { held_by, clock } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a mutex");
+        };
+        *held_by = None;
+        clock.join(&thread_clock);
+        self.threads[tid].clock.tick(tid);
+        self.wake_where(|r| *r == BlockReason::Mutex(obj));
+    }
+
+    pub(crate) fn rw_acquire(&mut self, obj: usize, tid: usize, write: bool) -> Attempt<()> {
+        let ObjectState::RwLock { writer, readers, clock } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a rwlock");
+        };
+        if writer.is_some() || (write && !readers.is_empty()) {
+            return Attempt::Block(if write {
+                BlockReason::RwWrite(obj)
+            } else {
+                BlockReason::RwRead(obj)
+            });
+        }
+        if write {
+            *writer = Some(tid);
+        } else {
+            readers.push(tid);
+        }
+        let clock = clock.clone();
+        self.threads[tid].clock.join(&clock);
+        Attempt::Ready(())
+    }
+
+    pub(crate) fn rw_release(&mut self, obj: usize, tid: usize, write: bool) {
+        let thread_clock = self.threads[tid].clock.clone();
+        let ObjectState::RwLock { writer, readers, clock } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a rwlock");
+        };
+        if write {
+            *writer = None;
+        } else if let Some(pos) = readers.iter().position(|&r| r == tid) {
+            readers.swap_remove(pos);
+        }
+        clock.join(&thread_clock);
+        self.threads[tid].clock.tick(tid);
+        self.wake_where(|r| *r == BlockReason::RwRead(obj) || *r == BlockReason::RwWrite(obj));
+    }
+
+    /// Barrier arrival. `my_gen` is per-call state: `None` until this
+    /// thread has registered its arrival, then the generation it waits
+    /// on. The last arrival releases the whole cohort and joins all
+    /// their clocks (a barrier is an all-to-all happens-before edge).
+    pub(crate) fn barrier_arrive(
+        &mut self,
+        obj: usize,
+        tid: usize,
+        my_gen: &mut Option<u64>,
+    ) -> Attempt<bool> {
+        let thread_clock = self.threads[tid].clock.clone();
+        let ObjectState::Barrier { participants, generation, arrived, gathering } =
+            &mut self.objects[obj]
+        else {
+            unreachable!("object {obj} is not a barrier");
+        };
+        match *my_gen {
+            None => {
+                arrived.push(tid);
+                gathering.join(&thread_clock);
+                if arrived.len() >= *participants {
+                    let joint = std::mem::take(gathering);
+                    let cohort = std::mem::take(arrived);
+                    *generation += 1;
+                    for &t in &cohort {
+                        self.threads[t].clock.join(&joint);
+                        self.threads[t].clock.tick(t);
+                    }
+                    self.wake_where(
+                        |r| matches!(*r, BlockReason::Barrier { obj: o, .. } if o == obj),
+                    );
+                    Attempt::Ready(true)
+                } else {
+                    let generation = *generation;
+                    *my_gen = Some(generation);
+                    Attempt::Block(BlockReason::Barrier { obj, generation })
+                }
+            }
+            Some(g) => {
+                if *generation > g {
+                    // Released by the leader, which already joined our
+                    // clock with the cohort's.
+                    Attempt::Ready(false)
+                } else {
+                    Attempt::Block(BlockReason::Barrier { obj, generation: g })
+                }
+            }
+        }
+    }
+
+    pub(crate) fn chan_send(&mut self, obj: usize, tid: usize) {
+        let thread_clock = self.threads[tid].clock.clone();
+        let ObjectState::Channel { msg_clocks, .. } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a channel");
+        };
+        msg_clocks.push_back(thread_clock);
+        self.threads[tid].clock.tick(tid);
+        self.wake_where(|r| *r == BlockReason::Recv(obj));
+    }
+
+    /// `Ready(true)`: got a message. `Ready(false)`: channel closed.
+    pub(crate) fn chan_recv(&mut self, obj: usize, tid: usize) -> Attempt<bool> {
+        let ObjectState::Channel { msg_clocks, senders, close_clock } = &mut self.objects[obj]
+        else {
+            unreachable!("object {obj} is not a channel");
+        };
+        if let Some(clock) = msg_clocks.pop_front() {
+            self.threads[tid].clock.join(&clock);
+            Attempt::Ready(true)
+        } else if *senders == 0 {
+            let close = close_clock.clone();
+            if let Some(close) = close {
+                self.threads[tid].clock.join(&close);
+            }
+            Attempt::Ready(false)
+        } else {
+            Attempt::Block(BlockReason::Recv(obj))
+        }
+    }
+
+    pub(crate) fn chan_sender_cloned(&mut self, obj: usize) {
+        let ObjectState::Channel { senders, .. } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a channel");
+        };
+        *senders += 1;
+    }
+
+    pub(crate) fn chan_sender_dropped(&mut self, obj: usize, tid: usize) {
+        let thread_clock = self.threads[tid].clock.clone();
+        let ObjectState::Channel { senders, close_clock, .. } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a channel");
+        };
+        *senders = senders.saturating_sub(1);
+        let close = close_clock.get_or_insert_with(VectorClock::new);
+        close.join(&thread_clock);
+        if *senders == 0 {
+            self.wake_where(|r| *r == BlockReason::Recv(obj));
+        }
+        self.threads[tid].clock.tick(tid);
+    }
+
+    pub(crate) fn atomic_op(&mut self, obj: usize, tid: usize, writes: bool) {
+        // Conservative acquire on every op; release on writes/RMWs.
+        let ObjectState::Atomic { clock } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not an atomic");
+        };
+        let obj_clock = clock.clone();
+        self.threads[tid].clock.join(&obj_clock);
+        if writes {
+            let thread_clock = self.threads[tid].clock.clone();
+            let ObjectState::Atomic { clock } = &mut self.objects[obj] else {
+                unreachable!();
+            };
+            clock.join(&thread_clock);
+            self.threads[tid].clock.tick(tid);
+        }
+    }
+
+    pub(crate) fn join_finished(&mut self, target: usize, tid: usize) -> Attempt<()> {
+        if self.threads[target].status == Status::Finished {
+            let target_clock = self.threads[target].clock.clone();
+            self.threads[tid].clock.join(&target_clock);
+            Attempt::Ready(())
+        } else {
+            Attempt::Block(BlockReason::Join { target })
+        }
+    }
+
+    /// Race-checks one access to a tracked cell against every other
+    /// thread's last recorded access, then records this one.
+    pub(crate) fn cell_access(
+        &mut self,
+        cell: usize,
+        tid: usize,
+        kind: AccessKind,
+        loc: &'static Location<'static>,
+    ) {
+        let location = format!("{}:{}", loc.file(), loc.line());
+        let my_clock = self.threads[tid].clock.clone();
+        let step = self.steps + 1;
+        let mut found: Option<RaceReport> = None;
+        {
+            let state = &mut self.cells[cell];
+            let slots = self.threads.len();
+            state.last_write.resize(slots, None);
+            state.last_read.resize(slots, None);
+            if !state.raced {
+                for other in 0..slots {
+                    if other == tid {
+                        continue;
+                    }
+                    // A write conflicts with unordered reads and writes;
+                    // a read conflicts with unordered writes only.
+                    let mut conflicts: Vec<(AccessKind, &Option<(u64, String)>)> =
+                        vec![(AccessKind::Write, &state.last_write[other])];
+                    if kind == AccessKind::Write {
+                        conflicts.push((AccessKind::Read, &state.last_read[other]));
+                    }
+                    for (other_kind, access) in conflicts {
+                        if let Some((at, other_loc)) = access {
+                            if *at > my_clock.get(other) {
+                                found = Some(RaceReport {
+                                    cell: state.label.clone(),
+                                    first: RaceAccess {
+                                        tid: other,
+                                        thread: self.threads[other].name.clone(),
+                                        kind: other_kind,
+                                        location: other_loc.clone(),
+                                    },
+                                    second: RaceAccess {
+                                        tid,
+                                        thread: self.threads[tid].name.clone(),
+                                        kind,
+                                        location: location.clone(),
+                                    },
+                                    step,
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    if found.is_some() {
+                        break;
+                    }
+                }
+            }
+            let own = my_clock.get(tid);
+            match kind {
+                AccessKind::Write => state.last_write[tid] = Some((own, location)),
+                AccessKind::Read => state.last_read[tid] = Some((own, location)),
+            }
+        }
+        if let Some(report) = found {
+            self.cells[cell].raced = true;
+            self.races.push(report);
+        }
+    }
+}
+
+/// The results extracted from a finished schedule.
+pub(crate) struct CoreResults {
+    pub(crate) steps: u64,
+    pub(crate) schedule_hash: u64,
+    pub(crate) races: Vec<RaceReport>,
+    pub(crate) deadlock: Option<String>,
+    pub(crate) abort: Option<String>,
+    pub(crate) panics: Vec<String>,
+    pub(crate) trace: Vec<StepRecord>,
+}
+
+/// One deterministic scheduling session over a set of threads.
+pub struct Session {
+    core: StdMutex<Core>,
+    cv: Condvar,
+    pub(crate) epoch: u64,
+}
+
+impl Session {
+    pub(crate) fn new(seed: u64, strategy: StrategyState, max_steps: u64) -> Arc<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Burn a few words so nearby seeds do not share prefixes.
+        for _ in 0..4 {
+            rng.next_u64();
+        }
+        let core = Core {
+            threads: Vec::new(),
+            current: None,
+            steps: 0,
+            max_steps,
+            trace: Vec::new(),
+            objects: Vec::new(),
+            cells: Vec::new(),
+            rng,
+            strategy,
+            schedule_hash: 0xcbf2_9ce4_8422_2325,
+            abort: None,
+            deadlock: None,
+            races: Vec::new(),
+            panics: Vec::new(),
+        };
+        Arc::new(Session {
+            core: StdMutex::new(core),
+            cv: Condvar::new(),
+            epoch: SESSION_EPOCH.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    fn lock_core(&self) -> StdMutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers the calling thread as tid 0 and installs the session
+    /// into its TLS. Returns a guard that finishes the thread on drop.
+    pub(crate) fn install_main(self: &Arc<Self>) -> MainGuard {
+        assert!(current_ctx().is_none(), "a schedule session is already installed on this thread");
+        {
+            let mut core = self.lock_core();
+            debug_assert!(core.threads.is_empty());
+            let priority = core.fresh_priority();
+            core.threads.push(ThreadState {
+                name: "main".to_string(),
+                clock: VectorClock::new(),
+                status: Status::Runnable,
+                priority,
+            });
+            core.current = Some(0);
+        }
+        set_ctx(Some((Arc::clone(self), 0)));
+        MainGuard { session: Arc::clone(self) }
+    }
+
+    /// Registers a forked thread; its clock inherits the parent's view.
+    pub(crate) fn register_thread(&self, name: String, parent: usize) -> usize {
+        let mut core = self.lock_core();
+        let tid = core.threads.len();
+        let clock = {
+            let mut c = core.threads[parent].clock.clone();
+            c.tick(tid);
+            c
+        };
+        let priority = core.fresh_priority();
+        core.threads.push(ThreadState { name, clock, status: Status::Runnable, priority });
+        core.threads[parent].clock.tick(parent);
+        tid
+    }
+
+    /// Registers a synchronization object, returning its id.
+    fn register_object(&self, state: ObjectState) -> usize {
+        let mut core = self.lock_core();
+        core.objects.push(state);
+        core.objects.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        self.register_object(ObjectState::Mutex { held_by: None, clock: VectorClock::new() })
+    }
+
+    pub(crate) fn register_rwlock(&self) -> usize {
+        self.register_object(ObjectState::RwLock {
+            writer: None,
+            readers: Vec::new(),
+            clock: VectorClock::new(),
+        })
+    }
+
+    pub(crate) fn register_barrier(&self, participants: usize) -> usize {
+        self.register_object(ObjectState::Barrier {
+            participants: participants.max(1),
+            generation: 0,
+            arrived: Vec::new(),
+            gathering: VectorClock::new(),
+        })
+    }
+
+    pub(crate) fn register_channel(&self) -> usize {
+        self.register_object(ObjectState::Channel {
+            msg_clocks: VecDeque::new(),
+            senders: 1,
+            close_clock: None,
+        })
+    }
+
+    pub(crate) fn register_atomic(&self) -> usize {
+        self.register_object(ObjectState::Atomic { clock: VectorClock::new() })
+    }
+
+    pub(crate) fn register_cell(&self, label: String) -> usize {
+        let mut core = self.lock_core();
+        core.cells.push(CellState {
+            label,
+            raced: false,
+            last_write: Vec::new(),
+            last_read: Vec::new(),
+        });
+        core.cells.len() - 1
+    }
+
+    /// Parks until the token belongs to `tid` (claiming it when free).
+    fn wait_turn<'a>(
+        &'a self,
+        mut core: StdMutexGuard<'a, Core>,
+        tid: usize,
+    ) -> StdMutexGuard<'a, Core> {
+        loop {
+            if core.abort.is_some() {
+                drop(core);
+                std::panic::panic_any(SchedAbort);
+            }
+            match core.current {
+                Some(t) if t == tid => return core,
+                None if core.threads[tid].status == Status::Runnable => {
+                    core.current = Some(tid);
+                    return core;
+                }
+                _ => {}
+            }
+            let (guard, timeout) =
+                self.cv.wait_timeout(core, STALL_TIMEOUT).unwrap_or_else(PoisonError::into_inner);
+            core = guard;
+            if timeout.timed_out() && core.current != Some(tid) && core.abort.is_none() {
+                core.abort = Some(format!(
+                    "scheduler stall: thread {tid} waited {}s for the token \
+                     (a thread is probably blocked outside the shims)",
+                    STALL_TIMEOUT.as_secs()
+                ));
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// A preemption point: the strategy may hand the token elsewhere.
+    fn preempt<'a>(
+        &'a self,
+        mut core: StdMutexGuard<'a, Core>,
+        tid: usize,
+    ) -> StdMutexGuard<'a, Core> {
+        let runnable = core.runnable();
+        if runnable.len() > 1 {
+            let next = core.pick(&runnable);
+            if next != tid {
+                core.current = Some(next);
+                self.cv.notify_all();
+                return self.wait_turn(core, tid);
+            }
+        }
+        core
+    }
+
+    /// Hands the token onward after the current thread blocks or
+    /// finishes. Detects deadlock: nobody runnable but somebody parked.
+    fn dispatch(&self, core: &mut Core) {
+        let runnable = core.runnable();
+        if runnable.is_empty() {
+            core.current = None;
+            let parked: Vec<String> = core
+                .threads
+                .iter()
+                .filter_map(|t| match t.status {
+                    Status::Blocked(reason) => Some(format!("{} ({reason:?})", t.name)),
+                    _ => None,
+                })
+                .collect();
+            if !parked.is_empty() && core.abort.is_none() {
+                let msg = format!("deadlock: every live thread is parked: {}", parked.join(", "));
+                core.deadlock = Some(msg.clone());
+                core.abort = Some(msg);
+            }
+        } else {
+            let next = core.pick(&runnable);
+            core.current = Some(next);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Runs one shim operation for `tid`: waits for the token, offers a
+    /// preemption point, then retries `attempt` (parking on
+    /// [`Attempt::Block`]) until it completes.
+    pub(crate) fn op<R>(
+        &self,
+        tid: usize,
+        loc: &'static Location<'static>,
+        desc: impl Fn() -> String,
+        mut attempt: impl FnMut(&mut Core, usize) -> Attempt<R>,
+    ) -> R {
+        let core = self.lock_core();
+        let mut core = self.wait_turn(core, tid);
+        core = self.preempt(core, tid);
+        loop {
+            if core.abort.is_some() {
+                drop(core);
+                std::panic::panic_any(SchedAbort);
+            }
+            match attempt(&mut core, tid) {
+                Attempt::Ready(r) => {
+                    core.record_step(tid, desc(), loc);
+                    return r;
+                }
+                Attempt::Block(reason) => {
+                    core.record_step(tid, format!("{} [parked]", desc()), loc);
+                    core.threads[tid].status = Status::Blocked(reason);
+                    self.dispatch(&mut core);
+                    loop {
+                        core = self.wait_for_wake(core, tid);
+                        if core.threads[tid].status == Status::Runnable && core.current == Some(tid)
+                        {
+                            break;
+                        }
+                        if core.threads[tid].status == Status::Runnable && core.current.is_none() {
+                            core.current = Some(tid);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn wait_for_wake<'a>(
+        &'a self,
+        core: StdMutexGuard<'a, Core>,
+        tid: usize,
+    ) -> StdMutexGuard<'a, Core> {
+        if core.abort.is_some() {
+            drop(core);
+            std::panic::panic_any(SchedAbort);
+        }
+        if core.threads[tid].status == Status::Runnable
+            && (core.current == Some(tid) || core.current.is_none())
+        {
+            return core;
+        }
+        let (mut core, timeout) =
+            self.cv.wait_timeout(core, STALL_TIMEOUT).unwrap_or_else(PoisonError::into_inner);
+        if timeout.timed_out()
+            && core.abort.is_none()
+            && !(core.threads[tid].status == Status::Runnable
+                && (core.current == Some(tid) || core.current.is_none()))
+        {
+            core.abort = Some(format!(
+                "scheduler stall: parked thread {tid} saw no progress for {}s",
+                STALL_TIMEOUT.as_secs()
+            ));
+            self.cv.notify_all();
+        }
+        core
+    }
+
+    /// A best-effort state update for unwind paths (guard drops during a
+    /// panic). Never blocks, never panics, offers no preemption point —
+    /// a panicking thread must be allowed to finish unwinding.
+    pub(crate) fn op_unwind(&self, f: impl FnOnce(&mut Core)) {
+        {
+            let mut core = self.lock_core();
+            f(&mut core);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks `tid` runnable-thread entry: parks until the scheduler
+    /// hands it the token for the first time.
+    pub(crate) fn thread_started(&self, tid: usize) {
+        let core = self.lock_core();
+        let _core = self.wait_turn(core, tid);
+    }
+
+    /// Marks `tid` finished, wakes joiners, and hands the token on.
+    pub(crate) fn thread_finished(&self, tid: usize, panic_msg: Option<String>) {
+        let mut core = self.lock_core();
+        core.threads[tid].status = Status::Finished;
+        if let Some(msg) = panic_msg {
+            let name = core.threads[tid].name.clone();
+            core.panics.push(format!("thread {name} panicked: {msg}"));
+        }
+        core.wake_where(|r| matches!(*r, BlockReason::Join { target } if target == tid));
+        if core.current == Some(tid) {
+            self.dispatch(&mut core);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Waits for every registered thread to finish, then extracts the
+    /// schedule results. Forces an abort if stragglers remain.
+    pub(crate) fn collect(&self) -> CoreResults {
+        let mut core = self.lock_core();
+        let deadline = std::time::Instant::now() + STALL_TIMEOUT;
+        loop {
+            if core.threads.iter().all(|t| t.status == Status::Finished) {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                if core.abort.is_none() {
+                    core.abort = Some(
+                        "schedule teardown timed out: some threads never finished".to_string(),
+                    );
+                }
+                self.cv.notify_all();
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(core, Duration::from_secs(2))
+                    .unwrap_or_else(PoisonError::into_inner);
+                core = guard;
+                break;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(core, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            core = guard;
+        }
+        CoreResults {
+            steps: core.steps,
+            schedule_hash: core.schedule_hash,
+            races: std::mem::take(&mut core.races),
+            deadlock: core.deadlock.take(),
+            abort: core.abort.clone(),
+            panics: std::mem::take(&mut core.panics),
+            trace: std::mem::take(&mut core.trace),
+        }
+    }
+}
+
+/// Drop guard for the main thread of a schedule: clears the TLS slot
+/// and finishes tid 0 so the scheduler can hand the token onward.
+pub(crate) struct MainGuard {
+    session: Arc<Session>,
+}
+
+impl Drop for MainGuard {
+    fn drop(&mut self) {
+        set_ctx(None);
+        self.session.thread_finished(0, None);
+    }
+}
+
+/// Installs `ctx` into the calling thread's TLS for the duration of a
+/// forked thread body (see `thread::Forked::wrap`).
+pub(crate) struct CtxGuard;
+
+impl CtxGuard {
+    pub(crate) fn install(session: Arc<Session>, tid: usize) -> Self {
+        set_ctx(Some((session, tid)));
+        CtxGuard
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        set_ctx(None);
+    }
+}

@@ -1,0 +1,397 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Outside a schedule session these are passthroughs over the std
+//! types: the only cost of `lock()` is one thread-local load (measured
+//! by the `sched_shim_overhead` bench entry), and disabling the `check`
+//! feature removes even that. Inside a session every operation becomes
+//! a scheduler yield point and a happens-before edge in the vector
+//! clock graph.
+//!
+//! Poison handling: the engine and server run user-supplied code under
+//! `catch_unwind`, so a panicked phase or connection handler must not
+//! cascade into `PoisonError` panics on healthy threads. All shim locks
+//! therefore recover poison centrally (`PoisonError::into_inner`) —
+//! the data is guarded by the caller's own protocol (result slots,
+//! phase barriers), not by the poison flag.
+
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::PoisonError;
+use std::sync::{
+    Barrier as StdBarrier, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+};
+
+#[cfg(feature = "check")]
+use std::sync::Arc;
+
+#[cfg(feature = "check")]
+use crate::session::{current_ctx, Attempt, Session};
+
+/// Lazily binds a shim object to a session: ids are per-session, and
+/// the same shim value can outlive a session or be used across many
+/// (each `explore` attempt is a fresh session with a fresh epoch).
+#[cfg(feature = "check")]
+pub(crate) struct ObjSlot(StdMutex<(u64, usize)>);
+
+#[cfg(feature = "check")]
+impl ObjSlot {
+    pub(crate) fn new() -> Self {
+        ObjSlot(StdMutex::new((0, 0)))
+    }
+
+    pub(crate) fn resolve(
+        &self,
+        session: &Session,
+        register: impl FnOnce(&Session) -> usize,
+    ) -> usize {
+        let mut slot = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.0 == session.epoch {
+            slot.1
+        } else {
+            let id = register(session);
+            *slot = (session.epoch, id);
+            id
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Mutex
+
+/// A mutex that yields to the schedule scheduler and records
+/// happens-before edges when a session is installed.
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "check")]
+    slot: ObjSlot,
+    inner: StdMutex<T>,
+}
+
+/// Guard for [`Mutex`]; logically releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "check")]
+    sched: Option<(Arc<Session>, usize, usize)>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a shimmed mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            #[cfg(feature = "check")]
+            slot: ObjSlot::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Unwraps the value, recovering from poison.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock. Recovers from poison: a panicked holder has
+    /// already been converted into an error by its own protocol.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "check")]
+        if let Some((session, tid)) = current_ctx() {
+            let obj = self.slot.resolve(&session, Session::register_mutex);
+            let loc = Location::caller();
+            session.op(
+                tid,
+                loc,
+                || format!("mutex[{obj}].lock"),
+                |core, tid| core.mutex_acquire(obj, tid),
+            );
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            return MutexGuard { sched: Some((session, tid, obj)), inner: Some(inner) };
+        }
+        MutexGuard {
+            #[cfg(feature = "check")]
+            sched: None,
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        // Physical unlock first so the next logical owner finds the std
+        // mutex free, then the logical release (which wakes waiters).
+        drop(self.inner.take());
+        #[cfg(feature = "check")]
+        if let Some((session, tid, obj)) = self.sched.take() {
+            if std::thread::panicking() {
+                session.op_unwind(|core| core.mutex_release(obj, tid));
+            } else {
+                let loc = Location::caller();
+                session.op(
+                    tid,
+                    loc,
+                    || format!("mutex[{obj}].unlock"),
+                    |core, tid| {
+                        core.mutex_release(obj, tid);
+                        Attempt::Ready(())
+                    },
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- RwLock
+
+/// A reader-writer lock shim; see [`Mutex`] for the semantics.
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "check")]
+    slot: ObjSlot,
+    inner: StdRwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "check")]
+    sched: Option<(Arc<Session>, usize, usize)>,
+    inner: Option<StdRwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "check")]
+    sched: Option<(Arc<Session>, usize, usize)>,
+    inner: Option<StdRwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in a shimmed reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            #[cfg(feature = "check")]
+            slot: ObjSlot::new(),
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Unwraps the value, recovering from poison.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock (poison-recovering).
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "check")]
+        if let Some((session, tid)) = current_ctx() {
+            let obj = self.slot.resolve(&session, Session::register_rwlock);
+            let loc = Location::caller();
+            session.op(
+                tid,
+                loc,
+                || format!("rwlock[{obj}].read"),
+                |core, tid| core.rw_acquire(obj, tid, false),
+            );
+            let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            return RwLockReadGuard { sched: Some((session, tid, obj)), inner: Some(inner) };
+        }
+        RwLockReadGuard {
+            #[cfg(feature = "check")]
+            sched: None,
+            inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Acquires the exclusive write lock (poison-recovering).
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "check")]
+        if let Some((session, tid)) = current_ctx() {
+            let obj = self.slot.resolve(&session, Session::register_rwlock);
+            let loc = Location::caller();
+            session.op(
+                tid,
+                loc,
+                || format!("rwlock[{obj}].write"),
+                |core, tid| core.rw_acquire(obj, tid, true),
+            );
+            let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            return RwLockWriteGuard { sched: Some((session, tid, obj)), inner: Some(inner) };
+        }
+        RwLockWriteGuard {
+            #[cfg(feature = "check")]
+            sched: None,
+            inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        #[cfg(feature = "check")]
+        if let Some((session, tid, obj)) = self.sched.take() {
+            if std::thread::panicking() {
+                session.op_unwind(|core| core.rw_release(obj, tid, false));
+            } else {
+                let loc = Location::caller();
+                session.op(
+                    tid,
+                    loc,
+                    || format!("rwlock[{obj}].read-unlock"),
+                    |core, tid| {
+                        core.rw_release(obj, tid, false);
+                        Attempt::Ready(())
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        #[cfg(feature = "check")]
+        if let Some((session, tid, obj)) = self.sched.take() {
+            if std::thread::panicking() {
+                session.op_unwind(|core| core.rw_release(obj, tid, true));
+            } else {
+                let loc = Location::caller();
+                session.op(
+                    tid,
+                    loc,
+                    || format!("rwlock[{obj}].write-unlock"),
+                    |core, tid| {
+                        core.rw_release(obj, tid, true);
+                        Attempt::Ready(())
+                    },
+                );
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- Barrier
+
+/// A reusable barrier shim. Under a session the rendezvous is purely
+/// logical (the scheduler parks arrivals and releases the cohort
+/// together, joining all their clocks); outside one it delegates to
+/// `std::sync::Barrier`.
+pub struct Barrier {
+    #[cfg(feature = "check")]
+    slot: ObjSlot,
+    participants: usize,
+    inner: StdBarrier,
+}
+
+impl Barrier {
+    /// A barrier for `participants` threads per generation.
+    pub fn new(participants: usize) -> Self {
+        Barrier {
+            #[cfg(feature = "check")]
+            slot: ObjSlot::new(),
+            participants,
+            inner: StdBarrier::new(participants),
+        }
+    }
+
+    /// Blocks until `participants` threads have arrived. Returns `true`
+    /// on the leader (the arrival that released the cohort).
+    #[track_caller]
+    pub fn wait(&self) -> bool {
+        #[cfg(feature = "check")]
+        if let Some((session, tid)) = current_ctx() {
+            let participants = self.participants;
+            let obj = self.slot.resolve(&session, |s| s.register_barrier(participants));
+            let loc = Location::caller();
+            let mut my_gen = None;
+            return session.op(
+                tid,
+                loc,
+                || format!("barrier[{obj}].wait"),
+                |core, tid| core.barrier_arrive(obj, tid, &mut my_gen),
+            );
+        }
+        self.inner.wait().is_leader()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_mutex_recovers_poison() {
+        let m = std::sync::Arc::new(Mutex::new(7u64));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // The shim must hand the data back instead of panicking.
+        assert_eq!(*m.lock(), 7);
+        *m.lock() = 8;
+        assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn passthrough_rwlock_and_barrier_behave_like_std() {
+        let rw = RwLock::new(1u32);
+        {
+            let a = rw.read();
+            let b = rw.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *rw.write() = 5;
+        assert_eq!(*rw.read(), 5);
+
+        let barrier = std::sync::Arc::new(Barrier::new(2));
+        let b2 = std::sync::Arc::clone(&barrier);
+        let h = std::thread::spawn(move || b2.wait());
+        let mine = barrier.wait();
+        let theirs = h.join().unwrap();
+        assert!(mine ^ theirs, "exactly one waiter is the leader");
+    }
+}

@@ -22,7 +22,10 @@ use graft::untyped::{JobSummary, UntypedSession};
 use graft::views::json as vj;
 use graft_dfs::FileSystem;
 use graft_obs::{Obs, Scope};
-use parking_lot::Mutex;
+// The map and per-slot locks are graft-sched shims: plain mutexes in
+// production, scheduler yield points + happens-before edges under
+// `check-sched`, which model-checks the two-phase parse-once protocol.
+use graft_sched::sync::Mutex;
 
 /// Errors from serving a job out of the index.
 #[derive(Debug)]

@@ -1,22 +1,29 @@
-//! A fixed-size worker thread pool over an `mpsc` channel.
+//! A fixed-size worker thread pool over an mpsc channel.
 //!
-//! The vendored `parking_lot` has no `Condvar`, so instead of a shared
-//! deque the workers contend on one `Mutex<Receiver>` — each worker
-//! locks, blocks on `recv`, and releases before running the job. Jobs
-//! here are whole HTTP connections, so the handoff cost is noise.
+//! The channel and the receiver lock are `graft-sched` shims: in
+//! production they behave exactly like `std::sync::mpsc` plus a mutex,
+//! but under `graft-cli check-sched` every dequeue and handoff becomes
+//! a scheduler yield point with happens-before edges, so the pool's
+//! shutdown and panic-containment protocols are model-checked against
+//! real interleavings. The vendored `parking_lot` has no `Condvar`, so
+//! instead of a shared deque the workers contend on one
+//! `Mutex<Receiver>` — each worker locks, blocks on `recv`, and
+//! releases before running the job. Jobs here are whole HTTP
+//! connections, so the handoff cost is noise.
 
-use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
+use graft_sched::chan::{channel, Sender};
+use graft_sched::sync::Mutex;
+use graft_sched::thread as sched_thread;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed pool of named worker threads.
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<(sched_thread::JoinToken, JoinHandle<()>)>,
 }
 
 impl ThreadPool {
@@ -28,9 +35,11 @@ impl ThreadPool {
         let workers = (0..size)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
-                std::thread::Builder::new()
+                let forked = sched_thread::fork(format!("graft-server-worker-{i}"));
+                let token = forked.token();
+                let handle = std::thread::Builder::new()
                     .name(format!("graft-server-worker-{i}"))
-                    .spawn(move || loop {
+                    .spawn(forked.wrap(move || loop {
                         // Holding the lock across recv() serializes the
                         // *dequeue*, not the work: it is released before
                         // the job runs.
@@ -44,7 +53,12 @@ impl ThreadPool {
                             // lost thread permanently shrinks capacity.
                             Ok(job) => {
                                 let job = std::panic::AssertUnwindSafe(job);
-                                if std::panic::catch_unwind(job).is_err() {
+                                if let Err(payload) = std::panic::catch_unwind(job) {
+                                    // The scheduler's teardown signal must
+                                    // keep unwinding or the schedule stalls.
+                                    if sched_thread::is_abort(payload.as_ref()) {
+                                        std::panic::resume_unwind(payload);
+                                    }
                                     eprintln!(
                                         "graft-server-worker-{i}: connection handler panicked; \
                                          worker continues"
@@ -53,8 +67,9 @@ impl ThreadPool {
                             }
                             Err(_) => break, // all senders dropped: shutdown
                         }
-                    })
-                    .expect("worker thread spawns")
+                    }))
+                    .expect("worker thread spawns");
+                (token, handle)
             })
             .collect();
         Self { sender: Some(sender), workers }
@@ -72,7 +87,10 @@ impl ThreadPool {
     /// Drops the queue and joins every worker. Queued jobs still run.
     pub fn shutdown(&mut self) {
         self.sender.take();
-        for worker in self.workers.drain(..) {
+        for (token, worker) in self.workers.drain(..) {
+            // Schedulable wait first, so a checked schedule never blocks
+            // the token holder inside the real join.
+            token.join_point();
             let _ = worker.join();
         }
     }

@@ -1,0 +1,88 @@
+//! Model-check regression tests: the server's concurrency protocols
+//! driven through many distinct interleavings by the graft-sched
+//! explorer.
+//!
+//! Two protocols earned a permanent spot here because their correctness
+//! is easy to break silently:
+//!
+//! * the TraceIndex two-phase lookup — the per-slot lock must make two
+//!   racing cold misses for the *same* job parse it exactly once, in
+//!   every interleaving, while the map lock is never held across a
+//!   parse;
+//! * ThreadPool shutdown racing a panicking job — the worker must
+//!   survive the panic, still drain the queue, and join cleanly no
+//!   matter how shutdown interleaves with the unwinding handler.
+
+use std::sync::Arc;
+
+use graft_dfs::{FileSystem, InMemoryFs};
+use graft_obs::{Obs, Scope};
+use graft_sched::{explore, render_trace, ExploreConfig, ExploreReport};
+use graft_server::index::TraceIndex;
+use graft_server::pool::ThreadPool;
+use graft_server::synth::write_synthetic_trace;
+
+fn assert_clean(what: &str, report: ExploreReport) {
+    if let Some(failure) = &report.failure {
+        panic!("{what} failed under schedule exploration:\n{}", render_trace(failure, 150));
+    }
+    assert!(report.distinct >= 2, "{what}: exploration must produce distinct interleavings");
+}
+
+/// Two threads cold-miss the same job concurrently. The per-slot lock
+/// must serialize the parse (exactly one miss is counted), both callers
+/// must get the same `Arc`, and no interleaving may race or deadlock.
+#[test]
+fn trace_index_same_job_cold_miss_parses_once_in_every_interleaving() {
+    let cfg = ExploreConfig { schedules: 25, seed: 0x1DE7, ..ExploreConfig::default() };
+    let report = explore(&cfg, || {
+        let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+        write_synthetic_trace(fs.as_ref(), "/traces/shared", 8, 2).unwrap();
+        let obs = Obs::wall();
+        let index = Arc::new(TraceIndex::new(fs, "/traces", 4, Arc::clone(&obs)));
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            let index = Arc::clone(&index);
+            let forked = graft_sched::thread::fork(format!("request-{i}"));
+            let token = forked.token();
+            let handle = std::thread::spawn(forked.wrap(move || index.session("shared").unwrap()));
+            handles.push((token, handle));
+        }
+        let mut sessions = Vec::new();
+        for (token, handle) in handles {
+            token.join_point();
+            sessions.push(handle.join().expect("request thread completes"));
+        }
+        assert!(
+            Arc::ptr_eq(&sessions[0], &sessions[1]),
+            "both requests must share one parsed session"
+        );
+        let misses = obs.registry().counter_value("server_index_misses", Scope::GLOBAL);
+        assert_eq!(misses, 1, "the slot lock must serialize the cold parse");
+    });
+    assert_clean("TraceIndex cold-miss protocol", report);
+}
+
+/// A handler panics while shutdown is (possibly already) underway. In
+/// every interleaving the worker must contain the panic, run the job
+/// queued behind it, and let `shutdown` join without stalling.
+#[test]
+fn thread_pool_shutdown_during_panic_is_clean_in_every_interleaving() {
+    let cfg = ExploreConfig { schedules: 25, seed: 0x9001, ..ExploreConfig::default() };
+    let report = explore(&cfg, || {
+        let mut pool = ThreadPool::new(1);
+        let survived = Arc::new(graft_sched::atomic::AtomicUsize::new(0));
+        pool.execute(|| panic!("handler blew up mid-shutdown"));
+        let survived_in_job = Arc::clone(&survived);
+        pool.execute(move || {
+            survived_in_job.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(
+            survived.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "the job queued behind the panic must still run"
+        );
+    });
+    assert_clean("ThreadPool shutdown-during-panic", report);
+}
