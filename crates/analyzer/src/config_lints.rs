@@ -7,7 +7,9 @@
 use graft::{ConfigFacts, SuperstepFilter};
 use graft_pregel::{Fault, FaultPlan};
 
-use crate::{Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013, GA0015};
+use crate::{
+    Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013, GA0015, GA0016,
+};
 
 /// Runs every configuration lint over `facts`.
 pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
@@ -193,6 +195,37 @@ pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
                     ),
                 ));
             }
+        }
+    }
+
+    // GA0016: confined log-replay recovery only ever pays off when a
+    // checkpoint past superstep 0 can commit — the replay window starts at
+    // the last checkpoint. With checkpointing off, at interval 0, or at an
+    // interval the job never reaches, the engine logs every message batch
+    // for nothing and every worker failure still takes the full-restart
+    // path (or is fatal outright).
+    if facts.recovery_mode.as_deref() == Some("log-replay") {
+        let useless = match facts.checkpoint_every {
+            None | Some(0) => true,
+            Some(every) => facts.max_supersteps.is_some_and(|max| every >= max),
+        };
+        if useless {
+            let why = match facts.checkpoint_every {
+                None => "checkpointing is not enabled".to_string(),
+                Some(0) => "the checkpoint interval is 0".to_string(),
+                Some(every) => format!(
+                    "the checkpoint interval {every} is at least the superstep limit {}",
+                    facts.max_supersteps.unwrap_or(0)
+                ),
+            };
+            findings.push(Finding::global(
+                &GA0016,
+                format!(
+                    "recovery mode is log-replay but {why}; message logging pays its \
+                     overhead while no failure can be confined — enable a checkpoint \
+                     interval below the superstep limit or switch to restart recovery"
+                ),
+            ));
         }
     }
 
@@ -410,6 +443,48 @@ mod tests {
         // No fault plan at all: nothing to judge either.
         facts.num_workers = Some(2);
         facts.fault_plan = None;
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn log_replay_without_usable_checkpoints_is_ga0016() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
+        facts.recovery_mode = Some("log-replay".to_string());
+        // No checkpointing at all: logging buys nothing.
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0016"]);
+        // Interval 0 / interval at the limit: GA0011 fires too, since the
+        // checkpoint itself is also broken.
+        facts.checkpoint_every = Some(0);
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0011", "GA0016"]);
+        facts.max_supersteps = Some(30);
+        facts.checkpoint_every = Some(30);
+        assert_eq!(ids(&check_config(&facts)), vec!["GA0011", "GA0016"]);
+    }
+
+    #[test]
+    fn log_replay_with_firing_checkpoints_is_clean() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
+        facts.recovery_mode = Some("log-replay".to_string());
+        facts.max_supersteps = Some(30);
+        facts.checkpoint_every = Some(2);
+        assert!(check_config(&facts).is_empty());
+        // Unknown horizon: a positive interval is presumed reachable.
+        facts.max_supersteps = None;
+        assert!(check_config(&facts).is_empty());
+        // Restart recovery never needs the log, whatever the interval.
+        facts.recovery_mode = Some("restart".to_string());
+        facts.checkpoint_every = None;
+        assert!(check_config(&facts).is_empty());
+        // Old meta.json without the field: nothing to judge.
+        facts.recovery_mode = None;
         assert!(check_config(&facts).is_empty());
     }
 

@@ -272,6 +272,55 @@ fn fault_plan_within_worker_count_is_ga0015_clean_from_meta_json() {
 }
 
 #[test]
+fn log_replay_without_checkpoints_flags_ga0016_from_meta_json() {
+    // Asking for confined log-replay recovery without ever committing a
+    // checkpoint: the engine logs every message batch, but a failure has
+    // no checkpoint to confine the replay to, so the logging overhead
+    // buys nothing. The runner records the recovery mode in meta.json, so
+    // the untyped analysis catches the mismatch after the fact.
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::After(1))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(2)
+        .recovery_mode(graft_pregel::RecoveryMode::LogReplay)
+        .run(premade::cycle(4, u64::MAX), "/traces/log-replay-no-ckpt")
+        .unwrap();
+    assert!(run.outcome.is_ok(), "the mode mismatch must not disturb a healthy job");
+    let session = run.session().unwrap();
+    let facts = session.meta().facts.as_ref().unwrap();
+    assert_eq!(facts.recovery_mode.as_deref(), Some("log-replay"));
+    let report = analyze_meta(session.meta());
+    assert_eq!(problem_ids(&report), vec!["GA0016"], "{}", report.to_text());
+    assert!(report.errors().is_empty(), "GA0016 is a warning, not an error");
+    assert!(report.problems()[0].detail.contains("checkpointing is not enabled"));
+}
+
+#[test]
+fn log_replay_with_firing_checkpoints_is_ga0016_clean_from_meta_json() {
+    // The same mode with a checkpoint interval that actually fires is the
+    // intended configuration and must analyze clean.
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::After(1))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(2)
+        .checkpoint_every(2)
+        .recovery_mode(graft_pregel::RecoveryMode::LogReplay)
+        .run(premade::cycle(4, u64::MAX), "/traces/log-replay-ckpt")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    let session = run.session().unwrap();
+    let facts = session.meta().facts.as_ref().unwrap();
+    assert_eq!(facts.recovery_mode.as_deref(), Some("log-replay"));
+    assert_eq!(facts.checkpoint_every, Some(2));
+    let report = analyze_meta(session.meta());
+    assert!(report.is_clean(), "{}", report.to_text());
+}
+
+#[test]
 fn config_lints_work_untyped_from_meta_json() {
     // A config that can never capture: empty superstep Set. The runner
     // records the facts in meta.json; the untyped analysis reads them

@@ -28,6 +28,11 @@
 //!    documents what a model-checking run costs. With the `check`
 //!    feature disabled the shim hooks vanish at compile time, so the
 //!    passthrough column *is* the production hot path.
+//! 5. **Recovery time** — the same mid-job worker kill on a 16-worker
+//!    PageRank under full-restart recovery vs confined log-replay
+//!    recovery, against a failure-free baseline with the identical
+//!    checkpoint schedule; the speedup column is whole-job wall restart
+//!    over log-replay.
 //!
 //! `--check-pool-faster` exits nonzero if the pooled engine is not
 //! faster than spawn-per-superstep on the relay workload — the CI
@@ -39,10 +44,11 @@ use std::sync::Arc;
 use graft_algorithms::components::ConnectedComponents;
 use graft_algorithms::pagerank::PageRank;
 use graft_algorithms::sssp::ShortestPaths;
+use graft_dfs::{FileSystem, InMemoryFs};
 use graft_obs::{Obs, Scope};
 use graft_pregel::{
-    CombineStrategy, Computation, ContextOf, Engine, ExecutorMode, Graph, JobStats, Value,
-    VertexHandleOf,
+    CheckpointConfig, CombineStrategy, Computation, ContextOf, Engine, ExecutorMode, Graph,
+    JobStats, RecoveryMode, Value, VertexHandleOf,
 };
 use serde::{Deserialize, Serialize};
 
@@ -113,12 +119,49 @@ struct SchedShimOverhead {
     instrumented_slowdown: f64,
 }
 
+/// Full-restart vs confined log-replay recovery from the same mid-job
+/// worker kill on a 16-worker PageRank. Each mode is measured against its
+/// own failure-free baseline, so the recovery cost isolates what the
+/// failure added — for log-replay the always-on message-logging overhead
+/// sits in the clean baseline and is reported separately.
+#[derive(Serialize, Deserialize)]
+struct RecoveryTime {
+    workload: String,
+    vertices: u64,
+    workers: u64,
+    checkpoint_every: u64,
+    /// The injected fault, in fault-plan spec syntax.
+    fault: String,
+    /// Best-of-N per configuration (wall time of the fastest run).
+    runs_per_mode: u64,
+    /// Failure-free wall under restart recovery (checkpoints only).
+    restart_clean_wall_nanos: u64,
+    /// Whole-job wall with the kill under full-restart recovery.
+    restart_faulted_wall_nanos: u64,
+    /// Failure-free wall under log-replay recovery (checkpoints plus
+    /// sender-side message logging every superstep).
+    logreplay_clean_wall_nanos: u64,
+    /// Whole-job wall with the kill under confined log-replay recovery.
+    logreplay_faulted_wall_nanos: u64,
+    /// Faulted minus clean, same mode — what the recovery itself cost.
+    /// Negative only under measurement noise.
+    restart_recovery_nanos: i64,
+    logreplay_recovery_nanos: i64,
+    /// Log-replay clean minus restart clean: what the logging costs on a
+    /// run that never fails.
+    logging_overhead_nanos: i64,
+    /// restart recovery cost / log-replay recovery cost — above 1.0 means
+    /// confining the replay to the failed partition wins.
+    recovery_speedup: f64,
+}
+
 #[derive(Serialize, Deserialize)]
 struct BenchReport {
     entries: Vec<BenchEntry>,
     executor_comparison: ExecutorComparison,
     combining_comparison: CombiningComparison,
     sched_shim_overhead: SchedShimOverhead,
+    recovery_time: RecoveryTime,
 }
 
 /// Token relay around a pure ring: exactly one vertex computes per
@@ -274,9 +317,42 @@ fn main() -> ExitCode {
         )
     );
 
+    let recovery_time = bench_recovery(vertices);
+    println!(
+        "{}",
+        graft_bench::render_table(
+            &["recovery", "clean wall", "faulted wall", "recovery cost", "speedup"],
+            &[
+                vec![
+                    "restart".to_string(),
+                    format!("{:.2}ms", recovery_time.restart_clean_wall_nanos as f64 / 1e6),
+                    format!("{:.2}ms", recovery_time.restart_faulted_wall_nanos as f64 / 1e6),
+                    format!("{:.2}ms", recovery_time.restart_recovery_nanos as f64 / 1e6),
+                    "1.00x".to_string(),
+                ],
+                vec![
+                    "log-replay".to_string(),
+                    format!("{:.2}ms", recovery_time.logreplay_clean_wall_nanos as f64 / 1e6),
+                    format!("{:.2}ms", recovery_time.logreplay_faulted_wall_nanos as f64 / 1e6),
+                    format!("{:.2}ms", recovery_time.logreplay_recovery_nanos as f64 / 1e6),
+                    format!("{:.2}x", recovery_time.recovery_speedup),
+                ],
+            ],
+        )
+    );
+    println!(
+        "message logging overhead on a clean run: {:.2}ms",
+        recovery_time.logging_overhead_nanos as f64 / 1e6
+    );
+
     let pool_won = executor_comparison.pool_speedup > 1.0;
-    let report =
-        BenchReport { entries, executor_comparison, combining_comparison, sched_shim_overhead };
+    let report = BenchReport {
+        entries,
+        executor_comparison,
+        combining_comparison,
+        sched_shim_overhead,
+        recovery_time,
+    };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write bench report");
     println!("written to {out}");
@@ -440,6 +516,67 @@ fn bench_sched_shims(vertices: u64, workers: usize) -> SchedShimOverhead {
         instrumented_wall_nanos: instrumented_wall.max(1),
         instrumented_sched_steps: sched_steps,
         instrumented_slowdown: instrumented_wall as f64 / passthrough_wall.max(1) as f64,
+    }
+}
+
+/// The same mid-job worker kill under both recovery modes, on a
+/// 16-worker PageRank with checkpoints every 4 supersteps. The kill
+/// lands 3 supersteps past the last commit, so full restart rewinds and
+/// re-executes all 16 partitions over that window while confined
+/// log-replay restores and replays exactly one, re-serving the other
+/// fifteen partitions' messages from the sender-side log.
+fn bench_recovery(vertices: u64) -> RecoveryTime {
+    const RUNS: u64 = 3;
+    const WORKERS: usize = 16;
+    const EVERY: u64 = 4;
+    let fault = "kill-worker:1@11";
+
+    let run = |recovery: RecoveryMode, plan: Option<&str>| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..RUNS {
+            let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+            let mut engine = Engine::new(PageRank::new(12)).num_workers(WORKERS).with_checkpoints(
+                fs,
+                CheckpointConfig::new(EVERY, "/bench/checkpoints").recovery_mode(recovery),
+            );
+            if let Some(plan) = plan {
+                engine = engine.with_fault_plan(plan.parse().expect("valid fault plan"));
+            }
+            let graph = build_graph(vertices, |_| 0.0, |_| ());
+            let start = std::time::Instant::now();
+            let outcome = engine.run(graph).expect("recovery bench job succeeds");
+            let wall = (start.elapsed().as_nanos() as u64).max(1);
+            assert_eq!(
+                outcome.stats.recoveries > 0,
+                plan.is_some(),
+                "the kill must fire exactly when planned"
+            );
+            best = best.min(wall);
+        }
+        best
+    };
+
+    let restart_clean = run(RecoveryMode::Restart, None);
+    let restart_faulted = run(RecoveryMode::Restart, Some(fault));
+    let logreplay_clean = run(RecoveryMode::LogReplay, None);
+    let logreplay_faulted = run(RecoveryMode::LogReplay, Some(fault));
+    let restart_recovery = restart_faulted as i64 - restart_clean as i64;
+    let logreplay_recovery = logreplay_faulted as i64 - logreplay_clean as i64;
+    RecoveryTime {
+        workload: "pagerank".to_string(),
+        vertices,
+        workers: WORKERS as u64,
+        checkpoint_every: EVERY,
+        fault: fault.to_string(),
+        runs_per_mode: RUNS,
+        restart_clean_wall_nanos: restart_clean,
+        restart_faulted_wall_nanos: restart_faulted,
+        logreplay_clean_wall_nanos: logreplay_clean,
+        logreplay_faulted_wall_nanos: logreplay_faulted,
+        restart_recovery_nanos: restart_recovery,
+        logreplay_recovery_nanos: logreplay_recovery,
+        logging_overhead_nanos: logreplay_clean as i64 - restart_clean as i64,
+        recovery_speedup: restart_recovery.max(1) as f64 / logreplay_recovery.max(1) as f64,
     }
 }
 

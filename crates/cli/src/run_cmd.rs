@@ -40,6 +40,10 @@ pub fn usage() -> ExitCode {
          \x20                      else 4 — fixed, not hardware-dependent, so fault\n\
          \x20                      plans that name worker ids stay reproducible)\n\
          \x20 --checkpoint-every <k>  checkpoint every k supersteps (default 2; 0 disables)\n\
+         \x20 --recovery-mode <m>  restart (default): rewind every partition to the\n\
+         \x20                      last checkpoint; log-replay: confined recovery —\n\
+         \x20                      replay only the failed partitions from logged\n\
+         \x20                      messages while survivors keep their state\n\
          \x20 --fault-plan <spec>  inject faults, e.g. \"kill-worker:1@3; panic@5;\n\
          \x20                      kill-datanode:0@2\" (semicolon- or comma-separated)\n\
          \x20 --datanodes <n>      simulated HDFS datanodes (default 4)\n\
@@ -58,6 +62,7 @@ struct RunOptions {
     vertices: u64,
     workers: usize,
     checkpoint_every: u64,
+    recovery_mode: graft_pregel::RecoveryMode,
     fault_plan: Option<FaultPlan>,
     datanodes: usize,
     replication: usize,
@@ -76,6 +81,7 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
         )
         .unwrap_or(4),
         checkpoint_every: 2,
+        recovery_mode: graft_pregel::RecoveryMode::default(),
         fault_plan: None,
         datanodes: 4,
         replication: 2,
@@ -96,6 +102,10 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
             "--checkpoint-every" => {
                 options.checkpoint_every =
                     value.parse().map_err(|_| format!("bad --checkpoint-every {value}"))?
+            }
+            "--recovery-mode" => {
+                options.recovery_mode =
+                    value.parse().map_err(|_| format!("bad --recovery-mode {value}"))?
             }
             "--fault-plan" => {
                 options.fault_plan =
@@ -224,6 +234,7 @@ where
     if let Some(obs) = &obs {
         runner = runner.with_obs(Arc::clone(obs));
     }
+    runner = runner.recovery_mode(options.recovery_mode);
     if options.checkpoint_every > 0 {
         runner = runner.checkpoint_every(options.checkpoint_every);
     }
@@ -244,7 +255,11 @@ where
     println!(
         "checkpoints : {}",
         if options.checkpoint_every > 0 {
-            format!("every {} superstep(s)", options.checkpoint_every)
+            format!(
+                "every {} superstep(s), {} recovery",
+                options.checkpoint_every,
+                options.recovery_mode.as_str()
+            )
         } else {
             "disabled".to_string()
         }

@@ -194,6 +194,10 @@ pub struct ConfigFacts {
     /// The armed fault plan in its spec syntax (`Display` form), when the
     /// runner injects faults. Filled in by the runner.
     pub fault_plan: Option<String>,
+    /// The recovery mode the engine was configured with (`"restart"` or
+    /// `"log-replay"`), when the runner set one. Filled in by the runner;
+    /// absent in meta.json files written before confined recovery existed.
+    pub recovery_mode: Option<String>,
 }
 
 /// The assembled debug configuration for a computation `C`.
@@ -353,6 +357,7 @@ impl<C: Computation> DebugConfig<C> {
             checkpoint_every: None,
             num_workers: None,
             fault_plan: None,
+            recovery_mode: None,
         }
     }
 }

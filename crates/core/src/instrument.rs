@@ -157,13 +157,13 @@ impl<C: Computation> Instrumented<C> {
             }
         }
         for _ in &violations {
-            self.sink.count_violation();
+            self.sink.count_violation(ctx.worker_id());
         }
 
         let exception = match &outcome {
             Ok(()) => None,
             Err((message, site)) => {
-                self.sink.count_exception();
+                self.sink.count_exception(ctx.worker_id());
                 if self.config.catch_exceptions {
                     reasons.push(CaptureReason::Exception);
                 }
@@ -356,6 +356,12 @@ impl<C: Computation> JobObserver<C> for GraftObserver {
         // Discard everything recorded by the aborted execution: the
         // replayed supersteps will rewrite those records identically.
         self.sink.rollback(superstep);
+    }
+
+    fn on_confined_restore(&self, superstep: u64, workers: &[usize]) {
+        // Confined recovery replays only the failed partitions, so only
+        // their trace channels are rewound; survivors' records stand.
+        self.sink.rollback_workers(superstep, workers);
     }
 
     fn on_job_end(&self, end: &JobEnd) {

@@ -94,6 +94,7 @@ pub struct GraftRunner<C: Computation> {
     executor: graft_pregel::ExecutorMode,
     combining: graft_pregel::CombineStrategy,
     checkpoint_every: Option<u64>,
+    recovery_mode: graft_pregel::RecoveryMode,
     fault_plan: Option<FaultPlan>,
     obs: Option<Arc<Obs>>,
 }
@@ -153,6 +154,7 @@ impl<C: Computation> GraftRunner<C> {
             executor: graft_pregel::EngineConfig::default().executor,
             combining: graft_pregel::EngineConfig::default().combining,
             checkpoint_every: None,
+            recovery_mode: graft_pregel::RecoveryMode::default(),
             fault_plan: None,
             obs: None,
         }
@@ -195,6 +197,16 @@ impl<C: Computation> GraftRunner<C> {
     /// sink learns to rewind with the engine on restore.
     pub fn checkpoint_every(mut self, every: u64) -> Self {
         self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Selects how the engine recovers from worker faults: full restart
+    /// from the last checkpoint (the default), or confined log-replay,
+    /// where only the failed partitions rewind and survivors re-serve
+    /// logged messages. Takes effect only when
+    /// [`GraftRunner::checkpoint_every`] enables checkpointing.
+    pub fn recovery_mode(mut self, mode: graft_pregel::RecoveryMode) -> Self {
+        self.recovery_mode = mode;
         self
     }
 
@@ -325,6 +337,7 @@ impl<C: Computation> GraftRunner<C> {
                 facts.checkpoint_every = self.checkpoint_every;
                 facts.num_workers = Some(self.num_workers);
                 facts.fault_plan = self.fault_plan.as_ref().map(|p| p.to_string());
+                facts.recovery_mode = Some(self.recovery_mode.as_str().to_string());
                 facts
             }),
         };
@@ -362,7 +375,10 @@ impl<C: Computation> GraftRunner<C> {
         }
         if let Some(every) = self.checkpoint_every {
             let root = format!("{}/checkpoints", trace_root.trim_end_matches('/'));
-            engine = engine.with_checkpoints(self.fs.clone(), CheckpointConfig::new(every, root));
+            engine = engine.with_checkpoints(
+                self.fs.clone(),
+                CheckpointConfig::new(every, root).recovery_mode(self.recovery_mode),
+            );
         }
         if let Some(plan) = &self.fault_plan {
             engine = engine.with_fault_plan(plan.clone());

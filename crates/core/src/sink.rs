@@ -56,8 +56,27 @@ impl FileWrite for NullWrite {
     }
 }
 
+/// Per-worker contribution counters, kept alongside the global ones so a
+/// *confined* rollback can rewind one worker's share while survivors'
+/// counts stand.
+struct WorkerCounts {
+    captures: AtomicU64,
+    violations: AtomicU64,
+    exceptions: AtomicU64,
+}
+
+impl WorkerCounts {
+    fn new() -> Self {
+        Self {
+            captures: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            exceptions: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Everything needed to rewind the sink to a checkpoint boundary: the
-/// per-channel durable lengths and the global counters.
+/// per-channel durable lengths and the global and per-worker counters.
 #[derive(Clone)]
 struct SinkSnapshot {
     superstep: u64,
@@ -66,6 +85,8 @@ struct SinkSnapshot {
     captures: u64,
     violations: u64,
     exceptions: u64,
+    /// Per-worker `[captures, violations, exceptions]` at the boundary.
+    worker_counts: Vec<[u64; 3]>,
     limit_hit: bool,
 }
 
@@ -82,6 +103,7 @@ pub struct TraceSink {
     violations: AtomicU64,
     exceptions: AtomicU64,
     limit_hit: AtomicBool,
+    worker_counts: Vec<WorkerCounts>,
     workers: Vec<Mutex<Channel>>,
     master: Mutex<Channel>,
     fs: Arc<dyn FileSystem>,
@@ -114,6 +136,7 @@ impl TraceSink {
             violations: AtomicU64::new(0),
             exceptions: AtomicU64::new(0),
             limit_hit: AtomicBool::new(false),
+            worker_counts: (0..num_workers).map(|_| WorkerCounts::new()).collect(),
             workers,
             master,
             fs,
@@ -134,6 +157,7 @@ impl TraceSink {
             self.limit_hit.store(true, Ordering::Relaxed);
             return false;
         }
+        self.worker_counts[worker].captures.fetch_add(1, Ordering::Relaxed);
         let mut channel = self.workers[worker].lock();
         let channel = &mut *channel;
         channel.scratch.clear();
@@ -165,14 +189,16 @@ impl TraceSink {
         channel.written += channel.scratch.len() as u64;
     }
 
-    /// Counts a constraint violation.
-    pub fn count_violation(&self) {
+    /// Counts a constraint violation observed by `worker`.
+    pub fn count_violation(&self, worker: usize) {
         self.violations.fetch_add(1, Ordering::Relaxed);
+        self.worker_counts[worker].violations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a captured exception.
-    pub fn count_exception(&self) {
+    /// Counts an exception captured by `worker`.
+    pub fn count_exception(&self, worker: usize) {
         self.exceptions.fetch_add(1, Ordering::Relaxed);
+        self.worker_counts[worker].exceptions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Makes everything written so far visible to readers (called at
@@ -197,6 +223,17 @@ impl TraceSink {
         self.flush();
         let worker_written: Vec<u64> = self.workers.iter().map(|w| w.lock().written).collect();
         let master_written = self.master.lock().written;
+        let worker_counts: Vec<[u64; 3]> = self
+            .worker_counts
+            .iter()
+            .map(|c| {
+                [
+                    c.captures.load(Ordering::Relaxed),
+                    c.violations.load(Ordering::Relaxed),
+                    c.exceptions.load(Ordering::Relaxed),
+                ]
+            })
+            .collect();
         let mut snapshots = self.snapshots.lock();
         snapshots.retain(|s| s.superstep < superstep);
         snapshots.push(SinkSnapshot {
@@ -206,6 +243,7 @@ impl TraceSink {
             captures: self.captures(),
             violations: self.violations(),
             exceptions: self.exceptions(),
+            worker_counts,
             limit_hit: self.limit_hit(),
         });
     }
@@ -215,15 +253,7 @@ impl TraceSink {
     /// replayed supersteps land exactly where the lost ones did. Poisons
     /// the sink if no snapshot exists or a file cannot be rewound.
     pub fn rollback(&self, superstep: u64) {
-        let snapshot = {
-            let mut snapshots = self.snapshots.lock();
-            let Some(pos) = snapshots.iter().position(|s| s.superstep == superstep) else {
-                self.poison(format!("no trace snapshot for restored superstep {superstep}"));
-                return;
-            };
-            snapshots.truncate(pos + 1);
-            snapshots[pos].clone()
-        };
+        let Some(snapshot) = self.take_snapshot(superstep) else { return };
         for (worker, channel) in self.workers.iter().enumerate() {
             let mut channel = channel.lock();
             if let Err(e) = Self::rewind(&self.fs, &mut channel, snapshot.worker_written[worker]) {
@@ -236,10 +266,61 @@ impl TraceSink {
                 self.poison(e);
             }
         }
+        for (counts, snap) in self.worker_counts.iter().zip(&snapshot.worker_counts) {
+            counts.captures.store(snap[0], Ordering::Relaxed);
+            counts.violations.store(snap[1], Ordering::Relaxed);
+            counts.exceptions.store(snap[2], Ordering::Relaxed);
+        }
         self.captures.store(snapshot.captures, Ordering::Relaxed);
         self.violations.store(snapshot.violations, Ordering::Relaxed);
         self.exceptions.store(snapshot.exceptions, Ordering::Relaxed);
         self.limit_hit.store(snapshot.limit_hit, Ordering::Relaxed);
+    }
+
+    /// Rewinds *only* the listed workers' trace files and counter shares
+    /// to the snapshot taken for `superstep`, leaving the survivors' (and
+    /// the master's) records in place — the trace-side mirror of the
+    /// engine's confined recovery. The global counters are recomputed as
+    /// the snapshot values plus the survivors' contributions since.
+    pub fn rollback_workers(&self, superstep: u64, workers: &[usize]) {
+        let Some(snapshot) = self.take_snapshot(superstep) else { return };
+        for &worker in workers {
+            let mut channel = self.workers[worker].lock();
+            if let Err(e) = Self::rewind(&self.fs, &mut channel, snapshot.worker_written[worker]) {
+                self.poison(e);
+            }
+        }
+        let mut totals = [snapshot.captures, snapshot.violations, snapshot.exceptions];
+        for (worker, (counts, snap)) in
+            self.worker_counts.iter().zip(&snapshot.worker_counts).enumerate()
+        {
+            if workers.contains(&worker) {
+                counts.captures.store(snap[0], Ordering::Relaxed);
+                counts.violations.store(snap[1], Ordering::Relaxed);
+                counts.exceptions.store(snap[2], Ordering::Relaxed);
+            } else {
+                totals[0] += counts.captures.load(Ordering::Relaxed) - snap[0];
+                totals[1] += counts.violations.load(Ordering::Relaxed) - snap[1];
+                totals[2] += counts.exceptions.load(Ordering::Relaxed) - snap[2];
+            }
+        }
+        self.captures.store(totals[0], Ordering::Relaxed);
+        self.violations.store(totals[1], Ordering::Relaxed);
+        self.exceptions.store(totals[2], Ordering::Relaxed);
+        self.limit_hit
+            .store(snapshot.limit_hit || totals[0] >= self.max_captures, Ordering::Relaxed);
+    }
+
+    /// Finds the snapshot for `superstep`, dropping any later ones (a
+    /// rewind invalidates them); poisons the sink when none exists.
+    fn take_snapshot(&self, superstep: u64) -> Option<SinkSnapshot> {
+        let mut snapshots = self.snapshots.lock();
+        let Some(pos) = snapshots.iter().position(|s| s.superstep == superstep) else {
+            self.poison(format!("no trace snapshot for restored superstep {superstep}"));
+            return None;
+        };
+        snapshots.truncate(pos + 1);
+        Some(snapshots[pos].clone())
     }
 
     /// Truncates a channel's file back to `keep` bytes by committing the
@@ -408,9 +489,9 @@ mod tests {
     fn finalize_writes_result_json() {
         let (fs, sink) = sink(1000);
         sink.record_vertex(0, &Rec { worker: 0, seq: 0 });
-        sink.count_violation();
-        sink.count_violation();
-        sink.count_exception();
+        sink.count_violation(0);
+        sink.count_violation(1);
+        sink.count_exception(2);
         sink.finalize(7, Some("vertex 3 panicked".into()));
         let bytes = fs.read_all(&result_path("/traces/job")).unwrap();
         let record: JobResultRecord = serde_json::from_slice(&bytes).unwrap();
@@ -430,7 +511,7 @@ mod tests {
             sink.record_vertex(0, &Rec { worker: 0, seq });
         }
         sink.record_master(&Rec { worker: 99, seq: 0 });
-        sink.count_violation();
+        sink.count_violation(0);
         sink.snapshot(2);
         // Supersteps 2..4 write more, then the "job" fails and restores.
         for seq in 4..9 {
@@ -438,8 +519,8 @@ mod tests {
             sink.record_vertex(1, &Rec { worker: 1, seq });
         }
         sink.record_master(&Rec { worker: 99, seq: 1 });
-        sink.count_violation();
-        sink.count_exception();
+        sink.count_violation(0);
+        sink.count_exception(1);
         sink.rollback(2);
 
         assert_eq!(sink.captures(), 4);
@@ -464,6 +545,63 @@ mod tests {
         let w0 = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
         let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w0).unwrap();
         assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rollback_workers_rewinds_only_the_failed_workers() {
+        let (fs, sink) = sink(1000);
+        for seq in 0..3 {
+            sink.record_vertex(0, &Rec { worker: 0, seq });
+            sink.record_vertex(1, &Rec { worker: 1, seq });
+        }
+        sink.record_master(&Rec { worker: 99, seq: 0 });
+        sink.count_violation(1);
+        sink.snapshot(3);
+        // Both workers (and the master) record past the boundary, then
+        // worker 1 fails and is confined-rolled-back.
+        for seq in 3..7 {
+            sink.record_vertex(0, &Rec { worker: 0, seq });
+            sink.record_vertex(1, &Rec { worker: 1, seq });
+        }
+        sink.record_master(&Rec { worker: 99, seq: 1 });
+        sink.count_violation(0);
+        sink.count_violation(1);
+        sink.count_exception(1);
+        sink.rollback_workers(3, &[1]);
+
+        // Worker 1's file is back at the boundary; worker 0's and the
+        // master's are untouched.
+        sink.flush();
+        let w1 = fs.read_all(&worker_trace_path("/traces/job", 1)).unwrap();
+        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w1).unwrap();
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let w0 = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
+        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w0).unwrap();
+        assert_eq!(records.len(), 7);
+        let master = fs.read_all(&crate::trace::master_trace_path("/traces/job")).unwrap();
+        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &master).unwrap();
+        assert_eq!(records.len(), 2);
+
+        // Counters: worker 1's post-snapshot share (4 captures, 1
+        // violation, 1 exception) is subtracted; worker 0's stands.
+        assert_eq!(sink.captures(), 10);
+        assert_eq!(sink.violations(), 2);
+        assert_eq!(sink.exceptions(), 0);
+
+        // The replayed records land exactly where the discarded began,
+        // and the counters converge back to the full totals.
+        for seq in 3..7 {
+            assert!(sink.record_vertex(1, &Rec { worker: 1, seq }));
+        }
+        sink.count_violation(1);
+        sink.count_exception(1);
+        sink.flush();
+        let w1 = fs.read_all(&worker_trace_path("/traces/job", 1)).unwrap();
+        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w1).unwrap();
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(sink.captures(), 14);
+        assert_eq!(sink.violations(), 3);
+        assert_eq!(sink.exceptions(), 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use graft_algorithms::components::ConnectedComponents;
 use graft_algorithms::pagerank::PageRank;
 use graft_algorithms::sssp::ShortestPaths;
 use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem};
-use graft_pregel::{Computation, FaultPlan, Graph};
+use graft_pregel::{Computation, ExecutorMode, FaultPlan, Graph, RecoveryMode};
 
 const TRACE_ROOT: &str = "/traces/chaos";
 
@@ -51,8 +51,15 @@ fn cc_graph(n: u64) -> Graph<u64, u64, ()> {
 }
 
 /// Runs `computation` with checkpointing every 2 supersteps on its own
-/// 4-node cluster, under the given fault plan.
-fn run_with_plan<C, G>(computation: C, graph: G, plan: FaultPlan) -> (GraftRun<C>, ClusterFs)
+/// 4-node cluster, under the given fault plan, recovery mode, and
+/// executor.
+fn run_matrix_cell<C, G>(
+    computation: C,
+    graph: G,
+    plan: FaultPlan,
+    recovery: RecoveryMode,
+    executor: ExecutorMode,
+) -> (GraftRun<C>, ClusterFs)
 where
     C: Computation<Id = u64>,
     G: FnOnce() -> Graph<C::Id, C::VValue, C::EValue>,
@@ -64,10 +71,40 @@ where
         .num_workers(4)
         .max_supersteps(40)
         .checkpoint_every(2)
+        .recovery_mode(recovery)
+        .executor(executor)
         .with_fault_plan(plan)
         .run(graph(), TRACE_ROOT)
         .unwrap();
     (run, cluster)
+}
+
+/// The original matrix column: full restart recovery on the default
+/// executor.
+fn run_with_plan<C, G>(computation: C, graph: G, plan: FaultPlan) -> (GraftRun<C>, ClusterFs)
+where
+    C: Computation<Id = u64>,
+    G: FnOnce() -> Graph<C::Id, C::VValue, C::EValue>,
+{
+    run_matrix_cell(computation, graph, plan, RecoveryMode::Restart, ExecutorMode::PersistentPool)
+}
+
+/// FNV-1a over a run's sorted final vertex values (via their `Debug`
+/// rendering, which is bit-faithful for the value types in this matrix):
+/// a cross-mode fingerprint of the result independent of trace bytes.
+fn result_checksum<C>(run: &GraftRun<C>) -> u64
+where
+    C: Computation<Id = u64>,
+    C::VValue: std::fmt::Debug,
+{
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (id, value) in run.outcome.as_ref().unwrap().graph.sorted_values() {
+        for byte in format!("{id}={value:?};").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
 }
 
 /// Every trace file (everything under the root except the checkpoints
@@ -184,6 +221,118 @@ fn pagerank_survives_worker_kill_with_datanode_down() {
     let stats = faulted.1.stats();
     assert!(stats.live_datanodes < stats.total_datanodes, "datanode kill must have fired");
     assert_matches_clean(&clean, &faulted, true, "pagerank kill-worker+kill-datanode");
+}
+
+#[test]
+fn pagerank_log_replay_kill_matrix_is_bit_identical() {
+    // The confined-recovery column of the matrix: same kills as the
+    // restart column, but only the failed partitions replay. The traces,
+    // captures, and results must still match a clean log-replay run
+    // bit-for-bit, and the result checksum must agree with the restart
+    // column's — recovery mode is an execution detail, never a semantic
+    // one.
+    let clean = run_matrix_cell(
+        PageRank::new(8),
+        || pr_graph(48),
+        FaultPlan::new(),
+        RecoveryMode::LogReplay,
+        ExecutorMode::PersistentPool,
+    );
+    let restart_clean = run_with_plan(PageRank::new(8), || pr_graph(48), FaultPlan::new());
+    assert_eq!(result_checksum(&clean.0), result_checksum(&restart_clean.0));
+    for kill_at in [1u64, 3, 6] {
+        let plan: FaultPlan = format!("kill-worker:1@{kill_at}").parse().unwrap();
+        let faulted = run_matrix_cell(
+            PageRank::new(8),
+            || pr_graph(48),
+            plan,
+            RecoveryMode::LogReplay,
+            ExecutorMode::PersistentPool,
+        );
+        assert_matches_clean(&clean, &faulted, true, &format!("pagerank logreplay kill@{kill_at}"));
+        assert_eq!(
+            result_checksum(&faulted.0),
+            result_checksum(&restart_clean.0),
+            "pagerank logreplay kill@{kill_at}: checksum diverged from the restart column"
+        );
+    }
+}
+
+#[test]
+fn sssp_log_replay_kill_matrix_is_bit_identical_across_executors() {
+    // Clean baseline on the persistent pool; recovered runs on *both*
+    // executors must match it byte-for-byte — confined recovery, like
+    // everything else in the engine, is executor-invariant.
+    let clean = run_matrix_cell(
+        ShortestPaths::new(0),
+        || sssp_graph(48),
+        FaultPlan::new(),
+        RecoveryMode::LogReplay,
+        ExecutorMode::PersistentPool,
+    );
+    for executor in [ExecutorMode::PersistentPool, ExecutorMode::SpawnPerSuperstep] {
+        let plan: FaultPlan = "kill-worker:2@4".parse().unwrap();
+        let faulted = run_matrix_cell(
+            ShortestPaths::new(0),
+            || sssp_graph(48),
+            plan,
+            RecoveryMode::LogReplay,
+            executor,
+        );
+        assert_matches_clean(&clean, &faulted, true, &format!("sssp logreplay {executor:?}"));
+    }
+}
+
+#[test]
+fn connected_components_log_replay_survives_compute_panics() {
+    let clean = run_matrix_cell(
+        ConnectedComponents::new(),
+        || cc_graph(48),
+        FaultPlan::new(),
+        RecoveryMode::LogReplay,
+        ExecutorMode::PersistentPool,
+    );
+    for panic_at in [1u64, 2] {
+        let plan: FaultPlan = format!("panic@{panic_at}").parse().unwrap();
+        let faulted = run_matrix_cell(
+            ConnectedComponents::new(),
+            || cc_graph(48),
+            plan,
+            RecoveryMode::LogReplay,
+            ExecutorMode::PersistentPool,
+        );
+        assert_matches_clean(
+            &clean,
+            &faulted,
+            true,
+            &format!("components logreplay panic@{panic_at}"),
+        );
+    }
+}
+
+#[test]
+fn log_replay_double_fault_falls_back_to_full_restart_and_still_matches() {
+    // A second fault during the confined replay window: the engine must
+    // descend the recovery ladder to a full restart (two recoveries) and
+    // the final state must still be indistinguishable from a clean run.
+    let clean = run_matrix_cell(
+        PageRank::new(8),
+        || pr_graph(48),
+        FaultPlan::new(),
+        RecoveryMode::LogReplay,
+        ExecutorMode::PersistentPool,
+    );
+    let plan: FaultPlan = "kill-worker:1@3; panic:1@3".parse().unwrap();
+    let faulted = run_matrix_cell(
+        PageRank::new(8),
+        || pr_graph(48),
+        plan,
+        RecoveryMode::LogReplay,
+        ExecutorMode::PersistentPool,
+    );
+    let recoveries = faulted.0.outcome.as_ref().unwrap().stats.recoveries;
+    assert!(recoveries >= 2, "expected confined attempt + full restart, got {recoveries}");
+    assert_matches_clean(&clean, &faulted, true, "pagerank logreplay double-fault");
 }
 
 #[test]

@@ -79,6 +79,43 @@ pub trait FileSystem: Send + Sync {
     /// Deletes a path. Directories require `recursive` unless empty.
     fn delete(&self, path: &str, recursive: bool) -> FsResult<()>;
 
+    /// Opens a file for appending, creating it (and any missing parent
+    /// directories) if absent. Existing contents are preserved; writes
+    /// land after them and become visible on [`FileWrite::sync`].
+    ///
+    /// The default implementation reads the file back and rewrites it
+    /// through [`FileSystem::create`]; backends override it with a real
+    /// append so message logs grow in O(delta), not O(file).
+    fn append(&self, path: &str) -> FsResult<Box<dyn FileWrite>> {
+        let existing = match self.open(path) {
+            Ok(mut r) => {
+                let mut buf = Vec::with_capacity(r.len() as usize);
+                r.read_to_end(&mut buf).map_err(crate::FsError::from)?;
+                buf
+            }
+            Err(crate::FsError::NotFound(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let mut w = self.create(path)?;
+        w.write_all(&existing).map_err(crate::FsError::from)?;
+        Ok(w)
+    }
+
+    /// Opens a file for reading starting at byte `offset` (clamped to the
+    /// file length). The returned reader's [`FileRead::len`] is the number
+    /// of bytes remaining from `offset` to the end of the file.
+    ///
+    /// The default implementation opens the file and discards the prefix;
+    /// block-based backends override it to skip whole blocks.
+    fn tail(&self, path: &str, offset: u64) -> FsResult<Box<dyn FileRead>> {
+        let mut r = self.open(path)?;
+        let skip = offset.min(r.len());
+        let remaining = r.len() - skip;
+        std::io::copy(&mut r.by_ref().take(skip), &mut std::io::sink())
+            .map_err(crate::FsError::from)?;
+        Ok(Box::new(TailReader { inner: r, remaining }))
+    }
+
     /// Convenience: writes an entire file in one call.
     fn write_all(&self, path: &str, data: &[u8]) -> FsResult<()> {
         let mut w = self.create(path)?;
@@ -139,5 +176,33 @@ impl<F: FileSystem + ?Sized> FileSystem for std::sync::Arc<F> {
 
     fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
         (**self).delete(path, recursive)
+    }
+
+    fn append(&self, path: &str) -> FsResult<Box<dyn FileWrite>> {
+        (**self).append(path)
+    }
+
+    fn tail(&self, path: &str, offset: u64) -> FsResult<Box<dyn FileRead>> {
+        (**self).tail(path, offset)
+    }
+}
+
+/// Reader returned by the default [`FileSystem::tail`]: the underlying
+/// reader already positioned past the skipped prefix, with `len`
+/// reporting only the bytes left.
+struct TailReader {
+    inner: Box<dyn FileRead>,
+    remaining: u64,
+}
+
+impl Read for TailReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(out)
+    }
+}
+
+impl FileRead for TailReader {
+    fn len(&self) -> u64 {
+        self.remaining
     }
 }

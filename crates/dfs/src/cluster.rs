@@ -408,15 +408,24 @@ impl FileSystem for ClusterFs {
     }
 
     fn open(&self, path: &str) -> FsResult<Box<dyn FileRead>> {
+        self.tail(path, 0)
+    }
+
+    fn tail(&self, path: &str, offset: u64) -> FsResult<Box<dyn FileRead>> {
         let path = DfsPath::parse(path)?;
         let state = self.state.read();
         match state.namespace.get(path.as_str()) {
             Some(INode::File { blocks, len }) => {
-                // Fail fast when a block has no live replica at open time,
-                // but resolve block data lazily at read time: each read
-                // picks any live replica then, so a datanode dying between
-                // open and read fails over instead of erroring.
-                for block in blocks {
+                let skip = offset.min(*len);
+                let block_size = self.config.block_size as u64;
+                let block_idx = ((skip / block_size) as usize).min(blocks.len());
+                // Fail fast when a block we will read has no live replica
+                // at open time, but resolve block data lazily at read
+                // time: each read picks any live replica then, so a
+                // datanode dying between open and read fails over instead
+                // of erroring. Blocks wholly before `offset` are skipped
+                // without touching their replicas at all.
+                for block in &blocks[block_idx..] {
                     let holders = state.locations.get(block).ok_or(FsError::BlockUnavailable {
                         path: path.to_string(),
                         block: *block,
@@ -429,9 +438,9 @@ impl FileSystem for ClusterFs {
                     fs: self.clone(),
                     path: path.to_string(),
                     blocks: blocks.clone(),
-                    len: *len,
-                    block_idx: 0,
-                    offset: 0,
+                    len: *len - skip,
+                    block_idx,
+                    offset: (skip % block_size) as usize,
                     current: None,
                 }))
             }
@@ -508,6 +517,50 @@ impl FileSystem for ClusterFs {
                 Ok(())
             }
         }
+    }
+
+    fn append(&self, path: &str) -> FsResult<Box<dyn FileWrite>> {
+        let path = DfsPath::parse(path)?;
+        if path.is_root() {
+            return Err(FsError::NotAFile(path.to_string()));
+        }
+        let (blocks, len) = {
+            let mut state = self.state.write();
+            Self::ensure_parents(&mut state, &path)?;
+            match state.namespace.get(path.as_str()).cloned() {
+                Some(INode::Directory) => return Err(FsError::NotAFile(path.to_string())),
+                Some(INode::File { blocks, len }) => (blocks, len),
+                None => {
+                    state.namespace.insert(
+                        path.as_str().to_string(),
+                        INode::File { blocks: Vec::new(), len: 0 },
+                    );
+                    (Vec::new(), 0)
+                }
+            }
+        };
+        // Every block but the last is exactly block-sized; the trailing
+        // partial block (if any) is pulled back into the writer's pending
+        // buffer so the next sync re-seals it extended — appends cost
+        // O(delta + one partial block), never a whole-file rewrite.
+        let block_size = self.config.block_size as u64;
+        let full = if len.is_multiple_of(block_size) {
+            blocks.len()
+        } else {
+            blocks.len().saturating_sub(1)
+        };
+        let mut pending = Vec::new();
+        for block in &blocks[full..] {
+            pending.extend_from_slice(&self.fetch_block(path.as_str(), *block)?);
+        }
+        Ok(Box::new(ClusterWriter {
+            fs: self.clone(),
+            path: path.as_str().to_string(),
+            pending,
+            sealed: blocks[..full].to_vec(),
+            sealed_len: full as u64 * block_size,
+            committed_len: Some(len),
+        }))
     }
 
     fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
@@ -664,15 +717,18 @@ struct ClusterReader {
     current: Option<Bytes>,
 }
 
-impl ClusterReader {
-    fn fetch(&self, block: BlockId) -> FsResult<Bytes> {
+impl ClusterFs {
+    /// Fetches one block from any live replica, with bounded retry and
+    /// backoff — the replica-failover primitive shared by reads, tails,
+    /// and appends (which must pull back the trailing partial block).
+    fn fetch_block(&self, path: &str, block: BlockId) -> FsResult<Bytes> {
         let mut backoff = READ_BACKOFF;
         // Dead or incomplete replicas skipped (plus retry rounds) before
         // a live holder served the block — reported to observers.
         let mut failovers = 0u64;
         for attempt in 0..READ_ATTEMPTS {
             let found = {
-                let state = self.fs.state.read();
+                let state = self.state.read();
                 if let Some(holders) = state.locations.get(&block) {
                     let mut data = None;
                     for &d in holders {
@@ -693,7 +749,7 @@ impl ClusterReader {
             };
             if let Some(data) = found {
                 let bytes = data.len() as u64;
-                self.fs.notify(|obs| obs.block_read(bytes, failovers));
+                self.notify(|obs| obs.block_read(bytes, failovers));
                 return Ok(data);
             }
             if attempt + 1 < READ_ATTEMPTS {
@@ -701,7 +757,7 @@ impl ClusterReader {
                 backoff *= 2;
             }
         }
-        Err(FsError::BlockUnavailable { path: self.path.clone(), block })
+        Err(FsError::BlockUnavailable { path: path.to_string(), block })
     }
 }
 
@@ -709,7 +765,7 @@ impl Read for ClusterReader {
     fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
         while self.block_idx < self.blocks.len() {
             if self.current.is_none() {
-                let data = self.fetch(self.blocks[self.block_idx])?;
+                let data = self.fs.fetch_block(&self.path, self.blocks[self.block_idx])?;
                 self.current = Some(data);
             }
             let chunk = self.current.as_ref().expect("chunk just fetched");
@@ -893,6 +949,63 @@ mod tests {
         assert_eq!(per_node.len(), 4);
         let (min, max) = (per_node.iter().min().unwrap(), per_node.iter().max().unwrap());
         assert!(max - min <= 10, "imbalanced placement: {per_node:?}");
+    }
+
+    #[test]
+    fn append_reopens_at_end_without_rewriting_sealed_blocks() {
+        let fs = small_cluster();
+        // 40 bytes over 16-byte blocks: two sealed full blocks + a
+        // trailing 8-byte partial.
+        let first: Vec<u8> = (0..40u8).collect();
+        fs.write_all("/log", &first).unwrap();
+        let blocks_before = fs.stats().blocks;
+        let mut w = fs.append("/log").unwrap();
+        w.write_all(&[100u8; 4]).unwrap();
+        w.sync().unwrap();
+        let expected = [first.clone(), vec![100u8; 4]].concat();
+        assert_eq!(fs.read_all("/log").unwrap(), expected);
+        // The two full blocks were reused; only the partial was re-sealed.
+        assert_eq!(fs.stats().blocks, blocks_before);
+        drop(w);
+        assert_eq!(fs.read_all("/log").unwrap(), expected);
+        // Appending to a missing path creates the file.
+        let mut w = fs.append("/fresh").unwrap();
+        w.write_all(b"x").unwrap();
+        drop(w);
+        assert_eq!(fs.read_all("/fresh").unwrap(), b"x");
+    }
+
+    #[test]
+    fn append_survives_replica_failure_on_partial_block() {
+        let fs = small_cluster();
+        fs.write_all("/log", &[7u8; 24]).unwrap();
+        // r=2 tolerates one dead node; the append must fetch the partial
+        // tail block from the surviving replica.
+        fs.kill_datanode(0).unwrap();
+        let mut w = fs.append("/log").unwrap();
+        w.write_all(&[8u8; 8]).unwrap();
+        drop(w);
+        assert_eq!(fs.read_all("/log").unwrap(), [[7u8; 24].as_slice(), &[8u8; 8]].concat());
+    }
+
+    #[test]
+    fn tail_skips_whole_blocks() {
+        let fs = small_cluster();
+        let data: Vec<u8> = (0..100u8).collect();
+        fs.write_all("/f", &data).unwrap();
+        // Offset 40 lands at a block boundary (16-byte blocks): the first
+        // two-and-a-half blocks' replicas are never touched.
+        let mut r = fs.tail("/f", 40).unwrap();
+        assert_eq!(r.len(), 60);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, &data[40..]);
+        // Offset at or past the end yields an empty reader.
+        let mut r = fs.tail("/f", 100).unwrap();
+        assert_eq!(r.len(), 0);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
     }
 
     #[test]

@@ -120,6 +120,18 @@ impl FileSystem for LocalFs {
         Ok(())
     }
 
+    fn append(&self, path: &str) -> FsResult<Box<dyn FileWrite>> {
+        let (dfs, host) = self.resolve(path)?;
+        if dfs.is_root() || host.is_dir() {
+            return Err(FsError::NotAFile(dfs.to_string()));
+        }
+        if let Some(parent) = host.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = fs::OpenOptions::new().append(true).create(true).open(&host)?;
+        Ok(Box::new(LocalWriter { inner: std::io::BufWriter::new(file) }))
+    }
+
     fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
         let (dfs, host) = self.resolve(path)?;
         let meta = fs::metadata(&host).map_err(|_| FsError::NotFound(dfs.to_string()))?;
@@ -210,6 +222,26 @@ mod tests {
         assert!(matches!(fs.open("/nope"), Err(FsError::NotFound(_))));
         assert!(matches!(fs.list("/nope"), Err(FsError::NotFound(_))));
         assert!(matches!(fs.delete("/nope", false), Err(FsError::NotFound(_))));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn append_extends_existing_file() {
+        let root = temp_root("append");
+        let fs = LocalFs::new(&root).unwrap();
+        let mut w = fs.append("/logs/seg.log").unwrap();
+        w.write_all(b"alpha ").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut w = fs.append("/logs/seg.log").unwrap();
+        w.write_all(b"beta").unwrap();
+        drop(w);
+        assert_eq!(fs.read_all("/logs/seg.log").unwrap(), b"alpha beta");
+        let mut r = fs.tail("/logs/seg.log", 6).unwrap();
+        assert_eq!(r.len(), 4);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"beta");
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -175,6 +175,32 @@ impl FileSystem for InMemoryFs {
         }
     }
 
+    fn append(&self, path: &str) -> FsResult<Box<dyn FileWrite>> {
+        let path = DfsPath::parse(path)?;
+        if path.is_root() {
+            return Err(FsError::NotAFile(path.to_string()));
+        }
+        let mut tree = self.tree.write();
+        Self::ensure_parents(&mut tree, &path)?;
+        let existing = match tree.get(path.as_str()) {
+            Some(Node::File(bytes)) => bytes.clone(),
+            Some(Node::Directory) => return Err(FsError::NotAFile(path.to_string())),
+            None => {
+                tree.insert(path.as_str().to_string(), Node::File(Vec::new()));
+                Vec::new()
+            }
+        };
+        // The writer starts already synced up to the existing length, so
+        // each later sync appends only the delta.
+        let synced = existing.len();
+        Ok(Box::new(MemWriter {
+            tree: Arc::clone(&self.tree),
+            path: path.as_str().to_string(),
+            buf: existing,
+            synced,
+        }))
+    }
+
     fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
         let path = DfsPath::parse(path)?;
         let mut tree = self.tree.write();
@@ -377,6 +403,40 @@ mod tests {
             let data = fs.read_all(&f.path).unwrap();
             assert_eq!(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count(), 100);
         }
+    }
+
+    #[test]
+    fn append_extends_and_creates() {
+        let fs = InMemoryFs::new();
+        // Appending to a missing path creates it (parents included).
+        let mut w = fs.append("/logs/w0/seg_0.log").unwrap();
+        w.write_all(b"one ").unwrap();
+        w.sync().unwrap();
+        assert_eq!(fs.read_all("/logs/w0/seg_0.log").unwrap(), b"one ");
+        drop(w);
+        // A second append handle continues after the existing bytes.
+        let mut w = fs.append("/logs/w0/seg_0.log").unwrap();
+        w.write_all(b"two").unwrap();
+        drop(w);
+        assert_eq!(fs.read_all("/logs/w0/seg_0.log").unwrap(), b"one two");
+        assert!(matches!(fs.append("/logs/w0"), Err(FsError::NotAFile(_))));
+    }
+
+    #[test]
+    fn tail_skips_prefix_and_reports_remaining() {
+        let fs = InMemoryFs::new();
+        fs.write_all("/f", b"0123456789").unwrap();
+        let mut r = fs.tail("/f", 4).unwrap();
+        assert_eq!(r.len(), 6);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"456789");
+        // Offsets past the end clamp to an empty reader.
+        let mut r = fs.tail("/f", 99).unwrap();
+        assert_eq!(r.len(), 0);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
     }
 
     #[test]

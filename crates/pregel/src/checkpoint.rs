@@ -40,6 +40,49 @@ use crate::computation::Computation;
 use crate::engine::Partition;
 use crate::types::Edge;
 
+/// How the engine recovers from a recoverable worker fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RecoveryMode {
+    /// Roll every partition back to the last committed checkpoint and
+    /// recompute all supersteps from there (PR 2 behavior).
+    #[default]
+    Restart,
+    /// Sender-side message logging plus confined recovery: only the
+    /// failed partitions restore from the checkpoint and replay forward,
+    /// fed by the survivors' logged outgoing batches, while survivors
+    /// stay parked at the current superstep. Falls back to [`Restart`]
+    /// whenever the logs cannot prove an identical replay.
+    LogReplay,
+}
+
+impl RecoveryMode {
+    /// The CLI / config-facts spelling of this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryMode::Restart => "restart",
+            RecoveryMode::LogReplay => "log-replay",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for RecoveryMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "restart" => Ok(RecoveryMode::Restart),
+            "log-replay" | "logreplay" => Ok(RecoveryMode::LogReplay),
+            other => Err(format!("unknown recovery mode {other:?} (expected restart|log-replay)")),
+        }
+    }
+}
+
 /// Where and how often the engine checkpoints.
 #[derive(Clone)]
 pub struct CheckpointConfig {
@@ -56,13 +99,22 @@ pub struct CheckpointConfig {
     /// How many restore-and-replay attempts the engine makes before
     /// giving up and surfacing the original error.
     pub max_recoveries: u64,
+    /// What a recoverable fault rolls back: everything ([`RecoveryMode::Restart`])
+    /// or only the failed partitions ([`RecoveryMode::LogReplay`]).
+    pub recovery: RecoveryMode,
 }
 
 impl CheckpointConfig {
     /// Checkpoints every `every` supersteps under `root`, keeping the two
     /// most recent checkpoints and allowing up to 8 recoveries.
     pub fn new(every: u64, root: impl Into<String>) -> Self {
-        Self { every, root: root.into(), keep: 2, max_recoveries: 8 }
+        Self {
+            every,
+            root: root.into(),
+            keep: 2,
+            max_recoveries: 8,
+            recovery: RecoveryMode::default(),
+        }
     }
 
     /// Overrides the number of retained checkpoints.
@@ -75,6 +127,18 @@ impl CheckpointConfig {
     pub fn max_recoveries(mut self, n: u64) -> Self {
         self.max_recoveries = n;
         self
+    }
+
+    /// Overrides the recovery mode.
+    pub fn recovery_mode(mut self, mode: RecoveryMode) -> Self {
+        self.recovery = mode;
+        self
+    }
+
+    /// Directory on the checkpoint file system that holds the per-worker
+    /// message-log segments used by [`RecoveryMode::LogReplay`].
+    pub(crate) fn msglog_root(&self) -> String {
+        format!("{}/msglog", self.root.trim_end_matches('/'))
     }
 
     /// Whether a checkpoint is due at the top of `superstep`.
@@ -94,6 +158,7 @@ impl fmt::Debug for CheckpointConfig {
             .field("root", &self.root)
             .field("keep", &self.keep)
             .field("max_recoveries", &self.max_recoveries)
+            .field("recovery", &self.recovery)
             .finish()
     }
 }
@@ -108,7 +173,7 @@ pub struct CheckpointError {
 }
 
 impl CheckpointError {
-    fn new(context: impl Into<String>, cause: impl fmt::Display) -> Self {
+    pub(crate) fn new(context: impl Into<String>, cause: impl fmt::Display) -> Self {
         Self { context: context.into(), cause: cause.to_string() }
     }
 }
@@ -247,32 +312,11 @@ fn load_checkpoint<C: Computation>(
     fs: &Arc<dyn FileSystem>,
     dir: &str,
 ) -> Result<RestoredState<C>, CheckpointError> {
-    let manifest_bytes = fs
-        .read_all(&format!("{dir}/manifest.bin"))
-        .map_err(|e| CheckpointError::new(format!("reading {dir}/manifest.bin"), e))?;
-    let manifest: Manifest = decode_one(&manifest_bytes)
-        .map_err(|e| CheckpointError::new(format!("decoding {dir}/manifest.bin"), e))?;
-
+    let manifest = load_manifest(fs, dir)?;
     let mut partitions = Vec::with_capacity(manifest.num_partitions);
     for p in 0..manifest.num_partitions {
-        let path = format!("{dir}/part_{p}.ckpt");
-        let bytes =
-            fs.read_all(&path).map_err(|e| CheckpointError::new(format!("reading {path}"), e))?;
-        let mut partition = Partition::<C>::new();
-        for record in
-            graft_codec::FramedIter::<VertexRecord<C::Id, C::VValue, C::EValue, C::Message>>::new(
-                &bytes,
-            )
-        {
-            let record = record.map_err(|e| CheckpointError::new(format!("decoding {path}"), e))?;
-            let slot = partition.ids.len();
-            partition.push_vertex(record.id, record.value, record.edges);
-            partition.halted[slot] = record.halted;
-            partition.inbox[slot] = record.inbox;
-        }
-        partitions.push(partition);
+        partitions.push(load_partition::<C>(fs, dir, p)?);
     }
-
     Ok(RestoredState {
         superstep: manifest.superstep,
         partitions,
@@ -280,12 +324,74 @@ fn load_checkpoint<C: Computation>(
     })
 }
 
+fn load_manifest(fs: &Arc<dyn FileSystem>, dir: &str) -> Result<Manifest, CheckpointError> {
+    let manifest_bytes = fs
+        .read_all(&format!("{dir}/manifest.bin"))
+        .map_err(|e| CheckpointError::new(format!("reading {dir}/manifest.bin"), e))?;
+    decode_one(&manifest_bytes)
+        .map_err(|e| CheckpointError::new(format!("decoding {dir}/manifest.bin"), e))
+}
+
+fn load_partition<C: Computation>(
+    fs: &Arc<dyn FileSystem>,
+    dir: &str,
+    p: usize,
+) -> Result<Partition<C>, CheckpointError> {
+    let path = format!("{dir}/part_{p}.ckpt");
+    let bytes =
+        fs.read_all(&path).map_err(|e| CheckpointError::new(format!("reading {path}"), e))?;
+    let mut partition = Partition::<C>::new();
+    for record in
+        graft_codec::FramedIter::<VertexRecord<C::Id, C::VValue, C::EValue, C::Message>>::new(
+            &bytes,
+        )
+    {
+        let record = record.map_err(|e| CheckpointError::new(format!("decoding {path}"), e))?;
+        let slot = partition.ids.len();
+        partition.push_vertex(record.id, record.value, record.edges);
+        partition.halted[slot] = record.halted;
+        partition.inbox[slot] = record.inbox;
+    }
+    Ok(partition)
+}
+
+/// The named partitions plus the manifest's aggregator snapshot, as
+/// loaded by [`restore_partitions`].
+pub(crate) type RestoredPartitions<C> = (Vec<(usize, Partition<C>)>, Vec<(String, AggValue)>);
+
+/// Loads only the named partitions (plus the manifest's aggregator
+/// snapshot) from the committed checkpoint at `superstep`. Used by
+/// confined recovery, which leaves the surviving partitions in place.
+pub(crate) fn restore_partitions<C: Computation>(
+    fs: &Arc<dyn FileSystem>,
+    config: &CheckpointConfig,
+    superstep: u64,
+    parts: &[usize],
+) -> Result<RestoredPartitions<C>, CheckpointError> {
+    let dir = config.dir(superstep);
+    if !fs.exists(&format!("{dir}/COMMIT")) {
+        return Err(CheckpointError::new(
+            format!("restoring partitions from {dir}"),
+            "checkpoint is not committed",
+        ));
+    }
+    let manifest = load_manifest(fs, &dir)?;
+    let mut out = Vec::with_capacity(parts.len());
+    for &p in parts {
+        out.push((p, load_partition::<C>(fs, &dir, p)?));
+    }
+    Ok((out, manifest.aggregators))
+}
+
 fn decode_one<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, graft_codec::Error> {
     graft_codec::from_slice(bytes)
 }
 
 /// Supersteps with a committed checkpoint directory, unordered.
-fn committed_supersteps(fs: &Arc<dyn FileSystem>, config: &CheckpointConfig) -> Vec<u64> {
+pub(crate) fn committed_supersteps(
+    fs: &Arc<dyn FileSystem>,
+    config: &CheckpointConfig,
+) -> Vec<u64> {
     let root = config.root.trim_end_matches('/');
     let Ok(entries) = fs.list(root) else { return Vec::new() };
     entries
@@ -402,6 +508,35 @@ mod tests {
         assert!(!fs.exists("/ckpt/cp_2"));
         assert!(fs.exists("/ckpt/cp_4/COMMIT"));
         assert!(fs.exists("/ckpt/cp_6/COMMIT"));
+    }
+
+    #[test]
+    fn partial_restore_loads_only_named_partitions() {
+        let fs = fs();
+        let config = CheckpointConfig::new(2, "/ckpt");
+        let aggs = vec![("sum".to_string(), AggValue::Long(42))];
+        let partitions = sample_partitions();
+        let refs: Vec<&Partition<Noop>> = partitions.iter().collect();
+        write_checkpoint(&fs, &config, 4, &refs, aggs.clone()).unwrap();
+
+        let (restored, agg) = restore_partitions::<Noop>(&fs, &config, 4, &[1]).unwrap();
+        assert_eq!(agg, aggs);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].0, 1);
+        assert_eq!(restored[0].1.ids, vec![2]);
+
+        // An uncommitted checkpoint is not a restore point.
+        fs.write_all("/ckpt/cp_6/part_0.ckpt", b"torn").unwrap();
+        assert!(restore_partitions::<Noop>(&fs, &config, 6, &[0]).is_err());
+    }
+
+    #[test]
+    fn recovery_mode_parses_and_displays() {
+        assert_eq!("restart".parse::<RecoveryMode>().unwrap(), RecoveryMode::Restart);
+        assert_eq!("log-replay".parse::<RecoveryMode>().unwrap(), RecoveryMode::LogReplay);
+        assert!("other".parse::<RecoveryMode>().is_err());
+        assert_eq!(RecoveryMode::LogReplay.to_string(), "log-replay");
+        assert_eq!(RecoveryMode::default(), RecoveryMode::Restart);
     }
 
     #[test]

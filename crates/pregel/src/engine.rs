@@ -83,9 +83,10 @@ use graft_sched::thread as sched_thread;
 use graft_sched::TrackedCell;
 
 use crate::aggregators::{AggregatorRegistry, WorkerAggregators};
-use crate::checkpoint::{self, CheckpointConfig};
+use crate::checkpoint::{self, CheckpointConfig, RecoveryMode};
 use crate::computation::{Computation, VertexHandle};
 use crate::fault::{ArmedFaults, FaultPlan};
+use crate::msglog::{CoordFrame, LoggedBatch, MsgLog, WorkerFrame};
 
 type MutationOf<C> =
     Mutation<<C as Computation>::Id, <C as Computation>::VValue, <C as Computation>::EValue>;
@@ -371,11 +372,21 @@ impl<C: Computation> Engine<C> {
             last_checkpoint: None,
         };
 
+        // Sender-side message logging backs confined recovery; it only
+        // exists when checkpointing is on and the mode asks for it.
+        let msglog = match &self.checkpoints {
+            Some((fs, ckpt)) if ckpt.recovery == RecoveryMode::LogReplay && ckpt.every > 0 => {
+                Some(MsgLog::new(fs.clone(), ckpt.msglog_root()))
+            }
+            _ => None,
+        };
+
         let ctx = EngineCtx {
             computation: self.computation.as_ref(),
             shared: &shared,
             faults: faults.as_ref(),
             obs: self.obs.as_deref(),
+            msglog: msglog.as_ref(),
             combining: self.config.combining,
             num_partitions,
         };
@@ -383,7 +394,7 @@ impl<C: Computation> Engine<C> {
         let halt_reason = match self.config.executor {
             ExecutorMode::SpawnPerSuperstep => {
                 let runner = SpawnRunner { ctx };
-                self.drive(&mut state, &shared, &runner, num_partitions)?
+                self.drive(&mut state, &runner, ctx)?
             }
             ExecutorMode::PersistentPool => {
                 let sync = PoolSync::<C>::new(num_partitions);
@@ -396,7 +407,7 @@ impl<C: Computation> Engine<C> {
                         scope.spawn(forked.wrap(move || pool_worker(ctx, sync, worker_id)));
                     }
                     let runner = PoolRunner { sync: &sync };
-                    let outcome = self.drive(&mut state, &shared, &runner, num_partitions);
+                    let outcome = self.drive(&mut state, &runner, ctx);
                     // Unconditional shutdown: workers must be released
                     // before the scope joins them, on success or failure.
                     sync.command.set(PoolCommand::Exit);
@@ -427,14 +438,16 @@ impl<C: Computation> Engine<C> {
     }
 
     /// The superstep loop: checkpoint when due, execute, recover from
-    /// recoverable failures by restoring the latest committed checkpoint.
+    /// recoverable failures — confined log replay first when the mode
+    /// allows it, full restore-and-replay of the latest committed
+    /// checkpoint otherwise.
     fn drive<R: PhaseRunner<C>>(
         &self,
         state: &mut LoopState,
-        shared: &SharedState<C>,
         runner: &R,
-        num_partitions: usize,
+        ctx: EngineCtx<'_, C>,
     ) -> Result<HaltReason, (u64, EngineError)> {
+        let shared = ctx.shared;
         loop {
             if let Some((fs, ckpt)) = &self.checkpoints {
                 if ckpt.due_at(state.superstep) && state.last_checkpoint != Some(state.superstep) {
@@ -469,17 +482,40 @@ impl<C: Computation> Engine<C> {
                         reg.observe_time("checkpoint_write_nanos", Scope::GLOBAL, dur);
                     }
                     state.last_checkpoint = Some(state.superstep);
+                    // Checkpoint commit is the log truncation point: roll
+                    // to a segment named after this checkpoint and drop
+                    // segments no retained checkpoint can replay from.
+                    if let Some(log) = ctx.msglog {
+                        let mut committed = checkpoint::committed_supersteps(fs, ckpt);
+                        committed.sort_unstable_by(|a, b| b.cmp(a));
+                        let oldest_retained = committed
+                            .iter()
+                            .take(ckpt.keep.max(1))
+                            .next_back()
+                            .copied()
+                            .unwrap_or(state.superstep);
+                        log.roll(state.superstep, oldest_retained);
+                        if let Some(o) = &self.obs {
+                            o.registry().set_gauge(
+                                "pregel_msglog_disk_bytes",
+                                Scope::GLOBAL,
+                                log.disk_bytes() as i64,
+                            );
+                        }
+                    }
                     for obs in &self.observers {
                         obs.on_checkpoint(state.superstep);
                     }
                 }
             }
 
-            match self.execute_superstep(state, shared, runner, num_partitions) {
+            match self.execute_superstep(state, runner, ctx) {
                 Ok(Some(reason)) => return Ok(reason),
                 Ok(None) => {}
-                Err(err) => {
+                Err(failure) => {
                     let failed_at = state.superstep;
+                    let StepFailure { error, compute } = failure;
+                    let mut err = error;
                     let Some((fs, ckpt)) = &self.checkpoints else {
                         return Err((failed_at, err));
                     };
@@ -495,6 +531,47 @@ impl<C: Computation> Engine<C> {
                             },
                         ));
                     }
+
+                    // Rung one of the fallback ladder: confined recovery,
+                    // when the mode logs messages and the failure is a
+                    // compute failure the logs can heal.
+                    if let (Some(log), Some(compute_failure)) = (ctx.msglog, compute) {
+                        match self.confined_recover(
+                            state,
+                            runner,
+                            ctx,
+                            fs,
+                            ckpt,
+                            log,
+                            *compute_failure,
+                            &err,
+                        ) {
+                            Ok(Confined::Done(Some(reason))) => return Ok(reason),
+                            Ok(Confined::Done(None)) => continue,
+                            // Preconditions failed; nothing was touched.
+                            // Fall to the full restart below.
+                            Ok(Confined::FellThrough) => {}
+                            Err(second) => {
+                                // A second fault fired during the confined
+                                // replay: descend to a full restart if it
+                                // is itself recoverable.
+                                if !is_recoverable(&second.error) {
+                                    return Err((failed_at, second.error));
+                                }
+                                if state.recoveries >= ckpt.max_recoveries {
+                                    return Err((
+                                        failed_at,
+                                        EngineError::RecoveryExhausted {
+                                            attempts: state.recoveries,
+                                            last_error: Box::new(second.error),
+                                        },
+                                    ));
+                                }
+                                err = second.error;
+                            }
+                        }
+                    }
+
                     let begin =
                         self.obs.as_ref().map(|o| o.begin("checkpoint.restore", None, None));
                     let restored = match checkpoint::restore_latest::<C>(fs, ckpt) {
@@ -507,6 +584,14 @@ impl<C: Computation> Engine<C> {
                     state.recoveries += 1;
                     let resumed_at = restored.superstep;
                     self.resume_from(state, shared, restored);
+                    if let Some(log) = ctx.msglog {
+                        // Drop every frame from the failed attempt: the
+                        // replay re-appends identical ones, and a stale
+                        // leftover would shadow them in a later confined
+                        // recovery.
+                        log.reset_to(resumed_at)
+                            .map_err(|e| (failed_at, EngineError::MessageLog(e)))?;
+                    }
                     if let (Some(obs), Some(begin)) = (&self.obs, begin) {
                         let dur = obs.end(
                             "checkpoint.restore",
@@ -589,15 +674,17 @@ impl<C: Computation> Engine<C> {
     /// Runs one full superstep (phases 1–6) against `state`.
     ///
     /// Returns `Ok(Some(reason))` when the job halted, `Ok(None)` when it
-    /// should continue with the next superstep, and `Err` on a failure
-    /// (which the caller may recover from via checkpoints).
+    /// should continue with the next superstep, and `Err` on a failure.
+    /// When the failure is confined to the compute phase, the error
+    /// carries everything confined recovery needs: the survivors'
+    /// finished outputs and the failed-worker list.
     fn execute_superstep<R: PhaseRunner<C>>(
         &self,
         state: &mut LoopState,
-        shared: &SharedState<C>,
         runner: &R,
-        num_partitions: usize,
-    ) -> Result<Option<HaltReason>, EngineError> {
+        ctx: EngineCtx<'_, C>,
+    ) -> Result<Option<HaltReason>, StepFailure<C>> {
+        let shared = ctx.shared;
         let superstep = state.superstep;
         let global =
             GlobalData { superstep, num_vertices: state.num_vertices, num_edges: state.num_edges };
@@ -612,10 +699,10 @@ impl<C: Computation> Engine<C> {
                 let mut mctx = MasterContext::new(global, &mut registry);
                 let result = catch_unwind(AssertUnwindSafe(|| master.compute(&mut mctx)));
                 if let Err(payload) = result {
-                    return Err(EngineError::MasterPanic {
+                    return Err(StepFailure::fatal(EngineError::MasterPanic {
                         superstep,
                         message: panic_message(&*payload),
-                    });
+                    }));
                 }
                 mctx.is_halted()
             };
@@ -641,16 +728,66 @@ impl<C: Computation> Engine<C> {
         let compute_start = Instant::now();
         let compute_begin = obs.map(|o| o.begin("phase.compute", Some(superstep), None));
 
-        // Phase 2: parallel vertex computation.
+        // Phase 2: parallel vertex computation. Every worker's result is
+        // collected — confined recovery needs the survivors' outputs and
+        // the full failed-worker list, not just the first error.
         let worker_results = runner.compute(global);
 
-        let mut outputs = Vec::with_capacity(worker_results.len());
-        for result in worker_results {
+        let mut outputs: Vec<Option<WorkerOutput<C>>> = Vec::with_capacity(worker_results.len());
+        let mut failed: Vec<usize> = Vec::new();
+        let mut first_err: Option<EngineError> = None;
+        for (worker, result) in worker_results.into_iter().enumerate() {
             match result {
-                Ok(output) => outputs.push(output),
-                Err(err) => return Err(err),
+                Ok(output) => outputs.push(Some(output)),
+                Err(err) => {
+                    outputs.push(None);
+                    failed.push(worker);
+                    if first_err.is_none() {
+                        first_err = Some(err);
+                    }
+                }
             }
         }
+        if let Some(error) = first_err {
+            return Err(StepFailure {
+                error,
+                compute: Some(Box::new(ComputeFailure { global, failed, outputs })),
+            });
+        }
+        let outputs: Vec<WorkerOutput<C>> =
+            outputs.into_iter().map(|o| o.expect("no error implies output")).collect();
+
+        self.finish_superstep(
+            state,
+            runner,
+            ctx,
+            global,
+            outputs,
+            compute_start,
+            ss_begin,
+            compute_begin,
+        )
+    }
+
+    /// Phases 3–6 of a superstep whose compute phase fully succeeded:
+    /// aggregator merge, delivery, mutations, the coordinator log frame,
+    /// stats, and the halting check. Shared by the normal path and the
+    /// tail of a confined recovery.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_superstep<R: PhaseRunner<C>>(
+        &self,
+        state: &mut LoopState,
+        runner: &R,
+        ctx: EngineCtx<'_, C>,
+        global: GlobalData,
+        mut outputs: Vec<WorkerOutput<C>>,
+        compute_start: Instant,
+        ss_begin: Option<u64>,
+        compute_begin: Option<u64>,
+    ) -> Result<Option<HaltReason>, StepFailure<C>> {
+        let shared = ctx.shared;
+        let superstep = global.superstep;
+        let obs = self.obs.as_deref();
 
         let compute_calls: u64 = outputs.iter().map(|o| o.compute_calls).sum();
         let messages_sent: u64 = outputs.iter().map(|o| o.messages_sent).sum();
@@ -683,6 +820,12 @@ impl<C: Computation> Engine<C> {
             }
         }
 
+        // In log-replay mode, snapshot the registry before the merge:
+        // this post-master, pre-merge state is what this superstep's
+        // `compute()` calls observed, and what a confined replay of them
+        // must observe again.
+        let coord_aggs = ctx.msglog.map(|_| read(&shared.registry).snapshot());
+
         // Phase 3: merge aggregator partials.
         let aggregate_begin = obs.map(|o| o.begin("phase.aggregate", Some(superstep), None));
         write(&shared.registry)
@@ -702,7 +845,9 @@ impl<C: Computation> Engine<C> {
         for result in delivery_results {
             match result {
                 Ok(counts) => delivery.push(counts),
-                Err(err) => return Err(err),
+                // A delivery failure is not confined-recoverable: inboxes
+                // may be half-updated, which only a full restore heals.
+                Err(err) => return Err(StepFailure::fatal(err)),
             }
         }
 
@@ -741,7 +886,7 @@ impl<C: Computation> Engine<C> {
             let mutate_begin = obs.map(|o| o.begin("phase.mutate", Some(superstep), None));
             let applied = {
                 let mut guards: Vec<_> = shared.partitions.iter().map(lock).collect();
-                let applied = apply_mutations::<C, _>(&mut guards, mutations, num_partitions);
+                let applied = apply_mutations::<C, _>(&mut guards, mutations, ctx.num_partitions);
                 state.num_vertices = guards.iter().map(|g| g.live_vertices()).sum();
                 state.num_edges = guards.iter().map(|g| g.live_edges()).sum();
                 active_vertices = guards.iter().map(|g| g.active_vertices()).sum();
@@ -760,6 +905,24 @@ impl<C: Computation> Engine<C> {
             applied
         };
         let delivery_time = delivery_start.elapsed();
+
+        // The coordinator frame closes the superstep's log record; a
+        // replay cannot start from a superstep whose frame is missing.
+        if let Some(log) = ctx.msglog {
+            let frame = CoordFrame {
+                superstep,
+                num_vertices: global.num_vertices,
+                num_edges: global.num_edges,
+                aggregators: coord_aggs.unwrap_or_default(),
+                mutations_applied,
+            };
+            let bytes = log
+                .append_coord_frame(&frame)
+                .map_err(|e| StepFailure::fatal(EngineError::MessageLog(e)))?;
+            if let Some(o) = obs {
+                o.registry().inc("pregel_msglog_bytes_total", Scope::GLOBAL, bytes);
+            }
+        }
 
         let stats = SuperstepStats {
             superstep,
@@ -824,6 +987,224 @@ impl<C: Computation> Engine<C> {
         }
         Ok(None)
     }
+
+    /// Confined recovery: restore *only* the failed workers' partitions
+    /// from the last committed checkpoint and replay them forward against
+    /// the message log while survivors keep their current state, then
+    /// re-run the failed superstep's compute for the failed workers and
+    /// finish the superstep normally.
+    ///
+    /// Returns [`Confined::FellThrough`] — with nothing mutated — when a
+    /// precondition fails (no checkpoint, no survivors, a mutation in the
+    /// replay window, a torn log); the caller then falls back to a full
+    /// restart. An `Err` means the replay itself failed after state was
+    /// already touched; the caller must not continue without restoring.
+    #[allow(clippy::too_many_arguments)]
+    fn confined_recover<R: PhaseRunner<C>>(
+        &self,
+        state: &mut LoopState,
+        runner: &R,
+        ctx: EngineCtx<'_, C>,
+        fs: &Arc<dyn FileSystem>,
+        ckpt: &CheckpointConfig,
+        log: &MsgLog,
+        failure: ComputeFailure<C>,
+        err: &EngineError,
+    ) -> Result<Confined, StepFailure<C>> {
+        let shared = ctx.shared;
+        let failed_at = state.superstep;
+        let ComputeFailure { global, failed, mut outputs } = failure;
+
+        // Preconditions, all checked before anything is mutated.
+        let Some(cp) = state.last_checkpoint else { return Ok(Confined::FellThrough) };
+        if failed.is_empty() || failed.len() >= ctx.num_partitions {
+            return Ok(Confined::FellThrough);
+        }
+        // One coordinator frame per superstep since the checkpoint, none
+        // of which may carry topology mutations (mutations can touch any
+        // partition; the log cannot confine their replay).
+        let Ok(coord_frames) = log.read_coord_frames(cp) else {
+            return Ok(Confined::FellThrough);
+        };
+        let replayed = (failed_at - cp) as usize;
+        if coord_frames.len() != replayed
+            || coord_frames
+                .iter()
+                .enumerate()
+                .any(|(i, f)| f.superstep != cp + i as u64 || f.mutations_applied != 0)
+        {
+            return Ok(Confined::FellThrough);
+        }
+        // Every survivor must have logged a frame for every replayed
+        // superstep; a gap is a torn log.
+        let survivors: Vec<usize> =
+            (0..ctx.num_partitions).filter(|w| !failed.contains(w)).collect();
+        let mut survivor_frames: FxHashMap<(usize, u64), WorkerFrame<C::Id, C::Message>> =
+            FxHashMap::default();
+        for &w in &survivors {
+            let Ok(frames) = log.read_worker_frames::<C::Id, C::Message>(w, cp) else {
+                return Ok(Confined::FellThrough);
+            };
+            for frame in frames {
+                survivor_frames.insert((w, frame.superstep), frame);
+            }
+            if (cp..failed_at).any(|s| !survivor_frames.contains_key(&(w, s))) {
+                return Ok(Confined::FellThrough);
+            }
+        }
+        // Load the failed partitions before committing, so a checkpoint
+        // read failure still leaves the full restart available.
+        let Ok((restored, _)) = checkpoint::restore_partitions::<C>(fs, ckpt, cp, &failed) else {
+            return Ok(Confined::FellThrough);
+        };
+
+        // Commit point: from here on, state is mutated and any failure
+        // must surface as an error, not a fall-through.
+        state.recoveries += 1;
+        let begin = self.obs.as_ref().map(|o| o.begin("recovery.confined", None, None));
+        for obs in &self.observers {
+            obs.on_confined_restore(cp, &failed);
+        }
+        for (p, partition) in restored {
+            *lock(&shared.partitions[p]) = partition;
+        }
+
+        // Replay supersteps cp..failed_at on the failed partitions only.
+        // Each superstep: recompute against the logged aggregator
+        // snapshot and global data, then deliver — survivors' batches
+        // come from their logs, failed workers' from the recomputation —
+        // in source-worker order, exactly as a live superstep merges.
+        let replay = (|| -> Result<(), EngineError> {
+            for s in cp..failed_at {
+                let frame = &coord_frames[(s - cp) as usize];
+                let mut registry = self.fresh_registry();
+                for (name, value) in &frame.aggregators {
+                    if registry.contains(name) {
+                        registry.set(name, value.clone());
+                    }
+                }
+                let replay_global = GlobalData {
+                    superstep: s,
+                    num_vertices: frame.num_vertices,
+                    num_edges: frame.num_edges,
+                };
+                let mut regenerated: FxHashMap<(usize, usize), Outbox<C>> = FxHashMap::default();
+                for &w in &failed {
+                    let mut scratch = WorkerScratch::new();
+                    let outboxes = match catch_unwind(AssertUnwindSafe(|| {
+                        worker_compute_core(ctx, w, replay_global, &mut scratch, &registry)
+                    })) {
+                        Ok(Ok((_, outboxes))) => outboxes,
+                        Ok(Err(e)) => return Err(e),
+                        Err(_) => {
+                            return Err(EngineError::WorkerCrashed { worker: w, superstep: s })
+                        }
+                    };
+                    for (p, outbox) in outboxes.into_iter().enumerate() {
+                        // Batches aimed at survivors were already
+                        // delivered in the original run; only those bound
+                        // for failed partitions are replayed.
+                        if !outbox.is_empty() && failed.contains(&p) {
+                            regenerated.insert((w, p), outbox);
+                        } else {
+                            shared.buffers.put(outbox);
+                        }
+                    }
+                }
+                let use_combiner = ctx.computation.use_combiner();
+                for &p in &failed {
+                    let mut partition_guard = lock(&shared.partitions[p]);
+                    let partition = &mut *partition_guard;
+                    let mut fold: CombinedBatch<C> = FxHashMap::default();
+                    let mut delivered = 0u64;
+                    let mut missing = 0u64;
+                    for w in 0..ctx.num_partitions {
+                        let batch = if failed.contains(&w) {
+                            match regenerated.remove(&(w, p)) {
+                                Some(batch) => batch,
+                                None => continue,
+                            }
+                        } else {
+                            let frame = &survivor_frames[&(w, s)];
+                            match frame.batches.iter().find(|(target, _)| *target == p) {
+                                Some((_, batch)) => unlog_batch::<C>(batch),
+                                None => continue,
+                            }
+                        };
+                        apply_batch(
+                            ctx.computation,
+                            use_combiner,
+                            &mut fold,
+                            partition,
+                            batch,
+                            &mut delivered,
+                            &mut missing,
+                            &shared.buffers,
+                        );
+                    }
+                }
+            }
+            Ok(())
+        })();
+
+        // Re-run the failed superstep's compute for the failed workers
+        // only; the wrapper path re-logs and ships their frames, so the
+        // log and the staging slots end up exactly as if the superstep
+        // had never failed. Survivors' batches are already staged.
+        let mut recover_err = replay.err();
+        if recover_err.is_none() {
+            for &w in &failed {
+                let mut scratch = WorkerScratch::new();
+                match guarded_compute(ctx, w, global, &mut scratch) {
+                    Ok(output) => outputs[w] = Some(output),
+                    Err(e) => {
+                        recover_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if let (Some(obs), Some(begin)) = (&self.obs, begin) {
+            let mut attrs = vec![
+                ("failed_superstep", failed_at.to_string()),
+                ("checkpoint", cp.to_string()),
+                ("workers", failed.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(";")),
+                ("error", err.to_string()),
+            ];
+            if let Some(e) = &recover_err {
+                attrs.push(("replay_error", e.to_string()));
+            }
+            let dur = obs.end("recovery.confined", None, None, begin, &attrs);
+            let reg = obs.registry();
+            reg.inc("pregel_confined_recoveries_total", Scope::GLOBAL, 1);
+            reg.observe_time("recovery_confined_nanos", Scope::GLOBAL, dur);
+        }
+        if let Some(e) = recover_err {
+            return Err(StepFailure::fatal(e));
+        }
+        let outputs: Vec<WorkerOutput<C>> = outputs
+            .into_iter()
+            .map(|o| o.expect("confined recovery fills every failed worker's output"))
+            .collect();
+
+        // The failed attempt's superstep spans never closed; open fresh
+        // tokens so the recovered superstep is observable like any other.
+        let obs = self.obs.as_deref();
+        let ss_begin = obs.map(|o| o.begin("superstep", Some(failed_at), None));
+        let compute_begin = obs.map(|o| o.begin("phase.compute", Some(failed_at), None));
+        self.finish_superstep(
+            state,
+            runner,
+            ctx,
+            global,
+            outputs,
+            Instant::now(),
+            ss_begin,
+            compute_begin,
+        )
+        .map(Confined::Done)
+    }
 }
 
 /// Coordinator-side loop bookkeeping. The graph state itself lives in
@@ -836,6 +1217,40 @@ struct LoopState {
     num_edges: u64,
     recoveries: u64,
     last_checkpoint: Option<u64>,
+}
+
+/// A failed superstep: the error plus — when the failure was confined to
+/// the compute phase — everything confined recovery needs to heal it.
+struct StepFailure<C: Computation> {
+    error: EngineError,
+    compute: Option<Box<ComputeFailure<C>>>,
+}
+
+impl<C: Computation> StepFailure<C> {
+    /// A failure confined recovery cannot heal (master panic, delivery
+    /// failure, log or checkpoint I/O): the error alone.
+    fn fatal(error: EngineError) -> Self {
+        Self { error, compute: None }
+    }
+}
+
+/// The compute phase's full outcome at a failed superstep: the finished
+/// outputs (indexed by worker, `None` exactly at the failed workers) and
+/// the failed-worker list.
+struct ComputeFailure<C: Computation> {
+    global: GlobalData,
+    failed: Vec<usize>,
+    outputs: Vec<Option<WorkerOutput<C>>>,
+}
+
+/// Outcome of a confined recovery attempt that did not itself fail.
+enum Confined {
+    /// The failed superstep finished; the payload is
+    /// `execute_superstep`'s continue/halt result.
+    Done(Option<HaltReason>),
+    /// A precondition failed before anything was mutated; the caller
+    /// falls back to a full restart.
+    FellThrough,
 }
 
 /// Whether a failure can be healed by restoring a checkpoint and
@@ -1037,6 +1452,7 @@ struct EngineCtx<'a, C: Computation> {
     shared: &'a SharedState<C>,
     faults: Option<&'a ArmedFaults>,
     obs: Option<&'a Obs>,
+    msglog: Option<&'a MsgLog>,
     combining: CombineStrategy,
     num_partitions: usize,
 }
@@ -1174,15 +1590,66 @@ fn deliver_combined<C: Computation>(
     }
 }
 
-/// Phase 2 for one worker: compute every active vertex of its partition,
-/// routing staged sends into per-destination shuffle buffers, then ship
-/// the non-empty buffers to the staging slots.
+/// Phase 2 for one worker: compute the partition (the core), then — in
+/// log-replay mode — append the outgoing frame to the message log, and
+/// finally ship the non-empty outboxes to the staging slots.
+///
+/// Logging strictly precedes shipping: once any batch of a superstep is
+/// observable by another partition, the log provably holds all of them.
 fn worker_compute<C: Computation>(
     ctx: EngineCtx<'_, C>,
     worker_id: usize,
     global: GlobalData,
     scratch: &mut WorkerScratch<C>,
 ) -> Result<WorkerOutput<C>, EngineError> {
+    let (mut output, outboxes) = {
+        let registry = read(&ctx.shared.registry);
+        worker_compute_core(ctx, worker_id, global, scratch, &registry)?
+    };
+
+    if let Some(log) = ctx.msglog {
+        // A frame every superstep, including empty ones: a gap reads as
+        // a torn log and disables confined replay for its segment.
+        let frame = WorkerFrame {
+            superstep: global.superstep,
+            batches: outboxes
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| !o.is_empty())
+                .map(|(p, o)| (p, log_batch::<C>(o)))
+                .collect(),
+        };
+        let bytes = log.append_worker_frame(worker_id, &frame).map_err(EngineError::MessageLog)?;
+        if let Some(o) = ctx.obs {
+            o.registry().inc("pregel_msglog_bytes_total", Scope::GLOBAL, bytes);
+        }
+    }
+
+    let mut messages_shuffled = 0u64;
+    for (p, outbox) in outboxes.into_iter().enumerate() {
+        if outbox.is_empty() {
+            ctx.shared.buffers.put(outbox);
+            continue;
+        }
+        messages_shuffled += outbox.len() as u64;
+        lock(&ctx.shared.incoming[p])[worker_id] = Some(outbox);
+    }
+    output.messages_shuffled = messages_shuffled;
+    Ok(output)
+}
+
+/// The compute loop proper: runs every active vertex of the worker's
+/// partition against an explicit aggregator registry, returning the
+/// filled outboxes *unshipped* (with `messages_shuffled` still zero).
+/// Confined replay calls this directly with a registry rebuilt from a
+/// logged snapshot, bypassing both the log append and the shuffle.
+fn worker_compute_core<C: Computation>(
+    ctx: EngineCtx<'_, C>,
+    worker_id: usize,
+    global: GlobalData,
+    scratch: &mut WorkerScratch<C>,
+    registry: &AggregatorRegistry,
+) -> Result<(WorkerOutput<C>, Vec<Outbox<C>>), EngineError> {
     let timer = ctx.obs.map(|o| o.timer());
     // Injected crash: the worker dies before computing any of its
     // vertices, leaving the superstep unfinished.
@@ -1199,8 +1666,7 @@ fn worker_compute<C: Computation>(
     let mut outboxes: Vec<Outbox<C>> =
         (0..ctx.num_partitions).map(|_| ctx.shared.buffers.take(combine_at_send)).collect();
 
-    let registry = read(&ctx.shared.registry);
-    let mut worker_aggs = WorkerAggregators::for_registry(&registry);
+    let mut worker_aggs = WorkerAggregators::for_registry(registry);
     let mut mutations: Vec<MutationOf<C>> = Vec::new();
     let mut compute_calls = 0u64;
     let mut messages_sent = 0u64;
@@ -1212,7 +1678,7 @@ fn worker_compute<C: Computation>(
         let mut cctx = ComputeContext::with_buffer(
             global,
             worker_id,
-            &registry,
+            registry,
             &mut worker_aggs,
             &mut mutations,
             staged,
@@ -1270,25 +1736,40 @@ fn worker_compute<C: Computation>(
         scratch.staged = cctx.into_buffer();
     }
 
-    let mut messages_shuffled = 0u64;
-    for (p, outbox) in outboxes.into_iter().enumerate() {
-        if outbox.is_empty() {
-            ctx.shared.buffers.put(outbox);
-            continue;
-        }
-        messages_shuffled += outbox.len() as u64;
-        lock(&ctx.shared.incoming[p])[worker_id] = Some(outbox);
-    }
-
     let nanos = timer.map(|t| t.stop()).unwrap_or(0);
-    Ok(WorkerOutput {
-        aggs: worker_aggs,
-        mutations,
-        compute_calls,
-        messages_sent,
-        messages_shuffled,
-        nanos,
-    })
+    Ok((
+        WorkerOutput {
+            aggs: worker_aggs,
+            mutations,
+            compute_calls,
+            messages_sent,
+            messages_shuffled: 0,
+            nanos,
+        },
+        outboxes,
+    ))
+}
+
+/// Copies one outbox into its logged form.
+fn log_batch<C: Computation>(outbox: &Outbox<C>) -> LoggedBatch<C::Id, C::Message> {
+    match outbox {
+        Outbox::Raw(v) => LoggedBatch::Raw(v.clone()),
+        Outbox::Combined(m) => {
+            LoggedBatch::Combined(m.iter().map(|(id, (msg, n))| (*id, msg.clone(), *n)).collect())
+        }
+    }
+}
+
+/// Rehydrates a logged batch into a deliverable outbox. Deliberately
+/// skips the buffer pool — replay is rare, and `apply_batch` returns the
+/// buffer to the pool afterwards anyway.
+fn unlog_batch<C: Computation>(batch: &LoggedBatch<C::Id, C::Message>) -> Outbox<C> {
+    match batch {
+        LoggedBatch::Raw(v) => Outbox::Raw(v.clone()),
+        LoggedBatch::Combined(v) => {
+            Outbox::Combined(v.iter().map(|(id, msg, n)| (*id, (msg.clone(), *n))).collect())
+        }
+    }
 }
 
 /// Phase 4 for one worker: drain the staging slots for its partition in
@@ -1310,55 +1791,16 @@ fn worker_deliver<C: Computation>(
     let mut slots = lock(&ctx.shared.incoming[worker_id]);
     for source_slot in slots.iter_mut() {
         let Some(batch) = source_slot.take() else { continue };
-        match batch {
-            Outbox::Raw(mut buf) => {
-                if use_combiner {
-                    // Receiver-side combining: run the sender-side fold
-                    // on this batch, then merge the partials — the exact
-                    // operation sequence `AtSender` would have shipped.
-                    scratch.fold.clear();
-                    for (target, message) in buf.drain(..) {
-                        fold_entry(computation, &mut scratch.fold, target, message);
-                    }
-                    for (target, (message, count)) in scratch.fold.drain() {
-                        deliver_combined(
-                            computation,
-                            partition,
-                            target,
-                            message,
-                            count,
-                            &mut delivered,
-                            &mut missing,
-                        );
-                    }
-                } else {
-                    for (target, message) in buf.drain(..) {
-                        match partition.index.get(&target) {
-                            Some(&slot) if !partition.removed[slot] => {
-                                partition.inbox[slot].push(message);
-                                delivered += 1;
-                            }
-                            _ => missing += 1,
-                        }
-                    }
-                }
-                ctx.shared.buffers.put(Outbox::Raw(buf));
-            }
-            Outbox::Combined(mut map) => {
-                for (target, (message, count)) in map.drain() {
-                    deliver_combined(
-                        computation,
-                        partition,
-                        target,
-                        message,
-                        count,
-                        &mut delivered,
-                        &mut missing,
-                    );
-                }
-                ctx.shared.buffers.put(Outbox::Combined(map));
-            }
-        }
+        apply_batch(
+            computation,
+            use_combiner,
+            &mut scratch.fold,
+            partition,
+            batch,
+            &mut delivered,
+            &mut missing,
+            &ctx.shared.buffers,
+        );
     }
     drop(slots);
 
@@ -1369,6 +1811,71 @@ fn worker_deliver<C: Computation>(
         vertices: partition.live_vertices(),
         edges: partition.live_edges(),
         nanos: timer.map(|t| t.stop()).unwrap_or(0),
+    }
+}
+
+/// Applies one shuffle batch to a partition's inboxes: the single
+/// delivery code path shared by live supersteps and confined replay,
+/// which is what makes a replayed inbox bit-identical to the original.
+#[allow(clippy::too_many_arguments)]
+fn apply_batch<C: Computation>(
+    computation: &C,
+    use_combiner: bool,
+    fold: &mut CombinedBatch<C>,
+    partition: &mut Partition<C>,
+    batch: Outbox<C>,
+    delivered: &mut u64,
+    missing: &mut u64,
+    buffers: &BufferPool<C>,
+) {
+    match batch {
+        Outbox::Raw(mut buf) => {
+            if use_combiner {
+                // Receiver-side combining: run the sender-side fold on
+                // this batch, then merge the partials — the exact
+                // operation sequence `AtSender` would have shipped.
+                fold.clear();
+                for (target, message) in buf.drain(..) {
+                    fold_entry(computation, fold, target, message);
+                }
+                for (target, (message, count)) in fold.drain() {
+                    deliver_combined(
+                        computation,
+                        partition,
+                        target,
+                        message,
+                        count,
+                        delivered,
+                        missing,
+                    );
+                }
+            } else {
+                for (target, message) in buf.drain(..) {
+                    match partition.index.get(&target) {
+                        Some(&slot) if !partition.removed[slot] => {
+                            partition.inbox[slot].push(message);
+                            *delivered += 1;
+                        }
+                        _ => *missing += 1,
+                    }
+                }
+            }
+            buffers.put(Outbox::Raw(buf));
+        }
+        Outbox::Combined(mut map) => {
+            for (target, (message, count)) in map.drain() {
+                deliver_combined(
+                    computation,
+                    partition,
+                    target,
+                    message,
+                    count,
+                    delivered,
+                    missing,
+                );
+            }
+            buffers.put(Outbox::Combined(map));
+        }
     }
 }
 

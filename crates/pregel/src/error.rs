@@ -33,6 +33,10 @@ pub enum EngineError {
     },
     /// Writing or restoring a checkpoint failed.
     Checkpoint(crate::checkpoint::CheckpointError),
+    /// Writing or reading the sender-side message log failed. Fatal: a
+    /// torn log cannot prove an identical confined replay, and carrying
+    /// on without logging would silently downgrade the recovery mode.
+    MessageLog(crate::checkpoint::CheckpointError),
     /// The job failed, recovery was attempted, and the recovery limit was
     /// exhausted. The boxed error is the last failure.
     RecoveryExhausted {
@@ -56,6 +60,7 @@ impl fmt::Display for EngineError {
                 write!(f, "worker {worker} crashed in superstep {superstep}")
             }
             EngineError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            EngineError::MessageLog(e) => write!(f, "message log failure: {e}"),
             EngineError::RecoveryExhausted { attempts, last_error } => {
                 write!(f, "job failed after {attempts} recovery attempt(s): {last_error}")
             }

@@ -65,12 +65,13 @@ pub mod harness;
 pub mod hash;
 pub mod io;
 mod master;
+mod msglog;
 mod observer;
 mod stats;
 mod types;
 
 pub use aggregators::{AggOp, AggValue, AggregatorRegistry, WorkerAggregators};
-pub use checkpoint::{CheckpointConfig, CheckpointError};
+pub use checkpoint::{CheckpointConfig, CheckpointError, RecoveryMode};
 pub use computation::{Computation, ContextOf, VertexHandle, VertexHandleOf};
 pub use context::{ComputeContext, Mutation};
 pub use engine::{partition_for, CombineStrategy, Engine, EngineConfig, ExecutorMode, JobOutcome};

@@ -53,6 +53,13 @@ pub trait JobObserver<C: Computation>: Send + Sync {
     /// whatever they recorded for supersteps `>= superstep`.
     fn on_restore(&self, _superstep: u64) {}
 
+    /// Confined recovery restored the checkpoint for `superstep`, but
+    /// only for the partitions in `workers`; survivors' state (and
+    /// whatever observers recorded for them) is untouched. Observers
+    /// must discard what they recorded for the listed workers at
+    /// supersteps `>= superstep` — and nothing else.
+    fn on_confined_restore(&self, _superstep: u64, _workers: &[usize]) {}
+
     /// The job finished (successfully or not). Guaranteed to be called
     /// exactly once, including on vertex panics.
     fn on_job_end(&self, _end: &JobEnd) {}

@@ -9,8 +9,8 @@ use std::sync::Arc;
 use graft_dfs::{FileSystem, InMemoryFs};
 use graft_pregel::{
     AggOp, AggValue, AggregatorRegistry, CheckpointConfig, Computation, ContextOf, Engine,
-    EngineError, Fault, FaultPlan, Graph, HaltReason, JobOutcome, MasterComputation, MasterContext,
-    VertexHandleOf,
+    EngineError, ExecutorMode, Fault, FaultPlan, Graph, HaltReason, JobObserver, JobOutcome,
+    MasterComputation, MasterContext, RecoveryMode, VertexHandleOf,
 };
 
 /// A PageRank-style computation: f64 values, sum combiner, fixed
@@ -89,9 +89,34 @@ fn engine(fs: &Arc<dyn FileSystem>, every: u64) -> Engine<Rank> {
         .with_checkpoints(fs.clone(), CheckpointConfig::new(every, "/ckpt"))
 }
 
+fn log_engine(fs: &Arc<dyn FileSystem>, every: u64) -> Engine<Rank> {
+    Engine::new(Rank { iterations: 9 }).with_master(MassMaster).num_workers(4).with_checkpoints(
+        fs.clone(),
+        CheckpointConfig::new(every, "/ckpt").recovery_mode(RecoveryMode::LogReplay),
+    )
+}
+
 fn run_clean() -> JobOutcome<Rank> {
     let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
     engine(&fs, 3).run(ring_graph(64)).unwrap()
+}
+
+/// Records which recovery path the engine took: confined restores vs
+/// full restores, with their rewind superstep and worker set.
+#[derive(Default)]
+struct RecoveryProbe {
+    confined: std::sync::Mutex<Vec<(u64, Vec<usize>)>>,
+    full: std::sync::Mutex<Vec<u64>>,
+}
+
+impl JobObserver<Rank> for RecoveryProbe {
+    fn on_restore(&self, superstep: u64) {
+        self.full.lock().unwrap().push(superstep);
+    }
+
+    fn on_confined_restore(&self, superstep: u64, workers: &[usize]) {
+        self.confined.lock().unwrap().push((superstep, workers.to_vec()));
+    }
 }
 
 fn assert_bitwise_equal(a: &JobOutcome<Rank>, b: &JobOutcome<Rank>) {
@@ -211,6 +236,122 @@ fn checkpoints_are_pruned_on_dfs() {
     assert!(!fs.exists("/ckpt/cp_4"));
     assert!(fs.exists("/ckpt/cp_6/COMMIT"));
     assert!(fs.exists("/ckpt/cp_8/COMMIT"));
+}
+
+#[test]
+fn log_replay_worker_kill_recovers_confined_and_bit_identical() {
+    let clean = run_clean();
+    for executor in [ExecutorMode::PersistentPool, ExecutorMode::SpawnPerSuperstep] {
+        let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+        let probe = Arc::new(RecoveryProbe::default());
+        let plan = FaultPlan::new().with(Fault::KillWorker { worker: 1, superstep: 5 });
+        let outcome = log_engine(&fs, 3)
+            .executor(executor)
+            .with_observer(probe.clone())
+            .with_fault_plan(plan)
+            .run(ring_graph(64))
+            .unwrap();
+
+        assert_eq!(outcome.stats.recoveries, 1, "{executor:?}");
+        assert_eq!(outcome.halt_reason, HaltReason::AllVerticesHalted);
+        // The recovery was confined: one partial restore from the
+        // checkpoint at 3 covering only worker 1, and no full restore.
+        assert_eq!(probe.confined.lock().unwrap().as_slice(), &[(3, vec![1])]);
+        assert!(probe.full.lock().unwrap().is_empty());
+        assert_bitwise_equal(&clean, &outcome);
+    }
+}
+
+#[test]
+fn log_replay_compute_panic_recovers_confined_and_bit_identical() {
+    let clean = run_clean();
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    let probe = Arc::new(RecoveryProbe::default());
+    let plan = FaultPlan::new().with(Fault::ComputePanic { worker: Some(2), superstep: 4 });
+    let outcome = log_engine(&fs, 3)
+        .with_observer(probe.clone())
+        .with_fault_plan(plan)
+        .run(ring_graph(64))
+        .unwrap();
+
+    assert_eq!(outcome.stats.recoveries, 1);
+    assert_eq!(probe.confined.lock().unwrap().as_slice(), &[(3, vec![2])]);
+    assert!(probe.full.lock().unwrap().is_empty());
+    assert_bitwise_equal(&clean, &outcome);
+}
+
+#[test]
+fn log_replay_fault_at_checkpoint_superstep_recovers_confined() {
+    // The failed superstep is the checkpointed one: the replay window is
+    // empty and confined recovery reduces to restore-and-recompute of
+    // the failed partition only.
+    let clean = run_clean();
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    let probe = Arc::new(RecoveryProbe::default());
+    let plan = FaultPlan::new().with(Fault::KillWorker { worker: 3, superstep: 6 });
+    let outcome = log_engine(&fs, 3)
+        .with_observer(probe.clone())
+        .with_fault_plan(plan)
+        .run(ring_graph(64))
+        .unwrap();
+
+    assert_eq!(outcome.stats.recoveries, 1);
+    assert_eq!(probe.confined.lock().unwrap().as_slice(), &[(6, vec![3])]);
+    assert!(probe.full.lock().unwrap().is_empty());
+    assert_bitwise_equal(&clean, &outcome);
+}
+
+#[test]
+fn log_replay_second_fault_during_replay_falls_back_to_full_restart() {
+    // A panic armed for the same worker and superstep as the kill fires
+    // during the confined re-computation of the failed superstep; the
+    // engine must descend the ladder to a full restart and still finish
+    // bit-identical.
+    let clean = run_clean();
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    let probe = Arc::new(RecoveryProbe::default());
+    let plan = FaultPlan::new()
+        .with(Fault::KillWorker { worker: 1, superstep: 3 })
+        .with(Fault::ComputePanic { worker: Some(1), superstep: 3 });
+    let outcome = log_engine(&fs, 2)
+        .with_observer(probe.clone())
+        .with_fault_plan(plan)
+        .run(ring_graph(64))
+        .unwrap();
+
+    assert_eq!(outcome.stats.recoveries, 2);
+    assert_eq!(probe.confined.lock().unwrap().as_slice(), &[(2, vec![1])]);
+    assert_eq!(probe.full.lock().unwrap().as_slice(), &[2]);
+    assert_bitwise_equal(&clean, &outcome);
+}
+
+#[test]
+fn log_replay_truncates_segments_at_checkpoint_commit() {
+    // Over a long run the log must stay bounded: segments older than the
+    // oldest retained checkpoint are dropped at every checkpoint commit.
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    let outcome = Engine::new(Rank { iterations: 30 })
+        .with_master(MassMaster)
+        .num_workers(4)
+        .with_checkpoints(
+            fs.clone(),
+            CheckpointConfig::new(2, "/ckpt").recovery_mode(RecoveryMode::LogReplay),
+        )
+        .run(ring_graph(64))
+        .unwrap();
+    assert_eq!(outcome.stats.recoveries, 0);
+    // 31 supersteps (0..=30), checkpoints every 2 with keep=2: cp_28 and
+    // cp_30 survive, and with them exactly the segments they can replay
+    // from.
+    assert!(fs.exists("/ckpt/cp_28/COMMIT"));
+    assert!(fs.exists("/ckpt/cp_30/COMMIT"));
+    assert!(fs.exists("/ckpt/msglog/w0/seg_28.log"));
+    assert!(fs.exists("/ckpt/msglog/w3/seg_30.log"));
+    assert!(fs.exists("/ckpt/msglog/coord/seg_28.log"));
+    assert!(fs.exists("/ckpt/msglog/coord/seg_30.log"));
+    assert!(!fs.exists("/ckpt/msglog/w0/seg_26.log"));
+    assert!(!fs.exists("/ckpt/msglog/coord/seg_26.log"));
+    assert!(!fs.exists("/ckpt/msglog/w0/seg_0.log"));
 }
 
 #[test]
