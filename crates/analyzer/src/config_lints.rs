@@ -1,4 +1,5 @@
-//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0013).
+//! Static validation of a [`ConfigFacts`] summary (GA0006–GA0013,
+//! GA0015–GA0017).
 //!
 //! These lints need no computation and no traces — just the config
 //! summary the runner writes into `meta.json` — so they run both from
@@ -8,7 +9,7 @@ use graft::{ConfigFacts, SuperstepFilter};
 use graft_pregel::{Fault, FaultPlan};
 
 use crate::{
-    Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013, GA0015, GA0016,
+    Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013, GA0015, GA0016, GA0017,
 };
 
 /// Runs every configuration lint over `facts`.
@@ -227,6 +228,22 @@ pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
                 ),
             ));
         }
+    }
+
+    // GA0017: live flushing is an obs feature — snapshots, watermarks,
+    // and the event-log tail all stream *out of* the obs handle. Asking
+    // for it while no handle is attached silently produces no live
+    // directory at all, and the monitoring client polls an empty job
+    // forever. Both fields come from the runner; old meta.json files
+    // without them are not judged.
+    if facts.live_flush == Some(true) && facts.obs_enabled == Some(false) {
+        findings.push(Finding::global(
+            &GA0017,
+            "live_flush is enabled but no observability handle is attached; the run \
+             emits no events, snapshots, or metrics, so `serve --follow` and `watch` \
+             see nothing — attach one with GraftRunner::with_obs"
+                .to_string(),
+        ));
     }
 
     findings
@@ -485,6 +502,31 @@ mod tests {
         assert!(check_config(&facts).is_empty());
         // Old meta.json without the field: nothing to judge.
         facts.recovery_mode = None;
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn live_flush_without_obs_is_ga0017() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
+        facts.live_flush = Some(true);
+        facts.obs_enabled = Some(false);
+        let findings = check_config(&facts);
+        assert_eq!(ids(&findings), vec!["GA0017"]);
+        assert!(findings[0].detail.contains("with_obs"));
+        // Live flushing with an obs handle attached is the intended pair.
+        facts.obs_enabled = Some(true);
+        assert!(check_config(&facts).is_empty());
+        // Not asking for live flushing is always fine, obs or not.
+        facts.live_flush = Some(false);
+        facts.obs_enabled = Some(false);
+        assert!(check_config(&facts).is_empty());
+        // Old meta.json without the fields: nothing to judge.
+        facts.live_flush = None;
+        facts.obs_enabled = None;
         assert!(check_config(&facts).is_empty());
     }
 

@@ -17,13 +17,14 @@
 //!    analyzer re-runs every captured vertex context through the replay
 //!    harness with permuted message delivery and flags vertices whose
 //!    value, outgoing messages, halt decision, or edges differ.
-//! 3. **Configuration lints** (`GA0006`–`GA0013`, `GA0015`, `GA0016`) — a
+//! 3. **Configuration lints** (`GA0006`–`GA0013`, `GA0015`–`GA0017`) — a
 //!    [`DebugConfig`] that can never capture anything (empty superstep
 //!    sets, inverted ranges, `max_captures == 0`, filters entirely beyond
 //!    the job's superstep horizon, neighbor capture with no capture
 //!    targets, a checkpoint interval that never fires, a fault plan naming
 //!    a worker the job does not have, log-replay recovery with no usable
-//!    checkpoint to confine to) fails
+//!    checkpoint to confine to, live flushing with observability
+//!    disabled) fails
 //!    silently at debug time, which is the worst possible time; and a
 //!    config that captures every vertex at every superstep (`GA0012`)
 //!    is the maximal-overhead way to debug — the paper's overhead
@@ -101,7 +102,7 @@ impl std::fmt::Display for Severity {
 /// one-line description.
 #[derive(Debug)]
 pub struct Lint {
-    /// Stable identifier, `GA0001`..`GA0016`.
+    /// Stable identifier, `GA0001`..`GA0017`.
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -263,11 +264,21 @@ pub static GA0016: Lint = Lint {
               pays its cost while every failure still restarts the whole job",
 };
 
+/// Live flushing requested with observability disabled.
+pub static GA0017: Lint = Lint {
+    id: "GA0017",
+    name: "live-flush-without-obs",
+    severity: Severity::Warning,
+    summary: "live_flush is enabled but no observability handle is attached; \
+              no events, snapshots, or metrics are emitted, so a live monitor \
+              (`serve --follow`, `watch`) sees nothing",
+};
+
 /// The full catalog, in id order.
-pub fn catalog() -> [&'static Lint; 16] {
+pub fn catalog() -> [&'static Lint; 17] {
     [
         &GA0001, &GA0002, &GA0003, &GA0004, &GA0005, &GA0006, &GA0007, &GA0008, &GA0009, &GA0010,
-        &GA0011, &GA0012, &GA0013, &GA0014, &GA0015, &GA0016,
+        &GA0011, &GA0012, &GA0013, &GA0014, &GA0015, &GA0016, &GA0017,
     ]
 }
 

@@ -321,6 +321,56 @@ fn log_replay_with_firing_checkpoints_is_ga0016_clean_from_meta_json() {
 }
 
 #[test]
+fn live_flush_without_obs_flags_ga0017_from_meta_json() {
+    // Live flushing requested with no obs handle attached: the run
+    // completes normally but emits no live directory at all, so any
+    // monitoring client polls an empty job. The runner records both
+    // facts in meta.json; the untyped analysis catches the mismatch.
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::After(1))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(2)
+        .live_flush(true)
+        .run(premade::cycle(4, u64::MAX), "/traces/live-no-obs")
+        .unwrap();
+    assert!(run.outcome.is_ok(), "the missing obs handle must not disturb the job");
+    assert!(
+        !run.fs().exists("/traces/live-no-obs/obs/live"),
+        "without an obs handle no live directory may appear"
+    );
+    let session = run.session().unwrap();
+    let facts = session.meta().facts.as_ref().unwrap();
+    assert_eq!(facts.live_flush, Some(true));
+    assert_eq!(facts.obs_enabled, Some(false));
+    let report = analyze_meta(session.meta());
+    assert_eq!(problem_ids(&report), vec!["GA0017"], "{}", report.to_text());
+    assert!(report.errors().is_empty(), "GA0017 is a warning, not an error");
+}
+
+#[test]
+fn live_flush_with_obs_is_ga0017_clean_from_meta_json() {
+    // The intended pairing — live flushing with an obs handle — must
+    // analyze clean and actually commit live snapshots.
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::After(1))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(2)
+        .with_obs(graft_obs::Obs::deterministic(1_000))
+        .live_flush(true)
+        .run(premade::cycle(4, u64::MAX), "/traces/live-with-obs")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    assert!(run.fs().exists("/traces/live-with-obs/obs/live"));
+    let session = run.session().unwrap();
+    let report = analyze_meta(session.meta());
+    assert!(report.is_clean(), "{}", report.to_text());
+}
+
+#[test]
 fn config_lints_work_untyped_from_meta_json() {
     // A config that can never capture: empty superstep Set. The runner
     // records the facts in meta.json; the untyped analysis reads them

@@ -1,0 +1,202 @@
+//! CI smoke checker for live monitoring: runs a paced job with live
+//! flushing on a shared in-memory file system, watches it through an
+//! in-process `graft-server` in follow mode, and exits nonzero unless
+//!
+//! * `/jobs/{id}/live` answers while the job is still running and its
+//!   snapshot sequence and watermark advance across polls,
+//! * the standard views serve the completed-superstep prefix in flight,
+//! * `?after_seq=` long-polling returns a newer snapshot,
+//! * after completion the live status turns terminal and
+//!   `/jobs/{id}/live/timeline` matches the post-mortem profile folded
+//!   directly from the final event log.
+//!
+//! Usage: `live_smoke [--pace-ms 40] [--timeout-secs 60]`
+
+use std::sync::Arc;
+
+use graft::{DebugConfig, GraftRunner};
+use graft_algorithms::pagerank::PageRank;
+use graft_dfs::{FileSystem, InMemoryFs};
+use graft_obs::{parse_jsonl, Obs, Profile, EVENTS_FILE};
+use graft_pregel::Graph;
+use graft_server::client::HttpClient;
+use graft_server::server::{serve, ServerConfig};
+
+const TRACE_ROOT: &str = "/traces/live";
+const JOB_ID: &str = "live";
+
+fn main() {
+    let mut pace_ms: u64 = 40;
+    let mut timeout_secs: u64 = 60;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let value = argv.next().unwrap_or_else(|| die(&format!("missing value for {flag}")));
+        match flag.as_str() {
+            "--pace-ms" => pace_ms = value.parse().unwrap_or_else(|_| die("bad --pace-ms")),
+            "--timeout-secs" => {
+                timeout_secs = value.parse().unwrap_or_else(|_| die("bad --timeout-secs"))
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(timeout_secs);
+
+    // One shared fs: the runner streams into it, the follow server tails
+    // it — the same topology as `run --live` + `serve --follow` over a
+    // shared trace root.
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    let runner = {
+        let fs = Arc::clone(&fs);
+        std::thread::spawn(move || {
+            let config = DebugConfig::<PageRank>::builder().capture_all_active(true).build();
+            let run = GraftRunner::new(PageRank::new(8), config)
+                .with_fs(fs)
+                .with_obs(Obs::wall())
+                .live_flush(true)
+                .pace_supersteps(std::time::Duration::from_millis(pace_ms))
+                .num_workers(2)
+                .checkpoint_every(2)
+                .run(ring_graph(48), TRACE_ROOT)
+                .unwrap_or_else(|e| die(&format!("runner setup: {e}")));
+            run.outcome.is_ok()
+        })
+    };
+
+    let config = ServerConfig { follow: true, workers: 2, ..ServerConfig::default() };
+    let handle = serve(Arc::clone(&fs), "/traces", Obs::wall(), config)
+        .unwrap_or_else(|e| die(&format!("starting server: {e}")));
+    let mut client = HttpClient::new(handle.addr());
+
+    // Phase 1: wait for the first live snapshot to answer 200.
+    let live_path = format!("/jobs/{JOB_ID}/live");
+    let mut body = loop {
+        if std::time::Instant::now() >= deadline {
+            die("timed out waiting for the first live snapshot");
+        }
+        match client.get(&live_path) {
+            Ok(response) if response.status == 200 => break response.text().to_string(),
+            Ok(_) | Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    };
+
+    // Phase 2: follow the job to completion, checking monotonicity and
+    // the in-flight contracts along the way.
+    let mut seqs = vec![seq_of(&body)];
+    let mut watermarks: Vec<Option<u64>> = vec![watermark_of(&body)];
+    let mut checked_partial_views = false;
+    while status_of(&body) == "running" {
+        if std::time::Instant::now() >= deadline {
+            die("timed out waiting for the job to finish");
+        }
+        if !checked_partial_views && watermarks.last().is_some_and(Option::is_some) {
+            // A standard (non-live) view must serve the completed prefix
+            // of the in-flight job.
+            for path in [format!("/jobs/{JOB_ID}"), format!("/jobs/{JOB_ID}/supersteps")] {
+                let response = client.get(&path).unwrap_or_else(|e| die(&e.to_string()));
+                if response.status != 200 {
+                    die(&format!("{path} while in flight: status {}", response.status));
+                }
+            }
+            checked_partial_views = true;
+        }
+        // Long-poll: ask for strictly newer than the last seen seq.
+        let last_seq = *seqs.last().expect("at least one snapshot seen");
+        let response = client
+            .get(&format!("{live_path}?after_seq={last_seq}"))
+            .unwrap_or_else(|e| die(&e.to_string()));
+        if response.status != 200 {
+            die(&format!("long-poll: status {}", response.status));
+        }
+        body = response.text().to_string();
+        let seq = seq_of(&body);
+        if seq < last_seq {
+            die(&format!("snapshot seq went backwards: {last_seq} -> {seq}"));
+        }
+        if seq == last_seq && status_of(&body) == "running" {
+            // The long-poll hit its timeout without a newer snapshot; the
+            // paced run should never be that slow, but don't record a
+            // duplicate.
+            continue;
+        }
+        seqs.push(seq);
+        watermarks.push(watermark_of(&body));
+    }
+
+    if !runner.join().unwrap_or_else(|_| die("runner thread panicked")) {
+        die("the job itself failed");
+    }
+    if seqs.len() < 3 {
+        die(&format!("saw only {} snapshots; expected the sequence to advance", seqs.len()));
+    }
+    let seen: Vec<u64> = watermarks.iter().flatten().copied().collect();
+    if seen.windows(2).any(|w| w[1] < w[0]) {
+        die(&format!("watermark regressed: {seen:?}"));
+    }
+    if seen.last().copied() < Some(1) {
+        die(&format!("watermark never advanced past superstep 0: {seen:?}"));
+    }
+    if !checked_partial_views {
+        die("never observed an in-flight snapshot with a watermark");
+    }
+
+    // Phase 3: post-completion, the live timeline must match the profile
+    // folded directly from the final event log — the same document
+    // `graft-cli profile --export json` prints.
+    let events_text = fs
+        .read_all(&format!("{TRACE_ROOT}/obs/{EVENTS_FILE}"))
+        .map_err(|e| e.to_string())
+        .and_then(|bytes| String::from_utf8(bytes).map_err(|e| e.to_string()))
+        .unwrap_or_else(|e| die(&format!("reading the final event log: {e}")));
+    let events = parse_jsonl(&events_text).unwrap_or_else(|e| die(&format!("final log: {e}")));
+    let expected =
+        Profile::build(&events, None).unwrap_or_else(|e| die(&format!("folding profile: {e}")));
+    let timeline =
+        client.get(&format!("{live_path}/timeline")).unwrap_or_else(|e| die(&e.to_string()));
+    if timeline.status != 200 {
+        die(&format!("/live/timeline after completion: status {}", timeline.status));
+    }
+    if timeline.text() != expected.to_json() {
+        die("/live/timeline differs from the post-mortem profile");
+    }
+
+    println!(
+        "live_smoke: ok — {} snapshots, watermarks {:?}, final status {}",
+        seqs.len(),
+        seen,
+        status_of(&body)
+    );
+}
+
+/// Deterministic ring-with-chords topology (the `graft-cli run` family).
+fn ring_graph(n: u64) -> Graph<u64, f64, ()> {
+    let mut b = Graph::builder();
+    for v in 0..n {
+        b.add_vertex(v, 0.0).expect("distinct ids");
+    }
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n, ()).expect("valid edge");
+        b.add_edge(v, (v * 7 + 3) % n, ()).expect("valid edge");
+    }
+    b.build().expect("valid graph")
+}
+
+fn parse_doc(body: &str) -> serde_json::Value {
+    serde_json::from_str(body).unwrap_or_else(|e| die(&format!("unparsable live doc: {e}")))
+}
+
+fn seq_of(body: &str) -> u64 {
+    parse_doc(body)["seq"].as_u64().unwrap_or_else(|| die("live doc has no seq"))
+}
+
+fn watermark_of(body: &str) -> Option<u64> {
+    parse_doc(body)["watermark"].as_u64()
+}
+
+fn status_of(body: &str) -> String {
+    parse_doc(body)["status"].as_str().unwrap_or_else(|| die("live doc has no status")).to_string()
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("live_smoke: {message}");
+    std::process::exit(1);
+}

@@ -25,7 +25,10 @@
 //! `graft-cli run <algorithm>` executes a built-in algorithm on the
 //! simulated HDFS cluster with checkpoint/restart fault tolerance —
 //! optionally under an injected fault plan — and can export the trace
-//! directory for browsing (see `run_cmd`).
+//! directory for browsing (see `run_cmd`). With `--live` the run
+//! streams its observability channel as it goes; `graft-cli watch`
+//! tails that channel from the terminal and `graft-cli serve --follow`
+//! serves it over HTTP (see `watch_cmd` / `serve_cmd`).
 
 #![forbid(unsafe_code)]
 
@@ -40,6 +43,7 @@ mod check_sched_cmd;
 mod profile_cmd;
 mod run_cmd;
 mod serve_cmd;
+mod watch_cmd;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -47,6 +51,7 @@ fn usage() -> ExitCode {
          \x20      graft-cli run <algorithm> [options]   (see `graft-cli run` for details)\n\
          \x20      graft-cli profile <obs-dir> [options] (see `graft-cli profile`)\n\
          \x20      graft-cli serve --trace-root <dir>    (see `graft-cli serve`)\n\
+         \x20      graft-cli watch <trace-dir> [options] (see `graft-cli watch`)\n\
          \x20      graft-cli check-sched [options]       (see `graft-cli check-sched --help`)\n\
          commands:\n\
          \x20 info                 job metadata and terminal status\n\
@@ -57,7 +62,7 @@ fn usage() -> ExitCode {
          \x20 violations           the violations & exceptions view\n\
          \x20 repro <id> <ss>      generated reproducer test for one captured vertex\n\
          \x20 master               captured master contexts\n\
-         \x20 analyze              run config lints (GA0006-GA0016) over meta.json\n\
+         \x20 analyze              run config lints (GA0006-GA0017) over meta.json\n\
          `--format json` prints the same bytes graft-server sends for the\n\
          matching endpoint (info, supersteps, show, violations)."
     );
@@ -82,6 +87,12 @@ fn main() -> ExitCode {
         return match args.get(1) {
             Some(_) => serve_cmd::run(&args[1..]),
             None => serve_cmd::usage(),
+        };
+    }
+    if args.first().map(String::as_str) == Some("watch") {
+        return match args.get(1) {
+            Some(_) => watch_cmd::run(&args[1..]),
+            None => watch_cmd::usage(),
         };
     }
     if args.first().map(String::as_str) == Some("check-sched") {

@@ -11,12 +11,16 @@
 //! Renders the ASCII superstep timeline, the phase-breakdown hotspot
 //! table (compute vs delivery vs checkpoint vs DFS I/O), and the top-k
 //! compute-skew table. Exits nonzero when the event log is missing or
-//! malformed, so CI can gate on trace integrity.
+//! malformed, so CI can gate on trace integrity. An event log still
+//! being streamed by a live run may end in a torn line; that renders
+//! the partial timeline with a warning instead of failing.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use graft_obs::{from_json, parse_jsonl, MetricsSnapshot, Profile, EVENTS_FILE, METRICS_JSON_FILE};
+use graft_obs::{
+    from_json, parse_jsonl_lenient, MetricsSnapshot, Profile, EVENTS_FILE, METRICS_JSON_FILE,
+};
 
 pub fn usage() -> ExitCode {
     eprintln!(
@@ -74,8 +78,15 @@ fn profile(options: &ProfileOptions) -> Result<(), String> {
     let events_path = Path::new(&options.dir).join(EVENTS_FILE);
     let events_text = std::fs::read_to_string(&events_path)
         .map_err(|e| format!("cannot read {}: {e}", events_path.display()))?;
-    let events = parse_jsonl(&events_text)
+    // Lenient parse: a log caught mid-append (an in-flight job's
+    // streaming flush) may end in a torn line. The complete prefix still
+    // profiles; the tear is a warning, not an error — only mid-file
+    // corruption fails.
+    let (events, torn) = parse_jsonl_lenient(&events_text)
         .map_err(|e| format!("malformed {}: {e}", events_path.display()))?;
+    if let Some(warning) = torn {
+        eprintln!("warning: {}: {warning}; rendering the partial timeline", events_path.display());
+    }
 
     // The metrics snapshot is optional (it only feeds the skew table),
     // but when present it must parse — a corrupt export is a bug.

@@ -52,7 +52,15 @@ pub fn usage() -> ExitCode {
          \x20 --metrics <dir>      record metrics + events and export them to a local\n\
          \x20                      directory (browse with `graft-cli profile <dir>`)\n\
          \x20 --logical-clock <ns> use a deterministic logical clock advancing <ns>\n\
-         \x20                      per reading, so identical runs export identical bytes"
+         \x20                      per reading, so identical runs export identical bytes\n\
+         \x20 --live               stream observability while running: append events to\n\
+         \x20                      obs/events.jsonl and commit obs/live snapshots at\n\
+         \x20                      superstep boundaries (watch with `graft-cli watch` or\n\
+         \x20                      `graft-cli serve --follow`)\n\
+         \x20 --pace-ms <ms>       sleep <ms> between supersteps (slows a run down so a\n\
+         \x20                      live watcher can observe it in flight)\n\
+         \x20 --straggler-threshold <x>  flag a worker as a straggler when its compute\n\
+         \x20                      time exceeds <x> times the superstep median"
     );
     ExitCode::FAILURE
 }
@@ -69,6 +77,9 @@ struct RunOptions {
     export: Option<String>,
     metrics: Option<String>,
     logical_clock: Option<u64>,
+    live: bool,
+    pace_ms: Option<u64>,
+    straggler_threshold: Option<f64>,
 }
 
 fn parse_options(args: &[String]) -> Result<RunOptions, String> {
@@ -88,9 +99,16 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
         export: None,
         metrics: None,
         logical_clock: None,
+        live: false,
+        pace_ms: None,
+        straggler_threshold: None,
     };
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
+        if flag == "--live" {
+            options.live = true;
+            continue;
+        }
         let value = rest.next().ok_or_else(|| format!("{flag} needs a value"))?;
         match flag.as_str() {
             "--vertices" => {
@@ -123,6 +141,13 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
             "--logical-clock" => {
                 options.logical_clock =
                     Some(value.parse().map_err(|_| format!("bad --logical-clock {value}"))?)
+            }
+            "--pace-ms" => {
+                options.pace_ms = Some(value.parse().map_err(|_| format!("bad --pace-ms {value}"))?)
+            }
+            "--straggler-threshold" => {
+                options.straggler_threshold =
+                    Some(value.parse().map_err(|_| format!("bad --straggler-threshold {value}"))?)
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -220,12 +245,14 @@ where
     let config = DebugConfig::<C>::builder().capture_all_active(true).build();
     // The registry, event log, and superstep profiler all hang off one
     // shared Obs; --logical-clock swaps its clock for a deterministic one.
-    let obs = (options.metrics.is_some() || options.logical_clock.is_some()).then(|| match options
-        .logical_clock
-    {
-        Some(step_nanos) => Obs::deterministic(step_nanos),
-        None => Obs::wall(),
-    });
+    // --live needs an Obs too: the streaming flusher is fed from it.
+    let obs =
+        (options.metrics.is_some() || options.logical_clock.is_some() || options.live).then(|| {
+            match options.logical_clock {
+                Some(step_nanos) => Obs::deterministic(step_nanos),
+                None => Obs::wall(),
+            }
+        });
     let mut runner = tune(
         GraftRunner::new(computation, config)
             .with_cluster(cluster.clone())
@@ -233,6 +260,15 @@ where
     );
     if let Some(obs) = &obs {
         runner = runner.with_obs(Arc::clone(obs));
+    }
+    if options.live {
+        runner = runner.live_flush(true);
+    }
+    if let Some(ms) = options.pace_ms {
+        runner = runner.pace_supersteps(std::time::Duration::from_millis(ms));
+    }
+    if let Some(threshold) = options.straggler_threshold {
+        runner = runner.straggler_threshold(threshold);
     }
     runner = runner.recovery_mode(options.recovery_mode);
     if options.checkpoint_every > 0 {

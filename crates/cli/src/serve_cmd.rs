@@ -3,13 +3,20 @@
 //!
 //! ```text
 //! graft-cli serve --trace-root ./traces [--port 7878] [--workers 8] \
-//!     [--index-capacity 64]
+//!     [--index-capacity 64] [--follow]
 //! ```
 //!
 //! The trace root holds one subdirectory per job (each with its own
 //! `meta.json`); every job becomes browsable at `/jobs/<dirname>`.
 //! Response bodies are the `graft::views::json` documents — identical
 //! bytes to `graft-cli <dir> <view> --format json`.
+//!
+//! With `--follow` the server also monitors *in-flight* jobs (runs
+//! started with `graft-cli run --live` writing into the same root):
+//! `/jobs/{id}/live`, `/jobs/{id}/live/metrics`, and
+//! `/jobs/{id}/live/timeline` serve the streaming observability
+//! channels, and the standard views render the watermark-covered
+//! superstep prefix while the job still runs.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -24,7 +31,9 @@ pub fn usage() -> ExitCode {
          options:\n\
          \x20 --port <p>            TCP port to bind on 127.0.0.1 (default 7878)\n\
          \x20 --workers <n>         connection worker threads (default 8)\n\
-         \x20 --index-capacity <n>  parsed jobs kept in the trace index (default 64)"
+         \x20 --index-capacity <n>  parsed jobs kept in the trace index (default 64)\n\
+         \x20 --follow              serve in-flight jobs too: live monitoring endpoints\n\
+         \x20                       plus partial views of completed supersteps"
     );
     ExitCode::FAILURE
 }
@@ -34,9 +43,14 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut port: u16 = 7878;
     let mut workers: usize = 8;
     let mut index_capacity: usize = 64;
+    let mut follow = false;
 
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
+        if flag == "--follow" {
+            follow = true;
+            continue;
+        }
         let Some(value) = iter.next() else {
             eprintln!("error: missing value for {flag}\n");
             return usage();
@@ -75,6 +89,7 @@ pub fn run(args: &[String]) -> ExitCode {
         addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
         workers,
         index_capacity,
+        follow,
         ..ServerConfig::default()
     };
     // LocalFs roots all paths at the trace root, so inside the fs the
@@ -88,8 +103,11 @@ pub fn run(args: &[String]) -> ExitCode {
     };
 
     println!("graft-server: serving {trace_root} at http://{}", handle.addr());
+    if follow {
+        println!("follow mode: in-flight jobs are served up to their watermark");
+    }
     println!("endpoints:");
-    for endpoint in [
+    let mut endpoints = vec![
         "/jobs",
         "/jobs/{id}",
         "/jobs/{id}/supersteps",
@@ -99,7 +117,15 @@ pub fn run(args: &[String]) -> ExitCode {
         "/jobs/{id}/ss/{n}/violations",
         "/jobs/{id}/repro/{vertex}/{ss}",
         "/metrics",
-    ] {
+    ];
+    if follow {
+        endpoints.extend([
+            "/jobs/{id}/live?after_seq=",
+            "/jobs/{id}/live/metrics",
+            "/jobs/{id}/live/timeline",
+        ]);
+    }
+    for endpoint in endpoints {
         println!("  GET {endpoint}");
     }
     println!("press Ctrl-C to stop");

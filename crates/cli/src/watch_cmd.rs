@@ -1,0 +1,262 @@
+//! `graft-cli watch` — a terminal live-monitoring view over an
+//! in-flight job's streaming observability channel.
+//!
+//! ```text
+//! graft-cli watch <trace-dir> [--interval-ms 500] [--frames 0]
+//! ```
+//!
+//! Polls `<trace-dir>/obs` for committed live snapshots (written by a
+//! run with live flushing enabled, e.g. `graft-cli run --live`) and the
+//! append-only event log, and re-renders a status frame every time the
+//! snapshot sequence advances: status, watermark, per-worker progress,
+//! detected stragglers, and the superstep timeline folded from the
+//! events seen so far. Exits when the job reaches a terminal status —
+//! zero for `finished`, nonzero for `failed`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use graft_dfs::{FileSystem, FsError, LocalFs};
+use graft_obs::{
+    fmt_nanos, latest_snapshot, parse_jsonl_lenient, Event, LiveSnapshot, Profile, EVENTS_FILE,
+    STATUS_FAILED, STATUS_RUNNING,
+};
+
+pub fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graft-cli watch <trace-dir> [options]\n\
+         options:\n\
+         \x20 --interval-ms <n>    poll interval in milliseconds (default 500)\n\
+         \x20 --frames <k>         stop after rendering k frames (default 0 = run\n\
+         \x20                      until the job reaches a terminal status)"
+    );
+    ExitCode::FAILURE
+}
+
+struct WatchOptions {
+    dir: String,
+    interval_ms: u64,
+    frames: usize,
+}
+
+fn parse_options(args: &[String]) -> Result<WatchOptions, String> {
+    let dir = args.first().ok_or("missing <trace-dir>")?.clone();
+    let mut options = WatchOptions { dir, interval_ms: 500, frames: 0 };
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        let value = rest.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--interval-ms" => {
+                options.interval_ms =
+                    value.parse().map_err(|_| format!("bad --interval-ms {value}"))?
+            }
+            "--frames" => {
+                options.frames = value.parse().map_err(|_| format!("bad --frames {value}"))?
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Entry point for `graft-cli watch <trace-dir> [options]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let options = match parse_options(args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            return usage();
+        }
+    };
+    let fs: Arc<dyn FileSystem> = match LocalFs::new(&options.dir) {
+        Ok(fs) => Arc::new(fs),
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", options.dir);
+            return ExitCode::FAILURE;
+        }
+    };
+    watch(fs.as_ref(), &options)
+}
+
+fn watch(fs: &dyn FileSystem, options: &WatchOptions) -> ExitCode {
+    let interval = std::time::Duration::from_millis(options.interval_ms.max(1));
+    let mut last_seq = 0u64;
+    let mut rendered = 0usize;
+    let mut waiting_announced = false;
+    loop {
+        let snapshot = match latest_snapshot(fs, "/obs") {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                eprintln!("cannot read live snapshots: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match snapshot {
+            None => {
+                // Not an error: the run may not have committed its first
+                // snapshot yet (or live flushing is disabled).
+                if !waiting_announced {
+                    println!("waiting for the first live snapshot under {}/obs ...", options.dir);
+                    waiting_announced = true;
+                }
+            }
+            Some(snapshot) if snapshot.seq > last_seq => {
+                last_seq = snapshot.seq;
+                let events = match read_events(fs) {
+                    Ok(events) => events,
+                    Err(e) => {
+                        eprintln!("cannot read event log: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                print!("{}", render_frame(&snapshot, &events));
+                rendered += 1;
+                if snapshot.status != STATUS_RUNNING {
+                    return if snapshot.status == STATUS_FAILED {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    };
+                }
+                if options.frames > 0 && rendered >= options.frames {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Some(_) => {}
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Reads the append-only event log leniently: a missing file is an empty
+/// log (the run has not emitted yet) and a torn final line — the live
+/// writer caught mid-append — is silently dropped.
+fn read_events(fs: &dyn FileSystem) -> Result<Vec<Event>, String> {
+    let bytes = match fs.read_all(&format!("/obs/{EVENTS_FILE}")) {
+        Ok(bytes) => bytes,
+        Err(FsError::NotFound(_)) => return Ok(Vec::new()),
+        Err(e) => return Err(e.to_string()),
+    };
+    let text = String::from_utf8(bytes).map_err(|e| e.to_string())?;
+    let (events, _torn) = parse_jsonl_lenient(&text)?;
+    Ok(events)
+}
+
+/// Renders one monitoring frame from a committed snapshot and the event
+/// log seen so far. Pure: all I/O happens in the caller.
+fn render_frame(snapshot: &LiveSnapshot, events: &[Event]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("── live snapshot #{} ──\n", snapshot.seq));
+    out.push_str(&format!("status      : {}\n", snapshot.status));
+    match snapshot.superstep {
+        Some(superstep) => out.push_str(&format!("superstep   : {superstep}\n")),
+        None => out.push_str("superstep   : (not started)\n"),
+    }
+    match snapshot.watermark {
+        Some(watermark) => out.push_str(&format!("watermark   : {watermark} (complete)\n")),
+        None => out.push_str("watermark   : none yet\n"),
+    }
+    out.push_str(&format!("recoveries  : {}\n", snapshot.recoveries));
+    if !snapshot.workers.is_empty() {
+        out.push_str("workers:\n");
+        for worker in &snapshot.workers {
+            out.push_str(&format!(
+                "  worker {:<3} {:>8} compute calls  {:>10} compute\n",
+                worker.worker,
+                worker.compute_calls,
+                fmt_nanos(worker.compute_nanos),
+            ));
+        }
+    }
+    if !snapshot.stragglers.is_empty() {
+        out.push_str("stragglers:\n");
+        for straggler in &snapshot.stragglers {
+            out.push_str(&format!(
+                "  superstep {:>4}: worker {} took {} (median {})\n",
+                straggler.superstep,
+                straggler.worker,
+                fmt_nanos(straggler.nanos),
+                fmt_nanos(straggler.median_nanos),
+            ));
+        }
+    }
+    // The timeline folds from whatever prefix of the event log exists;
+    // an empty log (snapshot committed before the first superstep ended)
+    // just means no timeline yet.
+    if let Ok(profile) = Profile::build(events, None) {
+        out.push('\n');
+        out.push_str(&profile.render_timeline());
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_obs::{StragglerRecord, WorkerProgress, STATUS_FINISHED};
+
+    fn snapshot() -> LiveSnapshot {
+        LiveSnapshot {
+            seq: 4,
+            status: STATUS_RUNNING.to_string(),
+            superstep: Some(3),
+            watermark: Some(2),
+            recoveries: 1,
+            workers: vec![
+                WorkerProgress { worker: 0, compute_calls: 120, compute_nanos: 1_500_000 },
+                WorkerProgress { worker: 1, compute_calls: 118, compute_nanos: 9_000_000 },
+            ],
+            stragglers: vec![StragglerRecord {
+                superstep: 2,
+                worker: 1,
+                nanos: 9_000_000,
+                median_nanos: 1_500_000,
+            }],
+            ..LiveSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn frames_carry_status_watermark_workers_and_stragglers() {
+        let frame = render_frame(&snapshot(), &[]);
+        assert!(frame.contains("live snapshot #4"), "{frame}");
+        assert!(frame.contains("status      : running"), "{frame}");
+        assert!(frame.contains("superstep   : 3"), "{frame}");
+        assert!(frame.contains("watermark   : 2 (complete)"), "{frame}");
+        assert!(frame.contains("recoveries  : 1"), "{frame}");
+        assert!(frame.contains("worker 0"), "{frame}");
+        assert!(frame.contains("120 compute calls"), "{frame}");
+        assert!(frame.contains("superstep    2: worker 1 took"), "{frame}");
+        // No events yet: the frame renders without a timeline instead of
+        // erroring.
+        assert!(!frame.contains("Superstep timeline"), "{frame}");
+    }
+
+    #[test]
+    fn frames_fold_a_timeline_once_events_exist() {
+        let end = Event {
+            ts: 2_000_000,
+            kind: "superstep".to_string(),
+            edge: EDGE_END.to_string(),
+            superstep: Some(0),
+            dur: Some(2_000_000),
+            ..Event::default()
+        };
+        let frame = render_frame(&snapshot(), &[end]);
+        assert!(frame.contains("Superstep timeline"), "{frame}");
+    }
+
+    #[test]
+    fn terminal_and_empty_snapshots_render() {
+        let frame = render_frame(
+            &LiveSnapshot { seq: 1, status: STATUS_FINISHED.to_string(), ..Default::default() },
+            &[],
+        );
+        assert!(frame.contains("status      : finished"), "{frame}");
+        assert!(frame.contains("superstep   : (not started)"), "{frame}");
+        assert!(frame.contains("watermark   : none yet"), "{frame}");
+    }
+
+    use graft_obs::EDGE_END;
+}

@@ -198,6 +198,13 @@ pub struct ConfigFacts {
     /// `"log-replay"`), when the runner set one. Filled in by the runner;
     /// absent in meta.json files written before confined recovery existed.
     pub recovery_mode: Option<String>,
+    /// Whether the runner streamed live observability snapshots during
+    /// the run. Filled in by the runner; absent in older meta.json files.
+    pub live_flush: Option<bool>,
+    /// Whether an observability handle was attached at all — live
+    /// flushing without one is a no-op, which lint GA0017 flags. Filled
+    /// in by the runner.
+    pub obs_enabled: Option<bool>,
 }
 
 /// The assembled debug configuration for a computation `C`.
@@ -358,6 +365,8 @@ impl<C: Computation> DebugConfig<C> {
             num_workers: None,
             fault_plan: None,
             recovery_mode: None,
+            live_flush: None,
+            obs_enabled: None,
         }
     }
 }

@@ -281,6 +281,8 @@ pub struct GraftObserver {
     /// Sink bytes that were durable after the previous flush, for the
     /// per-flush byte delta in `trace.flush` spans.
     flushed_bytes: std::sync::atomic::AtomicU64,
+    live: Option<Arc<parking_lot::Mutex<graft_obs::LiveWriter>>>,
+    pace: Option<std::time::Duration>,
 }
 
 impl GraftObserver {
@@ -291,6 +293,8 @@ impl GraftObserver {
             capture_master,
             obs: None,
             flushed_bytes: std::sync::atomic::AtomicU64::new(0),
+            live: None,
+            pace: None,
         }
     }
 
@@ -300,9 +304,47 @@ impl GraftObserver {
         self.obs = Some(obs);
         self
     }
+
+    /// Streams live snapshots through `live` at every superstep boundary:
+    /// the watermark advances to the completed superstep *after* the
+    /// trace flush, so everything a committed snapshot covers is durable
+    /// by the time a monitoring client can see its sequence number.
+    pub fn with_live(mut self, live: Arc<parking_lot::Mutex<graft_obs::LiveWriter>>) -> Self {
+        self.live = Some(live);
+        self
+    }
+
+    /// Sleeps this long after each superstep's flush — a demo/test knob
+    /// that slows the job down enough for live tailing to observe
+    /// intermediate states.
+    pub fn with_pace(mut self, pace: std::time::Duration) -> Self {
+        self.pace = Some(pace);
+        self
+    }
+
+    /// Best-effort live flush: a failing trace DFS must not take the job
+    /// down with it — monitoring is strictly weaker than the run.
+    fn live_flush(&self, advance_to: Option<u64>) {
+        if let Some(live) = &self.live {
+            let mut live = live.lock();
+            if let Some(superstep) = advance_to {
+                live.advance_watermark(superstep);
+            }
+            if let Err(e) = live.flush(graft_obs::STATUS_RUNNING) {
+                eprintln!("graft: live flush failed: {e}");
+            }
+        }
+    }
 }
 
 impl<C: Computation> JobObserver<C> for GraftObserver {
+    fn on_job_start(&self, _global: &graft_pregel::GlobalData, _num_workers: usize) {
+        // Commit a seq-1 snapshot before superstep 0 so a monitoring
+        // client sees the job as `running` (with no watermark yet) as
+        // soon as it exists.
+        self.live_flush(None);
+    }
+
     fn on_master_computed(
         &self,
         superstep: u64,
@@ -321,28 +363,34 @@ impl<C: Computation> JobObserver<C> for GraftObserver {
     }
 
     fn on_superstep_end(&self, stats: &SuperstepStats) {
-        let Some(obs) = &self.obs else {
+        if let Some(obs) = &self.obs {
+            let superstep = stats.superstep;
+            let begin = obs.begin("trace.flush", Some(superstep), None);
             self.sink.flush();
-            return;
-        };
-        let superstep = stats.superstep;
-        let begin = obs.begin("trace.flush", Some(superstep), None);
-        self.sink.flush();
-        let total = self.sink.bytes_written();
-        let bytes =
-            total - self.flushed_bytes.swap(total, std::sync::atomic::Ordering::Relaxed).min(total);
-        let dur = obs.end(
-            "trace.flush",
-            Some(superstep),
-            None,
-            begin,
-            &[("bytes", bytes.to_string()), ("total_bytes", total.to_string())],
-        );
-        let reg = obs.registry();
-        reg.inc("trace_flush_bytes_total", graft_obs::Scope::GLOBAL, bytes);
-        reg.observe_bytes("trace_flush_bytes", graft_obs::Scope::GLOBAL, bytes);
-        reg.observe_time("trace_flush_nanos", graft_obs::Scope::GLOBAL, dur);
-        reg.set_gauge("trace_bytes_written", graft_obs::Scope::GLOBAL, total as i64);
+            let total = self.sink.bytes_written();
+            let total_before = self.flushed_bytes.swap(total, std::sync::atomic::Ordering::Relaxed);
+            let bytes = total - total_before.min(total);
+            let dur = obs.end(
+                "trace.flush",
+                Some(superstep),
+                None,
+                begin,
+                &[("bytes", bytes.to_string()), ("total_bytes", total.to_string())],
+            );
+            let reg = obs.registry();
+            reg.inc("trace_flush_bytes_total", graft_obs::Scope::GLOBAL, bytes);
+            reg.observe_bytes("trace_flush_bytes", graft_obs::Scope::GLOBAL, bytes);
+            reg.observe_time("trace_flush_nanos", graft_obs::Scope::GLOBAL, dur);
+            reg.set_gauge("trace_bytes_written", graft_obs::Scope::GLOBAL, total as i64);
+        } else {
+            self.sink.flush();
+        }
+        // The superstep's traces are durable now, so it may enter the
+        // immutable frontier and be announced to live readers.
+        self.live_flush(Some(stats.superstep));
+        if let Some(pace) = self.pace {
+            std::thread::sleep(pace);
+        }
     }
 
     fn on_checkpoint(&self, superstep: u64) {

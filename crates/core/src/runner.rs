@@ -97,6 +97,9 @@ pub struct GraftRunner<C: Computation> {
     recovery_mode: graft_pregel::RecoveryMode,
     fault_plan: Option<FaultPlan>,
     obs: Option<Arc<Obs>>,
+    live_flush: bool,
+    pace: Option<std::time::Duration>,
+    straggler_threshold: Option<f64>,
 }
 
 /// Observer that kills datanodes of the trace cluster at planned
@@ -157,6 +160,9 @@ impl<C: Computation> GraftRunner<C> {
             recovery_mode: graft_pregel::RecoveryMode::default(),
             fault_plan: None,
             obs: None,
+            live_flush: false,
+            pace: None,
+            straggler_threshold: None,
         }
     }
 
@@ -188,6 +194,34 @@ impl<C: Computation> GraftRunner<C> {
             cluster.add_observer(Arc::new(DfsMetrics::new(Arc::clone(&obs))));
         }
         self.obs = Some(obs);
+        self
+    }
+
+    /// Streams live observability while the job runs: every superstep
+    /// boundary appends the event-log delta to `obs/events.jsonl` and
+    /// commits a `obs/live/snapshot_<seq>.json` document, so monitoring
+    /// clients (`graft-server --follow`, `graft-cli watch`) can tail the
+    /// job in flight. Requires [`GraftRunner::with_obs`] to have any
+    /// effect — without an obs handle there is nothing to stream, which
+    /// analyzer lint GA0017 flags.
+    pub fn live_flush(mut self, enabled: bool) -> Self {
+        self.live_flush = enabled;
+        self
+    }
+
+    /// Sleeps this long after each superstep — a demo/test knob that
+    /// slows a job down enough for a live tail to observe intermediate
+    /// states. Has no effect on traces or metrics under the
+    /// deterministic clock.
+    pub fn pace_supersteps(mut self, pace: std::time::Duration) -> Self {
+        self.pace = Some(pace);
+        self
+    }
+
+    /// Flags workers whose per-superstep compute time exceeds this
+    /// multiple of the across-worker median (engine default: 4.0).
+    pub fn straggler_threshold(mut self, threshold: f64) -> Self {
+        self.straggler_threshold = Some(threshold);
         self
     }
 
@@ -338,6 +372,8 @@ impl<C: Computation> GraftRunner<C> {
                 facts.num_workers = Some(self.num_workers);
                 facts.fault_plan = self.fault_plan.as_ref().map(|p| p.to_string());
                 facts.recovery_mode = Some(self.recovery_mode.as_str().to_string());
+                facts.live_flush = Some(self.live_flush);
+                facts.obs_enabled = Some(self.obs.is_some());
                 facts
             }),
         };
@@ -355,9 +391,23 @@ impl<C: Computation> GraftRunner<C> {
             Arc::clone(&sink),
             self.config.capture_master && self.master.is_some(),
         );
+        let obs_dir = format!("{}/obs", trace_root.trim_end_matches('/'));
+        let mut live = None;
         if let Some(obs) = &self.obs {
             instrumented = instrumented.with_obs(Arc::clone(obs));
             observer = observer.with_obs(Arc::clone(obs));
+            if self.live_flush {
+                let writer = Arc::new(parking_lot::Mutex::new(graft_obs::LiveWriter::new(
+                    self.fs.clone(),
+                    Arc::clone(obs),
+                    &obs_dir,
+                )));
+                observer = observer.with_live(Arc::clone(&writer));
+                live = Some(writer);
+            }
+        }
+        if let Some(pace) = self.pace {
+            observer = observer.with_pace(pace);
         }
         let instrumented = Arc::new(instrumented);
 
@@ -367,6 +417,9 @@ impl<C: Computation> GraftRunner<C> {
             .max_supersteps(self.max_supersteps)
             .executor(self.executor)
             .combining(self.combining);
+        if let Some(threshold) = self.straggler_threshold {
+            engine = engine.straggler_threshold(threshold);
+        }
         if let Some(obs) = &self.obs {
             engine = engine.with_obs(Arc::clone(obs));
         }
@@ -397,8 +450,21 @@ impl<C: Computation> GraftRunner<C> {
         });
 
         if let Some(obs) = &self.obs {
-            let dir = format!("{}/obs", trace_root.trim_end_matches('/'));
-            obs.write_artifacts(self.fs.as_ref(), &dir)?;
+            match &live {
+                // In live mode the event log was appended all along —
+                // `finalize` commits the terminal snapshot and the metrics
+                // artifacts without ever rewriting `events.jsonl`, so a
+                // tail watcher never observes a truncation.
+                Some(live) => {
+                    let status = if outcome.is_ok() {
+                        graft_obs::STATUS_FINISHED
+                    } else {
+                        graft_obs::STATUS_FAILED
+                    };
+                    live.lock().finalize(status)?;
+                }
+                None => obs.write_artifacts(self.fs.as_ref(), &obs_dir)?,
+            }
         }
 
         Ok(GraftRun {

@@ -267,6 +267,31 @@ impl UntypedSession {
     /// on any record that is not valid JSON — after `open` succeeds,
     /// every indexed row is known to parse.
     pub fn open(fs: Arc<dyn FileSystem>, root: &str) -> Result<Self, SessionError> {
+        Self::open_impl(fs, root, None)
+    }
+
+    /// Loads an *in-flight* job's traces: everything [`UntypedSession::open`]
+    /// loads, except that rows of supersteps beyond `up_to` (the live
+    /// watermark — supersteps still executing, or mid-rewrite by a
+    /// recovery) are dropped from the index, and a torn final line in a
+    /// trace file — one caught mid-append, without a trailing newline —
+    /// is skipped instead of failing the open. A malformed line anywhere
+    /// else still fails: the watermark protocol guarantees completed
+    /// supersteps are durable and well-formed, so mid-file corruption is
+    /// real corruption.
+    pub fn open_partial(
+        fs: Arc<dyn FileSystem>,
+        root: &str,
+        up_to: u64,
+    ) -> Result<Self, SessionError> {
+        Self::open_impl(fs, root, Some(up_to))
+    }
+
+    fn open_impl(
+        fs: Arc<dyn FileSystem>,
+        root: &str,
+        up_to: Option<u64>,
+    ) -> Result<Self, SessionError> {
         let meta_bytes = fs.read_all(&meta_path(root))?;
         let meta: JobMeta = serde_json::from_slice(&meta_bytes)
             .map_err(|e| SessionError::Decode { path: meta_path(root), error: e.to_string() })?;
@@ -294,14 +319,25 @@ impl UntypedSession {
             for line in bytes.split(|&b| b == b'\n') {
                 let len = line.len();
                 if len > 0 {
-                    let value: Value = serde_json::from_slice(line).map_err(|e| {
-                        SessionError::Decode { path: path.clone(), error: e.to_string() }
-                    })?;
+                    let torn_tail =
+                        up_to.is_some() && start + len == bytes.len() && !bytes.ends_with(b"\n");
+                    let value: Value = match serde_json::from_slice(line) {
+                        Ok(value) => value,
+                        Err(_) if torn_tail => break,
+                        Err(e) => {
+                            return Err(SessionError::Decode {
+                                path: path.clone(),
+                                error: e.to_string(),
+                            })
+                        }
+                    };
                     let trace = UntypedTrace(value);
-                    by_superstep
-                        .entry(trace.superstep())
-                        .or_default()
-                        .push((trace.vertex(), RowRef { worker: worker_slot, start, len }));
+                    if up_to.is_none_or(|w| trace.superstep() <= w) {
+                        by_superstep
+                            .entry(trace.superstep())
+                            .or_default()
+                            .push((trace.vertex(), RowRef { worker: worker_slot, start, len }));
+                    }
                 }
                 start += len + 1;
             }
@@ -315,15 +351,32 @@ impl UntypedSession {
             })
             .collect();
 
-        let mut master = Vec::new();
+        let mut master: Vec<MasterTrace> = Vec::new();
         let master_path = master_trace_path(root);
         if fs.exists(&master_path) {
             let bytes = fs.read_all(&master_path)?;
-            for line in bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
-                master.push(serde_json::from_slice(line).map_err(|e| SessionError::Decode {
-                    path: master_path.clone(),
-                    error: e.to_string(),
-                })?);
+            let mut start = 0usize;
+            for line in bytes.split(|&b| b == b'\n') {
+                let len = line.len();
+                if len > 0 {
+                    let torn_tail =
+                        up_to.is_some() && start + len == bytes.len() && !bytes.ends_with(b"\n");
+                    match serde_json::from_slice::<MasterTrace>(line) {
+                        Ok(trace) => {
+                            if up_to.is_none_or(|w| trace.superstep <= w) {
+                                master.push(trace);
+                            }
+                        }
+                        Err(_) if torn_tail => break,
+                        Err(e) => {
+                            return Err(SessionError::Decode {
+                                path: master_path.clone(),
+                                error: e.to_string(),
+                            })
+                        }
+                    }
+                }
+                start += len + 1;
             }
         }
 

@@ -1,0 +1,168 @@
+//! Live-streaming observability end to end: a GraftRunner with
+//! `live_flush` enabled must commit an append-only event log plus a
+//! monotone sequence of snapshot documents through the simulated DFS —
+//! deterministically under the logical clock, and with a watermark that
+//! never regresses even when the run recovers from injected faults
+//! (under both recovery modes).
+
+use std::sync::Arc;
+
+use graft::{DebugConfig, GraftRun, GraftRunner};
+use graft_algorithms::pagerank::PageRank;
+use graft_dfs::{ClusterFs, ClusterFsConfig, FileSystem};
+use graft_obs::{
+    parse_jsonl, snapshot_files, Event, LiveSnapshot, Obs, EVENTS_FILE, STATUS_FINISHED,
+    WATERMARK_EVENT,
+};
+use graft_pregel::{FaultPlan, Graph, RecoveryMode};
+
+const TRACE_ROOT: &str = "/traces/liverun";
+const OBS_DIR: &str = "/traces/liverun/obs";
+
+fn pr_graph(n: u64) -> Graph<u64, f64, ()> {
+    let mut b = Graph::builder();
+    for v in 0..n {
+        b.add_vertex(v, 0.0).unwrap();
+    }
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n, ()).unwrap();
+        b.add_edge(v, (v * 7 + 3) % n, ()).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Runs PageRank with live flushing under the deterministic clock and
+/// returns the run plus the cluster holding the streamed artifacts.
+fn run_live(plan: FaultPlan, mode: RecoveryMode) -> (GraftRun<PageRank>, ClusterFs) {
+    let cluster =
+        ClusterFs::new(ClusterFsConfig { num_datanodes: 4, replication: 2, block_size: 512 });
+    let config = DebugConfig::<PageRank>::builder().capture_all_active(true).build();
+    let run = GraftRunner::new(PageRank::new(8), config)
+        .with_cluster(cluster.clone())
+        .with_obs(Obs::deterministic(1_000))
+        .live_flush(true)
+        .num_workers(4)
+        .checkpoint_every(2)
+        .recovery_mode(mode)
+        .with_fault_plan(plan)
+        .run(pr_graph(48), TRACE_ROOT)
+        .unwrap();
+    (run, cluster)
+}
+
+/// All live artifacts of a run, as (path-relative-to-obs, bytes) pairs in
+/// a stable order: the event log first, then snapshots by sequence.
+fn live_artifacts(cluster: &ClusterFs) -> Vec<(String, Vec<u8>)> {
+    let fs: Arc<dyn FileSystem> = Arc::new(cluster.clone());
+    let mut out = vec![(
+        EVENTS_FILE.to_string(),
+        fs.read_all(&format!("{OBS_DIR}/{EVENTS_FILE}")).expect("streamed event log"),
+    )];
+    for (seq, path) in snapshot_files(fs.as_ref(), OBS_DIR).expect("snapshot listing") {
+        out.push((format!("snapshot_{seq}"), fs.read_all(&path).expect("snapshot bytes")));
+    }
+    out
+}
+
+fn snapshots(cluster: &ClusterFs) -> Vec<LiveSnapshot> {
+    live_artifacts(cluster)
+        .iter()
+        .filter(|(name, _)| name.starts_with("snapshot_"))
+        .map(|(name, bytes)| {
+            serde_json::from_slice(bytes).unwrap_or_else(|e| panic!("{name} parses: {e}"))
+        })
+        .collect()
+}
+
+fn streamed_events(cluster: &ClusterFs) -> Vec<Event> {
+    let fs: Arc<dyn FileSystem> = Arc::new(cluster.clone());
+    let text =
+        String::from_utf8(fs.read_all(&format!("{OBS_DIR}/{EVENTS_FILE}")).unwrap()).unwrap();
+    parse_jsonl(&text).expect("streamed event log parses")
+}
+
+#[test]
+fn deterministic_live_runs_stream_identical_snapshot_sequences() {
+    let (run_a, cluster_a) = run_live(FaultPlan::new(), RecoveryMode::Restart);
+    let (run_b, cluster_b) = run_live(FaultPlan::new(), RecoveryMode::Restart);
+    assert!(run_a.outcome.is_ok() && run_b.outcome.is_ok());
+
+    let a = live_artifacts(&cluster_a);
+    let b = live_artifacts(&cluster_b);
+    assert!(a.len() > 2, "a live run commits the event log plus several snapshots");
+    assert_eq!(
+        a.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        "the two runs committed different snapshot sequences"
+    );
+    for ((name, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+        assert!(!bytes_a.is_empty(), "{name} must not be empty");
+        assert_eq!(bytes_a, bytes_b, "{name} diverged between two identical deterministic runs");
+    }
+}
+
+#[test]
+fn clean_live_run_commits_a_monotone_frontier_and_finishes() {
+    let (run, cluster) = run_live(FaultPlan::new(), RecoveryMode::Restart);
+    let outcome = run.outcome.as_ref().unwrap();
+    assert_snapshots_monotone(&cluster, 0);
+
+    let snaps = snapshots(&cluster);
+    let last = snaps.last().unwrap();
+    assert_eq!(last.status, STATUS_FINISHED);
+    assert_eq!(
+        last.watermark,
+        Some(outcome.stats.superstep_count() - 1),
+        "final frontier covers the run"
+    );
+
+    // The streamed log carries one watermark point per completed
+    // superstep, in frontier order.
+    let frontier: Vec<u64> = streamed_events(&cluster)
+        .iter()
+        .filter(|e| e.is_point(WATERMARK_EVENT))
+        .map(|e| e.attrs["frontier"].parse().unwrap())
+        .collect();
+    assert_eq!(frontier, (0..outcome.stats.superstep_count()).collect::<Vec<u64>>());
+}
+
+/// Asserts the committed snapshots have strictly increasing sequence
+/// numbers and a never-regressing watermark, and returns them.
+fn assert_snapshots_monotone(cluster: &ClusterFs, want_recoveries: u64) -> Vec<LiveSnapshot> {
+    let snaps = snapshots(cluster);
+    assert!(snaps.len() >= 2, "expected several snapshots, got {}", snaps.len());
+    for pair in snaps.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "snapshot seq must strictly increase");
+        assert!(
+            pair[1].watermark >= pair[0].watermark,
+            "watermark regressed: {:?} -> {:?} (seq {})",
+            pair[0].watermark,
+            pair[1].watermark,
+            pair[1].seq,
+        );
+    }
+    assert_eq!(snaps.last().unwrap().recoveries, want_recoveries, "recoveries in final snapshot");
+    snaps
+}
+
+#[test]
+fn faulted_live_runs_keep_the_watermark_monotone_under_both_recovery_modes() {
+    for mode in [RecoveryMode::Restart, RecoveryMode::LogReplay] {
+        let (run, cluster) = run_live("kill-worker:1@3".parse().unwrap(), mode);
+        let outcome = run.outcome.as_ref().unwrap();
+        assert!(outcome.stats.recoveries > 0, "{mode:?}: fault plan never fired");
+
+        let snaps = assert_snapshots_monotone(&cluster, outcome.stats.recoveries);
+        assert_eq!(snaps.last().unwrap().status, STATUS_FINISHED, "{mode:?}");
+
+        // Recovery is visible in the streamed channel: full restores log
+        // a `recovery` point, confined replays a `recovery.confined`
+        // span, and the snapshot counter caught up with them as the
+        // frontier advanced.
+        let log = streamed_events(&cluster);
+        let points =
+            log.iter().filter(|e| e.is_point("recovery") || e.is_end("recovery.confined")).count()
+                as u64;
+        assert_eq!(points, outcome.stats.recoveries, "{mode:?}: recovery events streamed live");
+    }
+}

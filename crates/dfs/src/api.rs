@@ -116,6 +116,22 @@ pub trait FileSystem: Send + Sync {
         Ok(Box::new(TailReader { inner: r, remaining }))
     }
 
+    /// Renames the file at `from` to `to`, replacing any existing file at
+    /// `to`. Missing parent directories of `to` are created.
+    ///
+    /// This is the commit step of write-temp-then-rename protocols:
+    /// backends that can move a file in one step (in-memory, local disk)
+    /// override this so readers observe either the old contents or the
+    /// complete new contents, never a partial write. The default
+    /// implementation copies then deletes — still torn-free on every
+    /// backend because `create` + `sync` publishes whole contents at
+    /// once, but not a single atomic step.
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let data = self.read_all(from)?;
+        self.write_all(to, &data)?;
+        self.delete(from, false)
+    }
+
     /// Convenience: writes an entire file in one call.
     fn write_all(&self, path: &str, data: &[u8]) -> FsResult<()> {
         let mut w = self.create(path)?;
@@ -184,6 +200,10 @@ impl<F: FileSystem + ?Sized> FileSystem for std::sync::Arc<F> {
 
     fn tail(&self, path: &str, offset: u64) -> FsResult<Box<dyn FileRead>> {
         (**self).tail(path, offset)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        (**self).rename(from, to)
     }
 }
 

@@ -36,6 +36,7 @@ mod local;
 mod memory;
 mod observer;
 mod path;
+mod watch;
 
 pub use api::{FileKind, FileRead, FileStatus, FileSystem, FileWrite};
 pub use cluster::{ClusterFs, ClusterFsConfig, ClusterStats};
@@ -44,3 +45,4 @@ pub use local::LocalFs;
 pub use memory::InMemoryFs;
 pub use observer::DfsObserver;
 pub use path::DfsPath;
+pub use watch::{TailEvent, TailWatcher};

@@ -132,6 +132,23 @@ impl FileSystem for LocalFs {
         Ok(Box::new(LocalWriter { inner: std::io::BufWriter::new(file) }))
     }
 
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let (from_dfs, from_host) = self.resolve(from)?;
+        let (to_dfs, to_host) = self.resolve(to)?;
+        let meta = fs::metadata(&from_host).map_err(|_| FsError::NotFound(from_dfs.to_string()))?;
+        if meta.is_dir() {
+            return Err(FsError::NotAFile(from_dfs.to_string()));
+        }
+        if to_host.is_dir() {
+            return Err(FsError::NotAFile(to_dfs.to_string()));
+        }
+        if let Some(parent) = to_host.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::rename(&from_host, &to_host)?;
+        Ok(())
+    }
+
     fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
         let (dfs, host) = self.resolve(path)?;
         let meta = fs::metadata(&host).map_err(|_| FsError::NotFound(dfs.to_string()))?;
@@ -242,6 +259,19 @@ mod tests {
         let mut rest = Vec::new();
         r.read_to_end(&mut rest).unwrap();
         assert_eq!(rest, b"beta");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rename_commits_atomically_on_disk() {
+        let root = temp_root("rename");
+        let fs = LocalFs::new(&root).unwrap();
+        fs.write_all("/live/snap.json.tmp", b"new").unwrap();
+        fs.write_all("/live/snap.json", b"old").unwrap();
+        fs.rename("/live/snap.json.tmp", "/live/snap.json").unwrap();
+        assert!(!fs.exists("/live/snap.json.tmp"));
+        assert_eq!(fs.read_all("/live/snap.json").unwrap(), b"new");
+        assert!(matches!(fs.rename("/nope", "/x"), Err(FsError::NotFound(_))));
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -201,6 +201,29 @@ impl FileSystem for InMemoryFs {
         }))
     }
 
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let from = DfsPath::parse(from)?;
+        let to = DfsPath::parse(to)?;
+        if from.is_root() || to.is_root() {
+            return Err(FsError::NotAFile(from.to_string()));
+        }
+        // One write lock covers the whole move, so readers see either the
+        // old file or the new one — never both, never neither.
+        let mut tree = self.tree.write();
+        match tree.get(from.as_str()) {
+            Some(Node::File(_)) => {}
+            Some(Node::Directory) => return Err(FsError::NotAFile(from.to_string())),
+            None => return Err(FsError::NotFound(from.to_string())),
+        }
+        Self::ensure_parents(&mut tree, &to)?;
+        if matches!(tree.get(to.as_str()), Some(Node::Directory)) {
+            return Err(FsError::NotAFile(to.to_string()));
+        }
+        let node = tree.remove(from.as_str()).expect("checked above");
+        tree.insert(to.as_str().to_string(), node);
+        Ok(())
+    }
+
     fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
         let path = DfsPath::parse(path)?;
         let mut tree = self.tree.write();
@@ -437,6 +460,28 @@ mod tests {
         let mut rest = Vec::new();
         r.read_to_end(&mut rest).unwrap();
         assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let fs = InMemoryFs::new();
+        fs.write_all("/live/snap.json.tmp", b"{\"seq\":1}").unwrap();
+        fs.rename("/live/snap.json.tmp", "/live/snap.json").unwrap();
+        assert!(!fs.exists("/live/snap.json.tmp"));
+        assert_eq!(fs.read_all("/live/snap.json").unwrap(), b"{\"seq\":1}");
+        // Replacing an existing destination is allowed (commit protocol).
+        fs.write_all("/live/snap.json.tmp", b"{\"seq\":2}").unwrap();
+        fs.rename("/live/snap.json.tmp", "/live/snap.json").unwrap();
+        assert_eq!(fs.read_all("/live/snap.json").unwrap(), b"{\"seq\":2}");
+        // Parents of the destination are created as needed.
+        fs.write_all("/tmp/x", b"x").unwrap();
+        fs.rename("/tmp/x", "/deep/new/dir/x").unwrap();
+        assert_eq!(fs.read_all("/deep/new/dir/x").unwrap(), b"x");
+        assert!(matches!(fs.rename("/nope", "/b"), Err(FsError::NotFound(_))));
+        fs.mkdirs("/adir").unwrap();
+        assert!(matches!(fs.rename("/adir", "/b"), Err(FsError::NotAFile(_))));
+        fs.write_all("/f2", b"").unwrap();
+        assert!(matches!(fs.rename("/f2", "/adir"), Err(FsError::NotAFile(_))));
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Poll-based file watching: tail a growing file on any backend.
+//!
+//! The DFS has no change-notification channel (neither does HDFS), so
+//! live readers poll. [`TailWatcher`] remembers the byte offset it has
+//! consumed and returns only the delta on each poll, using
+//! [`FileSystem::tail`] so block-based backends skip already-read
+//! blocks instead of re-streaming the whole file.
+
+use std::io::Read;
+use std::time::{Duration, Instant};
+
+use crate::api::FileSystem;
+use crate::error::{FsError, FsResult};
+
+/// What one [`TailWatcher::poll`] observed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TailEvent {
+    /// The file does not exist yet (or was deleted); nothing consumed.
+    Absent,
+    /// The file exists but has not grown past the watcher's offset.
+    Unchanged,
+    /// New bytes appeared past the watcher's offset.
+    Appended(Vec<u8>),
+    /// The file shrank below the watcher's offset (rewritten or rolled
+    /// back). The watcher reset to offset 0; the payload is the entire
+    /// current contents.
+    Truncated(Vec<u8>),
+}
+
+impl TailEvent {
+    /// The bytes this event carries, if any.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            TailEvent::Appended(b) | TailEvent::Truncated(b) => b,
+            TailEvent::Absent | TailEvent::Unchanged => &[],
+        }
+    }
+}
+
+/// Tails one file by polling, remembering the consumed byte offset.
+///
+/// Works on every [`FileSystem`] backend — local disk, in-memory, and
+/// the simulated HDFS cluster — because it only uses `status` + `tail`.
+/// The watched path may not exist yet; polls report [`TailEvent::Absent`]
+/// until it appears.
+pub struct TailWatcher<F: FileSystem> {
+    fs: F,
+    path: String,
+    offset: u64,
+}
+
+impl<F: FileSystem> TailWatcher<F> {
+    /// Watches `path` on `fs` starting from byte 0.
+    pub fn new(fs: F, path: impl Into<String>) -> Self {
+        Self::with_offset(fs, path, 0)
+    }
+
+    /// Watches `path` starting from a previously consumed `offset`, so a
+    /// reader can resume where an earlier watcher left off.
+    pub fn with_offset(fs: F, path: impl Into<String>, offset: u64) -> Self {
+        Self { fs, path: path.into(), offset }
+    }
+
+    /// The watched path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Bytes consumed so far — pass to [`TailWatcher::with_offset`] to
+    /// resume later.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// One non-blocking poll: reads and consumes whatever appeared since
+    /// the last poll.
+    pub fn poll(&mut self) -> FsResult<TailEvent> {
+        let len = match self.fs.status(&self.path) {
+            Ok(status) => status.len,
+            Err(FsError::NotFound(_)) => return Ok(TailEvent::Absent),
+            Err(e) => return Err(e),
+        };
+        if len < self.offset {
+            // Shrunk under us: restart from the top with the full view.
+            self.offset = 0;
+            let mut r = self.fs.tail(&self.path, 0)?;
+            let mut buf = Vec::with_capacity(r.len() as usize);
+            r.read_to_end(&mut buf).map_err(FsError::from)?;
+            self.offset = buf.len() as u64;
+            return Ok(TailEvent::Truncated(buf));
+        }
+        if len == self.offset {
+            return Ok(TailEvent::Unchanged);
+        }
+        let mut r = self.fs.tail(&self.path, self.offset)?;
+        let mut buf = Vec::with_capacity(r.len() as usize);
+        r.read_to_end(&mut buf).map_err(FsError::from)?;
+        self.offset += buf.len() as u64;
+        Ok(TailEvent::Appended(buf))
+    }
+
+    /// Polls every `interval` until new bytes appear or `timeout`
+    /// elapses. Returns the first non-empty event, or the last empty one
+    /// ([`Absent`](TailEvent::Absent)/[`Unchanged`](TailEvent::Unchanged))
+    /// on timeout.
+    pub fn wait(&mut self, interval: Duration, timeout: Duration) -> FsResult<TailEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let event = self.poll()?;
+            if !event.bytes().is_empty() || Instant::now() >= deadline {
+                return Ok(event);
+            }
+            std::thread::sleep(interval.min(deadline.saturating_duration_since(Instant::now())));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryFs;
+    use std::io::Write;
+
+    #[test]
+    fn poll_reports_absent_then_appended_then_unchanged() {
+        let fs = InMemoryFs::new();
+        let mut w = TailWatcher::new(fs.clone(), "/log.jsonl");
+        assert_eq!(w.poll().unwrap(), TailEvent::Absent);
+        fs.write_all("/log.jsonl", b"one\n").unwrap();
+        assert_eq!(w.poll().unwrap(), TailEvent::Appended(b"one\n".to_vec()));
+        assert_eq!(w.poll().unwrap(), TailEvent::Unchanged);
+        let mut a = fs.append("/log.jsonl").unwrap();
+        a.write_all(b"two\n").unwrap();
+        a.sync().unwrap();
+        assert_eq!(w.poll().unwrap(), TailEvent::Appended(b"two\n".to_vec()));
+        assert_eq!(w.offset(), 8);
+    }
+
+    #[test]
+    fn resume_from_offset_skips_consumed_prefix() {
+        let fs = InMemoryFs::new();
+        fs.write_all("/log", b"aaaa bbbb").unwrap();
+        let mut w = TailWatcher::with_offset(fs, "/log", 5);
+        assert_eq!(w.poll().unwrap(), TailEvent::Appended(b"bbbb".to_vec()));
+    }
+
+    #[test]
+    fn truncation_resets_and_returns_full_contents() {
+        let fs = InMemoryFs::new();
+        fs.write_all("/log", b"0123456789").unwrap();
+        let mut w = TailWatcher::new(fs.clone(), "/log");
+        assert!(matches!(w.poll().unwrap(), TailEvent::Appended(_)));
+        fs.write_all("/log", b"xy").unwrap();
+        assert_eq!(w.poll().unwrap(), TailEvent::Truncated(b"xy".to_vec()));
+        assert_eq!(w.offset(), 2);
+    }
+
+    #[test]
+    fn wait_returns_data_when_it_arrives() {
+        let fs = InMemoryFs::new();
+        fs.write_all("/log", b"").unwrap();
+        let writer_fs = fs.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let mut a = writer_fs.append("/log").unwrap();
+            a.write_all(b"late\n").unwrap();
+            a.sync().unwrap();
+        });
+        let mut w = TailWatcher::new(fs, "/log");
+        let event = w.wait(Duration::from_millis(5), Duration::from_secs(5)).unwrap();
+        assert_eq!(event, TailEvent::Appended(b"late\n".to_vec()));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_times_out_empty() {
+        let fs = InMemoryFs::new();
+        let mut w = TailWatcher::new(fs, "/never");
+        let event = w.wait(Duration::from_millis(5), Duration::from_millis(20)).unwrap();
+        assert_eq!(event, TailEvent::Absent);
+    }
+}

@@ -83,16 +83,23 @@ impl EventLog {
     }
 }
 
+/// Serializes events as JSON-lines into `out`, reusing its allocation —
+/// the live flush path calls this once per superstep with the same
+/// buffer, so steady-state flushes allocate nothing.
+pub fn write_jsonl_into(events: &[Event], out: &mut Vec<u8>) {
+    for event in events {
+        serde_json::to_vec_into(event, out).expect("event serialization is infallible");
+        out.push(b'\n');
+    }
+}
+
 /// Serializes events to JSON-lines (one JSON object per line, trailing
 /// newline). Field order is fixed by the struct declaration and `attrs`
 /// is a sorted map, so the output is deterministic.
 pub fn to_jsonl(events: &[Event]) -> String {
-    let mut out = String::new();
-    for event in events {
-        out.push_str(&serde_json::to_string(event).expect("event serialization is infallible"));
-        out.push('\n');
-    }
-    out
+    let mut out = Vec::new();
+    write_jsonl_into(events, &mut out);
+    String::from_utf8(out).expect("serde_json emits UTF-8")
 }
 
 /// Parses a JSON-lines event log. Blank lines are ignored; any malformed
@@ -108,6 +115,40 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
         events.push(event);
     }
     Ok(events)
+}
+
+/// Like [`parse_jsonl`], but tolerant of a log caught mid-append: when
+/// the *final* line is malformed and the text does not end in a newline
+/// (a torn write), that line is skipped and returned as a warning
+/// instead of failing the parse. A malformed line anywhere else — or a
+/// complete, newline-terminated malformed final line — still fails.
+pub fn parse_jsonl_lenient(text: &str) -> Result<(Vec<Event>, Option<String>), String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut events = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Event>(line) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                let is_final = lines[idx + 1..].iter().all(|l| l.trim().is_empty());
+                if is_final && !text.ends_with('\n') {
+                    return Ok((
+                        events,
+                        Some(format!(
+                            "event log line {}: skipped torn final line ({} bytes, log still \
+                             being written?)",
+                            idx + 1,
+                            line.len()
+                        )),
+                    ));
+                }
+                return Err(format!("event log line {}: {e:?}", idx + 1));
+            }
+        }
+    }
+    Ok((events, None))
 }
 
 #[cfg(test)]
@@ -149,5 +190,37 @@ mod tests {
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n", to_jsonl(&[sample(1, "job", EDGE_POINT)]));
         assert_eq!(parse_jsonl(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn write_into_reuses_buffer_and_matches_to_jsonl() {
+        let events = vec![sample(1, "superstep", EDGE_BEGIN), sample(9, "superstep", EDGE_END)];
+        let mut buf = Vec::with_capacity(1024);
+        write_jsonl_into(&events, &mut buf);
+        assert_eq!(String::from_utf8(buf.clone()).unwrap(), to_jsonl(&events));
+        let cap = buf.capacity();
+        buf.clear();
+        write_jsonl_into(&events[..1], &mut buf);
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate for smaller batches");
+    }
+
+    #[test]
+    fn lenient_parse_skips_torn_final_line_only() {
+        let good = to_jsonl(&[sample(1, "job", EDGE_BEGIN)]);
+        // Torn final line without a trailing newline: skipped + warned.
+        let torn = format!("{good}{{\"ts\":2,\"kind\":\"hal");
+        let (events, warning) = parse_jsonl_lenient(&torn).expect("lenient parse");
+        assert_eq!(events.len(), 1);
+        assert!(warning.expect("warning emitted").contains("line 2"));
+        // The same garbage newline-terminated is a complete bad line.
+        let complete_garbage = format!("{good}{{not json}}\n");
+        assert!(parse_jsonl_lenient(&complete_garbage).is_err());
+        // Mid-file garbage still fails even without a trailing newline.
+        let mid = format!("{{bad}}\n{}", to_jsonl(&[sample(3, "job", EDGE_END)]).trim_end());
+        assert!(parse_jsonl_lenient(&mid).is_err());
+        // A clean log parses with no warning.
+        let (events, warning) = parse_jsonl_lenient(&good).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(warning.is_none());
     }
 }

@@ -103,13 +103,31 @@ fn type_line(out: &mut String, last: &mut String, name: &str, kind: &str) {
     }
 }
 
+/// Escapes a label value per the Prometheus text exposition rules:
+/// backslash, double-quote, and line-feed must be backslash-escaped.
+/// Today's scope labels are numeric and pass through unchanged, but any
+/// future free-form label (and any external caller building expositions
+/// from snapshot data) must route values through this.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn labels_vec(worker: Option<u64>, superstep: Option<u64>) -> Vec<String> {
     let mut parts = Vec::new();
     if let Some(w) = worker {
-        parts.push(format!("worker=\"{w}\""));
+        parts.push(format!("worker=\"{}\"", escape_label_value(&w.to_string())));
     }
     if let Some(s) = superstep {
-        parts.push(format!("superstep=\"{s}\""));
+        parts.push(format!("superstep=\"{}\"", escape_label_value(&s.to_string())));
     }
     parts
 }
@@ -147,6 +165,53 @@ mod tests {
         assert!(text.contains("graft_phase_compute_nanos_sum{worker=\"0\"} 1500"));
         // The TYPE header appears once per metric name, not per sample.
         assert_eq!(text.matches("# TYPE graft_pregel_messages_sent counter").count(), 1);
+    }
+
+    #[test]
+    fn label_escaping_follows_exposition_rules() {
+        assert_eq!(escape_label_value("plain-123"), "plain-123");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("line1\nline2"), "line1\\nline2");
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+        assert_eq!(escape_label_value(""), "");
+    }
+
+    #[test]
+    fn empty_histogram_exports_zero_series() {
+        use crate::histogram::Histogram;
+        use crate::registry::HistogramEntry;
+        // A histogram that was registered but never observed: every
+        // cumulative bucket, the sum, and the count must render as 0 —
+        // not be omitted — so scrapers see the series exists.
+        let snapshot = MetricsSnapshot {
+            histograms: vec![HistogramEntry {
+                name: "phase_compute_nanos".into(),
+                worker: Some(3),
+                superstep: None,
+                data: Histogram::time().snapshot(),
+            }],
+            ..Default::default()
+        };
+        let text = to_prometheus(&snapshot);
+        assert!(text.contains("# TYPE graft_phase_compute_nanos histogram"));
+        assert!(text.contains("graft_phase_compute_nanos_bucket{worker=\"3\",le=\"+Inf\"} 0"));
+        assert!(text.contains("graft_phase_compute_nanos_sum{worker=\"3\"} 0"));
+        assert!(text.contains("graft_phase_compute_nanos_count{worker=\"3\"} 0"));
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            assert!(line.ends_with(" 0"), "non-zero bucket in empty histogram: {line}");
+        }
+    }
+
+    #[test]
+    fn counter_after_reset_exports_explicit_zero() {
+        // A counter touched with a zero delta (e.g. re-created after a
+        // registry reset) must still export an explicit `0` sample.
+        let reg = MetricsRegistry::new();
+        reg.inc("pregel_obs_flush_bytes", Scope::GLOBAL, 0);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE graft_pregel_obs_flush_bytes counter"));
+        assert!(text.lines().any(|l| l == "graft_pregel_obs_flush_bytes 0"));
     }
 
     #[test]

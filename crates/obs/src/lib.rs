@@ -30,14 +30,24 @@ mod dfs;
 mod events;
 mod export;
 mod histogram;
+mod live;
 mod profile;
 mod registry;
 
 pub use clock::{Clock, TickClock, Timer, WallClock};
 pub use dfs::DfsMetrics;
-pub use events::{parse_jsonl, to_jsonl, Event, EventLog, EDGE_BEGIN, EDGE_END, EDGE_POINT};
-pub use export::{from_json, to_json, to_prometheus};
+pub use events::{
+    parse_jsonl, parse_jsonl_lenient, to_jsonl, write_jsonl_into, Event, EventLog, EDGE_BEGIN,
+    EDGE_END, EDGE_POINT,
+};
+pub use export::{escape_label_value, from_json, to_json, to_prometheus};
 pub use histogram::{Histogram, HistogramData, BYTE_BUCKETS, TIME_BUCKETS_NANOS};
+pub use live::{
+    latest_snapshot, snapshot_files, worker_progress, LiveLogReader, LiveSnapshot, LiveWriter,
+    StragglerRecord, WorkerProgress, FLUSHES_COUNTER, FLUSH_BYTES_COUNTER, LIVE_DIR,
+    SNAPSHOT_PREFIX, SNAPSHOT_SUFFIX, STATUS_FAILED, STATUS_FINISHED, STATUS_RUNNING,
+    STRAGGLERS_COUNTER, STRAGGLER_EVENT, TMP_SUFFIX, WATERMARK_EVENT, WATERMARK_GAUGE,
+};
 pub use profile::{fmt_nanos, PhaseTotal, Profile, RestoreSpan, SuperstepProfile};
 pub use registry::{
     CounterEntry, GaugeEntry, HistogramEntry, MetricsRegistry, MetricsSnapshot, Scope, VertexCost,

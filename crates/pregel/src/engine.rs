@@ -143,6 +143,13 @@ pub struct EngineConfig {
     pub executor: ExecutorMode,
     /// Where combiner folds run.
     pub combining: CombineStrategy,
+    /// Straggler detection: a worker whose per-superstep compute time
+    /// exceeds this multiple of the median across workers is flagged
+    /// with a `straggler.detected` event and counted in
+    /// `live_stragglers_total`. `0.0` disables detection. Under the
+    /// deterministic tick clock all workers report identical times, so
+    /// detection can never fire there.
+    pub straggler_threshold: f64,
 }
 
 impl EngineConfig {
@@ -168,6 +175,7 @@ impl Default for EngineConfig {
             max_supersteps: 100_000,
             executor: ExecutorMode::PersistentPool,
             combining: CombineStrategy::AtSender,
+            straggler_threshold: 4.0,
         }
     }
 }
@@ -258,6 +266,13 @@ impl<C: Computation> Engine<C> {
     /// Selects where combiner folds run.
     pub fn combining(mut self, strategy: CombineStrategy) -> Self {
         self.config.combining = strategy;
+        self
+    }
+
+    /// Sets the straggler-detection threshold (multiple of the median
+    /// per-worker compute time; `0.0` disables detection).
+    pub fn straggler_threshold(mut self, threshold: f64) -> Self {
+        self.config.straggler_threshold = threshold.max(0.0);
         self
     }
 
@@ -818,6 +833,19 @@ impl<C: Computation> Engine<C> {
                     out.compute_calls,
                 );
             }
+            // GiViP-style skew watch: flag workers whose compute time
+            // blows past the median, for the live monitoring views.
+            let nanos: Vec<u64> = outputs.iter().map(|out| out.nanos).collect();
+            for (w, nanos, median) in detect_stragglers(&nanos, self.config.straggler_threshold) {
+                o.point(
+                    graft_obs::STRAGGLER_EVENT,
+                    Some(superstep),
+                    Some(w as u64),
+                    &[("nanos", nanos.to_string()), ("median_nanos", median.to_string())],
+                );
+                reg.inc(graft_obs::STRAGGLERS_COUNTER, Scope::GLOBAL, 1);
+                reg.inc(graft_obs::STRAGGLERS_COUNTER, Scope::at(w as u64, superstep), 1);
+            }
         }
 
         // In log-replay mode, snapshot the registry before the merge:
@@ -1279,6 +1307,29 @@ fn read<T>(rwlock: &RwLock<T>) -> graft_sched::sync::RwLockReadGuard<'_, T> {
 #[track_caller]
 fn write<T>(rwlock: &RwLock<T>) -> graft_sched::sync::RwLockWriteGuard<'_, T> {
     rwlock.write()
+}
+
+/// The live path's per-superstep skew detector: workers whose compute
+/// time exceeds `threshold ×` the median of `worker_nanos`, as
+/// `(worker, nanos, median)` triples in worker order. A non-positive
+/// threshold, fewer than two workers, or a zero median (nothing
+/// measured yet) yields no stragglers.
+pub fn detect_stragglers(worker_nanos: &[u64], threshold: f64) -> Vec<(usize, u64, u64)> {
+    if threshold <= 0.0 || worker_nanos.len() < 2 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<u64> = worker_nanos.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    if median == 0 {
+        return Vec::new();
+    }
+    worker_nanos
+        .iter()
+        .enumerate()
+        .filter(|(_, &nanos)| nanos as f64 > median as f64 * threshold)
+        .map(|(w, &nanos)| (w, nanos, median))
+        .collect()
 }
 
 /// Deterministic partition assignment for a vertex id.
@@ -2167,5 +2218,23 @@ mod tests {
         assert_eq!(config.executor, ExecutorMode::PersistentPool);
         assert_eq!(config.combining, CombineStrategy::AtSender);
         assert!(config.num_workers >= 1);
+    }
+
+    #[test]
+    fn detect_stragglers_flags_only_workers_past_the_median_multiple() {
+        // One worker 10x the median of [10, 10, 10, 100] = 10.
+        assert_eq!(detect_stragglers(&[10, 10, 100, 10], 4.0), vec![(2, 100, 10)]);
+        // Exactly at the threshold is not a straggler (strictly greater).
+        assert_eq!(detect_stragglers(&[10, 10, 40, 10], 4.0), vec![]);
+        // Several workers can exceed the median at once.
+        assert_eq!(detect_stragglers(&[5, 100, 5, 90, 5], 4.0), vec![(1, 100, 5), (3, 90, 5)]);
+        // A zero threshold disables detection entirely.
+        assert_eq!(detect_stragglers(&[10, 1_000], 0.0), vec![]);
+        // A single worker has no peers to be slower than.
+        assert_eq!(detect_stragglers(&[1_000_000], 2.0), vec![]);
+        // Idle clusters (median 0) never flag anyone.
+        assert_eq!(detect_stragglers(&[0, 0, 0, 50], 2.0), vec![]);
+        // Identical timings — the deterministic-clock case — are quiet.
+        assert_eq!(detect_stragglers(&[7, 7, 7, 7], 1.5), vec![]);
     }
 }

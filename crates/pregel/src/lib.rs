@@ -74,7 +74,10 @@ pub use aggregators::{AggOp, AggValue, AggregatorRegistry, WorkerAggregators};
 pub use checkpoint::{CheckpointConfig, CheckpointError, RecoveryMode};
 pub use computation::{Computation, ContextOf, VertexHandle, VertexHandleOf};
 pub use context::{ComputeContext, Mutation};
-pub use engine::{partition_for, CombineStrategy, Engine, EngineConfig, ExecutorMode, JobOutcome};
+pub use engine::{
+    detect_stragglers, partition_for, CombineStrategy, Engine, EngineConfig, ExecutorMode,
+    JobOutcome,
+};
 pub use error::EngineError;
 pub use fault::{Fault, FaultPlan, FaultPlanParseError};
 pub use graph::{Graph, GraphBuilder, GraphError, GraphStats};

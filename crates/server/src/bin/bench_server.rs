@@ -1,14 +1,16 @@
 //! Benchmarks the debug server end to end over loopback HTTP and writes
 //! `BENCH_server.json`.
 //!
-//! Two scenarios, same request mix (node-link + tabular + violations over
-//! a synthetic corpus):
+//! Three scenarios:
 //!
 //! * **cold** — the trace index capacity is half the corpus, and clients
 //!   walk jobs round-robin, so almost every request forces an eviction
 //!   and a fresh trace parse;
 //! * **index-hot** — capacity covers the corpus and the index is
-//!   pre-warmed, so every request is a cache hit.
+//!   pre-warmed, so every request is a cache hit;
+//! * **live_tail** — a follow-mode server over an in-flight job whose
+//!   snapshot frontier keeps advancing while clients poll the
+//!   `/jobs/{id}/live` status, metrics, and timeline endpoints.
 //!
 //! Usage: `bench_server [--connections 16] [--requests 500]
 //! [--jobs 8] [--vertices 300] [--out BENCH_server.json]`
@@ -19,7 +21,9 @@ use graft_dfs::{FileSystem, InMemoryFs};
 use graft_obs::Obs;
 use graft_server::client::HttpClient;
 use graft_server::server::{serve, ServerConfig};
-use graft_server::synth::write_synthetic_trace;
+use graft_server::synth::{
+    commit_synthetic_snapshot, write_synthetic_live_trace, write_synthetic_trace,
+};
 
 struct Args {
     connections: usize,
@@ -97,6 +101,17 @@ fn run_scenario(
             (1..=3).map(move |page| format!("/jobs/{id}/ss/1/tabular?page={page}&per_page=10"))
         })
         .collect();
+    run_paths(name, addr, paths, connections, requests)
+}
+
+/// Drives the request mix in `paths` and collects per-request latencies.
+fn run_paths(
+    name: &'static str,
+    addr: std::net::SocketAddr,
+    paths: Vec<String>,
+    connections: usize,
+    requests: usize,
+) -> Scenario {
     let paths = Arc::new(paths);
     let clock = std::time::Instant::now();
     let handles: Vec<_> = (0..connections)
@@ -186,8 +201,44 @@ fn main() {
         result
     };
 
+    // Live tail: a follow server over an in-flight job whose snapshot
+    // frontier keeps advancing in the background; clients poll the live
+    // status, metrics, and timeline endpoints — the monitoring hot path.
+    let live = {
+        let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+        write_synthetic_live_trace(fs.as_ref(), "/traces/live-job", args.vertices, 4, 2)
+            .expect("live trace");
+        let config =
+            ServerConfig { workers: args.connections, follow: true, ..ServerConfig::default() };
+        let handle = serve(Arc::clone(&fs), "/traces", Obs::wall(), config).expect("serve");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let committer = {
+            let fs = Arc::clone(&fs);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seq = 3u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    commit_synthetic_snapshot(fs.as_ref(), "/traces/live-job", seq, 1)
+                        .expect("snapshot commit");
+                    seq += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            })
+        };
+        let paths = vec![
+            "/jobs/live-job/live".to_string(),
+            "/jobs/live-job/live/metrics".to_string(),
+            "/jobs/live-job/live/timeline".to_string(),
+        ];
+        let result = run_paths("live_tail", handle.addr(), paths, args.connections, args.requests);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        committer.join().expect("committer thread");
+        drop(handle);
+        result
+    };
+
     let mut report = String::from("{\n  \"bench\": \"graft-server\",\n  \"scenarios\": [\n");
-    for (i, s) in [&cold, &hot].into_iter().enumerate() {
+    for (i, s) in [&cold, &hot, &live].into_iter().enumerate() {
         report.push_str(&format!(
             "    {{\"name\": \"{}\", \"requests\": {}, \"errors\": {}, \
              \"throughput_rps\": {:.1}, \"p50_micros\": {:.1}, \
@@ -199,7 +250,7 @@ fn main() {
             s.p50_micros,
             s.p95_micros,
             s.p99_micros,
-            if i == 0 { "," } else { "" }
+            if i < 2 { "," } else { "" }
         ));
         println!(
             "{:>10}: {:>8.1} req/s  p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us  ({} errors)",
@@ -210,7 +261,7 @@ fn main() {
     std::fs::write(&args.out, report).expect("write bench report");
     eprintln!("wrote {}", args.out);
 
-    if cold.errors + hot.errors > 0 {
+    if cold.errors + hot.errors + live.errors > 0 {
         eprintln!("bench saw errors");
         std::process::exit(1);
     }

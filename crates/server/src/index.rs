@@ -18,10 +18,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use graft::trace::{meta_path, result_path};
 use graft::untyped::{JobSummary, UntypedSession};
 use graft::views::json as vj;
-use graft_dfs::FileSystem;
-use graft_obs::{Obs, Scope};
+use graft_dfs::{FileSystem, FsError};
+use graft_obs::{latest_snapshot, parse_jsonl_lenient, Event, LiveSnapshot, Obs, Scope};
 // The map and per-slot locks are graft-sched shims: plain mutexes in
 // production, scheduler yield points + happens-before edges under
 // `check-sched`, which model-checks the two-phase parse-once protocol.
@@ -60,6 +61,20 @@ struct Inner {
     tick: u64,
 }
 
+/// A cached *partial* session of an in-flight job, keyed by the live
+/// watermark it was parsed at: it stays valid until the frontier
+/// advances, because watermark-covered supersteps are immutable.
+struct LiveSlot {
+    watermark: Option<u64>,
+    session: Arc<UntypedSession>,
+    last_used: u64,
+}
+
+struct LiveInner {
+    slots: HashMap<String, LiveSlot>,
+    tick: u64,
+}
+
 /// The shared cache of parsed jobs. Cheap to clone via `Arc` at the
 /// server layer; all methods take `&self`.
 pub struct TraceIndex {
@@ -68,6 +83,7 @@ pub struct TraceIndex {
     capacity: usize,
     obs: Arc<Obs>,
     inner: Mutex<Inner>,
+    live: Mutex<LiveInner>,
 }
 
 impl TraceIndex {
@@ -81,11 +97,16 @@ impl TraceIndex {
             capacity: capacity.max(1),
             obs,
             inner: Mutex::new(Inner { slots: HashMap::new(), tick: 0 }),
+            live: Mutex::new(LiveInner { slots: HashMap::new(), tick: 0 }),
         }
     }
 
     fn job_root(&self, id: &str) -> String {
         format!("{}/{id}", self.root)
+    }
+
+    fn obs_dir(&self, id: &str) -> String {
+        format!("{}/obs", self.job_root(id))
     }
 
     /// Lists the job ids under the trace root: every direct or nested
@@ -204,6 +225,127 @@ impl TraceIndex {
             timer.stop(),
         );
         Ok(vj::job_summary_json(id, &summary))
+    }
+
+    /// The newest committed live snapshot of one job, if it streamed any.
+    pub fn live_snapshot(&self, id: &str) -> Result<Option<LiveSnapshot>, IndexError> {
+        validate_job_id(id)?;
+        if !self.fs.exists(&meta_path(&self.job_root(id))) {
+            return Err(IndexError::NoSuchJob(id.to_string()));
+        }
+        latest_snapshot(self.fs.as_ref(), &self.obs_dir(id))
+            .map_err(|e| IndexError::Session(e.to_string()))
+    }
+
+    /// One job's streaming event log, parsed leniently: a final line
+    /// caught torn mid-append is skipped; everything before it is served.
+    /// An absent log (the job has not flushed yet, or never streamed) is
+    /// an empty list, not an error.
+    pub fn live_events(&self, id: &str) -> Result<Vec<Event>, IndexError> {
+        validate_job_id(id)?;
+        if !self.fs.exists(&meta_path(&self.job_root(id))) {
+            return Err(IndexError::NoSuchJob(id.to_string()));
+        }
+        let path = format!("{}/{}", self.obs_dir(id), graft_obs::EVENTS_FILE);
+        let bytes = match self.fs.read_all(&path) {
+            Ok(bytes) => bytes,
+            Err(FsError::NotFound(_)) => return Ok(Vec::new()),
+            Err(e) => return Err(IndexError::Session(e.to_string())),
+        };
+        let text = String::from_utf8(bytes).map_err(|e| IndexError::Session(e.to_string()))?;
+        let (events, _torn) = parse_jsonl_lenient(&text).map_err(IndexError::Session)?;
+        Ok(events)
+    }
+
+    /// The session a follow-mode server renders views from.
+    ///
+    /// A completed job (`result.json` present) takes the exact
+    /// non-follow path — the cached full parse — so post-completion
+    /// responses are byte-identical to a server without `--follow`. An
+    /// in-flight job gets a *partial* session over its
+    /// complete-and-immutable prefix (rows at or below the live
+    /// watermark, torn trailing line tolerated), cached per watermark
+    /// and re-parsed only when the frontier advances. If a refresh fails
+    /// to parse, the previous partial session is served stale — a
+    /// monitoring read must not 500 because it raced a write.
+    pub fn follow_session(&self, id: &str) -> Result<Arc<UntypedSession>, IndexError> {
+        validate_job_id(id)?;
+        let root = self.job_root(id);
+        if self.fs.exists(&result_path(&root)) {
+            // Terminal: retire the partial session; the full parse takes
+            // over from here.
+            self.live.lock().slots.remove(id);
+            return self.session(id);
+        }
+        if !self.fs.exists(&meta_path(&root)) {
+            return Err(IndexError::NoSuchJob(id.to_string()));
+        }
+        let watermark = latest_snapshot(self.fs.as_ref(), &self.obs_dir(id))
+            .map_err(|e| IndexError::Session(e.to_string()))?
+            .and_then(|s| s.watermark);
+
+        {
+            let mut live = self.live.lock();
+            live.tick += 1;
+            let tick = live.tick;
+            if let Some(slot) = live.slots.get_mut(id) {
+                slot.last_used = tick;
+                if slot.watermark == watermark {
+                    self.obs.registry().inc("server_live_hits", Scope::GLOBAL, 1);
+                    return Ok(Arc::clone(&slot.session));
+                }
+            }
+        }
+
+        // The frontier advanced (or this is the first look): parse the
+        // completed prefix. No watermark yet means at most superstep 0's
+        // rows are durable, so that is all a reader may see.
+        let timer = self.obs.timer();
+        let session =
+            match UntypedSession::open_partial(Arc::clone(&self.fs), &root, watermark.unwrap_or(0))
+            {
+                Ok(session) => Arc::new(session),
+                Err(e) => {
+                    let live = self.live.lock();
+                    if let Some(slot) = live.slots.get(id) {
+                        self.obs.registry().inc("server_live_stale_serves", Scope::GLOBAL, 1);
+                        return Ok(Arc::clone(&slot.session));
+                    }
+                    return Err(IndexError::Session(e.to_string()));
+                }
+            };
+        self.obs.registry().inc("server_live_opens", Scope::GLOBAL, 1);
+        self.obs.registry().observe_time("server_live_parse_nanos", Scope::GLOBAL, timer.stop());
+
+        let mut live = self.live.lock();
+        live.tick += 1;
+        let tick = live.tick;
+        // Two refreshes may race here (there is no per-slot lock on the
+        // live path — partial parses are cheap and disposable); the later
+        // insert wins, and either session is a valid committed prefix.
+        live.slots.insert(
+            id.to_string(),
+            LiveSlot { watermark, session: Arc::clone(&session), last_used: tick },
+        );
+        while live.slots.len() > self.capacity {
+            let Some(victim) = live
+                .slots
+                .iter()
+                .filter(|(key, _)| key.as_str() != id)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            live.slots.remove(&victim);
+            self.obs.registry().inc("server_live_evictions", Scope::GLOBAL, 1);
+        }
+        Ok(session)
+    }
+
+    /// Partial sessions currently resident (test / metrics hook).
+    pub fn live_resident(&self) -> usize {
+        self.live.lock().slots.len()
     }
 
     /// Removes a failed speculative slot — but only if the map still holds
@@ -341,6 +483,91 @@ mod tests {
         assert_eq!(index.resident(), 1, "failed parses must not hold slots");
         let again = index.session("good").unwrap();
         assert!(Arc::ptr_eq(&good, &again), "dead slots must not evict live sessions");
+    }
+
+    #[test]
+    fn follow_session_serves_the_watermark_prefix_and_refreshes_on_advance() {
+        use crate::synth::{commit_synthetic_snapshot, write_synthetic_live_trace};
+        let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+        write_synthetic_live_trace(fs.as_ref(), "/traces/inflight", 8, 2, 1).unwrap();
+        let index = TraceIndex::new(Arc::clone(&fs), "/traces", 4, Obs::wall());
+
+        // Watermark 0: only superstep 0 is served, torn tail tolerated.
+        let partial = index.follow_session("inflight").unwrap();
+        assert_eq!(partial.supersteps(), vec![0]);
+        // Same watermark: the cached partial session answers.
+        let again = index.follow_session("inflight").unwrap();
+        assert!(Arc::ptr_eq(&partial, &again), "unchanged frontier must hit the live cache");
+        let registry = index.obs.registry();
+        assert_eq!(registry.counter_value("server_live_opens", Scope::GLOBAL), 1);
+        assert_eq!(registry.counter_value("server_live_hits", Scope::GLOBAL), 1);
+
+        // The frontier advances: the next look re-parses up to it.
+        write_synthetic_live_trace(fs.as_ref(), "/traces/inflight", 8, 2, 2).unwrap();
+        commit_synthetic_snapshot(fs.as_ref(), "/traces/inflight", 3, 1).unwrap();
+        let refreshed = index.follow_session("inflight").unwrap();
+        assert_eq!(refreshed.supersteps(), vec![0, 1]);
+        assert_eq!(registry.counter_value("server_live_opens", Scope::GLOBAL), 2);
+
+        // Completion retires the partial session for the full cached parse.
+        write_synthetic_trace(fs.as_ref(), "/traces/inflight", 8, 2).unwrap();
+        let full = index.follow_session("inflight").unwrap();
+        assert_eq!(full.supersteps(), vec![0, 1, 2]);
+        assert!(full.result().is_some());
+        assert_eq!(index.live_resident(), 0, "terminal jobs must not hold partial sessions");
+        let direct = index.session("inflight").unwrap();
+        assert!(Arc::ptr_eq(&full, &direct), "completed jobs share the non-follow cache");
+    }
+
+    #[test]
+    fn follow_session_serves_stale_on_refresh_failure() {
+        use crate::synth::{commit_synthetic_snapshot, write_synthetic_live_trace};
+        let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+        write_synthetic_live_trace(fs.as_ref(), "/traces/flaky", 8, 2, 1).unwrap();
+        let index = TraceIndex::new(Arc::clone(&fs), "/traces", 4, Obs::wall());
+        let first = index.follow_session("flaky").unwrap();
+
+        // The frontier advances but the trace bytes go bad mid-write: the
+        // previous partial session answers instead of a 500.
+        fs.write_all("/traces/flaky/worker_0.trace", b"{ mid-file corruption }\n{\"x\"").unwrap();
+        commit_synthetic_snapshot(fs.as_ref(), "/traces/flaky", 2, 1).unwrap();
+        let stale = index.follow_session("flaky").unwrap();
+        assert!(Arc::ptr_eq(&first, &stale), "a failed refresh must serve the cached session");
+        let registry = index.obs.registry();
+        assert_eq!(registry.counter_value("server_live_stale_serves", Scope::GLOBAL), 1);
+
+        // A job that never parsed has nothing to fall back to.
+        fs.mkdirs("/traces/broken").unwrap();
+        fs.write_all("/traces/broken/meta.json", b"{ not json").unwrap();
+        assert!(matches!(index.follow_session("broken"), Err(IndexError::Session(_))));
+    }
+
+    #[test]
+    fn live_snapshot_and_events_read_the_obs_channels() {
+        use crate::synth::write_synthetic_live_trace;
+        let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+        write_synthetic_live_trace(fs.as_ref(), "/traces/live", 8, 2, 2).unwrap();
+        let index = TraceIndex::new(Arc::clone(&fs), "/traces", 4, Obs::wall());
+
+        let snap = index.live_snapshot("live").unwrap().unwrap();
+        assert_eq!(snap.seq, 2);
+        assert_eq!(snap.watermark, Some(1));
+        let events = index.live_events("live").unwrap();
+        assert_eq!(events.iter().filter(|e| e.is_point("watermark")).count(), 2);
+
+        // A torn trailing event line is skipped, not an error.
+        let mut w = fs.append("/traces/live/obs/events.jsonl").unwrap();
+        use std::io::Write as _;
+        w.write_all(b"{\"ts\":9,\"kind\":\"to").unwrap();
+        w.sync().unwrap();
+        assert_eq!(index.live_events("live").unwrap().len(), events.len());
+
+        assert!(matches!(index.live_snapshot("ghost"), Err(IndexError::NoSuchJob(_))));
+        assert!(matches!(index.live_events("../x"), Err(IndexError::BadJobId(_))));
+        // A job that never streamed has no snapshot and no events.
+        write_synthetic_trace(fs.as_ref(), "/traces/plain", 8, 2).unwrap();
+        assert!(index.live_snapshot("plain").unwrap().is_none());
+        assert!(index.live_events("plain").unwrap().is_empty());
     }
 
     #[test]

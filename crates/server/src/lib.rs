@@ -12,6 +12,11 @@
 //! The server is built from scratch on `std::net` — no HTTP dependency
 //! exists in this workspace — with a bounded request parser
 //! ([`http`]), a fixed worker pool ([`pool`]), and graceful shutdown.
+//! With [`server::ServerConfig::follow`] it also monitors *in-flight*
+//! jobs: `/jobs/{id}/live` (with `?after_seq=` long-polling),
+//! `/jobs/{id}/live/metrics`, and `/jobs/{id}/live/timeline` render the
+//! job's committed live snapshots and streaming event log, and the
+//! standard views serve the watermark-covered superstep prefix ([`live`]).
 //! Response bodies come from `graft::views::json`, the same serializer
 //! `graft-cli --format json` uses, so both surfaces are byte-identical.
 //!
@@ -37,6 +42,7 @@
 pub mod client;
 pub mod http;
 pub mod index;
+pub mod live;
 pub mod pool;
 pub mod server;
 pub mod synth;

@@ -1,0 +1,106 @@
+//! Live-monitoring views served under `/jobs/{id}/live` in follow mode:
+//! the status document, the Prometheus re-export of the job's own
+//! committed metrics snapshot, and the GiViP-style phase timeline folded
+//! from the streaming event log.
+//!
+//! Rendering is pure (snapshot or events in, bytes out); polling,
+//! long-poll waits, and partial-session caching live in [`crate::index`]
+//! and [`crate::server`], so these functions are unit-testable without
+//! sockets.
+
+use graft_obs::{to_prometheus, Event, LiveSnapshot, Profile};
+use serde_json::Value;
+
+/// The `/jobs/{id}/live` status document: the committed snapshot minus
+/// its embedded metrics (those have their own endpoint), plus the job id.
+pub fn live_doc(job: &str, snapshot: &LiveSnapshot) -> String {
+    let mut value = serde_json::to_value(snapshot).expect("snapshot serialization is infallible");
+    if let Value::Object(map) = &mut value {
+        map.remove("metrics");
+        map.insert("job".to_string(), Value::String(job.to_string()));
+    }
+    let mut line = value.to_string();
+    line.push('\n');
+    line
+}
+
+/// The `/jobs/{id}/live/metrics` body: the job's committed metrics
+/// snapshot as Prometheus text. The server's own registry stays on
+/// `/metrics`; this endpoint is the job as its last flush saw itself.
+pub fn live_metrics(snapshot: &LiveSnapshot) -> String {
+    to_prometheus(&snapshot.metrics)
+}
+
+/// The `/jobs/{id}/live/timeline` body: the per-superstep phase profile
+/// folded from the (possibly still-growing) event log, as pretty JSON —
+/// the same document `graft-cli profile --export json` prints.
+pub fn timeline_json(events: &[Event]) -> Result<String, String> {
+    Profile::build(events, None).map(|profile| profile.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_obs::{StragglerRecord, EDGE_END, STATUS_RUNNING};
+    use std::collections::BTreeMap;
+
+    fn snapshot() -> LiveSnapshot {
+        LiveSnapshot {
+            seq: 4,
+            status: STATUS_RUNNING.to_string(),
+            superstep: Some(3),
+            watermark: Some(2),
+            recoveries: 1,
+            stragglers: vec![StragglerRecord {
+                superstep: 1,
+                worker: 2,
+                nanos: 900,
+                median_nanos: 100,
+            }],
+            ..LiveSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn live_doc_carries_the_job_id_and_drops_the_metrics() {
+        let doc = live_doc("demo", &snapshot());
+        assert!(doc.ends_with('\n'));
+        let value: Value = serde_json::from_str(doc.trim_end()).unwrap();
+        assert_eq!(value.get("job").and_then(Value::as_str), Some("demo"));
+        assert_eq!(value.get("seq").and_then(Value::as_u64), Some(4));
+        assert_eq!(value.get("watermark").and_then(Value::as_u64), Some(2));
+        assert_eq!(value.get("status").and_then(Value::as_str), Some(STATUS_RUNNING));
+        assert!(value.get("metrics").is_none(), "metrics have their own endpoint");
+        let stragglers = value.get("stragglers").and_then(Value::as_array).unwrap();
+        assert_eq!(stragglers[0].get("worker").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn live_metrics_is_prometheus_text_of_the_snapshot() {
+        // A default (empty) snapshot renders to empty Prometheus text —
+        // no panic, no server-registry leakage.
+        assert_eq!(live_metrics(&LiveSnapshot::default()), to_prometheus(&Default::default()));
+    }
+
+    #[test]
+    fn timeline_folds_partial_event_logs() {
+        let end = |kind: &str, ss: u64, dur: u64| Event {
+            ts: 0,
+            kind: kind.to_string(),
+            edge: EDGE_END.to_string(),
+            superstep: Some(ss),
+            worker: None,
+            dur: Some(dur),
+            attrs: BTreeMap::new(),
+        };
+        let events =
+            vec![end("phase.compute", 0, 70), end("superstep", 0, 100), end("phase.compute", 1, 9)];
+        let json = timeline_json(&events).unwrap();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        let steps = value.get("supersteps").and_then(Value::as_array).unwrap();
+        // Superstep 1 is mid-flight (no end span yet) but already visible.
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].get("wall_nanos").and_then(Value::as_u64), Some(100));
+        assert!(timeline_json(&[]).is_err(), "an empty log has no timeline");
+    }
+}

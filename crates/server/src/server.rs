@@ -8,19 +8,24 @@
 //! [`Obs`] registry; `/metrics` re-exports the whole registry as
 //! Prometheus text, server and engine metrics side by side.
 
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use graft::untyped::UntypedSession;
 use graft::views::json as vj;
 use graft_dfs::FileSystem;
-use graft_obs::{to_prometheus, Obs, Scope};
+use graft_obs::{to_prometheus, LiveSnapshot, Obs, Scope};
 
 use crate::http::{self, HttpError, Request, Response};
 use crate::index::{IndexError, TraceIndex};
+use crate::live;
 use crate::pool::ThreadPool;
+
+/// How often a long-polling live route re-checks for a newer snapshot.
+const LONG_POLL_INTERVAL: Duration = Duration::from_millis(15);
 
 /// Tuning knobs for [`serve`].
 pub struct ServerConfig {
@@ -39,6 +44,15 @@ pub struct ServerConfig {
     pub max_head_bytes: usize,
     /// Cap on a request body.
     pub max_body_bytes: usize,
+    /// Follow mode: serve the `/jobs/{id}/live*` monitoring endpoints and
+    /// render the standard views of in-flight jobs from their
+    /// watermark-covered superstep prefix. Completed jobs are served
+    /// through the exact non-follow path, so their responses stay
+    /// byte-identical.
+    pub follow: bool,
+    /// How long a `?after_seq=` long-poll waits for the next snapshot
+    /// before answering with the current one (the client just re-polls).
+    pub long_poll_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +65,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             max_head_bytes: http::MAX_HEAD_BYTES,
             max_body_bytes: http::MAX_BODY_BYTES,
+            follow: false,
+            long_poll_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -108,6 +124,8 @@ pub fn serve(
         read_timeout: config.read_timeout,
         max_head_bytes: config.max_head_bytes,
         max_body_bytes: config.max_body_bytes,
+        follow: config.follow,
+        long_poll_timeout: config.long_poll_timeout,
     });
 
     let accept_stop = Arc::clone(&stop);
@@ -136,6 +154,8 @@ struct Shared {
     read_timeout: Duration,
     max_head_bytes: usize,
     max_body_bytes: usize,
+    follow: bool,
+    long_poll_timeout: Duration,
 }
 
 impl Shared {
@@ -193,12 +213,21 @@ impl Shared {
         }
         let segments = request.segments();
         match segments.as_slice() {
-            [] => ("root", endpoint_listing()),
+            [] => ("root", endpoint_listing(self.follow)),
             ["metrics"] => ("metrics", self.metrics()),
             ["jobs"] => ("jobs", self.jobs()),
             ["jobs", id] => self.with_job("job", id, |job, s| {
                 Response::json(200, vj::to_line(&vj::job_json(job, s)))
             }),
+            ["jobs", id, "live"] => self.live_route("live", id, &request.query, |job, snap| {
+                Response::json(200, live::live_doc(job, snap))
+            }),
+            ["jobs", id, "live", "metrics"] => {
+                self.live_route("live_metrics", id, &request.query, |_, snap| {
+                    Response::text(200, live::live_metrics(snap))
+                })
+            }
+            ["jobs", id, "live", "timeline"] => self.live_timeline(id, &request.query),
             ["jobs", id, "supersteps"] => self.with_job("supersteps", id, |_, s| {
                 Response::json(200, vj::to_line(&vj::supersteps_json(s)))
             }),
@@ -275,11 +304,86 @@ impl Shared {
         id: &str,
         render: impl FnOnce(&str, &UntypedSession) -> Response,
     ) -> (&'static str, Response) {
-        match self.index.session(id) {
+        // Follow mode routes through the live-aware path: in-flight jobs
+        // get a partial session over their committed supersteps, finished
+        // jobs fall through to the same cached full parse as below.
+        let session =
+            if self.follow { self.index.follow_session(id) } else { self.index.session(id) };
+        match session {
             Ok(session) => (endpoint, render(id, &session)),
-            Err(e @ IndexError::BadJobId(_)) => ("reject", Response::error(400, &e.to_string())),
-            Err(e @ IndexError::NoSuchJob(_)) => ("reject", Response::error(404, &e.to_string())),
-            Err(e @ IndexError::Session(_)) => ("reject", Response::error(500, &e.to_string())),
+            Err(e) => ("reject", index_error(&e)),
+        }
+    }
+
+    /// Shared scaffolding of the snapshot-rendering live routes: gate on
+    /// follow mode, resolve the snapshot (long-polling when `after_seq`
+    /// is given), then render.
+    fn live_route(
+        &self,
+        endpoint: &'static str,
+        id: &str,
+        query: &BTreeMap<String, String>,
+        render: impl FnOnce(&str, &LiveSnapshot) -> Response,
+    ) -> (&'static str, Response) {
+        if !self.follow {
+            return ("reject", follow_required());
+        }
+        match self.wait_for_snapshot(id, query) {
+            Ok(Some(snapshot)) => (endpoint, render(id, &snapshot)),
+            Ok(None) => (
+                "reject",
+                Response::error(
+                    404,
+                    &format!("job {id:?} has no live snapshots (run with live flushing enabled)"),
+                ),
+            ),
+            Err(e) => ("reject", index_error(&e)),
+        }
+    }
+
+    fn live_timeline(
+        &self,
+        id: &str,
+        query: &BTreeMap<String, String>,
+    ) -> (&'static str, Response) {
+        if !self.follow {
+            return ("reject", follow_required());
+        }
+        // `after_seq=` long-polls the timeline too: wait for the next
+        // flush (which appends the events) before folding the log.
+        if query.contains_key("after_seq") {
+            if let Err(e) = self.wait_for_snapshot(id, query) {
+                return ("reject", index_error(&e));
+            }
+        }
+        match self.index.live_events(id) {
+            Ok(events) => match live::timeline_json(&events) {
+                Ok(json) => ("live_timeline", Response::json(200, json)),
+                Err(why) => ("reject", Response::error(404, &why)),
+            },
+            Err(e) => ("reject", index_error(&e)),
+        }
+    }
+
+    /// Resolves the snapshot a live route renders: the newest committed
+    /// one, or — with `?after_seq=N` — the first with a higher sequence
+    /// number, sleeping in short intervals until the flush happens or
+    /// the long-poll timeout elapses (then the current snapshot answers
+    /// and the client re-polls).
+    fn wait_for_snapshot(
+        &self,
+        id: &str,
+        query: &BTreeMap<String, String>,
+    ) -> Result<Option<LiveSnapshot>, IndexError> {
+        let after_seq = query.get("after_seq").and_then(|v| v.parse::<u64>().ok());
+        let deadline = Instant::now() + self.long_poll_timeout;
+        loop {
+            let snapshot = self.index.live_snapshot(id)?;
+            let Some(after) = after_seq else { return Ok(snapshot) };
+            if snapshot.as_ref().is_some_and(|s| s.seq > after) || Instant::now() >= deadline {
+                return Ok(snapshot);
+            }
+            std::thread::sleep(LONG_POLL_INTERVAL);
         }
     }
 
@@ -298,6 +402,18 @@ impl Shared {
             }
         })
     }
+}
+
+fn index_error(e: &IndexError) -> Response {
+    match e {
+        IndexError::BadJobId(_) => Response::error(400, &e.to_string()),
+        IndexError::NoSuchJob(_) => Response::error(404, &e.to_string()),
+        IndexError::Session(_) => Response::error(500, &e.to_string()),
+    }
+}
+
+fn follow_required() -> Response {
+    Response::error(404, "live endpoints need a follow-mode server (serve --follow)")
 }
 
 fn parse_param(
@@ -324,22 +440,28 @@ fn lingering_close(mut stream: TcpStream) {
     }
 }
 
-/// `GET /` — a self-describing endpoint list.
-fn endpoint_listing() -> Response {
-    Response::json(
-        200,
-        concat!(
-            "{\"endpoints\":[",
-            "\"/jobs\",",
-            "\"/jobs/{id}\",",
-            "\"/jobs/{id}/supersteps\",",
-            "\"/jobs/{id}/violations\",",
-            "\"/jobs/{id}/ss/{n}/node-link\",",
-            "\"/jobs/{id}/ss/{n}/tabular?q=&page=&per_page=\",",
-            "\"/jobs/{id}/ss/{n}/violations\",",
-            "\"/jobs/{id}/repro/{vertex}/{ss}\",",
-            "\"/metrics\"",
-            "]}\n"
-        ),
-    )
+/// `GET /` — a self-describing endpoint list. Follow mode appends the
+/// live-monitoring routes; without it the bytes match the pre-follow
+/// listing exactly.
+fn endpoint_listing(follow: bool) -> Response {
+    let mut endpoints = vec![
+        "/jobs",
+        "/jobs/{id}",
+        "/jobs/{id}/supersteps",
+        "/jobs/{id}/violations",
+        "/jobs/{id}/ss/{n}/node-link",
+        "/jobs/{id}/ss/{n}/tabular?q=&page=&per_page=",
+        "/jobs/{id}/ss/{n}/violations",
+        "/jobs/{id}/repro/{vertex}/{ss}",
+    ];
+    if follow {
+        endpoints.extend([
+            "/jobs/{id}/live?after_seq=",
+            "/jobs/{id}/live/metrics",
+            "/jobs/{id}/live/timeline",
+        ]);
+    }
+    endpoints.push("/metrics");
+    let list = endpoints.iter().map(|e| format!("\"{e}\"")).collect::<Vec<_>>().join(",");
+    Response::json(200, format!("{{\"endpoints\":[{list}]}}\n"))
 }

@@ -4,12 +4,18 @@
 //! running the Pregel engine — so the server crate can exercise jobs of
 //! any size cheaply, and `bench_server` can scale the corpus.
 
+use std::collections::BTreeMap;
+
 use graft::trace::{
     encode_record, meta_path, result_path, worker_trace_path, ExceptionInfo, JobMeta,
     JobResultRecord, VertexTrace, ViolationKind, ViolationRecord,
 };
 use graft::{CaptureReason, TraceCodec};
 use graft_dfs::{FileSystem, FsResult};
+use graft_obs::{
+    to_jsonl, Event, LiveSnapshot, EDGE_END, EDGE_POINT, EVENTS_FILE, LIVE_DIR, SNAPSHOT_PREFIX,
+    SNAPSHOT_SUFFIX, STATUS_RUNNING, WATERMARK_EVENT,
+};
 use graft_pregel::GlobalData;
 
 /// The synthetic trace: `vertices` ring vertices over 3 supersteps,
@@ -23,6 +29,26 @@ pub fn write_synthetic_trace(
     workers: usize,
 ) -> FsResult<()> {
     let workers = workers.max(1);
+    let supersteps = 3u64;
+    write_meta(fs, root, workers)?;
+    let (buffers, captures, violations, exceptions) =
+        synth_rows(vertices, workers, 0..supersteps, supersteps);
+    for (worker, buffer) in buffers.iter().enumerate() {
+        fs.write_all(&worker_trace_path(root, worker), buffer)?;
+    }
+
+    let result = JobResultRecord {
+        supersteps_executed: supersteps,
+        error: None,
+        captures,
+        violations,
+        exceptions,
+        capture_limit_hit: false,
+    };
+    fs.write_all(&result_path(root), serde_json::to_string(&result).expect("result").as_bytes())
+}
+
+fn write_meta(fs: &dyn FileSystem, root: &str, workers: usize) -> FsResult<()> {
     let meta = JobMeta {
         computation: "SynthComputation".to_string(),
         computation_type: "graft_server::synth::SynthComputation".to_string(),
@@ -34,14 +60,24 @@ pub fn write_synthetic_trace(
         facts: None,
     };
     fs.mkdirs(root)?;
-    fs.write_all(&meta_path(root), serde_json::to_string(&meta).expect("meta").as_bytes())?;
+    fs.write_all(&meta_path(root), serde_json::to_string(&meta).expect("meta").as_bytes())
+}
 
-    let supersteps = 3u64;
+/// Encodes the synthetic rows for the given superstep range, sharded
+/// across `workers` buffers. `total` is the job's full superstep count
+/// (it decides halting), so an in-flight prefix encodes the same bytes
+/// the finished job would.
+fn synth_rows(
+    vertices: u64,
+    workers: usize,
+    range: std::ops::Range<u64>,
+    total: u64,
+) -> (Vec<Vec<u8>>, u64, u64, u64) {
     let mut buffers: Vec<Vec<u8>> = vec![Vec::new(); workers];
     let mut violations = 0u64;
     let mut exceptions = 0u64;
     let mut captures = 0u64;
-    for superstep in 0..supersteps {
+    for superstep in range {
         for vertex in 0..vertices {
             let value = (vertex as i64) * 10 + superstep as i64;
             let next = (vertex + 1) % vertices;
@@ -57,7 +93,7 @@ pub fn write_synthetic_trace(
                 outgoing: if excepting { vec![] } else { vec![(next, value + 1)] },
                 aggregators: vec![],
                 global: GlobalData { superstep, num_vertices: vertices, num_edges: vertices },
-                halted_after: superstep + 1 == supersteps && !excepting,
+                halted_after: superstep + 1 == total && !excepting,
                 reasons: vec![if excepting {
                     CaptureReason::Exception
                 } else {
@@ -88,19 +124,90 @@ pub fn write_synthetic_trace(
                 .expect("json encode");
         }
     }
+    (buffers, captures, violations, exceptions)
+}
+
+/// A synthetic *in-flight* job: the first `complete` supersteps of the
+/// standard 3-superstep synthetic trace, with no `result.json`, a torn
+/// trailing row on worker 0 (caught mid-append, no final newline), and a
+/// live obs directory — `events.jsonl` carrying superstep spans and
+/// watermark records, plus one committed `live/snapshot_<seq>.json` per
+/// completed superstep (and a stray `.tmp` staging file readers must
+/// ignore).
+pub fn write_synthetic_live_trace(
+    fs: &dyn FileSystem,
+    root: &str,
+    vertices: u64,
+    workers: usize,
+    complete: u64,
+) -> FsResult<()> {
+    let workers = workers.max(1);
+    let complete = complete.min(2); // superstep 3 would finish the job
+    write_meta(fs, root, workers)?;
+    let (mut buffers, _, _, _) = synth_rows(vertices, workers, 0..complete, 3);
+    // The in-flight superstep's first row, torn mid-append.
+    buffers[0].extend_from_slice(b"{\"superstep\":");
+    buffers[0].extend_from_slice(complete.to_string().as_bytes());
+    buffers[0].extend_from_slice(b",\"vertex\":0,\"value_bef");
     for (worker, buffer) in buffers.iter().enumerate() {
         fs.write_all(&worker_trace_path(root, worker), buffer)?;
     }
 
-    let result = JobResultRecord {
-        supersteps_executed: supersteps,
-        error: None,
-        captures,
-        violations,
-        exceptions,
-        capture_limit_hit: false,
+    let obs_dir = format!("{root}/obs");
+    let mut events = Vec::new();
+    for superstep in 0..complete {
+        events.push(Event {
+            ts: superstep * 100,
+            kind: "superstep".to_string(),
+            edge: EDGE_END.to_string(),
+            superstep: Some(superstep),
+            worker: None,
+            dur: Some(100),
+            attrs: BTreeMap::from([("messages_sent".to_string(), vertices.to_string())]),
+        });
+        events.push(Event {
+            ts: superstep * 100,
+            kind: WATERMARK_EVENT.to_string(),
+            edge: EDGE_POINT.to_string(),
+            superstep: Some(superstep),
+            worker: None,
+            dur: None,
+            attrs: BTreeMap::from([("frontier".to_string(), superstep.to_string())]),
+        });
+    }
+    fs.write_all(&format!("{obs_dir}/{EVENTS_FILE}"), to_jsonl(&events).as_bytes())?;
+    for seq in 1..=complete {
+        commit_synthetic_snapshot(fs, root, seq, seq - 1)?;
+    }
+    fs.write_all(
+        &format!("{obs_dir}/{LIVE_DIR}/{SNAPSHOT_PREFIX}99{SNAPSHOT_SUFFIX}.tmp"),
+        b"{torn staging write",
+    )
+}
+
+/// Commits one more live snapshot for an in-flight synthetic job — the
+/// knob benches and tests turn to make the frontier advance without
+/// running an engine. `seq` must exceed previously committed sequences.
+pub fn commit_synthetic_snapshot(
+    fs: &dyn FileSystem,
+    root: &str,
+    seq: u64,
+    watermark: u64,
+) -> FsResult<()> {
+    let snapshot = LiveSnapshot {
+        seq,
+        status: STATUS_RUNNING.to_string(),
+        superstep: Some(watermark + 1),
+        watermark: Some(watermark),
+        ..LiveSnapshot::default()
     };
-    fs.write_all(&result_path(root), serde_json::to_string(&result).expect("result").as_bytes())
+    let live_dir = format!("{root}/obs/{LIVE_DIR}");
+    fs.mkdirs(&live_dir)?;
+    let tmp = format!("{live_dir}/{SNAPSHOT_PREFIX}{seq}{SNAPSHOT_SUFFIX}.tmp");
+    let mut body = serde_json::to_string(&snapshot).expect("snapshot").into_bytes();
+    body.push(b'\n');
+    fs.write_all(&tmp, &body)?;
+    fs.rename(&tmp, &format!("{live_dir}/{SNAPSHOT_PREFIX}{seq}{SNAPSHOT_SUFFIX}"))
 }
 
 #[cfg(test)]
@@ -109,6 +216,25 @@ mod tests {
     use graft::untyped::UntypedSession;
     use graft_dfs::InMemoryFs;
     use std::sync::Arc;
+
+    #[test]
+    fn live_traces_open_partial_with_snapshots_committed() {
+        let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+        write_synthetic_live_trace(fs.as_ref(), "/t/inflight", 12, 3, 2).unwrap();
+        // The torn trailing row makes a strict parse fail...
+        assert!(UntypedSession::open(Arc::clone(&fs), "/t/inflight").is_err());
+        // ...while the watermark-bounded partial parse serves the prefix.
+        let session = UntypedSession::open_partial(Arc::clone(&fs), "/t/inflight", 1).unwrap();
+        assert_eq!(session.supersteps(), vec![0, 1]);
+        assert_eq!(session.count_at(0), 12);
+        assert!(session.result().is_none(), "in-flight jobs have no result.json");
+        let snap = graft_obs::latest_snapshot(fs.as_ref(), "/t/inflight/obs").unwrap().unwrap();
+        assert_eq!(snap.seq, 2);
+        assert_eq!(snap.watermark, Some(1));
+        commit_synthetic_snapshot(fs.as_ref(), "/t/inflight", 3, 1).unwrap();
+        let snap = graft_obs::latest_snapshot(fs.as_ref(), "/t/inflight/obs").unwrap().unwrap();
+        assert_eq!(snap.seq, 3);
+    }
 
     #[test]
     fn synthetic_traces_open_untyped_with_all_views_populated() {

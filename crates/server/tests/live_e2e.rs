@@ -1,0 +1,187 @@
+//! Follow-mode end to end: a real paced job streamed through a shared
+//! file system is observable over HTTP while it runs — the live snapshot
+//! sequence and watermark advance across polls, the standard views serve
+//! the completed-superstep prefix in flight, `?after_seq=` long-polls —
+//! and once the job completes, every follow-mode response is
+//! byte-identical to a plain (non-follow) server over the same traces.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graft::{DebugConfig, GraftRunner};
+use graft_algorithms::pagerank::PageRank;
+use graft_dfs::{FileSystem, InMemoryFs};
+use graft_obs::Obs;
+use graft_server::client::HttpClient;
+use graft_server::server::{serve, ServerConfig, ServerHandle};
+use graft_server::synth::{commit_synthetic_snapshot, write_synthetic_live_trace};
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+fn follow_server(fs: &Arc<dyn FileSystem>) -> ServerHandle {
+    let config = ServerConfig { follow: true, workers: 4, ..ServerConfig::default() };
+    serve(Arc::clone(fs), "/traces", Obs::wall(), config).unwrap()
+}
+
+fn doc(body: &str) -> serde_json::Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("unparsable doc {body:?}: {e}"))
+}
+
+#[test]
+fn follow_mode_observes_an_in_flight_job_then_converges_with_a_plain_server() {
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    let runner = {
+        let fs = Arc::clone(&fs);
+        std::thread::spawn(move || {
+            let mut b = graft_pregel::Graph::builder();
+            for v in 0..32u64 {
+                b.add_vertex(v, 0.0).unwrap();
+            }
+            for v in 0..32u64 {
+                b.add_edge(v, (v + 1) % 32, ()).unwrap();
+            }
+            let config = DebugConfig::<PageRank>::builder().capture_all_active(true).build();
+            let run = GraftRunner::new(PageRank::new(8), config)
+                .with_fs(fs)
+                .with_obs(Obs::wall())
+                .live_flush(true)
+                .pace_supersteps(Duration::from_millis(25))
+                .num_workers(2)
+                .run(b.build().unwrap(), "/traces/live")
+                .unwrap();
+            assert!(run.outcome.is_ok(), "the paced job itself failed");
+        })
+    };
+    let handle = follow_server(&fs);
+    let mut client = HttpClient::new(handle.addr());
+    let deadline = Instant::now() + DEADLINE;
+
+    // Wait for the first committed snapshot to become servable.
+    let mut body = loop {
+        assert!(Instant::now() < deadline, "no live snapshot before the deadline");
+        match client.get("/jobs/live/live") {
+            Ok(r) if r.status == 200 => break r.text().to_string(),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    };
+
+    // Follow the run to completion through `after_seq` long-polls.
+    let mut watermarks: Vec<u64> = Vec::new();
+    let mut last_seq = 0u64;
+    let mut checked_in_flight = false;
+    loop {
+        let snapshot = doc(&body);
+        let seq = snapshot["seq"].as_u64().expect("live doc has a seq");
+        assert!(seq >= last_seq, "snapshot seq regressed: {last_seq} -> {seq}");
+        last_seq = seq;
+        assert_eq!(snapshot["job"].as_str(), Some("live"), "live doc names its job");
+        if let Some(watermark) = snapshot["watermark"].as_u64() {
+            assert!(watermarks.last().is_none_or(|w| *w <= watermark), "watermark regressed");
+            if watermarks.last() != Some(&watermark) {
+                watermarks.push(watermark);
+            }
+            if !checked_in_flight && snapshot["status"].as_str() == Some("running") {
+                // Completed supersteps of the in-flight job are already
+                // browsable through the standard views.
+                let views = client.get("/jobs/live/supersteps").unwrap();
+                assert_eq!(views.status, 200, "in-flight supersteps view");
+                let listed = doc(views.text());
+                assert!(
+                    listed["supersteps"].as_array().is_some_and(|s| !s.is_empty()),
+                    "partial view lists the completed prefix: {listed}"
+                );
+                checked_in_flight = true;
+            }
+        }
+        if snapshot["status"].as_str() != Some("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job did not finish before the deadline");
+        let r = client.get(&format!("/jobs/live/live?after_seq={seq}")).unwrap();
+        assert_eq!(r.status, 200);
+        body = r.text().to_string();
+    }
+    runner.join().unwrap();
+    assert_eq!(doc(&body)["status"].as_str(), Some("finished"));
+    assert!(
+        watermarks.len() >= 2,
+        "the watermark must advance across polls, saw only {watermarks:?}"
+    );
+    assert!(checked_in_flight, "never caught the job in flight with a watermark");
+
+    // The final live metrics carry the frontier gauge the writer commits.
+    let metrics = client.get("/jobs/live/live/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().contains("live_watermark"), "{}", metrics.text());
+
+    // Post-completion convergence: byte-identical to a plain server.
+    let plain = serve(
+        Arc::clone(&fs),
+        "/traces",
+        Obs::wall(),
+        ServerConfig { workers: 4, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut plain_client = HttpClient::new(plain.addr());
+    for path in [
+        "/jobs",
+        "/jobs/live",
+        "/jobs/live/supersteps",
+        "/jobs/live/violations",
+        "/jobs/live/ss/1/node-link",
+        "/jobs/live/ss/1/tabular?page=1&per_page=10",
+        "/jobs/live/ss/1/violations",
+    ] {
+        let follow = client.get(path).unwrap();
+        let direct = plain_client.get(path).unwrap();
+        assert_eq!(follow.status, 200, "{path}");
+        assert_eq!(direct.status, 200, "{path}");
+        assert_eq!(follow.body, direct.body, "{path} diverged between follow and plain servers");
+    }
+}
+
+#[test]
+fn live_routes_require_follow_mode() {
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    write_synthetic_live_trace(fs.as_ref(), "/traces/live-job", 24, 4, 2).unwrap();
+
+    let plain = serve(Arc::clone(&fs), "/traces", Obs::wall(), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::new(plain.addr());
+    for path in
+        ["/jobs/live-job/live", "/jobs/live-job/live/metrics", "/jobs/live-job/live/timeline"]
+    {
+        let r = client.get(path).unwrap();
+        assert_eq!(r.status, 404, "{path} without --follow");
+        assert!(r.text().contains("--follow"), "{path} explains the flag: {}", r.text());
+    }
+
+    let follow = follow_server(&fs);
+    let mut client = HttpClient::new(follow.addr());
+    for path in
+        ["/jobs/live-job/live", "/jobs/live-job/live/metrics", "/jobs/live-job/live/timeline"]
+    {
+        assert_eq!(client.get(path).unwrap().status, 200, "{path} with --follow");
+    }
+}
+
+#[test]
+fn after_seq_long_polls_until_a_newer_snapshot_commits() {
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    write_synthetic_live_trace(fs.as_ref(), "/traces/live-job", 24, 4, 2).unwrap();
+    let handle = follow_server(&fs);
+    let mut client = HttpClient::new(handle.addr());
+
+    // The fixture's frontier is at seq 2; commit seq 3 shortly after the
+    // long-poll starts waiting.
+    let committer = {
+        let fs = Arc::clone(&fs);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            commit_synthetic_snapshot(fs.as_ref(), "/traces/live-job", 3, 1).unwrap();
+        })
+    };
+    let r = client.get("/jobs/live-job/live?after_seq=2").unwrap();
+    committer.join().unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(doc(r.text())["seq"].as_u64(), Some(3), "long-poll returns the newer snapshot");
+}

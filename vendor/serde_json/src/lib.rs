@@ -26,7 +26,7 @@ mod value;
 mod write;
 
 pub use de::{from_slice, from_str, from_value};
-pub use ser::{to_string, to_string_pretty, to_value, to_vec, to_vec_pretty};
+pub use ser::{to_string, to_string_pretty, to_value, to_vec, to_vec_into, to_vec_pretty};
 pub use value::{Map, Number, Value};
 
 /// Errors produced while encoding or decoding JSON.

@@ -22,6 +22,15 @@ pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON appended to `out`, reusing the
+/// buffer's allocation — callers that serialize in a loop clear and
+/// reuse one buffer instead of allocating per record.
+pub fn to_vec_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<()> {
+    let tree = to_value(value)?;
+    write_value(out, &tree, None, 0);
+    Ok(())
+}
+
 /// Serializes `value` to a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     String::from_utf8(to_vec(value)?).map_err(|e| Error(e.to_string()))
