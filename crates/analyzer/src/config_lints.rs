@@ -1,5 +1,5 @@
 //! Static validation of a [`ConfigFacts`] summary (GA0006–GA0013,
-//! GA0015–GA0017).
+//! GA0015–GA0018).
 //!
 //! These lints need no computation and no traces — just the config
 //! summary the runner writes into `meta.json` — so they run both from
@@ -9,7 +9,8 @@ use graft::{ConfigFacts, SuperstepFilter};
 use graft_pregel::{Fault, FaultPlan};
 
 use crate::{
-    Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013, GA0015, GA0016, GA0017,
+    Finding, GA0006, GA0007, GA0008, GA0009, GA0010, GA0011, GA0012, GA0013, GA0015, GA0016,
+    GA0017, GA0018,
 };
 
 /// Runs every configuration lint over `facts`.
@@ -244,6 +245,28 @@ pub fn check_config(facts: &ConfigFacts) -> Vec<Finding> {
              see nothing — attach one with GraftRunner::with_obs"
                 .to_string(),
         ));
+    }
+
+    // GA0018: the out-of-core store guarantees progress under any budget,
+    // but a budget smaller than the largest single partition means *every*
+    // pin is a counted overrun: no two partitions are ever resident
+    // together, so workers serialize behind the disk and the budget caps
+    // nothing it was meant to cap. The runner records the estimate only
+    // when a budget is set; old meta.json files without either field are
+    // not judged.
+    if let (Some(budget), Some(largest)) = (facts.memory_budget, facts.est_max_partition_bytes) {
+        if budget < largest {
+            findings.push(Finding::global(
+                &GA0018,
+                format!(
+                    "memory budget of {budget} bytes is below the estimated footprint \
+                     of the largest partition ({largest} bytes); every partition pin \
+                     overruns the budget and execution degrades to one partition at \
+                     a time — raise the budget or increase the worker count to \
+                     shrink partitions"
+                ),
+            ));
+        }
     }
 
     findings
@@ -527,6 +550,43 @@ mod tests {
         // Old meta.json without the fields: nothing to judge.
         facts.live_flush = None;
         facts.obs_enabled = None;
+        assert!(check_config(&facts).is_empty());
+    }
+
+    #[test]
+    fn budget_below_largest_partition_is_ga0018() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
+        facts.memory_budget = Some(1_000);
+        facts.est_max_partition_bytes = Some(4_096);
+        let findings = check_config(&facts);
+        assert_eq!(ids(&findings), vec!["GA0018"]);
+        assert!(findings[0].detail.contains("4096 bytes"));
+    }
+
+    #[test]
+    fn budget_fitting_largest_partition_is_clean() {
+        let mut facts = DebugConfig::<Dummy>::builder()
+            .capture_all_active(true)
+            .supersteps(SuperstepFilter::After(1))
+            .build()
+            .facts();
+        // The boundary: a budget exactly the largest partition works —
+        // that partition can be resident alone without an overrun.
+        facts.memory_budget = Some(4_096);
+        facts.est_max_partition_bytes = Some(4_096);
+        assert!(check_config(&facts).is_empty());
+        facts.memory_budget = Some(1 << 20);
+        assert!(check_config(&facts).is_empty());
+        // No budget set (fully in-memory run): nothing to judge.
+        facts.memory_budget = None;
+        facts.est_max_partition_bytes = None;
+        assert!(check_config(&facts).is_empty());
+        // Old meta.json with a budget but no estimate: not judged either.
+        facts.memory_budget = Some(1);
         assert!(check_config(&facts).is_empty());
     }
 

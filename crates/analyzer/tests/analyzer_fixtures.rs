@@ -371,6 +371,64 @@ fn live_flush_with_obs_is_ga0017_clean_from_meta_json() {
 }
 
 #[test]
+fn budget_below_largest_partition_flags_ga0018_from_meta_json() {
+    // A one-byte memory budget: the out-of-core store still finishes the
+    // job (progress is guaranteed through counted overruns), but no
+    // partition ever fits, so the budget caps nothing. The runner records
+    // both the budget and the largest-partition estimate in meta.json;
+    // the untyped analysis catches the mismatch after the fact.
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::After(1))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(2)
+        .memory_budget(1)
+        .run(premade::cycle(4, u64::MAX), "/traces/budget-too-small")
+        .unwrap();
+    assert!(run.outcome.is_ok(), "a sub-partition budget must not fail the job");
+    let session = run.session().unwrap();
+    let facts = session.meta().facts.as_ref().unwrap();
+    assert_eq!(facts.memory_budget, Some(1));
+    assert!(facts.est_max_partition_bytes.unwrap() > 1);
+    let report = analyze_meta(session.meta());
+    assert_eq!(problem_ids(&report), vec!["GA0018"], "{}", report.to_text());
+    assert!(report.errors().is_empty(), "GA0018 is a warning, not an error");
+}
+
+#[test]
+fn budget_fitting_largest_partition_is_ga0018_clean_from_meta_json() {
+    // A generous budget analyzes clean, and an unbudgeted run records no
+    // estimate at all (nothing to judge).
+    let config = DebugConfig::<ConnectedComponents>::builder()
+        .capture_all_active(true)
+        .supersteps(SuperstepFilter::After(1))
+        .build();
+    let run = GraftRunner::new(ConnectedComponents, config.clone())
+        .num_workers(2)
+        .memory_budget(1 << 20)
+        .run(premade::cycle(4, u64::MAX), "/traces/budget-fits")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+    let session = run.session().unwrap();
+    let facts = session.meta().facts.as_ref().unwrap();
+    assert_eq!(facts.memory_budget, Some(1 << 20));
+    assert!(facts.est_max_partition_bytes.unwrap() <= 1 << 20);
+    let report = analyze_meta(session.meta());
+    assert!(report.is_clean(), "{}", report.to_text());
+
+    let run = GraftRunner::new(ConnectedComponents, config)
+        .num_workers(2)
+        .run(premade::cycle(4, u64::MAX), "/traces/no-budget")
+        .unwrap();
+    let session = run.session().unwrap();
+    let facts = session.meta().facts.as_ref().unwrap();
+    assert_eq!(facts.memory_budget, None);
+    assert_eq!(facts.est_max_partition_bytes, None);
+    assert!(analyze_meta(session.meta()).is_clean());
+}
+
+#[test]
 fn config_lints_work_untyped_from_meta_json() {
     // A config that can never capture: empty superstep Set. The runner
     // records the facts in meta.json; the untyped analysis reads them

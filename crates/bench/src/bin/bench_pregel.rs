@@ -1,9 +1,10 @@
 //! Engine throughput benchmark fed by the observability registry.
 //!
 //! `cargo run -p graft-bench --release --bin bench_pregel [--vertices N]
-//!  [--workers W] [--relay-supersteps S] [--check-pool-faster] [--out PATH]`
+//!  [--workers W] [--relay-supersteps S] [--scale-sweep-max V]
+//!  [--sweep-only] [--check-pool-faster] [--check-spills] [--out PATH]`
 //!
-//! Three sections, all written to `BENCH_pregel.json` (override with
+//! The sections, all written to `BENCH_pregel.json` (override with
 //! `--out`):
 //!
 //! 1. **Per-algorithm throughput** — each built-in algorithm on a
@@ -33,10 +34,20 @@
 //!    recovery, against a failure-free baseline with the identical
 //!    checkpoint schedule; the speedup column is whole-job wall restart
 //!    over log-replay.
+//! 6. **Out-of-core scale sweep** — RMAT PageRank at 10^4, 10^5, …
+//!    vertices up to `--scale-sweep-max` (default 10^6; the committed
+//!    report uses 10^7), each tier run unbounded and then under a
+//!    memory budget of a third of the graph's serialized footprint,
+//!    spilling to a local temp directory. Per tier: spill/load counts
+//!    and bytes, budget overruns, both wall times, and whether the
+//!    budgeted FNV checksum matched the unbounded run bit-for-bit.
 //!
 //! `--check-pool-faster` exits nonzero if the pooled engine is not
 //! faster than spawn-per-superstep on the relay workload — the CI
-//! bench-smoke gate.
+//! bench-smoke gate. `--check-spills` exits nonzero unless every sweep
+//! tier actually spilled under its budget AND reproduced the unbounded
+//! checksum — the CI ooc-smoke gate (pair with `--sweep-only` to skip
+//! the other sections).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -44,11 +55,12 @@ use std::sync::Arc;
 use graft_algorithms::components::ConnectedComponents;
 use graft_algorithms::pagerank::PageRank;
 use graft_algorithms::sssp::ShortestPaths;
-use graft_dfs::{FileSystem, InMemoryFs};
+use graft_datasets::rmat::{self, RmatParams};
+use graft_dfs::{FileSystem, InMemoryFs, LocalFs};
 use graft_obs::{Obs, Scope};
 use graft_pregel::{
-    CheckpointConfig, CombineStrategy, Computation, ContextOf, Engine, ExecutorMode, Graph,
-    JobStats, RecoveryMode, Value, VertexHandleOf,
+    estimate_max_partition_bytes, CheckpointConfig, CombineStrategy, Computation, ContextOf,
+    Engine, ExecutorMode, Graph, JobStats, OocConfig, RecoveryMode, Value, VertexHandleOf,
 };
 use serde::{Deserialize, Serialize};
 
@@ -155,6 +167,53 @@ struct RecoveryTime {
     recovery_speedup: f64,
 }
 
+/// One RMAT tier of the out-of-core scale sweep: the same PageRank job
+/// unbounded and under a memory budget of `graph_bytes / 3`, spilling
+/// overflow partitions and shuffle batches to a local temp directory.
+#[derive(Serialize, Deserialize)]
+struct OocScaleTier {
+    vertices: u64,
+    edges: u64,
+    /// Serialized footprint of the whole graph in checkpoint framing.
+    graph_bytes: u64,
+    /// Estimated footprint of the largest single partition (the GA0018
+    /// lint threshold).
+    est_max_partition_bytes: u64,
+    /// The cap the budgeted run executed under.
+    budget_bytes: u64,
+    supersteps: u64,
+    unbounded_wall_nanos: u64,
+    budgeted_wall_nanos: u64,
+    /// budgeted wall / unbounded wall — what going out of core costs.
+    ooc_slowdown: f64,
+    spills: u64,
+    spill_bytes: u64,
+    loads: u64,
+    load_bytes: u64,
+    shuffle_spills: u64,
+    budget_overruns: u64,
+    /// FNV-1a over the sorted (id, value-bits) stream of the unbounded
+    /// result — the same checksum `graft-cli run` prints.
+    checksum: String,
+    /// Whether the budgeted run reproduced that checksum bit-for-bit.
+    checksum_matches_unbounded: bool,
+}
+
+/// RMAT PageRank from 10^4 vertices up, each decade run in-memory and
+/// under a budget of a third of the graph's serialized footprint.
+#[derive(Serialize, Deserialize)]
+struct OocScaleSweep {
+    workload: String,
+    workers: u64,
+    /// Edges requested per vertex from the RMAT generator.
+    edge_factor: u64,
+    iterations: u64,
+    /// budget = graph_bytes / this.
+    budget_divisor: u64,
+    rmat_seed: u64,
+    tiers: Vec<OocScaleTier>,
+}
+
 #[derive(Serialize, Deserialize)]
 struct BenchReport {
     entries: Vec<BenchEntry>,
@@ -162,6 +221,7 @@ struct BenchReport {
     combining_comparison: CombiningComparison,
     sched_shim_overhead: SchedShimOverhead,
     recovery_time: RecoveryTime,
+    ooc_scale_sweep: OocScaleSweep,
 }
 
 /// Token relay around a pure ring: exactly one vertex computes per
@@ -201,13 +261,25 @@ fn main() -> ExitCode {
     let vertices = graft_bench::arg_u64("--vertices", 10_000);
     let workers = graft_bench::arg_u64("--workers", 4) as usize;
     let relay_supersteps = graft_bench::arg_u64("--relay-supersteps", 600);
+    let sweep_max = graft_bench::arg_u64("--scale-sweep-max", 1_000_000);
+    let sweep_only = graft_bench::arg_flag("--sweep-only");
     let check_pool_faster = graft_bench::arg_flag("--check-pool-faster");
+    let check_spills = graft_bench::arg_flag("--check-spills");
     let out = std::env::args()
         .collect::<Vec<_>>()
         .windows(2)
         .find(|w| w[0] == "--out")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "BENCH_pregel.json".to_string());
+
+    if sweep_only {
+        let sweep = bench_ooc_sweep(sweep_max, workers);
+        print_sweep(&sweep);
+        if check_spills && !sweep_is_sound(&sweep) {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let entries = vec![
         bench("pagerank", PageRank::new(8), build_graph(vertices, |_| 0.0, |_| ()), workers),
@@ -345,13 +417,18 @@ fn main() -> ExitCode {
         recovery_time.logging_overhead_nanos as f64 / 1e6
     );
 
+    let ooc_scale_sweep = bench_ooc_sweep(sweep_max, workers);
+    print_sweep(&ooc_scale_sweep);
+
     let pool_won = executor_comparison.pool_speedup > 1.0;
+    let sweep_sound = sweep_is_sound(&ooc_scale_sweep);
     let report = BenchReport {
         entries,
         executor_comparison,
         combining_comparison,
         sched_shim_overhead,
         recovery_time,
+        ooc_scale_sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write bench report");
@@ -359,6 +436,9 @@ fn main() -> ExitCode {
 
     if check_pool_faster && !pool_won {
         eprintln!("FAIL: persistent pool was not faster than spawn-per-superstep on the relay");
+        return ExitCode::FAILURE;
+    }
+    if check_spills && !sweep_sound {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -578,6 +658,167 @@ fn bench_recovery(vertices: u64) -> RecoveryTime {
         logging_overhead_nanos: logreplay_clean as i64 - restart_clean as i64,
         recovery_speedup: restart_recovery.max(1) as f64 / logreplay_recovery.max(1) as f64,
     }
+}
+
+/// RMAT PageRank at each decade of vertices up to `max_vertices`:
+/// unbounded in memory, then under a budget of a third of the graph's
+/// serialized footprint, spilling to a per-process temp directory on the
+/// real filesystem (the point of the sweep is that the budgeted run's
+/// resident set stays bounded while the graph does not). The engine
+/// removes its spill root when each job finishes; the temp directory is
+/// deleted after the sweep.
+fn bench_ooc_sweep(max_vertices: u64, workers: usize) -> OocScaleSweep {
+    const EDGE_FACTOR: u64 = 4;
+    const ITERATIONS: u64 = 3;
+    const BUDGET_DIVISOR: u64 = 3;
+    const SEED: u64 = 42;
+
+    let spill_root = std::env::temp_dir().join(format!("graft-bench-ooc-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_root).expect("create spill temp dir");
+    let checksum = |graph: &Graph<u64, f64, ()>| -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for (id, value) in graph.sorted_values() {
+            for word in [id, value.to_bits()] {
+                for byte in word.to_le_bytes() {
+                    hash ^= u64::from(byte);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        hash
+    };
+
+    let mut tiers = Vec::new();
+    let mut vertices = 10_000u64;
+    while vertices <= max_vertices {
+        let list = rmat::generate(
+            &format!("rmat-{vertices}"),
+            vertices,
+            vertices * EDGE_FACTOR,
+            RmatParams::default(),
+            SEED,
+        );
+        let graph = list.to_graph(0.0f64);
+        drop(list);
+        let edges = graph.num_edges();
+        let graph_bytes = estimate_max_partition_bytes::<PageRank>(&graph, 1);
+        let est_part = estimate_max_partition_bytes::<PageRank>(&graph, workers);
+        let budget_bytes = (graph_bytes / BUDGET_DIVISOR).max(1);
+
+        let unbounded = Engine::new(PageRank::new(ITERATIONS))
+            .num_workers(workers)
+            .run(graph.clone())
+            .expect("unbounded sweep run succeeds");
+        let unbounded_wall = (unbounded.stats.total_wall_time.as_nanos() as u64).max(1);
+        let unbounded_sum = checksum(&unbounded.graph);
+        drop(unbounded);
+
+        let fs: Arc<dyn FileSystem> =
+            Arc::new(LocalFs::new(&spill_root).expect("open spill temp dir"));
+        let obs = Obs::wall();
+        let budgeted = Engine::new(PageRank::new(ITERATIONS))
+            .num_workers(workers)
+            .with_memory_budget(fs, OocConfig::new(budget_bytes, format!("/v{vertices}")))
+            .with_obs(Arc::clone(&obs))
+            .run(graph)
+            .expect("budgeted sweep run succeeds");
+        let budgeted_wall = (budgeted.stats.total_wall_time.as_nanos() as u64).max(1);
+        let budgeted_sum = checksum(&budgeted.graph);
+        let supersteps = budgeted.stats.superstep_count();
+        drop(budgeted);
+
+        let reg = obs.registry();
+        tiers.push(OocScaleTier {
+            vertices,
+            edges,
+            graph_bytes,
+            est_max_partition_bytes: est_part,
+            budget_bytes,
+            supersteps,
+            unbounded_wall_nanos: unbounded_wall,
+            budgeted_wall_nanos: budgeted_wall,
+            ooc_slowdown: budgeted_wall as f64 / unbounded_wall as f64,
+            spills: reg.counter_value("ooc_spills_total", Scope::GLOBAL),
+            spill_bytes: reg.counter_value("ooc_spill_bytes_total", Scope::GLOBAL),
+            loads: reg.counter_value("ooc_loads_total", Scope::GLOBAL),
+            load_bytes: reg.counter_value("ooc_load_bytes_total", Scope::GLOBAL),
+            shuffle_spills: reg.counter_value("ooc_shuffle_spills_total", Scope::GLOBAL),
+            budget_overruns: reg.counter_value("ooc_budget_overruns_total", Scope::GLOBAL),
+            checksum: format!("{unbounded_sum:016x}"),
+            checksum_matches_unbounded: unbounded_sum == budgeted_sum,
+        });
+        vertices *= 10;
+    }
+    let _ = std::fs::remove_dir_all(&spill_root);
+
+    OocScaleSweep {
+        workload: "rmat-pagerank".to_string(),
+        workers: workers as u64,
+        edge_factor: EDGE_FACTOR,
+        iterations: ITERATIONS,
+        budget_divisor: BUDGET_DIVISOR,
+        rmat_seed: SEED,
+        tiers,
+    }
+}
+
+fn print_sweep(sweep: &OocScaleSweep) {
+    let mb = |bytes: u64| format!("{:.1}MB", bytes as f64 / 1e6);
+    let rows: Vec<Vec<String>> = sweep
+        .tiers
+        .iter()
+        .map(|t| {
+            vec![
+                t.vertices.to_string(),
+                t.edges.to_string(),
+                mb(t.graph_bytes),
+                mb(t.budget_bytes),
+                t.spills.to_string(),
+                mb(t.spill_bytes),
+                t.loads.to_string(),
+                format!("{:.2}ms", t.unbounded_wall_nanos as f64 / 1e6),
+                format!("{:.2}ms", t.budgeted_wall_nanos as f64 / 1e6),
+                format!("{:.2}x", t.ooc_slowdown),
+                if t.checksum_matches_unbounded { "match" } else { "DIVERGED" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        graft_bench::render_table(
+            &[
+                "vertices",
+                "edges",
+                "graph",
+                "budget",
+                "spills",
+                "spill bytes",
+                "loads",
+                "in-mem wall",
+                "ooc wall",
+                "slowdown",
+                "checksum",
+            ],
+            &rows,
+        )
+    );
+}
+
+/// The ooc-smoke gate: every tier went out of core for real and came
+/// back bit-identical.
+fn sweep_is_sound(sweep: &OocScaleSweep) -> bool {
+    let mut sound = true;
+    for t in &sweep.tiers {
+        if t.spills == 0 || t.loads == 0 {
+            eprintln!("FAIL: {}-vertex tier never spilled under its budget", t.vertices);
+            sound = false;
+        }
+        if !t.checksum_matches_unbounded {
+            eprintln!("FAIL: {}-vertex tier diverged from the unbounded checksum", t.vertices);
+            sound = false;
+        }
+    }
+    sound
 }
 
 /// The same deterministic ring-with-chords family the CLI and chaos

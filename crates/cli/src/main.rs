@@ -62,7 +62,7 @@ fn usage() -> ExitCode {
          \x20 violations           the violations & exceptions view\n\
          \x20 repro <id> <ss>      generated reproducer test for one captured vertex\n\
          \x20 master               captured master contexts\n\
-         \x20 analyze              run config lints (GA0006-GA0017) over meta.json\n\
+         \x20 analyze              run config lints (GA0006-GA0018) over meta.json\n\
          `--format json` prints the same bytes graft-server sends for the\n\
          matching endpoint (info, supersteps, show, violations)."
     );

@@ -46,6 +46,9 @@ pub fn usage() -> ExitCode {
          \x20                      messages while survivors keep their state\n\
          \x20 --fault-plan <spec>  inject faults, e.g. \"kill-worker:1@3; panic@5;\n\
          \x20                      kill-datanode:0@2\" (semicolon- or comma-separated)\n\
+         \x20 --memory-budget <b>  cap resident partition + shuffle memory at <b> bytes;\n\
+         \x20                      overflow spills to <trace_root>/ooc on the cluster and\n\
+         \x20                      streams back on demand (results stay bit-identical)\n\
          \x20 --datanodes <n>      simulated HDFS datanodes (default 4)\n\
          \x20 --replication <r>    block replication factor (default 2)\n\
          \x20 --export <dir>       copy the trace directory to a local directory\n\
@@ -72,6 +75,7 @@ struct RunOptions {
     checkpoint_every: u64,
     recovery_mode: graft_pregel::RecoveryMode,
     fault_plan: Option<FaultPlan>,
+    memory_budget: Option<u64>,
     datanodes: usize,
     replication: usize,
     export: Option<String>,
@@ -94,6 +98,7 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
         checkpoint_every: 2,
         recovery_mode: graft_pregel::RecoveryMode::default(),
         fault_plan: None,
+        memory_budget: None,
         datanodes: 4,
         replication: 2,
         export: None,
@@ -128,6 +133,10 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
             "--fault-plan" => {
                 options.fault_plan =
                     Some(value.parse().map_err(|e| format!("bad --fault-plan: {e}"))?)
+            }
+            "--memory-budget" => {
+                options.memory_budget =
+                    Some(value.parse().map_err(|_| format!("bad --memory-budget {value}"))?)
             }
             "--datanodes" => {
                 options.datanodes = value.parse().map_err(|_| format!("bad --datanodes {value}"))?
@@ -277,6 +286,9 @@ where
     if let Some(plan) = &options.fault_plan {
         runner = runner.with_fault_plan(plan.clone());
     }
+    if let Some(bytes) = options.memory_budget {
+        runner = runner.memory_budget(bytes);
+    }
     let run = match runner.run(graph, TRACE_ROOT) {
         Ok(run) => run,
         Err(e) => {
@@ -302,6 +314,9 @@ where
     );
     if let Some(plan) = &options.fault_plan {
         println!("fault plan  : {plan}");
+    }
+    if let Some(bytes) = options.memory_budget {
+        println!("memory      : {bytes} byte budget (overflow spills out of core)");
     }
     let stats = cluster.stats();
     println!(

@@ -39,11 +39,13 @@
 mod de;
 mod error;
 mod ser;
+mod size;
 pub mod varint;
 
 pub use de::{from_slice, Deserializer};
 pub use error::{Error, Result};
 pub use ser::{to_vec, to_writer, Serializer};
+pub use size::{framed_size, serialized_size, varint_len};
 
 /// Encodes a value and prefixes it with its varint-encoded byte length.
 ///

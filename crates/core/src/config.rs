@@ -205,6 +205,15 @@ pub struct ConfigFacts {
     /// flushing without one is a no-op, which lint GA0017 flags. Filled
     /// in by the runner.
     pub obs_enabled: Option<bool>,
+    /// The out-of-core memory budget in bytes, when the runner capped
+    /// resident partition + shuffle memory (`None` means fully
+    /// in-memory). Filled in by the runner.
+    pub memory_budget: Option<u64>,
+    /// The estimated serialized footprint of the largest single
+    /// partition under hash partitioning, in bytes. Filled in by the
+    /// runner only when a memory budget is set; lint GA0018 compares it
+    /// against the budget.
+    pub est_max_partition_bytes: Option<u64>,
 }
 
 /// The assembled debug configuration for a computation `C`.
@@ -367,6 +376,8 @@ impl<C: Computation> DebugConfig<C> {
             recovery_mode: None,
             live_flush: None,
             obs_enabled: None,
+            memory_budget: None,
+            est_max_partition_bytes: None,
         }
     }
 }

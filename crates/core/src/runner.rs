@@ -9,7 +9,7 @@ use graft_obs::{DfsMetrics, Obs};
 use graft_pregel::hash::FxHashSet;
 use graft_pregel::{
     CheckpointConfig, Computation, Engine, EngineError, FaultPlan, Graph, JobObserver, JobOutcome,
-    MasterComputation, MasterContext, SuperstepStats,
+    MasterComputation, MasterContext, OocConfig, SuperstepStats,
 };
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
@@ -96,6 +96,7 @@ pub struct GraftRunner<C: Computation> {
     checkpoint_every: Option<u64>,
     recovery_mode: graft_pregel::RecoveryMode,
     fault_plan: Option<FaultPlan>,
+    memory_budget: Option<u64>,
     obs: Option<Arc<Obs>>,
     live_flush: bool,
     pace: Option<std::time::Duration>,
@@ -159,6 +160,7 @@ impl<C: Computation> GraftRunner<C> {
             checkpoint_every: None,
             recovery_mode: graft_pregel::RecoveryMode::default(),
             fault_plan: None,
+            memory_budget: None,
             obs: None,
             live_flush: false,
             pace: None,
@@ -241,6 +243,19 @@ impl<C: Computation> GraftRunner<C> {
     /// [`GraftRunner::checkpoint_every`] enables checkpointing.
     pub fn recovery_mode(mut self, mode: graft_pregel::RecoveryMode) -> Self {
         self.recovery_mode = mode;
+        self
+    }
+
+    /// Caps resident memory (partitions + staged shuffle batches) at
+    /// `bytes`: when the accounted footprint would exceed the budget,
+    /// the engine spills partitions and outbound message batches to
+    /// `<trace_root>/ooc` on the trace file system and streams them
+    /// back on demand. Results stay bit-identical to the unbounded run;
+    /// the spill directory is removed when the job finishes. Lint
+    /// GA0018 flags budgets smaller than the largest single partition's
+    /// estimated footprint.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 
@@ -374,6 +389,10 @@ impl<C: Computation> GraftRunner<C> {
                 facts.recovery_mode = Some(self.recovery_mode.as_str().to_string());
                 facts.live_flush = Some(self.live_flush);
                 facts.obs_enabled = Some(self.obs.is_some());
+                facts.memory_budget = self.memory_budget;
+                facts.est_max_partition_bytes = self.memory_budget.map(|_| {
+                    graft_pregel::estimate_max_partition_bytes::<C>(&graph, self.num_workers)
+                });
                 facts
             }),
         };
@@ -432,6 +451,10 @@ impl<C: Computation> GraftRunner<C> {
                 self.fs.clone(),
                 CheckpointConfig::new(every, root).recovery_mode(self.recovery_mode),
             );
+        }
+        if let Some(bytes) = self.memory_budget {
+            let root = format!("{}/ooc", trace_root.trim_end_matches('/'));
+            engine = engine.with_memory_budget(self.fs.clone(), OocConfig::new(bytes, root));
         }
         if let Some(plan) = &self.fault_plan {
             engine = engine.with_fault_plan(plan.clone());

@@ -113,7 +113,7 @@ pub trait FileSystem: Send + Sync {
         let remaining = r.len() - skip;
         std::io::copy(&mut r.by_ref().take(skip), &mut std::io::sink())
             .map_err(crate::FsError::from)?;
-        Ok(Box::new(TailReader { inner: r, remaining }))
+        Ok(Box::new(TailReader { inner: r, remaining, consumed: 0 }))
     }
 
     /// Renames the file at `from` to `to`, replacing any existing file at
@@ -213,11 +213,22 @@ impl<F: FileSystem + ?Sized> FileSystem for std::sync::Arc<F> {
 struct TailReader {
     inner: Box<dyn FileRead>,
     remaining: u64,
+    consumed: u64,
 }
 
 impl Read for TailReader {
     fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
-        self.inner.read(out)
+        // Clamp to the remainder computed at open time, so a file grown
+        // by a concurrent appender cannot leak a torn tail past the
+        // advertised `len()` even when the inner reader would yield it.
+        let left = self.remaining.saturating_sub(self.consumed);
+        if left == 0 {
+            return Ok(0);
+        }
+        let cap = usize::try_from(left).unwrap_or(usize::MAX).min(out.len());
+        let n = self.inner.read(&mut out[..cap])?;
+        self.consumed += n as u64;
+        Ok(n)
     }
 }
 

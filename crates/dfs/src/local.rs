@@ -74,7 +74,7 @@ impl FileSystem for LocalFs {
             return Err(FsError::NotAFile(dfs.to_string()));
         }
         let file = fs::File::open(&host)?;
-        Ok(Box::new(LocalReader { inner: std::io::BufReader::new(file), len: meta.len() }))
+        Ok(Box::new(LocalReader { inner: std::io::BufReader::new(file), len: meta.len(), pos: 0 }))
     }
 
     fn list(&self, path: &str) -> FsResult<Vec<FileStatus>> {
@@ -189,11 +189,23 @@ impl FileWrite for LocalWriter {
 struct LocalReader {
     inner: std::io::BufReader<fs::File>,
     len: u64,
+    pos: u64,
 }
 
 impl Read for LocalReader {
     fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
-        self.inner.read(out)
+        // Clamp to the open-time length: a concurrent appender may have
+        // grown the file since, and streaming past `len()` would expose
+        // a torn mid-frame tail to readers that sized their decode on
+        // it (message-log tails, spill segments).
+        let remaining = self.len.saturating_sub(self.pos);
+        if remaining == 0 {
+            return Ok(0);
+        }
+        let cap = usize::try_from(remaining).unwrap_or(usize::MAX).min(out.len());
+        let n = self.inner.read(&mut out[..cap])?;
+        self.pos += n as u64;
+        Ok(n)
     }
 }
 
@@ -272,6 +284,52 @@ mod tests {
         assert!(!fs.exists("/live/snap.json.tmp"));
         assert_eq!(fs.read_all("/live/snap.json").unwrap(), b"new");
         assert!(matches!(fs.rename("/nope", "/x"), Err(FsError::NotFound(_))));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reader_never_yields_bytes_appended_after_open() {
+        let root = temp_root("torn");
+        let fs = LocalFs::new(&root).unwrap();
+        // A complete length-prefixed frame: [len=4][payload].
+        fs.write_all("/seg/p0.seg", &[4, 1, 2, 3, 4]).unwrap();
+
+        let mut reader = fs.open("/seg/p0.seg").unwrap();
+        assert_eq!(reader.len(), 5);
+
+        // A concurrent appender lands a torn half-frame after the open:
+        // the length prefix of the next record but only part of its body.
+        let mut w = fs.append("/seg/p0.seg").unwrap();
+        w.write_all(&[4, 9, 9]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        assert_eq!(fs.status("/seg/p0.seg").unwrap().len, 8);
+
+        // The reader must stop at its open-time length: a frame decoder
+        // sized on `len()` sees only whole frames, never the torn tail.
+        let mut buf = Vec::new();
+        reader.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, vec![4, 1, 2, 3, 4]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tail_never_yields_bytes_appended_after_open() {
+        let root = temp_root("torn-tail");
+        let fs = LocalFs::new(&root).unwrap();
+        fs.write_all("/seg/log.seg", b"prefix-frame1").unwrap();
+
+        let mut tail = fs.tail("/seg/log.seg", 7).unwrap();
+        assert_eq!(tail.len(), 6);
+
+        let mut w = fs.append("/seg/log.seg").unwrap();
+        w.write_all(b"-torn").unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let mut buf = Vec::new();
+        tail.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"frame1", "tail leaked bytes appended after open");
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -198,6 +198,129 @@ struct VertexRecord<I, V, E, M> {
     inbox: Vec<M>,
 }
 
+/// Borrowing twin of [`VertexRecord`]. GraftBin structs encode as their
+/// fields in declaration order with no names or counts, and references
+/// serialize as their referents, so this writes byte-identical frames to
+/// `VertexRecord` without cloning values, adjacency, or inboxes. The
+/// spill path and the budget's size accounting both lean on that
+/// identity: a spilled partition reloads through the same
+/// `VertexRecord` decode the checkpoint reader uses.
+struct VertexRecordRef<'a, I, V, E, M> {
+    id: &'a I,
+    value: &'a V,
+    edges: &'a [Edge<I, E>],
+    halted: bool,
+    inbox: &'a [M],
+}
+
+// Hand-written because the vendored serde_derive does not accept
+// lifetime parameters. Field order must match `VertexRecord` exactly —
+// GraftBin structs are nothing but their fields in declaration order.
+impl<I: Serialize, V: Serialize, E: Serialize, M: Serialize> Serialize
+    for VertexRecordRef<'_, I, V, E, M>
+{
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("VertexRecord", 5)?;
+        s.serialize_field("id", self.id)?;
+        s.serialize_field("value", self.value)?;
+        s.serialize_field("edges", self.edges)?;
+        s.serialize_field("halted", &self.halted)?;
+        s.serialize_field("inbox", self.inbox)?;
+        s.end()
+    }
+}
+
+/// Calls `f` with a borrowing record for each live slot of `partition`,
+/// in slot order — the one traversal order that keeps restored runs
+/// byte-identical (see the module docs).
+fn for_each_live_record<C: Computation, Err>(
+    partition: &Partition<C>,
+    mut f: impl FnMut(VertexRecordRef<'_, C::Id, C::VValue, C::EValue, C::Message>) -> Result<(), Err>,
+) -> Result<(), Err> {
+    for slot in 0..partition.ids.len() {
+        if partition.removed[slot] {
+            continue;
+        }
+        // Tombstoned slots whose id was re-added later point elsewhere
+        // in the index; only the owning slot is live state.
+        if partition.index.get(&partition.ids[slot]) != Some(&slot) {
+            continue;
+        }
+        f(VertexRecordRef {
+            id: &partition.ids[slot],
+            value: &partition.values[slot],
+            edges: &partition.adjacency[slot],
+            halted: partition.halted[slot],
+            inbox: &partition.inbox[slot],
+        })?;
+    }
+    Ok(())
+}
+
+/// Streams `partition`'s live vertices as framed records into `writer`,
+/// returning the bytes written. Shared by checkpoint files and
+/// out-of-core spill segments so both restore bit-identically.
+pub(crate) fn write_partition_frames<C: Computation>(
+    partition: &Partition<C>,
+    writer: &mut dyn Write,
+) -> Result<u64, graft_codec::Error> {
+    let mut bytes_written = 0u64;
+    for_each_live_record(partition, |record| -> Result<(), graft_codec::Error> {
+        let frame = graft_codec::to_framed_vec(&record)?;
+        bytes_written += frame.len() as u64;
+        writer.write_all(&frame)?;
+        Ok(())
+    })?;
+    Ok(bytes_written)
+}
+
+/// Rebuilds a partition from the framed records produced by
+/// [`write_partition_frames`], re-pushing vertices in file order.
+pub(crate) fn read_partition_frames<C: Computation>(
+    bytes: &[u8],
+) -> Result<Partition<C>, graft_codec::Error> {
+    let mut partition = Partition::<C>::new();
+    for record in
+        graft_codec::FramedIter::<VertexRecord<C::Id, C::VValue, C::EValue, C::Message>>::new(bytes)
+    {
+        let record = record?;
+        let slot = partition.ids.len();
+        partition.push_vertex(record.id, record.value, record.edges);
+        partition.halted[slot] = record.halted;
+        partition.inbox[slot] = record.inbox;
+    }
+    Ok(partition)
+}
+
+/// Exact bytes [`write_partition_frames`] would emit for `partition`,
+/// computed by the codec's counting serializer — no buffer is built.
+/// This is the footprint the out-of-core budget charges per partition.
+pub(crate) fn partition_frames_size<C: Computation>(
+    partition: &Partition<C>,
+) -> Result<u64, graft_codec::Error> {
+    let mut total = 0u64;
+    for_each_live_record(partition, |record| -> Result<(), graft_codec::Error> {
+        total += graft_codec::framed_size(&record)?;
+        Ok(())
+    })?;
+    Ok(total)
+}
+
+/// Framed size of one vertex's checkpoint record, for footprint
+/// estimates that run over a [`crate::Graph`] before any partition
+/// exists (analyzer lint GA0018 uses this through
+/// [`crate::ooc::estimate_max_partition_bytes`]).
+pub(crate) fn vertex_record_frame_size<C: Computation>(
+    id: &C::Id,
+    value: &C::VValue,
+    edges: &[Edge<C::Id, C::EValue>],
+    halted: bool,
+    inbox: &[C::Message],
+) -> Result<u64, graft_codec::Error> {
+    graft_codec::framed_size(&VertexRecordRef { id, value, edges, halted, inbox })
+}
+
 /// Checkpoint-wide metadata, written after all partition files.
 #[derive(Serialize, Deserialize)]
 struct Manifest {
@@ -213,6 +336,72 @@ pub(crate) struct RestoredState<C: Computation> {
     pub(crate) aggregators: Vec<(String, AggValue)>,
 }
 
+/// Clears any stale attempt at `superstep`'s checkpoint and creates its
+/// directory. Returns the directory path for the per-partition writes
+/// and the final [`commit_checkpoint`].
+pub(crate) fn begin_checkpoint(
+    fs: &Arc<dyn FileSystem>,
+    config: &CheckpointConfig,
+    superstep: u64,
+) -> Result<String, CheckpointError> {
+    let dir = config.dir(superstep);
+    // A leftover directory from a crashed earlier attempt (or from the run
+    // this one recovered from) is stale; rewrite it from scratch.
+    if fs.exists(&dir) {
+        fs.delete(&dir, true)
+            .map_err(|e| CheckpointError::new(format!("clearing stale checkpoint {dir}"), e))?;
+    }
+    fs.mkdirs(&dir)
+        .map_err(|e| CheckpointError::new(format!("creating checkpoint dir {dir}"), e))?;
+    Ok(dir)
+}
+
+/// Writes partition `p`'s file into a checkpoint directory opened by
+/// [`begin_checkpoint`]. Split out from the all-partitions loop so the
+/// out-of-core engine can checkpoint one resident partition at a time
+/// instead of holding every partition in memory at once.
+pub(crate) fn write_checkpoint_partition<C: Computation>(
+    fs: &Arc<dyn FileSystem>,
+    dir: &str,
+    p: usize,
+    partition: &Partition<C>,
+) -> Result<u64, CheckpointError> {
+    let path = format!("{dir}/part_{p}.ckpt");
+    let mut writer =
+        fs.create(&path).map_err(|e| CheckpointError::new(format!("creating {path}"), e))?;
+    let bytes_written = write_partition_frames(partition, &mut writer)
+        .map_err(|e| CheckpointError::new(format!("writing {path}"), e))?;
+    writer.sync().map_err(|e| CheckpointError::new(format!("syncing {path}"), e))?;
+    Ok(bytes_written)
+}
+
+/// Writes the manifest and the `COMMIT` marker (last, so its presence
+/// certifies every partition file is complete), then prunes old
+/// checkpoints. Returns manifest + marker bytes.
+pub(crate) fn commit_checkpoint(
+    fs: &Arc<dyn FileSystem>,
+    config: &CheckpointConfig,
+    dir: &str,
+    superstep: u64,
+    num_partitions: usize,
+    aggregators: Vec<(String, AggValue)>,
+) -> Result<u64, CheckpointError> {
+    let manifest = Manifest { superstep, num_partitions, aggregators };
+    let bytes =
+        graft_codec::to_vec(&manifest).map_err(|e| CheckpointError::new("encoding manifest", e))?;
+    let mut bytes_written = bytes.len() as u64;
+    fs.write_all(&format!("{dir}/manifest.bin"), &bytes)
+        .map_err(|e| CheckpointError::new(format!("writing {dir}/manifest.bin"), e))?;
+
+    let marker = superstep.to_string();
+    bytes_written += marker.len() as u64;
+    fs.write_all(&format!("{dir}/COMMIT"), marker.as_bytes())
+        .map_err(|e| CheckpointError::new(format!("committing {dir}"), e))?;
+
+    prune(fs, config);
+    Ok(bytes_written)
+}
+
 /// Writes a committed checkpoint for `superstep` and prunes old ones.
 /// Returns the number of payload bytes written (partition frames,
 /// manifest, and commit marker). Takes partition references because the
@@ -225,62 +414,12 @@ pub(crate) fn write_checkpoint<C: Computation>(
     partitions: &[&Partition<C>],
     aggregators: Vec<(String, AggValue)>,
 ) -> Result<u64, CheckpointError> {
-    let dir = config.dir(superstep);
-    // A leftover directory from a crashed earlier attempt (or from the run
-    // this one recovered from) is stale; rewrite it from scratch.
-    if fs.exists(&dir) {
-        fs.delete(&dir, true)
-            .map_err(|e| CheckpointError::new(format!("clearing stale checkpoint {dir}"), e))?;
-    }
-    fs.mkdirs(&dir)
-        .map_err(|e| CheckpointError::new(format!("creating checkpoint dir {dir}"), e))?;
-
+    let dir = begin_checkpoint(fs, config, superstep)?;
     let mut bytes_written = 0u64;
     for (p, partition) in partitions.iter().enumerate() {
-        let path = format!("{dir}/part_{p}.ckpt");
-        let mut writer =
-            fs.create(&path).map_err(|e| CheckpointError::new(format!("creating {path}"), e))?;
-        for slot in 0..partition.ids.len() {
-            if partition.removed[slot] {
-                continue;
-            }
-            // Tombstoned slots whose id was re-added later point elsewhere
-            // in the index; only the owning slot is live state.
-            if partition.index.get(&partition.ids[slot]) != Some(&slot) {
-                continue;
-            }
-            let record: VertexRecord<C::Id, C::VValue, C::EValue, C::Message> = VertexRecord {
-                id: partition.ids[slot],
-                value: partition.values[slot].clone(),
-                edges: partition.adjacency[slot].clone(),
-                halted: partition.halted[slot],
-                inbox: partition.inbox[slot].clone(),
-            };
-            let frame = graft_codec::to_framed_vec(&record)
-                .map_err(|e| CheckpointError::new(format!("encoding vertex for {path}"), e))?;
-            bytes_written += frame.len() as u64;
-            writer
-                .write_all(&frame)
-                .map_err(|e| CheckpointError::new(format!("writing {path}"), e))?;
-        }
-        writer.sync().map_err(|e| CheckpointError::new(format!("syncing {path}"), e))?;
+        bytes_written += write_checkpoint_partition(fs, &dir, p, partition)?;
     }
-
-    let manifest = Manifest { superstep, num_partitions: partitions.len(), aggregators };
-    let bytes =
-        graft_codec::to_vec(&manifest).map_err(|e| CheckpointError::new("encoding manifest", e))?;
-    bytes_written += bytes.len() as u64;
-    fs.write_all(&format!("{dir}/manifest.bin"), &bytes)
-        .map_err(|e| CheckpointError::new(format!("writing {dir}/manifest.bin"), e))?;
-
-    // The commit marker is written last: its presence certifies that every
-    // partition file and the manifest are complete.
-    let marker = superstep.to_string();
-    bytes_written += marker.len() as u64;
-    fs.write_all(&format!("{dir}/COMMIT"), marker.as_bytes())
-        .map_err(|e| CheckpointError::new(format!("committing {dir}"), e))?;
-
-    prune(fs, config);
+    bytes_written += commit_checkpoint(fs, config, &dir, superstep, partitions.len(), aggregators)?;
     Ok(bytes_written)
 }
 
@@ -340,19 +479,8 @@ fn load_partition<C: Computation>(
     let path = format!("{dir}/part_{p}.ckpt");
     let bytes =
         fs.read_all(&path).map_err(|e| CheckpointError::new(format!("reading {path}"), e))?;
-    let mut partition = Partition::<C>::new();
-    for record in
-        graft_codec::FramedIter::<VertexRecord<C::Id, C::VValue, C::EValue, C::Message>>::new(
-            &bytes,
-        )
-    {
-        let record = record.map_err(|e| CheckpointError::new(format!("decoding {path}"), e))?;
-        let slot = partition.ids.len();
-        partition.push_vertex(record.id, record.value, record.edges);
-        partition.halted[slot] = record.halted;
-        partition.inbox[slot] = record.inbox;
-    }
-    Ok(partition)
+    read_partition_frames::<C>(&bytes)
+        .map_err(|e| CheckpointError::new(format!("decoding {path}"), e))
 }
 
 /// The named partitions plus the manifest's aggregator snapshot, as
@@ -528,6 +656,22 @@ mod tests {
         // An uncommitted checkpoint is not a restore point.
         fs.write_all("/ckpt/cp_6/part_0.ckpt", b"torn").unwrap();
         assert!(restore_partitions::<Noop>(&fs, &config, 6, &[0]).is_err());
+    }
+
+    #[test]
+    fn frames_size_matches_written_bytes_and_roundtrips() {
+        let partitions = sample_partitions();
+        for partition in &partitions {
+            let mut buf = Vec::new();
+            let written = write_partition_frames(partition, &mut buf).unwrap();
+            assert_eq!(written, buf.len() as u64);
+            assert_eq!(partition_frames_size(partition).unwrap(), written);
+            let back = read_partition_frames::<Noop>(&buf).unwrap();
+            assert_eq!(back.ids, partition.ids);
+            assert_eq!(back.values, partition.values);
+            assert_eq!(back.halted, partition.halted);
+            assert_eq!(back.inbox, partition.inbox);
+        }
     }
 
     #[test]

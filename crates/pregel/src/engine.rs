@@ -83,10 +83,11 @@ use graft_sched::thread as sched_thread;
 use graft_sched::TrackedCell;
 
 use crate::aggregators::{AggregatorRegistry, WorkerAggregators};
-use crate::checkpoint::{self, CheckpointConfig, RecoveryMode};
+use crate::checkpoint::{self, CheckpointConfig, CheckpointError, RecoveryMode};
 use crate::computation::{Computation, VertexHandle};
 use crate::fault::{ArmedFaults, FaultPlan};
 use crate::msglog::{CoordFrame, LoggedBatch, MsgLog, WorkerFrame};
+use crate::ooc::{OocConfig, SpillStore};
 
 type MutationOf<C> =
     Mutation<<C as Computation>::Id, <C as Computation>::VValue, <C as Computation>::EValue>;
@@ -198,6 +199,7 @@ pub struct Engine<C: Computation> {
     config: EngineConfig,
     fault_plan: Option<FaultPlan>,
     checkpoints: Option<(Arc<dyn FileSystem>, CheckpointConfig)>,
+    ooc: Option<(Arc<dyn FileSystem>, OocConfig)>,
     obs: Option<Arc<Obs>>,
 }
 
@@ -217,6 +219,7 @@ impl<C: Computation> Engine<C> {
             config: EngineConfig::default(),
             fault_plan: None,
             checkpoints: None,
+            ooc: None,
             obs: None,
         }
     }
@@ -290,6 +293,16 @@ impl<C: Computation> Engine<C> {
     /// failing the job.
     pub fn with_checkpoints(mut self, fs: Arc<dyn FileSystem>, config: CheckpointConfig) -> Self {
         self.checkpoints = Some((fs, config));
+        self
+    }
+
+    /// Enables out-of-core execution: partition state and staged shuffle
+    /// batches are accounted against `config.budget_bytes`, with the
+    /// least recently used partitions spilled to `fs` under
+    /// `config.root` when the budget would be exceeded. Results are
+    /// bit-identical to an unbounded run (see the `ooc` module docs).
+    pub fn with_memory_budget(mut self, fs: Arc<dyn FileSystem>, config: OocConfig) -> Self {
+        self.ooc = Some((fs, config));
         self
     }
 
@@ -374,6 +387,17 @@ impl<C: Computation> Engine<C> {
             obs.on_job_start(&initial_global, num_partitions);
         }
 
+        // The out-of-core store adopts the partitions up front: everything
+        // is charged, then evicted down to the budget before superstep 0.
+        let spill_store = match &self.ooc {
+            Some((fs, config)) => {
+                let store = SpillStore::new(fs.clone(), config, self.obs.clone(), num_partitions);
+                store.adopt(&shared.partitions).map_err(|e| (0, EngineError::Spill(e)))?;
+                Some(store)
+            }
+            None => None,
+        };
+
         // Fire-once fault state lives outside the recovery loop so a
         // fault consumed before a restore does not re-fire in the replay.
         let faults = self.fault_plan.as_ref().map(ArmedFaults::new);
@@ -402,6 +426,7 @@ impl<C: Computation> Engine<C> {
             faults: faults.as_ref(),
             obs: self.obs.as_deref(),
             msglog: msglog.as_ref(),
+            spill: spill_store.as_ref(),
             combining: self.config.combining,
             num_partitions,
         };
@@ -438,6 +463,15 @@ impl<C: Computation> Engine<C> {
             }
         };
 
+        // Everything spilled must come home before the final graph is
+        // rebuilt; `finish` also removes the spill root, so a budgeted
+        // run's output directory matches an unbounded one's.
+        if let Some(store) = &spill_store {
+            store
+                .finish(&shared.partitions)
+                .map_err(|e| (state.superstep, EngineError::Spill(e)))?;
+        }
+
         let partitions: Vec<Partition<C>> =
             shared.partitions.into_iter().map(Mutex::into_inner).collect();
         let graph = rebuild_graph::<C>(partitions);
@@ -470,7 +504,38 @@ impl<C: Computation> Engine<C> {
                         .obs
                         .as_ref()
                         .map(|o| o.begin("checkpoint.write", Some(state.superstep), None));
-                    let bytes = {
+                    let bytes = if let Some(store) = ctx.spill {
+                        // Under a budget the partitions can't all be locked
+                        // at once — most may be on disk. Write one at a
+                        // time, pinning each partition resident just long
+                        // enough to stream it out.
+                        let to_err = |e| (state.superstep, EngineError::Checkpoint(e));
+                        let dir = checkpoint::begin_checkpoint(fs, ckpt, state.superstep)
+                            .map_err(to_err)?;
+                        let mut bytes = 0u64;
+                        for p in 0..ctx.num_partitions {
+                            let _pin = store
+                                .pin(&shared.partitions, p, false)
+                                .map_err(|e| (state.superstep, EngineError::Spill(e)))?;
+                            bytes += checkpoint::write_checkpoint_partition(
+                                fs,
+                                &dir,
+                                p,
+                                &lock(&shared.partitions[p]),
+                            )
+                            .map_err(to_err)?;
+                        }
+                        bytes
+                            + checkpoint::commit_checkpoint(
+                                fs,
+                                ckpt,
+                                &dir,
+                                state.superstep,
+                                ctx.num_partitions,
+                                read(&shared.registry).snapshot(),
+                            )
+                            .map_err(to_err)?
+                    } else {
                         let guards: Vec<_> = shared.partitions.iter().map(lock).collect();
                         let refs: Vec<&Partition<C>> = guards.iter().map(|g| &**g).collect();
                         checkpoint::write_checkpoint(
@@ -599,6 +664,15 @@ impl<C: Computation> Engine<C> {
                     state.recoveries += 1;
                     let resumed_at = restored.superstep;
                     self.resume_from(state, shared, restored);
+                    if let Some(store) = ctx.spill {
+                        // Every partition was just replaced in memory;
+                        // stale spill segments and shuffle charges from
+                        // the failed attempt are dropped and the store is
+                        // evicted back down to the budget.
+                        store
+                            .reset(&shared.partitions)
+                            .map_err(|e| (failed_at, EngineError::Spill(e)))?;
+                    }
                     if let Some(log) = ctx.msglog {
                         // Drop every frame from the failed attempt: the
                         // replay re-appends identical ones, and a stale
@@ -913,6 +987,17 @@ impl<C: Computation> Engine<C> {
         } else {
             let mutate_begin = obs.map(|o| o.begin("phase.mutate", Some(superstep), None));
             let applied = {
+                // Mutations can touch any partition; bring everything
+                // resident first. Declared before the lock guards so the
+                // pins release only after the locks drop.
+                let _pins = match ctx.spill {
+                    Some(store) => Some(
+                        store
+                            .pin_all(&shared.partitions)
+                            .map_err(|e| StepFailure::fatal(EngineError::Spill(e)))?,
+                    ),
+                    None => None,
+                };
                 let mut guards: Vec<_> = shared.partitions.iter().map(lock).collect();
                 let applied = apply_mutations::<C, _>(&mut guards, mutations, ctx.num_partitions);
                 state.num_vertices = guards.iter().map(|g| g.live_vertices()).sum();
@@ -1096,6 +1181,33 @@ impl<C: Computation> Engine<C> {
         for (p, partition) in restored {
             *lock(&shared.partitions[p]) = partition;
         }
+        // Under a budget, the replay below locks the failed partitions
+        // directly (bypassing the worker pin path), so they must be made
+        // resident and pinned first — an eviction mid-replay would feed
+        // the replay an empty partition. Pinning one at a time keeps each
+        // already-pinned partition safe from the next one's evictions.
+        // The pins must NOT outlive the replay: the re-compute and the
+        // deliver phase below pin through the worker path with wait=true,
+        // and a waiting worker only ever wakes when an outstanding pin
+        // releases — a coordinator pin held across `finish_superstep`
+        // would deadlock the whole pool on a tight budget.
+        let confined_pins = match ctx.spill {
+            Some(store) => {
+                let mut pins = Vec::with_capacity(failed.len());
+                for &p in &failed {
+                    store
+                        .mark_resident(&shared.partitions, p)
+                        .map_err(|e| StepFailure::fatal(EngineError::Spill(e)))?;
+                    pins.push(
+                        store
+                            .pin(&shared.partitions, p, false)
+                            .map_err(|e| StepFailure::fatal(EngineError::Spill(e)))?,
+                    );
+                }
+                Some(pins)
+            }
+            None => None,
+        };
 
         // Replay supersteps cp..failed_at on the failed partitions only.
         // Each superstep: recompute against the logged aggregator
@@ -1174,6 +1286,7 @@ impl<C: Computation> Engine<C> {
             }
             Ok(())
         })();
+        drop(confined_pins);
 
         // Re-run the failed superstep's compute for the failed workers
         // only; the wrapper path re-logs and ships their frames, so the
@@ -1441,6 +1554,15 @@ enum Outbox<C: Computation> {
     Raw(RawBatch<C>),
     /// Sender-combined: one folded message (plus raw count) per target.
     Combined(CombinedBatch<C>),
+    /// A batch that exceeded the memory budget at ship time: its framed
+    /// `LoggedBatch` encoding lives in a spill segment, streamed back at
+    /// delivery. Never staged empty, never logged (logging precedes
+    /// shipping), never pooled.
+    Spilled {
+        path: String,
+        /// Entry count of the batch on disk, for shuffle stats.
+        entries: usize,
+    },
 }
 
 impl<C: Computation> Outbox<C> {
@@ -1448,6 +1570,7 @@ impl<C: Computation> Outbox<C> {
         match self {
             Outbox::Raw(v) => v.is_empty(),
             Outbox::Combined(m) => m.is_empty(),
+            Outbox::Spilled { entries, .. } => *entries == 0,
         }
     }
 
@@ -1456,6 +1579,7 @@ impl<C: Computation> Outbox<C> {
         match self {
             Outbox::Raw(v) => v.len(),
             Outbox::Combined(m) => m.len(),
+            Outbox::Spilled { entries, .. } => *entries,
         }
     }
 }
@@ -1492,6 +1616,8 @@ impl<C: Computation> BufferPool<C> {
                 m.clear();
                 lock(&self.combined).push(m);
             }
+            // No in-memory buffer to recycle.
+            Outbox::Spilled { .. } => {}
         }
     }
 }
@@ -1504,6 +1630,7 @@ struct EngineCtx<'a, C: Computation> {
     faults: Option<&'a ArmedFaults>,
     obs: Option<&'a Obs>,
     msglog: Option<&'a MsgLog>,
+    spill: Option<&'a SpillStore<C>>,
     combining: CombineStrategy,
     num_partitions: usize,
 }
@@ -1653,6 +1780,15 @@ fn worker_compute<C: Computation>(
     global: GlobalData,
     scratch: &mut WorkerScratch<C>,
 ) -> Result<WorkerOutput<C>, EngineError> {
+    // Under a budget, bring this worker's partition resident and keep it
+    // pinned for the whole phase; released (and its charge refreshed)
+    // when the guard drops, even if compute fails.
+    let _pin = match ctx.spill {
+        Some(store) => {
+            Some(store.pin(&ctx.shared.partitions, worker_id, true).map_err(EngineError::Spill)?)
+        }
+        None => None,
+    };
     let (mut output, outboxes) = {
         let registry = read(&ctx.shared.registry);
         worker_compute_core(ctx, worker_id, global, scratch, &registry)?
@@ -1683,10 +1819,61 @@ fn worker_compute<C: Computation>(
             continue;
         }
         messages_shuffled += outbox.len() as u64;
-        lock(&ctx.shared.incoming[p])[worker_id] = Some(outbox);
+        let staged = stage_outbox(ctx, worker_id, global.superstep, p, outbox)?;
+        lock(&ctx.shared.incoming[p])[worker_id] = Some(staged);
     }
     output.messages_shuffled = messages_shuffled;
     Ok(output)
+}
+
+/// Stages one non-empty outbox for delivery. Without a budget (or when
+/// the batch's serialized size still fits) the batch stays in memory,
+/// charged against the budget. Past the budget, its framed
+/// `LoggedBatch` encoding is written to a per-target spill segment and
+/// only the path crosses the shuffle.
+fn stage_outbox<C: Computation>(
+    ctx: EngineCtx<'_, C>,
+    worker_id: usize,
+    superstep: u64,
+    target: usize,
+    outbox: Outbox<C>,
+) -> Result<Outbox<C>, EngineError> {
+    let Some(store) = ctx.spill else { return Ok(outbox) };
+    let size = outbox_frame_size(&outbox)
+        .map_err(|e| EngineError::Spill(CheckpointError::new("sizing shuffle batch", e)))?;
+    if store.try_charge_shuffle(target, worker_id, size) {
+        return Ok(outbox);
+    }
+    let entries = outbox.len();
+    let frame = graft_codec::to_framed_vec(&log_batch::<C>(&outbox))
+        .map_err(|e| EngineError::Spill(CheckpointError::new("encoding shuffle batch", e)))?;
+    ctx.shared.buffers.put(outbox);
+    let path =
+        store.write_shuffle(superstep, target, worker_id, &frame).map_err(EngineError::Spill)?;
+    Ok(Outbox::Spilled { path, entries })
+}
+
+/// Exact bytes [`stage_outbox`]'s spill frame would occupy for this
+/// batch, mirroring `to_framed_vec(&log_batch(outbox))` through the
+/// codec's counting serializer — the same number is charged for
+/// in-memory batches, so accounting and spill files agree.
+fn outbox_frame_size<C: Computation>(outbox: &Outbox<C>) -> Result<u64, graft_codec::Error> {
+    let body = match outbox {
+        // `LoggedBatch::Raw` is variant 0 followed by the Vec.
+        Outbox::Raw(v) => graft_codec::varint_len(0) + graft_codec::serialized_size(v)?,
+        // `LoggedBatch::Combined` is variant 1 followed by a Vec of
+        // `(id, message, count)` tuples; tuples of references encode
+        // exactly as tuples of values.
+        Outbox::Combined(m) => {
+            let mut body = graft_codec::varint_len(1) + graft_codec::varint_len(m.len() as u64);
+            for (id, (msg, n)) in m {
+                body += graft_codec::serialized_size(&(id, msg, n))?;
+            }
+            body
+        }
+        Outbox::Spilled { .. } => unreachable!("already on disk"),
+    };
+    Ok(graft_codec::varint_len(body) + body)
 }
 
 /// The compute loop proper: runs every active vertex of the worker's
@@ -1775,6 +1962,9 @@ fn worker_compute_core<C: Computation>(
                 match &mut outboxes[partition_for(&target, ctx.num_partitions)] {
                     Outbox::Raw(buf) => buf.push((target, message)),
                     Outbox::Combined(map) => fold_entry(computation, map, target, message),
+                    Outbox::Spilled { .. } => {
+                        unreachable!("outboxes spill only at ship time")
+                    }
                 }
             }
             // Swap the drained inbox Vec back into its slot: it is empty
@@ -1808,6 +1998,7 @@ fn log_batch<C: Computation>(outbox: &Outbox<C>) -> LoggedBatch<C::Id, C::Messag
         Outbox::Combined(m) => {
             LoggedBatch::Combined(m.iter().map(|(id, (msg, n))| (*id, msg.clone(), *n)).collect())
         }
+        Outbox::Spilled { .. } => unreachable!("batches are logged before they can spill"),
     }
 }
 
@@ -1830,8 +2021,16 @@ fn worker_deliver<C: Computation>(
     ctx: EngineCtx<'_, C>,
     worker_id: usize,
     scratch: &mut WorkerScratch<C>,
-) -> DeliveryCounts {
+) -> Result<DeliveryCounts, EngineError> {
     let timer = ctx.obs.map(|o| o.timer());
+    // Same pin discipline as the compute phase: the partition whose
+    // inboxes are being filled must stay resident throughout.
+    let _pin = match ctx.spill {
+        Some(store) => {
+            Some(store.pin(&ctx.shared.partitions, worker_id, true).map_err(EngineError::Spill)?)
+        }
+        None => None,
+    };
     let computation = ctx.computation;
     let use_combiner = computation.use_combiner();
     let mut partition_guard = lock(&ctx.shared.partitions[worker_id]);
@@ -1840,8 +2039,31 @@ fn worker_deliver<C: Computation>(
     let mut missing = 0u64;
 
     let mut slots = lock(&ctx.shared.incoming[worker_id]);
-    for source_slot in slots.iter_mut() {
+    for (source, source_slot) in slots.iter_mut().enumerate() {
         let Some(batch) = source_slot.take() else { continue };
+        // Rehydrate spilled batches from their segments; release the
+        // budget charge of in-memory ones now that they're consumed.
+        let batch = match batch {
+            Outbox::Spilled { path, .. } => {
+                let store = ctx.spill.expect("spilled batch implies a spill store");
+                let bytes = store.read_shuffle(&path).map_err(EngineError::Spill)?;
+                let (logged, _) =
+                    graft_codec::from_framed_slice::<LoggedBatch<C::Id, C::Message>>(&bytes)
+                        .map_err(|e| {
+                            EngineError::Spill(CheckpointError::new(
+                                format!("decoding shuffle segment {path}"),
+                                e,
+                            ))
+                        })?;
+                unlog_batch::<C>(&logged)
+            }
+            other => {
+                if let Some(store) = ctx.spill {
+                    store.release_shuffle(worker_id, source);
+                }
+                other
+            }
+        };
         apply_batch(
             computation,
             use_combiner,
@@ -1855,14 +2077,14 @@ fn worker_deliver<C: Computation>(
     }
     drop(slots);
 
-    DeliveryCounts {
+    Ok(DeliveryCounts {
         delivered,
         missing,
         active: partition.active_vertices(),
         vertices: partition.live_vertices(),
         edges: partition.live_edges(),
         nanos: timer.map(|t| t.stop()).unwrap_or(0),
-    }
+    })
 }
 
 /// Applies one shuffle batch to a partition's inboxes: the single
@@ -1927,6 +2149,9 @@ fn apply_batch<C: Computation>(
             }
             buffers.put(Outbox::Combined(map));
         }
+        Outbox::Spilled { .. } => {
+            unreachable!("spilled batches are rehydrated before delivery")
+        }
     }
 }
 
@@ -1956,7 +2181,7 @@ fn guarded_deliver<C: Computation>(
     scratch: &mut WorkerScratch<C>,
 ) -> Result<DeliveryCounts, EngineError> {
     match catch_unwind(AssertUnwindSafe(|| worker_deliver(ctx, worker_id, scratch))) {
-        Ok(counts) => Ok(counts),
+        Ok(result) => result,
         Err(_) => Err(EngineError::WorkerCrashed { worker: worker_id, superstep }),
     }
 }

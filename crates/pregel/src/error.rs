@@ -37,6 +37,10 @@ pub enum EngineError {
     /// torn log cannot prove an identical confined replay, and carrying
     /// on without logging would silently downgrade the recovery mode.
     MessageLog(crate::checkpoint::CheckpointError),
+    /// Spilling or reloading out-of-core state failed. Fatal: a partition
+    /// that cannot be reloaded is lost state, and continuing without the
+    /// budget would silently turn a bounded run into an unbounded one.
+    Spill(crate::checkpoint::CheckpointError),
     /// The job failed, recovery was attempted, and the recovery limit was
     /// exhausted. The boxed error is the last failure.
     RecoveryExhausted {
@@ -61,6 +65,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             EngineError::MessageLog(e) => write!(f, "message log failure: {e}"),
+            EngineError::Spill(e) => write!(f, "out-of-core spill failure: {e}"),
             EngineError::RecoveryExhausted { attempts, last_error } => {
                 write!(f, "job failed after {attempts} recovery attempt(s): {last_error}")
             }

@@ -67,6 +67,7 @@ pub mod io;
 mod master;
 mod msglog;
 mod observer;
+pub mod ooc;
 mod stats;
 mod types;
 
@@ -83,5 +84,6 @@ pub use fault::{Fault, FaultPlan, FaultPlanParseError};
 pub use graph::{Graph, GraphBuilder, GraphError, GraphStats};
 pub use master::{MasterComputation, MasterContext};
 pub use observer::{JobEnd, JobObserver};
+pub use ooc::{estimate_max_partition_bytes, OocConfig};
 pub use stats::{HaltReason, JobStats, SuperstepStats};
 pub use types::{Edge, GlobalData, Value, VertexId};

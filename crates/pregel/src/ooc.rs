@@ -1,0 +1,541 @@
+//! Out-of-core execution: partitions and shuffle batches under a
+//! memory budget.
+//!
+//! The engine's working set — partition state and staged shuffle
+//! batches — normally lives entirely in memory. With a budget attached
+//! ([`crate::Engine::with_memory_budget`]) a [`SpillStore`] accounts
+//! every partition's serialized footprint and every staged batch's
+//! serialized size against `budget_bytes`, spilling the least recently
+//! used unpinned partitions to `graft-dfs` segments when the budget
+//! would be exceeded and loading them back on demand.
+//!
+//! ## Accounting model
+//!
+//! The unit of charge is *serialized bytes* (the exact frames a spill
+//! would write), computed with `graft-codec`'s counting serializer so no
+//! throwaway encoding pass is needed. A partition's charge is refreshed
+//! each time its pin is released; a staged in-memory shuffle batch is
+//! charged at ship time and released at delivery.
+//!
+//! ## Pin/evict lifecycle
+//!
+//! Workers pin their own partition for the duration of a compute or
+//! delivery phase (a [`PinGuard`] releases on drop, including during a
+//! panic unwind, so an injected fault can never strand waiters).
+//! Pinned partitions are never evicted. A pin of a spilled partition
+//! evicts least-recently-used unpinned partitions until the load fits;
+//! if nothing is evictable and some other worker still holds a pin, the
+//! pin waits for a release. If nothing is evictable and nothing is
+//! pinned, the load proceeds over budget — counted in
+//! `ooc_budget_overruns_total` — because waiting could not help. This is
+//! what guarantees progress when the budget is smaller than a single
+//! partition (execution degrades to one partition at a time; analyzer
+//! lint GA0018 warns about exactly that configuration).
+//!
+//! ## Spill-segment layout
+//!
+//! ```text
+//! <root>/parts/p<idx>.seg          framed VertexRecords, identical to a
+//!                                  checkpoint partition file; deleted on
+//!                                  load
+//! <root>/shuffle/s<s>/p<t>_w<w>.seg  one framed LoggedBatch from worker
+//!                                  w to partition t at superstep s;
+//!                                  deleted at delivery
+//! ```
+//!
+//! Spilled partition state restores *bit-identically* because it reuses
+//! the checkpoint module's framing and its live-slot-order traversal:
+//! re-pushing records in file order preserves compute order, staging
+//! order, and combiner fold order (see `checkpoint.rs` docs). The whole
+//! root is deleted when the job completes, so a budgeted run leaves the
+//! same files behind as an unbounded one.
+//!
+//! Lock order is strictly store → partition. Any partition mutex taken
+//! while holding the store lock belongs to an unpinned partition (whose
+//! lock no worker holds — workers only lock partitions they pinned) or
+//! to the caller's own released guard, so the order can never cycle.
+
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use graft_dfs::FileSystem;
+use graft_obs::{Obs, Scope};
+
+use crate::checkpoint::{
+    partition_frames_size, read_partition_frames, vertex_record_frame_size, write_partition_frames,
+    CheckpointError,
+};
+use crate::computation::Computation;
+use crate::engine::{partition_for, Partition};
+use crate::graph::Graph;
+use graft_sched::sync::Mutex as SchedMutex;
+
+/// Out-of-core configuration: the byte budget and where spill segments
+/// live on the spill file system.
+#[derive(Clone, Debug)]
+pub struct OocConfig {
+    /// The memory budget, in serialized bytes, shared by resident
+    /// partitions and in-memory staged shuffle batches.
+    pub budget_bytes: u64,
+    /// Directory on the spill file system that holds `parts/` and
+    /// `shuffle/` subdirectories. Deleted when the job completes.
+    pub root: String,
+}
+
+impl OocConfig {
+    /// A budget of `budget_bytes` with spill segments under `root`.
+    pub fn new(budget_bytes: u64, root: impl Into<String>) -> Self {
+        Self { budget_bytes, root: root.into() }
+    }
+}
+
+/// One partition's residency state.
+enum Slot {
+    /// In memory, charged against the budget; `pins` holders forbid
+    /// eviction.
+    Resident { bytes: u64, pins: u32 },
+    /// On disk at `parts/p<idx>.seg`; the in-memory partition is empty.
+    Spilled { bytes: u64 },
+}
+
+struct StoreState {
+    slots: Vec<Slot>,
+    /// Resident unpinned partitions, least recently used first.
+    lru: Vec<usize>,
+    /// Total charged bytes of resident partitions.
+    partition_bytes: u64,
+    /// Total charged bytes of in-memory staged shuffle batches.
+    shuffle_bytes: u64,
+    /// Charge per staged batch, keyed by `(target partition, source
+    /// worker)` so delivery can release exactly what shipping charged.
+    shuffle_charges: crate::hash::FxHashMap<(usize, usize), u64>,
+    /// Bytes currently on disk (spilled partitions + shuffle segments);
+    /// exported as the `live_spill_bytes` gauge.
+    disk_bytes: u64,
+}
+
+impl StoreState {
+    fn charged(&self) -> u64 {
+        self.partition_bytes + self.shuffle_bytes
+    }
+
+    fn total_pins(&self) -> u32 {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Resident { pins, .. } => *pins,
+                Slot::Spilled { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+/// The memory-budget accountant and partition spill manager for one job.
+pub(crate) struct SpillStore<C: Computation> {
+    fs: Arc<dyn FileSystem>,
+    budget: u64,
+    root: String,
+    obs: Option<Arc<Obs>>,
+    state: StdMutex<StoreState>,
+    cond: Condvar,
+    _marker: std::marker::PhantomData<fn() -> C>,
+}
+
+/// An RAII pin on a resident partition. Dropping releases the pin —
+/// refreshing the partition's charge from its current contents — and
+/// wakes budget waiters. Drop runs during panic unwinds too, so a
+/// fault-injected worker cannot strand other workers on the condvar.
+pub(crate) struct PinGuard<'a, C: Computation> {
+    store: &'a SpillStore<C>,
+    partitions: &'a [SchedMutex<Partition<C>>],
+    idx: usize,
+}
+
+impl<C: Computation> Drop for PinGuard<'_, C> {
+    fn drop(&mut self) {
+        self.store.release(self.partitions, self.idx);
+    }
+}
+
+impl<C: Computation> SpillStore<C> {
+    pub(crate) fn new(
+        fs: Arc<dyn FileSystem>,
+        config: &OocConfig,
+        obs: Option<Arc<Obs>>,
+        num_partitions: usize,
+    ) -> Self {
+        Self {
+            fs,
+            budget: config.budget_bytes,
+            root: config.root.trim_end_matches('/').to_string(),
+            obs,
+            state: StdMutex::new(StoreState {
+                slots: (0..num_partitions).map(|_| Slot::Resident { bytes: 0, pins: 0 }).collect(),
+                lru: Vec::new(),
+                partition_bytes: 0,
+                shuffle_bytes: 0,
+                shuffle_charges: crate::hash::FxHashMap::default(),
+                disk_bytes: 0,
+            }),
+            cond: Condvar::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The store mutex, with poison recovered: accounting must survive a
+    /// fault-injected panic on a worker thread (the panic already
+    /// surfaced through the engine's result slots).
+    fn state_lock(&self) -> StdMutexGuard<'_, StoreState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn count(&self, name: &'static str, n: u64) {
+        if let Some(obs) = &self.obs {
+            obs.registry().inc(name, Scope::GLOBAL, n);
+        }
+    }
+
+    fn publish_disk_gauge(&self, st: &StoreState) {
+        if let Some(obs) = &self.obs {
+            obs.registry().set_gauge("live_spill_bytes", Scope::GLOBAL, st.disk_bytes as i64);
+        }
+    }
+
+    fn part_path(&self, idx: usize) -> String {
+        format!("{}/parts/p{idx}.seg", self.root)
+    }
+
+    /// Takes ownership of the freshly built partitions: charges each
+    /// one's serialized footprint, then evicts down to the budget.
+    pub(crate) fn adopt(
+        &self,
+        partitions: &[SchedMutex<Partition<C>>],
+    ) -> Result<(), CheckpointError> {
+        let mut st = self.state_lock();
+        st.partition_bytes = 0;
+        st.lru.clear();
+        for (idx, partition) in partitions.iter().enumerate() {
+            let bytes = partition_frames_size(&partition.lock())
+                .map_err(|e| CheckpointError::new(format!("sizing partition {idx}"), e))?;
+            st.slots[idx] = Slot::Resident { bytes, pins: 0 };
+            st.lru.push(idx);
+            st.partition_bytes += bytes;
+        }
+        self.evict_to_budget(&mut st, partitions)
+    }
+
+    /// Pins partition `idx` resident, loading (and evicting others) as
+    /// needed. With `wait`, blocks while over budget as long as some
+    /// other pin is outstanding; without it (coordinator phases, which
+    /// are exclusive and would only be waiting on themselves), proceeds
+    /// over budget immediately.
+    pub(crate) fn pin<'a>(
+        &'a self,
+        partitions: &'a [SchedMutex<Partition<C>>],
+        idx: usize,
+        wait: bool,
+    ) -> Result<PinGuard<'a, C>, CheckpointError> {
+        let mut st = self.state_lock();
+        loop {
+            match st.slots[idx] {
+                Slot::Resident { pins, .. } => {
+                    if pins == 0 {
+                        st.lru.retain(|&i| i != idx);
+                    }
+                    if let Slot::Resident { pins, .. } = &mut st.slots[idx] {
+                        *pins += 1;
+                    }
+                    return Ok(PinGuard { store: self, partitions, idx });
+                }
+                Slot::Spilled { bytes: need } => {
+                    while st.charged() + need > self.budget && !st.lru.is_empty() {
+                        self.evict_one(&mut st, partitions)?;
+                    }
+                    if st.charged() + need > self.budget {
+                        if wait && st.total_pins() > 0 {
+                            // Some worker will release its pin and notify;
+                            // re-examine the world then.
+                            st = self.cond.wait(st).unwrap_or_else(|p| p.into_inner());
+                            continue;
+                        }
+                        self.count("ooc_budget_overruns_total", 1);
+                    }
+                    self.load(&mut st, partitions, idx)?;
+                    return Ok(PinGuard { store: self, partitions, idx });
+                }
+            }
+        }
+    }
+
+    /// Pins every partition (mutation phases touch arbitrary targets).
+    /// Never waits — the coordinator is the only actor between phases —
+    /// so a budget below the graph size simply overruns, counted.
+    pub(crate) fn pin_all<'a>(
+        &'a self,
+        partitions: &'a [SchedMutex<Partition<C>>],
+    ) -> Result<Vec<PinGuard<'a, C>>, CheckpointError> {
+        (0..partitions.len()).map(|idx| self.pin(partitions, idx, false)).collect()
+    }
+
+    /// Releases a pin: refresh the partition's charge from its current
+    /// contents, return it to the LRU, opportunistically evict back down
+    /// to the budget, and wake waiters.
+    fn release(&self, partitions: &[SchedMutex<Partition<C>>], idx: usize) {
+        let mut st = self.state_lock();
+        // Best-effort refresh: a size error (practically impossible for
+        // types that already serialized) keeps the previous charge.
+        let refreshed = partition_frames_size(&partitions[idx].lock()).ok();
+        if let Slot::Resident { bytes, pins } = &mut st.slots[idx] {
+            let old = *bytes;
+            if let Some(new) = refreshed {
+                *bytes = new;
+            }
+            let new = *bytes;
+            *pins = pins.saturating_sub(1);
+            let unpinned = *pins == 0;
+            st.partition_bytes = st.partition_bytes - old + new;
+            if unpinned {
+                st.lru.push(idx);
+            }
+        }
+        // Lazy enforcement: growth during the phase (mutations, inbox
+        // fill) is trimmed here rather than blocking the worker.
+        let _ = self.evict_to_budget(&mut st, partitions);
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    fn evict_to_budget(
+        &self,
+        st: &mut StoreState,
+        partitions: &[SchedMutex<Partition<C>>],
+    ) -> Result<(), CheckpointError> {
+        while st.charged() > self.budget && !st.lru.is_empty() {
+            self.evict_one(st, partitions)?;
+        }
+        Ok(())
+    }
+
+    /// Spills the least recently used unpinned partition to its segment
+    /// and replaces the in-memory partition with an empty one.
+    fn evict_one(
+        &self,
+        st: &mut StoreState,
+        partitions: &[SchedMutex<Partition<C>>],
+    ) -> Result<(), CheckpointError> {
+        let victim = st.lru.remove(0);
+        let path = self.part_path(victim);
+        let mut buf = Vec::new();
+        {
+            let mut guard = partitions[victim].lock();
+            if let Err(e) = write_partition_frames(&guard, &mut buf) {
+                st.lru.insert(0, victim);
+                return Err(CheckpointError::new(format!("spilling partition {victim}"), e));
+            }
+            if let Err(e) = self
+                .fs
+                .mkdirs(&format!("{}/parts", self.root))
+                .and_then(|()| self.fs.write_all(&path, &buf))
+            {
+                st.lru.insert(0, victim);
+                return Err(CheckpointError::new(format!("writing {path}"), e));
+            }
+            *guard = Partition::new();
+        }
+        let written = buf.len() as u64;
+        if let Slot::Resident { bytes, .. } = st.slots[victim] {
+            st.partition_bytes -= bytes;
+        }
+        st.slots[victim] = Slot::Spilled { bytes: written };
+        st.disk_bytes += written;
+        self.count("ooc_spills_total", 1);
+        self.count("ooc_spill_bytes_total", written);
+        self.publish_disk_gauge(st);
+        Ok(())
+    }
+
+    /// Loads a spilled partition back into memory (deleting its segment)
+    /// and pins it.
+    fn load(
+        &self,
+        st: &mut StoreState,
+        partitions: &[SchedMutex<Partition<C>>],
+        idx: usize,
+    ) -> Result<(), CheckpointError> {
+        let path = self.part_path(idx);
+        let bytes = self
+            .fs
+            .read_all(&path)
+            .map_err(|e| CheckpointError::new(format!("reading {path}"), e))?;
+        let partition = read_partition_frames::<C>(&bytes)
+            .map_err(|e| CheckpointError::new(format!("decoding {path}"), e))?;
+        *partitions[idx].lock() = partition;
+        let _ = self.fs.delete(&path, false);
+        let size = bytes.len() as u64;
+        st.slots[idx] = Slot::Resident { bytes: size, pins: 1 };
+        st.partition_bytes += size;
+        st.disk_bytes = st.disk_bytes.saturating_sub(size);
+        self.count("ooc_loads_total", 1);
+        self.count("ooc_load_bytes_total", size);
+        self.publish_disk_gauge(st);
+        Ok(())
+    }
+
+    /// Re-adopts all partitions after a full checkpoint restore replaced
+    /// every in-memory partition: stale spill segments and shuffle
+    /// spills from the failed attempt are deleted, charges are rebuilt
+    /// from the restored contents, and the store evicts back down to the
+    /// budget.
+    pub(crate) fn reset(
+        &self,
+        partitions: &[SchedMutex<Partition<C>>],
+    ) -> Result<(), CheckpointError> {
+        {
+            let mut st = self.state_lock();
+            st.shuffle_bytes = 0;
+            st.shuffle_charges.clear();
+            st.disk_bytes = 0;
+            for idx in 0..st.slots.len() {
+                if matches!(st.slots[idx], Slot::Spilled { .. }) {
+                    let _ = self.fs.delete(&self.part_path(idx), false);
+                }
+            }
+            let _ = self.fs.delete(&format!("{}/shuffle", self.root), true);
+            self.publish_disk_gauge(&st);
+        }
+        self.adopt(partitions)
+    }
+
+    /// Marks one partition resident after confined recovery replaced its
+    /// in-memory contents, deleting any stale spill segment.
+    pub(crate) fn mark_resident(
+        &self,
+        partitions: &[SchedMutex<Partition<C>>],
+        idx: usize,
+    ) -> Result<(), CheckpointError> {
+        let mut st = self.state_lock();
+        let bytes = partition_frames_size(&partitions[idx].lock())
+            .map_err(|e| CheckpointError::new(format!("sizing partition {idx}"), e))?;
+        match st.slots[idx] {
+            Slot::Resident { bytes: old, .. } => {
+                st.partition_bytes -= old;
+                st.lru.retain(|&i| i != idx);
+            }
+            Slot::Spilled { bytes: on_disk } => {
+                let _ = self.fs.delete(&self.part_path(idx), false);
+                st.disk_bytes = st.disk_bytes.saturating_sub(on_disk);
+            }
+        }
+        st.slots[idx] = Slot::Resident { bytes, pins: 0 };
+        st.partition_bytes += bytes;
+        st.lru.push(idx);
+        let result = self.evict_to_budget(&mut st, partitions);
+        self.publish_disk_gauge(&st);
+        result
+    }
+
+    /// Loads every spilled partition back (the final graph rebuild needs
+    /// them all) and removes the spill root, so a budgeted run leaves
+    /// the file system exactly as an unbounded one would.
+    pub(crate) fn finish(
+        &self,
+        partitions: &[SchedMutex<Partition<C>>],
+    ) -> Result<(), CheckpointError> {
+        let mut st = self.state_lock();
+        for idx in 0..st.slots.len() {
+            if matches!(st.slots[idx], Slot::Spilled { .. }) {
+                self.load(&mut st, partitions, idx)?;
+                if let Slot::Resident { pins, .. } = &mut st.slots[idx] {
+                    *pins = 0;
+                }
+                st.lru.push(idx);
+            }
+        }
+        let _ = self.fs.delete(&self.root, true);
+        st.disk_bytes = 0;
+        self.publish_disk_gauge(&st);
+        Ok(())
+    }
+
+    /// Charges an in-memory staged shuffle batch if it fits the budget.
+    /// Returns `false` — never blocks, never overruns — when it does
+    /// not; the caller spills the batch instead.
+    pub(crate) fn try_charge_shuffle(&self, target: usize, source: usize, bytes: u64) -> bool {
+        let mut st = self.state_lock();
+        if st.charged() + bytes > self.budget {
+            return false;
+        }
+        if let Some(old) = st.shuffle_charges.insert((target, source), bytes) {
+            st.shuffle_bytes -= old;
+        }
+        st.shuffle_bytes += bytes;
+        true
+    }
+
+    /// Releases the charge taken by [`try_charge_shuffle`] once the
+    /// batch has been delivered (or discarded).
+    pub(crate) fn release_shuffle(&self, target: usize, source: usize) {
+        let mut st = self.state_lock();
+        if let Some(bytes) = st.shuffle_charges.remove(&(target, source)) {
+            st.shuffle_bytes -= bytes;
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Writes one spilled shuffle batch (already framed) to its segment
+    /// and returns the path for the staged `Outbox::Spilled`.
+    pub(crate) fn write_shuffle(
+        &self,
+        superstep: u64,
+        target: usize,
+        source: usize,
+        frame: &[u8],
+    ) -> Result<String, CheckpointError> {
+        let dir = format!("{}/shuffle/s{superstep}", self.root);
+        let path = format!("{dir}/p{target}_w{source}.seg");
+        self.fs
+            .mkdirs(&dir)
+            .and_then(|()| self.fs.write_all(&path, frame))
+            .map_err(|e| CheckpointError::new(format!("writing {path}"), e))?;
+        let mut st = self.state_lock();
+        st.disk_bytes += frame.len() as u64;
+        self.count("ooc_shuffle_spills_total", 1);
+        self.count("ooc_shuffle_spill_bytes_total", frame.len() as u64);
+        self.publish_disk_gauge(&st);
+        Ok(path)
+    }
+
+    /// Reads one spilled shuffle segment back for delivery and deletes
+    /// it.
+    pub(crate) fn read_shuffle(&self, path: &str) -> Result<Vec<u8>, CheckpointError> {
+        let bytes = self
+            .fs
+            .read_all(path)
+            .map_err(|e| CheckpointError::new(format!("reading {path}"), e))?;
+        let _ = self.fs.delete(path, false);
+        let mut st = self.state_lock();
+        st.disk_bytes = st.disk_bytes.saturating_sub(bytes.len() as u64);
+        self.count("ooc_shuffle_loads_total", 1);
+        self.publish_disk_gauge(&st);
+        Ok(bytes)
+    }
+}
+
+/// Estimated serialized footprint of the largest partition `graph`
+/// would produce under `num_partitions`-way hash partitioning: the sum
+/// of each vertex's checkpoint-frame size (empty inbox, not halted),
+/// bucketed by [`partition_for`], maximum over buckets. This is the
+/// number analyzer lint GA0018 compares a memory budget against — a
+/// budget below it forces the engine to run one partition at a time.
+pub fn estimate_max_partition_bytes<C: Computation>(
+    graph: &Graph<C::Id, C::VValue, C::EValue>,
+    num_partitions: usize,
+) -> u64 {
+    let num_partitions = num_partitions.max(1);
+    let mut buckets = vec![0u64; num_partitions];
+    for (id, value, edges) in graph.iter() {
+        let size = vertex_record_frame_size::<C>(&id, value, edges, false, &[]).unwrap_or(0);
+        buckets[partition_for(&id, num_partitions)] += size;
+    }
+    buckets.into_iter().max().unwrap_or(0)
+}
