@@ -2,7 +2,7 @@
 //! encode/decode throughput on representative vertex-trace records.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use graft::trace::{decode_records, encode_record, VertexTrace};
+use graft::trace::{decode_vertex_records, encode_record, VertexTrace};
 use graft::{CaptureReason, TraceCodec};
 use graft_pregel::{AggValue, GlobalData};
 
@@ -57,7 +57,7 @@ fn bench_codecs(c: &mut Criterion) {
                 |b, bytes| {
                     b.iter(|| {
                         let records: Vec<VertexTrace<u64, i64, (), i64>> =
-                            decode_records(codec, bytes).unwrap();
+                            decode_vertex_records(codec, bytes).unwrap();
                         records.len()
                     });
                 },

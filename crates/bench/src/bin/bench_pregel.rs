@@ -2,7 +2,8 @@
 //!
 //! `cargo run -p graft-bench --release --bin bench_pregel [--vertices N]
 //!  [--workers W] [--relay-supersteps S] [--scale-sweep-max V]
-//!  [--sweep-only] [--check-pool-faster] [--check-spills] [--out PATH]`
+//!  [--sweep-only] [--check-pool-faster] [--check-spills]
+//!  [--check-capture-cheaper] [--out PATH]`
 //!
 //! The sections, all written to `BENCH_pregel.json` (override with
 //! `--out`):
@@ -21,7 +22,13 @@
 //!    receiver-side vs sender-side combining, comparing the
 //!    `pregel_messages_shuffled` counter (messages that actually crossed
 //!    the worker shuffle) against raw `pregel_messages_sent`.
-//! 4. **Sched-shim overhead** — the same PageRank job through the
+//! 4. **Capture overhead** — capture-all PageRank through `GraftRunner`
+//!    under each trace codec (the framed binary default and the
+//!    JSON-lines fallback), best-of-3, against the uninstrumented
+//!    engine. Reports the wall time each codec adds over the baseline
+//!    and the bytes its trace channels occupy — the numbers behind
+//!    making the binary format the default and behind the GA0019 lint.
+//! 5. **Sched-shim overhead** — the same PageRank job through the
 //!    graft-sched shims outside any schedule session (passthrough, the
 //!    production configuration) vs under the deterministic scheduler
 //!    (`run_schedule`, the `check-sched` configuration). The passthrough
@@ -29,12 +36,12 @@
 //!    documents what a model-checking run costs. With the `check`
 //!    feature disabled the shim hooks vanish at compile time, so the
 //!    passthrough column *is* the production hot path.
-//! 5. **Recovery time** — the same mid-job worker kill on a 16-worker
+//! 6. **Recovery time** — the same mid-job worker kill on a 16-worker
 //!    PageRank under full-restart recovery vs confined log-replay
 //!    recovery, against a failure-free baseline with the identical
 //!    checkpoint schedule; the speedup column is whole-job wall restart
 //!    over log-replay.
-//! 6. **Out-of-core scale sweep** — RMAT PageRank at 10^4, 10^5, …
+//! 7. **Out-of-core scale sweep** — RMAT PageRank at 10^4, 10^5, …
 //!    vertices up to `--scale-sweep-max` (default 10^6; the committed
 //!    report uses 10^7), each tier run unbounded and then under a
 //!    memory budget of a third of the graph's serialized footprint,
@@ -47,11 +54,14 @@
 //! bench-smoke gate. `--check-spills` exits nonzero unless every sweep
 //! tier actually spilled under its budget AND reproduced the unbounded
 //! checksum — the CI ooc-smoke gate (pair with `--sweep-only` to skip
-//! the other sections).
+//! the other sections). `--check-capture-cheaper` exits nonzero unless
+//! the binary capture run wrote at most half the trace bytes of the
+//! JSON run AND finished faster — the CI trace-format-smoke gate.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use graft::{trace, DebugConfig, GraftRunner, TraceCodec};
 use graft_algorithms::components::ConnectedComponents;
 use graft_algorithms::pagerank::PageRank;
 use graft_algorithms::sssp::ShortestPaths;
@@ -111,6 +121,37 @@ struct CombiningComparison {
     shuffled_at_sender: u64,
     /// 100 * (1 - at_sender / at_receiver).
     shuffle_reduction_percent: f64,
+}
+
+/// Capture-all PageRank under each trace codec against the plain
+/// engine: what full-fidelity capture costs on disk and on the clock
+/// per wire format.
+#[derive(Serialize, Deserialize)]
+struct CaptureOverhead {
+    workload: String,
+    vertices: u64,
+    workers: u64,
+    supersteps: u64,
+    /// Vertex contexts captured per instrumented run (identical across
+    /// codecs by construction).
+    captures: u64,
+    /// Best-of-N per mode (wall time of the fastest run).
+    runs_per_mode: u64,
+    /// Plain engine, no Graft attached (the overhead baseline).
+    baseline_wall_nanos: u64,
+    binary_wall_nanos: u64,
+    /// Bytes across all worker channels plus the master channel.
+    binary_trace_bytes: u64,
+    json_wall_nanos: u64,
+    json_trace_bytes: u64,
+    /// json trace bytes / binary trace bytes — the on-disk win.
+    size_ratio: f64,
+    /// Wall time capture-all added over the baseline under each codec.
+    binary_capture_overhead_nanos: i64,
+    json_capture_overhead_nanos: i64,
+    /// json capture overhead / binary capture overhead — above 1.0 the
+    /// binary codec captures cheaper.
+    capture_speedup: f64,
 }
 
 /// PageRank through the sync shims, passthrough vs instrumented.
@@ -219,6 +260,7 @@ struct BenchReport {
     entries: Vec<BenchEntry>,
     executor_comparison: ExecutorComparison,
     combining_comparison: CombiningComparison,
+    capture_overhead: CaptureOverhead,
     sched_shim_overhead: SchedShimOverhead,
     recovery_time: RecoveryTime,
     ooc_scale_sweep: OocScaleSweep,
@@ -265,6 +307,7 @@ fn main() -> ExitCode {
     let sweep_only = graft_bench::arg_flag("--sweep-only");
     let check_pool_faster = graft_bench::arg_flag("--check-pool-faster");
     let check_spills = graft_bench::arg_flag("--check-spills");
+    let check_capture_cheaper = graft_bench::arg_flag("--check-capture-cheaper");
     let out = std::env::args()
         .collect::<Vec<_>>()
         .windows(2)
@@ -367,6 +410,41 @@ fn main() -> ExitCode {
         )
     );
 
+    let capture_overhead = bench_capture(vertices, workers);
+    println!(
+        "{}",
+        graft_bench::render_table(
+            &["capture", "wall", "trace bytes", "overhead"],
+            &[
+                vec![
+                    "no-capture".to_string(),
+                    format!("{:.2}ms", capture_overhead.baseline_wall_nanos as f64 / 1e6),
+                    "-".to_string(),
+                    "-".to_string(),
+                ],
+                vec![
+                    "binary".to_string(),
+                    format!("{:.2}ms", capture_overhead.binary_wall_nanos as f64 / 1e6),
+                    capture_overhead.binary_trace_bytes.to_string(),
+                    format!(
+                        "+{:.2}ms",
+                        capture_overhead.binary_capture_overhead_nanos as f64 / 1e6
+                    ),
+                ],
+                vec![
+                    "json".to_string(),
+                    format!("{:.2}ms", capture_overhead.json_wall_nanos as f64 / 1e6),
+                    capture_overhead.json_trace_bytes.to_string(),
+                    format!("+{:.2}ms", capture_overhead.json_capture_overhead_nanos as f64 / 1e6),
+                ],
+            ],
+        )
+    );
+    println!(
+        "binary traces are {:.2}x smaller than JSON; capture overhead speedup {:.2}x",
+        capture_overhead.size_ratio, capture_overhead.capture_speedup
+    );
+
     let sched_shim_overhead = bench_sched_shims(vertices, workers);
     println!(
         "{}",
@@ -422,10 +500,21 @@ fn main() -> ExitCode {
 
     let pool_won = executor_comparison.pool_speedup > 1.0;
     let sweep_sound = sweep_is_sound(&ooc_scale_sweep);
+    let capture_cheaper = capture_overhead.binary_trace_bytes * 2
+        <= capture_overhead.json_trace_bytes
+        && capture_overhead.binary_wall_nanos < capture_overhead.json_wall_nanos;
+    let capture_line = format!(
+        "binary {}B in {:.2}ms vs json {}B in {:.2}ms",
+        capture_overhead.binary_trace_bytes,
+        capture_overhead.binary_wall_nanos as f64 / 1e6,
+        capture_overhead.json_trace_bytes,
+        capture_overhead.json_wall_nanos as f64 / 1e6,
+    );
     let report = BenchReport {
         entries,
         executor_comparison,
         combining_comparison,
+        capture_overhead,
         sched_shim_overhead,
         recovery_time,
         ooc_scale_sweep,
@@ -439,6 +528,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if check_spills && !sweep_sound {
+        return ExitCode::FAILURE;
+    }
+    if check_capture_cheaper && !capture_cheaper {
+        eprintln!(
+            "FAIL: binary capture was not at least 2x smaller and faster than JSON \
+             ({capture_line})"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -544,6 +640,85 @@ fn bench_combining(vertices: u64, workers: usize) -> CombiningComparison {
         shuffled_at_sender: shuffled_sender,
         shuffle_reduction_percent: 100.0
             * (1.0 - shuffled_sender as f64 / shuffled_receiver.max(1) as f64),
+    }
+}
+
+/// Capture-all PageRank under each trace codec, best-of-3, against the
+/// plain engine. Every instrumented run serializes every active vertex
+/// context each superstep — the worst case for the trace sink and the
+/// workload where the wire format dominates. Trace bytes are read back
+/// from the run's own file system, so the number is exactly what the
+/// sink flushed, not an estimate.
+fn bench_capture(vertices: u64, workers: usize) -> CaptureOverhead {
+    const RUNS: u64 = 3;
+    let graph = || build_graph(vertices, |_| 0.0, |_| ());
+
+    let baseline_wall = {
+        let mut best = u64::MAX;
+        for _ in 0..RUNS {
+            let start = std::time::Instant::now();
+            Engine::new(PageRank::new(8))
+                .num_workers(workers)
+                .run(graph())
+                .expect("pagerank succeeds");
+            best = best.min(start.elapsed().as_nanos() as u64);
+        }
+        best.max(1)
+    };
+
+    // (best wall, trace bytes, captures, supersteps); the last three are
+    // deterministic, so keeping the final run's values is fine.
+    let captured = |codec: TraceCodec| -> (u64, u64, u64, u64) {
+        let root = "/bench/capture";
+        let mut best = u64::MAX;
+        let mut bytes = 0u64;
+        let mut captures = 0u64;
+        let mut supersteps = 0u64;
+        for _ in 0..RUNS {
+            let config =
+                DebugConfig::<PageRank>::builder().capture_all_active(true).codec(codec).build();
+            let runner = GraftRunner::new(PageRank::new(8), config).num_workers(workers);
+            let start = std::time::Instant::now();
+            let run = runner.run(graph(), root).expect("trace setup succeeds");
+            best = best.min(start.elapsed().as_nanos() as u64);
+            let outcome = run.outcome.as_ref().expect("pagerank succeeds");
+            supersteps = outcome.stats.superstep_count();
+            captures = run.captures;
+            bytes = 0;
+            for worker in 0..workers {
+                if let Ok(data) = run.fs().read_all(&trace::worker_trace_path(root, worker)) {
+                    bytes += data.len() as u64;
+                }
+            }
+            if let Ok(data) = run.fs().read_all(&trace::master_trace_path(root)) {
+                bytes += data.len() as u64;
+            }
+        }
+        (best.max(1), bytes, captures, supersteps)
+    };
+
+    let (binary_wall, binary_bytes, binary_captures, supersteps) = captured(TraceCodec::Binary);
+    let (json_wall, json_bytes, json_captures, _) = captured(TraceCodec::JsonLines);
+    assert_eq!(binary_captures, json_captures, "capture counts must not depend on the trace codec");
+
+    let binary_overhead = binary_wall as i64 - baseline_wall as i64;
+    let json_overhead = json_wall as i64 - baseline_wall as i64;
+    CaptureOverhead {
+        workload: "pagerank".to_string(),
+        vertices,
+        workers: workers as u64,
+        supersteps,
+        captures: binary_captures,
+        runs_per_mode: RUNS,
+        baseline_wall_nanos: baseline_wall,
+        binary_wall_nanos: binary_wall,
+        binary_trace_bytes: binary_bytes,
+        json_wall_nanos: json_wall,
+        json_trace_bytes: json_bytes,
+        size_ratio: json_bytes as f64 / binary_bytes.max(1) as f64,
+        binary_capture_overhead_nanos: binary_overhead,
+        json_capture_overhead_nanos: json_overhead,
+        capture_speedup: json_overhead as f64 / binary_overhead.max(1) as f64,
     }
 }
 

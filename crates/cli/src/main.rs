@@ -2,8 +2,9 @@
 //! navigation half of the paper's browser GUI.
 //!
 //! Traces written to a `LocalFs` (directory on disk) can be inspected
-//! without recompiling the original program, as long as they use the
-//! default JSON-lines codec:
+//! without recompiling the original program, in either trace format —
+//! the default framed binary codec or JSON lines (`meta.json` records
+//! which one; files without the record are legacy JSON):
 //!
 //! ```text
 //! graft-cli <trace-dir> info
@@ -13,6 +14,8 @@
 //! graft-cli <trace-dir> violations
 //! graft-cli <trace-dir> master
 //! graft-cli <trace-dir> analyze
+//! graft-cli trace dump <trace-dir>
+//! graft-cli trace convert <src> <dst> --to json|binary
 //! ```
 //!
 //! `analyze` runs `graft-analyzer`'s configuration lints over the
@@ -43,6 +46,7 @@ mod check_sched_cmd;
 mod profile_cmd;
 mod run_cmd;
 mod serve_cmd;
+mod trace_cmd;
 mod watch_cmd;
 
 fn usage() -> ExitCode {
@@ -52,6 +56,7 @@ fn usage() -> ExitCode {
          \x20      graft-cli profile <obs-dir> [options] (see `graft-cli profile`)\n\
          \x20      graft-cli serve --trace-root <dir>    (see `graft-cli serve`)\n\
          \x20      graft-cli watch <trace-dir> [options] (see `graft-cli watch`)\n\
+         \x20      graft-cli trace <dump|convert> ...    (see `graft-cli trace`)\n\
          \x20      graft-cli check-sched [options]       (see `graft-cli check-sched --help`)\n\
          commands:\n\
          \x20 info                 job metadata and terminal status\n\
@@ -62,7 +67,7 @@ fn usage() -> ExitCode {
          \x20 violations           the violations & exceptions view\n\
          \x20 repro <id> <ss>      generated reproducer test for one captured vertex\n\
          \x20 master               captured master contexts\n\
-         \x20 analyze              run config lints (GA0006-GA0018) over meta.json\n\
+         \x20 analyze              run config lints (GA0006-GA0019) over meta.json\n\
          `--format json` prints the same bytes graft-server sends for the\n\
          matching endpoint (info, supersteps, show, violations)."
     );
@@ -93,6 +98,12 @@ fn main() -> ExitCode {
         return match args.get(1) {
             Some(_) => watch_cmd::run(&args[1..]),
             None => watch_cmd::usage(),
+        };
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return match args.get(1) {
+            Some(_) => trace_cmd::run(&args[1..]),
+            None => trace_cmd::usage(),
         };
     }
     if args.first().map(String::as_str) == Some("check-sched") {
@@ -221,7 +232,7 @@ fn info(session: &UntypedSession) {
         meta.value_types.0, meta.value_types.1, meta.value_types.2, meta.value_types.3
     );
     println!("workers     : {}", meta.num_workers);
-    println!("codec       : {:?}", meta.codec);
+    println!("codec       : {:?}", meta.codec());
     println!("debug config:");
     for line in &meta.config {
         println!("  - {line}");

@@ -38,14 +38,17 @@
 
 mod de;
 mod error;
+pub mod frame;
 mod ser;
 mod size;
+mod value;
 pub mod varint;
 
 pub use de::{from_slice, Deserializer};
 pub use error::{Error, Result};
 pub use ser::{to_vec, to_writer, Serializer};
 pub use size::{framed_size, serialized_size, varint_len};
+pub use value::{normalize, to_bin_value, BinValue};
 
 /// Encodes a value and prefixes it with its varint-encoded byte length.
 ///

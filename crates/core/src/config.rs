@@ -145,11 +145,13 @@ pub enum CaptureReason {
 /// How trace records are encoded on the file system.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceCodec {
-    /// Human-readable JSON lines (the default; inspectable with any
-    /// editor, as the paper's HDFS trace files were meant to be small).
+    /// Human-readable JSON lines; inspectable with any editor, as the
+    /// paper's HDFS trace files were meant to be small. The fallback
+    /// format, and the implied format of legacy trace directories.
     JsonLines,
-    /// Compact length-prefixed GraftBin records (see `graft-codec`);
-    /// smaller and faster, for heavy captures.
+    /// Kind-tagged GraftBin frames (see `graft_codec::frame`); smaller
+    /// and cheaper to capture, with superstep index frames for streaming
+    /// reads. The default.
     Binary,
 }
 
@@ -214,6 +216,10 @@ pub struct ConfigFacts {
     /// runner only when a memory budget is set; lint GA0018 compares it
     /// against the budget.
     pub est_max_partition_bytes: Option<u64>,
+    /// The trace encoding, `"json"` or `"binary"`. Lint GA0019 flags
+    /// heavy captures recorded as JSON. Absent in older meta.json files
+    /// (which are always JSON).
+    pub trace_format: Option<String>,
 }
 
 /// The assembled debug configuration for a computation `C`.
@@ -273,7 +279,7 @@ impl<C: Computation> Default for DebugConfig<C> {
 
 impl<C: Computation> DebugConfig<C> {
     /// Starts a builder with paper defaults: nothing captured except
-    /// exceptions, all supersteps eligible, JSON traces, a one-million
+    /// exceptions, all supersteps eligible, binary traces, a one-million
     /// capture safety net, and abort-on-exception semantics.
     pub fn builder() -> DebugConfigBuilder<C> {
         DebugConfigBuilder {
@@ -289,7 +295,7 @@ impl<C: Computation> DebugConfig<C> {
                 exception_policy: ExceptionPolicy::Abort,
                 superstep_filter: SuperstepFilter::All,
                 max_captures: 1_000_000,
-                codec: TraceCodec::JsonLines,
+                codec: TraceCodec::Binary,
                 capture_master: true,
             },
         }
@@ -378,6 +384,13 @@ impl<C: Computation> DebugConfig<C> {
             obs_enabled: None,
             memory_budget: None,
             est_max_partition_bytes: None,
+            trace_format: Some(
+                match self.codec {
+                    TraceCodec::JsonLines => "json",
+                    TraceCodec::Binary => "binary",
+                }
+                .to_string(),
+            ),
         }
     }
 }
@@ -583,6 +596,10 @@ mod tests {
         assert_eq!(facts.superstep_filter, SuperstepFilter::Set(vec![2, 4]));
         assert_eq!(facts.max_captures, 99);
         assert_eq!(facts.max_supersteps, None);
+        assert_eq!(facts.trace_format.as_deref(), Some("binary"));
+        let json_facts =
+            DebugConfig::<Dummy>::builder().codec(TraceCodec::JsonLines).build().facts();
+        assert_eq!(json_facts.trace_format.as_deref(), Some("json"));
     }
 
     #[test]
@@ -617,6 +634,7 @@ mod tests {
         assert!(config.catch_exceptions);
         assert!(config.has_posthoc_captures());
         assert_eq!(config.exception_policy, ExceptionPolicy::Abort);
+        assert_eq!(config.codec(), TraceCodec::Binary, "binary capture is the default");
     }
 
     #[test]

@@ -378,7 +378,7 @@ impl<C: Computation> GraftRunner<C> {
                 std::any::type_name::<C::Message>().to_string(),
             ),
             num_workers: self.num_workers,
-            codec: self.config.codec,
+            trace_format: Some(self.config.codec),
             config: self.config.describe(),
             facts: Some({
                 let mut facts = self.config.facts();

@@ -9,8 +9,8 @@ use graft_pregel::Computation;
 
 use crate::reproduce::{ReproducedContext, ReproducedMaster};
 use crate::trace::{
-    decode_records, master_trace_path, meta_path, result_path, worker_trace_path, JobMeta,
-    JobResultRecord, MasterTrace, VertexTraceOf,
+    decode_master_records, decode_vertex_records, master_trace_path, meta_path, result_path,
+    worker_trace_path, JobMeta, JobResultRecord, MasterTrace, VertexTraceOf,
 };
 use crate::views::node_link::NodeLinkView;
 use crate::views::tabular::TabularView;
@@ -169,7 +169,7 @@ impl<C: Computation> DebugSession<C> {
                 continue;
             }
             let bytes = fs.read_all(&path)?;
-            let records: Vec<VertexTraceOf<C>> = decode_records(meta.codec, &bytes)
+            let records: Vec<VertexTraceOf<C>> = decode_vertex_records(meta.codec(), &bytes)
                 .map_err(|error| SessionError::Decode { path: path.clone(), error })?;
             for record in records {
                 by_superstep.entry(record.superstep).or_default().push(record);
@@ -183,7 +183,7 @@ impl<C: Computation> DebugSession<C> {
         let master_path = master_trace_path(root);
         if fs.exists(&master_path) {
             let bytes = fs.read_all(&master_path)?;
-            let records: Vec<MasterTrace> = decode_records(meta.codec, &bytes)
+            let records: Vec<MasterTrace> = decode_master_records(meta.codec(), &bytes)
                 .map_err(|error| SessionError::Decode { path: master_path, error })?;
             for record in records {
                 master.insert(record.superstep, record);

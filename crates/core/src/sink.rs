@@ -11,11 +11,11 @@ use graft_dfs::{FileSystem, FileWrite};
 // reservation protocol is model-checked against real interleavings.
 use graft_sched::atomic::{AtomicBool, AtomicU64};
 use graft_sched::sync::Mutex;
-use serde::Serialize;
 
 use crate::config::TraceCodec;
 use crate::trace::{
-    encode_record, master_trace_path, result_path, worker_trace_path, JobResultRecord,
+    encode_index_frame, encode_record, master_trace_path, result_path, worker_trace_path,
+    IndexRecord, JobResultRecord, TraceRecord,
 };
 
 struct Channel {
@@ -28,12 +28,17 @@ struct Channel {
     /// durable file length, which rollback and the finalize durability
     /// check both rely on.
     written: u64,
+    /// Records written to this channel (binary index-frame bookkeeping).
+    records: u64,
+    /// Superstep of the last record, so the binary codec can emit one
+    /// index frame per superstep transition. `None` before any record.
+    last_superstep: Option<u64>,
 }
 
 impl Channel {
     fn new(fs: &Arc<dyn FileSystem>, path: String) -> Result<Self, graft_dfs::FsError> {
         let writer = fs.create(&path)?;
-        Ok(Self { writer, scratch: Vec::new(), path, written: 0 })
+        Ok(Self { writer, scratch: Vec::new(), path, written: 0, records: 0, last_superstep: None })
     }
 }
 
@@ -75,12 +80,22 @@ impl WorkerCounts {
     }
 }
 
+/// One channel's rewind point: durable length plus the binary codec's
+/// index-frame bookkeeping, so a replayed superstep emits its index frame
+/// exactly where (and only where) the discarded execution did.
+#[derive(Clone, Copy)]
+struct ChannelMark {
+    written: u64,
+    records: u64,
+    last_superstep: Option<u64>,
+}
+
 /// Everything needed to rewind the sink to a checkpoint boundary: the
 /// per-channel durable lengths and the global and per-worker counters.
 #[derive(Clone)]
 struct SinkSnapshot {
     superstep: u64,
-    worker_written: Vec<u64>,
+    worker_marks: Vec<ChannelMark>,
     master_written: u64,
     captures: u64,
     violations: u64,
@@ -148,7 +163,12 @@ impl TraceSink {
 
     /// Records one captured vertex context from `worker`. Returns `false`
     /// when the capture safety net has tripped and nothing was written.
-    pub fn record_vertex<T: Serialize>(&self, worker: usize, record: &T) -> bool {
+    ///
+    /// Under the binary codec, the first record of each superstep is
+    /// preceded by an index frame. Emission is a pure function of the
+    /// per-channel record stream, so a replayed execution reproduces the
+    /// discarded one byte for byte.
+    pub fn record_vertex<T: TraceRecord>(&self, worker: usize, record: &T) -> bool {
         // Reserve a capture slot first so the threshold is global across
         // workers, as the paper describes.
         let slot = self.captures.fetch_add(1, Ordering::Relaxed);
@@ -158,9 +178,21 @@ impl TraceSink {
             return false;
         }
         self.worker_counts[worker].captures.fetch_add(1, Ordering::Relaxed);
+        let superstep = record.record_superstep();
         let mut channel = self.workers[worker].lock();
         let channel = &mut *channel;
         channel.scratch.clear();
+        if self.codec == TraceCodec::Binary && channel.last_superstep != Some(superstep) {
+            let index = IndexRecord {
+                superstep,
+                records_before: channel.records,
+                bytes_before: channel.written,
+            };
+            if let Err(e) = encode_index_frame(&index, &mut channel.scratch) {
+                self.poison(e);
+                return false;
+            }
+        }
         if let Err(e) = encode_record(self.codec, record, &mut channel.scratch) {
             self.poison(e);
             return false;
@@ -170,11 +202,14 @@ impl TraceSink {
             return false;
         }
         channel.written += channel.scratch.len() as u64;
+        channel.records += 1;
+        channel.last_superstep = Some(superstep);
         true
     }
 
-    /// Records one captured master context.
-    pub fn record_master<T: Serialize>(&self, record: &T) {
+    /// Records one captured master context. The master channel carries at
+    /// most one record per superstep, so it gets no index frames.
+    pub fn record_master<T: TraceRecord>(&self, record: &T) {
         let mut channel = self.master.lock();
         let channel = &mut *channel;
         channel.scratch.clear();
@@ -221,7 +256,18 @@ impl TraceSink {
     /// checkpoint supersedes the pre-failure one).
     pub fn snapshot(&self, superstep: u64) {
         self.flush();
-        let worker_written: Vec<u64> = self.workers.iter().map(|w| w.lock().written).collect();
+        let worker_marks: Vec<ChannelMark> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let channel = w.lock();
+                ChannelMark {
+                    written: channel.written,
+                    records: channel.records,
+                    last_superstep: channel.last_superstep,
+                }
+            })
+            .collect();
         let master_written = self.master.lock().written;
         let worker_counts: Vec<[u64; 3]> = self
             .worker_counts
@@ -238,7 +284,7 @@ impl TraceSink {
         snapshots.retain(|s| s.superstep < superstep);
         snapshots.push(SinkSnapshot {
             superstep,
-            worker_written,
+            worker_marks,
             master_written,
             captures: self.captures(),
             violations: self.violations(),
@@ -256,13 +302,15 @@ impl TraceSink {
         let Some(snapshot) = self.take_snapshot(superstep) else { return };
         for (worker, channel) in self.workers.iter().enumerate() {
             let mut channel = channel.lock();
-            if let Err(e) = Self::rewind(&self.fs, &mut channel, snapshot.worker_written[worker]) {
+            if let Err(e) = Self::rewind(&self.fs, &mut channel, &snapshot.worker_marks[worker]) {
                 self.poison(e);
             }
         }
         {
             let mut channel = self.master.lock();
-            if let Err(e) = Self::rewind(&self.fs, &mut channel, snapshot.master_written) {
+            let mark =
+                ChannelMark { written: snapshot.master_written, records: 0, last_superstep: None };
+            if let Err(e) = Self::rewind(&self.fs, &mut channel, &mark) {
                 self.poison(e);
             }
         }
@@ -286,7 +334,7 @@ impl TraceSink {
         let Some(snapshot) = self.take_snapshot(superstep) else { return };
         for &worker in workers {
             let mut channel = self.workers[worker].lock();
-            if let Err(e) = Self::rewind(&self.fs, &mut channel, snapshot.worker_written[worker]) {
+            if let Err(e) = Self::rewind(&self.fs, &mut channel, &snapshot.worker_marks[worker]) {
                 self.poison(e);
             }
         }
@@ -323,13 +371,23 @@ impl TraceSink {
         Some(snapshots[pos].clone())
     }
 
-    /// Truncates a channel's file back to `keep` bytes by committing the
-    /// current writer, re-reading the durable prefix, and recreating the
-    /// file with exactly that prefix.
-    fn rewind(fs: &Arc<dyn FileSystem>, channel: &mut Channel, keep: u64) -> Result<(), String> {
+    /// Truncates a channel's file back to the mark's byte length by
+    /// committing the current writer, re-reading the durable prefix, and
+    /// recreating the file with exactly that prefix; the binary codec's
+    /// index-frame bookkeeping is rewound with it.
+    fn rewind(
+        fs: &Arc<dyn FileSystem>,
+        channel: &mut Channel,
+        mark: &ChannelMark,
+    ) -> Result<(), String> {
+        let keep = mark.written;
         if channel.written == keep {
+            // Nothing was written since the snapshot, so the index-frame
+            // bookkeeping is still at the mark too.
             return Ok(());
         }
+        channel.records = mark.records;
+        channel.last_superstep = mark.last_superstep;
         // Dropping the writer commits any buffered bytes; install a
         // placeholder so the channel stays structurally valid if the
         // rewrite below fails part-way.
@@ -434,9 +492,9 @@ impl TraceSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::decode_records;
+    use crate::trace::{decode_vertex_records, FRAME_INDEX, FRAME_VERTEX};
     use graft_dfs::InMemoryFs;
-    use serde::Deserialize;
+    use serde::{Deserialize, Serialize};
 
     #[derive(Serialize, Deserialize, PartialEq, Debug)]
     struct Rec {
@@ -444,11 +502,40 @@ mod tests {
         seq: u64,
     }
 
+    // The sink is generic over TraceRecord; the test record's sequence
+    // number doubles as its superstep so index-frame emission is easy to
+    // steer.
+    impl TraceRecord for Rec {
+        fn record_superstep(&self) -> u64 {
+            self.seq
+        }
+
+        fn encode_binary_frame(&self, buf: &mut Vec<u8>) -> Result<(), String> {
+            graft_codec::frame::write_value_frame(buf, FRAME_VERTEX, self)
+                .map_err(|e| e.to_string())
+        }
+    }
+
     fn sink(max: u64) -> (Arc<InMemoryFs>, TraceSink) {
         let fs = Arc::new(InMemoryFs::new());
         let sink =
             TraceSink::new(fs.clone(), "/traces/job", TraceCodec::JsonLines, max, 4).unwrap();
         (fs, sink)
+    }
+
+    fn binary_sink(max: u64) -> (Arc<InMemoryFs>, TraceSink) {
+        let fs = Arc::new(InMemoryFs::new());
+        let sink = TraceSink::new(fs.clone(), "/traces/job", TraceCodec::Binary, max, 4).unwrap();
+        (fs, sink)
+    }
+
+    fn frame_kinds(bytes: &[u8]) -> Vec<u8> {
+        let mut scanner = graft_codec::frame::FrameScanner::new(bytes);
+        let mut kinds = Vec::new();
+        while let Some(frame) = scanner.next_frame().unwrap() {
+            kinds.push(frame.kind);
+        }
+        kinds
     }
 
     #[test]
@@ -462,7 +549,7 @@ mod tests {
         sink.flush();
         for worker in 0..4 {
             let bytes = fs.read_all(&worker_trace_path("/traces/job", worker)).unwrap();
-            let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &bytes).unwrap();
+            let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &bytes).unwrap();
             assert_eq!(records.len(), 10);
             assert!(records.iter().all(|r| r.worker == worker));
         }
@@ -528,12 +615,12 @@ mod tests {
         assert_eq!(sink.exceptions(), 0);
         sink.flush();
         let w0 = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
-        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w0).unwrap();
+        let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &w0).unwrap();
         assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
         let w1 = fs.read_all(&worker_trace_path("/traces/job", 1)).unwrap();
         assert!(w1.is_empty());
         let master = fs.read_all(&crate::trace::master_trace_path("/traces/job")).unwrap();
-        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &master).unwrap();
+        let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &master).unwrap();
         assert_eq!(records.len(), 1);
 
         // The channels remain writable after a rollback: the replayed
@@ -543,7 +630,7 @@ mod tests {
         }
         sink.flush();
         let w0 = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
-        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w0).unwrap();
+        let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &w0).unwrap();
         assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
     }
 
@@ -573,13 +660,13 @@ mod tests {
         // master's are untouched.
         sink.flush();
         let w1 = fs.read_all(&worker_trace_path("/traces/job", 1)).unwrap();
-        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w1).unwrap();
+        let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &w1).unwrap();
         assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
         let w0 = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
-        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w0).unwrap();
+        let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &w0).unwrap();
         assert_eq!(records.len(), 7);
         let master = fs.read_all(&crate::trace::master_trace_path("/traces/job")).unwrap();
-        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &master).unwrap();
+        let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &master).unwrap();
         assert_eq!(records.len(), 2);
 
         // Counters: worker 1's post-snapshot share (4 captures, 1
@@ -597,7 +684,7 @@ mod tests {
         sink.count_exception(1);
         sink.flush();
         let w1 = fs.read_all(&worker_trace_path("/traces/job", 1)).unwrap();
-        let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &w1).unwrap();
+        let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &w1).unwrap();
         assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5, 6]);
         assert_eq!(sink.captures(), 14);
         assert_eq!(sink.violations(), 3);
@@ -663,12 +750,75 @@ mod tests {
         sink.flush();
         for worker in 0..4 {
             let bytes = fs.read_all(&worker_trace_path("/traces/job", worker)).unwrap();
-            let records: Vec<Rec> = decode_records(TraceCodec::JsonLines, &bytes).unwrap();
+            let records: Vec<Rec> = decode_vertex_records(TraceCodec::JsonLines, &bytes).unwrap();
             assert_eq!(records.len(), 500);
             // Per-worker order is preserved.
             for (i, r) in records.iter().enumerate() {
                 assert_eq!(r.seq, i as u64);
             }
         }
+    }
+
+    #[test]
+    fn binary_channels_index_each_superstep_transition() {
+        let (fs, sink) = binary_sink(1000);
+        // Two records in superstep 0, one in superstep 1 (seq doubles as
+        // the superstep for the test record).
+        assert!(sink.record_vertex(0, &Rec { worker: 0, seq: 0 }));
+        assert!(sink.record_vertex(0, &Rec { worker: 0, seq: 0 }));
+        assert!(sink.record_vertex(0, &Rec { worker: 0, seq: 1 }));
+        sink.flush();
+        let bytes = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
+        assert_eq!(
+            frame_kinds(&bytes),
+            vec![FRAME_INDEX, FRAME_VERTEX, FRAME_VERTEX, FRAME_INDEX, FRAME_VERTEX]
+        );
+        let mut scanner = graft_codec::frame::FrameScanner::new(&bytes);
+        let mut indexes = Vec::new();
+        while let Some(frame) = scanner.next_frame().unwrap() {
+            if frame.kind == FRAME_INDEX {
+                let index: IndexRecord = graft_codec::from_slice(frame.payload).unwrap();
+                assert_eq!(index.bytes_before, frame.start as u64, "index frames self-locate");
+                indexes.push(index);
+            }
+        }
+        assert_eq!(indexes[0], IndexRecord { superstep: 0, records_before: 0, bytes_before: 0 });
+        assert_eq!(indexes[1].superstep, 1);
+        assert_eq!(indexes[1].records_before, 2);
+    }
+
+    #[test]
+    fn binary_rollback_makes_the_replay_byte_identical() {
+        let (fs, sink) = binary_sink(1000);
+        let replay = |sink: &TraceSink| {
+            sink.record_vertex(0, &Rec { worker: 0, seq: 1 });
+            sink.record_vertex(0, &Rec { worker: 0, seq: 2 });
+            sink.record_vertex(0, &Rec { worker: 0, seq: 2 });
+        };
+        sink.record_vertex(0, &Rec { worker: 0, seq: 0 });
+        sink.snapshot(1);
+        replay(&sink);
+        sink.flush();
+        let original = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
+
+        // The restored bookkeeping must re-emit index frames exactly where
+        // the discarded execution did, or recovery byte-identity breaks.
+        sink.rollback(1);
+        replay(&sink);
+        sink.flush();
+        let replayed = fs.read_all(&worker_trace_path("/traces/job", 0)).unwrap();
+        assert_eq!(original, replayed);
+        assert_eq!(
+            frame_kinds(&original),
+            vec![
+                FRAME_INDEX,
+                FRAME_VERTEX,
+                FRAME_INDEX,
+                FRAME_VERTEX,
+                FRAME_INDEX,
+                FRAME_VERTEX,
+                FRAME_VERTEX
+            ]
+        );
     }
 }

@@ -10,14 +10,37 @@
 //! ```
 //!
 //! Worker and master trace files hold a stream of records encoded per the
-//! configured [`TraceCodec`]: JSON lines (default, human-inspectable) or
-//! length-prefixed GraftBin frames.
+//! configured [`TraceCodec`]:
+//!
+//! * **Binary** (the default): kind-tagged GraftBin frames,
+//!   `[len varint][kind u8][payload]` (see `graft_codec::frame`). Worker
+//!   channels carry [`FRAME_VERTEX`] records — a [`WireVertexTrace`]
+//!   whose computation-specific fields are type-erased
+//!   [`graft_codec::BinValue`] trees — preceded, at every superstep
+//!   transition, by a [`FRAME_INDEX`] record that lets readers hop whole
+//!   superstep groups without touching payloads. The master channel
+//!   carries [`FRAME_MASTER`] records.
+//! * **JsonLines** (fallback): one JSON document per line,
+//!   human-inspectable with any editor.
+//!
+//! The two encodings reconstruct *identical* dynamic values: binary
+//! leaves are normalized at capture time (`graft_codec::to_bin_value`) to
+//! the exact `serde_json::Value` a JSON text round-trip yields, so every
+//! view served over either format is byte-for-byte the same.
 
 use graft_pregel::{AggValue, GlobalData};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 
 use crate::config::{CaptureReason, ConfigFacts, TraceCodec};
+
+/// Frame kind of a captured vertex context ([`WireVertexTrace`] payload).
+pub const FRAME_VERTEX: u8 = 1;
+/// Frame kind of a captured master context ([`MasterTrace`] payload).
+pub const FRAME_MASTER: u8 = 2;
+/// Frame kind of a superstep index record ([`IndexRecord`] payload).
+pub const FRAME_INDEX: u8 = 3;
 
 /// A captured exception (panic) from `compute()`.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +113,17 @@ pub type VertexTraceOf<C> = VertexTrace<
     <C as graft_pregel::Computation>::Message,
 >;
 
+/// The shape binary frames store on disk: a vertex trace whose
+/// computation-specific fields (id, values, edges, messages) are
+/// type-erased [`graft_codec::BinValue`] trees, so any tool can decode
+/// a binary trace without the computation's Rust types.
+pub type WireVertexTrace = VertexTrace<
+    graft_codec::BinValue,
+    graft_codec::BinValue,
+    graft_codec::BinValue,
+    graft_codec::BinValue,
+>;
+
 /// The captured context of one `master.compute()` call: the aggregator
 /// values it saw/produced, plus global data.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -102,6 +136,21 @@ pub struct MasterTrace {
     pub aggregators: Vec<(String, AggValue)>,
     /// Whether the master halted the job here.
     pub halted: bool,
+}
+
+/// A superstep index record. The binary sink emits one into a worker
+/// channel immediately before the first vertex record of each superstep,
+/// so a reader scanning frame headers knows — without decoding a single
+/// vertex payload — which superstep the following group belongs to and
+/// how much of the channel precedes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexRecord {
+    /// The superstep of the vertex records that follow.
+    pub superstep: u64,
+    /// Vertex records written to this channel before this frame.
+    pub records_before: u64,
+    /// Channel bytes written before this frame (its own offset).
+    pub bytes_before: u64,
 }
 
 /// Job metadata written at trace root as `meta.json`.
@@ -117,13 +166,23 @@ pub struct JobMeta {
     pub value_types: (String, String, String, String),
     /// Number of workers the job ran with.
     pub num_workers: usize,
-    /// Trace encoding of the worker/master files.
-    pub codec: TraceCodec,
+    /// Trace encoding of the worker/master files. `None` in meta.json
+    /// files written before the binary pipeline existed, which always
+    /// meant JSON lines — use [`JobMeta::codec`] for the effective value.
+    pub trace_format: Option<TraceCodec>,
     /// Human description of the active `DebugConfig`.
     pub config: Vec<String>,
     /// Machine-readable config summary for the analyzer's lints. `None`
     /// in traces written before the analyzer existed.
     pub facts: Option<ConfigFacts>,
+}
+
+impl JobMeta {
+    /// The effective trace codec: the recorded `trace_format`, or JSON
+    /// lines for legacy trace directories that predate the field.
+    pub fn codec(&self) -> TraceCodec {
+        self.trace_format.unwrap_or(TraceCodec::JsonLines)
+    }
 }
 
 /// Terminal job status written at trace root as `result.json`.
@@ -163,8 +222,89 @@ pub fn result_path(root: &str) -> String {
     format!("{root}/result.json")
 }
 
-/// Encodes one record onto the end of `buf` in the given codec.
-pub fn encode_record<T: Serialize>(
+/// A record the trace sink can write to a channel: serializable (for the
+/// JSON codec) plus a superstep and a kind-tagged binary frame (for the
+/// binary codec and its index frames).
+pub trait TraceRecord: Serialize {
+    /// The record's superstep, which the binary sink groups frames by.
+    fn record_superstep(&self) -> u64;
+
+    /// Appends the record's binary frame (`[len][kind][payload]`) to `buf`.
+    fn encode_binary_frame(&self, buf: &mut Vec<u8>) -> Result<(), String>;
+}
+
+fn leaf<T: Serialize>(value: &T) -> Result<graft_codec::BinValue, String> {
+    graft_codec::to_bin_value(value).map_err(|e| e.to_string())
+}
+
+/// Converts a typed vertex trace to its type-erased wire form. Leaves go
+/// through `graft_codec::to_bin_value`, so the wire record reconstructs
+/// the same dynamic values a JSON text round-trip would.
+pub fn wire_vertex_trace<I, V, E, M>(
+    trace: &VertexTrace<I, V, E, M>,
+) -> Result<WireVertexTrace, String>
+where
+    I: Serialize,
+    V: Serialize,
+    E: Serialize,
+    M: Serialize,
+{
+    Ok(WireVertexTrace {
+        superstep: trace.superstep,
+        vertex: leaf(&trace.vertex)?,
+        value_before: leaf(&trace.value_before)?,
+        value_after: leaf(&trace.value_after)?,
+        edges: trace
+            .edges
+            .iter()
+            .map(|(i, e)| Ok((leaf(i)?, leaf(e)?)))
+            .collect::<Result<_, String>>()?,
+        incoming: trace.incoming.iter().map(leaf).collect::<Result<_, String>>()?,
+        outgoing: trace
+            .outgoing
+            .iter()
+            .map(|(i, m)| Ok((leaf(i)?, leaf(m)?)))
+            .collect::<Result<_, String>>()?,
+        aggregators: trace.aggregators.clone(),
+        global: trace.global,
+        halted_after: trace.halted_after,
+        reasons: trace.reasons.clone(),
+        violations: trace.violations.clone(),
+        exception: trace.exception.clone(),
+    })
+}
+
+impl<I, V, E, M> TraceRecord for VertexTrace<I, V, E, M>
+where
+    I: Serialize,
+    V: Serialize,
+    E: Serialize,
+    M: Serialize,
+{
+    fn record_superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    fn encode_binary_frame(&self, buf: &mut Vec<u8>) -> Result<(), String> {
+        let wire = wire_vertex_trace(self)?;
+        graft_codec::frame::write_value_frame(buf, FRAME_VERTEX, &wire).map_err(|e| e.to_string())
+    }
+}
+
+impl TraceRecord for MasterTrace {
+    fn record_superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    fn encode_binary_frame(&self, buf: &mut Vec<u8>) -> Result<(), String> {
+        graft_codec::frame::write_value_frame(buf, FRAME_MASTER, self).map_err(|e| e.to_string())
+    }
+}
+
+/// Encodes one record onto the end of `buf` in the given codec: a JSON
+/// line, or a kind-tagged binary frame. (Binary superstep *index* frames
+/// are the sink's job — see [`encode_index_frame`].)
+pub fn encode_record<T: TraceRecord>(
     codec: TraceCodec,
     record: &T,
     buf: &mut Vec<u8>,
@@ -176,16 +316,35 @@ pub fn encode_record<T: Serialize>(
             buf.push(b'\n');
             Ok(())
         }
-        TraceCodec::Binary => {
-            let frame = graft_codec::to_framed_vec(record).map_err(|e| e.to_string())?;
-            buf.extend_from_slice(&frame);
-            Ok(())
-        }
+        TraceCodec::Binary => record.encode_binary_frame(buf),
     }
 }
 
-/// Decodes all records from a trace file's bytes.
-pub fn decode_records<T: DeserializeOwned>(
+/// Appends a superstep index frame to `buf`.
+pub fn encode_index_frame(record: &IndexRecord, buf: &mut Vec<u8>) -> Result<(), String> {
+    graft_codec::frame::write_value_frame(buf, FRAME_INDEX, record).map_err(|e| e.to_string())
+}
+
+/// Decodes a binary vertex frame's payload into the normalized dynamic
+/// value — the exact `Value` that parsing the record's JSON-lines
+/// rendition would produce.
+pub fn vertex_value_from_payload(payload: &[u8]) -> Result<Value, String> {
+    let wire: WireVertexTrace = graft_codec::from_slice(payload).map_err(|e| e.to_string())?;
+    let mut value = serde_json::to_value(&wire).map_err(|e| e.to_string())?;
+    graft_codec::normalize(&mut value);
+    Ok(value)
+}
+
+/// Decodes a binary index frame's payload.
+pub fn index_record_from_payload(payload: &[u8]) -> Result<IndexRecord, String> {
+    graft_codec::from_slice(payload).map_err(|e| e.to_string())
+}
+
+/// Decodes all vertex records from a worker trace file's bytes. For the
+/// binary codec the typed records are reconstructed through their
+/// normalized dynamic values, so `T` can be a `VertexTraceOf<C>` or
+/// `serde_json::Value` alike; index frames are validated and skipped.
+pub fn decode_vertex_records<T: DeserializeOwned>(
     codec: TraceCodec,
     bytes: &[u8],
 ) -> Result<Vec<T>, String> {
@@ -195,9 +354,53 @@ pub fn decode_records<T: DeserializeOwned>(
             .filter(|line| !line.is_empty())
             .map(|line| serde_json::from_slice(line).map_err(|e| e.to_string()))
             .collect(),
-        TraceCodec::Binary => graft_codec::FramedIter::<T>::new(bytes)
-            .collect::<Result<Vec<T>, _>>()
-            .map_err(|e| e.to_string()),
+        TraceCodec::Binary => {
+            let mut out = Vec::new();
+            let mut scanner = graft_codec::frame::FrameScanner::new(bytes);
+            while let Some(frame) = scanner.next_frame().map_err(|e| e.to_string())? {
+                match frame.kind {
+                    FRAME_INDEX => {
+                        index_record_from_payload(frame.payload)?;
+                    }
+                    FRAME_VERTEX => {
+                        let value = vertex_value_from_payload(frame.payload)?;
+                        out.push(serde_json::from_value(&value).map_err(|e| e.to_string())?);
+                    }
+                    other => {
+                        return Err(format!(
+                            "unexpected record kind {other} at byte {} of a vertex trace",
+                            frame.start
+                        ))
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Decodes all master records from the master trace file's bytes.
+pub fn decode_master_records(codec: TraceCodec, bytes: &[u8]) -> Result<Vec<MasterTrace>, String> {
+    match codec {
+        TraceCodec::JsonLines => bytes
+            .split(|&b| b == b'\n')
+            .filter(|line| !line.is_empty())
+            .map(|line| serde_json::from_slice(line).map_err(|e| e.to_string()))
+            .collect(),
+        TraceCodec::Binary => {
+            let mut out = Vec::new();
+            let mut scanner = graft_codec::frame::FrameScanner::new(bytes);
+            while let Some(frame) = scanner.next_frame().map_err(|e| e.to_string())? {
+                if frame.kind != FRAME_MASTER {
+                    return Err(format!(
+                        "unexpected record kind {} at byte {} of the master trace",
+                        frame.kind, frame.start
+                    ));
+                }
+                out.push(graft_codec::from_slice(frame.payload).map_err(|e| e.to_string())?);
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -233,7 +436,8 @@ mod tests {
             let mut buf = Vec::new();
             encode_record(codec, &sample_trace(), &mut buf).unwrap();
             encode_record(codec, &sample_trace(), &mut buf).unwrap();
-            let decoded: Vec<VertexTrace<u64, i64, (), i64>> = decode_records(codec, &buf).unwrap();
+            let decoded: Vec<VertexTrace<u64, i64, (), i64>> =
+                decode_vertex_records(codec, &buf).unwrap();
             assert_eq!(decoded.len(), 2);
             assert_eq!(decoded[0].vertex, 672);
             assert_eq!(decoded[0].violations[0].detail, "-7");
@@ -260,6 +464,44 @@ mod tests {
         assert_eq!(parsed["superstep"], 41);
     }
 
+    /// The pipeline's central invariant: a binary vertex frame decodes to
+    /// the *same* dynamic value that parsing the record's JSON line
+    /// yields, so views over either format are byte-identical.
+    #[test]
+    fn binary_frame_reconstructs_the_json_parsed_value() {
+        let mut json = Vec::new();
+        encode_record(TraceCodec::JsonLines, &sample_trace(), &mut json).unwrap();
+        let from_json: Value = serde_json::from_slice(json.split_last().unwrap().1).unwrap();
+
+        let mut bin = Vec::new();
+        encode_record(TraceCodec::Binary, &sample_trace(), &mut bin).unwrap();
+        let mut scanner = graft_codec::frame::FrameScanner::new(&bin);
+        let frame = scanner.next_frame().unwrap().unwrap();
+        assert_eq!(frame.kind, FRAME_VERTEX);
+        let from_bin = vertex_value_from_payload(frame.payload).unwrap();
+
+        assert_eq!(from_bin, from_json);
+        assert_eq!(serde_json::to_vec(&from_bin).unwrap(), serde_json::to_vec(&from_json).unwrap());
+    }
+
+    #[test]
+    fn index_frames_roundtrip_and_are_skipped_by_decode() {
+        let mut buf = Vec::new();
+        let index = IndexRecord { superstep: 41, records_before: 0, bytes_before: 0 };
+        encode_index_frame(&index, &mut buf).unwrap();
+        encode_record(TraceCodec::Binary, &sample_trace(), &mut buf).unwrap();
+
+        let mut scanner = graft_codec::frame::FrameScanner::new(&buf);
+        let frame = scanner.next_frame().unwrap().unwrap();
+        assert_eq!(frame.kind, FRAME_INDEX);
+        assert_eq!(index_record_from_payload(frame.payload).unwrap(), index);
+
+        let decoded: Vec<VertexTrace<u64, i64, (), i64>> =
+            decode_vertex_records(TraceCodec::Binary, &buf).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].superstep, 41);
+    }
+
     #[test]
     fn master_trace_roundtrip() {
         let record = MasterTrace {
@@ -271,16 +513,17 @@ mod tests {
         for codec in [TraceCodec::JsonLines, TraceCodec::Binary] {
             let mut buf = Vec::new();
             encode_record(codec, &record, &mut buf).unwrap();
-            let decoded: Vec<MasterTrace> = decode_records(codec, &buf).unwrap();
+            let decoded: Vec<MasterTrace> = decode_master_records(codec, &buf).unwrap();
             assert_eq!(decoded, vec![record.clone()]);
         }
     }
 
     #[test]
-    fn meta_without_facts_still_loads() {
-        // Traces written before the analyzer existed have no `facts`
-        // key; they must keep loading (as None), or old trace
-        // directories would become unreadable by every command.
+    fn meta_without_trace_format_is_legacy_json() {
+        // Traces written before the binary pipeline carried a `codec`
+        // key (and before the analyzer, no `facts`); they must keep
+        // loading — with JSON lines as the effective format — or old
+        // trace directories would become unreadable by every command.
         let json = r#"{
             "computation": "PageRank",
             "computation_type": "graft_algorithms::pagerank::PageRank",
@@ -293,6 +536,8 @@ mod tests {
         let meta: JobMeta = serde_json::from_str(json).unwrap();
         assert_eq!(meta.computation, "PageRank");
         assert!(meta.facts.is_none());
+        assert!(meta.trace_format.is_none());
+        assert_eq!(meta.codec(), TraceCodec::JsonLines);
     }
 
     #[test]
@@ -305,7 +550,13 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(decode_records::<MasterTrace>(TraceCodec::JsonLines, b"{not json}\n").is_err());
-        assert!(decode_records::<MasterTrace>(TraceCodec::Binary, &[0xff, 0xff, 0xff]).is_err());
+        assert!(decode_master_records(TraceCodec::JsonLines, b"{not json}\n").is_err());
+        assert!(decode_master_records(TraceCodec::Binary, &[0xff, 0xff, 0xff]).is_err());
+        assert!(decode_vertex_records::<Value>(TraceCodec::Binary, &[0xff, 0xff, 0xff]).is_err());
+        // A master frame inside a worker file is a kind error, not a panic.
+        let mut buf = Vec::new();
+        graft_codec::frame::write_frame(&mut buf, FRAME_MASTER, b"");
+        let err = decode_vertex_records::<Value>(TraceCodec::Binary, &buf).unwrap_err();
+        assert!(err.contains("record kind"), "{err}");
     }
 }

@@ -3,17 +3,22 @@
 //! A [`crate::DebugSession`] needs the computation's Rust types to decode
 //! traces. Tools like `graft-cli` and `graft-server` — the browser-GUI
 //! stand-ins — must work on *any* job's traces, so this module reads
-//! JSON-lines traces into dynamic values instead. (Binary traces carry no
-//! field names and cannot be read untyped; rerun with
-//! `TraceCodec::JsonLines` to browse them.)
+//! traces into dynamic values instead. Both codecs are supported: JSON
+//! lines parse directly, and binary frames carry their computation-
+//! specific fields as tagged `BinValue` trees that reconstruct the exact
+//! same dynamic values (see `graft_codec::value`), so everything built on
+//! this module is byte-identical across formats.
 //!
 //! Rows are *not* materialized up front: [`UntypedSession::open`] scans
 //! the trace files once to validate every record and build a per-superstep
-//! index of byte ranges, then parses individual rows on demand. A
+//! index of byte ranges — JSON lines, or binary frame payloads located by
+//! walking frame headers — then parses individual rows on demand. A
 //! superstep with a million captures costs three words of index per row
 //! until somebody actually asks for a page of it — which is what lets the
 //! debug server paginate large supersteps without holding parsed JSON
-//! trees for whole jobs in memory.
+//! trees for whole jobs in memory. In binary traces, the per-superstep
+//! index frames let [`UntypedSession::open_partial`] skip decoding whole
+//! superstep groups beyond the live watermark.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -24,8 +29,9 @@ use serde_json::Value;
 use crate::config::TraceCodec;
 use crate::session::{Indicators, SessionError};
 use crate::trace::{
-    master_trace_path, meta_path, result_path, worker_trace_path, JobMeta, JobResultRecord,
-    MasterTrace,
+    index_record_from_payload, master_trace_path, meta_path, result_path,
+    vertex_value_from_payload, worker_trace_path, JobMeta, JobResultRecord, MasterTrace,
+    FRAME_INDEX, FRAME_MASTER, FRAME_VERTEX,
 };
 
 /// One captured vertex context, as dynamic JSON.
@@ -162,6 +168,176 @@ impl UntypedTrace {
     }
 }
 
+/// Walks one worker trace file, invoking `row` for every vertex record
+/// within the watermark, with the record's payload byte range (the JSON
+/// line, or the binary frame payload). Shared by [`JobSummary::scan`] and
+/// [`UntypedSession::open`] so a job summarizes if and only if it opens.
+///
+/// With `up_to: Some(w)` (the live watermark of `open_partial`), rows of
+/// supersteps beyond `w` are excluded — in binary traces whole superstep
+/// groups are hopped via their index frames without decoding a payload —
+/// and a torn tail (a JSON line without its newline, or a binary frame
+/// overrunning the end of the file) is skipped instead of failing. Any
+/// other malformed record is an error in both modes: the watermark
+/// protocol guarantees completed supersteps are durable and well-formed,
+/// so mid-file corruption is real corruption.
+fn walk_worker_rows(
+    codec: TraceCodec,
+    bytes: &[u8],
+    path: &str,
+    up_to: Option<u64>,
+    mut row: impl FnMut(UntypedTrace, usize, usize),
+) -> Result<(), SessionError> {
+    match codec {
+        TraceCodec::JsonLines => {
+            let mut start = 0usize;
+            for line in bytes.split(|&b| b == b'\n') {
+                let len = line.len();
+                if len > 0 {
+                    let torn_tail =
+                        up_to.is_some() && start + len == bytes.len() && !bytes.ends_with(b"\n");
+                    let value: Value = match serde_json::from_slice(line) {
+                        Ok(value) => value,
+                        Err(_) if torn_tail => break,
+                        Err(e) => {
+                            return Err(SessionError::Decode {
+                                path: path.to_string(),
+                                error: e.to_string(),
+                            })
+                        }
+                    };
+                    let trace = UntypedTrace(value);
+                    if up_to.is_none_or(|w| trace.superstep() <= w) {
+                        row(trace, start, len);
+                    }
+                }
+                start += len + 1;
+            }
+            Ok(())
+        }
+        TraceCodec::Binary => {
+            let mut scanner = graft_codec::frame::FrameScanner::new(bytes);
+            // Set while the current index group lies beyond the live
+            // watermark; its vertex payloads are hopped, not decoded.
+            let mut skip_group = false;
+            loop {
+                let frame = match scanner.next_frame() {
+                    Ok(None) => break,
+                    Ok(Some(frame)) => frame,
+                    Err(graft_codec::Error::UnexpectedEof) if up_to.is_some() => break,
+                    Err(e) => {
+                        return Err(SessionError::Decode {
+                            path: path.to_string(),
+                            error: e.to_string(),
+                        })
+                    }
+                };
+                match frame.kind {
+                    FRAME_INDEX => {
+                        let index = index_record_from_payload(frame.payload).map_err(|error| {
+                            SessionError::Decode { path: path.to_string(), error }
+                        })?;
+                        skip_group = up_to.is_some_and(|w| index.superstep > w);
+                    }
+                    FRAME_VERTEX => {
+                        if skip_group {
+                            continue;
+                        }
+                        let value = vertex_value_from_payload(frame.payload).map_err(|error| {
+                            SessionError::Decode { path: path.to_string(), error }
+                        })?;
+                        let trace = UntypedTrace(value);
+                        if up_to.is_none_or(|w| trace.superstep() <= w) {
+                            row(trace, frame.payload_start, frame.payload.len());
+                        }
+                    }
+                    other => {
+                        return Err(SessionError::Decode {
+                            path: path.to_string(),
+                            error: format!(
+                                "unexpected record kind {other} at byte {} of a vertex trace",
+                                frame.start
+                            ),
+                        })
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Walks the master trace file with the same watermark and torn-tail
+/// semantics as [`walk_worker_rows`].
+fn walk_master_records(
+    codec: TraceCodec,
+    bytes: &[u8],
+    path: &str,
+    up_to: Option<u64>,
+    master: &mut Vec<MasterTrace>,
+) -> Result<(), SessionError> {
+    match codec {
+        TraceCodec::JsonLines => {
+            let mut start = 0usize;
+            for line in bytes.split(|&b| b == b'\n') {
+                let len = line.len();
+                if len > 0 {
+                    let torn_tail =
+                        up_to.is_some() && start + len == bytes.len() && !bytes.ends_with(b"\n");
+                    match serde_json::from_slice::<MasterTrace>(line) {
+                        Ok(trace) => {
+                            if up_to.is_none_or(|w| trace.superstep <= w) {
+                                master.push(trace);
+                            }
+                        }
+                        Err(_) if torn_tail => break,
+                        Err(e) => {
+                            return Err(SessionError::Decode {
+                                path: path.to_string(),
+                                error: e.to_string(),
+                            })
+                        }
+                    }
+                }
+                start += len + 1;
+            }
+            Ok(())
+        }
+        TraceCodec::Binary => {
+            let mut scanner = graft_codec::frame::FrameScanner::new(bytes);
+            loop {
+                let frame = match scanner.next_frame() {
+                    Ok(None) => break,
+                    Ok(Some(frame)) => frame,
+                    Err(graft_codec::Error::UnexpectedEof) if up_to.is_some() => break,
+                    Err(e) => {
+                        return Err(SessionError::Decode {
+                            path: path.to_string(),
+                            error: e.to_string(),
+                        })
+                    }
+                };
+                if frame.kind != FRAME_MASTER {
+                    return Err(SessionError::Decode {
+                        path: path.to_string(),
+                        error: format!(
+                            "unexpected record kind {} at byte {} of the master trace",
+                            frame.kind, frame.start
+                        ),
+                    });
+                }
+                let trace: MasterTrace = graft_codec::from_slice(frame.payload).map_err(|e| {
+                    SessionError::Decode { path: path.to_string(), error: e.to_string() }
+                })?;
+                if up_to.is_none_or(|w| trace.superstep <= w) {
+                    master.push(trace);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
 /// The listing-only facts of a job: metadata, terminal status, and
 /// per-superstep capture counts — everything a `/jobs` landing page needs
 /// — gathered in one streaming pass that retains no trace bytes and
@@ -176,19 +352,12 @@ pub struct JobSummary {
 
 impl JobSummary {
     /// Scans the traces under `root`, validating exactly what
-    /// [`UntypedSession::open`] validates (codec, per-record JSON) — a job
-    /// summarizes if and only if it opens, with identical counts.
+    /// [`UntypedSession::open`] validates (every record, in either codec)
+    /// — a job summarizes if and only if it opens, with identical counts.
     pub fn scan(fs: &dyn FileSystem, root: &str) -> Result<Self, SessionError> {
         let meta_bytes = fs.read_all(&meta_path(root))?;
         let meta: JobMeta = serde_json::from_slice(&meta_bytes)
             .map_err(|e| SessionError::Decode { path: meta_path(root), error: e.to_string() })?;
-        if meta.codec != TraceCodec::JsonLines {
-            return Err(SessionError::Decode {
-                path: meta_path(root),
-                error: "binary traces cannot be browsed untyped; use TraceCodec::JsonLines"
-                    .to_string(),
-            });
-        }
         let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
         for worker in 0..meta.num_workers {
             let path = worker_trace_path(root, worker);
@@ -196,12 +365,9 @@ impl JobSummary {
                 continue;
             }
             let bytes = fs.read_all(&path)?;
-            for line in bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
-                let value: Value = serde_json::from_slice(line).map_err(|e| {
-                    SessionError::Decode { path: path.clone(), error: e.to_string() }
-                })?;
-                *counts.entry(UntypedTrace(value).superstep()).or_default() += 1;
-            }
+            walk_worker_rows(meta.codec(), &bytes, &path, None, |trace, _, _| {
+                *counts.entry(trace.superstep()).or_default() += 1;
+            })?;
         }
         let result = if fs.exists(&result_path(root)) {
             let bytes = fs.read_all(&result_path(root))?;
@@ -241,7 +407,8 @@ impl JobSummary {
     }
 }
 
-/// A byte range of one trace record inside a worker file.
+/// A byte range of one trace record inside a worker file: the JSON line,
+/// or the binary frame's payload.
 #[derive(Clone, Copy, Debug)]
 struct RowRef {
     worker: usize,
@@ -249,13 +416,14 @@ struct RowRef {
     len: usize,
 }
 
-/// A type-erased debug session over JSON-lines traces.
+/// A type-erased debug session over a run's traces, in either codec.
 ///
 /// Holds the raw trace bytes plus a per-superstep row index sorted by
 /// rendered vertex id; individual rows are parsed on demand (see the
 /// module docs).
 pub struct UntypedSession {
     meta: JobMeta,
+    codec: TraceCodec,
     result: Option<JobResultRecord>,
     workers: Vec<Vec<u8>>,
     index: BTreeMap<u64, Vec<RowRef>>,
@@ -263,9 +431,9 @@ pub struct UntypedSession {
 }
 
 impl UntypedSession {
-    /// Loads the traces under `root`. Fails on binary-encoded traces and
-    /// on any record that is not valid JSON — after `open` succeeds,
-    /// every indexed row is known to parse.
+    /// Loads the traces under `root`. Fails on any record that does not
+    /// decode — after `open` succeeds, every indexed row is known to
+    /// parse.
     pub fn open(fs: Arc<dyn FileSystem>, root: &str) -> Result<Self, SessionError> {
         Self::open_impl(fs, root, None)
     }
@@ -273,10 +441,11 @@ impl UntypedSession {
     /// Loads an *in-flight* job's traces: everything [`UntypedSession::open`]
     /// loads, except that rows of supersteps beyond `up_to` (the live
     /// watermark — supersteps still executing, or mid-rewrite by a
-    /// recovery) are dropped from the index, and a torn final line in a
-    /// trace file — one caught mid-append, without a trailing newline —
-    /// is skipped instead of failing the open. A malformed line anywhere
-    /// else still fails: the watermark protocol guarantees completed
+    /// recovery) are dropped from the index, and a torn tail record in a
+    /// trace file — a JSON line caught mid-append without its newline, or
+    /// a binary frame overrunning the end of the file — is skipped
+    /// instead of failing the open. A malformed record anywhere else
+    /// still fails: the watermark protocol guarantees completed
     /// supersteps are durable and well-formed, so mid-file corruption is
     /// real corruption.
     pub fn open_partial(
@@ -295,17 +464,11 @@ impl UntypedSession {
         let meta_bytes = fs.read_all(&meta_path(root))?;
         let meta: JobMeta = serde_json::from_slice(&meta_bytes)
             .map_err(|e| SessionError::Decode { path: meta_path(root), error: e.to_string() })?;
-        if meta.codec != TraceCodec::JsonLines {
-            return Err(SessionError::Decode {
-                path: meta_path(root),
-                error: "binary traces cannot be browsed untyped; use TraceCodec::JsonLines"
-                    .to_string(),
-            });
-        }
+        let codec = meta.codec();
 
-        // One validation scan: each line is parsed to extract its sort key
-        // (superstep, rendered vertex) and immediately dropped; only the
-        // raw bytes and the byte-range index survive.
+        // One validation scan: each record is decoded to extract its sort
+        // key (superstep, rendered vertex) and immediately dropped; only
+        // the raw bytes and the byte-range index survive.
         let mut workers: Vec<Vec<u8>> = Vec::new();
         let mut by_superstep: BTreeMap<u64, Vec<(String, RowRef)>> = BTreeMap::new();
         for worker in 0..meta.num_workers {
@@ -315,32 +478,12 @@ impl UntypedSession {
             }
             let bytes = fs.read_all(&path)?;
             let worker_slot = workers.len();
-            let mut start = 0usize;
-            for line in bytes.split(|&b| b == b'\n') {
-                let len = line.len();
-                if len > 0 {
-                    let torn_tail =
-                        up_to.is_some() && start + len == bytes.len() && !bytes.ends_with(b"\n");
-                    let value: Value = match serde_json::from_slice(line) {
-                        Ok(value) => value,
-                        Err(_) if torn_tail => break,
-                        Err(e) => {
-                            return Err(SessionError::Decode {
-                                path: path.clone(),
-                                error: e.to_string(),
-                            })
-                        }
-                    };
-                    let trace = UntypedTrace(value);
-                    if up_to.is_none_or(|w| trace.superstep() <= w) {
-                        by_superstep
-                            .entry(trace.superstep())
-                            .or_default()
-                            .push((trace.vertex(), RowRef { worker: worker_slot, start, len }));
-                    }
-                }
-                start += len + 1;
-            }
+            walk_worker_rows(codec, &bytes, &path, up_to, |trace, start, len| {
+                by_superstep
+                    .entry(trace.superstep())
+                    .or_default()
+                    .push((trace.vertex(), RowRef { worker: worker_slot, start, len }));
+            })?;
             workers.push(bytes);
         }
         let index = by_superstep
@@ -355,29 +498,7 @@ impl UntypedSession {
         let master_path = master_trace_path(root);
         if fs.exists(&master_path) {
             let bytes = fs.read_all(&master_path)?;
-            let mut start = 0usize;
-            for line in bytes.split(|&b| b == b'\n') {
-                let len = line.len();
-                if len > 0 {
-                    let torn_tail =
-                        up_to.is_some() && start + len == bytes.len() && !bytes.ends_with(b"\n");
-                    match serde_json::from_slice::<MasterTrace>(line) {
-                        Ok(trace) => {
-                            if up_to.is_none_or(|w| trace.superstep <= w) {
-                                master.push(trace);
-                            }
-                        }
-                        Err(_) if torn_tail => break,
-                        Err(e) => {
-                            return Err(SessionError::Decode {
-                                path: master_path.clone(),
-                                error: e.to_string(),
-                            })
-                        }
-                    }
-                }
-                start += len + 1;
-            }
+            walk_master_records(codec, &bytes, &master_path, up_to, &mut master)?;
         }
 
         let result = if fs.exists(&result_path(root)) {
@@ -390,12 +511,20 @@ impl UntypedSession {
             None
         };
 
-        Ok(Self { meta, result, workers, index, master })
+        Ok(Self { meta, codec, result, workers, index, master })
     }
 
     fn parse_row(&self, row: &RowRef) -> UntypedTrace {
-        let line = &self.workers[row.worker][row.start..row.start + row.len];
-        UntypedTrace(serde_json::from_slice(line).expect("rows were validated by open()"))
+        let bytes = &self.workers[row.worker][row.start..row.start + row.len];
+        let value = match self.codec {
+            TraceCodec::JsonLines => {
+                serde_json::from_slice(bytes).expect("rows were validated by open()")
+            }
+            TraceCodec::Binary => {
+                vertex_value_from_payload(bytes).expect("rows were validated by open()")
+            }
+        };
+        UntypedTrace(value)
     }
 
     /// Job metadata.
@@ -578,21 +707,141 @@ mod tests {
         }
     }
 
+    /// The tentpole invariant end to end: a binary run browses untyped to
+    /// the *same* dynamic rows a JSON-lines run of the identical job
+    /// yields, and the binary trace directory is smaller on disk.
     #[test]
-    fn binary_traces_are_rejected_with_a_clear_error() {
+    fn binary_traces_read_identically_to_json_traces() {
+        let run_with = |codec, root: &str| {
+            let config = DebugConfig::<Doubler>::builder()
+                .capture_ids([1, 2])
+                .message_constraint(|m, _, _, _| *m < 100)
+                .codec(codec)
+                .catch_exceptions(false)
+                .build();
+            GraftRunner::new(Doubler, config)
+                .num_workers(2)
+                .run(premade::cycle(5, 3i64), root)
+                .unwrap()
+        };
+        let json_run = run_with(TraceCodec::JsonLines, "/t/untyped-eq-json");
+        let bin_run = run_with(TraceCodec::Binary, "/t/untyped-eq-bin");
+        let json = UntypedSession::open(json_run.fs().clone(), "/t/untyped-eq-json").unwrap();
+        let bin = UntypedSession::open(bin_run.fs().clone(), "/t/untyped-eq-bin").unwrap();
+
+        assert_eq!(bin.meta().codec(), TraceCodec::Binary);
+        assert_eq!(bin.supersteps(), json.supersteps());
+        assert_eq!(bin.total_captures(), json.total_captures());
+        assert!(bin.total_captures() > 0);
+        for ss in json.supersteps() {
+            let bin_rows = bin.captured_at(ss);
+            let json_rows = json.captured_at(ss);
+            assert_eq!(bin_rows.len(), json_rows.len());
+            for (b, j) in bin_rows.iter().zip(&json_rows) {
+                assert_eq!(b.raw(), j.raw(), "superstep {ss}");
+            }
+        }
+        assert_eq!(bin.master_traces(), json.master_traces());
+
+        let summary = JobSummary::scan(bin_run.fs().as_ref(), "/t/untyped-eq-bin").unwrap();
+        assert_eq!(summary.total_captures(), bin.total_captures());
+
+        let dir_bytes = |fs: &Arc<dyn FileSystem>, root: &str| -> usize {
+            (0..2).map(|w| fs.read_all(&worker_trace_path(root, w)).unwrap().len()).sum::<usize>()
+                + fs.read_all(&master_trace_path(root)).unwrap().len()
+        };
+        let json_bytes = dir_bytes(json_run.fs(), "/t/untyped-eq-json");
+        let bin_bytes = dir_bytes(bin_run.fs(), "/t/untyped-eq-bin");
+        assert!(
+            bin_bytes < json_bytes,
+            "binary traces must be smaller: {bin_bytes} vs {json_bytes}"
+        );
+    }
+
+    /// The frame-corruption matrix: a torn tail, a truncated length
+    /// varint, a bad record kind, and mid-file garbage each yield a clean
+    /// `SessionError` (or a lenient tail skip under `open_partial`) —
+    /// never a panic.
+    #[test]
+    fn corrupt_binary_traces_fail_cleanly_never_panic() {
         let config = DebugConfig::<Doubler>::builder()
-            .capture_ids([1])
-            .codec(crate::TraceCodec::Binary)
+            .capture_all_active(true)
+            .codec(TraceCodec::Binary)
             .catch_exceptions(false)
             .build();
+        let root = "/t/untyped-corrupt";
         let run = GraftRunner::new(Doubler, config)
-            .num_workers(2)
-            .run(premade::cycle(4, 1i64), "/t/untyped-bin")
+            .num_workers(1)
+            .run(premade::cycle(4, 1i64), root)
             .unwrap();
-        let err = UntypedSession::open(run.fs().clone(), "/t/untyped-bin").map(|_| ()).unwrap_err();
-        assert!(err.to_string().contains("JsonLines"));
-        let err = JobSummary::scan(run.fs().as_ref(), "/t/untyped-bin").map(|_| ()).unwrap_err();
-        assert!(err.to_string().contains("JsonLines"), "summary scan applies the codec check too");
+        let fs = run.fs().clone();
+        let path = worker_trace_path(root, 0);
+        let pristine = fs.read_all(&path).unwrap();
+        let full = UntypedSession::open(fs.clone(), root).unwrap().total_captures();
+        assert!(full > 0);
+
+        // Torn tail: the last frame is cut short. A strict open reports
+        // it; a live (partial) open skips the tail and keeps every
+        // complete record.
+        fs.write_all(&path, &pristine[..pristine.len() - 3]).unwrap();
+        let err = UntypedSession::open(fs.clone(), root).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("unexpected end"), "{err}");
+        let partial = UntypedSession::open_partial(fs.clone(), root, u64::MAX).unwrap();
+        assert_eq!(partial.total_captures(), full - 1);
+
+        // Truncated length varint at the tail (a lone continuation byte):
+        // same torn-tail shape, so partial opens keep everything.
+        let mut torn = pristine.clone();
+        torn.push(0x80);
+        fs.write_all(&path, &torn).unwrap();
+        assert!(UntypedSession::open(fs.clone(), root).is_err());
+        let partial = UntypedSession::open_partial(fs.clone(), root, u64::MAX).unwrap();
+        assert_eq!(partial.total_captures(), full);
+
+        // A complete frame with an unknown record kind is hard corruption
+        // in both modes — a torn write can only truncate, never invent a
+        // whole frame.
+        let mut bad_kind = pristine.clone();
+        graft_codec::frame::write_frame(&mut bad_kind, 9, b"junk");
+        fs.write_all(&path, &bad_kind).unwrap();
+        let err = UntypedSession::open(fs.clone(), root).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("record kind"), "{err}");
+        assert!(UntypedSession::open_partial(fs.clone(), root, u64::MAX).is_err());
+
+        // Mid-file garbage, deterministic shape: a zeroed length prefix
+        // on a frame in the middle of the stream is structural corruption
+        // in both modes, lenient tailing included.
+        let mut starts = Vec::new();
+        let mut scanner = graft_codec::frame::FrameScanner::new(&pristine);
+        while let Some(frame) = scanner.next_frame().unwrap() {
+            starts.push(frame.start);
+        }
+        let mut garbled = pristine.clone();
+        garbled[starts[starts.len() / 2]] = 0x00;
+        fs.write_all(&path, &garbled).unwrap();
+        assert!(UntypedSession::open(fs.clone(), root).is_err());
+        assert!(UntypedSession::open_partial(fs.clone(), root, u64::MAX).is_err());
+
+        // Mid-file garbage, arbitrary shape: flipped payload bytes must
+        // fail cleanly on a strict open; a partial open may only ever
+        // drop records, never panic or invent them.
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        for b in &mut flipped[mid..mid + 4] {
+            *b ^= 0xff;
+        }
+        fs.write_all(&path, &flipped).unwrap();
+        assert!(UntypedSession::open(fs.clone(), root).is_err());
+        if let Ok(partial) = UntypedSession::open_partial(fs.clone(), root, u64::MAX) {
+            assert!(partial.total_captures() <= full);
+        }
+
+        // JobSummary::scan applies the same validation as open.
+        assert!(JobSummary::scan(fs.as_ref(), root).is_err());
+
+        // The pristine bytes still open after all that.
+        fs.write_all(&path, &pristine).unwrap();
+        assert_eq!(UntypedSession::open(fs.clone(), root).unwrap().total_captures(), full);
     }
 
     /// Regression for the streaming/pagination rewrite: a 10k-vertex

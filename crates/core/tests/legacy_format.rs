@@ -1,0 +1,125 @@
+//! Backward compatibility with trace directories written before the
+//! binary pipeline: their `meta.json` has no `trace_format` field (it
+//! used the since-renamed `codec` key), and readers must auto-detect
+//! them as JSON lines.
+//!
+//! The fixture under `tests/fixtures/legacy_json_trace/` is a committed
+//! copy of such a directory; `generate_legacy_fixture` (ignored) rebuilds
+//! it from the computation below if the trace schema ever changes.
+
+use std::sync::Arc;
+
+use graft::testing::premade;
+use graft::untyped::{JobSummary, UntypedSession};
+use graft::{DebugConfig, DebugSession, GraftRunner, JobMeta, TraceCodec};
+use graft_dfs::{FileSystem, InMemoryFs};
+use graft_pregel::{Computation, ContextOf, VertexHandleOf};
+
+/// Same shape as the fixture's recorded computation: forward `value + 1`
+/// around a cycle for two rounds.
+struct Relay;
+
+impl Computation for Relay {
+    type Id = u64;
+    type VValue = i64;
+    type EValue = ();
+    type Message = i64;
+
+    fn compute(
+        &self,
+        vertex: &mut VertexHandleOf<'_, Self>,
+        messages: &[i64],
+        ctx: &mut ContextOf<'_, Self>,
+    ) {
+        *vertex.value_mut() += messages.iter().sum::<i64>();
+        if ctx.superstep() < 2 {
+            ctx.send_message_to_all_edges(vertex, *vertex.value() + 1);
+        } else {
+            vertex.vote_to_halt();
+        }
+    }
+}
+
+const FIXTURE_FILES: &[&str] =
+    &["meta.json", "worker_0.trace", "worker_1.trace", "master.trace", "result.json"];
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/legacy_json_trace")
+}
+
+/// Loads the committed fixture into an in-memory cluster fs at `/legacy`.
+fn load_fixture() -> Arc<dyn FileSystem> {
+    let fs: Arc<dyn FileSystem> = Arc::new(InMemoryFs::new());
+    for name in FIXTURE_FILES {
+        let bytes = std::fs::read(fixture_dir().join(name))
+            .unwrap_or_else(|e| panic!("fixture file {name} missing: {e}"));
+        fs.write_all(&format!("/legacy/{name}"), &bytes).unwrap();
+    }
+    fs
+}
+
+#[test]
+fn legacy_meta_without_trace_format_reads_as_json() {
+    let fs = load_fixture();
+
+    // The committed meta.json must really be legacy-shaped: no
+    // trace_format key, so detection falls back to JSON lines.
+    let meta_bytes = fs.read_all("/legacy/meta.json").unwrap();
+    assert!(
+        !String::from_utf8_lossy(&meta_bytes).contains("trace_format"),
+        "fixture regressed: meta.json must predate the trace_format field"
+    );
+    let meta: JobMeta = serde_json::from_slice(&meta_bytes).unwrap();
+    assert_eq!(meta.trace_format, None);
+    assert_eq!(meta.codec(), TraceCodec::JsonLines);
+
+    // Untyped path: summary and full open agree and see the captures.
+    let summary = JobSummary::scan(fs.as_ref(), "/legacy").unwrap();
+    let session = UntypedSession::open(fs.clone(), "/legacy").unwrap();
+    assert_eq!(session.supersteps(), vec![0, 1, 2]);
+    assert_eq!(summary.total_captures(), session.total_captures());
+    assert_eq!(session.total_captures(), 12, "4 vertices x 3 supersteps");
+    let ids: Vec<String> = session.traces_at(1).map(|t| t.vertex()).collect();
+    assert_eq!(ids.len(), 4, "all four vertices captured in superstep 1");
+
+    // Typed path: the same auto-detection drives DebugSession.
+    let typed = DebugSession::<Relay>::open(fs, "/legacy").unwrap();
+    assert_eq!(typed.meta().codec(), TraceCodec::JsonLines);
+    assert_eq!(typed.supersteps(), vec![0, 1, 2]);
+    let t0 = typed.vertex_at(0, 2).unwrap();
+    assert!(t0.halted_after);
+}
+
+/// Rebuilds the committed fixture. Run with
+/// `cargo test -p graft-core --test legacy_format -- --ignored` and
+/// commit the result if the trace schema changes.
+#[test]
+#[ignore = "fixture generator, not a test"]
+fn generate_legacy_fixture() {
+    let config = DebugConfig::<Relay>::builder()
+        .capture_all_active(true)
+        .catch_exceptions(false)
+        .codec(TraceCodec::JsonLines)
+        .build();
+    let run = GraftRunner::new(Relay, config)
+        .num_workers(2)
+        .run(premade::cycle(4, 0i64), "/gen")
+        .unwrap();
+    assert!(run.outcome.is_ok());
+
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for name in FIXTURE_FILES {
+        let mut bytes = run.fs().read_all(&format!("/gen/{name}")).unwrap();
+        if *name == "meta.json" {
+            // Rewrite to the pre-binary-pipeline schema: the codec lived
+            // under a `codec` key and facts had no trace_format entry.
+            let text = String::from_utf8(bytes).unwrap();
+            let text = text.replace("\"trace_format\": \"JsonLines\"", "\"codec\": \"JsonLines\"");
+            let text = text.replace(",\n    \"trace_format\": \"json\"", "");
+            assert!(!text.contains("trace_format"), "rewrite missed a key: {text}");
+            bytes = text.into_bytes();
+        }
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+}

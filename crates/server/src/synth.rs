@@ -55,7 +55,7 @@ fn write_meta(fs: &dyn FileSystem, root: &str, workers: usize) -> FsResult<()> {
         master: None,
         value_types: ("u64".to_string(), "i64".to_string(), "()".to_string(), "i64".to_string()),
         num_workers: workers,
-        codec: TraceCodec::JsonLines,
+        trace_format: Some(TraceCodec::JsonLines),
         config: vec!["capture_all_active".to_string()],
         facts: None,
     };
